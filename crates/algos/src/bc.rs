@@ -1,0 +1,198 @@
+//! Betweenness centrality from a single source (Brandes' algorithm in
+//! frontier form): a forward BFS accumulating shortest-path counts, then a
+//! backward sweep accumulating dependencies — both expressed as edge maps.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use gee_ligra::{edge_map, AtomicF64Vec, EdgeMapFn, EdgeMapOptions, VertexSubset};
+
+struct ForwardStep<'a> {
+    /// Set only *between* rounds (Ligra does this with a vertexMap after the
+    /// edgeMap) so that all same-level path counts accumulate; using it in
+    /// `cond` during the round would drop sibling contributions.
+    visited: &'a [AtomicU32],
+    /// Claimed-this-traversal flags for output-frontier deduplication.
+    claimed: &'a [AtomicU32],
+    num_paths: &'a AtomicF64Vec,
+}
+
+impl EdgeMapFn for ForwardStep<'_> {
+    fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        self.num_paths.fetch_add(d as usize, self.num_paths.load(s as usize));
+        if self.claimed[d as usize].load(Ordering::Relaxed) == 0 {
+            self.claimed[d as usize].store(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        self.num_paths.fetch_add(d as usize, self.num_paths.load(s as usize));
+        self.claimed[d as usize]
+            .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+    fn cond(&self, d: VertexId) -> bool {
+        self.visited[d as usize].load(Ordering::Relaxed) == 0
+    }
+}
+
+struct BackwardStep<'a> {
+    in_next_level: &'a [bool],
+    num_paths: &'a [f64],
+    dependency: &'a AtomicF64Vec,
+}
+
+impl EdgeMapFn for BackwardStep<'_> {
+    fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        // s is one level farther than d: accumulate dependency into d.
+        if self.in_next_level[s as usize] {
+            let contrib = self.num_paths[d as usize] / self.num_paths[s as usize]
+                * (1.0 + self.dependency.load(s as usize));
+            self.dependency.fetch_add(d as usize, contrib);
+        }
+        false
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        self.update(s, d, w)
+    }
+}
+
+/// Single-source betweenness dependencies (Brandes). The graph must be
+/// symmetric (undirected encoding) for the backward pass over out-edges to
+/// equal the in-edge pass. Returns per-vertex dependency scores.
+pub fn betweenness(g: &CsrGraph, source: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let visited: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let claimed: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    visited[source as usize].store(1, Ordering::Relaxed);
+    claimed[source as usize].store(1, Ordering::Relaxed);
+    let num_paths = AtomicF64Vec::zeros(n);
+    num_paths.store(source as usize, 1.0);
+
+    // Forward phase: record each BFS level. `visited` is published only
+    // after each round so same-level σ contributions are not cut off.
+    let mut levels: Vec<VertexSubset> = vec![VertexSubset::single(n, source)];
+    loop {
+        let step = ForwardStep { visited: &visited, claimed: &claimed, num_paths: &num_paths };
+        let next = edge_map(g, levels.last().unwrap(), &step, EdgeMapOptions::default());
+        if next.is_empty() {
+            break;
+        }
+        gee_ligra::vertex_map(&next, |v| visited[v as usize].store(1, Ordering::Relaxed));
+        levels.push(next);
+    }
+
+    // Backward phase: walk levels deepest-first; for each vertex d in level
+    // L, sum over its neighbors s in level L+1.
+    let paths: Vec<f64> = (0..n).map(|i| num_paths.load(i)).collect();
+    let dependency = AtomicF64Vec::zeros(n);
+    for li in (0..levels.len().saturating_sub(1)).rev() {
+        let mut next_flags = vec![false; n];
+        for v in levels[li + 1].iter() {
+            next_flags[v as usize] = true;
+        }
+        // Traverse out-edges of level li; the functor filters targets in
+        // level li+1. Roles are inverted relative to the usual edgeMap (the
+        // *source* accumulates), so `update` writes to `d = the source` of
+        // the conceptual dependency edge. We achieve this by traversing from
+        // level li and treating s=li-vertex, d=neighbor: contribution flows
+        // neighbor→s, so swap in the functor.
+        struct Swapped<'a>(BackwardStep<'a>);
+        impl EdgeMapFn for Swapped<'_> {
+            fn update(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+                // invert: dependency of s accumulates from d
+                self.0.update(d, s, w)
+            }
+            fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+                self.update(s, d, w)
+            }
+        }
+        let step = Swapped(BackwardStep {
+            in_next_level: &next_flags,
+            num_paths: &paths,
+            dependency: &dependency,
+        });
+        edge_map(g, &levels[li], &step, EdgeMapOptions { no_output: true, ..Default::default() });
+    }
+    dependency.into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn undirected(edges: &[(u32, u32)], n: usize) -> CsrGraph {
+        let el: Vec<Edge> = edges
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, el).unwrap())
+    }
+
+    /// Serial Brandes single-source dependencies for validation.
+    fn serial_brandes(g: &CsrGraph, s: u32) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut stack = Vec::new();
+        let mut dist = vec![-1i64; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut delta = vec![0.0f64; n];
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        dist[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            stack.push(u);
+            for &v in g.neighbors(u) {
+                if dist[v as usize] < 0 {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+                if dist[v as usize] == dist[u as usize] + 1 {
+                    sigma[v as usize] += sigma[u as usize];
+                    preds[v as usize].push(u);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &u in &preds[w as usize] {
+                delta[u as usize] += sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+            }
+        }
+        delta
+    }
+
+    #[test]
+    fn path_center_has_dependency() {
+        // 0 - 1 - 2: from source 0, vertex 1 lies on the path to 2.
+        let g = undirected(&[(0, 1), (1, 2)], 3);
+        let dep = betweenness(&g, 0);
+        assert!((dep[1] - 1.0).abs() < 1e-12, "dep = {dep:?}");
+        assert_eq!(dep[2], 0.0);
+    }
+
+    #[test]
+    fn matches_serial_brandes_small() {
+        let g = undirected(&[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)], 5);
+        let par = betweenness(&g, 0);
+        let ser = serial_brandes(&g, 0);
+        for i in 0..5 {
+            assert!((par[i] - ser[i]).abs() < 1e-9, "vertex {i}: {} vs {}", par[i], ser[i]);
+        }
+    }
+
+    #[test]
+    fn matches_serial_brandes_random() {
+        let el = gee_gen::erdos_renyi_gnm(60, 180, 5).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let par = betweenness(&g, 3);
+        let ser = serial_brandes(&g, 3);
+        for i in 0..60 {
+            assert!((par[i] - ser[i]).abs() < 1e-6, "vertex {i}: {} vs {}", par[i], ser[i]);
+        }
+    }
+}

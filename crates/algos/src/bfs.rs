@@ -1,0 +1,144 @@
+//! Frontier-based parallel BFS — the canonical Ligra program.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use gee_ligra::{edge_map, EdgeMapFn, EdgeMapOptions, VertexSubset};
+
+/// Sentinel for "unreached".
+pub const UNREACHED: u32 = u32::MAX;
+
+struct BfsStep<'a> {
+    parent: &'a [AtomicU32],
+}
+
+impl EdgeMapFn for BfsStep<'_> {
+    fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        // Single-writer context: plain check-and-set.
+        if self.parent[d as usize].load(Ordering::Relaxed) == UNREACHED {
+            self.parent[d as usize].store(s, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_atomic(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        // CAS so exactly one in-edge claims each destination per round.
+        self.parent[d as usize]
+            .compare_exchange(UNREACHED, s, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn cond(&self, d: VertexId) -> bool {
+        self.parent[d as usize].load(Ordering::Relaxed) == UNREACHED
+    }
+}
+
+/// Parallel BFS from `source`. Returns the parent array (`UNREACHED` where
+/// the vertex was not reached; `parent[source] == source`).
+pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    parent[source as usize].store(source, Ordering::Relaxed);
+    let step = BfsStep { parent: &parent };
+    let mut frontier = VertexSubset::single(n, source);
+    while !frontier.is_empty() {
+        frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
+    }
+    parent.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// Level-synchronous BFS distances (`u32::MAX` = unreached).
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    parent[source as usize].store(source, Ordering::Relaxed);
+    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let step = BfsStep { parent: &parent };
+    let mut frontier = VertexSubset::single(n, source);
+    let mut level = 0u32;
+    while !frontier.is_empty() {
+        frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
+        level += 1;
+        gee_ligra::vertex_map(&frontier, |v| dist[v as usize].store(level, Ordering::Relaxed));
+    }
+    dist.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn serial_bfs_dist(g: &CsrGraph, src: u32) -> Vec<u32> {
+        let mut dist = vec![UNREACHED; g.num_vertices()];
+        let mut q = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        q.push_back(src);
+        while let Some(u) = q.pop_front() {
+            for &v in g.neighbors(u) {
+                if dist[v as usize] == UNREACHED {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn path_graph_parents() {
+        let el = EdgeList::new(4, vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)]).unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let p = bfs(&g, 0);
+        assert_eq!(p, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_vertices() {
+        let el = EdgeList::new(3, vec![Edge::unit(0, 1)]).unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let p = bfs(&g, 0);
+        assert_eq!(p[2], UNREACHED);
+    }
+
+    #[test]
+    fn distances_match_serial_on_random_graph() {
+        let el = gee_gen::erdos_renyi_gnm(500, 3000, 42).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let par = bfs_distances(&g, 0);
+        let ser = serial_bfs_dist(&g, 0);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn parent_array_is_a_valid_bfs_tree() {
+        let el = gee_gen::erdos_renyi_gnm(300, 2400, 7).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let p = bfs(&g, 5);
+        let d = serial_bfs_dist(&g, 5);
+        for v in 0..300usize {
+            if p[v] == UNREACHED {
+                assert_eq!(d[v], UNREACHED);
+            } else if v != 5 {
+                // Parent must be exactly one level closer.
+                assert_eq!(d[v], d[p[v] as usize] + 1, "vertex {v}");
+                // And adjacent.
+                assert!(g.neighbors(p[v]).contains(&(v as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn star_distances() {
+        let edges: Vec<Edge> = (1..64u32).map(|v| Edge::unit(0, v)).collect();
+        let g = CsrGraph::from_edge_list(&EdgeList::new(64, edges).unwrap());
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert!(d[1..].iter().all(|&x| x == 1));
+    }
+}

@@ -1,0 +1,124 @@
+//! Connected components via label propagation with `writeMin` — Ligra's
+//! `Components` program.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use gee_ligra::atomics::write_min_u32;
+use gee_ligra::{edge_map, EdgeMapFn, EdgeMapOptions, VertexSubset};
+
+struct CcStep<'a> {
+    labels: &'a [AtomicU32],
+}
+
+impl EdgeMapFn for CcStep<'_> {
+    fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        let ls = self.labels[s as usize].load(Ordering::Relaxed);
+        if ls < self.labels[d as usize].load(Ordering::Relaxed) {
+            self.labels[d as usize].store(ls, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn update_atomic(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        let ls = self.labels[s as usize].load(Ordering::Relaxed);
+        write_min_u32(&self.labels[d as usize], ls)
+    }
+}
+
+/// Connected components of the graph **viewed as undirected** if the input
+/// is symmetric (for directed inputs this computes reachability-closed
+/// label minima along edge direction; symmetrize first for true CC).
+/// Returns the minimum vertex id of each vertex's component.
+pub fn connected_components(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let labels: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let step = CcStep { labels: &labels };
+    let mut frontier = VertexSubset::full(n);
+    while !frontier.is_empty() {
+        frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
+    }
+    labels.into_iter().map(|a| a.into_inner()).collect()
+}
+
+/// Number of distinct components in a label vector.
+pub fn num_components(labels: &[u32]) -> usize {
+    let mut set: Vec<u32> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn union_find_cc(g: &CsrGraph) -> Vec<u32> {
+        let n = g.num_vertices();
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        fn find(p: &mut [u32], x: u32) -> u32 {
+            let mut r = x;
+            while p[r as usize] != r {
+                r = p[r as usize];
+            }
+            let mut c = x;
+            while p[c as usize] != r {
+                let nxt = p[c as usize];
+                p[c as usize] = r;
+                c = nxt;
+            }
+            r
+        }
+        for (u, v, _) in g.iter_edges() {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru.max(rv) as usize] = ru.min(rv);
+            }
+        }
+        (0..n as u32).map(|v| find(&mut parent, v)).collect()
+    }
+
+    #[test]
+    fn two_components() {
+        let el = EdgeList::new(5, vec![Edge::unit(0, 1), Edge::unit(1, 0), Edge::unit(2, 3), Edge::unit(3, 2)])
+            .unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        assert_eq!(cc[0], cc[1]);
+        assert_eq!(cc[2], cc[3]);
+        assert_ne!(cc[0], cc[2]);
+        assert_eq!(cc[4], 4); // isolated
+        assert_eq!(num_components(&cc), 3);
+    }
+
+    #[test]
+    fn matches_union_find_on_random_graph() {
+        let el = gee_gen::erdos_renyi_gnm(400, 500, 17).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(connected_components(&g), union_find_cc(&g));
+    }
+
+    #[test]
+    fn single_component_cycle() {
+        let edges: Vec<Edge> = (0..10u32)
+            .flat_map(|v| [Edge::unit(v, (v + 1) % 10), Edge::unit((v + 1) % 10, v)])
+            .collect();
+        let g = CsrGraph::from_edge_list(&EdgeList::new(10, edges).unwrap());
+        let cc = connected_components(&g);
+        assert!(cc.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn labels_are_component_minima() {
+        let el = gee_gen::erdos_renyi_gnm(200, 220, 23).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let cc = connected_components(&g);
+        for (v, &c) in cc.iter().enumerate() {
+            assert!(c <= v as u32, "label must be the minimum id in the component");
+            assert_eq!(cc[c as usize], c, "component representative must label itself");
+        }
+    }
+}

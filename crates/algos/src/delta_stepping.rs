@@ -1,0 +1,216 @@
+//! Δ-stepping single-source shortest paths (Meyer & Sanders, 2003) on the
+//! engine's Julienne-style buckets — the priority-ordered alternative to
+//! the frontier Bellman-Ford in [`crate::sssp`].
+//!
+//! Distances are binned into buckets of width Δ; buckets are settled in
+//! increasing order, with an inner loop that re-relaxes vertices whose
+//! tentative distance improves *within* the current bucket. Relaxations
+//! run in parallel over the active set (atomic `writeMin` on the distance
+//! array); bucket maintenance is serial and cheap — the same split
+//! Julienne uses.
+//!
+//! This simplified variant relaxes all out-edges on every activation
+//! instead of separating light (< Δ) and heavy (≥ Δ) edges. That costs
+//! some repeated heavy relaxations but computes identical distances; the
+//! tests check it against a Dijkstra oracle.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gee_graph::{CsrGraph, VertexId};
+use gee_ligra::{BucketOrder, Buckets};
+use rayon::prelude::*;
+
+/// Atomic `writeMin` on an f64 distance stored as ordered bits (valid for
+/// non-negative finite values, whose IEEE-754 patterns order like values).
+#[inline]
+fn write_min_f64(cell: &AtomicU64, v: f64) -> bool {
+    debug_assert!(v >= 0.0, "bit-ordered writeMin needs non-negative values");
+    let bits = v.to_bits();
+    let mut cur = cell.load(Ordering::Relaxed);
+    while bits < cur {
+        match cell.compare_exchange_weak(cur, bits, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+/// A Δ suggestion: the mean edge weight, which for unit weights recovers
+/// Dijkstra-like bucket-per-hop behaviour and for skewed weights keeps
+/// buckets usefully populated. Any positive Δ is correct.
+pub fn suggest_delta(g: &CsrGraph) -> f64 {
+    if g.num_edges() == 0 {
+        return 1.0;
+    }
+    (g.total_weight() / g.num_edges() as f64).max(f64::MIN_POSITIVE)
+}
+
+/// Shortest-path distances from `source` over non-negative edge weights
+/// using Δ-stepping (`f64::INFINITY` = unreachable).
+///
+/// Panics if `delta <= 0`, `source` is out of range, or a negative edge
+/// weight is encountered.
+pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: f64) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    assert!(delta > 0.0, "delta must be positive");
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+    dist[source as usize].store(0f64.to_bits(), Ordering::Relaxed);
+
+    let bucket_id = |d: f64| (d / delta) as u64;
+    let mut buckets = Buckets::new(n, BucketOrder::Increasing, |v| (v == source).then_some(0));
+
+    while let Some(bucket) = buckets.next_bucket() {
+        let id = bucket.id;
+        let mut active = bucket.vertices;
+        // Inner loop: distances of vertices in this bucket can improve via
+        // intra-bucket (light) relaxations; iterate until no activation
+        // lands back in bucket `id`.
+        while !active.is_empty() {
+            // Parallel relaxation; collect winning (target, new bucket)
+            // moves per worker chunk.
+            let dist = &dist;
+            let moves: Vec<(VertexId, u64)> = active
+                .par_iter()
+                .flat_map_iter(|&u| {
+                    let du = f64::from_bits(dist[u as usize].load(Ordering::Relaxed));
+                    g.neighbors(u).iter().enumerate().filter_map(move |(i, &v)| {
+                        let w = g.weight_at(u, i);
+                        assert!(w >= 0.0, "delta-stepping requires non-negative weights");
+                        let nd = du + w;
+                        write_min_f64(&dist[v as usize], nd).then(|| (v, bucket_id(nd)))
+                    })
+                })
+                .collect();
+            active.clear();
+            let mut seen_this_round = vec![false; 0]; // lazily sized below
+            for (v, b) in moves {
+                // The recorded distance may have improved further since the
+                // move was generated; rebin from the current value.
+                let b = b.min(bucket_id(f64::from_bits(dist[v as usize].load(Ordering::Relaxed))));
+                if b <= id {
+                    if seen_this_round.is_empty() {
+                        seen_this_round = vec![false; n];
+                    }
+                    if !seen_this_round[v as usize] {
+                        seen_this_round[v as usize] = true;
+                        buckets.remove(v); // supersedes any queued entry
+                        active.push(v);
+                    }
+                } else {
+                    buckets.update_bucket(v, b);
+                }
+            }
+        }
+    }
+    dist.into_iter().map(|a| f64::from_bits(a.into_inner())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn weighted(edges: &[(u32, u32, f64)], n: usize) -> CsrGraph {
+        let el: Vec<Edge> = edges.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, el).unwrap())
+    }
+
+    fn dijkstra(g: &CsrGraph, s: u32) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[s as usize] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(0u64), s));
+        while let Some((std::cmp::Reverse(db), u)) = heap.pop() {
+            let d = f64::from_bits(db);
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let nd = d + g.weight_at(u, i);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push((std::cmp::Reverse(nd.to_bits()), v));
+                }
+            }
+        }
+        dist
+    }
+
+    fn assert_dists_eq(a: &[f64], b: &[f64]) {
+        for (v, (&x, &y)) in a.iter().zip(b).enumerate() {
+            if x.is_finite() || y.is_finite() {
+                assert!((x - y).abs() < 1e-9, "vertex {v}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_hop_beats_direct() {
+        let g = weighted(&[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)], 3);
+        assert_eq!(delta_stepping(&g, 0, 1.0), vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = weighted(&[(0, 1, 1.0)], 3);
+        assert!(delta_stepping(&g, 0, 0.5)[2].is_infinite());
+    }
+
+    #[test]
+    fn intra_bucket_chain_settles() {
+        // All weights < delta: the whole path resolves inside bucket 0.
+        let g = weighted(&[(0, 1, 0.1), (1, 2, 0.1), (2, 3, 0.1)], 4);
+        let d = delta_stepping(&g, 0, 100.0);
+        assert_dists_eq(&d, &[0.0, 0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn matches_dijkstra_across_deltas() {
+        let el = gee_gen::erdos_renyi_gnm(300, 2400, 17);
+        let edges: Vec<Edge> = el
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Edge::new(e.u, e.v, 0.05 + (i % 23) as f64 * 0.21))
+            .collect();
+        let g = CsrGraph::from_edge_list(&EdgeList::new(300, edges).unwrap());
+        let oracle = dijkstra(&g, 0);
+        for delta in [0.1, 1.0, 5.0, 1e6] {
+            assert_dists_eq(&delta_stepping(&g, 0, delta), &oracle);
+        }
+    }
+
+    #[test]
+    fn matches_frontier_bellman_ford() {
+        let el = gee_gen::erdos_renyi_gnm(200, 1600, 5).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let a = delta_stepping(&g, 3, suggest_delta(&g));
+        let b = crate::sssp::sssp(&g, 3);
+        assert_dists_eq(&a, &b);
+    }
+
+    #[test]
+    fn zero_weight_edges_handled() {
+        let g = weighted(&[(0, 1, 0.0), (1, 2, 0.0), (2, 0, 0.0), (1, 3, 2.0)], 4);
+        let d = delta_stepping(&g, 0, 1.0);
+        assert_dists_eq(&d, &[0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn suggest_delta_positive() {
+        let g = weighted(&[(0, 1, 2.0), (1, 0, 4.0)], 2);
+        assert_eq!(suggest_delta(&g), 3.0);
+        let empty = CsrGraph::build(3, &[], false);
+        assert!(suggest_delta(&empty) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be positive")]
+    fn rejects_nonpositive_delta() {
+        let g = weighted(&[(0, 1, 1.0)], 2);
+        delta_stepping(&g, 0, 0.0);
+    }
+}

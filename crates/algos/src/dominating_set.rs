@@ -1,0 +1,156 @@
+//! Greedy approximate dominating set on **decreasing** buckets — the
+//! lazy-greedy pattern of Julienne's approximate set cover, specialized
+//! to the domination instance (every vertex covers itself and its
+//! neighbors; greedy gives the classic (1 + ln Δ)-approximation).
+//!
+//! Buckets are keyed by *claimed* coverage and popped largest-first. The
+//! pop is validated lazily: if a vertex's true current coverage fell
+//! below its bucket (because neighbors were covered in the meantime) it
+//! is re-binned instead of taken — this lazy re-evaluation is exactly
+//! what makes greedy set cover efficient, and [`gee_ligra::Buckets`]'s
+//! stale-entry filtering implements it for free.
+
+use gee_graph::{CsrGraph, VertexId};
+use gee_ligra::{BucketOrder, Buckets};
+
+/// Coverage of `v` = 1 (itself, if uncovered) + uncovered neighbors.
+fn coverage(g: &CsrGraph, covered: &[bool], v: VertexId) -> u64 {
+    let own = u64::from(!covered[v as usize]);
+    own + g.neighbors(v).iter().filter(|&&t| t != v && !covered[t as usize]).count() as u64
+}
+
+/// Greedy dominating set of a **symmetric** graph: returns the chosen
+/// vertex set (every vertex is in it or adjacent to it).
+pub fn dominating_set(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut covered = vec![false; n];
+    let mut chosen = Vec::new();
+    let mut remaining = n;
+    // Initial bucket = degree + 1 (all vertices uncovered).
+    let mut buckets = Buckets::new(n, BucketOrder::Decreasing, |v| {
+        Some(g.out_degree(v) as u64 + 1)
+    });
+    while remaining > 0 {
+        let bucket = buckets
+            .next_bucket()
+            .expect("uncovered vertices remain, so some candidate must too");
+        for v in bucket.vertices {
+            let cov = coverage(g, &covered, v);
+            if cov == 0 {
+                continue; // contributes nothing; drop from candidacy
+            }
+            if cov < bucket.id {
+                // Stale claim: its neighborhood was covered since it was
+                // binned. Lazy-greedy re-bins at the true value.
+                buckets.update_bucket(v, cov);
+                continue;
+            }
+            // cov == bucket.id (cov can never exceed the claim): no other
+            // candidate can beat it, take it greedily.
+            chosen.push(v);
+            if !covered[v as usize] {
+                covered[v as usize] = true;
+                remaining -= 1;
+            }
+            for &t in g.neighbors(v) {
+                if !covered[t as usize] {
+                    covered[t as usize] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
+        let edges: Vec<Edge> =
+            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
+    }
+
+    fn assert_dominating(g: &CsrGraph, ds: &[u32]) {
+        let mut covered = vec![false; g.num_vertices()];
+        for &v in ds {
+            covered[v as usize] = true;
+            for &t in g.neighbors(v) {
+                covered[t as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "set does not dominate");
+    }
+
+    #[test]
+    fn star_graph_needs_one_vertex() {
+        let pairs: Vec<(u32, u32)> = (1..8).map(|v| (0, v)).collect();
+        let g = undirected(&pairs, 8);
+        let ds = dominating_set(&g);
+        assert_eq!(ds, vec![0]);
+    }
+
+    #[test]
+    fn isolated_vertices_must_all_be_chosen() {
+        let g = undirected(&[(0, 1)], 4);
+        let mut ds = dominating_set(&g);
+        ds.sort_unstable();
+        assert_dominating(&g, &ds);
+        assert!(ds.contains(&2) && ds.contains(&3));
+    }
+
+    #[test]
+    fn path_graph_greedy_is_small() {
+        // Path of 9: optimum is 3 centers; greedy must dominate with ≤ 4.
+        let pairs: Vec<(u32, u32)> = (0..8).map(|v| (v, v + 1)).collect();
+        let g = undirected(&pairs, 9);
+        let ds = dominating_set(&g);
+        assert_dominating(&g, &ds);
+        assert!(ds.len() <= 4, "greedy used {} centers", ds.len());
+    }
+
+    #[test]
+    fn dominates_random_graphs() {
+        for seed in [3u64, 13, 31] {
+            let el = gee_gen::erdos_renyi_gnm(300, 1500, seed).symmetrized();
+            let g = CsrGraph::from_edge_list(&el);
+            let ds = dominating_set(&g);
+            assert_dominating(&g, &ds);
+            // Greedy on a dense-ish random graph is far below n.
+            assert!(ds.len() < 150, "{} of 300 chosen", ds.len());
+        }
+    }
+
+    #[test]
+    fn dominates_skewed_graph_cheaply() {
+        let el = gee_gen::rmat(10, 10_000, Default::default(), 7).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let ds = dominating_set(&g);
+        assert_dominating(&g, &ds);
+        // Hubs cover most of an R-MAT graph; the set must exploit that.
+        assert!(ds.len() < g.num_vertices() / 2);
+    }
+
+    #[test]
+    fn clique_needs_one() {
+        let mut pairs = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                pairs.push((u, v));
+            }
+        }
+        let g = undirected(&pairs, 6);
+        assert_eq!(dominating_set(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_chooses_everyone() {
+        let g = CsrGraph::build(5, &[], false);
+        let mut ds = dominating_set(&g);
+        ds.sort_unstable();
+        assert_eq!(ds, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,139 @@
+//! k-core decomposition via Julienne-style buckets — peel vertices in
+//! degree-priority order instead of scanning all vertices per level as
+//! [`crate::kcore`] does.
+//!
+//! Each vertex starts in the bucket of its degree. Buckets are extracted
+//! in increasing order; extracting bucket `k` finalizes `core = k` for its
+//! members, decrements the induced degree of their unfinalized neighbors
+//! in parallel, and rebins each affected neighbor to `max(degree, k)` —
+//! the clamping that makes bucket ids monotone. Work is
+//! O(|E| + |V| log |V|)-ish versus the level-scan's O(|V| · k_max).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use gee_graph::{CsrGraph, VertexId};
+use gee_ligra::{BucketOrder, Buckets};
+use rayon::prelude::*;
+
+/// Core number of every vertex of a **symmetric** graph (peeling on
+/// out-degree, which equals degree for symmetric inputs). Produces the
+/// same result as [`crate::kcore::kcore`].
+pub fn kcore_bucketed(g: &CsrGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let degree: Vec<AtomicU32> =
+        (0..n as VertexId).map(|v| AtomicU32::new(g.out_degree(v) as u32)).collect();
+    let mut core = vec![0u32; n];
+    let mut finalized = vec![false; n];
+    let mut buckets = Buckets::new(n, BucketOrder::Increasing, |v| {
+        Some(u64::from(degree[v as usize].load(Ordering::Relaxed)))
+    });
+
+    while let Some(bucket) = buckets.next_bucket() {
+        let k = bucket.id as u32;
+        for &v in &bucket.vertices {
+            core[v as usize] = k;
+            finalized[v as usize] = true;
+        }
+        // Parallel decrement of unfinalized neighbors, clamped at k so a
+        // vertex's bucket never drops below the current peeling level.
+        let affected: Vec<VertexId> = bucket
+            .vertices
+            .par_iter()
+            .flat_map_iter(|&v| {
+                g.neighbors(v).iter().copied().filter(|&t| !finalized[t as usize]).inspect(
+                    |&t| {
+                        let _ = degree[t as usize].fetch_update(
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                            |d| (d > k).then(|| d - 1),
+                        );
+                    },
+                )
+            })
+            .collect();
+        // Rebin each affected neighbor from its *final* degree this round;
+        // Buckets::update_bucket ignores moves to the current bucket, so
+        // duplicate entries in `affected` are cheap.
+        for t in affected {
+            let d = degree[t as usize].load(Ordering::Relaxed).max(k);
+            buckets.update_bucket(t, u64::from(d));
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
+        let edges: Vec<Edge> =
+            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
+    }
+
+    #[test]
+    fn triangle_with_tail() {
+        let g = undirected(&[(0, 1), (1, 2), (0, 2), (2, 3)], 4);
+        assert_eq!(kcore_bucketed(&g), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn clique_core_is_degree() {
+        let mut pairs = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                pairs.push((u, v));
+            }
+        }
+        let g = undirected(&pairs, 6);
+        assert!(kcore_bucketed(&g).iter().all(|&c| c == 5));
+    }
+
+    #[test]
+    fn two_cliques_joined_by_bridge() {
+        // Two 4-cliques (core 3) joined by a single bridge edge.
+        let mut pairs = Vec::new();
+        for base in [0u32, 4] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    pairs.push((base + i, base + j));
+                }
+            }
+        }
+        pairs.push((0, 4));
+        let g = undirected(&pairs, 8);
+        assert!(kcore_bucketed(&g).iter().all(|&c| c == 3));
+    }
+
+    #[test]
+    fn matches_level_scan_on_random_graphs() {
+        for seed in [1u64, 9, 42] {
+            let el = gee_gen::erdos_renyi_gnm(250, 1800, seed).symmetrized();
+            let g = CsrGraph::from_edge_list(&el);
+            assert_eq!(kcore_bucketed(&g), crate::kcore::kcore(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_level_scan_on_skewed_graph() {
+        let el = gee_gen::rmat(12, 8 << 12, Default::default(), 77).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(kcore_bucketed(&g), crate::kcore::kcore(&g));
+    }
+
+    #[test]
+    fn isolated_vertices_core_zero() {
+        let g = undirected(&[(0, 1)], 5);
+        let core = kcore_bucketed(&g);
+        assert_eq!(&core[2..], &[0, 0, 0]);
+        assert_eq!(core[0], 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::build(0, &[], false);
+        assert!(kcore_bucketed(&g).is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Parallel maximal matching by random edge priorities — Luby's strategy
+//! on the line graph, implemented with the engine's lock-free `writeMin`
+//! and CAS primitives (the same toolkit GEE's `writeAdd` comes from).
+//!
+//! Each round assigns every live edge a hash priority; an edge joins the
+//! matching iff it holds the minimum priority at *both* endpoints, which
+//! makes concurrent decisions conflict-free. Matched and covered edges
+//! drop out; whp O(log s) rounds remain.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gee_graph::{CsrGraph, VertexId};
+use rayon::prelude::*;
+
+const UNMATCHED: u32 = u32::MAX;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Atomic `writeMin` on a u64 cell.
+#[inline]
+fn write_min_u64(cell: &AtomicU64, v: u64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v < cur {
+        match cell.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Maximal matching of a **symmetric** graph. Returns `match_of[v]` = the
+/// partner of `v`, or `u32::MAX` if unmatched. Self-loops never match.
+/// Deterministic in `seed`.
+pub fn maximal_matching(g: &CsrGraph, seed: u64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let match_of: Vec<std::sync::atomic::AtomicU32> =
+        (0..n).map(|_| std::sync::atomic::AtomicU32::new(UNMATCHED)).collect();
+    // Live edges as canonical (u < v) pairs.
+    let mut live: Vec<(VertexId, VertexId)> = (0..n as VertexId)
+        .flat_map(|u| g.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        .collect();
+    let mut round = 0u64;
+    while !live.is_empty() {
+        // Priority of each live edge this round; min per endpoint.
+        let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let prio = |u: VertexId, v: VertexId| {
+            // Never u64::MAX, so a live edge always registers a priority.
+            splitmix64(seed ^ round.rotate_left(32) ^ ((u as u64) << 32 | v as u64)) >> 1
+        };
+        live.par_iter().for_each(|&(u, v)| {
+            let p = prio(u, v);
+            write_min_u64(&best[u as usize], p);
+            write_min_u64(&best[v as usize], p);
+        });
+        // An edge that is the minimum at both endpoints matches; the two
+        // endpoints cannot be claimed by any other minimum edge this
+        // round, so plain stores suffice.
+        live.par_iter().for_each(|&(u, v)| {
+            let p = prio(u, v);
+            if best[u as usize].load(Ordering::Relaxed) == p
+                && best[v as usize].load(Ordering::Relaxed) == p
+            {
+                match_of[u as usize].store(v, Ordering::Relaxed);
+                match_of[v as usize].store(u, Ordering::Relaxed);
+            }
+        });
+        // Drop matched-endpoint edges.
+        live = live
+            .into_par_iter()
+            .filter(|&(u, v)| {
+                match_of[u as usize].load(Ordering::Relaxed) == UNMATCHED
+                    && match_of[v as usize].load(Ordering::Relaxed) == UNMATCHED
+            })
+            .collect();
+        round += 1;
+        assert!(round <= 64 + n as u64, "matching failed to converge");
+    }
+    match_of.into_iter().map(std::sync::atomic::AtomicU32::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
+        let edges: Vec<Edge> =
+            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
+    }
+
+    /// Validity: symmetric partners, partners are real edges, no self-match.
+    fn assert_valid_matching(g: &CsrGraph, m: &[u32]) {
+        for v in 0..g.num_vertices() as u32 {
+            let p = m[v as usize];
+            if p != UNMATCHED {
+                assert_ne!(p, v, "self-match at {v}");
+                assert_eq!(m[p as usize], v, "asymmetric match {v}<->{p}");
+                assert!(g.neighbors(v).contains(&p), "matched non-edge {v}-{p}");
+            }
+        }
+    }
+
+    /// Maximality: every edge has at least one matched endpoint.
+    fn assert_maximal(g: &CsrGraph, m: &[u32]) {
+        for u in 0..g.num_vertices() as u32 {
+            for &v in g.neighbors(u) {
+                if u != v {
+                    assert!(
+                        m[u as usize] != UNMATCHED || m[v as usize] != UNMATCHED,
+                        "edge {u}-{v} uncovered"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_edge_matches() {
+        let g = undirected(&[(0, 1)], 2);
+        let m = maximal_matching(&g, 1);
+        assert_eq!(m, vec![1, 0]);
+    }
+
+    #[test]
+    fn path_of_three_matches_one_edge() {
+        let g = undirected(&[(0, 1), (1, 2)], 3);
+        let m = maximal_matching(&g, 1);
+        assert_valid_matching(&g, &m);
+        assert_maximal(&g, &m);
+        let matched = m.iter().filter(|&&p| p != UNMATCHED).count();
+        assert_eq!(matched, 2); // exactly one edge
+    }
+
+    #[test]
+    fn valid_and_maximal_on_random_graphs() {
+        for seed in [1u64, 7, 23] {
+            let el = gee_gen::erdos_renyi_gnm(400, 2400, seed).symmetrized();
+            let g = CsrGraph::from_edge_list(&el);
+            let m = maximal_matching(&g, seed);
+            assert_valid_matching(&g, &m);
+            assert_maximal(&g, &m);
+        }
+    }
+
+    #[test]
+    fn valid_on_skewed_graph() {
+        let el = gee_gen::rmat(11, 20_000, Default::default(), 3).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let m = maximal_matching(&g, 5);
+        assert_valid_matching(&g, &m);
+        assert_maximal(&g, &m);
+    }
+
+    #[test]
+    fn self_loops_never_match() {
+        let el = EdgeList::new(2, vec![Edge::unit(0, 0), Edge::unit(0, 1), Edge::unit(1, 0)]).unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let m = maximal_matching(&g, 3);
+        assert_eq!(m, vec![1, 0]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let el = gee_gen::erdos_renyi_gnm(200, 1000, 9).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(maximal_matching(&g, 42), maximal_matching(&g, 42));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::build(3, &[], false);
+        assert_eq!(maximal_matching(&g, 0), vec![UNMATCHED; 3]);
+    }
+
+    #[test]
+    fn perfect_matching_on_disjoint_edges() {
+        let g = undirected(&[(0, 1), (2, 3), (4, 5)], 6);
+        let m = maximal_matching(&g, 11);
+        assert!(m.iter().all(|&p| p != UNMATCHED));
+    }
+}

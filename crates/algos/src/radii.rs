@@ -1,0 +1,141 @@
+//! Graph eccentricity/radii estimation via multi-source BFS with
+//! bit-parallel frontiers — Ligra's `Radii` application.
+//!
+//! `k = 64` random sources run simultaneously; each vertex carries a
+//! 64-bit visited mask, and a round's changed vertices form the next
+//! frontier. A vertex's estimated eccentricity is the last round in which
+//! its mask changed — a lower bound on the true eccentricity that becomes
+//! exact for the sampled sources.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use gee_ligra::{edge_map, EdgeMapFn, EdgeMapOptions, VertexSubset};
+
+struct RadiiStep<'a> {
+    visited: &'a [AtomicU64],
+    next_visited: &'a [AtomicU64],
+    radii: &'a [AtomicU32],
+    round: u32,
+}
+
+impl EdgeMapFn for RadiiStep<'_> {
+    fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        let sv = self.visited[s as usize].load(Ordering::Relaxed);
+        let dv = self.visited[d as usize].load(Ordering::Relaxed);
+        let add = sv & !dv;
+        if add != 0 {
+            let prev = self.next_visited[d as usize].fetch_or(add | dv, Ordering::Relaxed);
+            self.radii[d as usize].store(self.round, Ordering::Relaxed);
+            // Report d once per round: when this call is the first to set
+            // new bits beyond what next_visited already had.
+            return (add & !prev) != 0;
+        }
+        false
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        self.update(s, d, w)
+    }
+}
+
+/// Estimate per-vertex eccentricities from `num_sources ≤ 64` random
+/// sources (deterministic in `seed`). Returns the radii estimates
+/// (0 for vertices never reached).
+pub fn radii_estimate(g: &CsrGraph, num_sources: usize, seed: u64) -> Vec<u32> {
+    let n = g.num_vertices();
+    let k = num_sources.clamp(1, 64);
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pick k distinct sources via SplitMix64 probing.
+    let mut sources = Vec::with_capacity(k);
+    let mut x = seed;
+    while sources.len() < k.min(n) {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        let v = ((z ^ (z >> 31)) % n as u64) as u32;
+        if !sources.contains(&v) {
+            sources.push(v);
+        }
+    }
+    let visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let next_visited: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let radii: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    for (i, &s) in sources.iter().enumerate() {
+        visited[s as usize].store(1 << i, Ordering::Relaxed);
+        next_visited[s as usize].store(1 << i, Ordering::Relaxed);
+    }
+    let mut frontier = VertexSubset::from_ids(n, sources);
+    let mut round = 0;
+    while !frontier.is_empty() {
+        round += 1;
+        let step = RadiiStep { visited: &visited, next_visited: &next_visited, radii: &radii, round };
+        frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
+        // Publish next_visited into visited for the new round.
+        for v in 0..n {
+            let nv = next_visited[v].load(Ordering::Relaxed);
+            visited[v].store(nv, Ordering::Relaxed);
+        }
+    }
+    radii.into_iter().map(|a| a.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn path(n: usize) -> CsrGraph {
+        let edges: Vec<Edge> = (0..n as u32 - 1)
+            .flat_map(|v| [Edge::unit(v, v + 1), Edge::unit(v + 1, v)])
+            .collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
+    }
+
+    #[test]
+    fn path_radii_bounded_by_diameter() {
+        let g = path(10);
+        let r = radii_estimate(&g, 8, 3);
+        // The maximum estimate cannot exceed the diameter (9).
+        assert!(r.iter().all(|&x| x <= 9), "{r:?}");
+        // With several sources, some vertex near an end sees a long path.
+        assert!(r.iter().any(|&x| x >= 5), "{r:?}");
+    }
+
+    #[test]
+    fn estimates_lower_bound_true_eccentricity() {
+        let el = gee_gen::erdos_renyi_gnm(120, 500, 5).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let r = radii_estimate(&g, 16, 7);
+        // True eccentricity via BFS from each vertex (oracle).
+        for v in 0..120u32 {
+            let d = crate::bfs::bfs_distances(&g, v);
+            let ecc = d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap_or(0);
+            assert!(r[v as usize] <= ecc, "vertex {v}: estimate {} > ecc {ecc}", r[v as usize]);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let el = gee_gen::erdos_renyi_gnm(80, 400, 9).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        assert_eq!(radii_estimate(&g, 8, 1), radii_estimate(&g, 8, 1));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::build(0, &[], false);
+        assert!(radii_estimate(&g, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn single_source_on_star() {
+        let edges: Vec<Edge> = (1..9u32).flat_map(|v| [Edge::unit(0, v), Edge::unit(v, 0)]).collect();
+        let g = CsrGraph::from_edge_list(&EdgeList::new(9, edges).unwrap());
+        let r = radii_estimate(&g, 64, 2);
+        // Star diameter is 2; estimates are within it.
+        assert!(r.iter().all(|&x| x <= 2));
+    }
+}

@@ -1,0 +1,154 @@
+//! Single-source shortest paths on non-negative weighted graphs —
+//! frontier-based Bellman-Ford, the canonical *weighted* Ligra program
+//! (uses an f64 `writeMin`, complementing GEE's f64 `writeAdd`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use gee_ligra::{edge_map, EdgeMapFn, EdgeMapOptions, VertexSubset};
+
+/// Atomic `writeMin` on an f64 distance stored as ordered u64 bits.
+/// Works for non-negative finite doubles, whose IEEE-754 bit patterns
+/// order identically to their values.
+#[inline]
+fn write_min_f64(cell: &AtomicU64, v: f64) -> bool {
+    debug_assert!(v >= 0.0, "bit-ordered writeMin needs non-negative values");
+    let bits = v.to_bits();
+    let mut cur = cell.load(Ordering::Relaxed);
+    while bits < cur {
+        match cell.compare_exchange_weak(cur, bits, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+struct SsspStep<'a> {
+    dist: &'a [AtomicU64],
+}
+
+impl EdgeMapFn for SsspStep<'_> {
+    fn update(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        let nd = f64::from_bits(self.dist[s as usize].load(Ordering::Relaxed)) + w;
+        if nd < f64::from_bits(self.dist[d as usize].load(Ordering::Relaxed)) {
+            self.dist[d as usize].store(nd.to_bits(), Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        let nd = f64::from_bits(self.dist[s as usize].load(Ordering::Relaxed)) + w;
+        write_min_f64(&self.dist[d as usize], nd)
+    }
+}
+
+/// Shortest-path distances from `source` over non-negative edge weights
+/// (`f64::INFINITY` = unreachable). Frontier-based Bellman-Ford: each
+/// round relaxes the out-edges of vertices whose distance improved.
+pub fn sssp(g: &CsrGraph, source: VertexId) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+    dist[source as usize].store(0f64.to_bits(), Ordering::Relaxed);
+    let step = SsspStep { dist: &dist };
+    let mut frontier = VertexSubset::single(n, source);
+    let mut rounds = 0usize;
+    while !frontier.is_empty() {
+        frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
+        rounds += 1;
+        assert!(rounds <= n + 1, "negative cycle or non-termination");
+    }
+    dist.into_iter().map(|a| f64::from_bits(a.into_inner())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn weighted(edges: &[(u32, u32, f64)], n: usize) -> CsrGraph {
+        let el: Vec<Edge> = edges.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, el).unwrap())
+    }
+
+    fn dijkstra(g: &CsrGraph, s: u32) -> Vec<f64> {
+        let n = g.num_vertices();
+        let mut dist = vec![f64::INFINITY; n];
+        dist[s as usize] = 0.0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push((std::cmp::Reverse(0u64), s));
+        while let Some((std::cmp::Reverse(db), u)) = heap.pop() {
+            let d = f64::from_bits(db);
+            if d > dist[u as usize] {
+                continue;
+            }
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let nd = d + g.weight_at(u, i);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push((std::cmp::Reverse(nd.to_bits()), v));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn shorter_multi_hop_beats_direct() {
+        // 0→2 direct cost 10; 0→1→2 cost 3.
+        let g = weighted(&[(0, 2, 10.0), (0, 1, 1.0), (1, 2, 2.0)], 3);
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let g = weighted(&[(0, 1, 1.0)], 3);
+        let d = sssp(&g, 0);
+        assert!(d[2].is_infinite());
+    }
+
+    #[test]
+    fn matches_dijkstra_on_random_graph() {
+        let el = gee_gen::erdos_renyi_gnm(200, 1500, 7);
+        let weighted: Vec<Edge> = el
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| Edge::new(e.u, e.v, 0.1 + (i % 17) as f64 * 0.3))
+            .collect();
+        let g = CsrGraph::from_edge_list(&EdgeList::new(200, weighted).unwrap());
+        let a = sssp(&g, 0);
+        let b = dijkstra(&g, 0);
+        for v in 0..200 {
+            if a[v].is_finite() || b[v].is_finite() {
+                assert!((a[v] - b[v]).abs() < 1e-9, "vertex {v}: {} vs {}", a[v], b[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_equals_bfs_depth() {
+        let el = gee_gen::erdos_renyi_gnm(150, 900, 13).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let d = sssp(&g, 0);
+        let bfs = crate::bfs::bfs_distances(&g, 0);
+        for v in 0..150 {
+            if bfs[v] == u32::MAX {
+                assert!(d[v].is_infinite());
+            } else {
+                assert_eq!(d[v], bfs[v] as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn write_min_f64_orders_correctly() {
+        let c = AtomicU64::new(5.0f64.to_bits());
+        assert!(write_min_f64(&c, 3.5));
+        assert!(!write_min_f64(&c, 4.0));
+        assert_eq!(f64::from_bits(c.load(Ordering::Relaxed)), 3.5);
+    }
+}

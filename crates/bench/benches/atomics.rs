@@ -1,0 +1,44 @@
+//! Criterion microbenchmark: CAS `writeAdd` vs racy relaxed load+store vs
+//! plain serial adds — the §IV atomics question at the instruction level.
+//! Contention is controlled by the number of distinct cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gee_ligra::AtomicF64Vec;
+use rayon::prelude::*;
+
+const OPS: usize = 1 << 20;
+
+fn bench_atomics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("write_add");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.sample_size(20);
+    for cells in [1usize << 4, 1 << 12, 1 << 20] {
+        group.bench_function(BenchmarkId::new("cas", cells), |b| {
+            b.iter(|| {
+                let v = AtomicF64Vec::zeros(cells);
+                (0..OPS).into_par_iter().for_each(|i| v.fetch_add(i % cells, 1.0));
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("racy", cells), |b| {
+            b.iter(|| {
+                let v = AtomicF64Vec::zeros(cells);
+                (0..OPS).into_par_iter().for_each(|i| v.add_racy(i % cells, 1.0));
+                v
+            })
+        });
+        group.bench_function(BenchmarkId::new("serial", cells), |b| {
+            b.iter(|| {
+                let mut v = vec![0.0f64; cells];
+                for i in 0..OPS {
+                    v[i % cells] += 1.0;
+                }
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atomics);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks of the four GEE implementations on a fixed
+//! mid-size R-MAT graph — the per-implementation view behind Table I.
+//! Size via `GEE_BENCH_EDGES` (default 1<<18).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gee_core::{AtomicsMode, Labels};
+use gee_gen::{rmat, LabelSpec, RmatParams};
+use gee_graph::CsrGraph;
+
+fn edges_from_env() -> usize {
+    std::env::var("GEE_BENCH_EDGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 18)
+}
+
+fn bench_impls(c: &mut Criterion) {
+    let m = edges_from_env();
+    let scale = 32 - (m as u32 / 16).leading_zeros(); // avg degree ~16
+    let el = rmat(scale, m, RmatParams::default(), 7);
+    let g = CsrGraph::from_edge_list(&el);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), LabelSpec::default(), 3),
+        50,
+    );
+    let mut group = c.benchmark_group("gee_implementations");
+    group.throughput(Throughput::Elements(m as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("interp", m), |b| {
+        b.iter(|| gee_interp::embed(&el, &labels))
+    });
+    group.bench_function(BenchmarkId::new("serial_reference", m), |b| {
+        b.iter(|| gee_core::serial_reference::embed(&el, &labels))
+    });
+    group.bench_function(BenchmarkId::new("serial_optimized", m), |b| {
+        b.iter(|| gee_core::serial_optimized::embed(&el, &labels))
+    });
+    group.bench_function(BenchmarkId::new("ligra_serial", m), |b| {
+        b.iter(|| gee_ligra::with_threads(1, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)))
+    });
+    group.bench_function(BenchmarkId::new("ligra_parallel", m), |b| {
+        b.iter(|| gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+    });
+    let compressed = gee_graph::CompressedCsr::from_csr(&g);
+    group.bench_function(BenchmarkId::new("ligra_compressed", m), |b| {
+        b.iter(|| gee_core::ligra::embed_compressed(&compressed, &labels, AtomicsMode::Atomic))
+    });
+    let mut stream_bytes = Vec::new();
+    gee_graph::io::edge_stream::write(&mut stream_bytes, &el).unwrap();
+    group.bench_function(BenchmarkId::new("streamed_parallel", m), |b| {
+        b.iter(|| {
+            let mut r =
+                gee_graph::io::edge_stream::EdgeStreamReader::new(stream_bytes.as_slice()).unwrap();
+            gee_core::streaming::embed_stream(
+                &mut r,
+                &labels,
+                1 << 18,
+                gee_core::streaming::ChunkMode::Parallel,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_impls);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the alternative parallel kernels — the
+//! paper's atomic push kernel vs the atomics-free pull, propagation-
+//! blocking, and deterministic sort-reduce kernels, plus the dynamic
+//! update path. Size via `GEE_BENCH_EDGES` (default 1<<17).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gee_core::dynamic::DynamicGee;
+use gee_core::{deterministic, kernels, AtomicsMode, Labels};
+use gee_gen::{rmat, LabelSpec, RmatParams};
+use gee_graph::CsrGraph;
+
+fn edges_from_env() -> usize {
+    std::env::var("GEE_BENCH_EDGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 17)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let m = edges_from_env();
+    let scale = 32 - (m as u32 / 16).leading_zeros(); // avg degree ~16
+    let el = rmat(scale, m, RmatParams::default(), 7).symmetrized();
+    let g = CsrGraph::from_edge_list(&el);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), LabelSpec::default(), 3),
+        50,
+    );
+    let mut group = c.benchmark_group("gee_kernels");
+    group.throughput(Throughput::Elements(el.num_edges() as u64));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("push_atomic", m), |b| {
+        b.iter(|| gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+    });
+    group.bench_function(BenchmarkId::new("pull_no_atomics", m), |b| {
+        b.iter(|| kernels::embed_pull(&g, &labels))
+    });
+    group.bench_function(BenchmarkId::new("propagation_blocking", m), |b| {
+        b.iter(|| kernels::embed_binned(el.num_vertices(), el.edges(), &labels, 16))
+    });
+    group.bench_function(BenchmarkId::new("deterministic_sort_reduce", m), |b| {
+        b.iter(|| deterministic::embed(el.num_vertices(), el.edges(), &labels))
+    });
+    group.finish();
+}
+
+fn bench_dynamic(c: &mut Criterion) {
+    let m = edges_from_env();
+    let scale = 32 - (m as u32 / 16).leading_zeros();
+    let el = rmat(scale, m, RmatParams::default(), 11);
+    let n = el.num_vertices() as u32;
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), LabelSpec::default(), 5),
+        50,
+    );
+    let mut dg = DynamicGee::new(&el, &labels);
+    let mut group = c.benchmark_group("gee_dynamic");
+    let mut i = 0u32;
+    group.bench_function("insert_edge", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            dg.insert_edge(i % n, (i.wrapping_mul(2_654_435_761)) % n, 1.0);
+        })
+    });
+    let mut j = 0u32;
+    group.bench_function("set_label", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(1);
+            dg.set_label(j % n, Some(j % 50));
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_dynamic);
+criterion_main!(benches);

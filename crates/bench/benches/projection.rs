@@ -1,0 +1,27 @@
+//! Criterion microbenchmark: serial vs parallel projection-matrix
+//! initialization (§III: the O(nk) phase GEE-Ligra parallelizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gee_core::{Labels, Projection};
+use gee_gen::LabelSpec;
+
+fn bench_projection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("projection_init");
+    for n in [1usize << 16, 1 << 20] {
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(n, LabelSpec::default(), 11),
+            50,
+        );
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_function(BenchmarkId::new("serial", n), |b| {
+            b.iter(|| Projection::build_serial(&labels))
+        });
+        group.bench_function(BenchmarkId::new("parallel", n), |b| {
+            b.iter(|| Projection::build_parallel(&labels))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

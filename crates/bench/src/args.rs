@@ -1,0 +1,99 @@
+//! Minimal CLI argument parsing shared by the bench binaries (no external
+//! dependency — the offline crate set does not include a CLI parser, and
+//! six flags do not justify one).
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Divisor applied to the paper's graph sizes (64 → 1/64th scale).
+    pub scale: usize,
+    /// Timing repetitions; the median is reported.
+    pub runs: usize,
+    /// Embedding classes K (paper: 50).
+    pub k: usize,
+    /// Labeled fraction (paper: 0.10).
+    pub labeled_fraction: f64,
+    /// Max log2(edges) for the Figure 4 sweep.
+    pub max_log2: u32,
+    /// Thread count override (0 = all cores).
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Emit machine-readable JSON after the table.
+    pub json: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scale: 64,
+            runs: 3,
+            k: 50,
+            labeled_fraction: 0.10,
+            max_log2: 23,
+            threads: 0,
+            seed: 20240206, // arXiv date of the paper
+            json: true,
+        }
+    }
+}
+
+impl Args {
+    /// Parse from `std::env::args`, exiting with usage on error.
+    pub fn parse() -> Args {
+        let mut out = Args::default();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let flag = argv[i].as_str();
+            let mut next = |what: &str| -> String {
+                i += 1;
+                argv.get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("missing value for {what}");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match flag {
+                "--scale" => out.scale = next("--scale").parse().expect("--scale takes an integer"),
+                "--runs" => out.runs = next("--runs").parse().expect("--runs takes an integer"),
+                "--k" => out.k = next("--k").parse().expect("--k takes an integer"),
+                "--labeled" => {
+                    out.labeled_fraction = next("--labeled").parse().expect("--labeled takes a fraction")
+                }
+                "--max-log2" => out.max_log2 = next("--max-log2").parse().expect("--max-log2 takes an integer"),
+                "--threads" => out.threads = next("--threads").parse().expect("--threads takes an integer"),
+                "--seed" => out.seed = next("--seed").parse().expect("--seed takes an integer"),
+                "--no-json" => out.json = false,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale <div=64> --runs <r=3> --k <K=50> --labeled <f=0.1> \
+                         --max-log2 <b=23> --threads <t=all> --seed <s> --no-json"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        assert!(out.scale >= 1, "--scale must be >= 1");
+        assert!(out.runs >= 1, "--runs must be >= 1");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_config() {
+        let a = Args::default();
+        assert_eq!(a.k, 50);
+        assert!((a.labeled_fraction - 0.10).abs() < 1e-12);
+    }
+}

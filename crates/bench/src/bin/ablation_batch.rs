@@ -1,0 +1,94 @@
+//! **Extension ablation: fused multi-labeling passes.** §IV's analysis
+//! says the edge pass is memory bound; when L embeddings of one graph
+//! are needed, L separate passes pay the edge-stream traffic L times
+//! while the fused batch kernel (`gee_core::batch`) pays it once. This
+//! bench sweeps L and reports the fused-over-separate saving.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin ablation-batch -- --scale 128
+//! ```
+
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{table1_workloads, timed, Args};
+use gee_core::{batch, serial_optimized, Labels};
+use gee_gen::LabelSpec;
+
+fn main() {
+    let args = Args::parse();
+    let w = table1_workloads().into_iter().last().expect("have workloads");
+    println!(
+        "batch-embedding ablation — {} stand-in (1/{} scale), K = {}\n",
+        w.name, args.scale, args.k
+    );
+    let el = w.generate(args.scale, args.seed);
+    let n = el.num_vertices();
+    let mut json = Vec::new();
+    // Two regimes: the paper's K=50 (Z traffic dominates — fusing dilates
+    // the random-access footprint and LOSES) and a small K (edge-stream
+    // traffic dominates — fusing amortizes it and wins).
+    for k in [args.k, 4] {
+        let spec = LabelSpec { num_classes: k, labeled_fraction: args.labeled_fraction };
+        let mut rows = Vec::new();
+        for l in [1usize, 2, 4, 8] {
+            let labelings: Vec<Labels> = (0..l)
+                .map(|i| {
+                    Labels::from_options_with_k(
+                        &gee_gen::random_labels(n, spec, args.seed ^ (i as u64 + 1)),
+                        k,
+                    )
+                })
+                .collect();
+            let refs: Vec<&Labels> = labelings.iter().collect();
+            let (t_sep, _, _) = timed(args.runs, || {
+                labelings.iter().map(|lab| serial_optimized::embed(&el, lab)).collect::<Vec<_>>()
+            });
+            let (t_fused, _, fused) = timed(args.runs, || batch::embed_many(&el, &refs));
+            let (t_fused_par, _, fused_par) =
+                timed(args.runs, || batch::embed_many_parallel(&el, &refs, 16));
+            // Correctness: fused results must be bit-identical to separate.
+            for (lab, z) in labelings.iter().zip(&fused) {
+                assert_eq!(
+                    serial_optimized::embed(&el, lab).as_slice(),
+                    z.as_slice(),
+                    "fused result diverged"
+                );
+            }
+            for (a, b) in fused.iter().zip(&fused_par) {
+                assert_eq!(a.as_slice(), b.as_slice(), "parallel fused result diverged");
+            }
+            rows.push(vec![
+                l.to_string(),
+                fmt_secs(t_sep),
+                fmt_secs(t_fused),
+                fmt_secs(t_fused_par),
+                format!("{:.2}×", t_sep / t_fused),
+            ]);
+            json.push(serde_json::json!({
+                "k": k,
+                "labelings": l,
+                "separate_seconds": t_sep,
+                "fused_seconds": t_fused,
+                "fused_parallel_seconds": t_fused_par,
+            }));
+        }
+        println!("K = {k}:");
+        println!(
+            "{}",
+            render(
+                &["L", "L separate passes", "fused serial", "fused parallel", "saving (serial)"],
+                &rows
+            )
+        );
+    }
+    println!(
+        "expected shape: fusing wins when the per-labeling Z footprint (n·K·8 B) is small\n\
+         relative to the edge stream, and loses once the fused Z working set (×L) blows\n\
+         the cache — the same footprint trade-off as §IV's memory-bound analysis."
+    );
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "ablation_batch": json })).unwrap()
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Extension ablation: byte-compressed (Ligra+-style) adjacency vs raw
+//! CSR for the GEE kernel. §IV's memory-bound analysis (and its CPMA
+//! citation) predicts that trading decode ALU work for memory bandwidth
+//! can pay off once the graph exceeds cache.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin ablation-compression -- --scale 128
+//! ```
+
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{table1_workloads, timed, Args};
+use gee_core::{AtomicsMode, Labels};
+use gee_gen::LabelSpec;
+use gee_graph::{CompressedCsr, CsrGraph};
+
+fn main() {
+    let args = Args::parse();
+    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    println!("Compression ablation — GEE kernel on raw vs byte-compressed adjacency (1/{} scale)\n", args.scale);
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for w in table1_workloads() {
+        let el = w.generate(args.scale, args.seed);
+        let g = CsrGraph::from_edge_list(&el);
+        let c = CompressedCsr::from_csr(&g);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
+            args.k,
+        );
+        // Warm-up both paths.
+        let _ = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+        let _ = gee_core::ligra::embed_compressed(&c, &labels, AtomicsMode::Atomic);
+        let (t_raw, _, z_raw) = timed(args.runs, || {
+            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        });
+        let (t_cmp, _, z_cmp) = timed(args.runs, || {
+            gee_ligra::with_threads(args.threads, || {
+                gee_core::ligra::embed_compressed(&c, &labels, AtomicsMode::Atomic)
+            })
+        });
+        z_raw.assert_close(&z_cmp, 1e-9);
+        let raw_bytes = g.num_edges() * 4;
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{:.1}M", g.num_edges() as f64 / 1e6),
+            format!("{:.1} MiB", raw_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.1} MiB", c.adjacency_bytes() as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", c.compression_ratio()),
+            fmt_secs(t_raw),
+            fmt_secs(t_cmp),
+            format!("{:.2}", t_cmp / t_raw),
+        ]);
+        json.push(serde_json::json!({
+            "graph": w.name,
+            "edges": g.num_edges(),
+            "raw_adjacency_bytes": raw_bytes,
+            "compressed_adjacency_bytes": c.adjacency_bytes(),
+            "compression_ratio": c.compression_ratio(),
+            "raw_seconds": t_raw,
+            "compressed_seconds": t_cmp,
+            "slowdown": t_cmp / t_raw,
+        }));
+        eprintln!("done: {}", w.name);
+    }
+    println!(
+        "{}",
+        render(
+            &["Graph", "edges", "raw adj", "compressed", "ratio", "GEE raw", "GEE compressed", "time ratio"],
+            &rows
+        )
+    );
+    println!("ratio < 1 in column 5 = space saved; column 8 shows the decode-time cost on this machine.");
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "ablation_compression": json })).unwrap());
+    }
+}

@@ -1,0 +1,104 @@
+//! **Extension ablation: incremental vs recompute.** GEE is a linear
+//! sketch, so `gee_core::dynamic::DynamicGee` applies edge/label updates
+//! in O(1)/O(deg). This bench measures update throughput and finds the
+//! batch size at which a full O(s) recompute would be cheaper — the
+//! operating envelope for streaming deployments of the paper's kernel.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin ablation-dynamic -- --scale 64
+//! ```
+
+use std::time::Instant;
+
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{table1_workloads, timed, Args};
+use gee_core::dynamic::DynamicGee;
+use gee_core::{serial_optimized, Labels};
+use gee_gen::LabelSpec;
+
+fn main() {
+    let args = Args::parse();
+    let w = table1_workloads().into_iter().last().expect("have workloads");
+    println!(
+        "dynamic-update ablation — {} stand-in (1/{} scale), K = {}\n",
+        w.name, args.scale, args.k
+    );
+    let el = w.generate(args.scale, args.seed);
+    let n = el.num_vertices() as u32;
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            el.num_vertices(),
+            LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction },
+            args.seed ^ 0xD1,
+        ),
+        args.k,
+    );
+
+    let t0 = Instant::now();
+    let mut dg = DynamicGee::new(&el, &labels);
+    let init_seconds = t0.elapsed().as_secs_f64();
+
+    // Recompute cost for the same state (the alternative to deltas).
+    let (recompute_seconds, _, fresh) =
+        timed(args.runs, || serial_optimized::embed(&el, &labels));
+    fresh.assert_close(&dg.embedding(), 1e-9);
+
+    // Measure per-update cost over batches of inserts, label moves, and
+    // insert+remove churn.
+    let batch = 100_000u32;
+    let time_batch = |dg: &mut DynamicGee, op: &dyn Fn(&mut DynamicGee, u32)| -> f64 {
+        let t = Instant::now();
+        for i in 0..batch {
+            op(dg, i);
+        }
+        t.elapsed().as_secs_f64() / f64::from(batch)
+    };
+    let ins = time_batch(&mut dg, &|dg, i| {
+        dg.insert_edge((i * 2_654_435_761) % n, (i * 40_503 + 1) % n, 1.0)
+    });
+    let lbl = time_batch(&mut dg, &|dg, i| {
+        dg.set_label((i * 97) % n, Some(i % 7))
+    });
+    let churn = time_batch(&mut dg, &|dg, i| {
+        let (u, v) = (i % n, (i + 1) % n);
+        dg.insert_edge(u, v, 3.0);
+        assert!(dg.remove_edge(u, v, 3.0));
+    });
+
+    let rows = vec![
+        vec!["bulk init (O(s))".to_string(), fmt_secs(init_seconds), "-".to_string()],
+        vec!["full recompute (O(s))".to_string(), fmt_secs(recompute_seconds), "-".to_string()],
+        vec![
+            "edge insert".to_string(),
+            format!("{:.0} ns", ins * 1e9),
+            format!("{:.1e} inserts ≈ 1 recompute", recompute_seconds / ins),
+        ],
+        vec![
+            "label move (O(deg))".to_string(),
+            format!("{:.0} ns", lbl * 1e9),
+            format!("{:.1e} moves ≈ 1 recompute", recompute_seconds / lbl),
+        ],
+        vec![
+            "insert+remove churn".to_string(),
+            format!("{:.0} ns", churn * 1e9),
+            format!("{:.1e} churns ≈ 1 recompute", recompute_seconds / churn),
+        ],
+    ];
+    println!("{}", render(&["Operation", "Cost", "Crossover vs recompute"], &rows));
+
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "ablation_dynamic": {
+                    "init_seconds": init_seconds,
+                    "recompute_seconds": recompute_seconds,
+                    "insert_ns": ins * 1e9,
+                    "label_move_ns": lbl * 1e9,
+                    "churn_ns": churn * 1e9,
+                }
+            }))
+            .unwrap()
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 2** of the paper: runtimes on the largest graph
+//! (Friendster stand-in) normalized to the Numba-serial analog.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin fig2 -- --scale 64
+//! ```
+
+use gee_bench::runner::Impl;
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{table1_workloads, time_implementation, Args};
+use gee_core::Labels;
+use gee_gen::LabelSpec;
+use gee_graph::CsrGraph;
+
+fn main() {
+    let args = Args::parse();
+    let w = table1_workloads().into_iter().last().expect("have workloads");
+    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    println!(
+        "Figure 2 reproduction — {} stand-in at 1/{} scale, normalized to the Numba analog\n",
+        w.name, args.scale
+    );
+    let el = w.generate(args.scale, args.seed);
+    let g = CsrGraph::from_edge_list(&el);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
+        args.k,
+    );
+    let ms: Vec<_> = [Impl::Interp, Impl::Optimized, Impl::LigraSerial, Impl::LigraParallel]
+        .into_iter()
+        .map(|i| time_implementation(i, &el, &g, &labels, args.runs, args.threads))
+        .collect();
+    let numba = ms[1].seconds;
+    // Paper's Figure 2 normalized values (relative to Numba serial = 1):
+    // Python ≈ 30, Ligra serial ≈ 0.69, Ligra parallel ≈ 1/17.
+    let paper_norm = [3374.72 / 112.33, 1.0, 77.23 / 112.33, 6.42 / 112.33];
+    let rows: Vec<Vec<String>> = ms
+        .iter()
+        .zip(paper_norm)
+        .map(|(m, p)| {
+            vec![
+                m.implementation.label().to_string(),
+                fmt_secs(m.seconds),
+                format!("{:.3}", m.seconds / numba),
+                format!("{p:.3}"),
+            ]
+        })
+        .collect();
+    println!("{}", render(&["Implementation", "Runtime", "Normalized (ours)", "Normalized (paper)"], &rows));
+    if args.json {
+        let json: Vec<_> = ms
+            .iter()
+            .zip(paper_norm)
+            .map(|(m, p)| {
+                serde_json::json!({
+                    "impl": m.implementation.label(),
+                    "seconds": m.seconds,
+                    "normalized": m.seconds / numba,
+                    "paper_normalized": p,
+                })
+            })
+            .collect();
+        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "fig2": json })).unwrap());
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Figure 3** of the paper: strong-scaling speedup of
+//! GEE-Ligra on the largest graph as the core count grows (paper: 11× on
+//! 24 cores, flattening as the workload turns memory-bound).
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin fig3 -- --scale 64
+//! ```
+
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{table1_workloads, timed, verify_embedding, Args};
+use gee_core::{AtomicsMode, Labels};
+use gee_gen::LabelSpec;
+use gee_graph::CsrGraph;
+
+fn main() {
+    let args = Args::parse();
+    let w = table1_workloads().into_iter().last().expect("have workloads");
+    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let max_threads = if args.threads > 0 {
+        args.threads
+    } else {
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8)
+    };
+    println!(
+        "Figure 3 reproduction — GEE-Ligra strong scaling on the {} stand-in (1/{} scale), 1..{} threads\n",
+        w.name, args.scale, max_threads
+    );
+    let el = w.generate(args.scale, args.seed);
+    let g = CsrGraph::from_edge_list(&el);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
+        args.k,
+    );
+    // Sweep thread counts: 1, 2, 3, … up to max (odd counts included to
+    // mirror the paper's 1..25 x-axis).
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut t1 = 0.0f64;
+    for threads in 1..=max_threads {
+        let (secs, _, z) = timed(args.runs, || {
+            gee_ligra::with_threads(threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        });
+        verify_embedding(&z, &el, &labels, "fig3");
+        if threads == 1 {
+            t1 = secs;
+        }
+        let speedup = t1 / secs;
+        rows.push(vec![
+            threads.to_string(),
+            fmt_secs(secs),
+            format!("{speedup:.2}×"),
+            format!("{:.0}%", 100.0 * speedup / threads as f64),
+        ]);
+        json.push(serde_json::json!({ "threads": threads, "seconds": secs, "speedup": speedup }));
+        eprintln!("done: {threads} threads");
+    }
+    println!("{}", render(&["Threads", "Runtime", "Speedup", "Efficiency"], &rows));
+    println!("paper reference: 11× speedup at 24 cores (hyperthreading disabled)");
+    // §IV's memory-bound explanation, made quantitative: a roofline lower
+    // bound from measured bandwidth and the kernel's bytes/edge. Scaling
+    // must flatten as measured runtime approaches this bound.
+    let bandwidth = gee_bench::measure_bandwidth(args.runs);
+    let bound = gee_bench::predicted_edge_pass_seconds(el.num_edges(), !el.is_unit_weighted(), bandwidth);
+    println!(
+        "\nmemory-bound roofline: {:.2} GB/s sustainable × {:.0} B/edge → ≥ {} for the edge pass",
+        bandwidth / 1e9,
+        gee_bench::gee_bytes_per_edge(!el.is_unit_weighted()),
+        fmt_secs(bound)
+    );
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({
+                "fig3": json,
+                "roofline": {
+                    "bandwidth_bytes_per_sec": bandwidth,
+                    "bytes_per_edge": gee_bench::gee_bytes_per_edge(!el.is_unit_weighted()),
+                    "lower_bound_seconds": bound,
+                }
+            }))
+            .unwrap()
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Regenerates **Figure 4** of the paper: runtime of all four
+//! implementations as Erdős–Rényi graphs grow from 2^13 edges (paper: to
+//! 2^29; default here 2^23, raise with `--max-log2`). The paper's claim is
+//! linearity in the edge count on a log-log plot.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin fig4 -- --max-log2 23
+//! ```
+
+use gee_bench::runner::Impl;
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{time_implementation, Args};
+use gee_core::Labels;
+use gee_gen::LabelSpec;
+use gee_graph::CsrGraph;
+
+/// The paper holds average degree roughly constant while growing edges.
+const AVG_DEGREE: usize = 16;
+
+fn main() {
+    let args = Args::parse();
+    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    println!(
+        "Figure 4 reproduction — Erdős–Rényi sweep, 2^13..2^{} edges, K={}, avg degree {}\n",
+        args.max_log2, args.k, AVG_DEGREE
+    );
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for log2_edges in 13..=args.max_log2 {
+        let el = gee_gen::er::fig4_graph(log2_edges, AVG_DEGREE, args.seed + log2_edges as u64);
+        let g = CsrGraph::from_edge_list(&el);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ log2_edges as u64),
+            args.k,
+        );
+        // The interpreter is ~2 decades slower; skip it past 2^21 edges so
+        // the sweep completes (the paper similarly reports GEE-Python only
+        // where feasible). Reported as null in JSON.
+        let run_interp = log2_edges <= 21;
+        let interp = run_interp
+            .then(|| time_implementation(Impl::Interp, &el, &g, &labels, args.runs, args.threads));
+        let opt = time_implementation(Impl::Optimized, &el, &g, &labels, args.runs, args.threads);
+        let ser = time_implementation(Impl::LigraSerial, &el, &g, &labels, args.runs, args.threads);
+        let par = time_implementation(Impl::LigraParallel, &el, &g, &labels, args.runs, args.threads);
+        rows.push(vec![
+            log2_edges.to_string(),
+            el.num_edges().to_string(),
+            interp.as_ref().map_or("—".into(), |m| fmt_secs(m.seconds)),
+            fmt_secs(opt.seconds),
+            fmt_secs(ser.seconds),
+            fmt_secs(par.seconds),
+        ]);
+        json.push(serde_json::json!({
+            "log2_edges": log2_edges,
+            "edges": el.num_edges(),
+            "interp": interp.as_ref().map(|m| m.seconds),
+            "optimized": opt.seconds,
+            "ligra_serial": ser.seconds,
+            "ligra_parallel": par.seconds,
+        }));
+        eprintln!("done: 2^{log2_edges} edges");
+    }
+    println!(
+        "{}",
+        render(
+            &["log2(s)", "edges", "GEE-Py(model)", "Numba-analog", "Ligra serial", "Ligra parallel"],
+            &rows
+        )
+    );
+    // Linearity check: runtime ratio between consecutive doublings should
+    // approach 2 for the compiled implementations at large sizes.
+    if json.len() >= 4 {
+        let a = json[json.len() - 2]["ligra_parallel"].as_f64().unwrap();
+        let b = json[json.len() - 1]["ligra_parallel"].as_f64().unwrap();
+        println!("last doubling ratio (ligra parallel): {:.2} (linear scaling → 2.0)", b / a);
+    }
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "fig4": json })).unwrap());
+    }
+}

@@ -1,0 +1,57 @@
+//! Extension sweep (beyond the paper's evaluation): embedding dimension K.
+//! The edge pass is O(s) regardless of K (each edge touches one Z entry
+//! per direction), but the projection init and the Z allocation are O(nK)
+//! — so runtime should be flat in K until nK rivals s (§III's crossover).
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin sweep-k
+//! ```
+
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{timed, Args};
+use gee_core::{AtomicsMode, Labels};
+use gee_gen::LabelSpec;
+use gee_graph::CsrGraph;
+
+fn main() {
+    let args = Args::parse();
+    let n = (2_000_000 / args.scale).max(20_000);
+    let m = n * 16;
+    let el = gee_gen::erdos_renyi_gnm(n, m, args.seed);
+    let g = CsrGraph::from_edge_list(&el);
+    println!("K sweep — ER graph n = {n}, s = {m}, 10% labeled\n");
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for k in [2usize, 8, 32, 50, 128, 512] {
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(
+                n,
+                LabelSpec { num_classes: k, labeled_fraction: args.labeled_fraction },
+                args.seed ^ k as u64,
+            ),
+            k,
+        );
+        let (secs, _, z) = timed(args.runs, || {
+            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        });
+        assert_eq!(z.dim(), k);
+        rows.push(vec![
+            k.to_string(),
+            format!("{:.2}", (n * k) as f64 / m as f64),
+            fmt_secs(secs),
+            format!("{:.1} MiB", (n * k * 8) as f64 / (1024.0 * 1024.0)),
+        ]);
+        json.push(serde_json::json!({
+            "k": k,
+            "nk_over_s": (n * k) as f64 / m as f64,
+            "seconds": secs,
+            "z_mebibytes": (n * k * 8) as f64 / (1024.0 * 1024.0),
+        }));
+        eprintln!("done: K = {k}");
+    }
+    println!("{}", render(&["K", "nK / s", "embed time", "Z memory"], &rows));
+    println!("expected shape: near-flat until nK/s approaches 1, then the O(nK) terms dominate.");
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "sweep_k": json })).unwrap());
+    }
+}

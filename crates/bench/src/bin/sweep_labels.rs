@@ -1,0 +1,64 @@
+//! Extension sweep (beyond the paper's evaluation): how label fraction
+//! affects runtime and embedding quality. The paper fixes 10% labels; this
+//! sweep shows runtime is insensitive to supervision (the edge pass always
+//! touches every edge) while quality rises with it — evidence that the
+//! 10% configuration is a quality choice, not a performance one.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin sweep-labels
+//! ```
+
+use gee_bench::table::{fmt_secs, render};
+use gee_bench::{timed, Args};
+use gee_core::{AtomicsMode, Labels};
+use gee_graph::CsrGraph;
+
+fn main() {
+    let args = Args::parse();
+    let blocks = 8usize;
+    let per_block = (200_000 / args.scale).clamp(200, 50_000);
+    let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(blocks, per_block, 0.02, 0.001), args.seed);
+    let g = CsrGraph::from_edge_list(&sbm.edges);
+    let n = g.num_vertices();
+    println!(
+        "Label-fraction sweep — SBM {blocks}×{per_block} ({} edges), K = {blocks}\n",
+        g.num_edges()
+    );
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for frac in [0.01, 0.02, 0.05, 0.10, 0.25, 0.5, 1.0] {
+        let labels = Labels::from_options_with_k(
+            &gee_gen::subsample_labels(&sbm.truth, frac, args.seed ^ 0x55),
+            blocks,
+        );
+        let (secs, _, z) = timed(args.runs, || {
+            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        });
+        let mut zn = z.clone();
+        zn.normalize_rows();
+        let km = gee_eval_kmeans(&zn, n, blocks, args.seed);
+        let ari = gee_eval::adjusted_rand_index(&km, &sbm.truth);
+        rows.push(vec![
+            format!("{:.0}%", frac * 100.0),
+            labels.num_labeled().to_string(),
+            fmt_secs(secs),
+            format!("{ari:.3}"),
+        ]);
+        json.push(serde_json::json!({
+            "labeled_fraction": frac,
+            "labeled": labels.num_labeled(),
+            "seconds": secs,
+            "ari": ari,
+        }));
+        eprintln!("done: {:.0}% labels", frac * 100.0);
+    }
+    println!("{}", render(&["labeled", "vertices", "embed time", "ARI vs truth"], &rows));
+    println!("expected shape: flat runtime, rising ARI.");
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "sweep_labels": json })).unwrap());
+    }
+}
+
+fn gee_eval_kmeans(z: &gee_core::Embedding, n: usize, k: usize, seed: u64) -> Vec<u32> {
+    gee_eval::kmeans_best_of(z.as_slice(), n, k, gee_eval::KMeansOptions::new(k, seed), 4).assignment
+}

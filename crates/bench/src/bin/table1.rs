@@ -1,0 +1,89 @@
+//! Regenerates **Table I** of the paper: runtime of the four GEE
+//! implementations on the six social-graph workloads, plus the three
+//! speedup columns (parallel vs interp / optimized / ligra-serial).
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin table1 -- --scale 64
+//! ```
+
+use gee_bench::{table1_workloads, time_implementation, Args};
+use gee_bench::runner::Impl;
+use gee_bench::table::{fmt_secs, fmt_speedup, render};
+use gee_core::Labels;
+use gee_gen::LabelSpec;
+use gee_graph::CsrGraph;
+
+fn main() {
+    let args = Args::parse();
+    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    println!(
+        "Table I reproduction — R-MAT stand-ins at 1/{} scale, K={}, {}% labeled, median of {} runs\n",
+        args.scale,
+        args.k,
+        args.labeled_fraction * 100.0,
+        args.runs
+    );
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for w in table1_workloads() {
+        let el = w.generate(args.scale, args.seed);
+        let g = CsrGraph::from_edge_list(&el);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
+            args.k,
+        );
+        let ms: Vec<_> = [Impl::Interp, Impl::Optimized, Impl::LigraSerial, Impl::LigraParallel]
+            .into_iter()
+            .map(|i| time_implementation(i, &el, &g, &labels, args.runs, args.threads))
+            .collect();
+        let t = |i: usize| ms[i].seconds;
+        rows.push(vec![
+            format!("{} ({}K, {:.1}M)", w.name, el.num_vertices() / 1000, el.num_edges() as f64 / 1e6),
+            fmt_secs(t(0)),
+            fmt_secs(t(1)),
+            fmt_secs(t(2)),
+            fmt_secs(t(3)),
+            fmt_speedup(t(0) / t(3)),
+            fmt_speedup(t(1) / t(3)),
+            fmt_speedup(t(2) / t(3)),
+        ]);
+        json_rows.push(serde_json::json!({
+            "graph": w.name,
+            "n": el.num_vertices(),
+            "s": el.num_edges(),
+            "paper": {
+                "python": w.paper_runtimes[0], "numba": w.paper_runtimes[1],
+                "ligra_serial": w.paper_runtimes[2], "ligra_parallel": w.paper_runtimes[3],
+                "speedup_vs_python": w.paper_runtimes[0] / w.paper_runtimes[3],
+                "speedup_vs_numba": w.paper_runtimes[1] / w.paper_runtimes[3],
+                "speedup_vs_ligra_serial": w.paper_runtimes[2] / w.paper_runtimes[3],
+            },
+            "measured": {
+                "interp": t(0), "optimized": t(1), "ligra_serial": t(2), "ligra_parallel": t(3),
+                "speedup_vs_interp": t(0) / t(3),
+                "speedup_vs_optimized": t(1) / t(3),
+                "speedup_vs_ligra_serial": t(2) / t(3),
+            },
+        }));
+        eprintln!("done: {}", w.name);
+    }
+    println!(
+        "{}",
+        render(
+            &[
+                "Graph (n, s)",
+                "GEE-Py(model)",
+                "Numba-analog",
+                "Ligra serial",
+                "Ligra parallel",
+                "Spd v. Py",
+                "Spd v. Numba",
+                "Spd v. Serial",
+            ],
+            &rows
+        )
+    );
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "table1": json_rows })).unwrap());
+    }
+}

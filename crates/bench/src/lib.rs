@@ -1,0 +1,31 @@
+//! Shared infrastructure for the paper-reproduction benchmark binaries.
+//!
+//! Each binary regenerates one table or figure of "Edge-Parallel Graph
+//! Encoder Embedding" (see DESIGN.md's per-experiment index):
+//!
+//! | binary            | paper artifact |
+//! |-------------------|----------------|
+//! | `table1`          | Table I        |
+//! | `fig2`            | Figure 2       |
+//! | `fig3`            | Figure 3       |
+//! | `fig4`            | Figure 4       |
+//! | `ablation-atomics`| §IV atomics-off experiment |
+//! | `ablation-init`   | §III O(nk) projection-init claim |
+//! | `ablation-determinism` | extension: cost of bit-reproducible kernels |
+//! | `ablation-dynamic`     | extension: incremental updates vs recompute |
+//! | `ablation-batch`       | extension: fused multi-labeling passes |
+//!
+//! All binaries accept `--scale <divisor>` (shrink the paper's graph sizes
+//! by this factor; default 64), `--runs <r>` (median-of-r timing, default
+//! 3), and print both a human table and a JSON block for EXPERIMENTS.md.
+
+pub mod args;
+pub mod perfmodel;
+pub mod runner;
+pub mod table;
+pub mod workloads;
+
+pub use args::Args;
+pub use perfmodel::{gee_bytes_per_edge, measure_bandwidth, predicted_edge_pass_seconds};
+pub use runner::{time_implementation, timed, verify_embedding, Measurement};
+pub use workloads::{table1_workloads, Workload};

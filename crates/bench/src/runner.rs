@@ -1,0 +1,134 @@
+//! Timed execution of the four GEE implementations with result
+//! verification (every timed run's output is checked against the mass
+//! invariant so the harness can't silently time a wrong computation).
+
+use std::time::Instant;
+
+use gee_core::{diagnostics, AtomicsMode, Embedding, Labels};
+use gee_graph::{CsrGraph, EdgeList};
+
+/// Which implementation a measurement timed. Mirrors the paper's Table I
+/// columns, with the interpreted executor standing in for GEE-Python.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum Impl {
+    /// `gee-interp` bytecode executor (GEE-Python cost model).
+    Interp,
+    /// `gee_core::serial_optimized` ("Numba serial").
+    Optimized,
+    /// GEE-Ligra on one thread.
+    LigraSerial,
+    /// GEE-Ligra on `threads` threads.
+    LigraParallel,
+}
+
+impl Impl {
+    /// Table column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Impl::Interp => "GEE-Py(model)",
+            Impl::Optimized => "Numba-analog",
+            Impl::LigraSerial => "Ligra serial",
+            Impl::LigraParallel => "Ligra parallel",
+        }
+    }
+}
+
+/// One timing result.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct Measurement {
+    /// Implementation measured.
+    pub implementation: Impl,
+    /// Median wall-clock seconds across runs.
+    pub seconds: f64,
+    /// All run times (seconds).
+    pub all_runs: Vec<f64>,
+}
+
+/// Time `f` returning (median seconds, every run's seconds). The result of
+/// the last run is returned for verification.
+pub fn timed<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, Vec<f64>, T) {
+    assert!(runs >= 1);
+    let mut times = Vec::with_capacity(runs);
+    let mut last = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let out = f();
+        times.push(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    let mut sorted = times.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    (sorted[sorted.len() / 2], times, last.unwrap())
+}
+
+/// Check the embedding against the conservation invariant; panics with a
+/// clear message on failure so benchmark output is trustworthy.
+pub fn verify_embedding(z: &Embedding, el: &EdgeList, labels: &Labels, what: &str) {
+    let r = diagnostics::check(z, el, labels);
+    assert!(r.all_finite, "{what}: embedding has non-finite entries");
+    assert!(
+        r.mass_relative_error < 1e-6,
+        "{what}: mass error {:e} (total {}, expected {})",
+        r.mass_relative_error,
+        r.total_mass,
+        r.expected_mass
+    );
+}
+
+/// Run and time one implementation. The CSR graph is prebuilt (Ligra's
+/// graph load is not part of the paper's timed region); the edge-list
+/// implementations get the edge list directly.
+pub fn time_implementation(
+    which: Impl,
+    el: &EdgeList,
+    g: &CsrGraph,
+    labels: &Labels,
+    runs: usize,
+    threads: usize,
+) -> Measurement {
+    let (seconds, all_runs, z) = match which {
+        Impl::Interp => timed(runs, || gee_interp::embed(el, labels)),
+        Impl::Optimized => timed(runs, || gee_core::serial_optimized::embed(el, labels)),
+        Impl::LigraSerial => timed(runs, || {
+            gee_ligra::with_threads(1, || gee_core::ligra::embed(g, labels, AtomicsMode::Atomic))
+        }),
+        Impl::LigraParallel => timed(runs, || {
+            gee_ligra::with_threads(threads, || gee_core::ligra::embed(g, labels, AtomicsMode::Atomic))
+        }),
+    };
+    verify_embedding(&z, el, labels, which.label());
+    Measurement { implementation: which, seconds, all_runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_gen::LabelSpec;
+
+    #[test]
+    fn all_four_implementations_run_and_verify() {
+        let el = gee_gen::erdos_renyi_gnm(500, 5000, 3);
+        let g = CsrGraph::from_edge_list(&el);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            500,
+            LabelSpec { num_classes: 10, labeled_fraction: 0.1 },
+            7,
+        ));
+        for which in [Impl::Interp, Impl::Optimized, Impl::LigraSerial, Impl::LigraParallel] {
+            let m = time_implementation(which, &el, &g, &labels, 1, 0);
+            assert!(m.seconds >= 0.0);
+            assert_eq!(m.all_runs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn timed_reports_median() {
+        let mut calls = 0;
+        let (med, all, _) = timed(3, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(all.len(), 3);
+        assert!(med >= 0.0);
+    }
+}

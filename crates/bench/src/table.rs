@@ -1,0 +1,86 @@
+//! Plain-text table rendering for the benchmark binaries.
+
+/// Render rows of equal length as an aligned table with a header.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in header.iter().enumerate() {
+        out.push_str(&format!("| {:<w$} ", h, w = widths[i]));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:<w$} ", cell, w = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Format seconds compactly (µs → s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.2}s", s)
+    }
+}
+
+/// Format a speedup factor.
+pub fn fmt_speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}×")
+    } else {
+        format!("{x:.1}×")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render(&["a", "bb"], &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]]);
+        assert!(t.contains("| a  | bb |"));
+        assert!(t.contains("| 33 | 4  |"));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(fmt_secs(0.0000005), "0.5µs");
+        assert_eq!(fmt_secs(0.005), "5.00ms");
+        assert_eq!(fmt_secs(2.5), "2.50s");
+    }
+
+    #[test]
+    fn speedup_formatting() {
+        assert_eq!(fmt_speedup(3.17), "3.2×");
+        assert_eq!(fmt_speedup(525.0), "525×");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        render(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

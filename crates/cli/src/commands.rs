@@ -1,0 +1,460 @@
+//! Subcommand dispatch and implementations.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use gee_community::{leiden, louvain, modularity, LeidenOptions, LouvainOptions, Partition};
+use gee_core::{AtomicsMode, Labels};
+use gee_gen::{LabelSpec, RmatParams, SbmParams};
+use gee_graph::{stats::graph_stats, CsrGraph};
+
+use crate::flags::Flags;
+use crate::formats::{read_graph, write_graph};
+use crate::CliError;
+
+const USAGE: &str = "\
+gee — Edge-Parallel Graph Encoder Embedding toolkit
+
+subcommands:
+  generate     --kind <rmat|er|sbm|pa|ws|powerlaw> --out <file> [--edges N] [--vertices N]
+               [--scale S] [--blocks B] [--p-in X] [--p-out X] [--lattice-k K] [--beta B]
+               [--alpha A] [--seed S] [--symmetrize true]
+  stats        <file>
+  embed        --graph <file> --out <csv> [--k K=50] [--labeled F=0.1]
+               [--impl ligra|ligra-serial|optimized|reference|deterministic] [--threads T] [--seed S]
+  communities  --graph <file> [--algo leiden|louvain] [--gamma G=1.0]
+  analyze      --graph <file> --algo <cc|pagerank|kcore|sssp|bfs|triangles|
+                                       matching|dominating-set|densest> [--source V=0]
+  convert      <in-file> <out-file>
+
+formats by extension: .txt/.el/.edgelist (text), .snap, .mtx, .csr (binary), .edges (stream)
+";
+
+/// Run the CLI, returning the text to print.
+pub fn run(args: &[String]) -> crate::Result<String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.into()));
+    };
+    let flags = Flags::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&flags),
+        "stats" => stats(&flags),
+        "embed" => embed(&flags),
+        "communities" => communities(&flags),
+        "analyze" => analyze(&flags),
+        "convert" => convert(&flags),
+        "help" | "--help" | "-h" => Ok(USAGE.into()),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
+    }
+}
+
+fn generate(flags: &Flags) -> crate::Result<String> {
+    let kind = flags.get("kind").unwrap_or("rmat");
+    let out = flags.require("out")?.to_string();
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let symmetrize: bool = flags.get_parsed("symmetrize", false)?;
+    let el = match kind {
+        "rmat" => {
+            let scale: u32 = flags.get_parsed("scale", 16)?;
+            let edges: usize = flags.get_parsed("edges", 1usize << 20)?;
+            gee_gen::rmat(scale, edges, RmatParams::default(), seed)
+        }
+        "er" => {
+            let vertices: usize = flags.get_parsed("vertices", 1usize << 16)?;
+            let edges: usize = flags.get_parsed("edges", 1usize << 20)?;
+            gee_gen::erdos_renyi_gnm(vertices, edges, seed)
+        }
+        "sbm" => {
+            let blocks: usize = flags.get_parsed("blocks", 4)?;
+            let vertices: usize = flags.get_parsed("vertices", 4000)?;
+            let p_in: f64 = flags.get_parsed("p-in", 0.1)?;
+            let p_out: f64 = flags.get_parsed("p-out", 0.005)?;
+            gee_gen::sbm(&SbmParams::balanced(blocks, vertices / blocks.max(1), p_in, p_out), seed).edges
+        }
+        "pa" => {
+            let vertices: usize = flags.get_parsed("vertices", 100_000)?;
+            let m: usize = flags.get_parsed("edges-per-vertex", 4)?;
+            gee_gen::preferential_attachment(vertices, m, seed)
+        }
+        "ws" => {
+            let vertices: usize = flags.get_parsed("vertices", 1usize << 16)?;
+            let lattice_k: usize = flags.get_parsed("lattice-k", 8)?;
+            let beta: f64 = flags.get_parsed("beta", 0.1)?;
+            gee_gen::watts_strogatz(gee_gen::WsParams { n: vertices, k: lattice_k, beta }, seed)
+        }
+        "powerlaw" => {
+            let vertices: usize = flags.get_parsed("vertices", 1usize << 16)?;
+            let alpha: f64 = flags.get_parsed("alpha", 2.3)?;
+            let d_max: usize = flags.get_parsed("d-max", vertices / 10)?;
+            let degrees = gee_gen::power_law_degrees(vertices, alpha, 1, d_max.max(1), seed);
+            gee_gen::config_model(&degrees, seed)
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --kind {other:?} (rmat|er|sbm|pa|ws|powerlaw)"
+            )))
+        }
+    };
+    let el = if symmetrize { el.symmetrized() } else { el };
+    write_graph(Path::new(&out), &el)?;
+    Ok(format!(
+        "wrote {}: {} vertices, {} edges ({kind}, seed {seed})\n",
+        out,
+        el.num_vertices(),
+        el.num_edges()
+    ))
+}
+
+fn stats(flags: &Flags) -> crate::Result<String> {
+    let path = flags
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("stats: need a graph file argument".into()))?;
+    let el = read_graph(Path::new(path))?;
+    let g = CsrGraph::from_edge_list(&el);
+    let s = graph_stats(&g);
+    let hist = gee_graph::stats::degree_histogram(&g);
+    let mut out = String::new();
+    writeln!(out, "{path}").unwrap();
+    writeln!(out, "  vertices      : {}", s.num_vertices).unwrap();
+    writeln!(out, "  edges         : {}", s.num_edges).unwrap();
+    writeln!(out, "  degree        : min {} / avg {:.2} / max {}", s.min_degree, s.avg_degree, s.max_degree).unwrap();
+    writeln!(out, "  isolated      : {}", s.isolated).unwrap();
+    writeln!(out, "  self-loops    : {}", s.self_loops).unwrap();
+    writeln!(out, "  weighted      : {}", g.is_weighted()).unwrap();
+    writeln!(out, "  degree histogram (power-of-two buckets):").unwrap();
+    for (i, &c) in hist.iter().enumerate() {
+        if c > 0 {
+            // Bucket 0 additionally holds degree-0 vertices.
+            let lo = if i == 0 { 0 } else { 1usize << i };
+            writeln!(out, "    [{:>8}..{:>8}) {:>10}", lo, 1usize << (i + 1), c).unwrap();
+        }
+    }
+    Ok(out)
+}
+
+fn embed(flags: &Flags) -> crate::Result<String> {
+    let graph_path = flags.require("graph")?.to_string();
+    let out_path = flags.require("out")?.to_string();
+    let k: usize = flags.get_parsed("k", 50)?;
+    let labeled: f64 = flags.get_parsed("labeled", 0.1)?;
+    let threads: usize = flags.get_parsed("threads", 0)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let which = flags.get("impl").unwrap_or("ligra");
+    let el = read_graph(Path::new(&graph_path))?;
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), LabelSpec { num_classes: k, labeled_fraction: labeled }, seed),
+        k,
+    );
+    let t0 = std::time::Instant::now();
+    let z = match which {
+        "reference" => gee_core::serial_reference::embed(&el, &labels),
+        "optimized" => gee_core::serial_optimized::embed(&el, &labels),
+        "ligra-serial" => {
+            let g = CsrGraph::from_edge_list(&el);
+            gee_ligra::with_threads(1, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        }
+        "ligra" => {
+            let g = CsrGraph::from_edge_list(&el);
+            gee_ligra::with_threads(threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        }
+        "deterministic" => gee_ligra::with_threads(threads, || {
+            gee_core::deterministic::embed(el.num_vertices(), el.edges(), &labels)
+        }),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --impl {other:?} (reference|optimized|ligra-serial|ligra|deterministic)"
+            )))
+        }
+    };
+    let dt = t0.elapsed();
+    gee_core::diagnostics::assert_healthy(&z, &el, &labels, 1e-6);
+    // CSV: vertex, k columns.
+    let mut csv = String::with_capacity(z.num_vertices() * z.dim() * 8);
+    for v in 0..z.num_vertices() as u32 {
+        csv.push_str(&v.to_string());
+        for x in z.row(v) {
+            write!(csv, ",{x}").unwrap();
+        }
+        csv.push('\n');
+    }
+    std::fs::write(&out_path, csv)?;
+    Ok(format!(
+        "embedded {} ({} vertices, {} edges) with {which} in {dt:.2?}; Z is {}×{} → {}\n",
+        graph_path,
+        el.num_vertices(),
+        el.num_edges(),
+        z.num_vertices(),
+        z.dim(),
+        out_path
+    ))
+}
+
+fn communities(flags: &Flags) -> crate::Result<String> {
+    let graph_path = flags.require("graph")?.to_string();
+    let algo = flags.get("algo").unwrap_or("leiden");
+    let gamma: f64 = flags.get_parsed("gamma", 1.0)?;
+    let el = read_graph(Path::new(&graph_path))?.symmetrized();
+    let g = CsrGraph::from_edge_list(&el);
+    let t0 = std::time::Instant::now();
+    let p: Partition = match algo {
+        "louvain" => louvain(&g, LouvainOptions { gamma, ..Default::default() }),
+        "leiden" => leiden(&g, LeidenOptions { gamma, ..Default::default() }),
+        other => return Err(CliError::Usage(format!("unknown --algo {other:?} (louvain|leiden)"))),
+    };
+    let dt = t0.elapsed();
+    let q = modularity(&g, &p, gamma);
+    let mut sizes = p.community_sizes();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    let mut out = String::new();
+    writeln!(out, "{algo} on {graph_path} (γ = {gamma}): {} communities, modularity {q:.4}, {dt:.2?}", p.num_communities()).unwrap();
+    writeln!(out, "largest communities: {:?}", &sizes[..sizes.len().min(10)]).unwrap();
+    if let Some(out_path) = flags.get("out") {
+        let mut csv = String::new();
+        for (v, &c) in p.membership().iter().enumerate() {
+            writeln!(csv, "{v},{c}").unwrap();
+        }
+        std::fs::write(out_path, csv)?;
+        writeln!(out, "membership written to {out_path}").unwrap();
+    }
+    Ok(out)
+}
+
+fn analyze(flags: &Flags) -> crate::Result<String> {
+    let graph_path = flags.require("graph")?.to_string();
+    let algo = flags.require("algo")?.to_string();
+    let source: u32 = flags.get_parsed("source", 0u32)?;
+    // The engine algorithms assume symmetric inputs where noted; analyze
+    // symmetrizes uniformly so every algorithm sees the undirected graph.
+    let el = read_graph(Path::new(&graph_path))?.symmetrized();
+    let g = CsrGraph::from_edge_list(&el);
+    let t0 = std::time::Instant::now();
+    let mut out = String::new();
+    match algo.as_str() {
+        "cc" => {
+            let comp = gee_algos::connected_components(&g);
+            let mut roots: Vec<u32> = comp.clone();
+            roots.sort_unstable();
+            roots.dedup();
+            writeln!(out, "connected components: {}", roots.len()).unwrap();
+        }
+        "pagerank" => {
+            let pr = gee_algos::pagerank(&g, gee_algos::PageRankOptions::default());
+            let mut top: Vec<(u32, f64)> =
+                pr.iter().enumerate().map(|(v, &r)| (v as u32, r)).collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1));
+            writeln!(out, "top-5 PageRank: {:?}", &top[..top.len().min(5)]).unwrap();
+        }
+        "kcore" => {
+            let core = gee_algos::kcore_bucketed(&g);
+            let max = core.iter().copied().max().unwrap_or(0);
+            writeln!(out, "degeneracy (max core): {max}").unwrap();
+        }
+        "sssp" => {
+            let d = gee_algos::delta_stepping(&g, source, gee_algos::suggest_delta(&g));
+            let reached = d.iter().filter(|x| x.is_finite()).count();
+            let ecc = d.iter().filter(|x| x.is_finite()).fold(0.0f64, |a, &b| a.max(b));
+            writeln!(out, "sssp from {source}: {reached} reachable, eccentricity {ecc:.3}").unwrap();
+        }
+        "bfs" => {
+            let d = gee_algos::bfs_distances(&g, source);
+            let reached = d.iter().filter(|&&x| x != u32::MAX).count();
+            let depth = d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap_or(0);
+            writeln!(out, "bfs from {source}: {reached} reachable, depth {depth}").unwrap();
+        }
+        "triangles" => {
+            writeln!(out, "triangles: {}", gee_algos::triangle_count(&g)).unwrap();
+        }
+        "matching" => {
+            let m = gee_algos::maximal_matching(&g, 42);
+            let matched = m.iter().filter(|&&p| p != u32::MAX).count();
+            writeln!(out, "maximal matching: {} edges ({} matched vertices)", matched / 2, matched)
+                .unwrap();
+        }
+        "dominating-set" => {
+            let ds = gee_algos::dominating_set(&g);
+            writeln!(out, "greedy dominating set: {} of {} vertices", ds.len(), g.num_vertices())
+                .unwrap();
+        }
+        "densest" => {
+            let r = gee_algos::densest_subgraph(&g);
+            writeln!(
+                out,
+                "densest subgraph (2-approx): {} vertices, density {:.3}",
+                r.vertices.len(),
+                r.density
+            )
+            .unwrap();
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --algo {other:?} (cc|pagerank|kcore|sssp|bfs|triangles|matching|dominating-set|densest)"
+            )))
+        }
+    }
+    writeln!(out, "({:.2?})", t0.elapsed()).unwrap();
+    Ok(out)
+}
+
+fn convert(flags: &Flags) -> crate::Result<String> {
+    if flags.num_positional() != 2 {
+        return Err(CliError::Usage("convert: need <in-file> <out-file>".into()));
+    }
+    let input = flags.positional(0).expect("checked");
+    let output = flags.positional(1).expect("checked");
+    let el = read_graph(Path::new(input))?;
+    write_graph(Path::new(output), &el)?;
+    Ok(format!("converted {input} → {output} ({} vertices, {} edges)\n", el.num_vertices(), el.num_edges()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn no_args_shows_usage() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&sv(&["help"])).unwrap();
+        assert!(out.contains("subcommands"));
+    }
+
+    #[test]
+    fn unknown_subcommand() {
+        assert!(matches!(run(&sv(&["frobnicate"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_stats_embed_pipeline() {
+        let graph = tmp("gee_cli_pipe.txt");
+        let emb = tmp("gee_cli_pipe.csv");
+        let out = run(&sv(&[
+            "generate", "--kind", "er", "--vertices", "500", "--edges", "4000", "--out", &graph,
+        ]))
+        .unwrap();
+        assert!(out.contains("4000 edges"), "{out}");
+        let out = run(&sv(&["stats", &graph])).unwrap();
+        assert!(out.contains("vertices      : 500"), "{out}");
+        let out = run(&sv(&[
+            "embed", "--graph", &graph, "--out", &emb, "--k", "5", "--impl", "optimized",
+        ]))
+        .unwrap();
+        assert!(out.contains("Z is 500×5"), "{out}");
+        let csv = std::fs::read_to_string(&emb).unwrap();
+        assert_eq!(csv.lines().count(), 500);
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 6);
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&emb).ok();
+    }
+
+    #[test]
+    fn generate_sbm_and_communities() {
+        let graph = tmp("gee_cli_sbm.txt");
+        run(&sv(&[
+            "generate", "--kind", "sbm", "--blocks", "3", "--vertices", "120", "--p-in", "0.4",
+            "--p-out", "0.01", "--out", &graph,
+        ]))
+        .unwrap();
+        let out = run(&sv(&["communities", "--graph", &graph, "--algo", "leiden"])).unwrap();
+        assert!(out.contains("3 communities"), "{out}");
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn convert_between_formats() {
+        let a = tmp("gee_cli_conv.txt");
+        let b = tmp("gee_cli_conv.mtx");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "50", "--edges", "200", "--out", &a])).unwrap();
+        let out = run(&sv(&["convert", &a, &b])).unwrap();
+        assert!(out.contains("200 edges"), "{out}");
+        let back = read_graph(Path::new(&b)).unwrap();
+        assert_eq!(back.num_edges(), 200);
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+
+    #[test]
+    fn embed_rejects_unknown_impl() {
+        let graph = tmp("gee_cli_impl.txt");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "20", "--edges", "50", "--out", &graph])).unwrap();
+        let r = run(&sv(&["embed", "--graph", &graph, "--out", "/dev/null", "--impl", "magic"]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(matches!(run(&sv(&["generate", "--kind", "er"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn generate_watts_strogatz_and_powerlaw() {
+        let graph = tmp("gee_cli_ws.txt");
+        let out = run(&sv(&[
+            "generate", "--kind", "ws", "--vertices", "100", "--lattice-k", "4", "--beta", "0.2",
+            "--out", &graph,
+        ]))
+        .unwrap();
+        assert!(out.contains("100 vertices"), "{out}");
+        let out = run(&sv(&[
+            "generate", "--kind", "powerlaw", "--vertices", "200", "--alpha", "2.5", "--out", &graph,
+        ]))
+        .unwrap();
+        assert!(out.contains("200 vertices"), "{out}");
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn embed_deterministic_impl() {
+        let graph = tmp("gee_cli_det.txt");
+        let emb = tmp("gee_cli_det.csv");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "200", "--edges", "1000", "--out", &graph])).unwrap();
+        let out = run(&sv(&[
+            "embed", "--graph", &graph, "--out", &emb, "--k", "4", "--impl", "deterministic",
+        ]))
+        .unwrap();
+        assert!(out.contains("Z is 200×4"), "{out}");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&emb).ok();
+    }
+
+    #[test]
+    fn analyze_runs_every_algorithm() {
+        let graph = tmp("gee_cli_analyze.txt");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "300", "--edges", "2400", "--out", &graph])).unwrap();
+        for (algo, needle) in [
+            ("cc", "connected components"),
+            ("pagerank", "top-5 PageRank"),
+            ("kcore", "degeneracy"),
+            ("sssp", "reachable"),
+            ("bfs", "reachable"),
+            ("triangles", "triangles:"),
+            ("matching", "maximal matching"),
+            ("dominating-set", "dominating set"),
+            ("densest", "densest subgraph"),
+        ] {
+            let out = run(&sv(&["analyze", "--graph", &graph, "--algo", algo])).unwrap();
+            assert!(out.contains(needle), "{algo}: {out}");
+        }
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_algo() {
+        let graph = tmp("gee_cli_analyze_bad.txt");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "20", "--edges", "40", "--out", &graph])).unwrap();
+        let r = run(&sv(&["analyze", "--graph", &graph, "--algo", "frobnicate"]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        std::fs::remove_file(&graph).ok();
+    }
+}

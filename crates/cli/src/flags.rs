@@ -1,0 +1,110 @@
+//! Tiny flag parser: `--name value` pairs plus positional arguments.
+
+use std::collections::HashMap;
+
+use crate::CliError;
+
+/// Parsed flags and positionals.
+#[derive(Debug, Default)]
+pub struct Flags {
+    named: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+impl Flags {
+    /// Parse `args` (everything after the subcommand).
+    pub fn parse(args: &[String]) -> crate::Result<Flags> {
+        let mut out = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
+                out.named.insert(name.to_string(), value.clone());
+                i += 2;
+            } else {
+                out.positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional argument `idx`.
+    pub fn positional(&self, idx: usize) -> Option<&str> {
+        self.positional.get(idx).map(|s| s.as_str())
+    }
+
+    /// Number of positionals.
+    pub fn num_positional(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// String flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.named.get(name).map(|s| s.as_str())
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> crate::Result<&str> {
+        self.get(name)
+            .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
+    }
+
+    /// Parsed flag with a default.
+    pub fn get_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> crate::Result<T> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse::<T>()
+                .map_err(|_| CliError::Usage(format!("flag --{name}: cannot parse {raw:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_named_and_positional() {
+        let f = Flags::parse(&sv(&["input.txt", "--k", "50", "out.csv"])).unwrap();
+        assert_eq!(f.positional(0), Some("input.txt"));
+        assert_eq!(f.positional(1), Some("out.csv"));
+        assert_eq!(f.get("k"), Some("50"));
+    }
+
+    #[test]
+    fn missing_value_is_usage_error() {
+        assert!(matches!(Flags::parse(&sv(&["--k"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let f = Flags::parse(&sv(&["--k", "7"])).unwrap();
+        assert_eq!(f.get_parsed("k", 50usize).unwrap(), 7);
+        assert_eq!(f.get_parsed("threads", 4usize).unwrap(), 4);
+        assert!(f.get_parsed::<usize>("k", 0).is_ok());
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let f = Flags::parse(&sv(&["--k", "zebra"])).unwrap();
+        assert!(f.get_parsed::<usize>("k", 0).is_err());
+    }
+
+    #[test]
+    fn require_reports_flag_name() {
+        let f = Flags::parse(&[]).unwrap();
+        match f.require("graph") {
+            Err(CliError::Usage(m)) => assert!(m.contains("--graph")),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Implementation of the `gee` command-line tool. All command logic lives
+//! here (returning the output as a `String`) so it is unit-testable; the
+//! binary is a three-line wrapper.
+
+mod commands;
+mod flags;
+mod formats;
+
+pub use commands::run;
+pub use flags::Flags;
+pub use formats::{detect_format, read_graph, write_graph, Format};
+
+/// CLI errors: either bad usage (with help text) or an underlying failure.
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong flags/arguments; the string is a usage message.
+    Usage(String),
+    /// Graph I/O or processing failure.
+    Graph(gee_graph::GraphError),
+    /// Filesystem failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Graph(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<gee_graph::GraphError> for CliError {
+    fn from(e: gee_graph::GraphError) -> Self {
+        CliError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Result alias for CLI operations.
+pub type Result<T> = std::result::Result<T, CliError>;

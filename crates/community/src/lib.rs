@@ -1,0 +1,28 @@
+//! Community detection: Louvain and Leiden.
+//!
+//! §II of the paper: "Y may represent the labels of a few known node ground
+//! truths or it may be derived from unsupervised clustering, such as by
+//! running the Leiden community detection algorithm (ref. 15 of the paper)". This crate
+//! provides that label source so the examples and extension experiments can
+//! run the full paper pipeline (detect communities → use as Y → embed).
+//!
+//! * [`louvain()`] — classic two-phase modularity optimization (Blondel et
+//!   al. 2008): local moving + graph aggregation.
+//! * [`leiden()`] — Traag, Waltman & van Eck 2019: adds the *refinement*
+//!   phase between local moving and aggregation, guaranteeing
+//!   well-connected communities (Louvain can produce internally
+//!   disconnected ones).
+//! * [`modularity()`] — the shared quality function (with resolution γ).
+//!
+//! Input graphs must be in the symmetric two-directed-edges encoding used
+//! throughout this workspace.
+
+pub mod leiden;
+pub mod louvain;
+pub mod modularity;
+pub mod partition;
+
+pub use leiden::{leiden, LeidenOptions};
+pub use louvain::{louvain, LouvainOptions};
+pub use modularity::modularity;
+pub use partition::Partition;

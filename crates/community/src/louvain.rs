@@ -1,0 +1,265 @@
+//! Louvain modularity optimization (Blondel et al. 2008): repeated local
+//! moving + graph aggregation.
+//!
+//! Conventions: graphs are in the symmetric two-directed-edges encoding;
+//! `2m` is the total directed weight; `deg(v)` is the out-weight of `v`
+//! (self-loops count once). The level graph carries self-loops separately
+//! because aggregation creates them from intra-community weight.
+
+use gee_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::partition::Partition;
+
+/// Louvain configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LouvainOptions {
+    /// Resolution parameter γ (1.0 = classic modularity).
+    pub gamma: f64,
+    /// Maximum aggregation levels.
+    pub max_levels: usize,
+    /// Maximum local-moving sweeps per level.
+    pub max_sweeps: usize,
+    /// Minimum modularity-proportional gain to accept a move.
+    pub min_gain: f64,
+    /// RNG seed (node visiting order).
+    pub seed: u64,
+}
+
+impl Default for LouvainOptions {
+    fn default() -> Self {
+        LouvainOptions { gamma: 1.0, max_levels: 20, max_sweeps: 20, min_gain: 1e-12, seed: 0 }
+    }
+}
+
+/// Internal weighted multilevel graph.
+pub(crate) struct LevelGraph {
+    /// Adjacency (neighbor, weight) excluding self-loops.
+    pub adj: Vec<Vec<(u32, f64)>>,
+    /// Self-loop weight per node.
+    pub self_loop: Vec<f64>,
+    /// Out-degree weight per node (self-loop counted once).
+    pub deg: Vec<f64>,
+    /// Total directed weight.
+    pub two_m: f64,
+}
+
+impl LevelGraph {
+    pub(crate) fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        let mut self_loop = vec![0.0f64; n];
+        for (u, v, w) in g.iter_edges() {
+            if u == v {
+                self_loop[u as usize] += w;
+            } else {
+                adj[u as usize].push((v, w));
+            }
+        }
+        let deg: Vec<f64> = (0..n)
+            .map(|v| adj[v].iter().map(|&(_, w)| w).sum::<f64>() + self_loop[v])
+            .collect();
+        let two_m = deg.iter().sum();
+        LevelGraph { adj, self_loop, deg, two_m }
+    }
+
+    pub(crate) fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Collapse each community to one node; intra weight becomes self-loop.
+    pub(crate) fn aggregate(&self, p: &Partition) -> LevelGraph {
+        let k = p.num_communities();
+        let mut self_loop = vec![0.0f64; k];
+        let mut maps: Vec<std::collections::HashMap<u32, f64>> =
+            vec![std::collections::HashMap::new(); k];
+        for v in 0..self.num_nodes() as u32 {
+            let cv = p.community(v) as usize;
+            self_loop[cv] += self.self_loop[v as usize];
+            for &(u, w) in &self.adj[v as usize] {
+                let cu = p.community(u);
+                if cu as usize == cv {
+                    self_loop[cv] += w;
+                } else {
+                    *maps[cv].entry(cu).or_default() += w;
+                }
+            }
+        }
+        let adj: Vec<Vec<(u32, f64)>> = maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+                v.sort_unstable_by_key(|&(c, _)| c);
+                v
+            })
+            .collect();
+        let deg: Vec<f64> = (0..k)
+            .map(|c| adj[c].iter().map(|&(_, w)| w).sum::<f64>() + self_loop[c])
+            .collect();
+        let two_m = deg.iter().sum();
+        LevelGraph { adj, self_loop, deg, two_m }
+    }
+}
+
+/// One level of local moving. Returns (membership, whether anything moved).
+pub(crate) fn local_moving(
+    lg: &LevelGraph,
+    gamma: f64,
+    max_sweeps: usize,
+    min_gain: f64,
+    rng: &mut StdRng,
+) -> (Vec<u32>, bool) {
+    let n = lg.num_nodes();
+    let mut community: Vec<u32> = (0..n as u32).collect();
+    let mut tot: Vec<f64> = lg.deg.clone();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut moved_any = false;
+    // Scratch: weight from the current node to each community.
+    let mut k_v_in: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+    for _ in 0..max_sweeps {
+        order.shuffle(rng);
+        let mut moved_this_sweep = 0usize;
+        for &v in &order {
+            let vc = community[v as usize];
+            let deg_v = lg.deg[v as usize];
+            // Tally edge weight into each adjacent community.
+            k_v_in.clear();
+            for &(u, w) in &lg.adj[v as usize] {
+                *k_v_in.entry(community[u as usize]).or_default() += w;
+            }
+            // Remove v from its community for the comparison.
+            tot[vc as usize] -= deg_v;
+            let stay_gain = k_v_in.get(&vc).copied().unwrap_or(0.0)
+                - gamma * deg_v * tot[vc as usize] / lg.two_m;
+            let mut best_c = vc;
+            let mut best_gain = stay_gain;
+            for (&c, &kin) in &k_v_in {
+                if c == vc {
+                    continue;
+                }
+                let gain = kin - gamma * deg_v * tot[c as usize] / lg.two_m;
+                if gain > best_gain + min_gain {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            tot[best_c as usize] += deg_v;
+            if best_c != vc {
+                community[v as usize] = best_c;
+                moved_this_sweep += 1;
+                moved_any = true;
+            }
+        }
+        if moved_this_sweep == 0 {
+            break;
+        }
+    }
+    (community, moved_any)
+}
+
+/// Run Louvain. Returns the final partition (finest-level membership).
+pub fn louvain(g: &CsrGraph, opts: LouvainOptions) -> Partition {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut level = LevelGraph::from_csr(g);
+    let mut overall = Partition::singletons(g.num_vertices());
+    for _ in 0..opts.max_levels {
+        let (membership, moved) = local_moving(&level, opts.gamma, opts.max_sweeps, opts.min_gain, &mut rng);
+        let p = Partition::from_membership(&membership);
+        if !moved || p.num_communities() == level.num_nodes() {
+            break;
+        }
+        overall = overall.compose(&p);
+        level = level.aggregate(&p);
+    }
+    overall
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modularity::modularity;
+    use gee_graph::{Edge, EdgeList};
+
+    pub(crate) fn ring_of_cliques(num_cliques: usize, clique_size: usize) -> CsrGraph {
+        let n = num_cliques * clique_size;
+        let mut pairs = Vec::new();
+        for c in 0..num_cliques {
+            let base = (c * clique_size) as u32;
+            for i in 0..clique_size as u32 {
+                for j in (i + 1)..clique_size as u32 {
+                    pairs.push((base + i, base + j));
+                }
+            }
+            // one edge to the next clique
+            let next = (((c + 1) % num_cliques) * clique_size) as u32;
+            pairs.push((base, next));
+        }
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
+    }
+
+    #[test]
+    fn recovers_ring_of_cliques() {
+        let g = ring_of_cliques(6, 5);
+        let p = louvain(&g, LouvainOptions::default());
+        assert_eq!(p.num_communities(), 6);
+        // Every clique must be monochromatic.
+        for c in 0..6 {
+            let first = p.community((c * 5) as u32);
+            for i in 1..5 {
+                assert_eq!(p.community((c * 5 + i) as u32), first, "clique {c} split");
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_not_worse_than_singletons() {
+        let el = gee_gen::erdos_renyi_gnm(120, 600, 5).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let p = louvain(&g, LouvainOptions::default());
+        let q = modularity(&g, &p, 1.0);
+        let q0 = modularity(&g, &Partition::singletons(120), 1.0);
+        assert!(q >= q0, "louvain {q} < singletons {q0}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = ring_of_cliques(4, 4);
+        let a = louvain(&g, LouvainOptions::default());
+        let b = louvain(&g, LouvainOptions::default());
+        assert_eq!(a.membership(), b.membership());
+    }
+
+    #[test]
+    fn sbm_recovery() {
+        let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(4, 30, 0.5, 0.01), 3);
+        let g = CsrGraph::from_edge_list(&sbm.edges);
+        let p = louvain(&g, LouvainOptions::default());
+        // Communities should align with blocks (allow small discrepancies):
+        // count the majority-block purity.
+        let mut correct = 0usize;
+        for b in 0..4u32 {
+            let mut counts = std::collections::HashMap::new();
+            for v in 0..120u32 {
+                if sbm.truth[v as usize] == b {
+                    *counts.entry(p.community(v)).or_insert(0usize) += 1;
+                }
+            }
+            correct += counts.values().max().copied().unwrap_or(0);
+        }
+        assert!(correct >= 110, "recovered {correct}/120");
+    }
+
+    #[test]
+    fn high_gamma_fragments() {
+        let g = ring_of_cliques(4, 5);
+        let low = louvain(&g, LouvainOptions { gamma: 0.1, seed: 1, ..Default::default() });
+        let high = louvain(&g, LouvainOptions { gamma: 8.0, seed: 1, ..Default::default() });
+        assert!(high.num_communities() >= low.num_communities());
+    }
+}

@@ -1,0 +1,90 @@
+//! Modularity with resolution parameter γ for symmetric weighted graphs.
+//!
+//! `Q = Σ_c [ e_c / m  −  γ · (d_c / 2m)² ]` where `e_c` is the weight of
+//! intra-community edges (counting each undirected edge once), `d_c` the
+//! total degree of the community, and `m` the total undirected edge weight.
+//! The symmetric two-directed-edge encoding makes `2m` simply the total
+//! directed weight.
+
+use gee_graph::CsrGraph;
+
+use crate::partition::Partition;
+
+/// Modularity of `partition` on symmetric graph `g` at resolution `gamma`.
+pub fn modularity(g: &CsrGraph, partition: &Partition, gamma: f64) -> f64 {
+    assert_eq!(g.num_vertices(), partition.len(), "partition must cover graph");
+    let two_m: f64 = g.total_weight();
+    if two_m == 0.0 {
+        return 0.0;
+    }
+    let k = partition.num_communities();
+    let mut intra = vec![0.0f64; k]; // directed weight inside each community
+    let mut degree = vec![0.0f64; k]; // total degree of each community
+    for (u, v, w) in g.iter_edges() {
+        let cu = partition.community(u) as usize;
+        degree[cu] += w;
+        if cu == partition.community(v) as usize {
+            intra[cu] += w;
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..k {
+        q += intra[c] / two_m - gamma * (degree[c] / two_m) * (degree[c] / two_m);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn two_cliques() -> CsrGraph {
+        // Two triangles {0,1,2} and {3,4,5} joined by one edge (2,3).
+        let pairs = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
+        CsrGraph::from_edge_list(&EdgeList::new(6, edges).unwrap())
+    }
+
+    #[test]
+    fn clique_partition_beats_singletons() {
+        let g = two_cliques();
+        let good = Partition::from_membership(&[0, 0, 0, 1, 1, 1]);
+        let bad = Partition::singletons(6);
+        assert!(modularity(&g, &good, 1.0) > modularity(&g, &bad, 1.0));
+    }
+
+    #[test]
+    fn known_value_two_cliques() {
+        // m = 7 undirected edges; e_c = 3 each; d_c = 7 each (2m = 14).
+        // Q = 2·(3/7 − (7/14)²) = 6/7 − 1/2 = 5/14.
+        let g = two_cliques();
+        let p = Partition::from_membership(&[0, 0, 0, 1, 1, 1]);
+        let q = modularity(&g, &p, 1.0);
+        assert!((q - 5.0 / 14.0).abs() < 1e-12, "Q = {q}");
+    }
+
+    #[test]
+    fn all_in_one_community_is_zero_at_gamma_one() {
+        let g = two_cliques();
+        let p = Partition::from_membership(&[0; 6]);
+        let q = modularity(&g, &p, 1.0);
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gamma_penalizes_large_communities() {
+        let g = two_cliques();
+        let p = Partition::from_membership(&[0, 0, 0, 1, 1, 1]);
+        assert!(modularity(&g, &p, 2.0) < modularity(&g, &p, 1.0));
+    }
+
+    #[test]
+    fn empty_graph_zero() {
+        let g = CsrGraph::build(0, &[], false);
+        assert_eq!(modularity(&g, &Partition::singletons(0), 1.0), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Partition of a vertex set into communities.
+
+/// A community assignment: `membership[v]` is the community of vertex `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    membership: Vec<u32>,
+    num_communities: usize,
+}
+
+impl Partition {
+    /// Singleton partition: every vertex in its own community.
+    pub fn singletons(n: usize) -> Self {
+        Partition { membership: (0..n as u32).collect(), num_communities: n }
+    }
+
+    /// From a raw membership vector; community ids are compacted to
+    /// `0..num_communities` in order of first appearance.
+    pub fn from_membership(raw: &[u32]) -> Self {
+        let mut map = std::collections::HashMap::new();
+        let mut membership = Vec::with_capacity(raw.len());
+        for &c in raw {
+            let next = map.len() as u32;
+            let id = *map.entry(c).or_insert(next);
+            membership.push(id);
+        }
+        Partition { membership, num_communities: map.len() }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// True when the partition covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+
+    /// Number of communities.
+    pub fn num_communities(&self) -> usize {
+        self.num_communities
+    }
+
+    /// Community of vertex `v`.
+    #[inline]
+    pub fn community(&self, v: u32) -> u32 {
+        self.membership[v as usize]
+    }
+
+    /// Raw membership slice.
+    pub fn membership(&self) -> &[u32] {
+        &self.membership
+    }
+
+    /// Vertices per community.
+    pub fn community_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_communities];
+        for &c in &self.membership {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Compose with a partition of the *communities* (after aggregation):
+    /// `result[v] = coarser[self[v]]`.
+    pub fn compose(&self, coarser: &Partition) -> Partition {
+        assert_eq!(coarser.len(), self.num_communities, "coarser partition must cover communities");
+        let raw: Vec<u32> = self.membership.iter().map(|&c| coarser.community(c)).collect();
+        Partition::from_membership(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let p = Partition::singletons(4);
+        assert_eq!(p.num_communities(), 4);
+        assert_eq!(p.community(2), 2);
+    }
+
+    #[test]
+    fn compaction_by_first_appearance() {
+        let p = Partition::from_membership(&[7, 3, 7, 9]);
+        assert_eq!(p.membership(), &[0, 1, 0, 2]);
+        assert_eq!(p.num_communities(), 3);
+    }
+
+    #[test]
+    fn sizes() {
+        let p = Partition::from_membership(&[0, 0, 1, 1, 1]);
+        assert_eq!(p.community_sizes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn compose_flattens_two_levels() {
+        // vertices → {0: a, 1: a, 2: b, 3: b}; communities a,b → single
+        let fine = Partition::from_membership(&[0, 0, 1, 1]);
+        let coarse = Partition::from_membership(&[0, 0]);
+        let flat = fine.compose(&coarse);
+        assert_eq!(flat.num_communities(), 1);
+        assert!(flat.membership().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover communities")]
+    fn compose_validates() {
+        let fine = Partition::from_membership(&[0, 1]);
+        let coarse = Partition::from_membership(&[0]);
+        fine.compose(&coarse);
+    }
+}

@@ -1,0 +1,184 @@
+//! Confusion matrix and per-class classification metrics for the vertex
+//! classification task (precision/recall/F1, macro averages).
+
+/// A `k × k` confusion matrix: `counts[truth][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Tally predictions against ground truth; `k` is inferred as one plus
+    /// the maximum label seen.
+    pub fn from_predictions(predicted: &[u32], truth: &[u32]) -> Self {
+        assert_eq!(predicted.len(), truth.len(), "prediction/truth length mismatch");
+        let k = predicted
+            .iter()
+            .chain(truth)
+            .max()
+            .map_or(0, |&m| m as usize + 1);
+        let mut counts = vec![0u64; k * k];
+        for (&p, &t) in predicted.iter().zip(truth) {
+            counts[t as usize * k + p as usize] += 1;
+        }
+        ConfusionMatrix { k, counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of (truth `t`, predicted `p`).
+    pub fn get(&self, t: u32, p: u32) -> u64 {
+        self.counts[t as usize * self.k + p as usize]
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass / total).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        let diag: u64 = (0..self.k).map(|c| self.counts[c * self.k + c]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Precision of class `c`: TP / (TP + FP). `None` when the class was
+    /// never predicted.
+    pub fn precision(&self, c: u32) -> Option<f64> {
+        let c = c as usize;
+        let tp = self.counts[c * self.k + c];
+        let predicted: u64 = (0..self.k).map(|t| self.counts[t * self.k + c]).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of class `c`: TP / (TP + FN). `None` when the class never
+    /// occurs in the truth.
+    pub fn recall(&self, c: u32) -> Option<f64> {
+        let c = c as usize;
+        let tp = self.counts[c * self.k + c];
+        let actual: u64 = self.counts[c * self.k..(c + 1) * self.k].iter().sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 of class `c` (harmonic mean of precision and recall); `None`
+    /// when either is undefined.
+    pub fn f1(&self, c: u32) -> Option<f64> {
+        let p = self.precision(c)?;
+        let r = self.recall(c)?;
+        if p + r == 0.0 {
+            return Some(0.0);
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Macro-averaged F1 over classes that appear in the truth (classes
+    /// with undefined precision contribute 0, the usual convention).
+    pub fn macro_f1(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for c in 0..self.k as u32 {
+            if self.recall(c).is_some() {
+                sum += self.f1(c).unwrap_or(0.0);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "truth \\ predicted")?;
+        for t in 0..self.k {
+            for p in 0..self.k {
+                write!(f, "{:>8}", self.counts[t * self.k + p])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ConfusionMatrix {
+        // truth:     0 0 0 1 1 2
+        // predicted: 0 0 1 1 1 0
+        ConfusionMatrix::from_predictions(&[0, 0, 1, 1, 1, 0], &[0, 0, 0, 1, 1, 2])
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let m = sample();
+        assert_eq!(m.num_classes(), 3);
+        assert_eq!(m.get(0, 0), 2);
+        assert_eq!(m.get(0, 1), 1);
+        assert_eq!(m.get(2, 0), 1);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn accuracy() {
+        assert!((sample().accuracy() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let m = sample();
+        // class 0: TP=2, predicted 3 times, actual 3 times
+        assert!((m.precision(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        // class 1: TP=2, predicted 3, actual 2
+        assert!((m.precision(1).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.recall(1).unwrap(), 1.0);
+        // class 2: never predicted
+        assert_eq!(m.precision(2), None);
+        assert_eq!(m.recall(2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_counts_truth_classes() {
+        let m = sample();
+        let f0 = m.f1(0).unwrap();
+        let f1 = m.f1(1).unwrap();
+        // class 2 appears in truth → contributes 0 (undefined precision)
+        let expected = (f0 + f1 + 0.0) / 3.0;
+        assert!((m.macro_f1() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 2], &[0, 1, 2]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let m = ConfusionMatrix::from_predictions(&[], &[]);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let s = format!("{}", sample());
+        assert!(s.contains("truth"));
+    }
+}

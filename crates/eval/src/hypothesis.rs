@@ -1,0 +1,162 @@
+//! Two-sample hypothesis testing on embeddings — the "subsequent
+//! inference tasks such as hypothesis testing" that §I names as a GEE use
+//! case.
+//!
+//! Given the embedded vectors of two vertex groups, the **energy
+//! distance** test (Székely & Rizzo) asks whether the groups were drawn
+//! from the same latent distribution. The null distribution is obtained
+//! by label permutation, so the test is distribution-free; p-values are
+//! estimated as `(1 + #{permuted ≥ observed}) / (1 + permutations)`.
+//!
+//! On an SBM, embeddings of two different blocks must reject the null
+//! while two halves of the *same* block must not — the statistical
+//! regression test for the whole embedding pipeline.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Mean pairwise distance between (or within) point sets, from a
+/// precomputed distance matrix over the pooled sample.
+fn mean_cross(dist: &[Vec<f64>], ia: &[usize], ib: &[usize]) -> f64 {
+    if ia.is_empty() || ib.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = ia.iter().map(|&i| ib.iter().map(|&j| dist[i][j]).sum::<f64>()).sum();
+    sum / (ia.len() * ib.len()) as f64
+}
+
+/// Energy distance `2·E‖X−Y‖ − E‖X−X'‖ − E‖Y−Y'‖` computed from a pooled
+/// distance matrix and index sets.
+fn energy_statistic(dist: &[Vec<f64>], ia: &[usize], ib: &[usize]) -> f64 {
+    2.0 * mean_cross(dist, ia, ib) - mean_cross(dist, ia, ia) - mean_cross(dist, ib, ib)
+}
+
+/// Result of [`energy_test`].
+#[derive(Debug, Clone, Copy)]
+pub struct TestResult {
+    /// Observed energy-distance statistic (≥ 0 up to estimation noise).
+    pub statistic: f64,
+    /// Permutation p-value in `(0, 1]`.
+    pub p_value: f64,
+    /// Number of permutations used.
+    pub permutations: usize,
+}
+
+impl TestResult {
+    /// Reject the null "same distribution" at level `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value <= alpha
+    }
+}
+
+/// Two-sample energy-distance permutation test. `a` and `b` are the two
+/// groups of embedded vectors (equal dimension); `permutations` draws of
+/// a label shuffle estimate the null. Deterministic in `seed`.
+pub fn energy_test(a: &[Vec<f64>], b: &[Vec<f64>], permutations: usize, seed: u64) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "both samples must be non-empty");
+    let dim = a[0].len();
+    assert!(
+        a.iter().chain(b).all(|p| p.len() == dim),
+        "all points must share one dimension"
+    );
+    let pooled: Vec<&[f64]> = a.iter().chain(b).map(Vec::as_slice).collect();
+    let n = pooled.len();
+    // Pooled distance matrix, parallel by row (the O(n²·d) hot spot).
+    let dist: Vec<Vec<f64>> = (0..n)
+        .into_par_iter()
+        .map(|i| (0..n).map(|j| euclidean(pooled[i], pooled[j])).collect())
+        .collect();
+    let ia: Vec<usize> = (0..a.len()).collect();
+    let ib: Vec<usize> = (a.len()..n).collect();
+    let observed = energy_statistic(&dist, &ia, &ib);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut at_least = 0usize;
+    for _ in 0..permutations {
+        indices.shuffle(&mut rng);
+        let (pa, pb) = indices.split_at(a.len());
+        if energy_statistic(&dist, pa, pb) >= observed {
+            at_least += 1;
+        }
+    }
+    TestResult {
+        statistic: observed,
+        p_value: (1 + at_least) as f64 / (1 + permutations) as f64,
+        permutations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gaussian_blob(center: f64, n: usize, seed: u64) -> Vec<Vec<f64>> {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        // Sum of uniforms ≈ gaussian; exactness is irrelevant here.
+        let mut noise = move || (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+        (0..n).map(|_| vec![center + noise() * 0.3, noise() * 0.3]).collect()
+    }
+
+    #[test]
+    fn separated_samples_reject() {
+        let a = gaussian_blob(0.0, 40, 1);
+        let b = gaussian_blob(5.0, 40, 2);
+        let r = energy_test(&a, &b, 200, 7);
+        assert!(r.rejects_at(0.01), "p = {}", r.p_value);
+        assert!(r.statistic > 0.0);
+    }
+
+    #[test]
+    fn identical_distribution_does_not_reject() {
+        let a = gaussian_blob(0.0, 40, 3);
+        let b = gaussian_blob(0.0, 40, 4);
+        let r = energy_test(&a, &b, 200, 11);
+        assert!(!r.rejects_at(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn p_value_bounds() {
+        let a = gaussian_blob(0.0, 10, 5);
+        let b = gaussian_blob(0.2, 10, 6);
+        let r = energy_test(&a, &b, 99, 13);
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+        assert_eq!(r.permutations, 99);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = gaussian_blob(0.0, 15, 8);
+        let b = gaussian_blob(1.0, 15, 9);
+        let r1 = energy_test(&a, &b, 50, 21);
+        let r2 = energy_test(&a, &b, 50, 21);
+        assert_eq!(r1.p_value, r2.p_value);
+        assert_eq!(r1.statistic, r2.statistic);
+    }
+
+    #[test]
+    fn unbalanced_sample_sizes() {
+        let a = gaussian_blob(0.0, 10, 10);
+        let b = gaussian_blob(6.0, 60, 11);
+        let r = energy_test(&a, &b, 100, 23);
+        assert!(r.rejects_at(0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        energy_test(&[], &[vec![0.0]], 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one dimension")]
+    fn dimension_mismatch_rejected() {
+        energy_test(&[vec![0.0]], &[vec![0.0, 1.0]], 10, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Lloyd's k-means with k-means++ seeding, row-major input, parallel
+//! assignment. Deterministic for a fixed seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// k-means configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct KMeansOptions {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Stop when no assignment changes.
+    pub seed: u64,
+}
+
+impl KMeansOptions {
+    /// Sensible defaults for embedding-space clustering.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeansOptions { k, max_iters: 100, seed }
+    }
+}
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster id per point.
+    pub assignment: Vec<u32>,
+    /// Row-major `k × dim` centroids.
+    pub centroids: Vec<f64>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// Cluster `n` points of dimension `dim` stored row-major in `data`.
+pub fn kmeans(data: &[f64], n: usize, dim: usize, opts: KMeansOptions) -> KMeansResult {
+    assert_eq!(data.len(), n * dim, "data must be n×dim row-major");
+    assert!(opts.k >= 1, "k must be at least 1");
+    assert!(n >= opts.k, "need at least k points");
+    let k = opts.k;
+    let row = |i: usize| &data[i * dim..(i + 1) * dim];
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+
+    // k-means++ seeding.
+    let mut centroids = vec![0.0f64; k * dim];
+    let first = rng.gen_range(0..n);
+    centroids[..dim].copy_from_slice(row(first));
+    let mut min_d2: Vec<f64> = (0..n).map(|i| sq_dist(row(i), &centroids[..dim])).collect();
+    for c in 1..k {
+        let total: f64 = min_d2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &d) in min_d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    pick = i;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids[c * dim..(c + 1) * dim].copy_from_slice(row(chosen));
+        #[allow(clippy::needless_range_loop)] // i indexes both rows and min_d2
+        for i in 0..n {
+            let d = sq_dist(row(i), &centroids[c * dim..(c + 1) * dim]);
+            if d < min_d2[i] {
+                min_d2[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0u32; n];
+    let mut iterations = 0;
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        // Assignment (parallel).
+        let new_assignment: Vec<u32> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let p = row(i);
+                let mut best = 0u32;
+                let mut best_d = f64::INFINITY;
+                for c in 0..k {
+                    let d = sq_dist(p, &centroids[c * dim..(c + 1) * dim]);
+                    if d < best_d {
+                        best_d = d;
+                        best = c as u32;
+                    }
+                }
+                best
+            })
+            .collect();
+        let changed = new_assignment
+            .par_iter()
+            .zip(assignment.par_iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assignment = new_assignment;
+        // Update.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        #[allow(clippy::needless_range_loop)] // i indexes both rows and assignment
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row(i)) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed empty cluster at the farthest point from its centroid.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(row(a), &centroids[assignment[a] as usize * dim..][..dim]);
+                        let db = sq_dist(row(b), &centroids[assignment[b] as usize * dim..][..dim]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(row(far));
+            } else {
+                for (slot, &s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..]) {
+                    *slot = s / counts[c] as f64;
+                }
+            }
+        }
+        if changed == 0 && it > 0 {
+            break;
+        }
+    }
+    let inertia: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| sq_dist(row(i), &centroids[assignment[i] as usize * dim..][..dim]))
+        .sum();
+    KMeansResult { assignment, centroids, inertia, iterations }
+}
+
+/// Run [`kmeans`] `restarts` times with derived seeds and keep the run
+/// with the lowest inertia — the standard guard against Lloyd's local
+/// optima.
+pub fn kmeans_best_of(
+    data: &[f64],
+    n: usize,
+    dim: usize,
+    opts: KMeansOptions,
+    restarts: usize,
+) -> KMeansResult {
+    assert!(restarts >= 1);
+    (0..restarts as u64)
+        .map(|r| kmeans(data, n, dim, KMeansOptions { seed: opts.seed.wrapping_add(r * 0x9E3779B9), ..opts }))
+        .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
+        .expect("at least one restart")
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> (Vec<f64>, usize) {
+        // 20 points near (0,0), 20 near (10,10)
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.extend_from_slice(&[0.0 + (i % 5) as f64 * 0.01, 0.0 + (i % 3) as f64 * 0.01]);
+        }
+        for i in 0..20 {
+            data.extend_from_slice(&[10.0 + (i % 5) as f64 * 0.01, 10.0 + (i % 3) as f64 * 0.01]);
+        }
+        (data, 40)
+    }
+
+    #[test]
+    fn separates_clear_blobs() {
+        let (data, n) = two_blobs();
+        let r = kmeans(&data, n, 2, KMeansOptions::new(2, 1));
+        let first = r.assignment[0];
+        assert!(r.assignment[..20].iter().all(|&a| a == first));
+        assert!(r.assignment[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (data, n) = two_blobs();
+        let a = kmeans(&data, n, 2, KMeansOptions::new(2, 7));
+        let b = kmeans(&data, n, 2, KMeansOptions::new(2, 7));
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (data, n) = two_blobs();
+        let r1 = kmeans(&data, n, 2, KMeansOptions::new(1, 3));
+        let r2 = kmeans(&data, n, 2, KMeansOptions::new(2, 3));
+        assert!(r2.inertia < r1.inertia);
+    }
+
+    #[test]
+    fn k_equals_n_zero_inertia() {
+        let data = vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0];
+        let r = kmeans(&data, 3, 2, KMeansOptions::new(3, 5));
+        assert!(r.inertia < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k points")]
+    fn rejects_k_above_n() {
+        kmeans(&[0.0, 0.0], 1, 2, KMeansOptions::new(2, 1));
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let data = vec![1.0, 3.0, 5.0, 7.0]; // two 2-d points
+        let r = kmeans(&data, 2, 2, KMeansOptions::new(1, 2));
+        assert!((r.centroids[0] - 3.0).abs() < 1e-12);
+        assert!((r.centroids[1] - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! k-nearest-neighbor vertex classification on an embedding — the
+//! "subsequent inference" task (§I of the parallel paper, and the primary
+//! evaluation of the original GEE paper): classify unlabeled vertices from
+//! the embedding rows of labeled ones.
+
+use rayon::prelude::*;
+
+/// Classify each query row by majority vote among its `k` nearest labeled
+/// rows (Euclidean distance, ties broken toward the nearer neighbor's
+/// class). `train` pairs row indices with their class.
+///
+/// `data` is `n × dim` row-major; `queries` are row indices to classify.
+/// Returns one predicted class per query. Brute-force O(|queries|·|train|)
+/// — the evaluation sizes here are thousands of vertices, where exact
+/// brute force is both simplest and fastest.
+pub fn knn_classify(
+    data: &[f64],
+    dim: usize,
+    train: &[(u32, u32)],
+    queries: &[u32],
+    k: usize,
+) -> Vec<u32> {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(!train.is_empty(), "need at least one training vertex");
+    assert_eq!(data.len() % dim.max(1), 0, "data must be a whole number of rows");
+    let row = |i: u32| &data[i as usize * dim..(i as usize + 1) * dim];
+    queries
+        .par_iter()
+        .map(|&q| {
+            let qr = row(q);
+            // Partial selection of the k smallest distances.
+            let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+            for &(t, class) in train {
+                let d: f64 = qr.iter().zip(row(t)).map(|(a, b)| (a - b) * (a - b)).sum();
+                let pos = best.partition_point(|&(bd, _)| bd < d);
+                if pos < k {
+                    best.insert(pos, (d, class));
+                    if best.len() > k {
+                        best.pop();
+                    }
+                }
+            }
+            // Majority vote, nearest-first tiebreak.
+            let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+            for &(_, c) in &best {
+                *counts.entry(c).or_default() += 1;
+            }
+            let top = counts.values().max().copied().unwrap_or(0);
+            best.iter()
+                .find(|&&(_, c)| counts[&c] == top)
+                .map(|&(_, c)| c)
+                .expect("best is nonempty")
+        })
+        .collect()
+}
+
+/// Classification accuracy of predictions against ground truth.
+pub fn accuracy(predicted: &[u32], truth: &[u32]) -> f64 {
+    assert_eq!(predicted.len(), truth.len());
+    if predicted.is_empty() {
+        return 1.0;
+    }
+    let hits = predicted.iter().zip(truth).filter(|(a, b)| a == b).count();
+    hits as f64 / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated 1-D clusters.
+    fn line_data() -> Vec<f64> {
+        // rows 0..4 near 0, rows 4..8 near 100
+        vec![0.0, 0.5, 1.0, 1.5, 100.0, 100.5, 101.0, 101.5]
+    }
+
+    #[test]
+    fn classifies_by_proximity() {
+        let data = line_data();
+        let train = vec![(0, 7), (1, 7), (4, 9), (5, 9)];
+        let pred = knn_classify(&data, 1, &train, &[2, 3, 6, 7], 3);
+        assert_eq!(pred, vec![7, 7, 9, 9]);
+    }
+
+    #[test]
+    fn k_one_nearest_neighbor() {
+        let data = line_data();
+        let train = vec![(0, 1), (7, 2)];
+        let pred = knn_classify(&data, 1, &train, &[1, 6], 1);
+        assert_eq!(pred, vec![1, 2]);
+    }
+
+    #[test]
+    fn majority_beats_single_outlier() {
+        // Query at 50 with train: two class-0 at 49, 51 and one class-1 at 50.
+        let data = vec![49.0, 51.0, 50.0, 50.0];
+        let train = vec![(0, 0), (1, 0), (2, 1)];
+        let pred = knn_classify(&data, 1, &train, &[3], 3);
+        assert_eq!(pred, vec![0]);
+    }
+
+    #[test]
+    fn accuracy_measures_fraction() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training")]
+    fn empty_train_rejected() {
+        knn_classify(&[0.0], 1, &[], &[0], 1);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_is_fine() {
+        let data = line_data();
+        let train = vec![(0, 5), (4, 6)];
+        let pred = knn_classify(&data, 1, &train, &[1], 10);
+        // both neighbors vote; nearest-first tiebreak picks class 5
+        assert_eq!(pred, vec![5]);
+    }
+}

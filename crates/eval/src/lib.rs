@@ -1,0 +1,42 @@
+//! Embedding quality evaluation for the GEE reproduction.
+//!
+//! The paper's evaluation is purely about runtime, but its premise is that
+//! GEE "converges asymptotically to the spectral embedding" and is
+//! "consistent for subsequent inference tasks such as hypothesis testing
+//! and community detection" (§I). This crate provides the tooling to check
+//! that premise on synthetic graphs with known structure:
+//!
+//! * [`kmeans()`] — Lloyd's algorithm with k-means++ seeding, parallel
+//!   assignment step (also the engine of unsupervised / iterative GEE).
+//! * [`metrics`] — Adjusted Rand Index, Normalized Mutual Information,
+//!   purity, within/between scatter ratio.
+//! * [`spectral`] — adjacency spectral embedding via block power iteration
+//!   (the statistical baseline GEE converges toward).
+//! * [`validity`] — internal cluster-validity indices (silhouette,
+//!   Davies–Bouldin) for truth-free quality checks.
+//! * [`hypothesis`] — two-sample energy-distance permutation test on
+//!   embedded groups (the "hypothesis testing" inference task of §I).
+//! * [`logreg`] — multinomial logistic regression, the linear
+//!   vertex classifier counterpart to [`knn`].
+
+pub mod confusion;
+pub mod hypothesis;
+pub mod kmeans;
+pub mod knn;
+pub mod logreg;
+pub mod metrics;
+pub mod procrustes;
+pub mod spectral;
+pub mod split;
+pub mod validity;
+
+pub use confusion::ConfusionMatrix;
+pub use hypothesis::{energy_test, TestResult};
+pub use kmeans::{kmeans, kmeans_best_of, KMeansOptions, KMeansResult};
+pub use knn::{accuracy, knn_classify};
+pub use logreg::{LogRegOptions, LogisticRegression};
+pub use metrics::{adjusted_rand_index, normalized_mutual_information, purity, scatter_ratio};
+pub use procrustes::{orthogonal_procrustes, ProcrustesResult};
+pub use spectral::{spectral_embedding, SpectralOptions};
+pub use split::{k_fold, stratified_split, train_test_split, Split};
+pub use validity::{davies_bouldin, silhouette};

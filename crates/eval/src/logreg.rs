@@ -1,0 +1,240 @@
+//! Multinomial logistic regression on embeddings — a linear classifier
+//! for the vertex-classification task GEE embeddings feed (§I:
+//! "consistent for subsequent inference tasks"). Complements the
+//! non-parametric k-NN in [`crate::knn`]: GEE separates classes into
+//! near-linear regions of `R^K`, so a linear model should recover them.
+//!
+//! Full-batch gradient descent on the softmax cross-entropy with L2
+//! regularization; the gradient step is parallelized over samples. No
+//! adaptive optimizer — the problem is convex and conditioning is mild
+//! after row normalization.
+
+use rayon::prelude::*;
+
+/// Hyperparameters for [`LogisticRegression::fit`].
+#[derive(Debug, Clone, Copy)]
+pub struct LogRegOptions {
+    /// Gradient-descent steps.
+    pub epochs: usize,
+    /// Step size.
+    pub learning_rate: f64,
+    /// L2 penalty on weights (not biases).
+    pub l2: f64,
+}
+
+impl Default for LogRegOptions {
+    fn default() -> Self {
+        LogRegOptions { epochs: 200, learning_rate: 0.5, l2: 1e-4 }
+    }
+}
+
+/// A trained one-layer softmax classifier: `P(c | x) ∝ exp(W_c·x + b_c)`.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Row-major `num_classes × dim` weights.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    dim: usize,
+    num_classes: usize,
+}
+
+impl LogisticRegression {
+    /// Fit on `(x, y)` pairs; `y` values must lie in `0..num_classes`.
+    pub fn fit(
+        x: &[Vec<f64>],
+        y: &[u32],
+        num_classes: usize,
+        opts: LogRegOptions,
+    ) -> LogisticRegression {
+        assert_eq!(x.len(), y.len(), "one label per sample");
+        assert!(!x.is_empty(), "training set must be non-empty");
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(y.iter().all(|&c| (c as usize) < num_classes), "label out of range");
+        let dim = x[0].len();
+        assert!(x.iter().all(|p| p.len() == dim), "all samples must share one dimension");
+        let n = x.len();
+        let mut model = LogisticRegression {
+            weights: vec![0.0; num_classes * dim],
+            bias: vec![0.0; num_classes],
+            dim,
+            num_classes,
+        };
+        for _ in 0..opts.epochs {
+            // Per-sample gradient contributions, reduced in parallel.
+            let (gw, gb) = x
+                .par_iter()
+                .zip(y.par_iter())
+                .fold(
+                    || (vec![0.0f64; num_classes * dim], vec![0.0f64; num_classes]),
+                    |(mut gw, mut gb), (xi, &yi)| {
+                        let p = model.probabilities(xi);
+                        for c in 0..num_classes {
+                            let err = p[c] - f64::from(u8::from(c == yi as usize));
+                            gb[c] += err;
+                            let row = &mut gw[c * dim..(c + 1) * dim];
+                            for (g, &xv) in row.iter_mut().zip(xi) {
+                                *g += err * xv;
+                            }
+                        }
+                        (gw, gb)
+                    },
+                )
+                .reduce(
+                    || (vec![0.0f64; num_classes * dim], vec![0.0f64; num_classes]),
+                    |(mut aw, mut ab), (bw, bb)| {
+                        for (a, b) in aw.iter_mut().zip(&bw) {
+                            *a += b;
+                        }
+                        for (a, b) in ab.iter_mut().zip(&bb) {
+                            *a += b;
+                        }
+                        (aw, ab)
+                    },
+                );
+            let scale = opts.learning_rate / n as f64;
+            for (w, g) in model.weights.iter_mut().zip(&gw) {
+                *w -= scale * (g + opts.l2 * *w * n as f64);
+            }
+            for (b, g) in model.bias.iter_mut().zip(&gb) {
+                *b -= scale * g;
+            }
+        }
+        model
+    }
+
+    /// Class probabilities for one sample (softmax, numerically shifted).
+    pub fn probabilities(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "sample dimension mismatch");
+        let mut logits: Vec<f64> = (0..self.num_classes)
+            .map(|c| {
+                let row = &self.weights[c * self.dim..(c + 1) * self.dim];
+                row.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.bias[c]
+            })
+            .collect();
+        let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for l in &mut logits {
+            *l = (*l - max).exp();
+            total += *l;
+        }
+        for l in &mut logits {
+            *l /= total;
+        }
+        logits
+    }
+
+    /// Most-probable class for one sample.
+    pub fn predict(&self, x: &[f64]) -> u32 {
+        let p = self.probabilities(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(c, _)| c as u32)
+            .expect("at least two classes")
+    }
+
+    /// Predictions for a batch, parallel over samples.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<u32> {
+        xs.par_iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three linearly-separable blobs in 2-D.
+    fn blobs() -> (Vec<Vec<f64>>, Vec<u32>) {
+        let centers = [(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..30 {
+                let jx = ((i * 37 + c * 11) % 17) as f64 / 17.0 - 0.5;
+                let jy = ((i * 53 + c * 29) % 19) as f64 / 19.0 - 0.5;
+                x.push(vec![cx + jx, cy + jy]);
+                y.push(c as u32);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn separable_blobs_fit_perfectly() {
+        let (x, y) = blobs();
+        let model = LogisticRegression::fit(&x, &y, 3, LogRegOptions::default());
+        let pred = model.predict_batch(&x);
+        let correct = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
+        assert_eq!(correct, x.len(), "training accuracy below 100% on separable data");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = blobs();
+        let model = LogisticRegression::fit(&x, &y, 3, LogRegOptions::default());
+        let p = model.probabilities(&x[0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn generalizes_to_held_out_points() {
+        let (x, y) = blobs();
+        let model = LogisticRegression::fit(&x, &y, 3, LogRegOptions::default());
+        assert_eq!(model.predict(&[0.2, -0.1]), 0);
+        assert_eq!(model.predict(&[5.8, 0.3]), 1);
+        assert_eq!(model.predict(&[-0.3, 6.2]), 2);
+    }
+
+    #[test]
+    fn binary_case() {
+        let x = vec![vec![-1.0], vec![-2.0], vec![1.0], vec![2.0]];
+        let y = vec![0, 0, 1, 1];
+        let model = LogisticRegression::fit(&x, &y, 2, LogRegOptions::default());
+        assert_eq!(model.predict(&[-1.5]), 0);
+        assert_eq!(model.predict(&[1.5]), 1);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = blobs();
+        let loose = LogisticRegression::fit(
+            &x,
+            &y,
+            3,
+            LogRegOptions { l2: 0.0, ..Default::default() },
+        );
+        let tight = LogisticRegression::fit(
+            &x,
+            &y,
+            3,
+            LogRegOptions { l2: 1.0, ..Default::default() },
+        );
+        let norm = |m: &LogisticRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn validates_labels() {
+        LogisticRegression::fit(&[vec![0.0]], &[5], 2, LogRegOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn validates_prediction_dim() {
+        let model =
+            LogisticRegression::fit(&[vec![0.0], vec![1.0]], &[0, 1], 2, LogRegOptions::default());
+        model.predict(&[0.0, 1.0]);
+    }
+}

@@ -1,0 +1,308 @@
+//! Orthogonal Procrustes alignment — the tool behind "GEE converges to
+//! the spectral embedding": spectral embeddings are identifiable only up
+//! to an orthogonal transform, so comparing two embeddings means solving
+//! `min_R ‖A·R − B‖_F` over orthogonal `R` first.
+//!
+//! `R = U·Vᵀ` where `Aᵀ·B = U·Σ·Vᵀ`. The crossed matrix is `k×k` with
+//! `k = K ≪ n`, so a one-sided Jacobi SVD (cyclic column rotations until
+//! convergence) is exact enough and dependency-free.
+
+use rayon::prelude::*;
+
+/// Result of [`orthogonal_procrustes`].
+#[derive(Debug, Clone)]
+pub struct ProcrustesResult {
+    /// Row-major `k×k` orthogonal matrix mapping `A`'s frame onto `B`'s.
+    pub rotation: Vec<f64>,
+    /// `‖A·R − B‖_F` after alignment.
+    pub residual: f64,
+    /// `‖A·R − B‖_F / ‖B‖_F` (0 when `B` is all zeros).
+    pub relative_residual: f64,
+}
+
+/// One-sided Jacobi SVD of a row-major `k×k` matrix `m`: returns
+/// `(u, sigma, v)` with `m = u·diag(sigma)·vᵀ`, `u`/`v` row-major.
+/// Zero singular directions get arbitrary orthonormal completion columns.
+fn svd_kxk(m: &[f64], k: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    // Work on columns of `a` (copy of m) while accumulating V.
+    let mut a = m.to_vec();
+    let mut v = vec![0.0; k * k];
+    for i in 0..k {
+        v[i * k + i] = 1.0;
+    }
+    let col_dot = |a: &[f64], p: usize, q: usize| -> f64 {
+        (0..k).map(|r| a[r * k + p] * a[r * k + q]).sum()
+    };
+    // Cyclic Jacobi sweeps: rotate column pairs until all are orthogonal.
+    for _sweep in 0..60 {
+        let mut off = 0.0f64;
+        for p in 0..k {
+            for q in (p + 1)..k {
+                let apq = col_dot(&a, p, q);
+                let app = col_dot(&a, p, p);
+                let aqq = col_dot(&a, q, q);
+                off += apq * apq;
+                if apq.abs() <= 1e-15 * (app * aqq).sqrt().max(1e-300) {
+                    continue;
+                }
+                // Jacobi rotation zeroing the (p,q) column inner product.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for r in 0..k {
+                    let (x, y) = (a[r * k + p], a[r * k + q]);
+                    a[r * k + p] = c * x - s * y;
+                    a[r * k + q] = s * x + c * y;
+                    let (x, y) = (v[r * k + p], v[r * k + q]);
+                    v[r * k + p] = c * x - s * y;
+                    v[r * k + q] = s * x + c * y;
+                }
+            }
+        }
+        if off.sqrt() < 1e-14 {
+            break;
+        }
+    }
+    // Singular values are the column norms; U's columns the normalized
+    // columns of the rotated matrix.
+    let mut sigma = vec![0.0; k];
+    let mut u = vec![0.0; k * k];
+    for j in 0..k {
+        let norm = col_dot(&a, j, j).sqrt();
+        sigma[j] = norm;
+        if norm > 1e-300 {
+            for r in 0..k {
+                u[r * k + j] = a[r * k + j] / norm;
+            }
+        } else {
+            // Null direction: complete with a unit vector orthogonalized
+            // against the existing columns (Gram-Schmidt over e_j).
+            let mut col = vec![0.0; k];
+            col[j] = 1.0;
+            for jj in 0..k {
+                if jj == j {
+                    continue;
+                }
+                let dot: f64 = (0..k).map(|r| col[r] * u[r * k + jj]).sum();
+                for (r, c) in col.iter_mut().enumerate() {
+                    *c -= dot * u[r * k + jj];
+                }
+            }
+            let norm = col.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+            for r in 0..k {
+                u[r * k + j] = col[r] / norm;
+            }
+        }
+    }
+    (u, sigma, v)
+}
+
+/// Solve `min_R ‖A·R − B‖_F` over orthogonal `R`, for row-major `n×k`
+/// matrices `a` and `b`.
+pub fn orthogonal_procrustes(a: &[f64], b: &[f64], n: usize, k: usize) -> ProcrustesResult {
+    assert_eq!(a.len(), n * k, "A must be n×k");
+    assert_eq!(b.len(), n * k, "B must be n×k");
+    // M = Aᵀ·B (k×k), reduced over row blocks in parallel.
+    let m: Vec<f64> = a
+        .par_chunks(k.max(1) * 1024)
+        .zip(b.par_chunks(k.max(1) * 1024))
+        .map(|(ab, bb)| {
+            let mut local = vec![0.0f64; k * k];
+            for (ra, rb) in ab.chunks_exact(k.max(1)).zip(bb.chunks_exact(k.max(1))) {
+                for (i, &x) in ra.iter().enumerate() {
+                    for (j, &y) in rb.iter().enumerate() {
+                        local[i * k + j] += x * y;
+                    }
+                }
+            }
+            local
+        })
+        .reduce(
+            || vec![0.0f64; k * k],
+            |mut acc, loc| {
+                for (x, y) in acc.iter_mut().zip(&loc) {
+                    *x += y;
+                }
+                acc
+            },
+        );
+    let (u, _sigma, v) = svd_kxk(&m, k);
+    // R = U·Vᵀ.
+    let mut rotation = vec![0.0f64; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            rotation[i * k + j] = (0..k).map(|l| u[i * k + l] * v[j * k + l]).sum();
+        }
+    }
+    // Residual ‖A·R − B‖_F and ‖B‖_F.
+    let (res2, b2) = a
+        .par_chunks(k.max(1))
+        .zip(b.par_chunks(k.max(1)))
+        .map(|(ra, rb)| {
+            let mut res = 0.0f64;
+            let mut bb = 0.0f64;
+            for j in 0..k {
+                let rotated: f64 = (0..k).map(|l| ra[l] * rotation[l * k + j]).sum();
+                res += (rotated - rb[j]) * (rotated - rb[j]);
+                bb += rb[j] * rb[j];
+            }
+            (res, bb)
+        })
+        .reduce(|| (0.0, 0.0), |(x1, y1), (x2, y2)| (x1 + x2, y1 + y2));
+    let residual = res2.sqrt();
+    ProcrustesResult {
+        rotation,
+        residual,
+        relative_residual: if b2 > 0.0 { residual / b2.sqrt() } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_mul(a: &[f64], b: &[f64], n: usize, k: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n * k];
+        for r in 0..n {
+            for j in 0..k {
+                out[r * k + j] = (0..k).map(|l| a[r * k + l] * b[l * k + j]).sum();
+            }
+        }
+        out
+    }
+
+    fn rotation_2d(theta: f64) -> Vec<f64> {
+        vec![theta.cos(), -theta.sin(), theta.sin(), theta.cos()]
+    }
+
+    fn is_orthogonal(r: &[f64], k: usize) -> bool {
+        let mut ok = true;
+        for i in 0..k {
+            for j in 0..k {
+                let dot: f64 = (0..k).map(|l| r[l * k + i] * r[l * k + j]).sum();
+                let want = f64::from(u8::from(i == j));
+                ok &= (dot - want).abs() < 1e-9;
+            }
+        }
+        ok
+    }
+
+    fn sample_points(n: usize, k: usize, seed: u64) -> Vec<f64> {
+        // Deterministic pseudo-random full-rank cloud.
+        let mut state = seed | 1;
+        (0..n * k)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 500.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_pure_rotation() {
+        let a = sample_points(60, 2, 5);
+        let r_true = rotation_2d(0.7);
+        let b = mat_mul(&a, &r_true, 60, 2);
+        let got = orthogonal_procrustes(&a, &b, 60, 2);
+        assert!(got.residual < 1e-9, "residual {}", got.residual);
+        for (x, y) in got.rotation.iter().zip(&r_true) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recovers_reflection() {
+        let a = sample_points(40, 2, 9);
+        let refl = vec![1.0, 0.0, 0.0, -1.0];
+        let b = mat_mul(&a, &refl, 40, 2);
+        let got = orthogonal_procrustes(&a, &b, 40, 2);
+        assert!(got.residual < 1e-9);
+        assert!(is_orthogonal(&got.rotation, 2));
+    }
+
+    #[test]
+    fn rotation_is_orthogonal_under_noise() {
+        let a = sample_points(80, 3, 13);
+        let r_true = {
+            // Compose two planar rotations in 3-D.
+            let mut r = vec![0.0; 9];
+            let (c, s) = (0.6f64.cos(), 0.6f64.sin());
+            r[0] = c;
+            r[1] = -s;
+            r[3] = s;
+            r[4] = c;
+            r[8] = 1.0;
+            r
+        };
+        let mut b = mat_mul(&a, &r_true, 80, 3);
+        for (i, x) in b.iter_mut().enumerate() {
+            *x += ((i * 37) % 11) as f64 * 1e-3; // deterministic noise
+        }
+        let got = orthogonal_procrustes(&a, &b, 80, 3);
+        assert!(is_orthogonal(&got.rotation, 3));
+        assert!(got.relative_residual < 0.02, "rel {}", got.relative_residual);
+    }
+
+    #[test]
+    fn aligned_beats_unaligned() {
+        let a = sample_points(50, 4, 17);
+        let theta = 1.1f64;
+        let mut r = vec![0.0; 16];
+        r[0] = theta.cos();
+        r[1] = -theta.sin();
+        r[4] = theta.sin();
+        r[5] = theta.cos();
+        r[10] = 1.0;
+        r[15] = 1.0;
+        let b = mat_mul(&a, &r, 50, 4);
+        let unaligned: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt();
+        let got = orthogonal_procrustes(&a, &b, 50, 4);
+        assert!(got.residual < unaligned / 100.0);
+    }
+
+    #[test]
+    fn identical_inputs_identity_rotation() {
+        let a = sample_points(30, 3, 21);
+        let got = orthogonal_procrustes(&a, &a, 30, 3);
+        assert!(got.residual < 1e-9);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = f64::from(u8::from(i == j));
+                assert!((got.rotation[i * 3 + j] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input_still_orthogonal() {
+        // All mass in one coordinate: M is rank 1; completion path runs.
+        let n = 20;
+        let a: Vec<f64> = (0..n).flat_map(|i| [i as f64, 0.0]).collect();
+        let b = a.clone();
+        let got = orthogonal_procrustes(&a, &b, n, 2);
+        assert!(is_orthogonal(&got.rotation, 2));
+        assert!(got.residual < 1e-9);
+    }
+
+    #[test]
+    fn zero_b_gives_zero_relative() {
+        let a = sample_points(10, 2, 25);
+        let b = vec![0.0; 20];
+        let got = orthogonal_procrustes(&a, &b, 10, 2);
+        assert_eq!(got.relative_residual, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n×k")]
+    fn validates_shapes() {
+        orthogonal_procrustes(&[0.0; 4], &[0.0; 6], 2, 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Train/test splitting and k-fold cross-validation over vertex sets —
+//! the bookkeeping layer for classifier evaluation on embeddings
+//! ([`crate::knn`], [`crate::logreg`]).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index split into train and test sets.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Training indices.
+    pub train: Vec<usize>,
+    /// Held-out indices.
+    pub test: Vec<usize>,
+}
+
+/// Shuffle `0..n` and split with `test_fraction` held out. Deterministic
+/// in `seed`; every index lands in exactly one side.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Split {
+    assert!((0.0..=1.0).contains(&test_fraction), "fraction must be in [0, 1]");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let cut = ((n as f64) * test_fraction).round() as usize;
+    let (test, train) = idx.split_at(cut.min(n));
+    Split { train: train.to_vec(), test: test.to_vec() }
+}
+
+/// Stratified split: the test side holds `test_fraction` of *each class*
+/// (rounded per class), so rare classes stay represented.
+pub fn stratified_split(labels: &[u32], test_fraction: f64, seed: u64) -> Split {
+    assert!((0.0..=1.0).contains(&test_fraction), "fraction must be in [0, 1]");
+    let k = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &c) in labels.iter().enumerate() {
+        by_class[c as usize].push(i);
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut split = Split { train: Vec::new(), test: Vec::new() };
+    for mut members in by_class {
+        members.shuffle(&mut rng);
+        let cut = ((members.len() as f64) * test_fraction).round() as usize;
+        split.test.extend_from_slice(&members[..cut.min(members.len())]);
+        split.train.extend_from_slice(&members[cut.min(members.len())..]);
+    }
+    split
+}
+
+/// `k`-fold partition of `0..n`: returns `k` splits, each using one fold
+/// as test and the rest as train. Folds differ in size by at most one.
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= n.max(1), "more folds than points");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds: Vec<Vec<usize>> = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for f in 0..k {
+        let len = base + usize::from(f < extra);
+        folds.push(idx[start..start + len].to_vec());
+        start += len;
+    }
+    (0..k)
+        .map(|f| Split {
+            test: folds[f].clone(),
+            train: folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_test_split(100, 0.3, 7);
+        assert_eq!(s.test.len(), 30);
+        assert_eq!(s.train.len(), 70);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_deterministic_in_seed() {
+        let a = train_test_split(50, 0.2, 3);
+        let b = train_test_split(50, 0.2, 3);
+        assert_eq!(a.test, b.test);
+        let c = train_test_split(50, 0.2, 4);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let s = train_test_split(10, 0.0, 1);
+        assert!(s.test.is_empty());
+        assert_eq!(s.train.len(), 10);
+        let s = train_test_split(10, 1.0, 1);
+        assert!(s.train.is_empty());
+    }
+
+    #[test]
+    fn stratified_preserves_class_shares() {
+        // 80 of class 0, 20 of class 1.
+        let labels: Vec<u32> = (0..100).map(|i| u32::from(i >= 80)).collect();
+        let s = stratified_split(&labels, 0.25, 5);
+        let test_ones = s.test.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(test_ones, 5, "25% of 20 class-1 points");
+        assert_eq!(s.test.len(), 25);
+    }
+
+    #[test]
+    fn stratified_keeps_rare_class_in_train() {
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let s = stratified_split(&labels, 0.5, 9);
+        let train_rare = s.train.iter().filter(|&&i| labels[i] == 1).count();
+        assert_eq!(train_rare, 1);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold(23, 4, 11);
+        assert_eq!(folds.len(), 4);
+        let mut seen = [0usize; 23];
+        for s in &folds {
+            assert_eq!(s.train.len() + s.test.len(), 23);
+            for &i in &s.test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "each index tests exactly once");
+        // Fold sizes differ by at most one.
+        let sizes: Vec<usize> = folds.iter().map(|s| s.test.len()).collect();
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k_fold_validates_k() {
+        k_fold(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds")]
+    fn k_fold_validates_n() {
+        k_fold(3, 5, 0);
+    }
+}

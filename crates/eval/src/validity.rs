@@ -1,0 +1,186 @@
+//! Internal cluster-validity indices — silhouette and Davies–Bouldin —
+//! for judging embedding quality *without* ground-truth labels
+//! (complementing the external ARI/NMI metrics, which need the truth).
+
+use rayon::prelude::*;
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Mean silhouette coefficient over all points, in `[-1, 1]` (higher =
+/// better-separated clusters). Points in singleton clusters score 0 by
+/// convention. O(n²·k) pairwise distances, parallel over points — meant
+/// for evaluation-sized samples, not billion-edge graphs.
+pub fn silhouette(points: &[Vec<f64>], assignment: &[u32]) -> f64 {
+    assert_eq!(points.len(), assignment.len(), "one label per point");
+    let n = points.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut cluster_sizes = vec![0usize; k];
+    for &c in assignment {
+        cluster_sizes[c as usize] += 1;
+    }
+    let scores: f64 = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let ci = assignment[i] as usize;
+            if cluster_sizes[ci] <= 1 {
+                return 0.0;
+            }
+            // Mean distance to every cluster.
+            let mut sums = vec![0.0f64; k];
+            for j in 0..n {
+                if j != i {
+                    sums[assignment[j] as usize] += euclidean(&points[i], &points[j]);
+                }
+            }
+            let a = sums[ci] / (cluster_sizes[ci] - 1) as f64;
+            let b = (0..k)
+                .filter(|&c| c != ci && cluster_sizes[c] > 0)
+                .map(|c| sums[c] / cluster_sizes[c] as f64)
+                .fold(f64::INFINITY, f64::min);
+            if !b.is_finite() {
+                return 0.0; // only one non-empty cluster
+            }
+            (b - a) / a.max(b)
+        })
+        .sum();
+    scores / n as f64
+}
+
+/// Davies–Bouldin index (lower = better separation; 0 is ideal). Ratio of
+/// within-cluster scatter to between-centroid distance, worst-case paired
+/// per cluster.
+pub fn davies_bouldin(points: &[Vec<f64>], assignment: &[u32]) -> f64 {
+    assert_eq!(points.len(), assignment.len(), "one label per point");
+    if points.is_empty() {
+        return 0.0;
+    }
+    let dim = points[0].len();
+    let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    // Centroids.
+    let mut centroids = vec![vec![0.0f64; dim]; k];
+    let mut sizes = vec![0usize; k];
+    for (p, &c) in points.iter().zip(assignment) {
+        let c = c as usize;
+        sizes[c] += 1;
+        for (acc, &x) in centroids[c].iter_mut().zip(p) {
+            *acc += x;
+        }
+    }
+    for (c, size) in centroids.iter_mut().zip(&sizes) {
+        if *size > 0 {
+            for x in c {
+                *x /= *size as f64;
+            }
+        }
+    }
+    // Mean within-cluster distance to centroid.
+    let mut scatter = vec![0.0f64; k];
+    for (p, &c) in points.iter().zip(assignment) {
+        scatter[c as usize] += euclidean(p, &centroids[c as usize]);
+    }
+    for (s, &size) in scatter.iter_mut().zip(&sizes) {
+        if size > 0 {
+            *s /= size as f64;
+        }
+    }
+    let live: Vec<usize> = (0..k).filter(|&c| sizes[c] > 0).collect();
+    if live.len() < 2 {
+        return 0.0;
+    }
+    let db: f64 = live
+        .iter()
+        .map(|&i| {
+            live.iter()
+                .filter(|&&j| j != i)
+                .map(|&j| {
+                    let d = euclidean(&centroids[i], &centroids[j]);
+                    if d > 0.0 {
+                        (scatter[i] + scatter[j]) / d
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    db / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two tight, well-separated blobs.
+    fn blobs() -> (Vec<Vec<f64>>, Vec<u32>) {
+        let mut points = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            points.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            labels.push(0);
+            points.push(vec![10.0 + (i as f64) * 0.01, 0.0]);
+            labels.push(1);
+        }
+        (points, labels)
+    }
+
+    #[test]
+    fn silhouette_high_for_separated_blobs() {
+        let (p, l) = blobs();
+        assert!(silhouette(&p, &l) > 0.9);
+    }
+
+    #[test]
+    fn silhouette_low_for_shuffled_labels() {
+        let (p, _) = blobs();
+        // Split by array position: each "cluster" straddles both blobs.
+        let bad: Vec<u32> = (0..p.len()).map(|i| u32::from(i < p.len() / 2)).collect();
+        let (good_p, good_l) = blobs();
+        assert!(silhouette(&p, &bad) < silhouette(&good_p, &good_l) - 0.5);
+    }
+
+    #[test]
+    fn silhouette_singletons_score_zero() {
+        let p = vec![vec![0.0], vec![5.0]];
+        let l = vec![0, 1];
+        assert_eq!(silhouette(&p, &l), 0.0);
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_zero() {
+        let p = vec![vec![0.0], vec![1.0], vec![2.0]];
+        assert_eq!(silhouette(&p, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn davies_bouldin_lower_for_better_clustering() {
+        let (p, l) = blobs();
+        // Split by array position: each "cluster" straddles both blobs.
+        let bad: Vec<u32> = (0..p.len()).map(|i| u32::from(i < p.len() / 2)).collect();
+        assert!(davies_bouldin(&p, &l) < davies_bouldin(&p, &bad));
+    }
+
+    #[test]
+    fn davies_bouldin_near_zero_for_tight_blobs() {
+        let (p, l) = blobs();
+        assert!(davies_bouldin(&p, &l) < 0.1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(silhouette(&[], &[]), 0.0);
+        assert_eq!(davies_bouldin(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn coincident_centroids_are_worst_case() {
+        // Two clusters with the same centroid → DB index is infinite.
+        let p = vec![vec![-1.0], vec![1.0], vec![-1.0], vec![1.0]];
+        let l = vec![0, 0, 1, 1];
+        assert!(davies_bouldin(&p, &l).is_infinite());
+    }
+}

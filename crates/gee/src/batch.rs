@@ -1,0 +1,249 @@
+//! Batch GEE — embed several labelings of the *same* graph in one fused
+//! edge pass.
+//!
+//! §IV of the paper argues the edge pass is **memory bound**: "two
+//! fused-multiply adds per edge and two memory writes, one of which is
+//! likely to miss". When several embeddings are needed (label-propagation
+//! seeding sweeps, bootstrap resampling of the known labels, γ-sweeps of
+//! community labels), running L separate passes pays the edge-stream
+//! traffic L times. The fused pass reads each edge once and applies all L
+//! updates while the endpoints' metadata is hot, so edge traffic is paid
+//! once.
+//!
+//! The trade-off (measured by the `ablation-batch` bench): fusing pays
+//! for an L-times-larger `Z` working set with interleaved rows. It wins
+//! when the per-labeling footprint `n·K·8 B` is small (low K, so the
+//! edge stream dominates traffic) and loses at the paper's K = 50 where
+//! `Z` writes dominate — the same footprint reasoning as §IV.
+//!
+//! Layout: one row-major accumulator per vertex holding the L per-labeling
+//! blocks back to back (`row(v) = [Z₀(v,·) | Z₁(v,·) | …]`), so a vertex's
+//! entire update footprint is one contiguous stripe.
+
+use gee_graph::EdgeList;
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::projection::Projection;
+
+/// Serial fused pass: bit-identical to running
+/// [`crate::serial_optimized::embed`] once per labeling.
+pub fn embed_many(el: &EdgeList, labelings: &[&Labels]) -> Vec<Embedding> {
+    let n = el.num_vertices();
+    for l in labelings {
+        assert_eq!(n, l.len(), "every labeling must cover every vertex");
+    }
+    let dims: Vec<usize> = labelings.iter().map(|l| l.num_classes()).collect();
+    let offsets: Vec<usize> = dims
+        .iter()
+        .scan(0usize, |acc, &k| {
+            let o = *acc;
+            *acc += k;
+            Some(o)
+        })
+        .collect();
+    let stride: usize = dims.iter().sum();
+    let projections: Vec<Projection> =
+        labelings.iter().map(|l| Projection::build_serial(l)).collect();
+    // Hoist the per-labeling slices out of the edge loop.
+    let metas: Vec<(usize, &[i32], &[f64])> = labelings
+        .iter()
+        .zip(&projections)
+        .zip(&offsets)
+        .map(|((l, p), &off)| (off, l.raw_slice(), p.as_slice()))
+        .collect();
+    let mut z = vec![0.0f64; n * stride];
+    for e in el.edges() {
+        let (u, v, w) = (e.u as usize, e.v as usize, e.w);
+        for &(off, y, coeff) in &metas {
+            let yv = y[v];
+            if yv >= 0 {
+                z[u * stride + off + yv as usize] += coeff[v] * w;
+            }
+            let yu = y[u];
+            if yu >= 0 {
+                z[v * stride + off + yu as usize] += coeff[u] * w;
+            }
+        }
+    }
+    unpack(z, n, stride, &offsets, &dims)
+}
+
+/// Parallel fused pass (deterministic): per-chunk contribution bins as in
+/// the propagation-blocking kernel, all labelings routed together.
+pub fn embed_many_parallel(el: &EdgeList, labelings: &[&Labels], bin_bits: u32) -> Vec<Embedding> {
+    use rayon::prelude::*;
+    let n = el.num_vertices();
+    for l in labelings {
+        assert_eq!(n, l.len(), "every labeling must cover every vertex");
+    }
+    let dims: Vec<usize> = labelings.iter().map(|l| l.num_classes()).collect();
+    let offsets: Vec<usize> = dims
+        .iter()
+        .scan(0usize, |acc, &k| {
+            let o = *acc;
+            *acc += k;
+            Some(o)
+        })
+        .collect();
+    let stride: usize = dims.iter().sum();
+    if stride == 0 {
+        return dims.iter().map(|_| Embedding::zeros(n, 0)).collect();
+    }
+    let projections: Vec<Projection> =
+        labelings.iter().map(|l| Projection::build_parallel(l)).collect();
+    let num_bins = (n >> bin_bits) + 1;
+    let chunk = 1usize << 16;
+    // Phase 1: route each edge's contributions (over all labelings) into
+    // per-chunk destination bins. Chunk boundaries are fixed, so the
+    // result is deterministic at any thread count.
+    let locals: Vec<Vec<Vec<(u64, f64)>>> = el
+        .edges()
+        .par_chunks(chunk)
+        .map(|es| {
+            let mut bins: Vec<Vec<(u64, f64)>> = vec![Vec::new(); num_bins];
+            for e in es {
+                let (u, v, w) = (e.u as usize, e.v as usize, e.w);
+                for (li, l) in labelings.iter().enumerate() {
+                    let y = l.raw_slice();
+                    let coeff = projections[li].as_slice();
+                    let yv = y[v];
+                    if yv >= 0 {
+                        let idx = (u * stride + offsets[li] + yv as usize) as u64;
+                        bins[u >> bin_bits].push((idx, coeff[v] * w));
+                    }
+                    let yu = y[u];
+                    if yu >= 0 {
+                        let idx = (v * stride + offsets[li] + yu as usize) as u64;
+                        bins[v >> bin_bits].push((idx, coeff[u] * w));
+                    }
+                }
+            }
+            bins
+        })
+        .collect();
+    // Phase 2: drain bins with exclusive ownership of their Z stripes.
+    let mut z = vec![0.0f64; n * stride];
+    let zp = SendPtr(z.as_mut_ptr());
+    (0..num_bins).into_par_iter().for_each(|b| {
+        for local in &locals {
+            for &(idx, val) in &local[b] {
+                // SAFETY: (idx / stride) >> bin_bits == b by construction
+                // and bin b has exactly one owner task.
+                unsafe { *zp.get().add(idx as usize) += val };
+            }
+        }
+    });
+    unpack(z, n, stride, &offsets, &dims)
+}
+
+/// Split the interleaved accumulator back into one embedding per labeling.
+fn unpack(
+    z: Vec<f64>,
+    n: usize,
+    stride: usize,
+    offsets: &[usize],
+    dims: &[usize],
+) -> Vec<Embedding> {
+    dims.iter()
+        .zip(offsets)
+        .map(|(&k, &off)| {
+            let mut data = Vec::with_capacity(n * k);
+            for v in 0..n {
+                data.extend_from_slice(&z[v * stride + off..v * stride + off + k]);
+            }
+            Embedding::from_vec(n, k, data)
+        })
+        .collect()
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_optimized;
+    use gee_gen::LabelSpec;
+
+    fn three_labelings(n: usize, seed: u64) -> Vec<Labels> {
+        (0..3)
+            .map(|i| {
+                Labels::from_options(&gee_gen::random_labels(
+                    n,
+                    LabelSpec { num_classes: 3 + i, labeled_fraction: 0.2 + 0.2 * i as f64 },
+                    seed + i as u64,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_serial_matches_individual_passes() {
+        let el = gee_gen::erdos_renyi_gnm(300, 2500, 7);
+        let labelings = three_labelings(300, 9);
+        let refs: Vec<&Labels> = labelings.iter().collect();
+        let batch = embed_many(&el, &refs);
+        for (l, z) in labelings.iter().zip(&batch) {
+            let single = serial_optimized::embed(&el, l);
+            assert_eq!(single.as_slice(), z.as_slice(), "fused pass must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn fused_parallel_matches_serial_bit_exact() {
+        let el = gee_gen::erdos_renyi_gnm(250, 2000, 11);
+        let labelings = three_labelings(250, 13);
+        let refs: Vec<&Labels> = labelings.iter().collect();
+        let serial = embed_many(&el, &refs);
+        for bits in [6u32, 12] {
+            let parallel = embed_many_parallel(&el, &refs, bits);
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.as_slice(), b.as_slice(), "bin_bits={bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_labeling_degenerates_to_plain_embed() {
+        let el = gee_gen::erdos_renyi_gnm(100, 700, 17);
+        let l = Labels::from_options(&gee_gen::full_labels(100, 5, 19));
+        let batch = embed_many(&el, &[&l]);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].as_slice(), serial_optimized::embed(&el, &l).as_slice());
+    }
+
+    #[test]
+    fn empty_labeling_list() {
+        let el = gee_gen::erdos_renyi_gnm(10, 30, 1);
+        assert!(embed_many(&el, &[]).is_empty());
+        assert!(embed_many_parallel(&el, &[], 8).is_empty());
+    }
+
+    #[test]
+    fn mixed_dimensions_unpack_correctly() {
+        let el = gee_gen::erdos_renyi_gnm(80, 500, 23);
+        let a = Labels::from_options(&gee_gen::full_labels(80, 2, 1));
+        let b = Labels::from_options(&gee_gen::full_labels(80, 7, 2));
+        let out = embed_many(&el, &[&a, &b]);
+        assert_eq!(out[0].dim(), 2);
+        assert_eq!(out[1].dim(), 7);
+        assert_eq!(out[0].num_vertices(), 80);
+    }
+
+    #[test]
+    fn all_unlabeled_labelings() {
+        let el = gee_gen::erdos_renyi_gnm(20, 60, 3);
+        let l = Labels::from_options(&[None; 20]);
+        let out = embed_many_parallel(&el, &[&l, &l], 4);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dim(), 0);
+    }
+}

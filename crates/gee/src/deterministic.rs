@@ -1,0 +1,189 @@
+//! Deterministic parallel GEE — bit-identical to the serial reference at
+//! every thread count.
+//!
+//! The paper's `writeAdd` kernel is *numerically* non-deterministic: the
+//! schedule decides the order in which contributions reach each `Z`
+//! entry, and floating-point addition does not commute with reassociation.
+//! That is fine for the paper's statistics (the perturbation is ~1 ulp per
+//! conflict) but rules out bit-exact reproducibility, which HPC users
+//! often need for regression testing and debugging.
+//!
+//! This kernel restores determinism with **sort-and-segmented-reduce**:
+//!
+//! 1. Expand each edge into its (up to two) contributions, keyed by
+//!    `(flat Z index, contribution sequence number)`. The sequence number
+//!    is the edge's position in the input, so the key order reproduces
+//!    the serial loop's addition order per entry.
+//! 2. Parallel stable sort by key (rayon's merge sort — deterministic
+//!    output independent of the worker count).
+//! 3. One task per `Z` row sums its contiguous contribution segment in
+//!    key order — exactly the additions the serial loop performs for that
+//!    entry, in the same order, so the result is bit-identical.
+//!
+//! The cost is materializing the contribution array (≈ 24 B per edge
+//! endpoint) and an O(s log s) sort versus the atomic kernel's O(s)
+//! streaming pass — the price of reproducibility, measured by the
+//! `ablation-determinism` bench.
+
+use gee_graph::Edge;
+use rayon::prelude::*;
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::projection::Projection;
+
+/// One expanded edge contribution: `z[flat] += val`, ordered by `seq`.
+#[derive(Debug, Clone, Copy)]
+struct Contribution {
+    /// Flat row-major index into `Z`.
+    flat: u64,
+    /// Global order of this addition in the serial loop (`2·edge + side`).
+    seq: u64,
+    val: f64,
+}
+
+/// Deterministic parallel GEE over an edge list. Output is bit-identical
+/// to [`crate::serial_reference::embed`] regardless of the rayon pool
+/// size.
+pub fn embed(num_vertices: usize, edges: &[Edge], labels: &Labels) -> Embedding {
+    assert_eq!(num_vertices, labels.len(), "labels must cover every vertex");
+    let n = num_vertices;
+    let k = labels.num_classes();
+    let proj = Projection::build_parallel(labels);
+    let coeff = proj.as_slice();
+    let y = labels.raw_slice();
+
+    // Step 1: expand contributions. rayon's collect preserves the logical
+    // (edge) order, so `seq` assignment needs no synchronization.
+    let mut contribs: Vec<Contribution> = edges
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(i, e)| {
+            let (u, v, w) = (e.u as usize, e.v as usize, e.w);
+            let a = (y[v] >= 0).then(|| Contribution {
+                flat: (u * k + y[v] as usize) as u64,
+                seq: 2 * i as u64,
+                val: coeff[v] * w,
+            });
+            let b = (y[u] >= 0).then(|| Contribution {
+                flat: (v * k + y[u] as usize) as u64,
+                seq: 2 * i as u64 + 1,
+                val: coeff[u] * w,
+            });
+            a.into_iter().chain(b)
+        })
+        .collect();
+
+    // Step 2: deterministic parallel sort; the key is unique per
+    // contribution, so unstable sorting would also be deterministic, but
+    // the stable merge sort has reliably deterministic splits.
+    contribs.par_sort_by_key(|c| (c.flat, c.seq));
+
+    // Step 3: per-row segmented reduction in key (= serial) order.
+    let mut z = vec![0.0f64; n * k];
+    z.par_chunks_mut(k.max(1)).enumerate().for_each(|(v, row)| {
+        let base = (v * k) as u64;
+        let lo = contribs.partition_point(|c| c.flat < base);
+        let hi = contribs.partition_point(|c| c.flat < base + k as u64);
+        for c in &contribs[lo..hi] {
+            row[(c.flat - base) as usize] += c.val;
+        }
+    });
+    Embedding::from_vec(n, k, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_reference;
+    use gee_gen::LabelSpec;
+    use gee_graph::EdgeList;
+    use proptest::prelude::*;
+
+    fn setup(n: usize, m: usize, seed: u64, frac: f64) -> (EdgeList, Labels) {
+        let el = gee_gen::erdos_renyi_gnm(n, m, seed);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            n,
+            LabelSpec { num_classes: 6, labeled_fraction: frac },
+            seed ^ 0xBEEF,
+        ));
+        (el, labels)
+    }
+
+    #[test]
+    fn bit_identical_to_reference() {
+        let (el, labels) = setup(400, 4000, 9, 0.3);
+        let a = serial_reference::embed(&el, &labels);
+        let b = embed(el.num_vertices(), el.edges(), &labels);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let (el, labels) = setup(300, 3000, 21, 0.5);
+        let reference = serial_reference::embed(&el, &labels);
+        for threads in [1, 2, 4, 7] {
+            let z = gee_ligra::with_threads(threads, || {
+                embed(el.num_vertices(), el.edges(), &labels)
+            });
+            assert_eq!(
+                reference.as_slice(),
+                z.as_slice(),
+                "bit mismatch at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_self_loops_and_duplicates() {
+        use gee_graph::Edge;
+        // Self-loop with labeled endpoint exercises the duplicate-key path
+        // (both contributions of one edge hit the same Z entry).
+        let el = EdgeList::new(
+            3,
+            vec![
+                Edge::new(0, 0, 2.5),
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 1, 3.0),
+                Edge::new(2, 0, 0.125),
+            ],
+        )
+        .unwrap();
+        let labels = Labels::from_options(&[Some(0), Some(0), Some(1)]);
+        let a = serial_reference::embed(&el, &labels);
+        let b = embed(3, el.edges(), &labels);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn unlabeled_graph_is_zero() {
+        let el = gee_gen::erdos_renyi_gnm(50, 300, 2);
+        let labels = Labels::from_options(&vec![None; 50]);
+        let z = embed(50, el.edges(), &labels);
+        assert!(z.as_slice().is_empty()); // K = 0 → 0-dim embedding
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let labels = Labels::from_options(&[Some(0), Some(1)]);
+        let z = embed(2, &[], &labels);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!(z.dim(), 2);
+    }
+
+    proptest! {
+        /// Property: the deterministic kernel is bit-identical to the
+        /// serial reference for arbitrary graphs and labelings.
+        #[test]
+        fn prop_bit_identical(
+            n in 2usize..50,
+            seed in 0u64..500,
+            frac in 0.0f64..1.0,
+        ) {
+            let (el, labels) = setup(n, n * 5, seed, frac);
+            let a = serial_reference::embed(&el, &labels);
+            let b = embed(el.num_vertices(), el.edges(), &labels);
+            prop_assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+}

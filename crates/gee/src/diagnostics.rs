@@ -1,0 +1,116 @@
+//! Sanity diagnostics on embeddings — used by tests, examples, and the
+//! bench harness to verify every timed run actually computed the right
+//! thing (a timing harness that silently computes garbage is worse than no
+//! harness).
+
+use gee_graph::EdgeList;
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::projection::Projection;
+
+/// Full diagnostic report for an embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Any NaN/Inf entries?
+    pub all_finite: bool,
+    /// Sum of all entries.
+    pub total_mass: f64,
+    /// The mass the GEE update rule must conserve (see
+    /// [`expected_mass`]).
+    pub expected_mass: f64,
+    /// |total - expected| / max(expected, 1).
+    pub mass_relative_error: f64,
+    /// Number of all-zero rows (isolated or unlabeled-neighborhood
+    /// vertices).
+    pub zero_rows: usize,
+}
+
+/// The exact total mass GEE must produce on `el` with `labels`:
+/// `Σ_edges w·(coeff(u) + coeff(v))`.
+pub fn expected_mass(el: &EdgeList, labels: &Labels) -> f64 {
+    let p = Projection::build_serial(labels);
+    el.iter().map(|(u, v, w)| w * (p.coeff(u) + p.coeff(v))).sum()
+}
+
+/// Produce a [`Report`] for `z` as the embedding of `el` under `labels`.
+pub fn check(z: &Embedding, el: &EdgeList, labels: &Labels) -> Report {
+    let all_finite = z.as_slice().iter().all(|x| x.is_finite());
+    let total_mass = z.total_mass();
+    let expected = expected_mass(el, labels);
+    let zero_rows = (0..z.num_vertices() as u32)
+        .filter(|&v| z.row(v).iter().all(|&x| x == 0.0))
+        .count();
+    Report {
+        all_finite,
+        total_mass,
+        expected_mass: expected,
+        mass_relative_error: (total_mass - expected).abs() / expected.abs().max(1.0),
+        zero_rows,
+    }
+}
+
+/// Assert the report is healthy (finite entries, mass conserved to `tol`).
+pub fn assert_healthy(z: &Embedding, el: &EdgeList, labels: &Labels, tol: f64) {
+    let r = check(z, el, labels);
+    assert!(r.all_finite, "embedding contains non-finite entries");
+    assert!(
+        r.mass_relative_error <= tol,
+        "mass not conserved: total {} vs expected {} (rel err {:e})",
+        r.total_mass,
+        r.expected_mass,
+        r.mass_relative_error
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_optimized;
+    use gee_gen::LabelSpec;
+
+    #[test]
+    fn healthy_embedding_passes() {
+        let el = gee_gen::erdos_renyi_gnm(100, 1000, 3);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            100,
+            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            5,
+        ));
+        let z = serial_optimized::embed(&el, &labels);
+        assert_healthy(&z, &el, &labels, 1e-9);
+        let r = check(&z, &el, &labels);
+        assert!(r.all_finite);
+        assert!(r.mass_relative_error < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_embedding_fails_mass_check() {
+        let el = gee_gen::erdos_renyi_gnm(50, 500, 3);
+        let labels = Labels::from_options(&gee_gen::full_labels(50, 3, 1));
+        let mut z = serial_optimized::embed(&el, &labels);
+        z.row_mut(0)[0] += 100.0;
+        let r = check(&z, &el, &labels);
+        assert!(r.mass_relative_error > 0.01);
+    }
+
+    #[test]
+    fn zero_rows_counted() {
+        use gee_graph::Edge;
+        // Vertex 2 isolated → zero row.
+        let el = EdgeList::new(3, vec![Edge::unit(0, 1)]).unwrap();
+        let labels = Labels::from_full(&[0, 1, 0]);
+        let z = serial_optimized::embed(&el, &labels);
+        let r = check(&z, &el, &labels);
+        assert_eq!(r.zero_rows, 1);
+    }
+
+    #[test]
+    fn nan_detected() {
+        let el = gee_gen::erdos_renyi_gnm(10, 50, 1);
+        let labels = Labels::from_options(&gee_gen::full_labels(10, 2, 1));
+        let mut z = serial_optimized::embed(&el, &labels);
+        z.row_mut(0)[0] = f64::NAN;
+        assert!(!check(&z, &el, &labels).all_finite);
+    }
+}

@@ -1,0 +1,396 @@
+//! Incremental (dynamic) GEE — maintain an embedding under edge
+//! insertions, edge deletions, and label changes without re-running the
+//! O(s) edge pass.
+//!
+//! GEE is a *linear* sketch of the edge list, which makes it naturally
+//! incremental: `Z(u, c) = Σ_{(u,v,w) ∈ E, Y(v)=c} w / |class c|` (plus
+//! the symmetric term). We maintain the **unnormalized** accumulator
+//! `Ẑ(u, c) = Σ w` (coefficient 1 instead of `1/|class c|`); because the
+//! projection coefficient of a contribution depends only on the *column*
+//! class `c`, the normalized embedding is recovered by dividing each
+//! column by its current class count:
+//!
+//! `Z(u, c) = Ẑ(u, c) / count(c)`.
+//!
+//! Under this split the update costs are:
+//!
+//! * edge insert / delete — O(1): two `Ẑ` updates.
+//! * label change of vertex `x` — O(deg(x)): move the `Ẑ` mass of `x`'s
+//!   incident edges between the old and new columns (plus an O(1) count
+//!   update that implicitly rescales both columns everywhere).
+//!
+//! A full recompute after `q` updates costs O(s + nK); the delta path
+//! costs O(q) for edge updates — the crossover is measured by the
+//! `ablation-dynamic` bench. Every mutator is validated against a fresh
+//! static recompute in the tests.
+
+use gee_graph::{EdgeList, VertexId, Weight};
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+
+/// A GEE embedding maintained under streaming graph/label updates.
+///
+/// The class universe `K` is fixed at construction; labels move within
+/// `0..K` (or to/from unlabeled).
+#[derive(Debug, Clone)]
+pub struct DynamicGee {
+    n: usize,
+    k: usize,
+    /// Unnormalized accumulator `Ẑ`, row-major `n × k`.
+    zhat: Vec<f64>,
+    /// Current label per vertex (`-1` = unknown).
+    y: Vec<i32>,
+    /// Labeled-vertex count per class.
+    counts: Vec<u64>,
+    /// Incident-edge mirror: `adj[x]` holds `(opposite endpoint, w)` for
+    /// every edge with `x` as source or destination (self-loops twice).
+    /// Needed to relocate contributions when `x`'s label changes.
+    adj: Vec<Vec<(VertexId, Weight)>>,
+}
+
+impl DynamicGee {
+    /// Initialize from a static edge list and labeling (bulk pass, O(s)).
+    pub fn new(el: &EdgeList, labels: &Labels) -> Self {
+        assert_eq!(el.num_vertices(), labels.len(), "labels must cover every vertex");
+        let n = el.num_vertices();
+        let k = labels.num_classes();
+        let mut dg = DynamicGee {
+            n,
+            k,
+            zhat: vec![0.0; n * k],
+            y: labels.raw_slice().to_vec(),
+            counts: labels.class_counts().to_vec(),
+            adj: vec![Vec::new(); n],
+        };
+        for e in el.edges() {
+            dg.apply_edge(e.u, e.v, e.w, 1.0);
+            dg.adj[e.u as usize].push((e.v, e.w));
+            dg.adj[e.v as usize].push((e.u, e.w));
+        }
+        dg
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension `K`.
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// Current label of `v`.
+    pub fn label(&self, v: VertexId) -> Option<u32> {
+        let raw = self.y[v as usize];
+        (raw >= 0).then_some(raw as u32)
+    }
+
+    /// Current labeled count of class `c`.
+    pub fn class_count(&self, c: u32) -> u64 {
+        self.counts[c as usize]
+    }
+
+    /// Add the two Algorithm-1 contributions of edge `(u, v, w)` into `Ẑ`
+    /// with sign `sgn` (+1 insert, −1 delete).
+    fn apply_edge(&mut self, u: VertexId, v: VertexId, w: Weight, sgn: f64) {
+        let (u, v) = (u as usize, v as usize);
+        let yv = self.y[v];
+        if yv >= 0 {
+            self.zhat[u * self.k + yv as usize] += sgn * w;
+        }
+        let yu = self.y[u];
+        if yu >= 0 {
+            self.zhat[v * self.k + yu as usize] += sgn * w;
+        }
+    }
+
+    /// Insert a directed edge `(u, v, w)` (undirected graphs insert both
+    /// directions, matching §II's encoding).
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
+        self.apply_edge(u, v, w, 1.0);
+        self.adj[u as usize].push((v, w));
+        self.adj[v as usize].push((u, w));
+    }
+
+    /// Remove one occurrence of edge `(u, v, w)`. Returns `false` (and
+    /// changes nothing) if no matching edge exists.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId, w: Weight) -> bool {
+        let pos = self.adj[u as usize]
+            .iter()
+            .position(|&(t, tw)| t == v && tw == w);
+        let Some(i) = pos else { return false };
+        self.adj[u as usize].swap_remove(i);
+        // Remove the mirror entry (for a self-loop both entries live in
+        // the same list; the first removal above took one of them).
+        let j = self.adj[v as usize]
+            .iter()
+            .position(|&(t, tw)| t == u && tw == w)
+            .expect("adjacency mirror out of sync");
+        self.adj[v as usize].swap_remove(j);
+        self.apply_edge(u, v, w, -1.0);
+        true
+    }
+
+    /// Change the label of `x` (to `None` for unlabeled). O(deg(x)): the
+    /// `Ẑ` mass of `x`'s incident edges moves from the old class column to
+    /// the new one; class counts (and therefore the per-column scaling)
+    /// update implicitly.
+    pub fn set_label(&mut self, x: VertexId, label: Option<u32>) {
+        let new = match label {
+            Some(c) => {
+                assert!((c as usize) < self.k, "label {c} out of range for K={}", self.k);
+                c as i32
+            }
+            None => -1,
+        };
+        let old = self.y[x as usize];
+        if old == new {
+            return;
+        }
+        // Move the incident contribution mass between columns. Entry
+        // `(t, w)` in adj[x] covers one Algorithm-1 contribution
+        // `Z(t, Y(x)) += w`, whichever direction the edge had.
+        let xi = x as usize;
+        for i in 0..self.adj[xi].len() {
+            let (t, w) = self.adj[xi][i];
+            let t = t as usize;
+            if old >= 0 {
+                self.zhat[t * self.k + old as usize] -= w;
+            }
+            if new >= 0 {
+                self.zhat[t * self.k + new as usize] += w;
+            }
+        }
+        if old >= 0 {
+            self.counts[old as usize] -= 1;
+        }
+        if new >= 0 {
+            self.counts[new as usize] += 1;
+        }
+        self.y[xi] = new;
+    }
+
+    /// Current labels as a [`Labels`] value (rebuilt, O(n)).
+    pub fn labels(&self) -> Labels {
+        let opts: Vec<Option<u32>> =
+            self.y.iter().map(|&c| (c >= 0).then_some(c as u32)).collect();
+        Labels::from_options_with_k(&opts, self.k)
+    }
+
+    /// Current edges as an [`EdgeList`]. The adjacency mirror does not
+    /// record direction, so each edge is emitted from its lower endpoint —
+    /// GEE's two per-edge contributions are symmetric in `(u, v)`, so the
+    /// embedding of the reconstruction matches the original. O(s).
+    pub fn edge_list(&self) -> EdgeList {
+        use gee_graph::Edge;
+        let mut edges = Vec::new();
+        for (u, list) in self.adj.iter().enumerate() {
+            // Each non-loop edge appears in both endpoint lists; emit it
+            // from the lower endpoint only.
+            for &(v, w) in list {
+                if (u as VertexId) < v {
+                    edges.push(Edge::new(u as VertexId, v, w));
+                }
+            }
+            // Self-loops appear twice in their own list; emit one edge per
+            // pair of entries.
+            let selfs: Vec<Weight> =
+                list.iter().filter(|&&(t, _)| t as usize == u).map(|&(_, w)| w).collect();
+            for pair in selfs.chunks(2) {
+                edges.push(Edge::new(u as VertexId, u as VertexId, pair[0]));
+            }
+        }
+        EdgeList::new_unchecked(self.n, edges)
+    }
+
+    /// Materialize the normalized embedding `Z(u,c) = Ẑ(u,c)/count(c)`
+    /// (columns of empty classes are zero). O(nK).
+    pub fn embedding(&self) -> Embedding {
+        let inv: Vec<f64> = self
+            .counts
+            .iter()
+            .map(|&c| if c > 0 { 1.0 / c as f64 } else { 0.0 })
+            .collect();
+        let data: Vec<f64> = self
+            .zhat
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| v * inv[i % self.k.max(1)])
+            .collect();
+        Embedding::from_vec(self.n, self.k, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_optimized;
+    use gee_gen::LabelSpec;
+    use gee_graph::Edge;
+
+    /// Static recompute oracle for the dynamic state.
+    fn oracle(dg: &DynamicGee) -> Embedding {
+        serial_optimized::embed(&dg.edge_list(), &dg.labels())
+    }
+
+    fn assert_matches_oracle(dg: &DynamicGee, tol: f64) {
+        let dynamic = dg.embedding();
+        let fresh = oracle(dg);
+        fresh.assert_close(&dynamic, tol);
+    }
+
+    fn setup(n: usize, m: usize, seed: u64) -> DynamicGee {
+        let el = gee_gen::erdos_renyi_gnm(n, m, seed);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            n,
+            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            seed ^ 0xAB,
+        ));
+        DynamicGee::new(&el, &labels)
+    }
+
+    #[test]
+    fn initial_state_matches_static() {
+        let el = gee_gen::erdos_renyi_gnm(100, 900, 3);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            100,
+            LabelSpec { num_classes: 4, labeled_fraction: 0.5 },
+            7,
+        ));
+        let dg = DynamicGee::new(&el, &labels);
+        let statik = serial_optimized::embed(&el, &labels);
+        statik.assert_close(&dg.embedding(), 1e-12);
+    }
+
+    #[test]
+    fn insert_matches_recompute() {
+        let mut dg = setup(60, 400, 11);
+        dg.insert_edge(3, 17, 2.5);
+        dg.insert_edge(17, 3, 1.0);
+        dg.insert_edge(5, 5, 4.0); // self-loop
+        assert_matches_oracle(&dg, 1e-12);
+    }
+
+    #[test]
+    fn remove_matches_recompute() {
+        let mut dg = setup(60, 400, 13);
+        // Remove a known edge: insert one then remove it, and remove one
+        // from the initial graph.
+        dg.insert_edge(1, 2, 9.0);
+        assert!(dg.remove_edge(1, 2, 9.0));
+        let el = gee_gen::erdos_renyi_gnm(60, 400, 13);
+        let e = el.edges()[0];
+        assert!(dg.remove_edge(e.u, e.v, e.w));
+        assert_matches_oracle(&dg, 1e-12);
+    }
+
+    #[test]
+    fn remove_missing_edge_is_noop() {
+        let mut dg = setup(20, 60, 17);
+        let before = dg.embedding();
+        assert!(!dg.remove_edge(0, 1, 123.456));
+        assert_eq!(before.as_slice(), dg.embedding().as_slice());
+    }
+
+    #[test]
+    fn self_loop_insert_remove_roundtrip() {
+        let mut dg = setup(20, 60, 19);
+        let before = dg.embedding();
+        dg.insert_edge(4, 4, 2.0);
+        assert!(dg.remove_edge(4, 4, 2.0));
+        let after = dg.embedding();
+        before.assert_close(&after, 1e-12);
+    }
+
+    #[test]
+    fn label_change_matches_recompute() {
+        let mut dg = setup(80, 600, 23);
+        dg.set_label(0, Some(2));
+        dg.set_label(1, None);
+        dg.set_label(2, Some(4));
+        dg.set_label(2, Some(1)); // twice
+        assert_matches_oracle(&dg, 1e-12);
+    }
+
+    #[test]
+    fn label_change_rescales_class_columns() {
+        // Two vertices in class 0 linked to vertex 2; relabeling one of
+        // them halves→doubles the coefficient of the survivor.
+        let el = EdgeList::new(3, vec![Edge::unit(0, 2), Edge::unit(1, 2)]).unwrap();
+        let labels = Labels::from_options_with_k(&[Some(0), Some(0), None], 2);
+        let mut dg = DynamicGee::new(&el, &labels);
+        assert!((dg.embedding().get(2, 0) - 1.0).abs() < 1e-12); // 0.5 + 0.5
+        dg.set_label(1, Some(1));
+        // Class 0 now has one member with coefficient 1; vertex 2 sees
+        // 1.0 from vertex 0 in column 0 and 1.0 from vertex 1 in column 1.
+        assert!((dg.embedding().get(2, 0) - 1.0).abs() < 1e-12);
+        assert!((dg.embedding().get(2, 1) - 1.0).abs() < 1e-12);
+        assert_matches_oracle(&dg, 1e-12);
+    }
+
+    #[test]
+    fn mixed_update_stream_matches_recompute() {
+        let mut dg = setup(100, 800, 29);
+        for i in 0..50u32 {
+            match i % 4 {
+                0 => dg.insert_edge(i % 100, (i * 13 + 1) % 100, 1.0 + f64::from(i % 3)),
+                1 => dg.set_label(i % 100, Some(i % 5)),
+                2 => {
+                    dg.insert_edge(i, i + 1, 2.0);
+                    assert!(dg.remove_edge(i, i + 1, 2.0));
+                }
+                _ => dg.set_label((i * 7) % 100, None),
+            }
+        }
+        assert_matches_oracle(&dg, 1e-11);
+    }
+
+    #[test]
+    fn class_counts_track_label_moves() {
+        let mut dg = setup(30, 100, 31);
+        let c0 = dg.class_count(0);
+        // Find a vertex not in class 0 and move it there.
+        let v = (0..30u32).find(|&v| dg.label(v) != Some(0)).unwrap();
+        dg.set_label(v, Some(0));
+        assert_eq!(dg.class_count(0), c0 + 1);
+    }
+
+    #[test]
+    fn edge_list_roundtrip_preserves_multiset() {
+        let el = EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 0, 2.0),
+                Edge::new(2, 2, 3.0),
+                Edge::new(3, 1, 1.0),
+            ],
+        )
+        .unwrap();
+        let labels = Labels::from_options_with_k(&[Some(0), Some(0), Some(0), Some(0)], 1);
+        let dg = DynamicGee::new(&el, &labels);
+        let mut a: Vec<_> = el.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits())).collect();
+        let mut b: Vec<_> =
+            dg.edge_list().edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_label_validates_class() {
+        let mut dg = setup(10, 30, 37);
+        dg.set_label(0, Some(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn insert_validates_endpoints() {
+        let mut dg = setup(10, 30, 41);
+        dg.insert_edge(0, 100, 1.0);
+    }
+}

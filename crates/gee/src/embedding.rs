@@ -1,0 +1,175 @@
+//! The embedding matrix `Z ∈ R^{n×K}`, row-major.
+
+use gee_graph::VertexId;
+
+/// Dense row-major `n × k` embedding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Embedding {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl Embedding {
+    /// Zero-filled embedding.
+    pub fn zeros(n: usize, k: usize) -> Self {
+        Embedding { n, k, data: vec![0.0; n * k] }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(n: usize, k: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * k, "buffer must be n×k");
+        Embedding { n, k, data }
+    }
+
+    /// Number of embedded vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Embedding dimension `K`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.k
+    }
+
+    /// Row of vertex `v`.
+    #[inline]
+    pub fn row(&self, v: VertexId) -> &[f64] {
+        let v = v as usize;
+        &self.data[v * self.k..(v + 1) * self.k]
+    }
+
+    /// Mutable row of vertex `v`.
+    #[inline]
+    pub fn row_mut(&mut self, v: VertexId) -> &mut [f64] {
+        let v = v as usize;
+        &mut self.data[v * self.k..(v + 1) * self.k]
+    }
+
+    /// Entry `(v, c)`.
+    #[inline]
+    pub fn get(&self, v: VertexId, c: usize) -> f64 {
+        self.data[v as usize * self.k + c]
+    }
+
+    /// Flat row-major view.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume into the flat buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Largest absolute entry-wise difference to another embedding.
+    pub fn max_abs_diff(&self, other: &Embedding) -> f64 {
+        assert_eq!(self.n, other.n, "vertex counts differ");
+        assert_eq!(self.k, other.k, "dimensions differ");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Panic unless `other` matches entry-wise within `tol` *relative to
+    /// the largest entry magnitude* (parallel GEE differs from serial only
+    /// by FP-addition reordering, so tolerances are tiny but not zero).
+    pub fn assert_close(&self, other: &Embedding, tol: f64) {
+        let scale = self
+            .data
+            .iter()
+            .map(|a| a.abs())
+            .fold(1.0f64, f64::max);
+        let diff = self.max_abs_diff(other);
+        assert!(
+            diff <= tol * scale,
+            "embeddings differ: max |Δ| = {diff:e} > {tol:e} × scale {scale:e}"
+        );
+    }
+
+    /// L2-normalize every row in place (rows with zero norm are left as
+    /// zeros). The GEE paper normalizes rows before clustering.
+    pub fn normalize_rows(&mut self) {
+        for v in 0..self.n {
+            let row = &mut self.data[v * self.k..(v + 1) * self.k];
+            let norm: f64 = row.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm > 0.0 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+
+    /// Sum of every entry — a cheap conservation check: each edge endpoint
+    /// with a labeled opposite endpoint contributes exactly
+    /// `w / |class|`, so the grand total equals
+    /// `Σ_edges w·([Y(u) known]/|class(Y(u))| + [Y(v) known]/|class(Y(v))|)`.
+    pub fn total_mass(&self) -> f64 {
+        self.data.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape() {
+        let e = Embedding::zeros(3, 2);
+        assert_eq!(e.num_vertices(), 3);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn row_access() {
+        let mut e = Embedding::zeros(2, 3);
+        e.row_mut(1)[2] = 5.0;
+        assert_eq!(e.get(1, 2), 5.0);
+        assert_eq!(e.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(e.row(0), &[0.0; 3]);
+    }
+
+    #[test]
+    fn max_abs_diff_and_close() {
+        let a = Embedding::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Embedding::from_vec(1, 2, vec![1.0, 2.0 + 1e-12]);
+        assert!(a.max_abs_diff(&b) < 1e-11);
+        a.assert_close(&b, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "embeddings differ")]
+    fn assert_close_panics_on_gap() {
+        let a = Embedding::from_vec(1, 1, vec![1.0]);
+        let b = Embedding::from_vec(1, 1, vec![2.0]);
+        a.assert_close(&b, 1e-9);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let mut e = Embedding::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        e.normalize_rows();
+        assert!((e.get(0, 0) - 0.6).abs() < 1e-12);
+        assert!((e.get(0, 1) - 0.8).abs() < 1e-12);
+        assert_eq!(e.row(1), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    fn total_mass_sums() {
+        let e = Embedding::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.total_mass(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n×k")]
+    fn from_vec_validates_len() {
+        Embedding::from_vec(2, 2, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Alternative parallel kernels for the GEE edge pass — ablations on the
+//! paper's design choice of push-style traversal with atomic `writeAdd`.
+//!
+//! * [`embed_pull`] — **atomics-free** GEE for symmetric graphs. The paper
+//!   resolves write conflicts with `writeAdd`; but Ligra's pull-style
+//!   `edgeMapDense` gives each *destination* a single owner task. For a
+//!   symmetric graph every edge appears in both directions, so performing
+//!   only the line-10 update `Z(d, Y(s)) += W(s)·w` while pulling over
+//!   each `d`'s in-edges (= out-edges, by symmetry) covers both updates of
+//!   Algorithm 1 — with plain, unsynchronized writes into `Z(d, ·)`.
+//! * [`embed_binned`] — propagation blocking (Beamer et al.): phase 1
+//!   routes each edge's two contributions into per-destination-range bins
+//!   (sequential appends); phase 2 drains each bin with exclusive
+//!   ownership of its `Z` range. Converts the paper's "one write likely
+//!   misses" random traffic into two streaming passes, again without
+//!   atomics.
+//!
+//! Both are validated against the serial reference and raced against the
+//! atomic kernel in `ablation-kernels`.
+
+use gee_graph::{CsrGraph, Edge};
+use rayon::prelude::*;
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::projection::Projection;
+
+/// Atomics-free pull GEE over a **symmetric** graph (each undirected edge
+/// stored in both directions — the encoding §II prescribes). Parallel over
+/// destinations; each task owns its `Z` row exclusively.
+///
+/// Panics (debug builds) if the graph is visibly asymmetric; correctness
+/// for directed inputs requires the transpose trick instead.
+pub fn embed_pull(g: &CsrGraph, labels: &Labels) -> Embedding {
+    assert_eq!(g.num_vertices(), labels.len(), "labels must cover every vertex");
+    let n = g.num_vertices();
+    let k = labels.num_classes();
+    let proj = Projection::build_parallel(labels);
+    let coeff = proj.as_slice();
+    let y = labels.raw_slice();
+    let mut z = vec![0.0f64; n * k];
+    // Each task writes exactly the rows of its chunk — no synchronization.
+    z.par_chunks_mut(k.max(1))
+        .enumerate()
+        .for_each(|(d, row)| {
+            let d = d as u32;
+            for (i, &s) in g.neighbors(d).iter().enumerate() {
+                // Symmetric graph: the out-edge (d→s) mirrors the in-edge
+                // (s→d); apply line 10 of Algorithm 1 for that in-edge.
+                let ys = y[s as usize];
+                if ys >= 0 {
+                    // Algorithm 1 over the symmetric list updates Z(d, Y(s))
+                    // twice per undirected edge: line 10 of the stored edge
+                    // (s→d) and line 11 of its mirror (d→s). One pull visit
+                    // covers both, hence the factor 2 (self-loops included:
+                    // stored once, both lines hit the same entry).
+                    row[ys as usize] += 2.0 * coeff[s as usize] * g.weight_at(d, i);
+                }
+            }
+        });
+    Embedding::from_vec(n, k, z)
+}
+
+/// Propagation-blocking GEE: bin contributions by destination range, then
+/// drain bins with exclusive ownership. Works for arbitrary (directed,
+/// weighted) inputs. `bin_bits` sets the destination-range width
+/// (`2^bin_bits` vertices per bin; 16 ≈ a 25 MiB Z stripe at K=50).
+pub fn embed_binned(el_vertices: usize, edges: &[Edge], labels: &Labels, bin_bits: u32) -> Embedding {
+    assert_eq!(el_vertices, labels.len(), "labels must cover every vertex");
+    let n = el_vertices;
+    let k = labels.num_classes();
+    let proj = Projection::build_parallel(labels);
+    let coeff = proj.as_slice();
+    let y = labels.raw_slice();
+    let num_bins = (n >> bin_bits) + 1;
+    // Phase 1: per-worker-chunk local bins, merged per bin afterwards.
+    // Each contribution is (z-flat-index, value).
+    let chunk = 1usize << 16;
+    let locals: Vec<Vec<Vec<(u64, f64)>>> = edges
+        .par_chunks(chunk)
+        .map(|es| {
+            let mut bins: Vec<Vec<(u64, f64)>> = vec![Vec::new(); num_bins];
+            for e in es {
+                let (u, v, w) = (e.u as usize, e.v as usize, e.w);
+                let yv = y[v];
+                if yv >= 0 {
+                    bins[u >> bin_bits].push(((u * k + yv as usize) as u64, coeff[v] * w));
+                }
+                let yu = y[u];
+                if yu >= 0 {
+                    bins[v >> bin_bits].push(((v * k + yu as usize) as u64, coeff[u] * w));
+                }
+            }
+            bins
+        })
+        .collect();
+    // Phase 2: one task per bin applies all its contributions; bins own
+    // disjoint Z ranges, so plain writes through a raw-pointer wrapper are
+    // race-free.
+    let mut z = vec![0.0f64; n * k];
+    let zp = SendPtr(z.as_mut_ptr());
+    (0..num_bins).into_par_iter().for_each(|b| {
+        for local in &locals {
+            for &(idx, val) in &local[b] {
+                // SAFETY: idx / k >> bin_bits == b by construction, and bin
+                // b is processed by exactly one task, so no two tasks write
+                // the same element.
+                unsafe { *zp.get().add(idx as usize) += val };
+            }
+        }
+    });
+    Embedding::from_vec(n, k, z)
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_reference;
+    use gee_gen::LabelSpec;
+    use gee_graph::EdgeList;
+
+    fn symmetric_setup(n: usize, m: usize, seed: u64) -> (EdgeList, Labels) {
+        let el = gee_gen::erdos_renyi_gnm(n, m, seed).symmetrized();
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            n,
+            LabelSpec { num_classes: 7, labeled_fraction: 0.3 },
+            seed ^ 0xF00D,
+        ));
+        (el, labels)
+    }
+
+    #[test]
+    fn pull_matches_reference_on_symmetric_graph() {
+        let (el, labels) = symmetric_setup(300, 2500, 3);
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        let z = embed_pull(&g, &labels);
+        reference.assert_close(&z, 1e-9);
+    }
+
+    #[test]
+    fn pull_matches_on_weighted_symmetric() {
+        use gee_graph::Edge;
+        let mut edges = Vec::new();
+        for i in 0..800u32 {
+            let (u, v, w) = (i % 50, (i * 7 + 3) % 50, 0.5 + (i % 9) as f64);
+            edges.push(Edge::new(u, v, w));
+            edges.push(Edge::new(v, u, w));
+        }
+        let el = EdgeList::new(50, edges).unwrap();
+        let labels = Labels::from_options(&gee_gen::full_labels(50, 4, 1));
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        embed_pull(&g, &labels).assert_close(&reference, 1e-9);
+        reference.assert_close(&embed_pull(&g, &labels), 1e-9);
+    }
+
+    #[test]
+    fn binned_matches_reference_directed() {
+        // Binned kernel handles plain directed inputs.
+        let el = gee_gen::erdos_renyi_gnm(500, 6000, 11);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            500,
+            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            13,
+        ));
+        let reference = serial_reference::embed(&el, &labels);
+        for bits in [4u32, 8, 16] {
+            let z = embed_binned(el.num_vertices(), el.edges(), &labels, bits);
+            reference.assert_close(&z, 1e-9);
+        }
+    }
+
+    #[test]
+    fn binned_matches_on_symmetric_weighted() {
+        let (el, labels) = symmetric_setup(200, 1500, 21);
+        let reference = serial_reference::embed(&el, &labels);
+        let z = embed_binned(el.num_vertices(), el.edges(), &labels, 6);
+        reference.assert_close(&z, 1e-9);
+    }
+
+    #[test]
+    fn all_kernels_agree() {
+        let (el, labels) = symmetric_setup(400, 4000, 31);
+        let g = CsrGraph::from_edge_list(&el);
+        let a = crate::ligra::embed(&g, &labels, gee_ligra::AtomicsMode::Atomic);
+        let b = embed_pull(&g, &labels);
+        let c = embed_binned(el.num_vertices(), el.edges(), &labels, 10);
+        a.assert_close(&b, 1e-9);
+        a.assert_close(&c, 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_kernels() {
+        let labels = Labels::from_options(&[None, None]);
+        let g = CsrGraph::build(2, &[], false);
+        assert_eq!(embed_pull(&g, &labels).as_slice().len(), 0);
+        assert_eq!(embed_binned(2, &[], &labels, 8).as_slice().len(), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Laplacian preprocessing for GEE.
+//!
+//! §II of the paper: "our description does not include the preprocessing
+//! steps needed to compute the Laplacian version of the algorithm (ref. 13 of the paper)".
+//! Those steps (from the original GEE paper) replace the adjacency weights
+//! with symmetrically degree-normalized weights,
+//! `w'(u,v) = w(u,v) / sqrt(deg(u) · deg(v))`, where `deg` is the weighted
+//! degree counting both directions (so the undirected two-directed-edge
+//! encoding normalizes like the undirected graph it represents). The
+//! embedding pass itself is unchanged — any GEE implementation then runs
+//! on the reweighted edge list.
+
+use gee_graph::{Edge, EdgeList};
+
+/// Weighted degree per vertex: sum of |w| over all incident edge endpoints
+/// (out plus in; a self-loop counts twice, as in an undirected degree).
+pub fn weighted_degrees(el: &EdgeList) -> Vec<f64> {
+    let mut deg = vec![0.0f64; el.num_vertices()];
+    for (u, v, w) in el.iter() {
+        deg[u as usize] += w.abs();
+        deg[v as usize] += w.abs();
+    }
+    deg
+}
+
+/// Produce the Laplacian-normalized edge list. Edges incident to an
+/// isolated endpoint (degree 0 cannot occur for an edge endpoint) keep a
+/// finite weight by construction.
+pub fn normalize(el: &EdgeList) -> EdgeList {
+    let deg = weighted_degrees(el);
+    let edges: Vec<Edge> = el
+        .iter()
+        .map(|(u, v, w)| {
+            let d = (deg[u as usize] * deg[v as usize]).sqrt();
+            Edge::new(u, v, if d > 0.0 { w / d } else { 0.0 })
+        })
+        .collect();
+    EdgeList::new_unchecked(el.num_vertices(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_count_both_endpoints() {
+        let el = EdgeList::new(3, vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.0)]).unwrap();
+        assert_eq!(weighted_degrees(&el), vec![2.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn self_loop_counts_twice() {
+        let el = EdgeList::new(1, vec![Edge::new(0, 0, 1.5)]).unwrap();
+        assert_eq!(weighted_degrees(&el), vec![3.0]);
+    }
+
+    #[test]
+    fn normalized_weights() {
+        let el = EdgeList::new(3, vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 3.0)]).unwrap();
+        let norm = normalize(&el);
+        // w'(0,1) = 2 / sqrt(2·5), w'(1,2) = 3 / sqrt(5·3)
+        assert!((norm.edges()[0].w - 2.0 / (10.0f64).sqrt()).abs() < 1e-12);
+        assert!((norm.edges()[1].w - 3.0 / (15.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_graph_uniform_scaling() {
+        // 4-cycle, symmetrized: every vertex has degree 4 (2 out + 2 in);
+        // every weight becomes 1/4.
+        let el = EdgeList::new(
+            4,
+            (0..4u32).map(|v| Edge::unit(v, (v + 1) % 4)).collect(),
+        )
+        .unwrap()
+        .symmetrized();
+        let norm = normalize(&el);
+        for e in norm.edges() {
+            assert!((e.w - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let el = gee_gen::erdos_renyi_gnm(50, 300, 7);
+        let norm = normalize(&el);
+        assert_eq!(norm.num_vertices(), 50);
+        assert_eq!(norm.num_edges(), 300);
+        assert!(norm.edges().iter().all(|e| e.w.is_finite() && e.w >= 0.0));
+    }
+}

@@ -1,0 +1,224 @@
+//! GEE-Ligra — Algorithm 2 of the paper.
+//!
+//! The edge loop becomes an `edgeMap` over the full frontier with the
+//! `updateEmb` functor; the two `Z` accumulations are lock-free atomic
+//! `writeAdd`s. Traversal is *dense-forward*: one task per source vertex
+//! whose out-edge list is processed sequentially, so
+//!
+//! * successive updates through `Z(u, ·)` hit the processor cache (§III),
+//! * updates `Z(u, Y(v1))`, `Z(u, Y(v2))` from one source never conflict —
+//!   they are serialized within the task — and only cross-source updates
+//!   to a shared destination row contend, which the paper expects (and we
+//!   measure) to be rare.
+//!
+//! The `AtomicsMode::Racy` path reproduces the paper's "atomics off" run:
+//! same schedule, relaxed read+write instead of CAS.
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use gee_ligra::{
+    edge_map, AtomicF64Vec, AtomicsMode, EdgeMapFn, EdgeMapOptions, TraversalKind, VertexSubset,
+};
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::projection::Projection;
+
+/// The `updateEmb` functor of Algorithm 2.
+struct UpdateEmb<'a> {
+    z: &'a AtomicF64Vec,
+    coeff: &'a [f64],
+    y: &'a [i32],
+    k: usize,
+    mode: AtomicsMode,
+}
+
+impl UpdateEmb<'_> {
+    /// Lines 10–11 of Algorithm 2:
+    /// `writeAdd(Z(u, Y(v)), W(v, Y(v))·w)`;
+    /// `writeAdd(Z(v, Y(u)), W(u, Y(u))·w)`.
+    #[inline]
+    fn apply(&self, u: VertexId, v: VertexId, w: Weight) {
+        let yv = self.y[v as usize];
+        if yv >= 0 {
+            self.z.add(self.mode, u as usize * self.k + yv as usize, self.coeff[v as usize] * w);
+        }
+        let yu = self.y[u as usize];
+        if yu >= 0 {
+            self.z.add(self.mode, v as usize * self.k + yu as usize, self.coeff[u as usize] * w);
+        }
+    }
+}
+
+impl EdgeMapFn for UpdateEmb<'_> {
+    fn update(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        self.apply(s, d, w);
+        false
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        self.apply(s, d, w);
+        false
+    }
+}
+
+/// GEE-Ligra (Algorithm 2): parallel projection init + edge map with
+/// atomic `writeAdd`. Runs on the ambient rayon pool — wrap in
+/// [`gee_ligra::with_threads`] to control the worker count (the paper's
+/// Fig. 3 sweep).
+pub fn embed(g: &CsrGraph, labels: &Labels, mode: AtomicsMode) -> Embedding {
+    assert_eq!(g.num_vertices(), labels.len(), "labels must cover every vertex");
+    let n = g.num_vertices();
+    let k = labels.num_classes();
+    // Algorithm 2 lines 2–6: ParallelFor over classes / vertices.
+    let proj = Projection::build_parallel(labels);
+    // Line 7: EdgeMap(updateEmb, Z, W, Y, frontier = n).
+    let z = AtomicF64Vec::zeros(n * k);
+    let functor = UpdateEmb { z: &z, coeff: proj.as_slice(), y: labels.raw_slice(), k, mode };
+    let frontier = VertexSubset::full(n);
+    edge_map(
+        g,
+        &frontier,
+        &functor,
+        EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true },
+    );
+    Embedding::from_vec(n, k, z.into_vec())
+}
+
+/// GEE-Ligra over a byte-compressed graph ([`gee_graph::CompressedCsr`]):
+/// the same dense-forward edge-parallel kernel, decoding each source's
+/// neighbor list on the fly. Trades decode ALU work for memory bandwidth —
+/// the direction §IV's memory-bound analysis points at (CPMA, ref. 18 of the paper); the
+/// `ablation-compression` bench quantifies it.
+pub fn embed_compressed(
+    g: &gee_graph::CompressedCsr,
+    labels: &Labels,
+    mode: AtomicsMode,
+) -> Embedding {
+    use rayon::prelude::*;
+    assert_eq!(g.num_vertices(), labels.len(), "labels must cover every vertex");
+    let n = g.num_vertices();
+    let k = labels.num_classes();
+    let proj = Projection::build_parallel(labels);
+    let z = AtomicF64Vec::zeros(n * k);
+    let functor = UpdateEmb { z: &z, coeff: proj.as_slice(), y: labels.raw_slice(), k, mode };
+    (0..n as u32).into_par_iter().for_each(|u| {
+        g.for_each_out(u, |v, w| functor.apply(u, v, w));
+    });
+    Embedding::from_vec(n, k, z.into_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial_reference;
+    use gee_gen::LabelSpec;
+    use gee_graph::EdgeList;
+    use proptest::prelude::*;
+
+    fn setup(n: usize, m: usize, k: usize, frac: f64, seed: u64) -> (EdgeList, Labels) {
+        let el = gee_gen::erdos_renyi_gnm(n, m, seed);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            n,
+            LabelSpec { num_classes: k, labeled_fraction: frac },
+            seed ^ 0xABCD,
+        ));
+        (el, labels)
+    }
+
+    #[test]
+    fn matches_reference_up_to_fp_reordering() {
+        let (el, labels) = setup(400, 4000, 8, 0.3, 11);
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        let z = embed(&g, &labels, AtomicsMode::Atomic);
+        reference.assert_close(&z, 1e-9);
+    }
+
+    #[test]
+    fn serial_pool_matches_reference() {
+        let (el, labels) = setup(200, 2000, 5, 0.5, 3);
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        let z = gee_ligra::with_threads(1, || embed(&g, &labels, AtomicsMode::Atomic));
+        reference.assert_close(&z, 1e-9);
+    }
+
+    #[test]
+    fn racy_mode_single_thread_is_exact() {
+        // On one thread the racy path has no races: must equal atomic mode.
+        let (el, labels) = setup(150, 1500, 4, 0.4, 7);
+        let g = CsrGraph::from_edge_list(&el);
+        let a = gee_ligra::with_threads(1, || embed(&g, &labels, AtomicsMode::Atomic));
+        let b = gee_ligra::with_threads(1, || embed(&g, &labels, AtomicsMode::Racy));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn racy_mode_parallel_is_approximately_right() {
+        // The paper's "atomics off" run computes *approximately* the same
+        // embedding (lost updates are rare). Verify mass is within 1%.
+        let (el, labels) = setup(500, 20_000, 6, 0.5, 13);
+        let g = CsrGraph::from_edge_list(&el);
+        let exact = embed(&g, &labels, AtomicsMode::Atomic);
+        let racy = embed(&g, &labels, AtomicsMode::Racy);
+        let lost = (exact.total_mass() - racy.total_mass()).abs();
+        assert!(lost <= 0.01 * exact.total_mass().max(1.0), "lost {lost} of {}", exact.total_mass());
+    }
+
+    #[test]
+    fn weighted_graph_matches_reference() {
+        use gee_graph::Edge;
+        let edges: Vec<Edge> = (0..2000u32)
+            .map(|i| Edge::new(i % 100, (i * 13 + 1) % 100, ((i % 17) as f64).exp().min(10.0)))
+            .collect();
+        let el = EdgeList::new(100, edges).unwrap();
+        let labels = Labels::from_options(&gee_gen::full_labels(100, 7, 5));
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        let z = embed(&g, &labels, AtomicsMode::Atomic);
+        reference.assert_close(&z, 1e-9);
+    }
+
+    #[test]
+    fn compressed_matches_reference() {
+        let (el, labels) = setup(300, 5000, 6, 0.4, 21);
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        let c = gee_graph::CompressedCsr::from_csr(&g);
+        let z = embed_compressed(&c, &labels, AtomicsMode::Atomic);
+        reference.assert_close(&z, 1e-9);
+    }
+
+    #[test]
+    fn compressed_weighted_matches() {
+        use gee_graph::Edge;
+        let edges: Vec<Edge> = (0..1500u32)
+            .map(|i| Edge::new(i % 60, (i * 11 + 2) % 60, 0.5 + (i % 5) as f64))
+            .collect();
+        let el = EdgeList::new(60, edges).unwrap();
+        let labels = Labels::from_options(&gee_gen::full_labels(60, 4, 3));
+        let reference = serial_reference::embed(&el, &labels);
+        let g = CsrGraph::from_edge_list(&el);
+        let c = gee_graph::CompressedCsr::from_csr(&g);
+        let z = embed_compressed(&c, &labels, AtomicsMode::Atomic);
+        reference.assert_close(&z, 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// Property: GEE-Ligra equals the serial reference for arbitrary
+        /// graphs and labelings (within FP-reassociation tolerance).
+        #[test]
+        fn prop_matches_reference(
+            n in 2usize..60,
+            seed in 0u64..500,
+            k in 1usize..5,
+            frac in 0.0f64..1.0,
+        ) {
+            let (el, labels) = setup(n, n * 5, k, frac, seed);
+            let reference = serial_reference::embed(&el, &labels);
+            let g = CsrGraph::from_edge_list(&el);
+            let z = embed(&g, &labels, AtomicsMode::Atomic);
+            reference.assert_close(&z, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Algorithm 1 verbatim: dense `n×K` projection matrix, one serial pass
+//! over the edge list.
+//!
+//! This is the semantics oracle — deliberately literal, allocating the full
+//! dense `W` exactly as the pseudocode does. All other implementations are
+//! tested against it.
+
+use gee_graph::EdgeList;
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::projection::Projection;
+
+/// One-Hot Graph Encoder Embedding, Algorithm 1 of the paper.
+pub fn embed(el: &EdgeList, labels: &Labels) -> Embedding {
+    assert_eq!(el.num_vertices(), labels.len(), "labels must cover every vertex");
+    let n = el.num_vertices();
+    let k = labels.num_classes();
+    // Lines 2–6: W = zeros(n, K); W(idx, k) = 1/count(Y=k).
+    let w = Projection::build_serial(labels).to_dense(labels);
+    // Lines 7–12: single pass over the edges.
+    let mut z = Embedding::zeros(n, k);
+    for (u, v, wt) in el.iter() {
+        // Z(u, Y(v)) += W(v, Y(v)) · w
+        if let Some(yv) = labels.get(v) {
+            let coeff = w[v as usize * k + yv as usize];
+            z.row_mut(u)[yv as usize] += coeff * wt;
+        }
+        // Z(v, Y(u)) += W(u, Y(u)) · w
+        if let Some(yu) = labels.get(u) {
+            let coeff = w[u as usize * k + yu as usize];
+            z.row_mut(v)[yu as usize] += coeff * wt;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    /// Tiny worked example, checked by hand.
+    ///
+    /// Vertices 0,1 in class 0 (count 2 → coeff 0.5); vertex 2 in class 1
+    /// (count 1 → coeff 1.0); vertex 3 unlabeled. Edge (0,2,2.0):
+    ///   Z(0, Y(2)=1) += 1.0·2.0 = 2.0
+    ///   Z(2, Y(0)=0) += 0.5·2.0 = 1.0
+    #[test]
+    fn hand_worked_example() {
+        let el = EdgeList::new(4, vec![Edge::new(0, 2, 2.0)]).unwrap();
+        let labels = Labels::from_options(&[Some(0), Some(0), Some(1), None]);
+        let z = embed(&el, &labels);
+        assert_eq!(z.get(0, 1), 2.0);
+        assert_eq!(z.get(2, 0), 1.0);
+        assert_eq!(z.get(0, 0), 0.0);
+        assert_eq!(z.get(1, 0), 0.0);
+        assert_eq!(z.get(3, 0), 0.0);
+    }
+
+    #[test]
+    fn unlabeled_endpoint_contributes_nothing() {
+        let el = EdgeList::new(3, vec![Edge::unit(0, 2), Edge::unit(2, 1)]).unwrap();
+        let labels = Labels::from_options(&[Some(0), Some(0), None]);
+        let z = embed(&el, &labels);
+        // Vertex 2 is unlabeled: edges touching it only push mass *toward* 2.
+        // Class 0 has two members (vertices 0, 1) → coeff 0.5 each, so
+        // edge (0,2) adds 0.5 to Z(2,0) and edge (2,1) adds another 0.5.
+        assert_eq!(z.get(0, 0), 0.0); // Y(2) unknown → no update to Z(0,·)
+        assert_eq!(z.get(2, 0), 1.0);
+        assert_eq!(z.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn self_loop_contributes_both_directions() {
+        let el = EdgeList::new(1, vec![Edge::new(0, 0, 3.0)]).unwrap();
+        let labels = Labels::from_full(&[0]);
+        let z = embed(&el, &labels);
+        // coeff = 1.0 (only member); both lines fire on the same entry.
+        assert_eq!(z.get(0, 0), 6.0);
+    }
+
+    #[test]
+    fn duplicate_edges_accumulate() {
+        let el = EdgeList::new(2, vec![Edge::unit(0, 1), Edge::unit(0, 1)]).unwrap();
+        let labels = Labels::from_full(&[0, 1]);
+        let z = embed(&el, &labels);
+        assert_eq!(z.get(0, 1), 2.0);
+        assert_eq!(z.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn total_mass_identity() {
+        // Each edge contributes w·(coeff(u) + coeff(v)) in total.
+        let el = gee_gen::erdos_renyi_gnm(50, 400, 3);
+        let labels = Labels::from_options(&gee_gen::random_labels(
+            50,
+            gee_gen::LabelSpec { num_classes: 4, labeled_fraction: 0.5 },
+            9,
+        ));
+        let p = crate::projection::Projection::build_serial(&labels);
+        let expected: f64 = el.iter().map(|(u, v, w)| w * (p.coeff(u) + p.coeff(v))).sum();
+        let z = embed(&el, &labels);
+        assert!((z.total_mass() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_labels_gives_zero_dim() {
+        let el = EdgeList::new(2, vec![Edge::unit(0, 1)]).unwrap();
+        let labels = Labels::from_options(&[None, None]);
+        let z = embed(&el, &labels);
+        assert_eq!(z.dim(), 0);
+        assert_eq!(z.as_slice().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must cover")]
+    fn label_length_mismatch_panics() {
+        let el = EdgeList::new(3, vec![Edge::unit(0, 1)]).unwrap();
+        embed(&el, &Labels::from_full(&[0, 1]));
+    }
+}

@@ -1,0 +1,137 @@
+//! Unsupervised / iterative GEE ("GEE clustering" from the original GEE
+//! paper, the "derived from unsupervised clustering" label source §II of
+//! the parallel paper mentions).
+//!
+//! Loop: labels → embed → k-means on Z → new labels, until the labeling
+//! stabilizes (ARI between consecutive labelings ≈ 1) or `max_rounds` is
+//! hit. Each round is one parallel GEE pass plus one k-means, so the whole
+//! procedure stays O(rounds · (s + nK)).
+
+use gee_eval::kmeans::{kmeans, KMeansOptions};
+use gee_eval::metrics::adjusted_rand_index;
+use gee_graph::CsrGraph;
+use gee_ligra::AtomicsMode;
+
+use crate::embedding::Embedding;
+use crate::labels::Labels;
+use crate::ligra;
+
+/// Options for [`cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct UnsupervisedOptions {
+    /// Number of clusters / embedding dimension K.
+    pub k: usize,
+    /// Maximum refinement rounds.
+    pub max_rounds: usize,
+    /// Stop when consecutive labelings have ARI at least this.
+    pub convergence_ari: f64,
+    /// RNG seed (initial labeling and k-means).
+    pub seed: u64,
+}
+
+impl UnsupervisedOptions {
+    /// Defaults: 20 rounds max, ARI ≥ 0.999 convergence.
+    pub fn new(k: usize, seed: u64) -> Self {
+        UnsupervisedOptions { k, max_rounds: 20, convergence_ari: 0.999, seed }
+    }
+}
+
+/// Result of unsupervised GEE.
+#[derive(Debug, Clone)]
+pub struct UnsupervisedResult {
+    /// Final cluster assignment per vertex.
+    pub assignment: Vec<u32>,
+    /// Final embedding.
+    pub embedding: Embedding,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// ARI between the last two labelings (1.0 = fully converged).
+    pub final_ari: f64,
+}
+
+/// Iterative GEE clustering on a CSR graph.
+pub fn cluster(g: &CsrGraph, opts: UnsupervisedOptions) -> UnsupervisedResult {
+    let n = g.num_vertices();
+    assert!(opts.k >= 1, "k must be at least 1");
+    assert!(n >= opts.k, "need at least k vertices");
+    // Round 0: uniform random full labeling.
+    let mut current: Vec<u32> = {
+        
+        gee_gen_free_random(n, opts.k, opts.seed)
+    };
+    let mut rounds = 0;
+    let mut final_ari = 0.0;
+    let mut embedding = Embedding::zeros(n, opts.k);
+    for r in 0..opts.max_rounds {
+        rounds = r + 1;
+        let labels = Labels::from_options_with_k(
+            &current.iter().map(|&c| Some(c)).collect::<Vec<_>>(),
+            opts.k,
+        );
+        embedding = ligra::embed(g, &labels, AtomicsMode::Atomic);
+        let mut z = embedding.clone();
+        z.normalize_rows();
+        let km = kmeans(z.as_slice(), n, opts.k, KMeansOptions::new(opts.k, opts.seed ^ r as u64));
+        final_ari = adjusted_rand_index(&current, &km.assignment);
+        current = km.assignment;
+        if final_ari >= opts.convergence_ari {
+            break;
+        }
+    }
+    UnsupervisedResult { assignment: current, embedding, rounds, final_ari }
+}
+
+/// Deterministic uniform labels without depending on gee-gen (which would
+/// create a dev-dependency cycle): SplitMix64 per vertex.
+fn gee_gen_free_random(n: usize, k: usize, seed: u64) -> Vec<u32> {
+    (0..n as u64)
+        .map(|v| {
+            let mut x = seed.wrapping_add(v).wrapping_add(0x9E3779B97F4A7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+            ((x ^ (x >> 31)) % k as u64) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_eval::metrics::adjusted_rand_index;
+
+    #[test]
+    fn recovers_planted_partition() {
+        let g = gee_gen::sbm(&gee_gen::SbmParams::balanced(3, 60, 0.4, 0.01), 5);
+        let csr = CsrGraph::from_edge_list(&g.edges);
+        let r = cluster(&csr, UnsupervisedOptions::new(3, 17));
+        let ari = adjusted_rand_index(&r.assignment, &g.truth);
+        assert!(ari > 0.9, "expected near-perfect recovery, ARI = {ari}");
+    }
+
+    #[test]
+    fn converges_and_reports_rounds() {
+        let g = gee_gen::sbm(&gee_gen::SbmParams::balanced(2, 50, 0.5, 0.02), 3);
+        let csr = CsrGraph::from_edge_list(&g.edges);
+        let r = cluster(&csr, UnsupervisedOptions::new(2, 7));
+        assert!(r.rounds <= 20);
+        assert!(r.final_ari > 0.9, "final ARI {}", r.final_ari);
+        assert_eq!(r.assignment.len(), 100);
+        assert_eq!(r.embedding.num_vertices(), 100);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g = gee_gen::sbm(&gee_gen::SbmParams::balanced(2, 30, 0.5, 0.05), 9);
+        let csr = CsrGraph::from_edge_list(&g.edges);
+        let a = cluster(&csr, UnsupervisedOptions::new(2, 4));
+        let b = cluster(&csr, UnsupervisedOptions::new(2, 4));
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k vertices")]
+    fn rejects_k_above_n() {
+        let csr = CsrGraph::build(2, &[], false);
+        cluster(&csr, UnsupervisedOptions::new(5, 1));
+    }
+}

@@ -1,0 +1,159 @@
+//! Configuration-model graphs — sample a graph with a *prescribed degree
+//! sequence* by the stub-matching construction, plus a discrete power-law
+//! degree-sequence sampler.
+//!
+//! R-MAT approximates social-graph skew through recursive quadrant
+//! splitting; the configuration model hits an exact target degree
+//! sequence instead, which makes it the right workload for studying how
+//! degree skew alone affects the GEE edge pass (cache misses concentrate
+//! on high-degree rows of `Z`).
+//!
+//! Stub matching may produce self-loops and multi-edges; GEE is defined
+//! over multigraphs (contributions sum per edge occurrence, §II), so they
+//! are kept by default and [`config_model_simple`] erases them for
+//! callers that need a simple graph.
+
+use gee_graph::{Edge, EdgeList, VertexId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::stream_rng;
+
+/// Sample a multigraph with the given degree sequence by uniform stub
+/// matching. The sum of `degrees` must be even (pad with a single extra
+/// stub on vertex 0 otherwise — callers get an assertion instead to keep
+/// the sequence exact). Output is symmetrized (both directions per edge).
+pub fn config_model(degrees: &[usize], seed: u64) -> EdgeList {
+    let total: usize = degrees.iter().sum();
+    assert!(total.is_multiple_of(2), "degree sequence must have even sum (got {total})");
+    let n = degrees.len();
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(total);
+    for (v, &d) in degrees.iter().enumerate() {
+        stubs.extend(std::iter::repeat_n(v as VertexId, d));
+    }
+    let mut rng = stream_rng(seed, 0x434D); // "CM"
+    stubs.shuffle(&mut rng);
+    let mut edges: Vec<Edge> = Vec::with_capacity(total);
+    for pair in stubs.chunks_exact(2) {
+        edges.push(Edge::unit(pair[0], pair[1]));
+        edges.push(Edge::unit(pair[1], pair[0]));
+    }
+    EdgeList::new_unchecked(n, edges)
+}
+
+/// Configuration model with self-loops and duplicate undirected edges
+/// removed (degree sequence then holds only approximately).
+pub fn config_model_simple(degrees: &[usize], seed: u64) -> EdgeList {
+    let multi = config_model(degrees, seed);
+    let n = multi.num_vertices();
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for e in multi.edges() {
+        let key = (e.u.min(e.v), e.u.max(e.v));
+        if e.u != e.v && seen.insert(key) {
+            edges.push(Edge::unit(key.0, key.1));
+            edges.push(Edge::unit(key.1, key.0));
+        }
+    }
+    EdgeList::new_unchecked(n, edges)
+}
+
+/// Sample `n` degrees from a discrete power law `P(d) ∝ d^-alpha` on
+/// `d_min..=d_max` by inverse-CDF over the finite support, then fix the
+/// parity of the sum by incrementing one vertex. `alpha ≈ 2–3` matches
+/// measured social-network skew.
+pub fn power_law_degrees(n: usize, alpha: f64, d_min: usize, d_max: usize, seed: u64) -> Vec<usize> {
+    assert!(d_min >= 1 && d_min <= d_max, "need 1 <= d_min <= d_max");
+    assert!(alpha > 0.0, "alpha must be positive");
+    // Finite-support CDF.
+    let weights: Vec<f64> = (d_min..=d_max).map(|d| (d as f64).powf(-alpha)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    let mut rng = stream_rng(seed, 0x504C); // "PL"
+    let mut degrees: Vec<usize> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            d_min + cdf.partition_point(|&c| c < u)
+        })
+        .collect();
+    if degrees.iter().sum::<usize>() % 2 == 1 {
+        degrees[0] += 1;
+    }
+    degrees
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_degree_sequence() {
+        let degrees = vec![3, 2, 2, 1, 0, 2];
+        let el = config_model(&degrees, 5);
+        // Out-degree per vertex in the symmetrized list counts each stub
+        // once (self-loops give two stubs on the same vertex → two
+        // directed edges).
+        let mut out = vec![0usize; degrees.len()];
+        for e in el.edges() {
+            out[e.u as usize] += 1;
+        }
+        assert_eq!(out, degrees);
+    }
+
+    #[test]
+    #[should_panic(expected = "even sum")]
+    fn odd_sum_rejected() {
+        config_model(&[1, 1, 1], 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let degrees = vec![2; 40];
+        let a = config_model(&degrees, 3);
+        let b = config_model(&degrees, 3);
+        assert!(a.edges().iter().zip(b.edges()).all(|(x, y)| x.u == y.u && x.v == y.v));
+    }
+
+    #[test]
+    fn simple_variant_has_no_loops_or_multi_edges() {
+        let degrees = power_law_degrees(200, 2.2, 1, 40, 9);
+        let el = config_model_simple(&degrees, 9);
+        assert!(el.edges().iter().all(|e| e.u != e.v));
+        let mut keys: Vec<(u32, u32)> =
+            el.edges().iter().filter(|e| e.u < e.v).map(|e| (e.u, e.v)).collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn power_law_sum_even_and_in_range() {
+        let d = power_law_degrees(1001, 2.5, 2, 50, 17);
+        assert_eq!(d.len(), 1001);
+        assert_eq!(d.iter().sum::<usize>() % 2, 0);
+        assert!(d.iter().all(|&x| (2..=51).contains(&x))); // +1 parity fix allowed
+    }
+
+    #[test]
+    fn power_law_is_skewed() {
+        // With alpha=2.5 the minimum degree dominates: more than half of
+        // all vertices should sit at d_min.
+        let d = power_law_degrees(5000, 2.5, 1, 100, 21);
+        let at_min = d.iter().filter(|&&x| x == 1).count();
+        assert!(at_min > 2500, "expected >50% at d_min, got {at_min}/5000");
+        // And a heavy tail exists.
+        assert!(d.iter().any(|&x| x >= 10));
+    }
+
+    #[test]
+    fn regular_graph_from_constant_sequence() {
+        let el = config_model(&vec![4usize; 50], 13);
+        assert_eq!(el.num_edges(), 50 * 4);
+    }
+}

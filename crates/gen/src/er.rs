@@ -1,0 +1,151 @@
+//! Erdős–Rényi random graphs — the Figure 4 workload.
+//!
+//! The paper sweeps `log2(edges)` from 13 to 29 on ER graphs and shows
+//! linear runtime in the edge count. `erdos_renyi_gnm` draws exactly `m`
+//! directed edges with endpoints uniform on `0..n` (the G(n, m) model with
+//! replacement — duplicates and self-loops are kept, which is harmless for
+//! GEE and matches the "stream of s edges" cost model).
+
+use rayon::prelude::*;
+
+use gee_graph::{Edge, EdgeList};
+use rand::Rng;
+
+use crate::stream_rng;
+
+/// G(n, m): exactly `m` directed edges, endpoints i.i.d. uniform.
+///
+/// Deterministic in `seed` and independent of the number of threads: edges
+/// are generated in fixed chunks, each from its own derived RNG stream.
+pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> EdgeList {
+    assert!(n > 0 || m == 0, "cannot place edges in an empty graph");
+    const CHUNK: usize = 1 << 16;
+    let chunks = m.div_ceil(CHUNK.max(1)).max(1);
+    let edges: Vec<Edge> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(m);
+            let mut rng = stream_rng(seed, c as u64);
+            (lo..hi).map(move |_| {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                Edge::unit(u, v)
+            })
+        })
+        .collect();
+    EdgeList::new_unchecked(n, edges)
+}
+
+/// G(n, p): every ordered pair `(u, v)`, `u != v`, is an edge independently
+/// with probability `p`. Uses geometric skipping, O(expected edges), suitable
+/// only for graphs where `n*n*p` is laptop-scale.
+pub fn erdos_renyi_gnp(n: usize, p: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut edges = Vec::new();
+    if p == 0.0 || n == 0 {
+        return EdgeList::new_unchecked(n, edges);
+    }
+    let mut rng = stream_rng(seed, 0);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if u != v {
+                    edges.push(Edge::unit(u, v));
+                }
+            }
+        }
+        return EdgeList::new_unchecked(n, edges);
+    }
+    // Geometric skipping over the n*(n-1) candidate slots (self-loops are
+    // excluded by construction of the slot→pair decoding below).
+    let total = (n as u128) * (n as u128 - 1);
+    let log1mp = (1.0 - p).ln();
+    let mut slot: u128 = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / log1mp).floor() as u128;
+        slot = slot.saturating_add(skip);
+        if slot >= total {
+            break;
+        }
+        let u = (slot / (n as u128 - 1)) as u32;
+        let mut v = (slot % (n as u128 - 1)) as u32;
+        if v >= u {
+            v += 1; // skip the diagonal
+        }
+        edges.push(Edge::unit(u, v));
+        slot += 1;
+    }
+    EdgeList::new_unchecked(n, edges)
+}
+
+/// The Figure 4 convention: an ER graph with `2^log2_edges` edges and
+/// `n = max(m / avg_degree, 2)` vertices (the paper holds average degree
+/// roughly constant as edges grow).
+pub fn fig4_graph(log2_edges: u32, avg_degree: usize, seed: u64) -> EdgeList {
+    let m = 1usize << log2_edges;
+    let n = (m / avg_degree.max(1)).max(2);
+    erdos_renyi_gnm(n, m, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let el = erdos_renyi_gnm(100, 5000, 7);
+        assert_eq!(el.num_edges(), 5000);
+        assert_eq!(el.num_vertices(), 100);
+    }
+
+    #[test]
+    fn gnm_deterministic() {
+        let a = erdos_renyi_gnm(50, 1000, 9);
+        let b = erdos_renyi_gnm(50, 1000, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gnm_seeds_differ() {
+        assert_ne!(erdos_renyi_gnm(50, 1000, 1), erdos_renyi_gnm(50, 1000, 2));
+    }
+
+    #[test]
+    fn gnm_endpoints_in_range() {
+        let el = erdos_renyi_gnm(10, 500, 3);
+        assert!(el.edges().iter().all(|e| e.u < 10 && e.v < 10));
+    }
+
+    #[test]
+    fn gnp_zero_and_one() {
+        assert_eq!(erdos_renyi_gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi_gnp(10, 1.0, 1).num_edges(), 90);
+    }
+
+    #[test]
+    fn gnp_expected_count_close() {
+        let n = 200;
+        let p = 0.05;
+        let el = erdos_renyi_gnp(n, p, 11);
+        let expected = (n * (n - 1)) as f64 * p;
+        let got = el.num_edges() as f64;
+        // within 5 standard deviations
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!((got - expected).abs() < 5.0 * sd, "got {got}, expected {expected}±{sd}");
+    }
+
+    #[test]
+    fn gnp_no_self_loops() {
+        let el = erdos_renyi_gnp(50, 0.1, 13);
+        assert!(el.edges().iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn fig4_shape() {
+        let el = fig4_graph(13, 16, 5);
+        assert_eq!(el.num_edges(), 1 << 13);
+        assert_eq!(el.num_vertices(), (1 << 13) / 16);
+    }
+}

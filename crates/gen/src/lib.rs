@@ -1,0 +1,75 @@
+//! Deterministic workload generators for the GEE reproduction.
+//!
+//! The paper's evaluation uses two workload families:
+//!
+//! * **SNAP social graphs** (Table I, Figures 2–3). These are unavailable
+//!   offline, so the bench harness substitutes [`rmat()`] graphs whose
+//!   `(n, s)` shape matches each SNAP graph — R-MAT's skewed degree
+//!   distribution is the standard synthetic stand-in for social networks.
+//! * **Erdős–Rényi graphs** with growing edge counts (Figure 4), provided by
+//!   [`er::erdos_renyi_gnm`].
+//!
+//! For *statistical* validation (the embedding actually separates
+//! communities), [`sbm()`] generates stochastic block model graphs with known
+//! ground-truth labels.
+//!
+//! Everything takes an explicit `u64` seed and is reproducible run-to-run.
+//! Large generators are parallelized per-chunk with independent
+//! seed-derived streams, so output is deterministic regardless of thread
+//! count.
+
+pub mod config_model;
+pub mod er;
+pub mod labels;
+pub mod pa;
+pub mod rmat;
+pub mod sbm;
+pub mod weights;
+pub mod ws;
+
+pub use config_model::{config_model, config_model_simple, power_law_degrees};
+pub use er::{erdos_renyi_gnm, erdos_renyi_gnp};
+pub use labels::{full_labels, random_labels, subsample_labels, LabelSpec};
+pub use pa::preferential_attachment;
+pub use rmat::{rmat, RmatParams};
+pub use sbm::{sbm, SbmParams};
+pub use weights::{assign_weights, assign_weights_symmetric, WeightDistribution};
+pub use ws::{watts_strogatz, WsParams};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derive an independent RNG for stream `stream` of a run seeded by `seed`.
+///
+/// Uses SplitMix64 over (seed, stream) so chunked parallel generation is
+/// deterministic and streams are decorrelated.
+pub(crate) fn stream_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(stream)))
+}
+
+/// SplitMix64 mixer — the standard seed-expansion function.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_mixing() {
+        assert_eq!(splitmix64(1), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn stream_rngs_decorrelated() {
+        use rand::Rng;
+        let a: u64 = stream_rng(42, 0).gen();
+        let b: u64 = stream_rng(42, 1).gen();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+//! Preferential attachment (Barabási–Albert) graphs.
+//!
+//! A second heavy-tailed family besides R-MAT, used in extension benches to
+//! show GEE-Ligra's edge-parallel scaling is robust to extreme hub vertices
+//! (a hub's edge list is one sequential task under `edgeMapDense`-forward
+//! scheduling, the load-imbalance worst case the paper's §III discusses).
+
+use gee_graph::{Edge, EdgeList};
+use rand::Rng;
+
+use crate::stream_rng;
+
+/// Barabási–Albert: start from a small seed clique, then each new vertex
+/// attaches `m_per_vertex` edges to existing vertices with probability
+/// proportional to degree (implemented with the repeated-endpoint trick:
+/// sample uniformly from the endpoint list built so far).
+pub fn preferential_attachment(n: usize, m_per_vertex: usize, seed: u64) -> EdgeList {
+    assert!(m_per_vertex >= 1, "each vertex must attach at least one edge");
+    let m0 = (m_per_vertex + 1).min(n);
+    let mut rng = stream_rng(seed, 0);
+    let mut edges: Vec<Edge> = Vec::new();
+    // Endpoint pool: each edge contributes both endpoints, so sampling
+    // uniformly from the pool is degree-proportional sampling.
+    let mut pool: Vec<u32> = Vec::new();
+    // Seed clique on vertices 0..m0.
+    for u in 0..m0 as u32 {
+        for v in (u + 1)..m0 as u32 {
+            edges.push(Edge::unit(u, v));
+            pool.push(u);
+            pool.push(v);
+        }
+    }
+    for v in m0 as u32..n as u32 {
+        let mut chosen = Vec::with_capacity(m_per_vertex);
+        let mut guard = 0;
+        while chosen.len() < m_per_vertex && guard < 100 * m_per_vertex {
+            guard += 1;
+            let t = if pool.is_empty() { 0 } else { pool[rng.gen_range(0..pool.len())] };
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push(Edge::unit(v, t));
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    EdgeList::new_unchecked(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{stats::graph_stats, CsrGraph};
+
+    #[test]
+    fn edge_count() {
+        let n = 500;
+        let m = 3;
+        let el = preferential_attachment(n, m, 1);
+        let m0 = m + 1;
+        let expected = m0 * (m0 - 1) / 2 + (n - m0) * m;
+        assert_eq!(el.num_edges(), expected);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(preferential_attachment(100, 2, 9), preferential_attachment(100, 2, 9));
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let el = preferential_attachment(2000, 2, 3).symmetrized();
+        let g = CsrGraph::from_edge_list(&el);
+        let s = graph_stats(&g);
+        assert!(s.max_degree as f64 > 5.0 * s.avg_degree, "expected hubs, max {} avg {}", s.max_degree, s.avg_degree);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let el = preferential_attachment(300, 3, 5);
+        assert!(el.edges().iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let el = preferential_attachment(2, 1, 1);
+        assert_eq!(el.num_vertices(), 2);
+        assert!(el.num_edges() >= 1);
+    }
+}

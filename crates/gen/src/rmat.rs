@@ -1,0 +1,171 @@
+//! R-MAT recursive-matrix graphs (Chakrabarti, Zhan, Faloutsos 2004).
+//!
+//! The benchmark harness uses R-MAT as the stand-in for the paper's SNAP
+//! social graphs (Table I): with the canonical `(a, b, c) = (0.57, 0.19,
+//! 0.19)` parameters R-MAT produces the heavy-tailed degree distributions
+//! that make social-graph traversal cache-hostile, which is the property
+//! that stresses the atomics and memory system in the paper's experiments.
+
+use rayon::prelude::*;
+
+use gee_graph::{Edge, EdgeList};
+use rand::Rng;
+
+use crate::stream_rng;
+
+/// R-MAT quadrant probabilities. `d` is implied (`1 - a - b - c`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Per-level probability perturbation (Graph500-style noise), 0.0–0.5.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    /// Graph500/social-network canonical parameters.
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+}
+
+impl RmatParams {
+    /// The implied bottom-right probability.
+    pub fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    fn validate(&self) {
+        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0, "probabilities must be non-negative");
+        assert!(self.d() >= -1e-12, "a + b + c must be <= 1");
+        assert!((0.0..=0.5).contains(&self.noise), "noise must be in [0, 0.5]");
+    }
+}
+
+/// Generate `m` directed edges on `2^scale` vertices.
+///
+/// Deterministic in `seed`, independent of thread count (fixed chunking with
+/// derived streams). Duplicate edges and self-loops are kept, as in Graph500
+/// reference generators; GEE treats each occurrence as a distinct edge.
+pub fn rmat(scale: u32, m: usize, params: RmatParams, seed: u64) -> EdgeList {
+    params.validate();
+    assert!(scale <= 31, "scale must fit u32 vertex ids");
+    let n = 1usize << scale;
+    const CHUNK: usize = 1 << 15;
+    let chunks = m.div_ceil(CHUNK).max(1);
+    let edges: Vec<Edge> = (0..chunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let lo = ci * CHUNK;
+            let hi = ((ci + 1) * CHUNK).min(m);
+            let mut rng = stream_rng(seed, ci as u64);
+            (lo..hi).map(move |_| sample_edge(scale, params, &mut rng))
+        })
+        .collect();
+    EdgeList::new_unchecked(n, edges)
+}
+
+fn sample_edge<R: Rng>(scale: u32, p: RmatParams, rng: &mut R) -> Edge {
+    let mut u: u32 = 0;
+    let mut v: u32 = 0;
+    for _ in 0..scale {
+        // Perturb quadrant probabilities per level to break the exact
+        // self-similarity (Graph500 "noise" trick, keeps degree tail heavy
+        // without striping).
+        let jitter = |x: f64, r: &mut R| -> f64 {
+            if p.noise > 0.0 {
+                x * (1.0 - p.noise + 2.0 * p.noise * r.gen::<f64>())
+            } else {
+                x
+            }
+        };
+        let a = jitter(p.a, rng);
+        let b = jitter(p.b, rng);
+        let c = jitter(p.c, rng);
+        let d = jitter(p.d().max(0.0), rng);
+        let total = a + b + c + d;
+        let r = rng.gen::<f64>() * total;
+        u <<= 1;
+        v <<= 1;
+        if r < a {
+            // top-left: no bits set
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    Edge::unit(u, v)
+}
+
+/// Pick the smallest scale whose vertex count covers `n`, then generate `m`
+/// edges — convenience for matching a Table I `(n, s)` pair.
+pub fn rmat_matching(n: usize, m: usize, params: RmatParams, seed: u64) -> EdgeList {
+    let scale = (usize::BITS - n.next_power_of_two().leading_zeros() - 1).max(1);
+    rmat(scale, m, params, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{stats::graph_stats, CsrGraph};
+
+    #[test]
+    fn edge_count_and_range() {
+        let el = rmat(10, 20_000, RmatParams::default(), 3);
+        assert_eq!(el.num_edges(), 20_000);
+        assert_eq!(el.num_vertices(), 1024);
+        assert!(el.edges().iter().all(|e| e.u < 1024 && e.v < 1024));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(8, 1000, RmatParams::default(), 5);
+        let b = rmat(8, 1000, RmatParams::default(), 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        // R-MAT should produce a max degree far above the average.
+        let el = rmat(12, 1 << 16, RmatParams::default(), 7);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = graph_stats(&g);
+        assert!(
+            s.max_degree as f64 > 8.0 * s.avg_degree,
+            "expected heavy tail: max {} vs avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn uniform_params_not_skewed() {
+        // a=b=c=d=0.25 degenerates to ER; tail should be mild.
+        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, noise: 0.0 };
+        let el = rmat(12, 1 << 16, p, 7);
+        let g = CsrGraph::from_edge_list(&el);
+        let s = graph_stats(&g);
+        assert!((s.max_degree as f64) < 6.0 * s.avg_degree.max(1.0) + 32.0);
+    }
+
+    #[test]
+    fn matching_covers_n() {
+        let el = rmat_matching(1000, 5000, RmatParams::default(), 1);
+        assert!(el.num_vertices() >= 1000);
+        assert_eq!(el.num_edges(), 5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn rejects_negative_probability() {
+        rmat(4, 10, RmatParams { a: -0.1, b: 0.5, c: 0.5, noise: 0.0 }, 1);
+    }
+}

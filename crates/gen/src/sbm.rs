@@ -1,0 +1,227 @@
+//! Stochastic block model graphs with ground-truth community labels.
+//!
+//! GEE's statistical claim (it converges to the spectral embedding, which is
+//! consistent under random dot product graphs / SBMs) is validated on these:
+//! the embedding of an SBM with strong within-block connectivity must
+//! cluster by block. The evaluation crate's ARI tests and the community
+//! pipeline example both consume this generator.
+
+use gee_graph::{Edge, EdgeList};
+use rand::Rng;
+
+use crate::stream_rng;
+
+/// Parameters of a K-block planted-partition SBM.
+#[derive(Debug, Clone)]
+pub struct SbmParams {
+    /// Number of vertices per block (blocks may differ in size).
+    pub block_sizes: Vec<usize>,
+    /// Within-block edge probability.
+    pub p_in: f64,
+    /// Between-block edge probability.
+    pub p_out: f64,
+}
+
+impl SbmParams {
+    /// Equal-sized blocks convenience constructor.
+    pub fn balanced(num_blocks: usize, block_size: usize, p_in: f64, p_out: f64) -> Self {
+        SbmParams { block_sizes: vec![block_size; num_blocks], p_in, p_out }
+    }
+
+    /// Total vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.block_sizes.iter().sum()
+    }
+
+    fn validate(&self) {
+        assert!(!self.block_sizes.is_empty(), "need at least one block");
+        assert!((0.0..=1.0).contains(&self.p_in), "p_in must be a probability");
+        assert!((0.0..=1.0).contains(&self.p_out), "p_out must be a probability");
+    }
+}
+
+/// Output of [`sbm`]: the (undirected, symmetrized) graph and the
+/// ground-truth block of every vertex.
+#[derive(Debug, Clone)]
+pub struct SbmGraph {
+    /// Symmetrized edge list (each undirected edge appears in both
+    /// directions, the encoding §II of the paper uses).
+    pub edges: EdgeList,
+    /// Ground-truth block id per vertex, in `0..block_sizes.len()`.
+    pub truth: Vec<u32>,
+}
+
+/// Sample an SBM. Undirected edges are sampled once per unordered pair
+/// (geometric skipping within each block pair) and then symmetrized.
+pub fn sbm(params: &SbmParams, seed: u64) -> SbmGraph {
+    params.validate();
+    let k = params.block_sizes.len();
+    // Block start offsets and truth labels.
+    let mut starts = Vec::with_capacity(k + 1);
+    let mut acc = 0usize;
+    for &b in &params.block_sizes {
+        starts.push(acc);
+        acc += b;
+    }
+    starts.push(acc);
+    let n = acc;
+    let mut truth = vec![0u32; n];
+    for (b, w) in params.block_sizes.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)] // v is a vertex id, not just an index
+        for v in starts[b]..starts[b] + w {
+            truth[v] = b as u32;
+        }
+    }
+
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut stream = 0u64;
+    for bi in 0..k {
+        for bj in bi..k {
+            let p = if bi == bj { params.p_in } else { params.p_out };
+            let mut rng = stream_rng(seed, stream);
+            stream += 1;
+            if p <= 0.0 {
+                continue;
+            }
+            // Candidate unordered pairs between block bi and bj.
+            let (ri, rj) = (starts[bi]..starts[bi + 1], starts[bj]..starts[bj + 1]);
+            let total: u128 = if bi == bj {
+                let s = ri.len() as u128;
+                s * (s - 1) / 2
+            } else {
+                ri.len() as u128 * rj.len() as u128
+            };
+            let mut slot: u128 = 0;
+            let log1mp = (1.0 - p).ln();
+            while slot < total {
+                if p < 1.0 {
+                    let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    slot = slot.saturating_add((r.ln() / log1mp).floor() as u128);
+                    if slot >= total {
+                        break;
+                    }
+                }
+                let (u, v) = if bi == bj {
+                    // Decode triangular index: slot -> (row, col), row < col.
+                    let s = ri.len() as u128;
+                    let (row, col) = decode_triangular(slot, s);
+                    ((starts[bi] + row as usize) as u32, (starts[bi] + col as usize) as u32)
+                } else {
+                    let cols = rj.len() as u128;
+                    let row = (slot / cols) as usize;
+                    let col = (slot % cols) as usize;
+                    ((starts[bi] + row) as u32, (starts[bj] + col) as u32)
+                };
+                edges.push(Edge::unit(u, v));
+                slot += 1;
+            }
+        }
+    }
+    let el = EdgeList::new_unchecked(n, edges).symmetrized();
+    SbmGraph { edges: el, truth }
+}
+
+/// Decode linear index `t` into the strict upper triangle of an `s × s`
+/// matrix, row-major: returns `(row, col)` with `row < col`.
+fn decode_triangular(t: u128, s: u128) -> (u128, u128) {
+    // Row r owns (s-1-r) entries; find r by solving the quadratic.
+    // entries before row r: r*s - r*(r+1)/2
+    let tf = t as f64;
+    let sf = s as f64;
+    let mut r = ((2.0 * sf - 1.0 - ((2.0 * sf - 1.0).powi(2) - 8.0 * tf).max(0.0).sqrt()) / 2.0)
+        .floor() as u128;
+    // Guard against FP error: adjust r so t falls inside row r's span.
+    let before = |r: u128| r * s - r * (r + 1) / 2;
+    while r > 0 && before(r) > t {
+        r -= 1;
+    }
+    while before(r + 1) <= t {
+        r += 1;
+    }
+    let c = r + 1 + (t - before(r));
+    (r, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truth_labels_match_blocks() {
+        let g = sbm(&SbmParams::balanced(3, 10, 0.5, 0.01), 1);
+        assert_eq!(g.truth.len(), 30);
+        assert_eq!(g.truth[0], 0);
+        assert_eq!(g.truth[10], 1);
+        assert_eq!(g.truth[29], 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = SbmParams::balanced(2, 20, 0.3, 0.05);
+        assert_eq!(sbm(&p, 7).edges, sbm(&p, 7).edges);
+    }
+
+    #[test]
+    fn symmetrized_output() {
+        let g = sbm(&SbmParams::balanced(2, 15, 0.4, 0.1), 3);
+        let edges = g.edges.edges();
+        for e in edges {
+            assert!(edges.iter().any(|f| f.u == e.v && f.v == e.u), "missing reverse of {e:?}");
+        }
+    }
+
+    #[test]
+    fn assortative_structure() {
+        // With p_in >> p_out most edges must be within-block.
+        let g = sbm(&SbmParams::balanced(4, 50, 0.3, 0.01), 11);
+        let within = g
+            .edges
+            .edges()
+            .iter()
+            .filter(|e| g.truth[e.u as usize] == g.truth[e.v as usize])
+            .count();
+        assert!(
+            within * 2 > g.edges.num_edges(),
+            "expected mostly within-block edges: {within}/{}",
+            g.edges.num_edges()
+        );
+    }
+
+    #[test]
+    fn expected_edge_count() {
+        let b = 100usize;
+        let p_in = 0.2;
+        let g = sbm(&SbmParams::balanced(2, b, p_in, 0.0), 5);
+        // Each block: C(100,2) * 0.2 expected undirected edges, ×2 blocks,
+        // ×2 directions after symmetrization.
+        let expected = 2.0 * (b * (b - 1) / 2) as f64 * p_in * 2.0;
+        let got = g.edges.num_edges() as f64;
+        let sd = (2.0 * (b * (b - 1) / 2) as f64 * p_in * (1.0 - p_in)).sqrt() * 2.0;
+        assert!((got - expected).abs() < 6.0 * sd, "got {got}, expected {expected}±{sd}");
+    }
+
+    #[test]
+    fn p_in_one_is_complete_blocks() {
+        let g = sbm(&SbmParams::balanced(1, 10, 1.0, 0.0), 2);
+        assert_eq!(g.edges.num_edges(), 10 * 9); // complete, both directions
+    }
+
+    #[test]
+    fn unbalanced_blocks() {
+        let g = sbm(&SbmParams { block_sizes: vec![5, 15], p_in: 1.0, p_out: 0.0 }, 4);
+        assert_eq!(g.edges.num_vertices(), 20);
+        assert_eq!(g.edges.num_edges(), 5 * 4 + 15 * 14);
+    }
+
+    #[test]
+    fn triangular_decode_roundtrip() {
+        let s = 17u128;
+        let mut t = 0u128;
+        for r in 0..s {
+            for c in (r + 1)..s {
+                assert_eq!(decode_triangular(t, s), (r, c), "at t={t}");
+                t += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Watts–Strogatz small-world graphs — a low-diameter, *low-skew* workload
+//! that complements R-MAT (high skew) and Erdős–Rényi (no structure) in
+//! the scaling sweeps.
+//!
+//! Start from a ring lattice where each vertex connects to its `k/2`
+//! nearest neighbors on each side, then rewire each edge's far endpoint
+//! with probability `beta` to a uniform random vertex (avoiding self-loops
+//! and duplicate targets per source where possible). `beta = 0` keeps the
+//! lattice; `beta = 1` approaches G(n, m).
+
+use gee_graph::{Edge, EdgeList, VertexId};
+use rand::Rng;
+
+use crate::stream_rng;
+
+/// Parameters for [`watts_strogatz`].
+#[derive(Debug, Clone, Copy)]
+pub struct WsParams {
+    /// Number of vertices in the ring.
+    pub n: usize,
+    /// Even number of lattice neighbors per vertex (`k/2` on each side).
+    pub k: usize,
+    /// Rewiring probability in `[0, 1]`.
+    pub beta: f64,
+}
+
+impl WsParams {
+    fn validate(&self) {
+        assert!(self.n >= 3, "ring needs at least 3 vertices");
+        assert!(self.k >= 2 && self.k.is_multiple_of(2), "k must be even and >= 2");
+        assert!(self.k < self.n, "lattice degree must be below n");
+        assert!((0.0..=1.0).contains(&self.beta), "beta must be a probability");
+    }
+}
+
+/// Sample a Watts–Strogatz graph. Returns the undirected edge list in
+/// symmetrized form (each edge in both directions, the §II encoding).
+/// `n·k/2` undirected edges, deterministic in `seed`.
+pub fn watts_strogatz(params: WsParams, seed: u64) -> EdgeList {
+    params.validate();
+    let WsParams { n, k, beta } = params;
+    let mut rng = stream_rng(seed, 0x5753); // "WS"
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for j in 1..=(k / 2) {
+            let lattice_v = (u + j) % n;
+            let v = if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self target (duplicates across
+                // sources are permitted, matching the classic model's
+                // tolerance for multi-edges after rewiring).
+                let mut t = rng.gen_range(0..n - 1);
+                if t >= u {
+                    t += 1;
+                }
+                t
+            } else {
+                lattice_v
+            };
+            edges.push(Edge::unit(u as VertexId, v as VertexId));
+            edges.push(Edge::unit(v as VertexId, u as VertexId));
+        }
+    }
+    EdgeList::new_unchecked(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let el = watts_strogatz(WsParams { n: 10, k: 4, beta: 0.0 }, 1);
+        assert_eq!(el.num_edges(), 10 * 4);
+        // Vertex 0 must link to 1, 2 (right) and 8, 9 (left, via their
+        // right-links).
+        let mut nbrs: Vec<u32> = el
+            .edges()
+            .iter()
+            .filter(|e| e.u == 0)
+            .map(|e| e.v)
+            .collect();
+        nbrs.sort_unstable();
+        nbrs.dedup();
+        assert_eq!(nbrs, vec![1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn edge_count_invariant_under_rewiring() {
+        for beta in [0.0, 0.3, 1.0] {
+            let el = watts_strogatz(WsParams { n: 50, k: 6, beta }, 7);
+            assert_eq!(el.num_edges(), 50 * 6, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let p = WsParams { n: 40, k: 4, beta: 0.5 };
+        let a = watts_strogatz(p, 9);
+        let b = watts_strogatz(p, 9);
+        assert_eq!(a.edges().len(), b.edges().len());
+        assert!(a.edges().iter().zip(b.edges()).all(|(x, y)| x.u == y.u && x.v == y.v));
+        let c = watts_strogatz(p, 10);
+        assert!(a.edges().iter().zip(c.edges()).any(|(x, y)| x.v != y.v));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let el = watts_strogatz(WsParams { n: 30, k: 4, beta: 1.0 }, 3);
+        assert!(el.edges().iter().all(|e| e.u != e.v));
+    }
+
+    #[test]
+    fn symmetrized_output() {
+        let el = watts_strogatz(WsParams { n: 20, k: 2, beta: 0.4 }, 11);
+        let mut fwd: Vec<(u32, u32)> = el.edges().iter().map(|e| (e.u, e.v)).collect();
+        let mut rev: Vec<(u32, u32)> = el.edges().iter().map(|e| (e.v, e.u)).collect();
+        fwd.sort_unstable();
+        rev.sort_unstable();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn odd_k_rejected() {
+        watts_strogatz(WsParams { n: 10, k: 3, beta: 0.0 }, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "below n")]
+    fn oversized_k_rejected() {
+        watts_strogatz(WsParams { n: 4, k: 4, beta: 0.0 }, 1);
+    }
+}

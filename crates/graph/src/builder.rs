@@ -1,0 +1,194 @@
+//! Incremental, validating graph construction.
+
+use std::collections::HashMap;
+
+use crate::{CsrGraph, Edge, EdgeList, VertexId, Weight};
+
+/// Policy for repeated `(u, v)` pairs fed to the builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DuplicatePolicy {
+    /// Keep every occurrence (GEE sums per-occurrence contributions).
+    #[default]
+    Keep,
+    /// Sum the weights of duplicates into one edge.
+    SumWeights,
+    /// Keep only the first occurrence.
+    First,
+}
+
+/// Builder that accumulates edges, optionally deduplicates, optionally
+/// symmetrizes, and emits an [`EdgeList`] or [`CsrGraph`].
+///
+/// ```
+/// use gee_graph::{GraphBuilder, Edge};
+/// let g = GraphBuilder::new(4)
+///     .add_edge(0, 1, 1.0)
+///     .add_edge(1, 2, 1.0)
+///     .symmetrize(true)
+///     .build_csr()
+///     .unwrap();
+/// assert_eq!(g.num_edges(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    policy: DuplicatePolicy,
+    symmetrize: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Start a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            policy: DuplicatePolicy::Keep,
+            symmetrize: false,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Append a weighted edge.
+    pub fn add_edge(mut self, u: VertexId, v: VertexId, w: Weight) -> Self {
+        self.edges.push(Edge::new(u, v, w));
+        self
+    }
+
+    /// Append a unit-weight edge.
+    pub fn add_unit_edge(self, u: VertexId, v: VertexId) -> Self {
+        self.add_edge(u, v, 1.0)
+    }
+
+    /// Append many edges.
+    pub fn extend<I: IntoIterator<Item = Edge>>(mut self, it: I) -> Self {
+        self.edges.extend(it);
+        self
+    }
+
+    /// Set the duplicate-edge policy.
+    pub fn duplicates(mut self, policy: DuplicatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Mirror every edge on build (undirected-as-two-directed encoding).
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Remove self-loops on build.
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Finish into a validated [`EdgeList`].
+    pub fn build(self) -> crate::Result<EdgeList> {
+        let GraphBuilder { num_vertices, mut edges, policy, symmetrize, drop_self_loops } = self;
+        if drop_self_loops {
+            edges.retain(|e| e.u != e.v);
+        }
+        match policy {
+            DuplicatePolicy::Keep => {}
+            DuplicatePolicy::SumWeights => {
+                // Map each (u, v) to its slot in the output, preserving
+                // first-occurrence order.
+                let mut slot: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+                let mut merged: Vec<Edge> = Vec::new();
+                for e in &edges {
+                    match slot.entry((e.u, e.v)) {
+                        std::collections::hash_map::Entry::Occupied(o) => {
+                            merged[*o.get()].w += e.w;
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert(merged.len());
+                            merged.push(*e);
+                        }
+                    }
+                }
+                edges = merged;
+            }
+            DuplicatePolicy::First => {
+                let mut seen = std::collections::HashSet::new();
+                edges.retain(|e| seen.insert((e.u, e.v)));
+            }
+        }
+        let el = EdgeList::new(num_vertices, edges)?;
+        Ok(if symmetrize { el.symmetrized() } else { el })
+    }
+
+    /// Finish straight into a [`CsrGraph`].
+    pub fn build_csr(self) -> crate::Result<CsrGraph> {
+        Ok(CsrGraph::from_edge_list(&self.build()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_policy_preserves_duplicates() {
+        let el = GraphBuilder::new(2)
+            .add_unit_edge(0, 1)
+            .add_unit_edge(0, 1)
+            .build()
+            .unwrap();
+        assert_eq!(el.num_edges(), 2);
+    }
+
+    #[test]
+    fn sum_policy_merges() {
+        let el = GraphBuilder::new(2)
+            .add_edge(0, 1, 1.5)
+            .add_edge(0, 1, 2.5)
+            .duplicates(DuplicatePolicy::SumWeights)
+            .build()
+            .unwrap();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.edges()[0].w, 4.0);
+    }
+
+    #[test]
+    fn first_policy_keeps_first() {
+        let el = GraphBuilder::new(2)
+            .add_edge(0, 1, 1.5)
+            .add_edge(0, 1, 2.5)
+            .duplicates(DuplicatePolicy::First)
+            .build()
+            .unwrap();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.edges()[0].w, 1.5);
+    }
+
+    #[test]
+    fn self_loop_dropping() {
+        let el = GraphBuilder::new(2)
+            .add_unit_edge(0, 0)
+            .add_unit_edge(0, 1)
+            .drop_self_loops(true)
+            .build()
+            .unwrap();
+        assert_eq!(el.num_edges(), 1);
+    }
+
+    #[test]
+    fn symmetrize_then_csr() {
+        let g = GraphBuilder::new(3)
+            .add_unit_edge(0, 1)
+            .add_unit_edge(1, 2)
+            .symmetrize(true)
+            .build_csr()
+            .unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_degree(1), 2);
+    }
+
+    #[test]
+    fn invalid_vertex_propagates() {
+        assert!(GraphBuilder::new(1).add_unit_edge(0, 3).build().is_err());
+    }
+}

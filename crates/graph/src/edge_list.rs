@@ -1,0 +1,199 @@
+//! Flat edge-list representation: the `E ∈ R^{s×3}` input of GEE Algorithm 1.
+//!
+//! The serial reference and "Numba analog" implementations of GEE iterate
+//! this structure directly; the Ligra implementations convert it to
+//! [`crate::CsrGraph`] first.
+
+use crate::{VertexId, Weight};
+
+/// One weighted directed edge `(u, v, w)`.
+///
+/// Unweighted graphs use `w = 1.0`; undirected graphs are represented as two
+/// symmetric directed edges, exactly as §II of the paper prescribes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Source vertex.
+    pub u: VertexId,
+    /// Destination vertex.
+    pub v: VertexId,
+    /// Edge weight.
+    pub w: Weight,
+}
+
+impl Edge {
+    /// Construct a weighted edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId, w: Weight) -> Self {
+        Edge { u, v, w }
+    }
+
+    /// Construct a unit-weight edge.
+    #[inline]
+    pub fn unit(u: VertexId, v: VertexId) -> Self {
+        Edge { u, v, w: 1.0 }
+    }
+
+    /// The same edge with endpoints swapped (used when symmetrizing).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge { u: self.v, v: self.u, w: self.w }
+    }
+}
+
+/// An edge list together with its vertex count.
+///
+/// Invariant: every endpoint is `< num_vertices`. Constructors enforce this;
+/// use [`EdgeList::new_unchecked`] only for data known to be valid (e.g.
+/// generator output).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EdgeList {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Build an edge list, validating every endpoint against `num_vertices`
+    /// and every weight for finiteness.
+    pub fn new(num_vertices: usize, edges: Vec<Edge>) -> crate::Result<Self> {
+        for (i, e) in edges.iter().enumerate() {
+            if (e.u as usize) >= num_vertices {
+                return Err(crate::GraphError::VertexOutOfRange { vertex: e.u as u64, n: num_vertices as u64 });
+            }
+            if (e.v as usize) >= num_vertices {
+                return Err(crate::GraphError::VertexOutOfRange { vertex: e.v as u64, n: num_vertices as u64 });
+            }
+            if !e.w.is_finite() {
+                return Err(crate::GraphError::InvalidWeight { edge_index: i });
+            }
+        }
+        Ok(EdgeList { num_vertices, edges })
+    }
+
+    /// Build without validation. The caller promises every endpoint is
+    /// `< num_vertices` and every weight is finite.
+    pub fn new_unchecked(num_vertices: usize, edges: Vec<Edge>) -> Self {
+        debug_assert!(edges
+            .iter()
+            .all(|e| (e.u as usize) < num_vertices && (e.v as usize) < num_vertices && e.w.is_finite()));
+        EdgeList { num_vertices, edges }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges `s`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Borrow the edges.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Consume into the raw edge vector.
+    pub fn into_edges(self) -> Vec<Edge> {
+        self.edges
+    }
+
+    /// Iterate over `(u, v, w)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId, Weight)> + '_ {
+        self.edges.iter().map(|e| (e.u, e.v, e.w))
+    }
+
+    /// True if no edge carries a weight other than `1.0`.
+    pub fn is_unit_weighted(&self) -> bool {
+        self.edges.iter().all(|e| e.w == 1.0)
+    }
+
+    /// Append the reverse of every edge, turning a directed edge list into
+    /// the two-symmetric-directed-edges encoding of an undirected graph.
+    ///
+    /// Self-loops are *not* duplicated (a loop is its own reverse).
+    pub fn symmetrized(&self) -> EdgeList {
+        let mut edges = Vec::with_capacity(self.edges.len() * 2);
+        edges.extend_from_slice(&self.edges);
+        edges.extend(self.edges.iter().filter(|e| e.u != e.v).map(|e| e.reversed()));
+        EdgeList { num_vertices: self.num_vertices, edges }
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+}
+
+impl<'a> IntoIterator for &'a EdgeList {
+    type Item = &'a Edge;
+    type IntoIter = std::slice::Iter<'a, Edge>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.edges.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> EdgeList {
+        EdgeList::new(4, vec![Edge::unit(0, 1), Edge::new(1, 2, 2.5), Edge::unit(3, 3)]).unwrap()
+    }
+
+    #[test]
+    fn counts() {
+        let el = small();
+        assert_eq!(el.num_vertices(), 4);
+        assert_eq!(el.num_edges(), 3);
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_source() {
+        let err = EdgeList::new(2, vec![Edge::unit(2, 0)]).unwrap_err();
+        assert!(matches!(err, crate::GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_destination() {
+        let err = EdgeList::new(2, vec![Edge::unit(0, 5)]).unwrap_err();
+        assert!(matches!(err, crate::GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+    }
+
+    #[test]
+    fn validation_rejects_nan_weight() {
+        let err = EdgeList::new(2, vec![Edge::new(0, 1, f64::NAN)]).unwrap_err();
+        assert!(matches!(err, crate::GraphError::InvalidWeight { edge_index: 0 }));
+    }
+
+    #[test]
+    fn symmetrize_doubles_non_loops() {
+        let el = small().symmetrized();
+        // 2 non-loop edges doubled + 1 loop kept once = 5
+        assert_eq!(el.num_edges(), 5);
+        assert!(el.edges().contains(&Edge::unit(1, 0)));
+        assert!(el.edges().contains(&Edge::new(2, 1, 2.5)));
+    }
+
+    #[test]
+    fn unit_weight_detection() {
+        assert!(!small().is_unit_weighted());
+        let el = EdgeList::new(2, vec![Edge::unit(0, 1)]).unwrap();
+        assert!(el.is_unit_weighted());
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        assert!((small().total_weight() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_triples() {
+        let el = small();
+        let triples: Vec<_> = el.iter().collect();
+        assert_eq!(triples[1], (1, 2, 2.5));
+    }
+}

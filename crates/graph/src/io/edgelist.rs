@@ -1,0 +1,109 @@
+//! Plain text edge-list format: one `u v [w]` triple per line.
+
+use std::io::{BufRead, Write};
+
+use crate::{Edge, EdgeList, GraphError, VertexId};
+
+/// Parse a plain edge list. Lines are `u v` (unit weight) or `u v w`.
+/// Blank lines and lines starting with `#` or `%` are skipped.
+/// The vertex count is `1 + max id` unless `num_vertices` is given.
+pub fn read<R: BufRead>(reader: R, num_vertices: Option<usize>) -> crate::Result<EdgeList> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_id = |s: Option<&str>, what: &str| -> crate::Result<VertexId> {
+            s.ok_or_else(|| GraphError::Parse { line: lineno + 1, message: format!("missing {what}") })?
+                .parse::<VertexId>()
+                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad {what}: {e}") })
+        };
+        let u = parse_id(it.next(), "source")?;
+        let v = parse_id(it.next(), "destination")?;
+        let w = match it.next() {
+            None => 1.0,
+            Some(ws) => ws.parse::<f64>().map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad weight: {e}"),
+            })?,
+        };
+        if it.next().is_some() {
+            return Err(GraphError::Parse { line: lineno + 1, message: "trailing tokens".into() });
+        }
+        max_id = max_id.max(u as u64).max(v as u64);
+        edges.push(Edge::new(u, v, w));
+    }
+    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { (max_id + 1) as usize });
+    EdgeList::new(n, edges)
+}
+
+/// Write an edge list in the same format. Unit weights are omitted.
+pub fn write<W: Write>(mut writer: W, el: &EdgeList) -> crate::Result<()> {
+    for e in el.edges() {
+        if e.w == 1.0 {
+            writeln!(writer, "{} {}", e.u, e.v)?;
+        } else {
+            writeln!(writer, "{} {} {}", e.u, e.v, e.w)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let el = EdgeList::new(3, vec![Edge::unit(0, 1), Edge::new(1, 2, 0.5)]).unwrap();
+        let mut buf = Vec::new();
+        write(&mut buf, &el).unwrap();
+        let back = read(Cursor::new(buf), None).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = "# header\n\n% more\n0 1\n";
+        let el = read(Cursor::new(text), None).unwrap();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.num_vertices(), 2);
+    }
+
+    #[test]
+    fn explicit_vertex_count() {
+        let el = read(Cursor::new("0 1\n"), Some(10)).unwrap();
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn bad_weight_reports_line() {
+        let err = read(Cursor::new("0 1\n1 2 zzz\n"), None).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_destination_is_error() {
+        assert!(read(Cursor::new("5\n"), None).is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(read(Cursor::new("0 1 1.0 extra\n"), None).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_graph() {
+        let el = read(Cursor::new(""), None).unwrap();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+}

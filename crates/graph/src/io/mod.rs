@@ -1,0 +1,13 @@
+//! Graph file formats.
+//!
+//! * [`edgelist`] — whitespace-separated `u v [w]` lines, one edge per line.
+//! * [`snap`] — the SNAP repository text format (`#`-comments, tab-separated
+//!   pairs, arbitrary sparse vertex ids which are compacted on load).
+//! * [`binary`] — a compact little-endian binary CSR dump for fast reload of
+//!   generated benchmark graphs.
+
+pub mod binary;
+pub mod edge_stream;
+pub mod edgelist;
+pub mod mtx;
+pub mod snap;

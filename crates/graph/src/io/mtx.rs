@@ -1,0 +1,211 @@
+//! Matrix Market (`.mtx`) coordinate format — the standard HPC sparse
+//! matrix interchange format (SuiteSparse, NIST). Supports the
+//! `matrix coordinate {pattern|real|integer} {general|symmetric}`
+//! combinations that cover graph use.
+
+use std::io::{BufRead, Write};
+
+use crate::{Edge, EdgeList, GraphError};
+
+/// Field type parsed from the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Field {
+    Pattern,
+    Real,
+    Integer,
+}
+
+/// Read a Matrix Market coordinate file as a graph. `symmetric` files
+/// emit both directions of each off-diagonal entry (matching the
+/// two-directed-edges encoding). Vertex ids are the 1-based matrix
+/// indices shifted to 0-based; the vertex count is `max(rows, cols)`.
+pub fn read<R: BufRead>(reader: R) -> crate::Result<EdgeList> {
+    let mut lines = reader.lines().enumerate();
+    // Header line.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| GraphError::Parse { line: 1, message: "empty file".into() })?;
+    let header = header?;
+    let mut h = header.split_whitespace();
+    let banner = h.next().unwrap_or("");
+    if banner != "%%MatrixMarket" {
+        return Err(GraphError::Parse { line: 1, message: "missing %%MatrixMarket banner".into() });
+    }
+    let object = h.next().unwrap_or("");
+    let format = h.next().unwrap_or("");
+    let field = h.next().unwrap_or("");
+    let symmetry = h.next().unwrap_or("");
+    if object != "matrix" || format != "coordinate" {
+        return Err(GraphError::Parse {
+            line: 1,
+            message: format!("unsupported header: {object} {format} (need matrix coordinate)"),
+        });
+    }
+    let field = match field {
+        "pattern" => Field::Pattern,
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        other => {
+            return Err(GraphError::Parse { line: 1, message: format!("unsupported field type {other}") })
+        }
+    };
+    let symmetric = match symmetry {
+        "general" => false,
+        "symmetric" => true,
+        other => {
+            return Err(GraphError::Parse { line: 1, message: format!("unsupported symmetry {other}") })
+        }
+    };
+    // Size line: first non-comment line.
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut edges: Vec<Edge> = Vec::new();
+    for (lineno, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse_usize = |s: Option<&str>| -> crate::Result<usize> {
+            s.ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing field".into() })?
+                .parse::<usize>()
+                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad integer: {e}") })
+        };
+        match size {
+            None => {
+                let rows = parse_usize(it.next())?;
+                let cols = parse_usize(it.next())?;
+                let nnz = parse_usize(it.next())?;
+                size = Some((rows, cols, nnz));
+                edges.reserve(if symmetric { nnz * 2 } else { nnz });
+            }
+            Some((rows, cols, _)) => {
+                let i = parse_usize(it.next())?;
+                let j = parse_usize(it.next())?;
+                if i == 0 || j == 0 || i > rows || j > cols {
+                    return Err(GraphError::Parse {
+                        line: lineno + 1,
+                        message: format!("index ({i}, {j}) outside {rows}×{cols}"),
+                    });
+                }
+                let w = match field {
+                    Field::Pattern => 1.0,
+                    Field::Real | Field::Integer => it
+                        .next()
+                        .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing value".into() })?
+                        .parse::<f64>()
+                        .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad value: {e}") })?,
+                };
+                let (u, v) = ((i - 1) as u32, (j - 1) as u32);
+                edges.push(Edge::new(u, v, w));
+                if symmetric && u != v {
+                    edges.push(Edge::new(v, u, w));
+                }
+            }
+        }
+    }
+    let (rows, cols, nnz) = size.ok_or(GraphError::Format("missing size line".into()))?;
+    let declared = if symmetric {
+        // nnz counts stored (lower-triangle + diagonal) entries.
+        edges.len() >= nnz
+    } else {
+        edges.len() == nnz
+    };
+    if !declared {
+        return Err(GraphError::Format(format!(
+            "entry count mismatch: declared {nnz}, parsed {}",
+            edges.len()
+        )));
+    }
+    EdgeList::new(rows.max(cols), edges)
+}
+
+/// Write a graph as `matrix coordinate real general` (1-based indices).
+pub fn write<W: Write>(mut w: W, el: &EdgeList) -> crate::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by gee-graph")?;
+    writeln!(w, "{} {} {}", el.num_vertices(), el.num_vertices(), el.num_edges())?;
+    for e in el.edges() {
+        writeln!(w, "{} {} {}", e.u + 1, e.v + 1, e.w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const PATTERN_GENERAL: &str = "\
+%%MatrixMarket matrix coordinate pattern general
+% a comment
+3 3 2
+1 2
+3 1
+";
+
+    const REAL_SYMMETRIC: &str = "\
+%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 5.0
+2 1 1.5
+3 2 2.5
+";
+
+    #[test]
+    fn pattern_general() {
+        let el = read(Cursor::new(PATTERN_GENERAL)).unwrap();
+        assert_eq!(el.num_vertices(), 3);
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.edges()[0], Edge::unit(0, 1));
+        assert_eq!(el.edges()[1], Edge::unit(2, 0));
+    }
+
+    #[test]
+    fn real_symmetric_mirrors_off_diagonal() {
+        let el = read(Cursor::new(REAL_SYMMETRIC)).unwrap();
+        // diagonal entry once + two off-diagonals mirrored = 5 edges
+        assert_eq!(el.num_edges(), 5);
+        assert!(el.edges().contains(&Edge::new(0, 1, 1.5)));
+        assert!(el.edges().contains(&Edge::new(1, 0, 1.5)));
+        assert!(el.edges().contains(&Edge::new(0, 0, 5.0)));
+    }
+
+    #[test]
+    fn round_trip() {
+        let el = EdgeList::new(4, vec![Edge::new(0, 1, 2.5), Edge::new(3, 0, 1.0)]).unwrap();
+        let mut buf = Vec::new();
+        write(&mut buf, &el).unwrap();
+        let back = read(Cursor::new(buf)).unwrap();
+        assert_eq!(back, el);
+    }
+
+    #[test]
+    fn rejects_bad_banner() {
+        assert!(read(Cursor::new("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        assert!(read(Cursor::new("%%MatrixMarket matrix array real general\n1 1\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_index() {
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(read(Cursor::new(bad)).is_err());
+    }
+
+    #[test]
+    fn rejects_count_mismatch() {
+        let bad = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n";
+        assert!(matches!(read(Cursor::new(bad)), Err(GraphError::Format(_))));
+    }
+
+    #[test]
+    fn integer_field_parses_values() {
+        let src = "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n";
+        let el = read(Cursor::new(src)).unwrap();
+        assert_eq!(el.edges()[0].w, 7.0);
+    }
+}

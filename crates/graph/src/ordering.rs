@@ -1,0 +1,173 @@
+//! Vertex reordering for cache locality.
+//!
+//! §IV of the paper: per edge, "access to Z(v, :) and W(v, :) will likely
+//! result in cache misses" — how likely depends on vertex order. These
+//! orderings are the standard levers: degree sort places hot (high-degree)
+//! rows together; BFS order gives neighbors nearby ids. The
+//! `ablation-reorder` bench measures their effect on the GEE kernel.
+
+use crate::{transform, CsrGraph, EdgeList, VertexId};
+
+/// Permutation assigning new id `perm[v]` to vertex `v`, ordered by
+/// descending out-degree (ties by id). High-degree vertices get small ids,
+/// concentrating the hottest `Z` rows in a compact address range.
+pub fn degree_order(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v)), v));
+    let mut perm = vec![0 as VertexId; n];
+    for (new_id, &v) in by_degree.iter().enumerate() {
+        perm[v as usize] = new_id as VertexId;
+    }
+    perm
+}
+
+/// BFS order from the highest-degree vertex (unreached vertices are
+/// appended in id order, each starting a fresh BFS): neighbors receive
+/// nearby ids, improving the locality of the `Z(v, ·)` accesses.
+pub fn bfs_order(g: &CsrGraph) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut perm = vec![VertexId::MAX; n];
+    let mut next: u32 = 0;
+    let mut queue = std::collections::VecDeque::new();
+    // Seed from the max-degree vertex, then sweep remaining ids.
+    let seed = (0..n as u32).max_by_key(|&v| g.out_degree(v)).unwrap_or(0);
+    let starts = std::iter::once(seed).chain(0..n as u32);
+    for s in starts {
+        if n == 0 {
+            break;
+        }
+        if perm[s as usize] != VertexId::MAX {
+            continue;
+        }
+        perm[s as usize] = next;
+        next += 1;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if perm[v as usize] == VertexId::MAX {
+                    perm[v as usize] = next;
+                    next += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    perm
+}
+
+/// Pseudo-random order (SplitMix64 shuffle) — the locality *worst case*,
+/// used as the baseline in the reorder ablation.
+pub fn random_order(n: usize, seed: u64) -> Vec<VertexId> {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    // Fisher–Yates with an inline SplitMix64 (no rand dependency here).
+    let mut x = seed;
+    let mut rng = move || {
+        x = x.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..n).rev() {
+        let j = (rng() % (i as u64 + 1)) as usize;
+        ids.swap(i, j);
+    }
+    let mut perm = vec![0 as VertexId; n];
+    for (new_id, &v) in ids.iter().enumerate() {
+        perm[v as usize] = new_id as VertexId;
+    }
+    perm
+}
+
+/// Apply an ordering to an edge list (convenience over
+/// [`transform::permute`]).
+pub fn apply(el: &EdgeList, perm: &[VertexId]) -> EdgeList {
+    transform::permute(el, perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Edge, EdgeList};
+
+    fn star_plus_path() -> CsrGraph {
+        // 0 is a hub (degree 4); 5-6-7 a path.
+        let el = EdgeList::new(
+            8,
+            vec![
+                Edge::unit(0, 1),
+                Edge::unit(0, 2),
+                Edge::unit(0, 3),
+                Edge::unit(0, 4),
+                Edge::unit(5, 6),
+                Edge::unit(6, 7),
+            ],
+        )
+        .unwrap();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    fn is_permutation(perm: &[u32]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        perm.iter().all(|&p| {
+            let fresh = !seen[p as usize];
+            seen[p as usize] = true;
+            fresh
+        })
+    }
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = star_plus_path();
+        let perm = degree_order(&g);
+        assert!(is_permutation(&perm));
+        assert_eq!(perm[0], 0, "hub gets id 0");
+    }
+
+    #[test]
+    fn bfs_order_is_permutation_and_clusters_neighbors() {
+        let g = star_plus_path();
+        let perm = bfs_order(&g);
+        assert!(is_permutation(&perm));
+        // Hub is the seed; its neighbors get the next ids (1..=4).
+        assert_eq!(perm[0], 0);
+        let mut leaf_ids: Vec<u32> = (1..5).map(|v| perm[v as usize]).collect();
+        leaf_ids.sort_unstable();
+        assert_eq!(leaf_ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn random_order_is_permutation_and_seeded() {
+        let a = random_order(100, 7);
+        let b = random_order(100, 7);
+        let c = random_order(100, 8);
+        assert!(is_permutation(&a));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn apply_preserves_structure() {
+        let el = EdgeList::new(3, vec![Edge::unit(0, 1), Edge::unit(1, 2)]).unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let perm = degree_order(&g);
+        let out = apply(&el, &perm);
+        assert_eq!(out.num_edges(), 2);
+        // Degrees as a multiset are preserved.
+        let g2 = CsrGraph::from_edge_list(&out);
+        let mut d1: Vec<usize> = (0..3).map(|v| g.out_degree(v)).collect();
+        let mut d2: Vec<usize> = (0..3).map(|v| g2.out_degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn empty_graph_orders() {
+        let g = CsrGraph::build(0, &[], false);
+        assert!(degree_order(&g).is_empty());
+        assert!(bfs_order(&g).is_empty());
+        assert!(random_order(0, 1).is_empty());
+    }
+}

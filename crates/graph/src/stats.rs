@@ -1,0 +1,122 @@
+//! Degree and size statistics, used by the bench harness to describe
+//! workloads the way the paper's Table I header does (`n`, `s`, avg degree).
+
+use rayon::prelude::*;
+
+use crate::CsrGraph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count `n`.
+    pub num_vertices: usize,
+    /// Directed edge count `s`.
+    pub num_edges: usize,
+    /// Minimum out-degree.
+    pub min_degree: usize,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Mean out-degree `s / n`.
+    pub avg_degree: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+    /// Number of self-loops.
+    pub self_loops: usize,
+}
+
+/// Compute [`GraphStats`] in parallel.
+pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return GraphStats {
+            num_vertices: 0,
+            num_edges: 0,
+            min_degree: 0,
+            max_degree: 0,
+            avg_degree: 0.0,
+            isolated: 0,
+            self_loops: 0,
+        };
+    }
+    let (min_d, max_d, isolated, self_loops) = (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            let d = g.out_degree(v);
+            let loops = g.neighbors(v).iter().filter(|&&t| t == v).count();
+            (d, d, usize::from(d == 0), loops)
+        })
+        .reduce(
+            || (usize::MAX, 0usize, 0usize, 0usize),
+            |a, b| (a.0.min(b.0), a.1.max(b.1), a.2 + b.2, a.3 + b.3),
+        );
+    GraphStats {
+        num_vertices: n,
+        num_edges: g.num_edges(),
+        min_degree: min_d,
+        max_degree: max_d,
+        avg_degree: g.num_edges() as f64 / n as f64,
+        isolated,
+        self_loops,
+    }
+}
+
+/// Out-degree histogram with power-of-two buckets: bucket `i` counts
+/// vertices with degree in `[2^i, 2^{i+1})`; bucket 0 additionally holds
+/// degree-0 vertices.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; 40];
+    for v in 0..g.num_vertices() as u32 {
+        let d = g.out_degree(v);
+        let bucket = if d == 0 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        let idx = bucket.min(hist.len() - 1);
+        hist[idx] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Edge, EdgeList};
+
+    fn star(n: usize) -> CsrGraph {
+        let edges: Vec<Edge> = (1..n as u32).map(|v| Edge::unit(0, v)).collect();
+        CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
+    }
+
+    #[test]
+    fn star_stats() {
+        let s = graph_stats(&star(8));
+        assert_eq!(s.num_vertices, 8);
+        assert_eq!(s.num_edges, 7);
+        assert_eq!(s.max_degree, 7);
+        assert_eq!(s.min_degree, 0);
+        assert_eq!(s.isolated, 7);
+        assert_eq!(s.self_loops, 0);
+    }
+
+    #[test]
+    fn self_loops_counted() {
+        let el = EdgeList::new(2, vec![Edge::unit(0, 0), Edge::unit(1, 1), Edge::unit(0, 1)]).unwrap();
+        let s = graph_stats(&CsrGraph::from_edge_list(&el));
+        assert_eq!(s.self_loops, 2);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let s = graph_stats(&CsrGraph::build(0, &[], false));
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = degree_histogram(&star(8));
+        // vertex 0 has degree 7 → bucket 2 ([4,8)); 7 isolated vertices → bucket 0
+        assert_eq!(h[0], 7);
+        assert_eq!(h[2], 1);
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the graph substrate's core invariants.
+
+use gee_graph::{transform, CsrGraph, Edge, EdgeList};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..10.0), 0..200)
+            .prop_map(move |triples| {
+                let edges = triples.into_iter().map(|(u, v, w)| Edge::new(u, v, w)).collect();
+                EdgeList::new_unchecked(n, edges)
+            })
+    })
+}
+
+proptest! {
+    /// CSR preserves the edge multiset exactly.
+    #[test]
+    fn csr_preserves_edge_multiset(el in arb_graph()) {
+        let g = CsrGraph::from_edge_list(&el);
+        prop_assert_eq!(g.num_edges(), el.num_edges());
+        let mut a: Vec<(u32, u32, u64)> =
+            el.iter().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut b: Vec<(u32, u32, u64)> =
+            g.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Degrees sum to the edge count and match per-vertex counts.
+    #[test]
+    fn degrees_consistent(el in arb_graph()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let total: usize = (0..g.num_vertices() as u32).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(total, g.num_edges());
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(g.out_degree(v), g.neighbors(v).len());
+        }
+    }
+
+    /// Transposing twice restores the original edge multiset.
+    #[test]
+    fn transpose_is_involution(el in arb_graph()) {
+        let mut g = CsrGraph::from_edge_list(&el);
+        g.ensure_transpose();
+        let mut t = g.transpose().unwrap().clone();
+        t.ensure_transpose();
+        let tt = t.transpose().unwrap();
+        let mut a: Vec<(u32, u32, u64)> =
+            g.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut b: Vec<(u32, u32, u64)> =
+            tt.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Symmetrization makes in-degree equal out-degree for every vertex.
+    #[test]
+    fn symmetrize_balances_degrees(el in arb_graph()) {
+        let sym = transform::remove_self_loops(&el).symmetrized();
+        let mut g = CsrGraph::from_edge_list(&sym);
+        g.ensure_transpose();
+        let t = g.transpose().unwrap();
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(g.out_degree(v), t.out_degree(v), "vertex {}", v);
+        }
+    }
+
+    /// Binary round trip is exact.
+    #[test]
+    fn binary_round_trip(el in arb_graph()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let mut bytes = Vec::new();
+        gee_graph::io::binary::write(&mut bytes, &g).unwrap();
+        let back = gee_graph::io::binary::read(bytes.as_slice()).unwrap();
+        prop_assert_eq!(g.offsets(), back.offsets());
+        prop_assert_eq!(g.targets(), back.targets());
+        prop_assert_eq!(g.weights(), back.weights());
+    }
+
+    /// Text edge-list round trip preserves the list exactly (weights in
+    /// this strategy are short decimals that survive f64 printing).
+    #[test]
+    fn text_round_trip(el in arb_graph()) {
+        let mut buf = Vec::new();
+        gee_graph::io::edgelist::write(&mut buf, &el).unwrap();
+        let back = gee_graph::io::edgelist::read(buf.as_slice(), Some(el.num_vertices())).unwrap();
+        prop_assert_eq!(back.num_edges(), el.num_edges());
+        for (a, b) in back.edges().iter().zip(el.edges()) {
+            prop_assert_eq!(a.u, b.u);
+            prop_assert_eq!(a.v, b.v);
+            prop_assert!((a.w - b.w).abs() < 1e-12);
+        }
+    }
+
+    /// Edge-stream round trip is bit-exact.
+    #[test]
+    fn stream_round_trip(el in arb_graph()) {
+        let mut bytes = Vec::new();
+        gee_graph::io::edge_stream::write(&mut bytes, &el).unwrap();
+        let mut r = gee_graph::io::edge_stream::EdgeStreamReader::new(bytes.as_slice()).unwrap();
+        let mut buf = Vec::new();
+        let mut all = Vec::new();
+        while r.read_chunk(&mut buf, 13).unwrap() > 0 {
+            all.extend_from_slice(&buf);
+        }
+        prop_assert_eq!(all.as_slice(), el.edges());
+    }
+
+    /// Compaction produces dense ids covering exactly the touched vertices.
+    #[test]
+    fn compaction_dense_and_complete(el in arb_graph()) {
+        let (compact, map) = transform::compact(&el);
+        prop_assert_eq!(compact.num_edges(), el.num_edges());
+        // Every touched vertex maps below the new n; untouched map to MAX.
+        let mut touched = vec![false; el.num_vertices()];
+        for e in el.edges() {
+            touched[e.u as usize] = true;
+            touched[e.v as usize] = true;
+        }
+        for (v, &t) in touched.iter().enumerate() {
+            if t {
+                prop_assert!((map[v] as usize) < compact.num_vertices());
+            } else {
+                prop_assert_eq!(map[v], u32::MAX);
+            }
+        }
+    }
+
+    /// Coalescing preserves total weight and never increases edge count.
+    #[test]
+    fn coalesce_preserves_weight(el in arb_graph()) {
+        let merged = transform::coalesce(&el);
+        prop_assert!(merged.num_edges() <= el.num_edges());
+        prop_assert!((merged.total_weight() - el.total_weight()).abs() < 1e-9);
+    }
+
+    /// Compression round-trips the edge multiset exactly.
+    #[test]
+    fn compression_round_trip(el in arb_graph()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let c = gee_graph::CompressedCsr::from_csr(&g);
+        prop_assert_eq!(c.num_edges(), g.num_edges());
+        let back = c.to_csr();
+        let mut a: Vec<(u32, u32, u64)> =
+            g.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut b: Vec<(u32, u32, u64)> =
+            back.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // Per-vertex degrees survive too.
+        for v in 0..g.num_vertices() as u32 {
+            prop_assert_eq!(c.out_degree(v), g.out_degree(v));
+        }
+    }
+
+    /// Compressed decode yields ascending targets per vertex.
+    #[test]
+    fn compression_decodes_sorted(el in arb_graph()) {
+        let g = CsrGraph::from_edge_list(&el);
+        let c = gee_graph::CompressedCsr::from_csr(&g);
+        for v in 0..g.num_vertices() as u32 {
+            let mut prev = None;
+            c.for_each_out(v, |t, _| {
+                if let Some(p) = prev {
+                    assert!(t >= p, "vertex {v}: {t} after {p}");
+                }
+                prev = Some(t);
+            });
+        }
+    }
+
+    /// Every ordering is a true permutation, and applying it preserves the
+    /// degree multiset.
+    #[test]
+    fn orderings_are_permutations(el in arb_graph(), seed in 0u64..100) {
+        use gee_graph::ordering;
+        let g = CsrGraph::from_edge_list(&el);
+        let n = g.num_vertices();
+        for perm in [
+            ordering::degree_order(&g),
+            ordering::bfs_order(&g),
+            ordering::random_order(n, seed),
+        ] {
+            let mut seen = vec![false; n];
+            for &p in &perm {
+                prop_assert!(!seen[p as usize], "duplicate target id");
+                seen[p as usize] = true;
+            }
+            let permuted = ordering::apply(&el, &perm);
+            let g2 = CsrGraph::from_edge_list(&permuted);
+            let mut d1: Vec<usize> = (0..n as u32).map(|v| g.out_degree(v)).collect();
+            let mut d2: Vec<usize> = (0..n as u32).map(|v| g2.out_degree(v)).collect();
+            d1.sort_unstable();
+            d2.sort_unstable();
+            prop_assert_eq!(d1, d2);
+        }
+    }
+
+    /// Matrix Market round trip preserves topology (weights as printed
+    /// decimals survive f64 round trip for this strategy's values).
+    #[test]
+    fn mtx_round_trip(el in arb_graph()) {
+        let mut buf = Vec::new();
+        gee_graph::io::mtx::write(&mut buf, &el).unwrap();
+        let back = gee_graph::io::mtx::read(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.num_edges(), el.num_edges());
+        for (a, b) in back.edges().iter().zip(el.edges()) {
+            prop_assert_eq!(a.u, b.u);
+            prop_assert_eq!(a.v, b.v);
+            prop_assert!((a.w - b.w).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Boxed dynamic values with run-time type dispatch — the cost structure
+//! of CPython objects, minus the reference-count cycles.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A dynamically-typed value. Lists are heap-allocated and shared through
+/// `Rc<RefCell<…>>`, so every element access goes through a pointer
+/// indirection and a borrow check — deliberately mirroring `PyObject*`
+/// costs.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Unit/none.
+    None,
+    /// Boxed integer.
+    Int(i64),
+    /// Boxed double.
+    Float(f64),
+    /// Shared mutable list.
+    List(Rc<RefCell<Vec<Value>>>),
+}
+
+/// Run-time type errors, like CPython's `TypeError`/`IndexError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// Operation applied to incompatible operand types.
+    BadOperand {
+        /// Operation name.
+        op: &'static str,
+        /// Offending type name.
+        got: &'static str,
+    },
+    /// Index out of bounds or not an integer.
+    BadIndex,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TypeError::BadOperand { op, got } => write!(f, "unsupported operand type for {op}: {got}"),
+            TypeError::BadIndex => write!(f, "bad list index"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+impl Value {
+    /// Type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "none",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Build a list value.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Rc::new(RefCell::new(items)))
+    }
+
+    /// Numeric coercion to f64 (ints promote, like CPython arithmetic).
+    pub fn as_f64(&self) -> Result<f64, TypeError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            other => Err(TypeError::BadOperand { op: "float()", got: other.type_name() }),
+        }
+    }
+
+    /// Integer coercion (floats must be integral).
+    pub fn as_i64(&self) -> Result<i64, TypeError> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Float(f) if f.fract() == 0.0 => Ok(*f as i64),
+            _ => Err(TypeError::BadIndex),
+        }
+    }
+
+    /// Dynamic addition with int/float promotion.
+    pub fn add(&self, other: &Value) -> Result<Value, TypeError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (a, b) => Ok(Value::Float(a.as_f64()? + b.as_f64()?)),
+        }
+    }
+
+    /// Dynamic subtraction.
+    pub fn sub(&self, other: &Value) -> Result<Value, TypeError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            (a, b) => Ok(Value::Float(a.as_f64()? - b.as_f64()?)),
+        }
+    }
+
+    /// Dynamic multiplication.
+    pub fn mul(&self, other: &Value) -> Result<Value, TypeError> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            (a, b) => Ok(Value::Float(a.as_f64()? * b.as_f64()?)),
+        }
+    }
+
+    /// Truthiness, CPython-style.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::List(l) => !l.borrow().is_empty(),
+        }
+    }
+
+    /// `self[index]` with dynamic index coercion.
+    pub fn get_item(&self, index: &Value) -> Result<Value, TypeError> {
+        match self {
+            Value::List(l) => {
+                let i = index.as_i64()?;
+                let b = l.borrow();
+                if i < 0 || i as usize >= b.len() {
+                    return Err(TypeError::BadIndex);
+                }
+                Ok(b[i as usize].clone())
+            }
+            other => Err(TypeError::BadOperand { op: "getitem", got: other.type_name() }),
+        }
+    }
+
+    /// `self[index] = value`.
+    pub fn set_item(&self, index: &Value, value: Value) -> Result<(), TypeError> {
+        match self {
+            Value::List(l) => {
+                let i = index.as_i64()?;
+                let mut b = l.borrow_mut();
+                if i < 0 || i as usize >= b.len() {
+                    return Err(TypeError::BadIndex);
+                }
+                b[i as usize] = value;
+                Ok(())
+            }
+            other => Err(TypeError::BadOperand { op: "setitem", got: other.type_name() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_promotion() {
+        assert!(matches!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5)));
+        match Value::Int(2).add(&Value::Float(0.5)).unwrap() {
+            Value::Float(f) => assert_eq!(f, 2.5),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mul_and_sub() {
+        match Value::Float(3.0).mul(&Value::Int(4)).unwrap() {
+            Value::Float(f) => assert_eq!(f, 12.0),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(Value::Int(5).sub(&Value::Int(7)).unwrap(), Value::Int(-2)));
+    }
+
+    #[test]
+    fn list_get_set() {
+        let l = Value::list(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.get_item(&Value::Int(1)).unwrap().as_i64().unwrap(), 2);
+        l.set_item(&Value::Int(0), Value::Float(9.5)).unwrap();
+        assert_eq!(l.get_item(&Value::Int(0)).unwrap().as_f64().unwrap(), 9.5);
+    }
+
+    #[test]
+    fn index_errors() {
+        let l = Value::list(vec![Value::Int(1)]);
+        assert_eq!(l.get_item(&Value::Int(5)).unwrap_err(), TypeError::BadIndex);
+        assert_eq!(l.get_item(&Value::Int(-1)).unwrap_err(), TypeError::BadIndex);
+        assert!(Value::Int(3).get_item(&Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn type_errors_on_none() {
+        assert!(Value::None.as_f64().is_err());
+        assert!(Value::None.add(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(Value::Float(0.1).truthy());
+        assert!(!Value::list(vec![]).truthy());
+    }
+
+    #[test]
+    fn shared_list_semantics() {
+        let l = Value::list(vec![Value::Int(0)]);
+        let alias = l.clone();
+        alias.set_item(&Value::Int(0), Value::Int(7)).unwrap();
+        assert_eq!(l.get_item(&Value::Int(0)).unwrap().as_i64().unwrap(), 7);
+    }
+}

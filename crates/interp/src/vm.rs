@@ -1,0 +1,347 @@
+//! A stack-based bytecode VM with per-instruction dispatch — the cost
+//! model of the CPython evaluation loop.
+
+use crate::value::{TypeError, Value};
+
+/// Bytecode instruction set (a small subset of CPython's).
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// Push `constants[i]`.
+    Const(usize),
+    /// Push `locals[i]`.
+    Load(usize),
+    /// Pop into `locals[i]`.
+    Store(usize),
+    /// Pop index, pop container, push `container[index]`.
+    GetItem,
+    /// Pop value, pop index, pop container, do `container[index] = value`.
+    SetItem,
+    /// Pop b, pop a, push `a + b`.
+    Add,
+    /// Pop b, pop a, push `a - b`.
+    Sub,
+    /// Pop b, pop a, push `a * b`.
+    Mul,
+    /// Pop b, pop a, push `Int(a < b)`.
+    Lt,
+    /// Pop b, pop a, push `Int(a >= b)`.
+    Ge,
+    /// Pop; jump to target if falsy.
+    JumpIfFalse(usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Stop execution.
+    Halt,
+}
+
+/// Number of distinct opcodes (histogram width).
+pub const NUM_OPCODES: usize = 13;
+
+impl Instr {
+    /// Dense opcode index for histogram accounting.
+    #[inline]
+    pub fn opcode(&self) -> usize {
+        match self {
+            Instr::Const(_) => 0,
+            Instr::Load(_) => 1,
+            Instr::Store(_) => 2,
+            Instr::GetItem => 3,
+            Instr::SetItem => 4,
+            Instr::Add => 5,
+            Instr::Sub => 6,
+            Instr::Mul => 7,
+            Instr::Lt => 8,
+            Instr::Ge => 9,
+            Instr::JumpIfFalse(_) => 10,
+            Instr::Jump(_) => 11,
+            Instr::Halt => 12,
+        }
+    }
+
+    /// Mnemonic for the opcode index.
+    pub fn opcode_name(opcode: usize) -> &'static str {
+        [
+            "CONST", "LOAD", "STORE", "GET_ITEM", "SET_ITEM", "ADD", "SUB", "MUL", "LT", "GE",
+            "JUMP_IF_FALSE", "JUMP", "HALT",
+        ][opcode]
+    }
+}
+
+/// VM execution errors.
+#[derive(Debug)]
+pub enum VmError {
+    /// Dynamic type error from a value operation.
+    Type(TypeError),
+    /// Pop from empty stack (malformed program).
+    StackUnderflow,
+    /// Jump or constant/local index out of range.
+    BadProgram(&'static str),
+}
+
+impl From<TypeError> for VmError {
+    fn from(e: TypeError) -> Self {
+        VmError::Type(e)
+    }
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::Type(e) => write!(f, "type error: {e}"),
+            VmError::StackUnderflow => write!(f, "stack underflow"),
+            VmError::BadProgram(m) => write!(f, "bad program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A bytecode program: instructions plus a constant pool.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction sequence.
+    pub code: Vec<Instr>,
+    /// Constant pool.
+    pub constants: Vec<Value>,
+}
+
+/// The virtual machine: value stack + locals, one dispatch per instruction.
+pub struct Vm {
+    stack: Vec<Value>,
+    /// Local variable slots.
+    pub locals: Vec<Value>,
+    /// Instructions retired (for cost accounting in tests/benches).
+    pub instructions_executed: u64,
+    /// Retired-instruction histogram by [`Instr::opcode`].
+    pub op_counts: [u64; NUM_OPCODES],
+}
+
+impl Vm {
+    /// A VM with `num_locals` local slots initialized to `None`.
+    pub fn new(num_locals: usize) -> Self {
+        Vm {
+            stack: Vec::with_capacity(64),
+            locals: vec![Value::None; num_locals],
+            instructions_executed: 0,
+            op_counts: [0; NUM_OPCODES],
+        }
+    }
+
+    /// Retired opcode counts as `(mnemonic, count)`, heaviest first.
+    pub fn op_histogram(&self) -> Vec<(&'static str, u64)> {
+        let mut hist: Vec<(&'static str, u64)> = self
+            .op_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(op, &c)| (Instr::opcode_name(op), c))
+            .collect();
+        hist.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        hist
+    }
+
+    fn pop(&mut self) -> Result<Value, VmError> {
+        self.stack.pop().ok_or(VmError::StackUnderflow)
+    }
+
+    /// Run `program` to `Halt` (or error).
+    pub fn run(&mut self, program: &Program) -> Result<(), VmError> {
+        let code = &program.code;
+        let consts = &program.constants;
+        let mut pc = 0usize;
+        loop {
+            let instr = code.get(pc).ok_or(VmError::BadProgram("pc out of range"))?;
+            self.instructions_executed += 1;
+            self.op_counts[instr.opcode()] += 1;
+            pc += 1;
+            match instr {
+                Instr::Const(i) => {
+                    let v = consts.get(*i).ok_or(VmError::BadProgram("const index"))?.clone();
+                    self.stack.push(v);
+                }
+                Instr::Load(i) => {
+                    let v = self.locals.get(*i).ok_or(VmError::BadProgram("local index"))?.clone();
+                    self.stack.push(v);
+                }
+                Instr::Store(i) => {
+                    let v = self.pop()?;
+                    let slot = self.locals.get_mut(*i).ok_or(VmError::BadProgram("local index"))?;
+                    *slot = v;
+                }
+                Instr::GetItem => {
+                    let idx = self.pop()?;
+                    let cont = self.pop()?;
+                    self.stack.push(cont.get_item(&idx)?);
+                }
+                Instr::SetItem => {
+                    let val = self.pop()?;
+                    let idx = self.pop()?;
+                    let cont = self.pop()?;
+                    cont.set_item(&idx, val)?;
+                }
+                Instr::Add => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.stack.push(a.add(&b)?);
+                }
+                Instr::Sub => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.stack.push(a.sub(&b)?);
+                }
+                Instr::Mul => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.stack.push(a.mul(&b)?);
+                }
+                Instr::Lt => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.stack.push(Value::Int(i64::from(a.as_f64()? < b.as_f64()?)));
+                }
+                Instr::Ge => {
+                    let b = self.pop()?;
+                    let a = self.pop()?;
+                    self.stack.push(Value::Int(i64::from(a.as_f64()? >= b.as_f64()?)));
+                }
+                Instr::JumpIfFalse(t) => {
+                    let c = self.pop()?;
+                    if !c.truthy() {
+                        pc = *t;
+                    }
+                }
+                Instr::Jump(t) => pc = *t,
+                Instr::Halt => return Ok(()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_program() {
+        // locals[0] = (2 + 3) * 4
+        let p = Program {
+            code: vec![
+                Instr::Const(0),
+                Instr::Const(1),
+                Instr::Add,
+                Instr::Const(2),
+                Instr::Mul,
+                Instr::Store(0),
+                Instr::Halt,
+            ],
+            constants: vec![Value::Int(2), Value::Int(3), Value::Int(4)],
+        };
+        let mut vm = Vm::new(1);
+        vm.run(&p).unwrap();
+        assert_eq!(vm.locals[0].as_i64().unwrap(), 20);
+    }
+
+    #[test]
+    fn loop_sums_one_to_ten() {
+        // i = 1; acc = 0; while i < 11 { acc += i; i += 1 }
+        let p = Program {
+            code: vec![
+                Instr::Const(0), // 1
+                Instr::Store(0), // i
+                Instr::Const(1), // 0
+                Instr::Store(1), // acc
+                // loop head @4
+                Instr::Load(0),
+                Instr::Const(2), // 11
+                Instr::Lt,
+                Instr::JumpIfFalse(16),
+                Instr::Load(1),
+                Instr::Load(0),
+                Instr::Add,
+                Instr::Store(1),
+                Instr::Load(0),
+                Instr::Const(0), // 1
+                Instr::Add,
+                Instr::Store(0),
+                // ^ jump target fix below
+                Instr::Halt,
+            ],
+            constants: vec![Value::Int(1), Value::Int(0), Value::Int(11)],
+        };
+        // Insert back-jump before Halt.
+        let mut p = p;
+        p.code.insert(16, Instr::Jump(4));
+        // JumpIfFalse target shifts to 17.
+        p.code[7] = Instr::JumpIfFalse(17);
+        let mut vm = Vm::new(2);
+        vm.run(&p).unwrap();
+        assert_eq!(vm.locals[1].as_i64().unwrap(), 55);
+    }
+
+    #[test]
+    fn list_mutation_via_bytecode() {
+        let p = Program {
+            code: vec![
+                Instr::Load(0),  // list
+                Instr::Const(0), // index 0
+                Instr::Const(1), // value 42
+                Instr::SetItem,
+                Instr::Halt,
+            ],
+            constants: vec![Value::Int(0), Value::Int(42)],
+        };
+        let mut vm = Vm::new(1);
+        vm.locals[0] = Value::list(vec![Value::Int(0)]);
+        vm.run(&p).unwrap();
+        assert_eq!(vm.locals[0].get_item(&Value::Int(0)).unwrap().as_i64().unwrap(), 42);
+    }
+
+    #[test]
+    fn stack_underflow_detected() {
+        let p = Program { code: vec![Instr::Add, Instr::Halt], constants: vec![] };
+        assert!(matches!(Vm::new(0).run(&p), Err(VmError::StackUnderflow)));
+    }
+
+    #[test]
+    fn counts_instructions() {
+        let p = Program {
+            code: vec![Instr::Const(0), Instr::Store(0), Instr::Halt],
+            constants: vec![Value::Int(1)],
+        };
+        let mut vm = Vm::new(1);
+        vm.run(&p).unwrap();
+        assert_eq!(vm.instructions_executed, 3);
+    }
+
+    #[test]
+    fn histogram_tracks_opcodes() {
+        let p = Program {
+            code: vec![Instr::Const(0), Instr::Const(0), Instr::Add, Instr::Store(0), Instr::Halt],
+            constants: vec![Value::Int(1)],
+        };
+        let mut vm = Vm::new(1);
+        vm.run(&p).unwrap();
+        let hist = vm.op_histogram();
+        assert_eq!(hist[0], ("CONST", 2));
+        assert!(hist.contains(&("ADD", 1)));
+        assert!(hist.contains(&("HALT", 1)));
+        assert_eq!(hist.iter().map(|&(_, c)| c).sum::<u64>(), vm.instructions_executed);
+    }
+
+    #[test]
+    fn opcode_indices_are_dense_and_named() {
+        for op in 0..NUM_OPCODES {
+            assert!(!Instr::opcode_name(op).is_empty());
+        }
+        assert_eq!(Instr::Halt.opcode(), NUM_OPCODES - 1);
+    }
+
+    #[test]
+    fn type_error_propagates() {
+        let p = Program {
+            code: vec![Instr::Const(0), Instr::Const(0), Instr::GetItem, Instr::Halt],
+            constants: vec![Value::Int(1)],
+        };
+        assert!(matches!(Vm::new(0).run(&p), Err(VmError::Type(_))));
+    }
+}

@@ -1,0 +1,214 @@
+//! Lock-free atomic utilities — Ligra's `writeAdd` / `writeMin` / `CAS`.
+//!
+//! x86-64 (and AArch64) have no native f64 fetch-add, so Ligra's `writeAdd`
+//! on doubles is a compare-and-swap loop over the 64-bit pattern; we
+//! implement exactly that over [`AtomicU64`] bit-casts.
+//!
+//! The paper's §IV ablation ("we ran the program with atomics off,
+//! performing unsafe updates, and saw no appreciable performance
+//! difference") is reproduced by [`AtomicF64Vec::add_racy`]: a relaxed
+//! load followed by a relaxed store. Concurrent increments may be lost —
+//! the *paper's* unsafe experiment — but unlike a raw non-atomic write this
+//! is not undefined behaviour in Rust's memory model, so the benchmark
+//! remains sound to run.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// How the embedding updates synchronize — the paper's atomics on/off knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AtomicsMode {
+    /// Lock-free CAS `writeAdd` (the paper's default, race-free).
+    #[default]
+    Atomic,
+    /// Relaxed load+store, may lose concurrent updates (the paper's
+    /// "atomics off" ablation).
+    Racy,
+}
+
+/// A fixed-length vector of `f64` supporting concurrent accumulation.
+///
+/// Bit-stores each element in an [`AtomicU64`]; `fetch_add` is a CAS loop
+/// identical to Ligra's `writeAdd`.
+pub struct AtomicF64Vec {
+    data: Vec<AtomicU64>,
+}
+
+impl AtomicF64Vec {
+    /// Zero-initialized vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        let mut data = Vec::with_capacity(len);
+        data.resize_with(len, || AtomicU64::new(0f64.to_bits()));
+        AtomicF64Vec { data }
+    }
+
+    /// Length of the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Atomic `writeAdd`: CAS loop adding `delta` to element `i`.
+    #[inline]
+    pub fn fetch_add(&self, i: usize, delta: f64) {
+        let cell = &self.data[i];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + delta).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// The paper's "atomics off" update: relaxed read-modify-write that may
+    /// lose concurrent increments. Not UB — every access is individually
+    /// atomic — but deliberately not linearizable.
+    #[inline]
+    pub fn add_racy(&self, i: usize, delta: f64) {
+        let cell = &self.data[i];
+        let cur = f64::from_bits(cell.load(Ordering::Relaxed));
+        cell.store((cur + delta).to_bits(), Ordering::Relaxed);
+    }
+
+    /// Dispatch on [`AtomicsMode`].
+    #[inline]
+    pub fn add(&self, mode: AtomicsMode, i: usize, delta: f64) {
+        match mode {
+            AtomicsMode::Atomic => self.fetch_add(i, delta),
+            AtomicsMode::Racy => self.add_racy(i, delta),
+        }
+    }
+
+    /// Read element `i`.
+    #[inline]
+    pub fn load(&self, i: usize) -> f64 {
+        f64::from_bits(self.data[i].load(Ordering::Relaxed))
+    }
+
+    /// Overwrite element `i`.
+    #[inline]
+    pub fn store(&self, i: usize, v: f64) {
+        self.data[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Convert into a plain `Vec<f64>` (single-owner, no copies of the
+    /// atomic cells remain).
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data.into_iter().map(|a| f64::from_bits(a.into_inner())).collect()
+    }
+
+    /// Copy out as a plain `Vec<f64>`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect()
+    }
+}
+
+/// Ligra's `writeMin`: atomically set `*cell = min(*cell, v)`; returns true
+/// if this call lowered the value (i.e. it "won").
+#[inline]
+pub fn write_min_u32(cell: &AtomicU32, v: u32) -> bool {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while v < cur {
+        match cell.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => cur = observed,
+        }
+    }
+    false
+}
+
+/// Ligra's `CAS` on a u32 cell: set to `new` iff currently `expected`.
+#[inline]
+pub fn cas_u32(cell: &AtomicU32, expected: u32, new: u32) -> bool {
+    cell.compare_exchange(expected, new, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn zeros_and_len() {
+        let v = AtomicF64Vec::zeros(5);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+        assert_eq!(v.load(3), 0.0);
+    }
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let v = AtomicF64Vec::zeros(1);
+        v.fetch_add(0, 1.5);
+        v.fetch_add(0, 2.5);
+        assert_eq!(v.load(0), 4.0);
+    }
+
+    #[test]
+    fn concurrent_fetch_add_loses_nothing() {
+        let v = AtomicF64Vec::zeros(4);
+        (0..100_000).into_par_iter().for_each(|i| {
+            v.fetch_add(i % 4, 1.0);
+        });
+        let total: f64 = (0..4).map(|i| v.load(i)).sum();
+        assert_eq!(total, 100_000.0);
+    }
+
+    #[test]
+    fn racy_add_single_threaded_is_exact() {
+        let v = AtomicF64Vec::zeros(1);
+        for _ in 0..1000 {
+            v.add_racy(0, 1.0);
+        }
+        assert_eq!(v.load(0), 1000.0);
+    }
+
+    #[test]
+    fn mode_dispatch() {
+        let v = AtomicF64Vec::zeros(1);
+        v.add(AtomicsMode::Atomic, 0, 1.0);
+        v.add(AtomicsMode::Racy, 0, 1.0);
+        assert_eq!(v.load(0), 2.0);
+    }
+
+    #[test]
+    fn into_vec_roundtrip() {
+        let v = AtomicF64Vec::zeros(3);
+        v.store(0, 1.0);
+        v.store(2, -2.5);
+        assert_eq!(v.to_vec(), vec![1.0, 0.0, -2.5]);
+        assert_eq!(v.into_vec(), vec![1.0, 0.0, -2.5]);
+    }
+
+    #[test]
+    fn write_min_lowers_only() {
+        let c = AtomicU32::new(10);
+        assert!(write_min_u32(&c, 5));
+        assert!(!write_min_u32(&c, 7));
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn concurrent_write_min_converges() {
+        let c = AtomicU32::new(u32::MAX);
+        (0..10_000u32).into_par_iter().for_each(|i| {
+            write_min_u32(&c, i);
+        });
+        assert_eq!(c.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let c = AtomicU32::new(1);
+        assert!(cas_u32(&c, 1, 2));
+        assert!(!cas_u32(&c, 1, 3));
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    }
+}

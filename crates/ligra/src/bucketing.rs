@@ -1,0 +1,274 @@
+//! Julienne-style bucketing (Dhulipala, Blelloch & Shun, SPAA 2017) — the
+//! priority-ordered companion to `edgeMap`.
+//!
+//! Ligra's frontier model (§II of the paper) captures *unordered*
+//! algorithms; algorithms that process vertices by priority — k-core
+//! peeling, Δ-stepping SSSP, approximate set cover — need a dynamic
+//! mapping from vertices to *buckets* processed in priority order.
+//! Julienne extends Ligra with exactly this structure, so it belongs in
+//! the engine substrate next to [`crate::vertex_subset::VertexSubset`].
+//!
+//! This implementation uses **lazy deletion**: [`Buckets::update_bucket`]
+//! appends the vertex to its new bucket's queue without removing the old
+//! entry; [`Buckets::next_bucket`] filters entries whose recorded bucket
+//! no longer matches when the bucket is popped. Each vertex therefore
+//! appears in at most one *valid* bucket at a time, while queue entries
+//! are amortized O(1) per update — the same trade Julienne makes.
+
+use std::collections::BTreeMap;
+
+use gee_graph::VertexId;
+
+/// Bucket id a vertex holds when it is not in any bucket.
+const NONE: u64 = u64::MAX;
+
+/// Whether [`Buckets::next_bucket`] pops the smallest or largest id first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BucketOrder {
+    /// Pop buckets in increasing id order (k-core, Δ-stepping).
+    #[default]
+    Increasing,
+    /// Pop buckets in decreasing id order (e.g. approximate set cover).
+    Decreasing,
+}
+
+/// A non-empty bucket extracted by [`Buckets::next_bucket`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucket {
+    /// Priority of this bucket.
+    pub id: u64,
+    /// Valid member vertices, in insertion order (stale entries filtered).
+    pub vertices: Vec<VertexId>,
+}
+
+/// Dynamic vertex-to-bucket mapping with ordered extraction.
+///
+/// Identifiers live in `0..n`. A vertex is in at most one bucket;
+/// extraction removes it (callers re-insert with
+/// [`Buckets::update_bucket`] if it needs further processing).
+#[derive(Debug)]
+pub struct Buckets {
+    order: BucketOrder,
+    /// Current bucket of each vertex, or [`NONE`].
+    bucket_of: Vec<u64>,
+    /// Pending (possibly stale) queue per bucket id.
+    queues: BTreeMap<u64, Vec<VertexId>>,
+    /// Count of vertices whose `bucket_of` is not [`NONE`].
+    live: usize,
+}
+
+impl Buckets {
+    /// Create buckets over `n` vertices. `init(v)` gives `v`'s starting
+    /// bucket, or `None` to leave it unbucketed.
+    pub fn new(n: usize, order: BucketOrder, init: impl Fn(VertexId) -> Option<u64>) -> Self {
+        let mut b = Buckets {
+            order,
+            bucket_of: vec![NONE; n],
+            queues: BTreeMap::new(),
+            live: 0,
+        };
+        for v in 0..n as VertexId {
+            if let Some(id) = init(v) {
+                b.insert(v, id);
+            }
+        }
+        b
+    }
+
+    fn insert(&mut self, v: VertexId, id: u64) {
+        assert_ne!(id, NONE, "bucket id u64::MAX is reserved");
+        if self.bucket_of[v as usize] == NONE {
+            self.live += 1;
+        }
+        self.bucket_of[v as usize] = id;
+        self.queues.entry(id).or_default().push(v);
+    }
+
+    /// Move `v` to bucket `id` (inserting it if currently unbucketed).
+    pub fn update_bucket(&mut self, v: VertexId, id: u64) {
+        assert_ne!(id, NONE, "bucket id u64::MAX is reserved");
+        if self.bucket_of[v as usize] == id {
+            return; // already there; avoid queue growth
+        }
+        self.insert(v, id);
+    }
+
+    /// Apply a batch of `(vertex, bucket)` moves. Later entries for the
+    /// same vertex win, matching sequential application order.
+    pub fn update_buckets(&mut self, moves: impl IntoIterator<Item = (VertexId, u64)>) {
+        for (v, id) in moves {
+            self.update_bucket(v, id);
+        }
+    }
+
+    /// Remove `v` from whatever bucket it is in (no-op if unbucketed).
+    pub fn remove(&mut self, v: VertexId) {
+        if self.bucket_of[v as usize] != NONE {
+            self.bucket_of[v as usize] = NONE;
+            self.live -= 1;
+        }
+    }
+
+    /// Current bucket of `v`, if any.
+    pub fn bucket_of(&self, v: VertexId) -> Option<u64> {
+        match self.bucket_of[v as usize] {
+            NONE => None,
+            id => Some(id),
+        }
+    }
+
+    /// Number of vertices currently in some bucket.
+    pub fn num_live(&self) -> usize {
+        self.live
+    }
+
+    /// True when no vertex is bucketed.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Extract the next non-empty bucket in priority order, removing its
+    /// members from the structure. Returns `None` when all buckets are
+    /// empty.
+    pub fn next_bucket(&mut self) -> Option<Bucket> {
+        loop {
+            let id = match self.order {
+                BucketOrder::Increasing => *self.queues.keys().next()?,
+                BucketOrder::Decreasing => *self.queues.keys().next_back()?,
+            };
+            let queue = self.queues.remove(&id).expect("key just observed");
+            let mut vertices: Vec<VertexId> = queue
+                .into_iter()
+                .filter(|&v| self.bucket_of[v as usize] == id)
+                .collect();
+            // Lazy insertion can enqueue a vertex twice in the *same*
+            // bucket (moved away and back); keep the first occurrence.
+            if vertices.len() > 1 {
+                let mut seen = vec![];
+                vertices.retain(|&v| {
+                    let dup = seen.contains(&v);
+                    seen.push(v);
+                    !dup
+                });
+            }
+            if vertices.is_empty() {
+                continue; // all entries were stale; try the next bucket
+            }
+            for &v in &vertices {
+                self.bucket_of[v as usize] = NONE;
+            }
+            self.live -= vertices.len();
+            return Some(Bucket { id, vertices });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_increasing_order() {
+        let mut b = Buckets::new(4, BucketOrder::Increasing, |v| Some(u64::from(3 - v)));
+        let ids: Vec<u64> = std::iter::from_fn(|| b.next_bucket().map(|bk| bk.id)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pops_in_decreasing_order() {
+        let mut b = Buckets::new(3, BucketOrder::Decreasing, |v| Some(u64::from(v)));
+        let ids: Vec<u64> = std::iter::from_fn(|| b.next_bucket().map(|bk| bk.id)).collect();
+        assert_eq!(ids, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn update_moves_vertex() {
+        let mut b = Buckets::new(2, BucketOrder::Increasing, |_| Some(5));
+        b.update_bucket(0, 1);
+        let first = b.next_bucket().unwrap();
+        assert_eq!(first.id, 1);
+        assert_eq!(first.vertices, vec![0]);
+        let second = b.next_bucket().unwrap();
+        assert_eq!(second.id, 5);
+        assert_eq!(second.vertices, vec![1]);
+    }
+
+    #[test]
+    fn stale_entries_filtered() {
+        let mut b = Buckets::new(1, BucketOrder::Increasing, |_| Some(0));
+        b.update_bucket(0, 2);
+        b.update_bucket(0, 7);
+        let only = b.next_bucket().unwrap();
+        assert_eq!(only.id, 7);
+        assert!(b.next_bucket().is_none());
+    }
+
+    #[test]
+    fn extraction_removes_members() {
+        let mut b = Buckets::new(3, BucketOrder::Increasing, |_| Some(1));
+        assert_eq!(b.num_live(), 3);
+        let bk = b.next_bucket().unwrap();
+        assert_eq!(bk.vertices.len(), 3);
+        assert!(b.is_empty());
+        assert_eq!(b.bucket_of(0), None);
+    }
+
+    #[test]
+    fn reinsert_after_extraction() {
+        let mut b = Buckets::new(1, BucketOrder::Increasing, |_| Some(0));
+        b.next_bucket().unwrap();
+        b.update_bucket(0, 3);
+        let bk = b.next_bucket().unwrap();
+        assert_eq!((bk.id, bk.vertices.as_slice()), (3, &[0][..]));
+    }
+
+    #[test]
+    fn same_bucket_update_is_noop() {
+        let mut b = Buckets::new(1, BucketOrder::Increasing, |_| Some(4));
+        b.update_bucket(0, 4);
+        let bk = b.next_bucket().unwrap();
+        assert_eq!(bk.vertices, vec![0]); // no duplicate
+    }
+
+    #[test]
+    fn move_away_and_back_deduplicates() {
+        let mut b = Buckets::new(1, BucketOrder::Increasing, |_| Some(4));
+        b.update_bucket(0, 9);
+        b.update_bucket(0, 4); // back to 4: queue holds two entries
+        let bk = b.next_bucket().unwrap();
+        assert_eq!(bk.id, 4);
+        assert_eq!(bk.vertices, vec![0]);
+        assert!(b.next_bucket().is_none());
+    }
+
+    #[test]
+    fn unbucketed_vertices_never_appear() {
+        let mut b = Buckets::new(4, BucketOrder::Increasing, |v| (v % 2 == 0).then_some(0));
+        let bk = b.next_bucket().unwrap();
+        assert_eq!(bk.vertices, vec![0, 2]);
+    }
+
+    #[test]
+    fn remove_makes_entry_stale() {
+        let mut b = Buckets::new(2, BucketOrder::Increasing, |_| Some(1));
+        b.remove(0);
+        assert_eq!(b.num_live(), 1);
+        let bk = b.next_bucket().unwrap();
+        assert_eq!(bk.vertices, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn max_bucket_id_rejected() {
+        let mut b = Buckets::new(1, BucketOrder::Increasing, |_| None);
+        b.update_bucket(0, u64::MAX);
+    }
+
+    #[test]
+    fn batch_updates_last_wins() {
+        let mut b = Buckets::new(1, BucketOrder::Increasing, |_| None);
+        b.update_buckets([(0, 5), (0, 2)]);
+        assert_eq!(b.bucket_of(0), Some(2));
+        assert_eq!(b.next_bucket().unwrap().id, 2);
+    }
+}

@@ -1,0 +1,168 @@
+//! `packEdges` / `filterEdges` — Ligra's graph-shrinking operator: drop
+//! edges failing a predicate and repack the adjacency in parallel.
+//! Algorithms like triangle counting (rank-ordered neighbor pruning) and
+//! iterated k-core/densest-subgraph passes use this to shed finished
+//! work between rounds.
+
+use gee_graph::{CsrGraph, VertexId, Weight};
+use rayon::prelude::*;
+
+use crate::prim::exclusive_scan;
+
+/// Build a new graph keeping only the edges where `pred(u, v, w)` holds.
+/// Vertex ids are preserved. Three parallel phases: per-vertex survivor
+/// count, offset scan, parallel repack.
+pub fn filter_graph<F>(g: &CsrGraph, pred: F) -> CsrGraph
+where
+    F: Fn(VertexId, VertexId, Weight) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    // Phase 1: survivors per source vertex.
+    let counts: Vec<usize> = (0..n as VertexId)
+        .into_par_iter()
+        .map(|u| {
+            g.neighbors(u)
+                .iter()
+                .enumerate()
+                .filter(|&(i, &v)| pred(u, v, g.weight_at(u, i)))
+                .count()
+        })
+        .collect();
+    // Phase 2: offsets.
+    let (starts, total) = exclusive_scan(&counts);
+    let mut offsets = starts.clone();
+    offsets.push(total);
+    // Phase 3: repack into disjoint ranges (one owner per source vertex).
+    let keep_weights = g.is_weighted();
+    let mut targets = vec![0 as VertexId; total];
+    let mut weights = if keep_weights { vec![0.0; total] } else { Vec::new() };
+    {
+        let tp = SendPtr(targets.as_mut_ptr());
+        let wp = SendPtr(weights.as_mut_ptr());
+        (0..n as VertexId).into_par_iter().for_each(|u| {
+            let mut slot = starts[u as usize];
+            for (i, &v) in g.neighbors(u).iter().enumerate() {
+                let w = g.weight_at(u, i);
+                if pred(u, v, w) {
+                    // SAFETY: slot stays within [starts[u], starts[u]+counts[u])
+                    // and those ranges partition 0..total by the scan.
+                    unsafe {
+                        *tp.get().add(slot) = v;
+                        if keep_weights {
+                            *wp.get().add(slot) = w;
+                        }
+                    }
+                    slot += 1;
+                }
+            }
+        });
+    }
+    CsrGraph::from_raw_parts(n, offsets, targets, keep_weights.then_some(weights))
+}
+
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_graph::{Edge, EdgeList};
+
+    fn sample() -> CsrGraph {
+        let el = EdgeList::new(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 2, 2.0),
+                Edge::new(1, 2, 3.0),
+                Edge::new(2, 3, 4.0),
+                Edge::new(3, 0, 5.0),
+            ],
+        )
+        .unwrap();
+        CsrGraph::from_edge_list(&el)
+    }
+
+    #[test]
+    fn keep_everything_is_identity() {
+        let g = sample();
+        let f = filter_graph(&g, |_, _, _| true);
+        assert_eq!(f.offsets(), g.offsets());
+        assert_eq!(f.targets(), g.targets());
+        assert_eq!(f.weights(), g.weights());
+    }
+
+    #[test]
+    fn drop_everything_is_empty() {
+        let g = sample();
+        let f = filter_graph(&g, |_, _, _| false);
+        assert_eq!(f.num_edges(), 0);
+        assert_eq!(f.num_vertices(), 4);
+    }
+
+    #[test]
+    fn weight_threshold_filter() {
+        let g = sample();
+        let f = filter_graph(&g, |_, _, w| w >= 3.0);
+        assert_eq!(f.num_edges(), 3);
+        assert!(f.iter_edges().all(|(_, _, w)| w >= 3.0));
+    }
+
+    #[test]
+    fn rank_filter_halves_symmetric_graph() {
+        // Keep only u < v on an explicitly mirrored loop-free edge set:
+        // each undirected edge survives exactly once.
+        let pairs: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 100, (i * 7 + 1) % 100)).collect();
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .filter(|&&(u, v)| u != v)
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
+        let g = CsrGraph::from_edge_list(&EdgeList::new(100, edges).unwrap());
+        let f = filter_graph(&g, |u, v, _| u < v);
+        assert_eq!(f.num_edges(), g.num_edges() / 2);
+        assert!(f.iter_edges().all(|(u, v, _)| u < v));
+    }
+
+    #[test]
+    fn unweighted_graph_stays_unweighted() {
+        let el = EdgeList::new(3, vec![Edge::unit(0, 1), Edge::unit(1, 2)]).unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let f = filter_graph(&g, |_, v, _| v != 2);
+        assert!(!f.is_weighted());
+        assert_eq!(f.num_edges(), 1);
+    }
+
+    #[test]
+    fn filtered_graph_supports_traversal() {
+        // BFS reachability changes coherently after cutting a bridge.
+        let el = EdgeList::new(
+            4,
+            vec![Edge::unit(0, 1), Edge::unit(1, 0), Edge::unit(1, 2), Edge::unit(2, 1), Edge::unit(2, 3), Edge::unit(3, 2)],
+        )
+        .unwrap();
+        let g = CsrGraph::from_edge_list(&el);
+        let cut = filter_graph(&g, |u, v, _| !(u.min(v) == 1 && u.max(v) == 2));
+        // After cutting 1-2, vertex 3 is unreachable from 0.
+        let frontier = crate::VertexSubset::single(4, 0);
+        struct Never;
+        impl crate::EdgeMapFn for Never {
+            fn update(&self, _s: u32, _d: u32, _w: f64) -> bool {
+                true
+            }
+            fn update_atomic(&self, s: u32, d: u32, w: f64) -> bool {
+                self.update(s, d, w)
+            }
+        }
+        let next = crate::edge_map(&cut, &frontier, &Never, crate::EdgeMapOptions::default());
+        assert_eq!(next.to_ids(), vec![1]);
+        assert_eq!(cut.out_degree(1), 1); // only back to 0
+    }
+}

@@ -1,0 +1,143 @@
+//! Parallel primitives: exclusive scan, pack, filter.
+//!
+//! These are the building blocks Ligra composes traversals from. Scan uses
+//! the standard two-pass chunked algorithm (per-chunk sums, scan of sums,
+//! per-chunk rescan), giving O(n) work and O(n / P + P) span on rayon.
+
+use rayon::prelude::*;
+
+/// Parallel exclusive prefix sum. Returns the scanned vector and the total.
+pub fn exclusive_scan(input: &[usize]) -> (Vec<usize>, usize) {
+    let n = input.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    // Sequential cutoff: chunking overhead dominates below ~64k elements.
+    if n < 1 << 16 {
+        let mut out = Vec::with_capacity(n);
+        let mut acc = 0usize;
+        for &x in input {
+            out.push(acc);
+            acc += x;
+        }
+        return (out, acc);
+    }
+    let chunk = 1 << 14;
+    let sums: Vec<usize> = input.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+    let mut offsets = Vec::with_capacity(sums.len());
+    let mut acc = 0usize;
+    for s in &sums {
+        offsets.push(acc);
+        acc += s;
+    }
+    let mut out = vec![0usize; n];
+    out.par_chunks_mut(chunk)
+        .zip(input.par_chunks(chunk))
+        .zip(offsets.par_iter())
+        .for_each(|((o, i), &base)| {
+            let mut a = base;
+            for (slot, &x) in o.iter_mut().zip(i) {
+                *slot = a;
+                a += x;
+            }
+        });
+    (out, acc)
+}
+
+/// Keep elements whose flag is set, preserving order (Ligra's `pack`).
+pub fn pack<T: Copy + Send + Sync>(items: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(items.len(), flags.len());
+    pack_indices(flags)
+        .into_par_iter()
+        .map(|i| items[i as usize])
+        .collect()
+}
+
+/// Indices `i` with `flags[i]` set, in increasing order.
+pub fn pack_indices(flags: &[bool]) -> Vec<u32> {
+    let counts: Vec<usize> = flags.iter().map(|&b| usize::from(b)).collect();
+    let (offsets, total) = exclusive_scan(&counts);
+    let mut out = vec![0u32; total];
+    let out_ptr = SyncPtr(out.as_mut_ptr());
+    flags.par_iter().enumerate().for_each(|(i, &b)| {
+        if b {
+            // SAFETY: offsets of set flags are distinct (exclusive scan of
+            // 0/1 counts), so writes go to disjoint slots.
+            unsafe { *out_ptr.get().add(offsets[i]) = i as u32 }
+        }
+    });
+    out
+}
+
+/// Parallel filter by predicate.
+pub fn filter<T: Copy + Send + Sync, F: Fn(&T) -> bool + Sync>(items: &[T], pred: F) -> Vec<T> {
+    items.par_iter().copied().filter(|x| pred(x)).collect()
+}
+
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+impl<T> SyncPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_small() {
+        let (s, total) = exclusive_scan(&[1, 2, 3, 4]);
+        assert_eq!(s, vec![0, 1, 3, 6]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scan_empty() {
+        let (s, total) = exclusive_scan(&[]);
+        assert!(s.is_empty());
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn scan_large_matches_serial() {
+        let input: Vec<usize> = (0..200_000).map(|i| i % 7).collect();
+        let (par, total) = exclusive_scan(&input);
+        let mut acc = 0;
+        for (i, &x) in input.iter().enumerate() {
+            assert_eq!(par[i], acc, "mismatch at {i}");
+            acc += x;
+        }
+        assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn pack_preserves_order() {
+        let items = [10, 20, 30, 40];
+        let flags = [true, false, true, true];
+        assert_eq!(pack(&items, &flags), vec![10, 30, 40]);
+    }
+
+    #[test]
+    fn pack_indices_basic() {
+        assert_eq!(pack_indices(&[false, true, true, false, true]), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn pack_indices_large() {
+        let flags: Vec<bool> = (0..100_000).map(|i| i % 3 == 0).collect();
+        let idx = pack_indices(&flags);
+        assert_eq!(idx.len(), flags.iter().filter(|&&b| b).count());
+        assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        assert!(idx.iter().all(|&i| i % 3 == 0));
+    }
+
+    #[test]
+    fn filter_by_predicate() {
+        let out = filter(&[1, 2, 3, 4, 5, 6], |&x| x % 2 == 0);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,80 @@
+//! `vertexMap` — apply a function to every vertex of a frontier in parallel.
+
+use gee_graph::VertexId;
+use rayon::prelude::*;
+
+use crate::prim::pack_indices;
+use crate::vertex_subset::VertexSubset;
+
+/// Apply `f` to each member of `frontier` in parallel.
+pub fn vertex_map<F: Fn(VertexId) + Sync>(frontier: &VertexSubset, f: F) {
+    match frontier {
+        VertexSubset::Sparse { ids, .. } => ids.par_iter().for_each(|&v| f(v)),
+        VertexSubset::Dense { flags, .. } => {
+            flags.par_iter().enumerate().for_each(|(v, &b)| {
+                if b {
+                    f(v as VertexId);
+                }
+            })
+        }
+    }
+}
+
+/// Apply `pred` to each member; keep those where it returns `true`
+/// (Ligra's `vertexFilter`).
+pub fn vertex_filter<F: Fn(VertexId) -> bool + Sync>(frontier: &VertexSubset, pred: F) -> VertexSubset {
+    let n = frontier.universe();
+    match frontier {
+        VertexSubset::Sparse { ids, .. } => {
+            let kept: Vec<VertexId> = ids.par_iter().copied().filter(|&v| pred(v)).collect();
+            VertexSubset::from_ids(n, kept)
+        }
+        VertexSubset::Dense { flags, .. } => {
+            let kept: Vec<bool> = flags
+                .par_iter()
+                .enumerate()
+                .map(|(v, &b)| b && pred(v as VertexId))
+                .collect();
+            VertexSubset::from_ids(n, pack_indices(&kept))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn map_touches_all_members() {
+        let hits = AtomicU32::new(0);
+        vertex_map(&VertexSubset::from_ids(10, vec![1, 3, 5]), |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn map_dense_only_members() {
+        let seen = AtomicU32::new(0);
+        let f = VertexSubset::from_flags(vec![true, false, true, false]);
+        vertex_map(&f, |v| {
+            seen.fetch_add(1 << v, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 0b101);
+    }
+
+    #[test]
+    fn filter_sparse() {
+        let f = vertex_filter(&VertexSubset::from_ids(10, vec![1, 2, 3, 4]), |v| v % 2 == 0);
+        let mut ids = f.to_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn filter_dense() {
+        let f = vertex_filter(&VertexSubset::full(6), |v| v >= 4);
+        assert_eq!(f.to_ids(), vec![4, 5]);
+    }
+}

@@ -1,0 +1,191 @@
+//! Ligra's `vertexSubset`: a frontier that is either a sparse list of
+//! vertex ids or a dense boolean array, switching representation by the
+//! classic `|F| + outDegree(F) > m / 20` threshold.
+
+use gee_graph::VertexId;
+
+/// A subset of the vertices of an `n`-vertex graph.
+#[derive(Debug, Clone)]
+pub enum VertexSubset {
+    /// Explicit list of member ids (unordered, no duplicates).
+    Sparse {
+        /// Universe size `n`.
+        n: usize,
+        /// Member ids.
+        ids: Vec<VertexId>,
+    },
+    /// Membership bitmap of length `n`.
+    Dense {
+        /// Per-vertex membership flags.
+        flags: Vec<bool>,
+        /// Cached member count.
+        count: usize,
+    },
+}
+
+impl VertexSubset {
+    /// The empty subset of an `n`-vertex universe (sparse).
+    pub fn empty(n: usize) -> Self {
+        VertexSubset::Sparse { n, ids: Vec::new() }
+    }
+
+    /// The full vertex set (dense) — GEE's frontier is "the entire graph".
+    pub fn full(n: usize) -> Self {
+        VertexSubset::Dense { flags: vec![true; n], count: n }
+    }
+
+    /// A singleton subset.
+    pub fn single(n: usize, v: VertexId) -> Self {
+        assert!((v as usize) < n, "vertex {v} out of range for n={n}");
+        VertexSubset::Sparse { n, ids: vec![v] }
+    }
+
+    /// From an explicit id list (caller promises no duplicates).
+    pub fn from_ids(n: usize, ids: Vec<VertexId>) -> Self {
+        debug_assert!(ids.iter().all(|&v| (v as usize) < n));
+        VertexSubset::Sparse { n, ids }
+    }
+
+    /// From a dense flag vector.
+    pub fn from_flags(flags: Vec<bool>) -> Self {
+        let count = flags.iter().filter(|&&b| b).count();
+        VertexSubset::Dense { flags, count }
+    }
+
+    /// Universe size `n`.
+    pub fn universe(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { n, .. } => *n,
+            VertexSubset::Dense { flags, .. } => flags.len(),
+        }
+    }
+
+    /// Number of member vertices.
+    pub fn len(&self) -> usize {
+        match self {
+            VertexSubset::Sparse { ids, .. } => ids.len(),
+            VertexSubset::Dense { count, .. } => *count,
+        }
+    }
+
+    /// True when no vertices are members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: VertexId) -> bool {
+        match self {
+            VertexSubset::Sparse { ids, .. } => ids.contains(&v),
+            VertexSubset::Dense { flags, .. } => flags[v as usize],
+        }
+    }
+
+    /// Iterate member ids (order unspecified).
+    pub fn iter(&self) -> Box<dyn Iterator<Item = VertexId> + '_> {
+        match self {
+            VertexSubset::Sparse { ids, .. } => Box::new(ids.iter().copied()),
+            VertexSubset::Dense { flags, .. } => Box::new(
+                flags
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(i, _)| i as VertexId),
+            ),
+        }
+    }
+
+    /// Member ids as a vector (converts if dense).
+    pub fn to_ids(&self) -> Vec<VertexId> {
+        self.iter().collect()
+    }
+
+    /// Convert to the dense representation in place.
+    pub fn densify(&mut self) {
+        if let VertexSubset::Sparse { n, ids } = self {
+            let mut flags = vec![false; *n];
+            for &v in ids.iter() {
+                flags[v as usize] = true;
+            }
+            *self = VertexSubset::Dense { count: ids.len(), flags };
+        }
+    }
+
+    /// Convert to the sparse representation in place.
+    pub fn sparsify(&mut self) {
+        if let VertexSubset::Dense { flags, .. } = self {
+            let ids: Vec<VertexId> = flags
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i as VertexId)
+                .collect();
+            *self = VertexSubset::Sparse { n: flags.len(), ids };
+        }
+    }
+
+    /// Ligra's representation-choice rule: traverse densely when
+    /// `|F| + Σ out-degree(F)` exceeds `num_edges / 20`.
+    pub fn should_traverse_dense(&self, frontier_out_degree: usize, num_edges: usize) -> bool {
+        self.len() + frontier_out_degree > num_edges / 20
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = VertexSubset::empty(10);
+        assert!(e.is_empty());
+        assert_eq!(e.universe(), 10);
+        let f = VertexSubset::full(10);
+        assert_eq!(f.len(), 10);
+        assert!(f.contains(9));
+    }
+
+    #[test]
+    fn single_membership() {
+        let s = VertexSubset::single(5, 3);
+        assert!(s.contains(3));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_validates() {
+        VertexSubset::single(3, 3);
+    }
+
+    #[test]
+    fn densify_sparsify_roundtrip() {
+        let mut s = VertexSubset::from_ids(8, vec![1, 4, 6]);
+        s.densify();
+        assert!(matches!(s, VertexSubset::Dense { .. }));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(4));
+        s.sparsify();
+        assert!(matches!(s, VertexSubset::Sparse { .. }));
+        let mut ids = s.to_ids();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 4, 6]);
+    }
+
+    #[test]
+    fn dense_iter_matches_flags() {
+        let d = VertexSubset::from_flags(vec![true, false, true]);
+        assert_eq!(d.to_ids(), vec![0, 2]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn threshold_rule() {
+        let f = VertexSubset::from_ids(100, vec![0, 1]);
+        // 2 + 10 > 200/20=10 → dense
+        assert!(f.should_traverse_dense(10, 200));
+        // 2 + 5 <= 10 → sparse
+        assert!(!f.should_traverse_dense(5, 200));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the engine: every traversal strategy visits the
+//! same edge multiset, and primitives match their serial specifications.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use gee_graph::{CsrGraph, Edge, EdgeList, VertexId, Weight};
+use gee_ligra::prim::{exclusive_scan, pack, pack_indices};
+use gee_ligra::{
+    edge_map, AtomicF64Vec, EdgeMapFn, EdgeMapOptions, TraversalKind, VertexSubset,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = EdgeList> {
+    (2usize..50).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..150).prop_map(move |pairs| {
+            let edges = pairs.into_iter().map(|(u, v)| Edge::unit(u, v)).collect();
+            EdgeList::new_unchecked(n, edges)
+        })
+    })
+}
+
+/// Records a commutative fingerprint of visited edges (sum of hashes), so
+/// visit *sets* can be compared across traversal orders.
+struct Fingerprint {
+    acc: AtomicU64,
+}
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint { acc: AtomicU64::new(0) }
+    }
+    fn value(&self) -> u64 {
+        self.acc.load(Ordering::Relaxed)
+    }
+}
+
+fn edge_hash(s: u32, d: u32) -> u64 {
+    let mut x = ((s as u64) << 32) | d as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+impl EdgeMapFn for Fingerprint {
+    fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
+        self.acc.fetch_add(edge_hash(s, d), Ordering::Relaxed);
+        false
+    }
+    fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
+        self.update(s, d, w)
+    }
+}
+
+proptest! {
+    /// Sparse, dense-forward, and dense-pull traversals of a full frontier
+    /// visit exactly the same edge multiset.
+    #[test]
+    fn traversals_visit_same_edges(el in arb_graph()) {
+        let mut g = CsrGraph::from_edge_list(&el);
+        g.ensure_transpose();
+        let n = g.num_vertices();
+        let frontier = VertexSubset::full(n);
+        let mut values = Vec::new();
+        for kind in [TraversalKind::Sparse, TraversalKind::DenseForward, TraversalKind::DensePull] {
+            let f = Fingerprint::new();
+            edge_map(&g, &frontier, &f, EdgeMapOptions { kind, no_output: true });
+            values.push(f.value());
+        }
+        prop_assert_eq!(values[0], values[1]);
+        prop_assert_eq!(values[1], values[2]);
+    }
+
+    /// Partial frontiers: sparse and dense-forward agree.
+    #[test]
+    fn partial_frontier_agreement(el in arb_graph(), mask_seed in 0u64..1000) {
+        let g = CsrGraph::from_edge_list(&el);
+        let n = g.num_vertices();
+        let ids: Vec<u32> = (0..n as u32).filter(|&v| (v as u64).wrapping_mul(mask_seed + 1).is_multiple_of(3)).collect();
+        let frontier = VertexSubset::from_ids(n, ids);
+        let f1 = Fingerprint::new();
+        edge_map(&g, &frontier, &f1, EdgeMapOptions { kind: TraversalKind::Sparse, no_output: true });
+        let f2 = Fingerprint::new();
+        edge_map(&g, &frontier, &f2, EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true });
+        prop_assert_eq!(f1.value(), f2.value());
+    }
+
+    /// Output frontiers match between strategies (as sets).
+    #[test]
+    fn output_frontiers_match(el in arb_graph()) {
+        struct MarkAll;
+        impl EdgeMapFn for MarkAll {
+            fn update(&self, _s: u32, _d: u32, _w: f64) -> bool { true }
+            fn update_atomic(&self, _s: u32, _d: u32, _w: f64) -> bool { true }
+        }
+        let g = CsrGraph::from_edge_list(&el);
+        let n = g.num_vertices();
+        let frontier = VertexSubset::full(n);
+        let mut outs = Vec::new();
+        for kind in [TraversalKind::Sparse, TraversalKind::DenseForward] {
+            let next = edge_map(&g, &frontier, &MarkAll, EdgeMapOptions { kind, no_output: false });
+            let mut ids = next.to_ids();
+            ids.sort_unstable();
+            outs.push(ids);
+        }
+        prop_assert_eq!(&outs[0], &outs[1]);
+    }
+
+    /// Scan matches the serial specification.
+    #[test]
+    fn scan_matches_serial(xs in proptest::collection::vec(0usize..100, 0..500)) {
+        let (scan, total) = exclusive_scan(&xs);
+        let mut acc = 0;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(scan[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    /// pack == serial filter by flags.
+    #[test]
+    fn pack_matches_filter(items in proptest::collection::vec(0u32..1000, 0..300), seed in 0u64..100) {
+        let flags: Vec<bool> = (0..items.len()).map(|i| !(i as u64 + seed).is_multiple_of(3)).collect();
+        let packed = pack(&items, &flags);
+        let expected: Vec<u32> = items
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &f)| f)
+            .map(|(&x, _)| x)
+            .collect();
+        prop_assert_eq!(packed, expected);
+    }
+
+    /// pack_indices returns exactly the set positions, sorted.
+    #[test]
+    fn pack_indices_sorted_and_complete(flags in proptest::collection::vec(any::<bool>(), 0..400)) {
+        let idx = pack_indices(&flags);
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(idx.len(), flags.iter().filter(|&&b| b).count());
+        prop_assert!(idx.iter().all(|&i| flags[i as usize]));
+    }
+
+    /// Concurrent fetch_add conserves the total.
+    #[test]
+    fn atomic_adds_conserve_total(cells in 1usize..32, ops in 1usize..5000) {
+        use rayon::prelude::*;
+        let v = AtomicF64Vec::zeros(cells);
+        (0..ops).into_par_iter().for_each(|i| v.fetch_add(i % cells, 1.0));
+        let total: f64 = (0..cells).map(|i| v.load(i)).sum();
+        prop_assert_eq!(total, ops as f64);
+    }
+
+    /// Subset representation conversions preserve membership.
+    #[test]
+    fn subset_conversions(n in 1usize..200, seed in 0u64..500) {
+        let ids: Vec<u32> = (0..n as u32).filter(|&v| (v as u64 ^ seed).is_multiple_of(4)).collect();
+        let mut s = VertexSubset::from_ids(n, ids.clone());
+        let orig_len = s.len();
+        s.densify();
+        prop_assert_eq!(s.len(), orig_len);
+        for &v in &ids {
+            prop_assert!(s.contains(v));
+        }
+        s.sparsify();
+        let mut back = s.to_ids();
+        back.sort_unstable();
+        prop_assert_eq!(back, ids);
+    }
+}

@@ -1,0 +1,58 @@
+//! The §II pipeline end-to-end: detect communities with Leiden, use them
+//! as GEE's `Y` labels, embed, cluster the embedding, and score against
+//! the planted ground truth — plus a comparison with the spectral
+//! embedding baseline GEE converges toward.
+//!
+//! ```text
+//! cargo run --release --example community_pipeline
+//! ```
+
+use gee_repro::prelude::*;
+
+use gee_repro::community::{leiden, modularity, LeidenOptions};
+use gee_repro::eval::{adjusted_rand_index, kmeans, spectral_embedding, KMeansOptions, SpectralOptions};
+
+fn main() {
+    // Planted-partition graph: 4 blocks of 250 vertices.
+    let k = 4;
+    let params = SbmParams::balanced(k, 250, 0.08, 0.005);
+    println!("generating SBM: {} vertices, p_in = 0.08, p_out = 0.005", params.num_vertices());
+    let sbm = gee_gen::sbm(&params, 99);
+    let g = CsrGraph::from_edge_list(&sbm.edges);
+    let n = g.num_vertices();
+    println!("edges (directed encoding): {}", g.num_edges());
+
+    // 1. Unsupervised labels from Leiden (the label source §II names).
+    let partition = leiden(&g, LeidenOptions::default());
+    let q = modularity(&g, &gee_repro::community::Partition::from_membership(partition.membership()), 1.0);
+    println!(
+        "\nLeiden: {} communities, modularity {q:.3}, ARI vs truth {:.3}",
+        partition.num_communities(),
+        adjusted_rand_index(partition.membership(), &sbm.truth)
+    );
+
+    // 2. Use the Leiden communities as Y and embed with GEE-Ligra.
+    let labels = Labels::from_full(partition.membership());
+    let z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+    println!("GEE embedding: {}×{}", z.num_vertices(), z.dim());
+
+    // 3. Cluster the embedding and compare with the planted truth.
+    let mut zn = z.clone();
+    zn.normalize_rows();
+    let km = kmeans(zn.as_slice(), n, k, KMeansOptions::new(k, 5));
+    let ari_gee = adjusted_rand_index(&km.assignment, &sbm.truth);
+    println!("k-means on GEE embedding: ARI vs truth = {ari_gee:.3}");
+
+    // 4. Spectral baseline (what GEE is proven to converge toward).
+    let spec = spectral_embedding(&g, SpectralOptions { k, iterations: 100, seed: 3, scale_by_eigenvalues: true });
+    let km_s = kmeans(&spec, n, k, KMeansOptions::new(k, 5));
+    let ari_spec = adjusted_rand_index(&km_s.assignment, &sbm.truth);
+    println!("k-means on spectral embedding: ARI vs truth = {ari_spec:.3}");
+
+    println!(
+        "\nsummary: GEE recovers the planted structure at {:.0}% of the spectral baseline's ARI \
+         in a single edge pass (spectral needs ~100 SpMV sweeps).",
+        100.0 * ari_gee / ari_spec.max(1e-9)
+    );
+    assert!(ari_gee > 0.8, "GEE should recover a strongly separated SBM (got ARI {ari_gee:.3})");
+}

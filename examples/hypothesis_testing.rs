@@ -1,0 +1,65 @@
+//! Statistical inference on GEE embeddings: two-sample energy-distance
+//! tests between vertex groups of an SBM — the "hypothesis testing"
+//! downstream task §I of the paper motivates.
+//!
+//! Vertices of *different* blocks must reject the same-distribution null;
+//! two halves of the *same* block must not.
+//!
+//! ```text
+//! cargo run --release --example hypothesis_testing
+//! ```
+
+use gee_core::serial_optimized;
+use gee_eval::energy_test;
+use gee_repro::prelude::*;
+
+fn main() {
+    // A 3-block SBM with clear community structure.
+    let params = SbmParams::balanced(3, 400, 0.08, 0.005);
+    let g = gee_gen::sbm(&params, 17);
+    let n = g.edges.num_vertices();
+    println!(
+        "SBM: {} blocks × 400 vertices, {} directed edges",
+        3,
+        g.edges.num_edges()
+    );
+
+    // Semi-supervised labels from 15% of the ground truth.
+    let labels = Labels::from_options_with_k(
+        &gee_gen::subsample_labels(&g.truth, 0.15, 23),
+        3,
+    );
+    let mut z = serial_optimized::embed(&g.edges, &labels);
+    z.normalize_rows();
+
+    // Collect embedded rows per block (unlabeled vertices only, so the
+    // test sees positions inferred purely from graph structure).
+    let rows_of = |block: u32| -> Vec<Vec<f64>> {
+        (0..n as u32)
+            .filter(|&v| g.truth[v as usize] == block && labels.get(v).is_none())
+            .take(150)
+            .map(|v| z.row(v).to_vec())
+            .collect()
+    };
+    let block0 = rows_of(0);
+    let block1 = rows_of(1);
+
+    let across = energy_test(&block0, &block1, 300, 41);
+    println!(
+        "block 0 vs block 1: statistic = {:.4}, p = {:.4}  →  {}",
+        across.statistic,
+        across.p_value,
+        if across.rejects_at(0.01) { "REJECT (different latent positions) ✓" } else { "no rejection ✗" }
+    );
+    assert!(across.rejects_at(0.01), "different blocks must separate");
+
+    let (first_half, second_half) = block0.split_at(block0.len() / 2);
+    let within = energy_test(first_half, second_half, 300, 43);
+    println!(
+        "block 0 first half vs second half: statistic = {:.4}, p = {:.4}  →  {}",
+        within.statistic,
+        within.p_value,
+        if within.rejects_at(0.01) { "rejected (unexpected) ✗" } else { "no rejection (same distribution) ✓" }
+    );
+    assert!(!within.rejects_at(0.01), "same block must not separate");
+}

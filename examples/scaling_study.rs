@@ -1,0 +1,51 @@
+//! Mini strong-scaling study (the shape of the paper's Figure 3) on an
+//! R-MAT social-graph stand-in: embed with 1, 2, 4, … threads and report
+//! speedup and parallel efficiency.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use std::time::Instant;
+
+use gee_repro::prelude::*;
+
+fn main() {
+    let m = 4_000_000;
+    let scale = 18; // 262k vertices
+    println!("generating R-MAT graph: scale {scale}, {m} edges (social-network parameters)");
+    let el = gee_gen::rmat(scale, m, RmatParams::default(), 11);
+    let g = CsrGraph::from_edge_list(&el);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), LabelSpec::default(), 3),
+        50,
+    );
+
+    let max_threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8);
+    let mut threads = 1;
+    let mut t1 = 0.0f64;
+    println!("\n{:>8} {:>12} {:>9} {:>11}", "threads", "runtime", "speedup", "efficiency");
+    while threads <= max_threads {
+        // Median of 3.
+        let mut times = Vec::new();
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let z = with_threads(threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic));
+            times.push(t0.elapsed().as_secs_f64());
+            assert_eq!(z.dim(), 50);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let t = times[1];
+        if threads == 1 {
+            t1 = t;
+        }
+        println!(
+            "{threads:>8} {:>11.1}ms {:>8.2}× {:>10.0}%",
+            t * 1e3,
+            t1 / t,
+            100.0 * t1 / t / threads as f64
+        );
+        threads *= 2;
+    }
+    println!("\npaper reference: 11× on 24 cores; the curve flattens as the workload becomes memory-bound.");
+}

@@ -1,0 +1,77 @@
+//! File-based workflow: load a SNAP-format edge file (the paper's data
+//! source), symmetrize, embed, and write the embedding + a binary graph
+//! cache. Creates its own small sample file so it runs out of the box —
+//! point `--` arguments at a real SNAP download to use your own data:
+//!
+//! ```text
+//! cargo run --release --example snap_file_embedding -- path/to/soc-pokec.txt
+//! ```
+
+use std::io::{BufReader, BufWriter, Write};
+
+use gee_repro::graph::io::{binary, snap};
+use gee_repro::graph::stats::graph_stats;
+use gee_repro::prelude::*;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let tmp = std::env::temp_dir().join("gee_snap_sample.txt");
+    let path = match &arg {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            // Synthesize a small SNAP-style file (sparse ids, comments).
+            let el = gee_gen::rmat(12, 40_000, RmatParams::default(), 5);
+            let mut f = BufWriter::new(std::fs::File::create(&tmp).expect("create sample"));
+            writeln!(f, "# Synthetic SNAP-format sample (RMAT scale 12)").unwrap();
+            writeln!(f, "# FromNodeId\tToNodeId").unwrap();
+            for e in el.edges() {
+                // Sparse ids: multiply by 7 to leave gaps like real SNAP files.
+                writeln!(f, "{}\t{}", e.u as u64 * 7, e.v as u64 * 7).unwrap();
+            }
+            println!("no input given — wrote a synthetic sample to {}", tmp.display());
+            tmp.clone()
+        }
+    };
+
+    let file = std::fs::File::open(&path).expect("open input");
+    let el = snap::read(
+        BufReader::new(file),
+        snap::SnapOptions { symmetrize: true, drop_self_loops: true },
+    )
+    .expect("parse SNAP file");
+    println!("loaded {}: n = {}, s = {} (after symmetrize)", path.display(), el.num_vertices(), el.num_edges());
+
+    let g = CsrGraph::from_edge_list(&el);
+    let s = graph_stats(&g);
+    println!(
+        "degree: avg {:.1}, max {}, isolated {}",
+        s.avg_degree, s.max_degree, s.isolated
+    );
+
+    // Paper configuration: K = 50, 10% labeled.
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(el.num_vertices(), LabelSpec::default(), 9),
+        50,
+    );
+    let t0 = std::time::Instant::now();
+    let z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+    println!("embedded in {:.2?} → Z is {}×{}", t0.elapsed(), z.num_vertices(), z.dim());
+
+    // Cache the CSR for fast reload.
+    let cache = std::env::temp_dir().join("gee_snap_sample.csr");
+    binary::write(BufWriter::new(std::fs::File::create(&cache).expect("create cache")), &g)
+        .expect("write cache");
+    let reloaded = binary::read(BufReader::new(std::fs::File::open(&cache).expect("open cache")))
+        .expect("read cache");
+    assert_eq!(reloaded.num_edges(), g.num_edges());
+    println!("binary CSR cache round-tripped at {}", cache.display());
+
+    // Write the first rows of the embedding as CSV.
+    let out = std::env::temp_dir().join("gee_embedding_head.csv");
+    let mut f = BufWriter::new(std::fs::File::create(&out).expect("create csv"));
+    for v in 0..10.min(z.num_vertices() as u32) {
+        let row: Vec<String> = z.row(v).iter().take(8).map(|x| format!("{x:.4}")).collect();
+        writeln!(f, "{v},{}", row.join(",")).unwrap();
+    }
+    println!("first embedding rows written to {}", out.display());
+}

@@ -1,0 +1,62 @@
+//! Unsupervised / iterative GEE clustering (no labels at all): random
+//! labels → embed → k-means → relabel, repeated to convergence, compared
+//! against Louvain and Leiden on the same graph.
+//!
+//! ```text
+//! cargo run --release --example unsupervised_clustering
+//! ```
+
+use gee_repro::community::{leiden, louvain, LeidenOptions, LouvainOptions};
+use gee_repro::core::unsupervised::{cluster, UnsupervisedOptions};
+use gee_repro::eval::adjusted_rand_index;
+use gee_repro::prelude::*;
+
+fn main() {
+    let k = 5;
+    let params = SbmParams::balanced(k, 200, 0.1, 0.004);
+    println!(
+        "SBM: {} blocks × 200 vertices, p_in = 0.1, p_out = 0.004",
+        k
+    );
+    let sbm = gee_gen::sbm(&params, 77);
+    let g = CsrGraph::from_edge_list(&sbm.edges);
+    println!("{} vertices, {} directed edges\n", g.num_vertices(), g.num_edges());
+
+    // Iterative GEE.
+    let t0 = std::time::Instant::now();
+    let r = cluster(&g, UnsupervisedOptions::new(k, 11));
+    let gee_time = t0.elapsed();
+    let gee_ari = adjusted_rand_index(&r.assignment, &sbm.truth);
+    println!(
+        "iterative GEE : ARI {gee_ari:.3}  ({} rounds, converged ARI {:.3}, {:?})",
+        r.rounds, r.final_ari, gee_time
+    );
+
+    // Louvain.
+    let t0 = std::time::Instant::now();
+    let lp = louvain(&g, LouvainOptions::default());
+    let louvain_time = t0.elapsed();
+    println!(
+        "Louvain       : ARI {:.3}  ({} communities, {:?})",
+        adjusted_rand_index(lp.membership(), &sbm.truth),
+        lp.num_communities(),
+        louvain_time
+    );
+
+    // Leiden.
+    let t0 = std::time::Instant::now();
+    let dp = leiden(&g, LeidenOptions::default());
+    let leiden_time = t0.elapsed();
+    println!(
+        "Leiden        : ARI {:.3}  ({} communities, {:?})",
+        adjusted_rand_index(dp.membership(), &sbm.truth),
+        dp.num_communities(),
+        leiden_time
+    );
+
+    println!(
+        "\nall three unsupervised pipelines should recover the planted partition (ARI ≈ 1); \
+         iterative GEE does it with {} edge passes.",
+        r.rounds
+    );
+}

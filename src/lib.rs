@@ -1,0 +1,61 @@
+//! # gee-repro — Edge-Parallel Graph Encoder Embedding in Rust
+//!
+//! Facade crate for the full reproduction of *"Edge-Parallel Graph Encoder
+//! Embedding"* (Lubonja, Shen, Priebe, Burns — 2024, arXiv:2402.04403).
+//! Re-exports every workspace crate under one roof and hosts the runnable
+//! examples.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gee_repro::prelude::*;
+//!
+//! // A small random graph with 10% random labels, K = 5.
+//! let el = gee_gen::erdos_renyi_gnm(1_000, 8_000, 42);
+//! let labels = Labels::from_options_with_k(
+//!     &gee_gen::random_labels(1_000, LabelSpec { num_classes: 5, labeled_fraction: 0.1 }, 7),
+//!     5,
+//! );
+//! // The paper's parallel embedding:
+//! let g = CsrGraph::from_edge_list(&el);
+//! let z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+//! assert_eq!(z.num_vertices(), 1_000);
+//! assert_eq!(z.dim(), 5);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and `crates/bench` for the
+//! binaries that regenerate each table and figure of the paper.
+
+pub use gee_algos as algos;
+pub use gee_community as community;
+pub use gee_core as core;
+pub use gee_eval as eval;
+pub use gee_gen as gen;
+pub use gee_graph as graph;
+pub use gee_interp as interp;
+pub use gee_ligra as ligra;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use gee_core::{AtomicsMode, DynamicGee, Embedding, GeeOptions, Implementation, Labels, Variant};
+    pub use gee_gen::{self, LabelSpec, RmatParams, SbmParams, WsParams};
+    pub use gee_graph::{CsrGraph, Edge, EdgeList, GraphBuilder};
+    pub use gee_ligra::{with_threads, BucketOrder, Buckets, VertexSubset};
+    pub use gee_core;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_runs() {
+        let el = gee_gen::erdos_renyi_gnm(100, 500, 1);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(100, LabelSpec { num_classes: 3, labeled_fraction: 0.2 }, 2),
+            3,
+        );
+        let z = gee_core::embed(&el, &labels, Implementation::LigraParallel, GeeOptions::default());
+        assert_eq!(z.dim(), 3);
+    }
+}
