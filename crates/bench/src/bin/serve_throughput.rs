@@ -1,0 +1,130 @@
+//! Serving-layer throughput: batched queries/sec against `gee-serve` as
+//! the shard count grows, on an SBM workload with community structure.
+//!
+//! Three phases per shard count:
+//!
+//! * **classify** — batches of kNN classification queries (the paper's
+//!   "subsequent inference" task served online);
+//! * **similar**  — nearest-neighbor sweeps (full shard-parallel scans);
+//! * **mixed + updates** — read batches interleaved with epoch-publishing
+//!   update batches, measuring serving throughput under write pressure.
+//!
+//! ```text
+//! cargo run --release -p gee-bench --bin serve_throughput -- --scale 64
+//! ```
+
+use std::sync::Arc;
+
+use gee_bench::table::render;
+use gee_bench::{timed, Args};
+use gee_core::Labels;
+use gee_serve::{Engine, Envelope, Registry, Request, Update};
+
+fn main() {
+    let args = Args::parse();
+    // Scale the workload like the paper binaries: 1/scale of a 200k-vertex
+    // 8-block SBM.
+    let blocks = 8usize;
+    let per_block = (200_000 / blocks / args.scale).max(50);
+    let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(blocks, per_block, 0.01, 0.0005), args.seed);
+    let n = sbm.edges.num_vertices();
+    let labels = Labels::from_options_with_k(
+        &gee_gen::subsample_labels(&sbm.truth, args.labeled_fraction.max(0.05), args.seed ^ 0x5E),
+        blocks,
+    );
+    let classify_batch = 256usize.min(n);
+    let similar_batch = 32usize.min(n);
+    println!(
+        "serve-throughput — SBM {blocks}×{per_block} ({n} vertices, {} edges), K = {blocks}, \
+         {} labeled; classify batches of {classify_batch}, similar batches of {similar_batch}\n",
+        sbm.edges.num_edges(),
+        labels.num_labeled(),
+    );
+
+    let max_threads = if args.threads > 0 {
+        args.threads
+    } else {
+        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8)
+    };
+    let mut shard_counts = vec![1usize, 2, 4];
+    let mut s = 8;
+    while s <= max_threads.max(8) {
+        shard_counts.push(s);
+        s *= 2;
+    }
+    shard_counts.dedup();
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &shards in &shard_counts {
+        let registry = Arc::new(Registry::new(shards));
+        let (reg_secs, _, _) = timed(args.runs, || registry.register("g", &sbm.edges, &labels));
+        let engine = Engine::new(registry.clone());
+
+        // Classify throughput.
+        let vertices: Vec<u32> = (0..classify_batch as u32).map(|i| (i * 97) % n as u32).collect();
+        let (classify_secs, _, _) = timed(args.runs, || {
+            let reqs = vec![Envelope::new("g", Request::Classify { vertices: vertices.clone(), k: 5 })];
+            let r = engine.execute_batch(reqs);
+            assert!(r.iter().all(Result::is_ok));
+        });
+        let classify_qps = classify_batch as f64 / classify_secs;
+
+        // Similar throughput.
+        let (similar_secs, _, _) = timed(args.runs, || {
+            let reqs: Vec<Envelope> = (0..similar_batch as u32)
+                .map(|i| Envelope::new("g", Request::Similar { vertex: (i * 131) % n as u32, top: 10 }))
+                .collect();
+            let r = engine.execute_batch(reqs);
+            assert!(r.iter().all(Result::is_ok));
+        });
+        let similar_qps = similar_batch as f64 / similar_secs;
+
+        // Mixed read/write batch: 64 rows + an update batch + 64 rows.
+        let (mixed_secs, _, _) = timed(args.runs, || {
+            let mut reqs: Vec<Envelope> = (0..64u32)
+                .map(|i| Envelope::new("g", Request::EmbedRow { vertex: (i * 11) % n as u32 }))
+                .collect();
+            let updates: Vec<Update> = (0..128u32)
+                .map(|i| Update::InsertEdge { u: (i * 7) % n as u32, v: (i * 13 + 1) % n as u32, w: 1.0 })
+                .collect();
+            reqs.push(Envelope::new("g", Request::ApplyUpdates { updates }));
+            reqs.extend(
+                (0..64u32).map(|i| Envelope::new("g", Request::EmbedRow { vertex: (i * 17) % n as u32 })),
+            );
+            let r = engine.execute_batch(reqs);
+            assert!(r.iter().all(Result::is_ok));
+        });
+        let mixed_rps = 129.0 / mixed_secs;
+
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.1} ms", reg_secs * 1e3),
+            format!("{classify_qps:.0}"),
+            format!("{similar_qps:.0}"),
+            format!("{mixed_rps:.0}"),
+        ]);
+        json.push(serde_json::json!({
+            "shards": shards,
+            "register_seconds": reg_secs,
+            "classify_qps": classify_qps,
+            "similar_qps": similar_qps,
+            "mixed_rps": mixed_rps,
+        }));
+        eprintln!("done: {shards} shards");
+    }
+    println!(
+        "{}",
+        render(
+            &["Shards", "Register", "Classify q/s", "Similar q/s", "Mixed r/s (w/ updates)"],
+            &rows
+        )
+    );
+    println!("expected shape: q/s grows with shards until the scan is bandwidth-bound.");
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "serve_throughput": json })).unwrap()
+        );
+    }
+}

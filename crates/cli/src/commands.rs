@@ -25,6 +25,13 @@ subcommands:
   communities  --graph <file> [--algo leiden|louvain] [--gamma G=1.0]
   analyze      --graph <file> --algo <cc|pagerank|kcore|sssp|bfs|triangles|
                                        matching|dominating-set|densest> [--source V=0]
+  serve        --graph <file> --script <file> [--k K=50] [--labeled F=0.1]
+               [--shards S=4] [--seed S=42]
+               script lines: classify v1,v2,.. [k] | similar v [top] | row v |
+                             insert u v w | remove u v w | label v <class|none> | stats
+  query        --graph <file> (--classify v1,v2,.. | --similar V | --row V | --stats true)
+               [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
+               [--shards S=4] [--seed S=42]
   convert      <in-file> <out-file>
 
 formats by extension: .txt/.el/.edgelist (text), .snap, .mtx, .csr (binary), .edges (stream)
@@ -42,6 +49,8 @@ pub fn run(args: &[String]) -> crate::Result<String> {
         "embed" => embed(&flags),
         "communities" => communities(&flags),
         "analyze" => analyze(&flags),
+        "serve" => serve(&flags),
+        "query" => query(&flags),
         "convert" => convert(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(CliError::Usage(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
@@ -295,6 +304,189 @@ fn analyze(flags: &Flags) -> crate::Result<String> {
     Ok(out)
 }
 
+/// Load a graph, label it (randomly, like `embed`), and stand up a
+/// one-graph serving engine named `"g"`.
+fn build_engine(
+    flags: &Flags,
+    classes_flag: &str,
+    default_classes: usize,
+) -> crate::Result<(gee_serve::Engine, usize)> {
+    let graph_path = flags.require("graph")?.to_string();
+    let k: usize = flags.get_parsed(classes_flag, default_classes)?;
+    let labeled: f64 = flags.get_parsed("labeled", 0.1)?;
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let shards: usize = flags.get_parsed("shards", 4)?;
+    let el = read_graph(Path::new(&graph_path))?;
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            el.num_vertices(),
+            LabelSpec { num_classes: k, labeled_fraction: labeled },
+            seed,
+        ),
+        k,
+    );
+    let registry = std::sync::Arc::new(gee_serve::Registry::new(shards));
+    registry.register("g", &el, &labels);
+    Ok((gee_serve::Engine::new(registry), el.num_vertices()))
+}
+
+fn parse_vertex_list(raw: &str) -> crate::Result<Vec<u32>> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| CliError::Usage(format!("cannot parse vertex id {s:?}")))
+        })
+        .collect()
+}
+
+/// Parse one serve-script line into a request (empty/comment lines → None).
+fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
+    use gee_serve::{Request, Update};
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().expect("nonempty line has a first token");
+    let args: Vec<&str> = parts.collect();
+    let usage = |msg: &str| CliError::Usage(format!("serve script: {msg} (line {line:?})"));
+    let parse_u32 =
+        |s: &str, what: &str| s.parse::<u32>().map_err(|_| usage(&format!("bad {what} {s:?}")));
+    let req = match cmd {
+        "classify" => {
+            let vertices = parse_vertex_list(args.first().ok_or_else(|| usage("classify needs vertices"))?)?;
+            let k = match args.get(1) {
+                Some(s) => s.parse().map_err(|_| usage(&format!("bad k {s:?}")))?,
+                None => 5,
+            };
+            Request::Classify { vertices, k }
+        }
+        "similar" => {
+            let vertex = parse_u32(args.first().ok_or_else(|| usage("similar needs a vertex"))?, "vertex")?;
+            let top = match args.get(1) {
+                Some(s) => s.parse().map_err(|_| usage(&format!("bad top {s:?}")))?,
+                None => 10,
+            };
+            Request::Similar { vertex, top }
+        }
+        "row" => {
+            let vertex = parse_u32(args.first().ok_or_else(|| usage("row needs a vertex"))?, "vertex")?;
+            Request::EmbedRow { vertex }
+        }
+        "insert" | "remove" => {
+            let [u, v, w] = args[..] else {
+                return Err(usage(&format!("{cmd} needs: u v w")));
+            };
+            let (u, v) = (parse_u32(u, "endpoint")?, parse_u32(v, "endpoint")?);
+            let w: f64 = w.parse().map_err(|_| usage(&format!("bad weight {w:?}")))?;
+            let update = if cmd == "insert" {
+                Update::InsertEdge { u, v, w }
+            } else {
+                Update::RemoveEdge { u, v, w }
+            };
+            Request::ApplyUpdates { updates: vec![update] }
+        }
+        "label" => {
+            let [v, class] = args[..] else {
+                return Err(usage("label needs: v <class|none>"));
+            };
+            let v = parse_u32(v, "vertex")?;
+            let label = if class == "none" { None } else { Some(parse_u32(class, "class")?) };
+            Request::ApplyUpdates { updates: vec![Update::SetLabel { v, label }] }
+        }
+        "stats" => Request::Stats,
+        other => return Err(usage(&format!("unknown command {other:?}"))),
+    };
+    Ok(Some(req))
+}
+
+fn render_response(out: &mut String, r: &gee_serve::Response) {
+    use gee_serve::Response;
+    match r {
+        Response::Classes(c) => writeln!(out, "classes: {c:?}").unwrap(),
+        Response::Neighbors(n) => {
+            let shown: Vec<String> =
+                n.iter().map(|(v, d)| format!("{v} (d={d:.4})")).collect();
+            writeln!(out, "neighbors: [{}]", shown.join(", ")).unwrap();
+        }
+        Response::Row(row) => {
+            let shown: Vec<String> = row.iter().map(|x| format!("{x:.6}")).collect();
+            writeln!(out, "row: [{}]", shown.join(", ")).unwrap();
+        }
+        Response::Applied { applied, epoch } => {
+            writeln!(out, "applied {applied} update(s); now at epoch {epoch}").unwrap();
+        }
+        Response::Stats(s) => writeln!(
+            out,
+            "stats: graph {:?} epoch {} | {} vertices × {} dims, {} shards, {} labeled | {} queries served, {} updates applied",
+            s.graph, s.epoch, s.num_vertices, s.dim, s.num_shards, s.num_labeled, s.queries_served, s.updates_applied
+        )
+        .unwrap(),
+    }
+}
+
+/// `serve`: stand up the engine and run a query script against it as one
+/// coalesced batch.
+fn serve(flags: &Flags) -> crate::Result<String> {
+    let script_path = flags.require("script")?.to_string();
+    let (engine, _) = build_engine(flags, "k", 50)?;
+    let script = std::fs::read_to_string(&script_path)?;
+    let mut requests = Vec::new();
+    let mut lines = Vec::new();
+    for line in script.lines() {
+        if let Some(req) = parse_script_line(line)? {
+            requests.push(gee_serve::Envelope::new("g", req));
+            lines.push(line.trim().to_string());
+        }
+    }
+    let t0 = std::time::Instant::now();
+    let answers = engine.execute_batch(requests);
+    let dt = t0.elapsed();
+    let mut out = String::new();
+    for (line, answer) in lines.iter().zip(&answers) {
+        write!(out, "> {line}\n  ").unwrap();
+        match answer {
+            Ok(r) => render_response(&mut out, r),
+            Err(e) => writeln!(out, "error: {e}").unwrap(),
+        }
+    }
+    writeln!(out, "served {} request(s) in {dt:.2?}", lines.len()).unwrap();
+    Ok(out)
+}
+
+/// `query`: one-shot request against a freshly served graph.
+fn query(flags: &Flags) -> crate::Result<String> {
+    use gee_serve::Request;
+    let request = if let Some(raw) = flags.get("classify") {
+        let k: usize = flags.get_parsed("k", 5)?;
+        Request::Classify { vertices: parse_vertex_list(raw)?, k }
+    } else if let Some(raw) = flags.get("similar") {
+        let vertex =
+            raw.parse().map_err(|_| CliError::Usage(format!("bad --similar vertex {raw:?}")))?;
+        let top: usize = flags.get_parsed("top", 10)?;
+        Request::Similar { vertex, top }
+    } else if let Some(raw) = flags.get("row") {
+        let vertex =
+            raw.parse().map_err(|_| CliError::Usage(format!("bad --row vertex {raw:?}")))?;
+        Request::EmbedRow { vertex }
+    } else if flags.get("stats").is_some() {
+        Request::Stats
+    } else {
+        return Err(CliError::Usage(
+            "query: need one of --classify, --similar, --row, --stats true".into(),
+        ));
+    };
+    let (engine, _) = build_engine(flags, "classes", 50)?;
+    let mut out = String::new();
+    match engine.execute("g", request) {
+        Ok(r) => render_response(&mut out, &r),
+        Err(e) => return Err(CliError::Usage(format!("query failed: {e}"))),
+    }
+    Ok(out)
+}
+
 fn convert(flags: &Flags) -> crate::Result<String> {
     if flags.num_positional() != 2 {
         return Err(CliError::Usage("convert: need <in-file> <out-file>".into()));
@@ -446,6 +638,85 @@ mod tests {
             let out = run(&sv(&["analyze", "--graph", &graph, "--algo", algo])).unwrap();
             assert!(out.contains(needle), "{algo}: {out}");
         }
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn serve_runs_a_script_end_to_end() {
+        let graph = tmp("gee_cli_serve.txt");
+        let script = tmp("gee_cli_serve.script");
+        run(&sv(&[
+            "generate", "--kind", "sbm", "--blocks", "3", "--vertices", "120", "--p-in", "0.4",
+            "--p-out", "0.01", "--out", &graph,
+        ]))
+        .unwrap();
+        std::fs::write(
+            &script,
+            "# smoke script\n\
+             classify 0,1,2 3\n\
+             similar 5 4\n\
+             row 7\n\
+             insert 0 1 2.5\n\
+             label 3 1\n\
+             remove 0 1 2.5\n\
+             stats\n",
+        )
+        .unwrap();
+        let out = run(&sv(&[
+            "serve", "--graph", &graph, "--script", &script, "--k", "3", "--labeled", "0.5",
+            "--shards", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("classes:"), "{out}");
+        assert!(out.contains("neighbors:"), "{out}");
+        assert!(out.contains("row:"), "{out}");
+        assert!(out.contains("applied 1 update(s); now at epoch 3"), "{out}");
+        assert!(out.contains("epoch 3 | 120 vertices × 3 dims, 3 shards"), "{out}");
+        assert!(out.contains("served 7 request(s)"), "{out}");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn serve_rejects_bad_script_line() {
+        let graph = tmp("gee_cli_serve_bad.txt");
+        let script = tmp("gee_cli_serve_bad.script");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "30", "--edges", "100", "--out", &graph])).unwrap();
+        std::fs::write(&script, "frobnicate 1 2\n").unwrap();
+        let r = run(&sv(&["serve", "--graph", &graph, "--script", &script]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn query_classify_and_stats() {
+        let graph = tmp("gee_cli_query.txt");
+        run(&sv(&[
+            "generate", "--kind", "sbm", "--blocks", "3", "--vertices", "90", "--p-in", "0.4",
+            "--p-out", "0.01", "--out", &graph,
+        ]))
+        .unwrap();
+        let out = run(&sv(&[
+            "query", "--graph", &graph, "--classify", "0,1,2", "--classes", "3", "--labeled",
+            "0.5", "--k", "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("classes:"), "{out}");
+        let out = run(&sv(&["query", "--graph", &graph, "--stats", "true"])).unwrap();
+        assert!(out.contains("90 vertices"), "{out}");
+        let out =
+            run(&sv(&["query", "--graph", &graph, "--similar", "4", "--top", "3"])).unwrap();
+        assert!(out.contains("neighbors:"), "{out}");
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn query_requires_a_request_kind() {
+        let graph = tmp("gee_cli_query_none.txt");
+        run(&sv(&["generate", "--kind", "er", "--vertices", "20", "--edges", "40", "--out", &graph])).unwrap();
+        let r = run(&sv(&["query", "--graph", &graph]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
         std::fs::remove_file(&graph).ok();
     }
 

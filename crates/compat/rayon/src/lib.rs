@@ -1,0 +1,474 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the subset of rayon's data-parallel API the workspace uses, implemented
+//! on `std::thread::scope`. Parallel iterators are *eager*: every adapter
+//! materializes its input, splits it into contiguous chunks (one per
+//! worker), and runs the per-item closure on scoped threads, preserving
+//! input order. That keeps the semantics rayon guarantees for this
+//! workspace's call sites — indexed/ordered zip, enumerate, collect — while
+//! still exercising real multi-threaded execution (the atomics tests and
+//! the paper's parallel embedding genuinely race across cores).
+//!
+//! Swap in the real rayon by replacing the path dependency; the API below
+//! is signature-compatible for everything the workspace calls.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads the calling context would use.
+pub fn current_num_threads() -> usize {
+    let n = POOL_THREADS.with(|t| t.get());
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `install` pattern.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (building never fails here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A "pool" that scopes a thread-count override. Work is still executed by
+/// scoped threads spawned at each parallel operation; `install` pins how
+/// many of them each operation uses.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|t| t.replace(self.num_threads));
+        let out = f();
+        POOL_THREADS.with(|t| t.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-compat: join worker panicked"))
+    })
+}
+
+/// Map `f` over `items` on `current_num_threads()` scoped threads,
+/// preserving order. The work is split into contiguous chunks, one per
+/// worker.
+fn parallel_map<T: Send, O: Send>(items: Vec<T>, f: impl Fn(T) -> O + Sync) -> Vec<O> {
+    let threads = current_num_threads().max(1);
+    let len = items.len();
+    if threads == 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let outputs: Vec<Vec<O>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon-compat: map worker panicked"))
+            .collect()
+    });
+    outputs.into_iter().flatten().collect()
+}
+
+/// An eager "parallel iterator": a materialized, ordered item buffer whose
+/// adapters run on scoped threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    fn new(items: Vec<T>) -> Self {
+        ParIter { items }
+    }
+
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParIter<O> {
+        ParIter::new(parallel_map(self.items, f))
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, |x| f(x));
+    }
+
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map(self.items, |x| if f(&x) { Some(x) } else { None });
+        ParIter::new(kept.into_iter().flatten().collect())
+    }
+
+    pub fn filter_map<O: Send, F: Fn(T) -> Option<O> + Sync>(self, f: F) -> ParIter<O> {
+        let kept = parallel_map(self.items, f);
+        ParIter::new(kept.into_iter().flatten().collect())
+    }
+
+    pub fn flat_map<O, I, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        I: IntoIterator<Item = O> + Send,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = parallel_map(self.items, |x| f(x).into_iter().collect::<Vec<O>>());
+        ParIter::new(nested.into_iter().flatten().collect())
+    }
+
+    /// Rayon's `flat_map_iter` — same eager semantics as [`Self::flat_map`]
+    /// here.
+    pub fn flat_map_iter<O, I, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        I: IntoIterator<Item = O> + Send,
+        F: Fn(T) -> I + Sync,
+    {
+        self.flat_map(f)
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter::new(self.items.into_iter().enumerate().collect())
+    }
+
+    pub fn zip<Z>(self, other: Z) -> ParIter<(T, Z::Item)>
+    where
+        Z: IntoParallelIterator,
+    {
+        let rhs = other.into_par_iter().items;
+        ParIter::new(self.items.into_iter().zip(rhs).collect())
+    }
+
+    pub fn chain<Z>(self, other: Z) -> ParIter<T>
+    where
+        Z: IntoParallelIterator<Item = T>,
+    {
+        let mut items = self.items;
+        items.extend(other.into_par_iter().items);
+        ParIter::new(items)
+    }
+
+    /// Rayon-style fold: one accumulator per worker chunk; yields the
+    /// partial accumulators as a new parallel iterator.
+    pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> ParIter<Acc>
+    where
+        Acc: Send,
+        Id: Fn() -> Acc + Sync,
+        F: Fn(Acc, T) -> Acc + Sync,
+    {
+        let threads = current_num_threads().max(1);
+        let len = self.items.len();
+        if len == 0 {
+            return ParIter::new(Vec::new());
+        }
+        let chunk = len.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut it = self.items.into_iter();
+        loop {
+            let c: Vec<T> = it.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let partials = parallel_map(chunks, |c| c.into_iter().fold(identity(), &fold_op));
+        ParIter::new(partials)
+    }
+
+    /// Rayon-style reduce with an identity closure.
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> T
+    where
+        Id: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().min()
+    }
+
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.items.into_iter().max()
+    }
+
+    pub fn max_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().max_by(cmp)
+    }
+
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().min_by(cmp)
+    }
+
+    pub fn any<F: Fn(T) -> bool + Sync>(self, f: F) -> bool {
+        parallel_map(self.items, |x| f(x)).into_iter().any(|b| b)
+    }
+
+    pub fn all<F: Fn(T) -> bool + Sync>(self, f: F) -> bool {
+        parallel_map(self.items, |x| f(x)).into_iter().all(|b| b)
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+impl<'a, T: Sync> ParIter<&'a T> {
+    pub fn copied(self) -> ParIter<T>
+    where
+        T: Copy + Send,
+    {
+        ParIter::new(self.items.into_iter().copied().collect())
+    }
+
+    pub fn cloned(self) -> ParIter<T>
+    where
+        T: Clone + Send,
+    {
+        ParIter::new(self.items.into_iter().cloned().collect())
+    }
+}
+
+/// Conversion into a [`ParIter`] — rayon's `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter::new(self)
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter::new(self.iter().collect())
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter::new(self.collect())
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u8, u16, u32, u64, usize, i32, i64, isize);
+
+/// `par_iter` / `par_chunks` on shared slices (and anything derefing to
+/// them, e.g. `Vec`).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter::new(self.iter().collect())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter::new(self.chunks(chunk_size).collect())
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter::new(self.iter_mut().collect())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter::new(self.chunks_mut(chunk_size).collect())
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_by_key(f);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000u32).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u32));
+    }
+
+    #[test]
+    fn fold_reduce_matches_serial() {
+        let total: u64 = (0..1000u64).into_par_iter().fold(|| 0u64, |a, b| a + b).sum();
+        assert_eq!(total, 499_500);
+        let (lo, hi) = (0..1000u64)
+            .into_par_iter()
+            .map(|x| (x, x))
+            .reduce(|| (u64::MAX, 0), |a, b| (a.0.min(b.0), a.1.max(b.1)));
+        assert_eq!((lo, hi), (0, 999));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+        assert_ne!(crate::current_num_threads(), 0);
+    }
+
+    #[test]
+    fn zip_chunks_mut_writes_through() {
+        let mut out = vec![0u32; 100];
+        let input: Vec<u32> = (0..100).collect();
+        out.par_chunks_mut(7).zip(input.par_chunks(7)).for_each(|(o, i)| {
+            for (slot, &x) in o.iter_mut().zip(i) {
+                *slot = x + 1;
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+}

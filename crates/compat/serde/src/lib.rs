@@ -1,0 +1,18 @@
+//! Offline stand-in for serde's derive macros.
+//!
+//! The workspace only *derives* `serde::Serialize` on a couple of benchmark
+//! types and never calls serialization through the trait (all JSON output
+//! goes through the `serde_json` stand-in's `json!` macro, which builds
+//! values explicitly). These derives therefore expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

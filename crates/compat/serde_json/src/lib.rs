@@ -1,0 +1,405 @@
+//! Offline stand-in for [serde_json](https://crates.io/crates/serde_json).
+//!
+//! Provides the subset the benchmark binaries use: the [`json!`] macro over
+//! object/array/expression literals, [`Value`] with `as_f64`/`as_str` and
+//! string indexing, and [`to_string_pretty`]. Numbers are stored as `f64`
+//! (printed without a fractional part when integral), objects preserve
+//! insertion order.
+
+use std::fmt::Write as _;
+use std::ops::Index;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+/// Error type for the serializer API (serialization never fails here).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(x) if x.fract() == 0.0 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+macro_rules! impl_from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(x: $t) -> Value {
+                Value::Number(x as f64)
+            }
+        }
+    )*};
+}
+
+impl_from_number!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Value {
+        Value::String(s.clone())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(a: Vec<Value>) -> Value {
+        Value::Array(a)
+    }
+}
+
+impl From<&Vec<Value>> for Value {
+    fn from(a: &Vec<Value>) -> Value {
+        Value::Array(a.clone())
+    }
+}
+
+impl<T> From<Option<T>> for Value
+where
+    Value: From<T>,
+{
+    fn from(o: Option<T>) -> Value {
+        match o {
+            Some(x) => Value::from(x),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(x: f64) -> String {
+    if x.is_finite() && x.fract() == 0.0 && x.abs() < 9e15 {
+        format!("{}", x as i64)
+    } else if x.is_finite() {
+        format!("{x}")
+    } else {
+        // Real JSON has no Inf/NaN; mirror serde_json's lossy behavior.
+        "null".to_string()
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, n: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => out.push_str(&number_to_string(*x)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+/// Compact serialization.
+pub fn to_string<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.clone().into(), 0, false);
+    Ok(out)
+}
+
+/// Two-space-indented serialization, like serde_json's.
+pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.clone().into(), 0, true);
+    Ok(out)
+}
+
+/// Build a [`Value`] from JSON-ish syntax: objects, arrays, and Rust
+/// expressions in value position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut pairs: Vec<(String, $crate::Value)> = Vec::new();
+        $crate::json_object_internal!(pairs; $($tt)+);
+        $crate::Value::Object(pairs)
+    }};
+    ([ $($tt:tt)+ ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_internal!(items; $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($pairs:ident;) => {};
+    // Nested object / array values must be matched before the generic
+    // expression arm (a bare `{ "k": v }` is not a valid Rust expression).
+    ($pairs:ident; $key:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $pairs.push(($key.to_string(), $crate::json!({ $($inner)* })));
+        $crate::json_object_internal!($pairs; $($rest)*);
+    };
+    ($pairs:ident; $key:literal : { $($inner:tt)* } $(,)?) => {
+        $pairs.push(($key.to_string(), $crate::json!({ $($inner)* })));
+    };
+    ($pairs:ident; $key:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $pairs.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+        $crate::json_object_internal!($pairs; $($rest)*);
+    };
+    ($pairs:ident; $key:literal : [ $($inner:tt)* ] $(,)?) => {
+        $pairs.push(($key.to_string(), $crate::json!([ $($inner)* ])));
+    };
+    ($pairs:ident; $key:literal : null , $($rest:tt)*) => {
+        $pairs.push(($key.to_string(), $crate::Value::Null));
+        $crate::json_object_internal!($pairs; $($rest)*);
+    };
+    ($pairs:ident; $key:literal : null $(,)?) => {
+        $pairs.push(($key.to_string(), $crate::Value::Null));
+    };
+    ($pairs:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $pairs.push(($key.to_string(), $crate::Value::from($val)));
+        $crate::json_object_internal!($pairs; $($rest)*);
+    };
+    ($pairs:ident; $key:literal : $val:expr) => {
+        $pairs.push(($key.to_string(), $crate::Value::from($val)));
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($items:ident;) => {};
+    ($items:ident; { $($inner:tt)* } , $($rest:tt)*) => {
+        $items.push($crate::json!({ $($inner)* }));
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; { $($inner:tt)* } $(,)?) => {
+        $items.push($crate::json!({ $($inner)* }));
+    };
+    ($items:ident; [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $items.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; [ $($inner:tt)* ] $(,)?) => {
+        $items.push($crate::json!([ $($inner)* ]));
+    };
+    ($items:ident; null , $($rest:tt)*) => {
+        $items.push($crate::Value::Null);
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; null $(,)?) => {
+        $items.push($crate::Value::Null);
+    };
+    ($items:ident; $val:expr , $($rest:tt)*) => {
+        $items.push($crate::Value::from($val));
+        $crate::json_array_internal!($items; $($rest)*);
+    };
+    ($items:ident; $val:expr) => {
+        $items.push($crate::Value::from($val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_accessors() {
+        let name = "er";
+        let secs = 0.125f64;
+        let v = json!({ "graph": name, "seconds": secs, "n": 100usize, "nested": { "x": 1 }, "none": Option::<f64>::None });
+        assert_eq!(v["graph"].as_str(), Some("er"));
+        assert_eq!(v["seconds"].as_f64(), Some(0.125));
+        assert_eq!(v["n"].as_u64(), Some(100));
+        assert_eq!(v["nested"]["x"].as_f64(), Some(1.0));
+        assert!(v["none"].is_null());
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn arrays_and_vec_interpolation() {
+        let mut rows = Vec::new();
+        rows.push(json!({ "a": 1 }));
+        rows.push(json!({ "a": 2 }));
+        let v = json!({ "rows": rows, "inline": [1, 2, 3] });
+        assert_eq!(v["rows"][1]["a"].as_f64(), Some(2.0));
+        assert_eq!(v["inline"][0].as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn pretty_round_trips_shape() {
+        let v = json!({ "x": 1.5, "s": "a\"b", "arr": [true, null] });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"x\": 1.5"));
+        assert!(s.contains("\\\""));
+        assert!(s.contains("null"));
+        let compact = to_string(&v).unwrap();
+        assert!(!compact.contains('\n'));
+    }
+
+    #[test]
+    fn integral_floats_print_as_integers() {
+        assert_eq!(to_string(&json!({ "n": 3.0 })).unwrap(), "{\"n\":3}");
+        assert_eq!(to_string(&json!(2.5f64)).unwrap(), "2.5");
+    }
+}

@@ -21,8 +21,9 @@ pub fn knn_classify(
     k: usize,
 ) -> Vec<u32> {
     assert!(k >= 1, "k must be at least 1");
+    assert!(dim >= 1, "dim must be at least 1");
     assert!(!train.is_empty(), "need at least one training vertex");
-    assert_eq!(data.len() % dim.max(1), 0, "data must be a whole number of rows");
+    assert_eq!(data.len() % dim, 0, "data must be a whole number of rows");
     let row = |i: u32| &data[i as usize * dim..(i as usize + 1) * dim];
     queries
         .par_iter()
@@ -109,6 +110,14 @@ mod tests {
     #[should_panic(expected = "at least one training")]
     fn empty_train_rejected() {
         knn_classify(&[0.0], 1, &[], &[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be at least 1")]
+    fn zero_dim_rejected() {
+        // Regression: dim == 0 used to slip past the `dim.max(1)` row-size
+        // check and "classify" against empty rows (every distance zero).
+        knn_classify(&[], 0, &[(0, 1)], &[0], 1);
     }
 
     #[test]

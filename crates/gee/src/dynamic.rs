@@ -209,18 +209,28 @@ impl DynamicGee {
     /// Materialize the normalized embedding `Z(u,c) = Ẑ(u,c)/count(c)`
     /// (columns of empty classes are zero). O(nK).
     pub fn embedding(&self) -> Embedding {
+        let data = self.embedding_rows(0, self.n);
+        Embedding::from_vec(self.n, self.k, data)
+    }
+
+    /// Materialize only rows `lo..hi` of the normalized embedding as a
+    /// row-major buffer of `(hi - lo) × K`. This is the shard-parallel
+    /// building block: `gee-serve` publishes a snapshot by materializing
+    /// each shard's vertex range on its own thread and concatenating.
+    pub fn embedding_rows(&self, lo: usize, hi: usize) -> Vec<f64> {
+        assert!(lo <= hi && hi <= self.n, "row range {lo}..{hi} out of bounds for n={}", self.n);
+        let k = self.k;
         let inv: Vec<f64> = self
             .counts
             .iter()
             .map(|&c| if c > 0 { 1.0 / c as f64 } else { 0.0 })
             .collect();
-        let data: Vec<f64> = self
-            .zhat
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| v * inv[i % self.k.max(1)])
-            .collect();
-        Embedding::from_vec(self.n, self.k, data)
+        let mut out = Vec::with_capacity((hi - lo) * k);
+        for v in lo..hi {
+            let row = &self.zhat[v * k..(v + 1) * k];
+            out.extend(row.iter().zip(&inv).map(|(&z, &s)| z * s));
+        }
+        out
     }
 }
 
@@ -346,6 +356,24 @@ mod tests {
             }
         }
         assert_matches_oracle(&dg, 1e-11);
+    }
+
+    #[test]
+    fn embedding_rows_match_full_materialization() {
+        let dg = setup(50, 300, 43);
+        let full = dg.embedding();
+        let k = dg.dim();
+        for (lo, hi) in [(0usize, 17), (17, 50), (0, 50), (25, 25)] {
+            let rows = dg.embedding_rows(lo, hi);
+            assert_eq!(rows, full.as_slice()[lo * k..hi * k].to_vec(), "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn embedding_rows_validates_range() {
+        let dg = setup(10, 30, 47);
+        dg.embedding_rows(5, 11);
     }
 
     #[test]

@@ -154,7 +154,7 @@ mod tests {
     #[test]
     fn concurrent_fetch_add_loses_nothing() {
         let v = AtomicF64Vec::zeros(4);
-        (0..100_000).into_par_iter().for_each(|i| {
+        (0..100_000usize).into_par_iter().for_each(|i| {
             v.fetch_add(i % 4, 1.0);
         });
         let total: f64 = (0..4).map(|i| v.load(i)).sum();

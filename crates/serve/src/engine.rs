@@ -1,0 +1,492 @@
+//! Typed request/response engine with batch coalescing.
+//!
+//! [`Engine::execute_batch`] is the serving entry point: it walks an
+//! ordered batch, coalesces maximal runs of read requests, and answers
+//! each run shard-parallel against one consistent snapshot per graph.
+//! Writes ([`Request::ApplyUpdates`]) break a run: they flow through the
+//! registry's `DynamicGee` writer and publish a new epoch, which the next
+//! read run observes. This makes a batch observationally identical to
+//! executing its requests one at a time, while amortizing snapshot
+//! acquisition and letting independent reads fan out across shards and
+//! queries simultaneously.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use rayon::prelude::*;
+
+use crate::registry::{Registry, Update};
+use crate::snapshot::Snapshot;
+use crate::ServeError;
+
+/// A query or mutation against one named graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// kNN-classify each vertex from the labeled train set (majority vote
+    /// of the `k` nearest labeled rows, nearest-first tiebreak — the
+    /// semantics of `gee_eval::knn_classify`).
+    Classify { vertices: Vec<u32>, k: usize },
+    /// The `top` nearest vertices to `vertex` by embedding distance
+    /// (Euclidean), excluding the vertex itself. Ties break toward the
+    /// smaller vertex id.
+    Similar { vertex: u32, top: usize },
+    /// The raw embedding row of one vertex.
+    EmbedRow { vertex: u32 },
+    /// Apply a mutation batch and publish a new epoch.
+    ApplyUpdates { updates: Vec<Update> },
+    /// Serving statistics for the graph.
+    Stats,
+}
+
+impl Request {
+    /// Writes break read runs; everything else coalesces.
+    fn is_write(&self) -> bool {
+        matches!(self, Request::ApplyUpdates { .. })
+    }
+}
+
+/// Answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Predicted class per queried vertex, in query order.
+    Classes(Vec<u32>),
+    /// `(vertex, distance)` pairs, nearest first.
+    Neighbors(Vec<(u32, f64)>),
+    /// One embedding row.
+    Row(Vec<f64>),
+    /// Outcome of an update batch: updates that took effect, and the
+    /// epoch they published.
+    Applied { applied: usize, epoch: u64 },
+    /// Serving statistics.
+    Stats(GraphReport),
+}
+
+/// Snapshot-plus-counters description of a served graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphReport {
+    pub graph: String,
+    pub epoch: u64,
+    pub num_vertices: usize,
+    pub dim: usize,
+    pub num_shards: usize,
+    pub num_labeled: usize,
+    pub queries_served: u64,
+    pub updates_applied: u64,
+}
+
+/// A request addressed to a named graph, for batch submission.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    pub graph: String,
+    pub request: Request,
+}
+
+impl Envelope {
+    pub fn new(graph: impl Into<String>, request: Request) -> Self {
+        Envelope { graph: graph.into(), request }
+    }
+}
+
+/// The serving front end over a [`Registry`].
+pub struct Engine {
+    registry: Arc<Registry>,
+}
+
+impl Engine {
+    pub fn new(registry: Arc<Registry>) -> Self {
+        Engine { registry }
+    }
+
+    /// The underlying registry (for registration and admin).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Execute one request.
+    pub fn execute(&self, graph: &str, request: Request) -> Result<Response, ServeError> {
+        self.execute_batch(vec![Envelope::new(graph, request)])
+            .pop()
+            .expect("one request in, one response out")
+    }
+
+    /// Execute an ordered batch. Responses come back in request order;
+    /// each failed request carries its own error without aborting the
+    /// rest of the batch.
+    pub fn execute_batch(&self, batch: Vec<Envelope>) -> Vec<Result<Response, ServeError>> {
+        let mut out: Vec<Option<Result<Response, ServeError>>> = (0..batch.len()).map(|_| None).collect();
+        let mut i = 0usize;
+        while i < batch.len() {
+            if batch[i].request.is_write() {
+                out[i] = Some(self.execute_write(&batch[i]));
+                i += 1;
+            } else {
+                // Coalesce the maximal run of reads starting here.
+                let mut j = i;
+                while j < batch.len() && !batch[j].request.is_write() {
+                    j += 1;
+                }
+                let run = &batch[i..j];
+                // One snapshot per graph for the whole run: reads in the
+                // run see a single consistent epoch per graph.
+                let mut snaps: Vec<(String, Result<Arc<Snapshot>, ServeError>)> = Vec::new();
+                for env in run {
+                    if !snaps.iter().any(|(g, _)| g == &env.graph) {
+                        snaps.push((env.graph.clone(), self.registry.snapshot(&env.graph)));
+                    }
+                }
+                let answers: Vec<Result<Response, ServeError>> = run
+                    .par_iter()
+                    .map(|env| {
+                        let (_, snap) = snaps
+                            .iter()
+                            .find(|(g, _)| g == &env.graph)
+                            .expect("snapshot prefetched for every graph in run");
+                        match snap {
+                            Err(e) => Err(e.clone()),
+                            Ok(snap) => self.execute_read(&env.graph, &env.request, snap),
+                        }
+                    })
+                    .collect();
+                for (slot, ans) in out[i..j].iter_mut().zip(answers) {
+                    *slot = Some(ans);
+                }
+                i = j;
+            }
+        }
+        out.into_iter().map(|r| r.expect("every slot answered")).collect()
+    }
+
+    fn execute_write(&self, env: &Envelope) -> Result<Response, ServeError> {
+        let Request::ApplyUpdates { updates } = &env.request else {
+            unreachable!("only ApplyUpdates is a write");
+        };
+        let (applied, snap) = self.registry.apply_updates(&env.graph, updates)?;
+        Ok(Response::Applied { applied, epoch: snap.epoch })
+    }
+
+    fn execute_read(
+        &self,
+        graph: &str,
+        request: &Request,
+        snap: &Snapshot,
+    ) -> Result<Response, ServeError> {
+        let entry = self.registry.entry(graph)?;
+        entry.queries_served.fetch_add(1, Ordering::Relaxed);
+        let n = snap.embedding.num_vertices();
+        let check = |v: u32| {
+            if (v as usize) < n {
+                Ok(())
+            } else {
+                Err(ServeError::VertexOutOfRange { vertex: v, num_vertices: n })
+            }
+        };
+        match request {
+            Request::Classify { vertices, k } => {
+                if *k == 0 {
+                    return Err(ServeError::BadRequest("Classify needs k >= 1".into()));
+                }
+                if snap.num_labeled() == 0 {
+                    return Err(ServeError::BadRequest(
+                        "Classify needs at least one labeled vertex".into(),
+                    ));
+                }
+                for &v in vertices {
+                    check(v)?;
+                }
+                // One query: parallelize its scan across shards. Many
+                // queries: parallelize across queries (serial shard walk
+                // inside) — same answers, one parallel region instead of
+                // one per query.
+                let classes = if vertices.len() == 1 {
+                    vec![classify_one(snap, vertices[0], *k, true)]
+                } else {
+                    vertices.par_iter().map(|&q| classify_one(snap, q, *k, false)).collect()
+                };
+                Ok(Response::Classes(classes))
+            }
+            Request::Similar { vertex, top } => {
+                check(*vertex)?;
+                Ok(Response::Neighbors(similar(snap, &entry.layout, *vertex, *top)))
+            }
+            Request::EmbedRow { vertex } => {
+                check(*vertex)?;
+                Ok(Response::Row(snap.embedding.row(*vertex).to_vec()))
+            }
+            Request::Stats => Ok(Response::Stats(GraphReport {
+                graph: graph.to_string(),
+                epoch: snap.epoch,
+                num_vertices: n,
+                dim: snap.embedding.dim(),
+                num_shards: entry.layout.num_shards(),
+                num_labeled: snap.num_labeled(),
+                queries_served: entry.queries_served.load(Ordering::Relaxed),
+                updates_applied: entry.updates_applied.load(Ordering::Relaxed),
+            })),
+            Request::ApplyUpdates { .. } => unreachable!("writes handled in execute_write"),
+        }
+    }
+}
+
+/// kNN-classify one vertex: scan each shard's train set in parallel for
+/// its local k-best, merge to the global k-best, then majority-vote with
+/// nearest-first tiebreak — exactly the semantics of
+/// `gee_eval::knn_classify`, sharded.
+///
+/// `knn_classify` iterates the train set in vertex order and inserts each
+/// candidate *before* equal-distance incumbents, so its k-best list is
+/// ordered by `(distance asc, vertex desc)` and the boundary drops the
+/// smallest-vertex entries among equals. The shard scan reproduces that
+/// ordering locally (per-shard train sets ascend) and the merge re-sorts
+/// by the same key, so the final list — membership and order — is
+/// identical to the unsharded scan.
+fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32 {
+    let z = &snap.embedding;
+    let qr = z.row(q);
+    let scan_shard = |train: &Vec<(u32, u32)>| {
+        let mut best: Vec<(f64, u32, u32)> = Vec::with_capacity(k + 1);
+        for &(t, class) in train {
+            let d: f64 = qr.iter().zip(z.row(t)).map(|(a, b)| (a - b) * (a - b)).sum();
+            let pos = best.partition_point(|&(bd, ..)| bd < d);
+            if pos < k {
+                best.insert(pos, (d, t, class));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    };
+    let per_shard: Vec<Vec<(f64, u32, u32)>> = if parallel_shards {
+        snap.train_by_shard.par_iter().map(scan_shard).collect()
+    } else {
+        snap.train_by_shard.iter().map(scan_shard).collect()
+    };
+    let mut merged: Vec<(f64, u32, u32)> = per_shard.into_iter().flatten().collect();
+    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+    merged.truncate(k);
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &(.., c) in &merged {
+        *counts.entry(c).or_default() += 1;
+    }
+    let top = counts.values().max().copied().unwrap_or(0);
+    merged
+        .iter()
+        .find(|&&(.., c)| counts[&c] == top)
+        .map(|&(.., c)| c)
+        .expect("labeled train set is nonempty")
+}
+
+/// Shard-parallel nearest-neighbor sweep for `Similar`.
+fn similar(
+    snap: &Snapshot,
+    layout: &crate::shard::ShardLayout,
+    vertex: u32,
+    top: usize,
+) -> Vec<(u32, f64)> {
+    if top == 0 {
+        return Vec::new();
+    }
+    let z = &snap.embedding;
+    let qr = z.row(vertex);
+    let per_shard: Vec<Vec<(f64, u32)>> = layout.par_map(|_, lo, hi| {
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(top + 1);
+        for v in lo..hi {
+            if v == vertex {
+                continue;
+            }
+            let d: f64 = qr.iter().zip(z.row(v)).map(|(a, b)| (a - b) * (a - b)).sum();
+            // Tie-break toward smaller id: ids ascend within a shard, so
+            // inserting *after* equal distances keeps the smaller id first
+            // and the boundary drops the larger id, consistent with the
+            // final `(distance, id)` sort.
+            let pos = best.partition_point(|&(bd, _)| bd <= d);
+            if pos < top {
+                best.insert(pos, (d, v));
+                if best.len() > top {
+                    best.pop();
+                }
+            }
+        }
+        best
+    });
+    let mut merged: Vec<(f64, u32)> = per_shard.into_iter().flatten().collect();
+    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    merged.truncate(top);
+    merged.into_iter().map(|(d, v)| (v, d.sqrt())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_core::Labels;
+    use gee_gen::LabelSpec;
+
+    fn engine(shards: usize) -> (Engine, usize) {
+        let n = 120;
+        let el = gee_gen::erdos_renyi_gnm(n, 900, 21);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(n, LabelSpec { num_classes: 5, labeled_fraction: 0.3 }, 3),
+            5,
+        );
+        let reg = Registry::new(shards);
+        reg.register("g", &el, &labels);
+        (Engine::new(Arc::new(reg)), n)
+    }
+
+    #[test]
+    fn classify_matches_eval_knn() {
+        let (engine, n) = engine(4);
+        let snap = engine.registry().snapshot("g").unwrap();
+        let queries: Vec<u32> = (0..n as u32).collect();
+        let train: Vec<(u32, u32)> = snap.labels.iter_labeled().collect();
+        for k in [1, 3, 7] {
+            let expected = gee_eval::knn_classify(
+                snap.embedding.as_slice(),
+                snap.embedding.dim(),
+                &train,
+                &queries,
+                k,
+            );
+            let got = match engine
+                .execute("g", Request::Classify { vertices: queries.clone(), k })
+                .unwrap()
+            {
+                Response::Classes(c) => c,
+                other => panic!("unexpected response {other:?}"),
+            };
+            assert_eq!(got, expected, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn classify_identical_across_shard_counts() {
+        let all: Vec<Vec<u32>> = [1usize, 2, 5, 16]
+            .into_iter()
+            .map(|s| {
+                let (engine, n) = engine(s);
+                match engine
+                    .execute("g", Request::Classify { vertices: (0..n as u32).collect(), k: 5 })
+                    .unwrap()
+                {
+                    Response::Classes(c) => c,
+                    other => panic!("unexpected response {other:?}"),
+                }
+            })
+            .collect();
+        for w in all.windows(2) {
+            assert_eq!(w[0], w[1], "shard count must not change answers");
+        }
+    }
+
+    #[test]
+    fn similar_finds_nearest_and_excludes_self() {
+        let (engine, _) = engine(3);
+        let got = match engine.execute("g", Request::Similar { vertex: 7, top: 10 }).unwrap() {
+            Response::Neighbors(x) => x,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|&(v, _)| v != 7), "self must be excluded");
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "must be sorted by distance");
+        // Oracle: serial full scan.
+        let snap = engine.registry().snapshot("g").unwrap();
+        let z = &snap.embedding;
+        let mut all: Vec<(f64, u32)> = (0..z.num_vertices() as u32)
+            .filter(|&v| v != 7)
+            .map(|v| {
+                let d: f64 =
+                    z.row(7).iter().zip(z.row(v)).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d.sqrt(), v)
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        let expected: Vec<(u32, f64)> = all[..10].iter().map(|&(d, v)| (v, d)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn batch_equals_one_at_a_time() {
+        let make_batch = || {
+            vec![
+                Envelope::new("g", Request::EmbedRow { vertex: 3 }),
+                Envelope::new("g", Request::Classify { vertices: vec![1, 2, 3], k: 3 }),
+                Envelope::new(
+                    "g",
+                    Request::ApplyUpdates {
+                        updates: vec![
+                            Update::InsertEdge { u: 1, v: 2, w: 5.0 },
+                            Update::SetLabel { v: 2, label: Some(1) },
+                        ],
+                    },
+                ),
+                Envelope::new("g", Request::Classify { vertices: vec![1, 2, 3], k: 3 }),
+                Envelope::new("g", Request::Similar { vertex: 1, top: 5 }),
+            ]
+        };
+        let (engine_a, _) = engine(4);
+        let batched: Vec<_> =
+            engine_a.execute_batch(make_batch()).into_iter().map(Result::unwrap).collect();
+        let (engine_b, _) = engine(4);
+        let sequential: Vec<_> = make_batch()
+            .into_iter()
+            .map(|e| engine_b.execute(&e.graph, e.request).unwrap())
+            .collect();
+        assert_eq!(batched, sequential);
+        // The post-update classify must observe the new epoch.
+        assert!(matches!(batched[2], Response::Applied { epoch: 1, .. }));
+    }
+
+    #[test]
+    fn reads_in_one_run_share_an_epoch() {
+        let (engine, _) = engine(2);
+        let batch = vec![
+            Envelope::new("g", Request::Stats),
+            Envelope::new("g", Request::Stats),
+        ];
+        let epochs: Vec<u64> = engine
+            .execute_batch(batch)
+            .into_iter()
+            .map(|r| match r.unwrap() {
+                Response::Stats(s) => s.epoch,
+                other => panic!("unexpected response {other:?}"),
+            })
+            .collect();
+        assert_eq!(epochs[0], epochs[1]);
+    }
+
+    #[test]
+    fn errors_are_per_request() {
+        let (engine, n) = engine(2);
+        let batch = vec![
+            Envelope::new("g", Request::EmbedRow { vertex: 0 }),
+            Envelope::new("g", Request::EmbedRow { vertex: n as u32 }), // out of range
+            Envelope::new("missing", Request::Stats),                  // unknown graph
+            Envelope::new("g", Request::Classify { vertices: vec![0], k: 0 }), // bad k
+        ];
+        let results = engine.execute_batch(batch);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ServeError::VertexOutOfRange { .. })));
+        assert!(matches!(results[2], Err(ServeError::UnknownGraph(_))));
+        assert!(matches!(results[3], Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn stats_counts_queries_and_updates() {
+        let (engine, _) = engine(2);
+        engine.execute("g", Request::EmbedRow { vertex: 0 }).unwrap();
+        engine
+            .execute(
+                "g",
+                Request::ApplyUpdates { updates: vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }] },
+            )
+            .unwrap();
+        let report = match engine.execute("g", Request::Stats).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("unexpected response {other:?}"),
+        };
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.updates_applied, 1);
+        assert!(report.queries_served >= 1);
+        assert_eq!(report.num_shards, 2);
+    }
+}

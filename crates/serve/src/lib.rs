@@ -1,0 +1,87 @@
+//! `gee-serve` — a sharded, batch-serving embedding query engine.
+//!
+//! The paper frames GEE as the fast front half of a pipeline whose back
+//! half is *subsequent inference*: vertex classification and clustering
+//! over the embedding. This crate is that back half as a long-lived
+//! service. It stitches the workspace's ingredients — [`gee_core`]'s
+//! embeddings and [`DynamicGee`](gee_core::DynamicGee) incremental
+//! maintenance, [`gee_eval`]'s kNN semantics — into an in-memory,
+//! multi-graph store plus query engine:
+//!
+//! * [`Registry`] owns named graphs, their labels, and epoch-versioned
+//!   [`Snapshot`]s of the embedding. Writes serialize through a
+//!   `DynamicGee` writer (O(1) per edge op — GEE is a linear sketch) and
+//!   publish a new epoch atomically; readers holding a snapshot are never
+//!   disturbed.
+//! * [`ShardLayout`] partitions vertices across `S` contiguous shards so
+//!   snapshot materialization, kNN scans, and `Similar` sweeps run
+//!   shard-parallel via rayon.
+//! * [`Engine`] answers typed requests — [`Request::Classify`],
+//!   [`Request::Similar`], [`Request::EmbedRow`],
+//!   [`Request::ApplyUpdates`], [`Request::Stats`] — and
+//!   [`Engine::execute_batch`] coalesces read runs against one consistent
+//!   snapshot per graph while keeping batch results identical to
+//!   one-at-a-time execution.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gee_core::Labels;
+//! use gee_serve::{Engine, Envelope, Registry, Request, Response, Update};
+//!
+//! let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(3, 40, 0.3, 0.02), 7);
+//! let labels = Labels::from_options_with_k(&gee_gen::subsample_labels(&sbm.truth, 0.5, 1), 3);
+//!
+//! let registry = Arc::new(Registry::new(4)); // 4 shards
+//! registry.register("social", &sbm.edges, &labels);
+//! let engine = Engine::new(registry);
+//!
+//! let answers = engine.execute_batch(vec![
+//!     Envelope::new("social", Request::Classify { vertices: vec![0, 1, 2], k: 5 }),
+//!     Envelope::new("social", Request::ApplyUpdates {
+//!         updates: vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }],
+//!     }),
+//!     Envelope::new("social", Request::Similar { vertex: 0, top: 3 }),
+//! ]);
+//! assert!(answers.iter().all(Result::is_ok));
+//! # if let Ok(Response::Classes(c)) = &answers[0] { assert_eq!(c.len(), 3); }
+//! ```
+
+pub mod engine;
+pub mod registry;
+pub mod shard;
+pub mod snapshot;
+
+pub use engine::{Engine, Envelope, GraphReport, Request, Response};
+pub use registry::{Registry, Update};
+pub use shard::ShardLayout;
+pub use snapshot::Snapshot;
+
+/// Errors a serving request can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No graph registered under this name.
+    UnknownGraph(String),
+    /// A vertex id at or beyond the graph's vertex count.
+    VertexOutOfRange { vertex: u32, num_vertices: usize },
+    /// A class label at or beyond the registered `K`.
+    ClassOutOfRange { class: u32, num_classes: usize },
+    /// Request parameters that can never succeed (k = 0, no labels, …).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
+            ServeError::VertexOutOfRange { vertex, num_vertices } => {
+                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            }
+            ServeError::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class {class} out of range (graph has K={num_classes})")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,304 @@
+//! Multi-graph store: named graphs, their write state, and published
+//! epoch snapshots.
+//!
+//! Each registered graph owns
+//!
+//! * a **writer** — the [`DynamicGee`] accumulator, guarded by a `Mutex` so
+//!   update batches serialize;
+//! * a **published snapshot** — an `Arc<Snapshot>` behind an `RwLock`,
+//!   swapped atomically when a write batch commits (readers that already
+//!   cloned the `Arc` keep their consistent view);
+//! * a [`ShardLayout`] used for shard-parallel materialization and scans.
+//!
+//! GEE's linearity is what makes this cheap: an update batch costs O(1)
+//! per edge op and O(deg) per label move in the writer, and publishing a
+//! new epoch is an O(nK) shard-parallel materialization — never a full
+//! O(s) edge pass.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use gee_core::{DynamicGee, Embedding, Labels};
+use gee_graph::{EdgeList, VertexId, Weight};
+
+use crate::shard::ShardLayout;
+use crate::snapshot::Snapshot;
+use crate::ServeError;
+
+/// One streaming graph/label mutation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Update {
+    /// Insert edge `(u, v, w)` (one direction; symmetric graphs send both).
+    InsertEdge { u: VertexId, v: VertexId, w: Weight },
+    /// Remove one occurrence of edge `(u, v, w)`.
+    RemoveEdge { u: VertexId, v: VertexId, w: Weight },
+    /// Set (or clear) the label of `v`.
+    SetLabel { v: VertexId, label: Option<u32> },
+}
+
+/// Per-graph serving state.
+pub(crate) struct Entry {
+    pub(crate) layout: ShardLayout,
+    writer: Mutex<DynamicGee>,
+    snapshot: RwLock<Arc<Snapshot>>,
+    pub(crate) queries_served: AtomicU64,
+    pub(crate) updates_applied: AtomicU64,
+}
+
+impl Entry {
+    /// The currently published snapshot (cheap `Arc` clone).
+    pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot.read().expect("snapshot lock poisoned").clone()
+    }
+}
+
+/// Owner of all served graphs.
+pub struct Registry {
+    entries: RwLock<HashMap<String, Arc<Entry>>>,
+    default_shards: usize,
+}
+
+impl Registry {
+    /// A registry whose graphs default to `default_shards` shards.
+    pub fn new(default_shards: usize) -> Self {
+        Registry { entries: RwLock::new(HashMap::new()), default_shards: default_shards.max(1) }
+    }
+
+    /// Register `name`, computing the epoch-0 embedding from the edge
+    /// list and labels. Replaces any previous graph of the same name.
+    pub fn register(&self, name: &str, el: &EdgeList, labels: &Labels) -> Arc<Snapshot> {
+        self.register_with_shards(name, el, labels, self.default_shards)
+    }
+
+    /// [`Registry::register`] with an explicit shard count.
+    pub fn register_with_shards(
+        &self,
+        name: &str,
+        el: &EdgeList,
+        labels: &Labels,
+        shards: usize,
+    ) -> Arc<Snapshot> {
+        let writer = DynamicGee::new(el, labels);
+        let layout = ShardLayout::new(writer.num_vertices(), shards);
+        let snapshot = Arc::new(publish(&writer, &layout, 0));
+        let entry = Arc::new(Entry {
+            layout,
+            writer: Mutex::new(writer),
+            snapshot: RwLock::new(snapshot.clone()),
+            queries_served: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+        });
+        self.entries.write().expect("registry lock poisoned").insert(name.to_string(), entry);
+        snapshot
+    }
+
+    /// Drop a graph. Returns `false` if it was not registered.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.entries.write().expect("registry lock poisoned").remove(name).is_some()
+    }
+
+    /// Names of registered graphs, sorted.
+    pub fn graph_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.entries.read().expect("registry lock poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub(crate) fn entry(&self, name: &str) -> Result<Arc<Entry>, ServeError> {
+        self.entries
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))
+    }
+
+    /// The published snapshot of `name`.
+    pub fn snapshot(&self, name: &str) -> Result<Arc<Snapshot>, ServeError> {
+        Ok(self.entry(name)?.snapshot())
+    }
+
+    /// Apply an update batch through the writer and publish the next
+    /// epoch. The whole batch becomes visible atomically: readers see
+    /// either the old epoch or the new one, never a half-applied state.
+    ///
+    /// Returns `(applied, snapshot)`; `applied` counts updates that took
+    /// effect (`RemoveEdge` of a missing edge is a no-op and doesn't
+    /// count).
+    pub fn apply_updates(
+        &self,
+        name: &str,
+        updates: &[Update],
+    ) -> Result<(usize, Arc<Snapshot>), ServeError> {
+        let entry = self.entry(name)?;
+        let mut writer = entry.writer.lock().expect("writer lock poisoned");
+        let n = writer.num_vertices();
+        let k = writer.dim();
+        // Validate the whole batch up front so a mid-batch failure can't
+        // leave the writer half-mutated.
+        for u in updates {
+            match *u {
+                Update::InsertEdge { u, v, .. } | Update::RemoveEdge { u, v, .. } => {
+                    for x in [u, v] {
+                        if x as usize >= n {
+                            return Err(ServeError::VertexOutOfRange { vertex: x, num_vertices: n });
+                        }
+                    }
+                }
+                Update::SetLabel { v, label } => {
+                    if v as usize >= n {
+                        return Err(ServeError::VertexOutOfRange { vertex: v, num_vertices: n });
+                    }
+                    if let Some(c) = label {
+                        if c as usize >= k {
+                            return Err(ServeError::ClassOutOfRange { class: c, num_classes: k });
+                        }
+                    }
+                }
+            }
+        }
+        let mut applied = 0usize;
+        for u in updates {
+            match *u {
+                Update::InsertEdge { u, v, w } => {
+                    writer.insert_edge(u, v, w);
+                    applied += 1;
+                }
+                Update::RemoveEdge { u, v, w } => {
+                    applied += usize::from(writer.remove_edge(u, v, w));
+                }
+                Update::SetLabel { v, label } => {
+                    writer.set_label(v, label);
+                    applied += 1;
+                }
+            }
+        }
+        let next_epoch = entry.snapshot().epoch + 1;
+        let snapshot = Arc::new(publish(&writer, &entry.layout, next_epoch));
+        *entry.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
+        entry.updates_applied.fetch_add(applied as u64, Ordering::Relaxed);
+        drop(writer);
+        Ok((applied, snapshot))
+    }
+}
+
+/// Materialize a snapshot from the writer state, one shard per thread.
+fn publish(writer: &DynamicGee, layout: &ShardLayout, epoch: u64) -> Snapshot {
+    let n = writer.num_vertices();
+    let k = writer.dim();
+    let shard_rows: Vec<Vec<f64>> =
+        layout.par_map(|_, lo, hi| writer.embedding_rows(lo as usize, hi as usize));
+    let mut data = Vec::with_capacity(n * k);
+    for rows in shard_rows {
+        data.extend_from_slice(&rows);
+    }
+    let embedding = Embedding::from_vec(n, k, data);
+    Snapshot::new(epoch, embedding, writer.labels(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gee_gen::LabelSpec;
+
+    fn setup() -> (Registry, EdgeList, Labels) {
+        let el = gee_gen::erdos_renyi_gnm(80, 400, 9);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(80, LabelSpec { num_classes: 4, labeled_fraction: 0.4 }, 5),
+            4,
+        );
+        (Registry::new(4), el, labels)
+    }
+
+    #[test]
+    fn register_publishes_epoch_zero_matching_static_embed(
+
+    ) {
+        let (reg, el, labels) = setup();
+        let snap = reg.register("g", &el, &labels);
+        assert_eq!(snap.epoch, 0);
+        let statik = gee_core::serial_optimized::embed(&el, &labels);
+        statik.assert_close(&snap.embedding, 1e-12);
+    }
+
+    #[test]
+    fn apply_updates_bumps_epoch_and_matches_recompute() {
+        let (reg, el, labels) = setup();
+        reg.register("g", &el, &labels);
+        let (applied, snap) = reg
+            .apply_updates(
+                "g",
+                &[
+                    Update::InsertEdge { u: 1, v: 2, w: 2.0 },
+                    Update::SetLabel { v: 3, label: Some(0) },
+                    Update::RemoveEdge { u: 1, v: 2, w: 2.0 },
+                    Update::RemoveEdge { u: 0, v: 1, w: 555.0 }, // missing: no-op
+                ],
+            )
+            .unwrap();
+        assert_eq!(applied, 3);
+        assert_eq!(snap.epoch, 1);
+        // Oracle: fresh static recompute over the mutated graph/labels.
+        let mut dg = DynamicGee::new(&el, &labels);
+        dg.set_label(3, Some(0));
+        let oracle = gee_core::serial_optimized::embed(&dg.edge_list(), &dg.labels());
+        oracle.assert_close(&snap.embedding, 1e-11);
+    }
+
+    #[test]
+    fn batch_is_atomic_on_validation_failure() {
+        let (reg, el, labels) = setup();
+        reg.register("g", &el, &labels);
+        let before = reg.snapshot("g").unwrap();
+        let err = reg
+            .apply_updates(
+                "g",
+                &[
+                    Update::InsertEdge { u: 0, v: 1, w: 1.0 },
+                    Update::InsertEdge { u: 0, v: 10_000, w: 1.0 }, // invalid
+                ],
+            )
+            .unwrap_err();
+        assert!(matches!(err, ServeError::VertexOutOfRange { .. }));
+        let after = reg.snapshot("g").unwrap();
+        assert_eq!(after.epoch, before.epoch, "failed batch must not publish");
+        assert_eq!(after.embedding.as_slice(), before.embedding.as_slice());
+    }
+
+    #[test]
+    fn old_snapshots_stay_consistent_after_writes() {
+        let (reg, el, labels) = setup();
+        let old = reg.register("g", &el, &labels);
+        let frozen = old.embedding.as_slice().to_vec();
+        // Insert an edge to a *labeled* vertex so the write provably
+        // changes the embedding (an edge between two unlabeled vertices
+        // contributes nothing).
+        let (t, _) = labels.iter_labeled().next().expect("some vertex is labeled");
+        reg.apply_updates("g", &[Update::InsertEdge { u: 0, v: t, w: 10.0 }]).unwrap();
+        assert_eq!(old.embedding.as_slice(), &frozen[..], "held snapshot must not move");
+        assert_ne!(
+            reg.snapshot("g").unwrap().embedding.as_slice(),
+            &frozen[..],
+            "published snapshot must reflect the write"
+        );
+    }
+
+    #[test]
+    fn unknown_graph_is_an_error() {
+        let (reg, ..) = setup();
+        assert!(matches!(reg.snapshot("nope"), Err(ServeError::UnknownGraph(_))));
+    }
+
+    #[test]
+    fn deregister_and_names() {
+        let (reg, el, labels) = setup();
+        reg.register("b", &el, &labels);
+        reg.register("a", &el, &labels);
+        assert_eq!(reg.graph_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(reg.deregister("a"));
+        assert!(!reg.deregister("a"));
+        assert_eq!(reg.graph_names(), vec!["b".to_string()]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Vertex partitioning for shard-parallel serving.
+//!
+//! A [`ShardLayout`] splits the vertex id space `0..n` into `S` contiguous,
+//! near-equal ranges. Contiguity matters: every shard-parallel operation
+//! (snapshot materialization, kNN scans, `Similar` sweeps) walks its
+//! shard's slice of the row-major embedding sequentially, so shards map to
+//! disjoint cache-friendly memory regions — the same locality argument the
+//! paper makes for the dense-forward edge traversal.
+
+use rayon::prelude::*;
+
+/// Contiguous-range partition of `0..n` into `num_shards` pieces.
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    n: usize,
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ShardLayout {
+    /// Partition `n` vertices into `num_shards` contiguous ranges whose
+    /// sizes differ by at most one. `num_shards` is clamped to `[1, n]`
+    /// (an empty graph gets one empty shard).
+    pub fn new(n: usize, num_shards: usize) -> Self {
+        let s = num_shards.clamp(1, n.max(1));
+        let base = n / s;
+        let extra = n % s;
+        let mut ranges = Vec::with_capacity(s);
+        let mut lo = 0usize;
+        for i in 0..s {
+            let len = base + usize::from(i < extra);
+            ranges.push((lo as u32, (lo + len) as u32));
+            lo += len;
+        }
+        debug_assert_eq!(lo, n);
+        ShardLayout { n, ranges }
+    }
+
+    /// Number of vertices covered.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// The half-open vertex range `[lo, hi)` of shard `i`.
+    pub fn range(&self, i: usize) -> (u32, u32) {
+        self.ranges[i]
+    }
+
+    /// All shard ranges, ascending and disjoint.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Which shard owns vertex `v`.
+    pub fn shard_of(&self, v: u32) -> usize {
+        debug_assert!((v as usize) < self.n);
+        match self.ranges.binary_search_by(|&(lo, hi)| {
+            if v < lo {
+                std::cmp::Ordering::Greater
+            } else if v >= hi {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(i) => i,
+            Err(_) => unreachable!("ranges cover 0..n"),
+        }
+    }
+
+    /// Run `f(shard_index, lo, hi)` over every shard in parallel,
+    /// collecting results in shard order.
+    pub fn par_map<R: Send>(&self, f: impl Fn(usize, u32, u32) -> R + Sync) -> Vec<R> {
+        self.ranges
+            .par_iter()
+            .enumerate()
+            .map(|(i, &(lo, hi))| f(i, lo, hi))
+            .collect()
+    }
+
+    /// Group `(vertex, payload)` pairs by owning shard, preserving input
+    /// order within each shard. Used to bucket the labeled train set.
+    pub fn group_by_shard<T: Copy>(&self, items: impl Iterator<Item = (u32, T)>) -> Vec<Vec<(u32, T)>> {
+        let mut by_shard: Vec<Vec<(u32, T)>> = vec![Vec::new(); self.num_shards()];
+        for (v, t) in items {
+            by_shard[self.shard_of(v)].push((v, t));
+        }
+        by_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_and_balance() {
+        for (n, s) in [(10usize, 3usize), (7, 7), (100, 8), (5, 20), (1, 1)] {
+            let l = ShardLayout::new(n, s);
+            let mut covered = 0usize;
+            let mut sizes = Vec::new();
+            for i in 0..l.num_shards() {
+                let (lo, hi) = l.range(i);
+                assert_eq!(lo as usize, covered, "ranges must be contiguous");
+                covered = hi as usize;
+                sizes.push(hi - lo);
+            }
+            assert_eq!(covered, n, "ranges must cover 0..n");
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "shard sizes must differ by at most one");
+        }
+    }
+
+    #[test]
+    fn clamps_shard_count() {
+        assert_eq!(ShardLayout::new(3, 100).num_shards(), 3);
+        assert_eq!(ShardLayout::new(3, 0).num_shards(), 1);
+        assert_eq!(ShardLayout::new(0, 4).num_shards(), 1);
+    }
+
+    #[test]
+    fn shard_of_agrees_with_ranges() {
+        let l = ShardLayout::new(103, 7);
+        for v in 0..103u32 {
+            let s = l.shard_of(v);
+            let (lo, hi) = l.range(s);
+            assert!(lo <= v && v < hi);
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_shard_order() {
+        let l = ShardLayout::new(50, 4);
+        let ids = l.par_map(|i, _, _| i);
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn group_by_shard_keeps_order_within_shard() {
+        let l = ShardLayout::new(10, 2);
+        let grouped = l.group_by_shard([(7u32, 'a'), (1, 'b'), (8, 'c'), (2, 'd')].into_iter());
+        assert_eq!(grouped[0], vec![(1, 'b'), (2, 'd')]);
+        assert_eq!(grouped[1], vec![(7, 'a'), (8, 'c')]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Epoch-versioned, immutable read views.
+//!
+//! A [`Snapshot`] is what queries see: the embedding matrix, the labels it
+//! was computed under, and the per-shard labeled train set for kNN — all
+//! frozen at a single epoch. Snapshots are published atomically by the
+//! registry's write path and shared by `Arc`, so an arbitrarily long batch
+//! of reads observes one consistent state no matter how many writes land
+//! concurrently behind it.
+
+use std::sync::Arc;
+
+use gee_core::{Embedding, Labels};
+
+use crate::shard::ShardLayout;
+
+/// One immutable epoch of a served graph.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotone version: 0 at registration, +1 per applied update batch.
+    pub epoch: u64,
+    /// The `n × K` embedding at this epoch.
+    pub embedding: Arc<Embedding>,
+    /// Labels the embedding was computed under.
+    pub labels: Arc<Labels>,
+    /// Labeled `(vertex, class)` pairs grouped by owning shard, vertex
+    /// ascending within each shard. Precomputed so every `Classify` query
+    /// scans shards without re-deriving the train set.
+    pub train_by_shard: Arc<Vec<Vec<(u32, u32)>>>,
+}
+
+impl Snapshot {
+    /// Freeze an epoch from its parts, bucketing the labeled vertices per
+    /// shard.
+    pub fn new(epoch: u64, embedding: Embedding, labels: Labels, layout: &ShardLayout) -> Self {
+        let train_by_shard = layout.group_by_shard(labels.iter_labeled());
+        Snapshot {
+            epoch,
+            embedding: Arc::new(embedding),
+            labels: Arc::new(labels),
+            train_by_shard: Arc::new(train_by_shard),
+        }
+    }
+
+    /// Total labeled vertices across shards.
+    pub fn num_labeled(&self) -> usize {
+        self.train_by_shard.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_train_set_by_shard() {
+        let layout = ShardLayout::new(6, 2);
+        let labels = Labels::from_options_with_k(
+            &[Some(1), None, Some(0), Some(2), None, Some(1)],
+            3,
+        );
+        let z = Embedding::zeros(6, 3);
+        let s = Snapshot::new(0, z, labels, &layout);
+        assert_eq!(s.epoch, 0);
+        assert_eq!(s.train_by_shard.len(), 2);
+        assert_eq!(s.train_by_shard[0], vec![(0, 1), (2, 0)]);
+        assert_eq!(s.train_by_shard[1], vec![(3, 2), (5, 1)]);
+        assert_eq!(s.num_labeled(), 4);
+    }
+}

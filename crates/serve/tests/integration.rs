@@ -1,0 +1,194 @@
+//! End-to-end serving acceptance test: register a generated SBM graph,
+//! serve batched `Classify` and `Similar` queries across multiple shards,
+//! stream edge/label updates through the `DynamicGee` write path, and
+//! verify post-update query results equal a from-scratch recompute —
+//! with batched and one-at-a-time execution giving identical answers.
+
+use std::sync::Arc;
+
+use gee_core::{AtomicsMode, Labels};
+use gee_graph::CsrGraph;
+use gee_serve::{Engine, Envelope, Registry, Request, Response, Update};
+
+const SHARDS: usize = 4;
+const K_CLASSES: usize = 4;
+const KNN: usize = 5;
+
+fn sbm_setup() -> (gee_graph::EdgeList, Labels, Vec<u32>) {
+    let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(K_CLASSES, 60, 0.25, 0.01), 33);
+    let labels =
+        Labels::from_options_with_k(&gee_gen::subsample_labels(&sbm.truth, 0.4, 5), K_CLASSES);
+    (sbm.edges, labels, sbm.truth)
+}
+
+fn unwrap_classes(r: Response) -> Vec<u32> {
+    match r {
+        Response::Classes(c) => c,
+        other => panic!("expected Classes, got {other:?}"),
+    }
+}
+
+fn unwrap_neighbors(r: Response) -> Vec<(u32, f64)> {
+    match r {
+        Response::Neighbors(x) => x,
+        other => panic!("expected Neighbors, got {other:?}"),
+    }
+}
+
+#[test]
+fn serve_pipeline_end_to_end() {
+    let (el, labels, truth) = sbm_setup();
+    let n = el.num_vertices();
+
+    // -- Register: epoch-0 embedding must match the paper's parallel path.
+    let registry = Arc::new(Registry::new(SHARDS));
+    let snap0 = registry.register_with_shards("sbm", &el, &labels, SHARDS);
+    assert!(snap0.train_by_shard.len() >= 2, "acceptance requires >= 2 shards");
+    let g = CsrGraph::from_edge_list(&el);
+    let ligra = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+    ligra.assert_close(&snap0.embedding, 1e-9);
+
+    let engine = Engine::new(registry.clone());
+    let queries: Vec<u32> = (0..n as u32).collect();
+
+    // -- Batched reads: Classify + Similar in one batch.
+    let batch = vec![
+        Envelope::new("sbm", Request::Classify { vertices: queries.clone(), k: KNN }),
+        Envelope::new("sbm", Request::Similar { vertex: 0, top: 10 }),
+        Envelope::new("sbm", Request::Similar { vertex: (n - 1) as u32, top: 10 }),
+    ];
+    let mut batched: Vec<Response> =
+        engine.execute_batch(batch.clone()).into_iter().map(Result::unwrap).collect();
+
+    // Batched and one-at-a-time answers must be identical.
+    let sequential: Vec<Response> = batch
+        .iter()
+        .map(|e| engine.execute(&e.graph, e.request.clone()).unwrap())
+        .collect();
+    assert_eq!(batched, sequential, "batching must not change any answer");
+
+    // The classifier should recover the planted SBM communities well.
+    let classes = unwrap_classes(batched.remove(0));
+    let acc = gee_eval::accuracy(&classes, &truth);
+    assert!(acc > 0.8, "kNN over the served embedding should recover SBM blocks (acc {acc:.3})");
+
+    // Similar neighbors of a vertex should mostly share its block.
+    let neigh = unwrap_neighbors(batched.remove(0));
+    let same_block =
+        neigh.iter().filter(|&&(v, _)| truth[v as usize] == truth[0]).count();
+    assert!(same_block >= 7, "{same_block}/10 nearest should share vertex 0's block");
+
+    // -- Writes: stream a mixed batch of edge/label updates.
+    let updates = vec![
+        Update::InsertEdge { u: 0, v: 1, w: 2.0 },
+        Update::InsertEdge { u: 5, v: 5, w: 1.5 }, // self-loop
+        Update::SetLabel { v: 2, label: Some(3) },
+        Update::SetLabel { v: 7, label: None },
+        Update::RemoveEdge { u: 0, v: 1, w: 2.0 },
+        Update::InsertEdge { u: 10, v: 20, w: 4.0 },
+    ];
+    let applied = engine
+        .execute("sbm", Request::ApplyUpdates { updates: updates.clone() })
+        .unwrap();
+    assert_eq!(applied, Response::Applied { applied: 6, epoch: 1 });
+
+    // -- Post-update reads must equal a from-scratch recompute.
+    let mut oracle_dg = gee_core::DynamicGee::new(&el, &labels);
+    oracle_dg.insert_edge(0, 1, 2.0);
+    oracle_dg.insert_edge(5, 5, 1.5);
+    oracle_dg.set_label(2, Some(3));
+    oracle_dg.set_label(7, None);
+    assert!(oracle_dg.remove_edge(0, 1, 2.0));
+    oracle_dg.insert_edge(10, 20, 4.0);
+    let fresh = gee_core::serial_optimized::embed(&oracle_dg.edge_list(), &oracle_dg.labels());
+
+    let snap1 = registry.snapshot("sbm").unwrap();
+    assert_eq!(snap1.epoch, 1);
+    fresh.assert_close(&snap1.embedding, 1e-11);
+
+    // Query-path parity after the update: served Classify equals kNN over
+    // the fresh recompute.
+    let served = unwrap_classes(
+        engine.execute("sbm", Request::Classify { vertices: queries.clone(), k: KNN }).unwrap(),
+    );
+    let train: Vec<(u32, u32)> = oracle_dg.labels().iter_labeled().collect();
+    let expected = gee_eval::knn_classify(fresh.as_slice(), fresh.dim(), &train, &queries, KNN);
+    assert_eq!(served, expected, "post-update Classify must match fresh-recompute kNN");
+
+    // EmbedRow parity after the update.
+    let row = match engine.execute("sbm", Request::EmbedRow { vertex: 2 }).unwrap() {
+        Response::Row(r) => r,
+        other => panic!("expected Row, got {other:?}"),
+    };
+    assert_eq!(row.len(), fresh.dim());
+    for (a, b) in row.iter().zip(fresh.row(2)) {
+        assert!((a - b).abs() < 1e-11);
+    }
+
+    // -- Stats reflect the serving history.
+    let report = match engine.execute("sbm", Request::Stats).unwrap() {
+        Response::Stats(s) => s,
+        other => panic!("expected Stats, got {other:?}"),
+    };
+    assert_eq!(report.graph, "sbm");
+    assert_eq!(report.epoch, 1);
+    assert_eq!(report.num_vertices, n);
+    assert_eq!(report.dim, K_CLASSES);
+    assert_eq!(report.num_shards, SHARDS);
+    assert_eq!(report.updates_applied, 6);
+    assert!(report.queries_served >= 5);
+}
+
+#[test]
+fn query_path_parity_with_ligra_embed_across_shard_counts() {
+    // Satellite: serve's query-path embedding equals gee_core::ligra::embed
+    // on the same graph, for every shard count.
+    let (el, labels, _) = sbm_setup();
+    let g = CsrGraph::from_edge_list(&el);
+    let ligra = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+    for shards in [1usize, 2, 3, 8] {
+        let registry = Registry::new(shards);
+        let snap = registry.register("g", &el, &labels);
+        ligra.assert_close(&snap.embedding, 1e-9);
+    }
+}
+
+#[test]
+fn update_then_read_equals_static_recompute_randomized() {
+    // Satellite: ApplyUpdates followed by a read equals a fresh static
+    // recompute, over a random mixed update stream (the DynamicGee
+    // validation idea lifted to the serving layer).
+    let (el, labels, _) = sbm_setup();
+    let n = el.num_vertices() as u32;
+    let registry = Arc::new(Registry::new(3));
+    registry.register("g", &el, &labels);
+    let engine = Engine::new(registry.clone());
+    let mut oracle = gee_core::DynamicGee::new(&el, &labels);
+
+    let mut updates = Vec::new();
+    for i in 0..40u32 {
+        let u = (i * 37 + 11) % n;
+        let v = (i * 101 + 3) % n;
+        match i % 3 {
+            0 => updates.push(Update::InsertEdge { u, v, w: 1.0 + f64::from(i % 5) }),
+            1 => updates.push(Update::SetLabel { v: u, label: Some(i % K_CLASSES as u32) }),
+            _ => updates.push(Update::SetLabel { v, label: None }),
+        }
+    }
+    for chunk in updates.chunks(7) {
+        engine.execute("g", Request::ApplyUpdates { updates: chunk.to_vec() }).unwrap();
+    }
+    for u in &updates {
+        match *u {
+            Update::InsertEdge { u, v, w } => oracle.insert_edge(u, v, w),
+            Update::RemoveEdge { u, v, w } => {
+                oracle.remove_edge(u, v, w);
+            }
+            Update::SetLabel { v, label } => oracle.set_label(v, label),
+        }
+    }
+    let fresh = gee_core::serial_optimized::embed(&oracle.edge_list(), &oracle.labels());
+    let snap = registry.snapshot("g").unwrap();
+    assert_eq!(snap.epoch, (updates.len() as u64).div_ceil(7));
+    fresh.assert_close(&snap.embedding, 1e-11);
+}

@@ -30,8 +30,8 @@ fn main() {
     let updates = 50_000u32;
     let t1 = Instant::now();
     for i in 0..updates {
-        let u = (i * 2_654_435_761) % n as u32;
-        let v = (u ^ (i * 40_503)) % n as u32;
+        let u = i.wrapping_mul(2_654_435_761) % n as u32;
+        let v = (u ^ i.wrapping_mul(40_503)) % n as u32;
         match i % 3 {
             0 => dg.insert_edge(u, v, 1.0),
             1 => {

@@ -23,6 +23,19 @@
 //! assert_eq!(z.dim(), 5);
 //! ```
 //!
+//! ## Serving
+//!
+//! The [`serve`] subsystem (`gee-serve`) turns the pipeline into a
+//! long-lived, queryable service: a [`serve::Registry`] owns named graphs
+//! with epoch-versioned embedding snapshots, a [`serve::ShardLayout`]
+//! partitions vertices so recompute and kNN scans run shard-parallel, and
+//! a [`serve::Engine`] answers typed requests (`Classify`, `Similar`,
+//! `EmbedRow`, `ApplyUpdates`, `Stats`) — coalescing batches of reads
+//! against one consistent snapshot while writes stream through
+//! [`DynamicGee`](gee_core::DynamicGee) and publish new epochs. See
+//! `examples/serving_pipeline.rs` for the end-to-end flow and the
+//! `serve-throughput` bench binary for queries/sec vs shard count.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! binaries that regenerate each table and figure of the paper.
 
@@ -34,6 +47,7 @@ pub use gee_gen as gen;
 pub use gee_graph as graph;
 pub use gee_interp as interp;
 pub use gee_ligra as ligra;
+pub use gee_serve as serve;
 
 /// Most-used items in one import.
 pub mod prelude {
@@ -41,6 +55,7 @@ pub mod prelude {
     pub use gee_gen::{self, LabelSpec, RmatParams, SbmParams, WsParams};
     pub use gee_graph::{CsrGraph, Edge, EdgeList, GraphBuilder};
     pub use gee_ligra::{with_threads, BucketOrder, Buckets, VertexSubset};
+    pub use gee_serve::{Engine as ServeEngine, Envelope, Registry, Request, Response, ServeError, Update};
     pub use gee_core;
 }
 

@@ -1,0 +1,80 @@
+//! Facade-level coverage of the `gee-serve` subsystem: the serving query
+//! path must agree with the library's static embedding and kNN paths, and
+//! batched execution must be equivalent to one-at-a-time execution.
+//! (The deeper acceptance test lives in `crates/serve/tests/`.)
+
+use std::sync::Arc;
+
+use gee_repro::prelude::*;
+
+fn setup() -> (EdgeList, Labels, Vec<u32>) {
+    let sbm = gee_gen::sbm(&SbmParams::balanced(3, 50, 0.3, 0.02), 13);
+    let labels = Labels::from_options_with_k(&gee_gen::subsample_labels(&sbm.truth, 0.4, 3), 3);
+    (sbm.edges, labels, sbm.truth)
+}
+
+#[test]
+fn serve_query_path_matches_library_paths() {
+    let (el, labels, _) = setup();
+    let registry = Arc::new(Registry::new(2));
+    let snap = registry.register("g", &el, &labels);
+
+    // Epoch-0 snapshot equals the paper's parallel embedding.
+    let g = CsrGraph::from_edge_list(&el);
+    let ligra = gee_repro::core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
+    ligra.assert_close(&snap.embedding, 1e-9);
+
+    // Served Classify equals gee_eval::knn_classify over that embedding.
+    let engine = ServeEngine::new(registry);
+    let queries: Vec<u32> = (0..el.num_vertices() as u32).collect();
+    let served = match engine
+        .execute("g", Request::Classify { vertices: queries.clone(), k: 3 })
+        .unwrap()
+    {
+        Response::Classes(c) => c,
+        other => panic!("unexpected response {other:?}"),
+    };
+    let train: Vec<(u32, u32)> = labels.iter_labeled().collect();
+    let expected =
+        gee_repro::eval::knn_classify(ligra.as_slice(), ligra.dim(), &train, &queries, 3);
+    assert_eq!(served, expected);
+}
+
+#[test]
+fn serve_updates_then_read_equals_recompute() {
+    let (el, labels, _) = setup();
+    let registry = Arc::new(Registry::new(3));
+    registry.register("g", &el, &labels);
+    let engine = ServeEngine::new(registry.clone());
+
+    let updates = vec![
+        Update::InsertEdge { u: 0, v: 60, w: 3.0 },
+        Update::SetLabel { v: 10, label: Some(2) },
+        Update::SetLabel { v: 20, label: None },
+    ];
+    let batch = vec![
+        Envelope::new("g", Request::EmbedRow { vertex: 0 }),
+        Envelope::new("g", Request::ApplyUpdates { updates: updates.clone() }),
+        Envelope::new("g", Request::EmbedRow { vertex: 0 }),
+    ];
+    let batched = engine.execute_batch(batch.clone());
+    assert!(batched.iter().all(Result::is_ok));
+
+    // Batched == one-at-a-time (on a fresh identical registry).
+    let registry2 = Arc::new(Registry::new(3));
+    registry2.register("g", &el, &labels);
+    let engine2 = ServeEngine::new(registry2);
+    let sequential: Vec<_> =
+        batch.into_iter().map(|e| engine2.execute(&e.graph, e.request)).collect();
+    assert_eq!(batched, sequential);
+
+    // Post-update snapshot equals a from-scratch recompute.
+    let mut oracle = DynamicGee::new(&el, &labels);
+    oracle.insert_edge(0, 60, 3.0);
+    oracle.set_label(10, Some(2));
+    oracle.set_label(20, None);
+    let fresh = gee_repro::core::serial_optimized::embed(&oracle.edge_list(), &oracle.labels());
+    let snap = registry.snapshot("g").unwrap();
+    assert_eq!(snap.epoch, 1);
+    fresh.assert_close(&snap.embedding, 1e-11);
+}

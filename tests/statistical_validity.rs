@@ -2,7 +2,7 @@
 //! embeddings carry community structure (GEE → spectral convergence, §I) —
 //! holds for the parallel implementation on planted-partition graphs.
 
-use gee_repro::eval::{adjusted_rand_index, kmeans, kmeans_best_of, purity, scatter_ratio, KMeansOptions};
+use gee_repro::eval::{adjusted_rand_index, kmeans_best_of, purity, scatter_ratio, KMeansOptions};
 use gee_repro::prelude::*;
 
 /// Embed an SBM with a fraction of ground-truth labels and cluster the
@@ -92,7 +92,9 @@ fn laplacian_variant_also_recovers() {
     let g = CsrGraph::from_edge_list(&norm);
     let mut z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
     z.normalize_rows();
-    let km = kmeans(z.as_slice(), z.num_vertices(), 3, KMeansOptions::new(3, 9));
+    // Multiple restarts: a single Lloyd run from one seed can land in a
+    // local optimum just under the threshold.
+    let km = kmeans_best_of(z.as_slice(), z.num_vertices(), 3, KMeansOptions::new(3, 9), 5);
     let ari = adjusted_rand_index(&km.assignment, &sbm.truth);
     assert!(ari > 0.8, "laplacian-variant ARI {ari:.3}");
 }
