@@ -19,7 +19,8 @@ struct ForwardStep<'a> {
 
 impl EdgeMapFn for ForwardStep<'_> {
     fn update(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
-        self.num_paths.fetch_add(d as usize, self.num_paths.load(s as usize));
+        self.num_paths
+            .fetch_add(d as usize, self.num_paths.load(s as usize));
         if self.claimed[d as usize].load(Ordering::Relaxed) == 0 {
             self.claimed[d as usize].store(1, Ordering::Relaxed);
             true
@@ -28,7 +29,8 @@ impl EdgeMapFn for ForwardStep<'_> {
         }
     }
     fn update_atomic(&self, s: VertexId, d: VertexId, _w: Weight) -> bool {
-        self.num_paths.fetch_add(d as usize, self.num_paths.load(s as usize));
+        self.num_paths
+            .fetch_add(d as usize, self.num_paths.load(s as usize));
         self.claimed[d as usize]
             .compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
@@ -76,7 +78,11 @@ pub fn betweenness(g: &CsrGraph, source: VertexId) -> Vec<f64> {
     // after each round so same-level σ contributions are not cut off.
     let mut levels: Vec<VertexSubset> = vec![VertexSubset::single(n, source)];
     loop {
-        let step = ForwardStep { visited: &visited, claimed: &claimed, num_paths: &num_paths };
+        let step = ForwardStep {
+            visited: &visited,
+            claimed: &claimed,
+            num_paths: &num_paths,
+        };
         let next = edge_map(g, levels.last().unwrap(), &step, EdgeMapOptions::default());
         if next.is_empty() {
             break;
@@ -115,7 +121,15 @@ pub fn betweenness(g: &CsrGraph, source: VertexId) -> Vec<f64> {
             num_paths: &paths,
             dependency: &dependency,
         });
-        edge_map(g, &levels[li], &step, EdgeMapOptions { no_output: true, ..Default::default() });
+        edge_map(
+            g,
+            &levels[li],
+            &step,
+            EdgeMapOptions {
+                no_output: true,
+                ..Default::default()
+            },
+        );
     }
     dependency.into_vec()
 }
@@ -160,7 +174,8 @@ mod tests {
         }
         while let Some(w) = stack.pop() {
             for &u in &preds[w as usize] {
-                delta[u as usize] += sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
+                delta[u as usize] +=
+                    sigma[u as usize] / sigma[w as usize] * (1.0 + delta[w as usize]);
             }
         }
         delta
@@ -181,7 +196,12 @@ mod tests {
         let par = betweenness(&g, 0);
         let ser = serial_brandes(&g, 0);
         for i in 0..5 {
-            assert!((par[i] - ser[i]).abs() < 1e-9, "vertex {i}: {} vs {}", par[i], ser[i]);
+            assert!(
+                (par[i] - ser[i]).abs() < 1e-9,
+                "vertex {i}: {} vs {}",
+                par[i],
+                ser[i]
+            );
         }
     }
 
@@ -192,7 +212,12 @@ mod tests {
         let par = betweenness(&g, 3);
         let ser = serial_brandes(&g, 3);
         for i in 0..60 {
-            assert!((par[i] - ser[i]).abs() < 1e-6, "vertex {i}: {} vs {}", par[i], ser[i]);
+            assert!(
+                (par[i] - ser[i]).abs() < 1e-6,
+                "vertex {i}: {} vs {}",
+                par[i],
+                ser[i]
+            );
         }
     }
 }

@@ -64,7 +64,9 @@ pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
     while !frontier.is_empty() {
         frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
         level += 1;
-        gee_ligra::vertex_map(&frontier, |v| dist[v as usize].store(level, Ordering::Relaxed));
+        gee_ligra::vertex_map(&frontier, |v| {
+            dist[v as usize].store(level, Ordering::Relaxed)
+        });
     }
     dist.into_iter().map(|a| a.into_inner()).collect()
 }
@@ -92,7 +94,11 @@ mod tests {
 
     #[test]
     fn path_graph_parents() {
-        let el = EdgeList::new(4, vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)]).unwrap();
+        let el = EdgeList::new(
+            4,
+            vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)],
+        )
+        .unwrap();
         let g = CsrGraph::from_edge_list(&el);
         let p = bfs(&g, 0);
         assert_eq!(p, vec![0, 0, 1, 2]);

@@ -83,8 +83,16 @@ mod tests {
 
     #[test]
     fn two_components() {
-        let el = EdgeList::new(5, vec![Edge::unit(0, 1), Edge::unit(1, 0), Edge::unit(2, 3), Edge::unit(3, 2)])
-            .unwrap();
+        let el = EdgeList::new(
+            5,
+            vec![
+                Edge::unit(0, 1),
+                Edge::unit(1, 0),
+                Edge::unit(2, 3),
+                Edge::unit(3, 2),
+            ],
+        )
+        .unwrap();
         let g = CsrGraph::from_edge_list(&el);
         let cc = connected_components(&g);
         assert_eq!(cc[0], cc[1]);
@@ -117,8 +125,14 @@ mod tests {
         let g = CsrGraph::from_edge_list(&el);
         let cc = connected_components(&g);
         for (v, &c) in cc.iter().enumerate() {
-            assert!(c <= v as u32, "label must be the minimum id in the component");
-            assert_eq!(cc[c as usize], c, "component representative must label itself");
+            assert!(
+                c <= v as u32,
+                "label must be the minimum id in the component"
+            );
+            assert_eq!(
+                cc[c as usize], c,
+                "component representative must label itself"
+            );
         }
     }
 }

@@ -37,7 +37,9 @@ pub fn color(g: &CsrGraph, seed: u64) -> Vec<u32> {
             .copied()
             .filter(|&v| {
                 g.neighbors(v).iter().all(|&u| {
-                    u == v || colors[u as usize].load(Ordering::Relaxed) != UNCOLORED || pri(v) > pri(u)
+                    u == v
+                        || colors[u as usize].load(Ordering::Relaxed) != UNCOLORED
+                        || pri(v) > pri(u)
                 })
             })
             .collect();
@@ -83,7 +85,10 @@ mod tests {
     fn verify_proper(g: &CsrGraph, colors: &[u32]) {
         for (u, v, _) in g.iter_edges() {
             if u != v {
-                assert_ne!(colors[u as usize], colors[v as usize], "edge ({u},{v}) monochromatic");
+                assert_ne!(
+                    colors[u as usize], colors[v as usize],
+                    "edge ({u},{v}) monochromatic"
+                );
             }
         }
         assert!(colors.iter().all(|&c| c != UNCOLORED));

@@ -55,7 +55,9 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: f64) -> Vec<f64> {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     assert!(delta > 0.0, "delta must be positive");
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
     dist[source as usize].store(0f64.to_bits(), Ordering::Relaxed);
 
     let bucket_id = |d: f64| (d / delta) as u64;
@@ -75,12 +77,15 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: f64) -> Vec<f64> {
                 .par_iter()
                 .flat_map_iter(|&u| {
                     let du = f64::from_bits(dist[u as usize].load(Ordering::Relaxed));
-                    g.neighbors(u).iter().enumerate().filter_map(move |(i, &v)| {
-                        let w = g.weight_at(u, i);
-                        assert!(w >= 0.0, "delta-stepping requires non-negative weights");
-                        let nd = du + w;
-                        write_min_f64(&dist[v as usize], nd).then(|| (v, bucket_id(nd)))
-                    })
+                    g.neighbors(u)
+                        .iter()
+                        .enumerate()
+                        .filter_map(move |(i, &v)| {
+                            let w = g.weight_at(u, i);
+                            assert!(w >= 0.0, "delta-stepping requires non-negative weights");
+                            let nd = du + w;
+                            write_min_f64(&dist[v as usize], nd).then(|| (v, bucket_id(nd)))
+                        })
                 })
                 .collect();
             active.clear();
@@ -88,7 +93,9 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: f64) -> Vec<f64> {
             for (v, b) in moves {
                 // The recorded distance may have improved further since the
                 // move was generated; rebin from the current value.
-                let b = b.min(bucket_id(f64::from_bits(dist[v as usize].load(Ordering::Relaxed))));
+                let b = b.min(bucket_id(f64::from_bits(
+                    dist[v as usize].load(Ordering::Relaxed),
+                )));
                 if b <= id {
                     if seen_this_round.is_empty() {
                         seen_this_round = vec![false; n];
@@ -104,7 +111,9 @@ pub fn delta_stepping(g: &CsrGraph, source: VertexId, delta: f64) -> Vec<f64> {
             }
         }
     }
-    dist.into_iter().map(|a| f64::from_bits(a.into_inner())).collect()
+    dist.into_iter()
+        .map(|a| f64::from_bits(a.into_inner()))
+        .collect()
 }
 
 #[cfg(test)]

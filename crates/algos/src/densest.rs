@@ -26,10 +26,14 @@ pub struct DensestResult {
 pub fn densest_subgraph(g: &CsrGraph) -> DensestResult {
     let n = g.num_vertices();
     if n == 0 {
-        return DensestResult { vertices: Vec::new(), density: 0.0 };
+        return DensestResult {
+            vertices: Vec::new(),
+            density: 0.0,
+        };
     }
-    let degree: Vec<AtomicU64> =
-        (0..n as VertexId).map(|v| AtomicU64::new(g.out_degree(v) as u64)).collect();
+    let degree: Vec<AtomicU64> = (0..n as VertexId)
+        .map(|v| AtomicU64::new(g.out_degree(v) as u64))
+        .collect();
     // Directed arcs remaining in the current suffix (2 per undirected edge).
     let mut live_arcs: u64 = degree.iter().map(|d| d.load(Ordering::Relaxed)).sum();
     let mut live_vertices = n as u64;
@@ -87,9 +91,11 @@ pub fn densest_subgraph(g: &CsrGraph) -> DensestResult {
     // The best suffix = everything not removed within the best prefix.
     let cut: std::collections::HashSet<VertexId> =
         order[..best_prefix_len].iter().copied().collect();
-    let vertices: Vec<VertexId> =
-        (0..n as VertexId).filter(|v| !cut.contains(v)).collect();
-    DensestResult { vertices, density: best_density }
+    let vertices: Vec<VertexId> = (0..n as VertexId).filter(|v| !cut.contains(v)).collect();
+    DensestResult {
+        vertices,
+        density: best_density,
+    }
 }
 
 #[cfg(test)]
@@ -98,8 +104,10 @@ mod tests {
     use gee_graph::{Edge, EdgeList};
 
     fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
-        let edges: Vec<Edge> =
-            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
         CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
     }
 
@@ -154,7 +162,11 @@ mod tests {
         let r = densest_subgraph(&g);
         assert!(!r.vertices.is_empty());
         let actual = density_of(&g, &r.vertices);
-        assert!((actual - r.density).abs() < 1e-9, "claimed {} actual {actual}", r.density);
+        assert!(
+            (actual - r.density).abs() < 1e-9,
+            "claimed {} actual {actual}",
+            r.density
+        );
     }
 
     #[test]
@@ -165,7 +177,11 @@ mod tests {
         let g = CsrGraph::from_edge_list(&el);
         let whole = g.num_edges() as f64 / 2.0 / g.num_vertices() as f64;
         let r = densest_subgraph(&g);
-        assert!(r.density >= whole, "greedy {} below whole-graph {whole}", r.density);
+        assert!(
+            r.density >= whole,
+            "greedy {} below whole-graph {whole}",
+            r.density
+        );
     }
 
     #[test]

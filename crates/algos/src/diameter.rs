@@ -26,7 +26,10 @@ pub fn double_sweep_diameter(g: &CsrGraph, seed: VertexId) -> Option<DiameterEst
     }
     let second = crate::bfs::bfs_distances(g, a);
     let (b, db) = farthest(&second)?;
-    Some(DiameterEstimate { diameter_lower_bound: db, endpoints: (a, b) })
+    Some(DiameterEstimate {
+        diameter_lower_bound: db,
+        endpoints: (a, b),
+    })
 }
 
 /// Farthest reachable vertex and its distance (ties: lowest id).
@@ -44,8 +47,10 @@ mod tests {
     use gee_graph::{Edge, EdgeList};
 
     fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
-        let edges: Vec<Edge> =
-            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
         CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
     }
 
@@ -53,7 +58,11 @@ mod tests {
     fn exact_diameter(g: &CsrGraph) -> u32 {
         (0..g.num_vertices() as u32)
             .filter_map(|s| {
-                crate::bfs::bfs_distances(g, s).iter().filter(|&&d| d != u32::MAX).max().copied()
+                crate::bfs::bfs_distances(g, s)
+                    .iter()
+                    .filter(|&&d| d != u32::MAX)
+                    .max()
+                    .copied()
             })
             .max()
             .unwrap_or(0)
@@ -90,7 +99,11 @@ mod tests {
                 let exact = exact_diameter(&g);
                 assert!(est.diameter_lower_bound <= exact);
                 // Double sweep on sparse ER is usually tight; require ≥ half.
-                assert!(est.diameter_lower_bound * 2 >= exact, "{} vs {exact}", est.diameter_lower_bound);
+                assert!(
+                    est.diameter_lower_bound * 2 >= exact,
+                    "{} vs {exact}",
+                    est.diameter_lower_bound
+                );
             }
         }
     }

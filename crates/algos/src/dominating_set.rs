@@ -16,7 +16,11 @@ use gee_ligra::{BucketOrder, Buckets};
 /// Coverage of `v` = 1 (itself, if uncovered) + uncovered neighbors.
 fn coverage(g: &CsrGraph, covered: &[bool], v: VertexId) -> u64 {
     let own = u64::from(!covered[v as usize]);
-    own + g.neighbors(v).iter().filter(|&&t| t != v && !covered[t as usize]).count() as u64
+    own + g
+        .neighbors(v)
+        .iter()
+        .filter(|&&t| t != v && !covered[t as usize])
+        .count() as u64
 }
 
 /// Greedy dominating set of a **symmetric** graph: returns the chosen
@@ -69,8 +73,10 @@ mod tests {
     use gee_graph::{Edge, EdgeList};
 
     fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
-        let edges: Vec<Edge> =
-            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
         CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
     }
 

@@ -11,7 +11,9 @@ use gee_ligra::VertexSubset;
 /// out-degree, which equals degree for symmetric inputs).
 pub fn kcore(g: &CsrGraph) -> Vec<u32> {
     let n = g.num_vertices();
-    let degree: Vec<AtomicU32> = (0..n as u32).map(|v| AtomicU32::new(g.out_degree(v) as u32)).collect();
+    let degree: Vec<AtomicU32> = (0..n as u32)
+        .map(|v| AtomicU32::new(g.out_degree(v) as u32))
+        .collect();
     let mut core = vec![0u32; n];
     let mut removed = vec![false; n];
     let mut remaining = n;
@@ -20,7 +22,9 @@ pub fn kcore(g: &CsrGraph) -> Vec<u32> {
         // Collect the current shell: vertices with degree <= k.
         loop {
             let shell: Vec<u32> = (0..n as u32)
-                .filter(|&v| !removed[v as usize] && degree[v as usize].load(Ordering::Relaxed) <= k)
+                .filter(|&v| {
+                    !removed[v as usize] && degree[v as usize].load(Ordering::Relaxed) <= k
+                })
                 .collect();
             if shell.is_empty() {
                 break;

@@ -20,8 +20,9 @@ use rayon::prelude::*;
 /// same result as [`crate::kcore::kcore`].
 pub fn kcore_bucketed(g: &CsrGraph) -> Vec<u32> {
     let n = g.num_vertices();
-    let degree: Vec<AtomicU32> =
-        (0..n as VertexId).map(|v| AtomicU32::new(g.out_degree(v) as u32)).collect();
+    let degree: Vec<AtomicU32> = (0..n as VertexId)
+        .map(|v| AtomicU32::new(g.out_degree(v) as u32))
+        .collect();
     let mut core = vec![0u32; n];
     let mut finalized = vec![false; n];
     let mut buckets = Buckets::new(n, BucketOrder::Increasing, |v| {
@@ -40,15 +41,17 @@ pub fn kcore_bucketed(g: &CsrGraph) -> Vec<u32> {
             .vertices
             .par_iter()
             .flat_map_iter(|&v| {
-                g.neighbors(v).iter().copied().filter(|&t| !finalized[t as usize]).inspect(
-                    |&t| {
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&t| !finalized[t as usize])
+                    .inspect(|&t| {
                         let _ = degree[t as usize].fetch_update(
                             Ordering::Relaxed,
                             Ordering::Relaxed,
                             |d| (d > k).then(|| d - 1),
                         );
-                    },
-                )
+                    })
             })
             .collect();
         // Rebin each affected neighbor from its *final* degree this round;
@@ -68,8 +71,10 @@ mod tests {
     use gee_graph::{Edge, EdgeList};
 
     fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
-        let edges: Vec<Edge> =
-            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
         CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
     }
 

@@ -38,11 +38,17 @@ fn write_min_u64(cell: &AtomicU64, v: u64) {
 /// Deterministic in `seed`.
 pub fn maximal_matching(g: &CsrGraph, seed: u64) -> Vec<u32> {
     let n = g.num_vertices();
-    let match_of: Vec<std::sync::atomic::AtomicU32> =
-        (0..n).map(|_| std::sync::atomic::AtomicU32::new(UNMATCHED)).collect();
+    let match_of: Vec<std::sync::atomic::AtomicU32> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU32::new(UNMATCHED))
+        .collect();
     // Live edges as canonical (u < v) pairs.
     let mut live: Vec<(VertexId, VertexId)> = (0..n as VertexId)
-        .flat_map(|u| g.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| (u, v)))
+        .flat_map(|u| {
+            g.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| (u, v))
+        })
         .collect();
     let mut round = 0u64;
     while !live.is_empty() {
@@ -80,7 +86,10 @@ pub fn maximal_matching(g: &CsrGraph, seed: u64) -> Vec<u32> {
         round += 1;
         assert!(round <= 64 + n as u64, "matching failed to converge");
     }
-    match_of.into_iter().map(std::sync::atomic::AtomicU32::into_inner).collect()
+    match_of
+        .into_iter()
+        .map(std::sync::atomic::AtomicU32::into_inner)
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,8 +98,10 @@ mod tests {
     use gee_graph::{Edge, EdgeList};
 
     fn undirected(pairs: &[(u32, u32)], n: usize) -> CsrGraph {
-        let edges: Vec<Edge> =
-            pairs.iter().flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)]).collect();
+        let edges: Vec<Edge> = pairs
+            .iter()
+            .flat_map(|&(u, v)| [Edge::unit(u, v), Edge::unit(v, u)])
+            .collect();
         CsrGraph::from_edge_list(&EdgeList::new(n, edges).unwrap())
     }
 
@@ -159,7 +170,11 @@ mod tests {
 
     #[test]
     fn self_loops_never_match() {
-        let el = EdgeList::new(2, vec![Edge::unit(0, 0), Edge::unit(0, 1), Edge::unit(1, 0)]).unwrap();
+        let el = EdgeList::new(
+            2,
+            vec![Edge::unit(0, 0), Edge::unit(0, 1), Edge::unit(1, 0)],
+        )
+        .unwrap();
         let g = CsrGraph::from_edge_list(&el);
         let m = maximal_matching(&g, 3);
         assert_eq!(m, vec![1, 0]);

@@ -41,9 +41,7 @@ pub fn maximal_independent_set(g: &CsrGraph, seed: u64) -> Vec<bool> {
                     return false;
                 }
                 g.neighbors(v).iter().all(|&u| {
-                    u == v
-                        || state[u as usize].load(Ordering::Relaxed) == OUT
-                        || pri(v) > pri(u)
+                    u == v || state[u as usize].load(Ordering::Relaxed) == OUT || pri(v) > pri(u)
                 })
             })
             .collect();
@@ -67,7 +65,10 @@ pub fn maximal_independent_set(g: &CsrGraph, seed: u64) -> Vec<bool> {
             .collect();
         remaining -= joined.len() + dropped.len();
     }
-    state.into_iter().map(|s| s.into_inner() == IN_SET).collect()
+    state
+        .into_iter()
+        .map(|s| s.into_inner() == IN_SET)
+        .collect()
 }
 
 #[cfg(test)]
@@ -87,7 +88,10 @@ mod tests {
         // Independence: no two adjacent members.
         for (u, v, _) in g.iter_edges() {
             if u != v {
-                assert!(!(mis[u as usize] && mis[v as usize]), "edge ({u},{v}) inside the set");
+                assert!(
+                    !(mis[u as usize] && mis[v as usize]),
+                    "edge ({u},{v}) inside the set"
+                );
             }
         }
         // Maximality: every non-member has a member neighbor.
@@ -131,7 +135,10 @@ mod tests {
     fn deterministic() {
         let el = gee_gen::erdos_renyi_gnm(100, 400, 3).symmetrized();
         let g = CsrGraph::from_edge_list(&el);
-        assert_eq!(maximal_independent_set(&g, 9), maximal_independent_set(&g, 9));
+        assert_eq!(
+            maximal_independent_set(&g, 9),
+            maximal_independent_set(&g, 9)
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub struct PageRankOptions {
 
 impl Default for PageRankOptions {
     fn default() -> Self {
-        PageRankOptions { damping: 0.85, max_iters: 100, tolerance: 1e-9 }
+        PageRankOptions {
+            damping: 0.85,
+            max_iters: 100,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -66,12 +70,18 @@ pub fn pagerank(g: &CsrGraph, opts: PageRankOptions) -> Vec<f64> {
             .map(|v| rank[v])
             .sum();
         let next = AtomicF64Vec::zeros(n);
-        let step = PrStep { contrib: &contrib, next: &next };
+        let step = PrStep {
+            contrib: &contrib,
+            next: &next,
+        };
         edge_map(
             g,
             &frontier,
             &step,
-            EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true },
+            EdgeMapOptions {
+                kind: TraversalKind::DenseForward,
+                no_output: true,
+            },
         );
         let base = (1.0 - opts.damping) / n as f64 + opts.damping * dangling / n as f64;
         let new_rank: Vec<f64> = (0..n)
@@ -140,7 +150,10 @@ mod tests {
     fn matches_serial_oracle() {
         let el = gee_gen::erdos_renyi_gnm(150, 900, 11);
         let g = CsrGraph::from_edge_list(&el);
-        let opts = PageRankOptions { max_iters: 30, ..Default::default() };
+        let opts = PageRankOptions {
+            max_iters: 30,
+            ..Default::default()
+        };
         let par = pagerank(&g, opts);
         let ser = serial_pagerank(&g, opts);
         for (i, (a, b)) in par.iter().zip(&ser).enumerate() {

@@ -71,7 +71,12 @@ pub fn radii_estimate(g: &CsrGraph, num_sources: usize, seed: u64) -> Vec<u32> {
     let mut round = 0;
     while !frontier.is_empty() {
         round += 1;
-        let step = RadiiStep { visited: &visited, next_visited: &next_visited, radii: &radii, round };
+        let step = RadiiStep {
+            visited: &visited,
+            next_visited: &next_visited,
+            radii: &radii,
+            round,
+        };
         frontier = edge_map(g, &frontier, &step, EdgeMapOptions::default());
         // Publish next_visited into visited for the new round.
         for v in 0..n {
@@ -112,8 +117,17 @@ mod tests {
         // True eccentricity via BFS from each vertex (oracle).
         for v in 0..120u32 {
             let d = crate::bfs::bfs_distances(&g, v);
-            let ecc = d.iter().filter(|&&x| x != u32::MAX).max().copied().unwrap_or(0);
-            assert!(r[v as usize] <= ecc, "vertex {v}: estimate {} > ecc {ecc}", r[v as usize]);
+            let ecc = d
+                .iter()
+                .filter(|&&x| x != u32::MAX)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            assert!(
+                r[v as usize] <= ecc,
+                "vertex {v}: estimate {} > ecc {ecc}",
+                r[v as usize]
+            );
         }
     }
 
@@ -132,7 +146,9 @@ mod tests {
 
     #[test]
     fn single_source_on_star() {
-        let edges: Vec<Edge> = (1..9u32).flat_map(|v| [Edge::unit(0, v), Edge::unit(v, 0)]).collect();
+        let edges: Vec<Edge> = (1..9u32)
+            .flat_map(|v| [Edge::unit(0, v), Edge::unit(v, 0)])
+            .collect();
         let g = CsrGraph::from_edge_list(&EdgeList::new(9, edges).unwrap());
         let r = radii_estimate(&g, 64, 2);
         // Star diameter is 2; estimates are within it.

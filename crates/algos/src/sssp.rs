@@ -50,7 +50,9 @@ impl EdgeMapFn for SsspStep<'_> {
 pub fn sssp(g: &CsrGraph, source: VertexId) -> Vec<f64> {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
-    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+    let dist: Vec<AtomicU64> = (0..n)
+        .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+        .collect();
     dist[source as usize].store(0f64.to_bits(), Ordering::Relaxed);
     let step = SsspStep { dist: &dist };
     let mut frontier = VertexSubset::single(n, source);
@@ -60,7 +62,9 @@ pub fn sssp(g: &CsrGraph, source: VertexId) -> Vec<f64> {
         rounds += 1;
         assert!(rounds <= n + 1, "negative cycle or non-termination");
     }
-    dist.into_iter().map(|a| f64::from_bits(a.into_inner())).collect()
+    dist.into_iter()
+        .map(|a| f64::from_bits(a.into_inner()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -124,7 +128,12 @@ mod tests {
         let b = dijkstra(&g, 0);
         for v in 0..200 {
             if a[v].is_finite() || b[v].is_finite() {
-                assert!((a[v] - b[v]).abs() < 1e-9, "vertex {v}: {} vs {}", a[v], b[v]);
+                assert!(
+                    (a[v] - b[v]).abs() < 1e-9,
+                    "vertex {v}: {} vs {}",
+                    a[v],
+                    b[v]
+                );
             }
         }
     }

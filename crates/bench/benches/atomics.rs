@@ -16,14 +16,18 @@ fn bench_atomics(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("cas", cells), |b| {
             b.iter(|| {
                 let v = AtomicF64Vec::zeros(cells);
-                (0..OPS).into_par_iter().for_each(|i| v.fetch_add(i % cells, 1.0));
+                (0..OPS)
+                    .into_par_iter()
+                    .for_each(|i| v.fetch_add(i % cells, 1.0));
                 v
             })
         });
         group.bench_function(BenchmarkId::new("racy", cells), |b| {
             b.iter(|| {
                 let v = AtomicF64Vec::zeros(cells);
-                (0..OPS).into_par_iter().for_each(|i| v.add_racy(i % cells, 1.0));
+                (0..OPS)
+                    .into_par_iter()
+                    .for_each(|i| v.add_racy(i % cells, 1.0));
                 v
             })
         });

@@ -39,7 +39,10 @@ fn bench_edge_map(c: &mut Criterion) {
                 &g,
                 &VertexSubset::full(n),
                 &f,
-                EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true },
+                EdgeMapOptions {
+                    kind: TraversalKind::DenseForward,
+                    no_output: true,
+                },
             );
             acc
         })

@@ -36,7 +36,11 @@ fn bench_impls(c: &mut Criterion) {
         b.iter(|| gee_core::serial_optimized::embed(&el, &labels))
     });
     group.bench_function(BenchmarkId::new("ligra_serial", m), |b| {
-        b.iter(|| gee_ligra::with_threads(1, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)))
+        b.iter(|| {
+            gee_ligra::with_threads(1, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
+        })
     });
     group.bench_function(BenchmarkId::new("ligra_parallel", m), |b| {
         b.iter(|| gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))

@@ -8,10 +8,8 @@ use gee_gen::LabelSpec;
 fn bench_projection(c: &mut Criterion) {
     let mut group = c.benchmark_group("projection_init");
     for n in [1usize << 16, 1 << 20] {
-        let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(n, LabelSpec::default(), 11),
-            50,
-        );
+        let labels =
+            Labels::from_options_with_k(&gee_gen::random_labels(n, LabelSpec::default(), 11), 50);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_function(BenchmarkId::new("serial", n), |b| {
             b.iter(|| Projection::build_serial(&labels))

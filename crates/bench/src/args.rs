@@ -60,10 +60,20 @@ impl Args {
                 "--runs" => out.runs = next("--runs").parse().expect("--runs takes an integer"),
                 "--k" => out.k = next("--k").parse().expect("--k takes an integer"),
                 "--labeled" => {
-                    out.labeled_fraction = next("--labeled").parse().expect("--labeled takes a fraction")
+                    out.labeled_fraction = next("--labeled")
+                        .parse()
+                        .expect("--labeled takes a fraction")
                 }
-                "--max-log2" => out.max_log2 = next("--max-log2").parse().expect("--max-log2 takes an integer"),
-                "--threads" => out.threads = next("--threads").parse().expect("--threads takes an integer"),
+                "--max-log2" => {
+                    out.max_log2 = next("--max-log2")
+                        .parse()
+                        .expect("--max-log2 takes an integer")
+                }
+                "--threads" => {
+                    out.threads = next("--threads")
+                        .parse()
+                        .expect("--threads takes an integer")
+                }
                 "--seed" => out.seed = next("--seed").parse().expect("--seed takes an integer"),
                 "--no-json" => out.json = false,
                 "--help" | "-h" => {

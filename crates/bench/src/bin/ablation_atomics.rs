@@ -16,8 +16,14 @@ use gee_graph::CsrGraph;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!(
         "§IV atomics ablation — GEE-Ligra parallel on the {} stand-in (1/{} scale)\n",
         w.name, args.scale
@@ -32,15 +38,23 @@ fn main() {
     // so the first timed mode doesn't pay the one-time page-fault cost.
     let _ = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
     let (t_atomic, _, z_atomic) = timed(args.runs, || {
-        gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        gee_ligra::with_threads(args.threads, || {
+            gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+        })
     });
     let (t_racy, _, z_racy) = timed(args.runs, || {
-        gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Racy))
+        gee_ligra::with_threads(args.threads, || {
+            gee_core::ligra::embed(&g, &labels, AtomicsMode::Racy)
+        })
     });
     let mass_atomic = z_atomic.total_mass();
     let lost = (mass_atomic - z_racy.total_mass()).abs() / mass_atomic.max(1e-300);
     let rows = vec![
-        vec!["atomic writeAdd (CAS)".to_string(), fmt_secs(t_atomic), "exact".to_string()],
+        vec![
+            "atomic writeAdd (CAS)".to_string(),
+            fmt_secs(t_atomic),
+            "exact".to_string(),
+        ],
         vec![
             "racy (relaxed ld/st)".to_string(),
             fmt_secs(t_racy),

@@ -15,7 +15,10 @@ use gee_gen::LabelSpec;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
     println!(
         "batch-embedding ablation — {} stand-in (1/{} scale), K = {}\n",
         w.name, args.scale, args.k
@@ -27,7 +30,10 @@ fn main() {
     // the random-access footprint and LOSES) and a small K (edge-stream
     // traffic dominates — fusing amortizes it and wins).
     for k in [args.k, 4] {
-        let spec = LabelSpec { num_classes: k, labeled_fraction: args.labeled_fraction };
+        let spec = LabelSpec {
+            num_classes: k,
+            labeled_fraction: args.labeled_fraction,
+        };
         let mut rows = Vec::new();
         for l in [1usize, 2, 4, 8] {
             let labelings: Vec<Labels> = (0..l)
@@ -40,7 +46,10 @@ fn main() {
                 .collect();
             let refs: Vec<&Labels> = labelings.iter().collect();
             let (t_sep, _, _) = timed(args.runs, || {
-                labelings.iter().map(|lab| serial_optimized::embed(&el, lab)).collect::<Vec<_>>()
+                labelings
+                    .iter()
+                    .map(|lab| serial_optimized::embed(&el, lab))
+                    .collect::<Vec<_>>()
             });
             let (t_fused, _, fused) = timed(args.runs, || batch::embed_many(&el, &refs));
             let (t_fused_par, _, fused_par) =
@@ -75,7 +84,13 @@ fn main() {
         println!(
             "{}",
             render(
-                &["L", "L separate passes", "fused serial", "fused parallel", "saving (serial)"],
+                &[
+                    "L",
+                    "L separate passes",
+                    "fused serial",
+                    "fused parallel",
+                    "saving (serial)"
+                ],
                 &rows
             )
         );

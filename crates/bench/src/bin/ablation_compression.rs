@@ -15,8 +15,14 @@ use gee_graph::{CompressedCsr, CsrGraph};
 
 fn main() {
     let args = Args::parse();
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
-    println!("Compression ablation — GEE kernel on raw vs byte-compressed adjacency (1/{} scale)\n", args.scale);
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
+    println!(
+        "Compression ablation — GEE kernel on raw vs byte-compressed adjacency (1/{} scale)\n",
+        args.scale
+    );
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for w in table1_workloads() {
@@ -31,7 +37,9 @@ fn main() {
         let _ = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
         let _ = gee_core::ligra::embed_compressed(&c, &labels, AtomicsMode::Atomic);
         let (t_raw, _, z_raw) = timed(args.runs, || {
-            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(args.threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         });
         let (t_cmp, _, z_cmp) = timed(args.runs, || {
             gee_ligra::with_threads(args.threads, || {
@@ -65,12 +73,27 @@ fn main() {
     println!(
         "{}",
         render(
-            &["Graph", "edges", "raw adj", "compressed", "ratio", "GEE raw", "GEE compressed", "time ratio"],
+            &[
+                "Graph",
+                "edges",
+                "raw adj",
+                "compressed",
+                "ratio",
+                "GEE raw",
+                "GEE compressed",
+                "time ratio"
+            ],
             &rows
         )
     );
-    println!("ratio < 1 in column 5 = space saved; column 8 shows the decode-time cost on this machine.");
+    println!(
+        "ratio < 1 in column 5 = space saved; column 8 shows the decode-time cost on this machine."
+    );
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "ablation_compression": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "ablation_compression": json }))
+                .unwrap()
+        );
     }
 }

@@ -18,7 +18,10 @@ use gee_graph::CsrGraph;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
     println!(
         "determinism ablation — {} stand-in (1/{} scale), K = {}\n",
         w.name, args.scale, args.k
@@ -28,7 +31,10 @@ fn main() {
     let labels = Labels::from_options_with_k(
         &gee_gen::random_labels(
             el.num_vertices(),
-            LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction },
+            LabelSpec {
+                num_classes: args.k,
+                labeled_fraction: args.labeled_fraction,
+            },
             args.seed ^ 0xD00D,
         ),
         args.k,
@@ -53,7 +59,10 @@ fn main() {
         })
     });
     let det_exact = z_det.as_slice() == reference.as_slice();
-    assert!(det_exact, "deterministic kernel must be bit-identical to serial");
+    assert!(
+        det_exact,
+        "deterministic kernel must be bit-identical to serial"
+    );
     let drift_atomic = reference.max_abs_diff(&z_atomic);
     let drift_binned = reference.max_abs_diff(&z_binned);
 
@@ -79,7 +88,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render(&["Kernel", "Runtime", "Max |Δ| vs serial", "Reproducibility"], &rows)
+        render(
+            &["Kernel", "Runtime", "Max |Δ| vs serial", "Reproducibility"],
+            &rows
+        )
     );
     println!(
         "reproducibility overhead: sort-reduce is {:.2}× the atomic kernel",

@@ -18,7 +18,10 @@ use gee_gen::LabelSpec;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
     println!(
         "dynamic-update ablation — {} stand-in (1/{} scale), K = {}\n",
         w.name, args.scale, args.k
@@ -28,7 +31,10 @@ fn main() {
     let labels = Labels::from_options_with_k(
         &gee_gen::random_labels(
             el.num_vertices(),
-            LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction },
+            LabelSpec {
+                num_classes: args.k,
+                labeled_fraction: args.labeled_fraction,
+            },
             args.seed ^ 0xD1,
         ),
         args.k,
@@ -39,8 +45,7 @@ fn main() {
     let init_seconds = t0.elapsed().as_secs_f64();
 
     // Recompute cost for the same state (the alternative to deltas).
-    let (recompute_seconds, _, fresh) =
-        timed(args.runs, || serial_optimized::embed(&el, &labels));
+    let (recompute_seconds, _, fresh) = timed(args.runs, || serial_optimized::embed(&el, &labels));
     fresh.assert_close(&dg.embedding(), 1e-9);
 
     // Measure per-update cost over batches of inserts, label moves, and
@@ -56,9 +61,7 @@ fn main() {
     let ins = time_batch(&mut dg, &|dg, i| {
         dg.insert_edge((i * 2_654_435_761) % n, (i * 40_503 + 1) % n, 1.0)
     });
-    let lbl = time_batch(&mut dg, &|dg, i| {
-        dg.set_label((i * 97) % n, Some(i % 7))
-    });
+    let lbl = time_batch(&mut dg, &|dg, i| dg.set_label((i * 97) % n, Some(i % 7)));
     let churn = time_batch(&mut dg, &|dg, i| {
         let (u, v) = (i % n, (i + 1) % n);
         dg.insert_edge(u, v, 3.0);
@@ -66,8 +69,16 @@ fn main() {
     });
 
     let rows = vec![
-        vec!["bulk init (O(s))".to_string(), fmt_secs(init_seconds), "-".to_string()],
-        vec!["full recompute (O(s))".to_string(), fmt_secs(recompute_seconds), "-".to_string()],
+        vec![
+            "bulk init (O(s))".to_string(),
+            fmt_secs(init_seconds),
+            "-".to_string(),
+        ],
+        vec![
+            "full recompute (O(s))".to_string(),
+            fmt_secs(recompute_seconds),
+            "-".to_string(),
+        ],
         vec![
             "edge insert".to_string(),
             format!("{:.0} ns", ins * 1e9),
@@ -84,7 +95,10 @@ fn main() {
             format!("{:.1e} churns ≈ 1 recompute", recompute_seconds / churn),
         ],
     ];
-    println!("{}", render(&["Operation", "Cost", "Crossover vs recompute"], &rows));
+    println!(
+        "{}",
+        render(&["Operation", "Cost", "Crossover vs recompute"], &rows)
+    );
 
     if args.json {
         println!(

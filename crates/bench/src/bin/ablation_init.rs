@@ -38,11 +38,17 @@ impl EdgeMapFn for UpdateEmb<'_> {
     fn update_atomic(&self, s: VertexId, d: VertexId, w: Weight) -> bool {
         let yv = self.y[d as usize];
         if yv >= 0 {
-            self.z.fetch_add(s as usize * self.k + yv as usize, self.coeff[d as usize] * w);
+            self.z.fetch_add(
+                s as usize * self.k + yv as usize,
+                self.coeff[d as usize] * w,
+            );
         }
         let yu = self.y[s as usize];
         if yu >= 0 {
-            self.z.fetch_add(d as usize * self.k + yu as usize, self.coeff[s as usize] * w);
+            self.z.fetch_add(
+                d as usize * self.k + yu as usize,
+                self.coeff[s as usize] * w,
+            );
         }
         false
     }
@@ -52,7 +58,10 @@ fn main() {
     let args = Args::parse();
     let n = (4_000_000 / args.scale).max(10_000);
     let k = args.k;
-    let spec = LabelSpec { num_classes: k, labeled_fraction: args.labeled_fraction };
+    let spec = LabelSpec {
+        num_classes: k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!("§III initialization ablation — n = {n}, K = {k}, average degree sweep\n");
     let mut rows = Vec::new();
     let mut json = Vec::new();
@@ -82,14 +91,21 @@ fn main() {
             let t0 = Instant::now();
             let z = AtomicF64Vec::zeros(n * k);
             z_t.push(t0.elapsed().as_secs_f64());
-            let functor =
-                UpdateEmb { z: &z, coeff: proj.as_slice(), y: labels.raw_slice(), k };
+            let functor = UpdateEmb {
+                z: &z,
+                coeff: proj.as_slice(),
+                y: labels.raw_slice(),
+                k,
+            };
             let t0 = Instant::now();
             edge_map(
                 &g,
                 &VertexSubset::full(n),
                 &functor,
-                EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true },
+                EdgeMapOptions {
+                    kind: TraversalKind::DenseForward,
+                    no_output: true,
+                },
             );
             edge_t.push(t0.elapsed().as_secs_f64());
         }
@@ -97,8 +113,12 @@ fn main() {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v[v.len() / 2]
         };
-        let (tp, td, tz, te) =
-            (med(&mut proj_t), med(&mut dense_proj_t), med(&mut z_t), med(&mut edge_t));
+        let (tp, td, tz, te) = (
+            med(&mut proj_t),
+            med(&mut dense_proj_t),
+            med(&mut z_t),
+            med(&mut edge_t),
+        );
         let init_share = (tp + tz) / (tp + tz + te);
         rows.push(vec![
             avg_degree.to_string(),
@@ -123,12 +143,23 @@ fn main() {
     println!(
         "{}",
         render(
-            &["avg deg", "s / nK", "W sparse", "W dense(O(nK))", "Z init(O(nK))", "edge pass", "init share"],
+            &[
+                "avg deg",
+                "s / nK",
+                "W sparse",
+                "W dense(O(nK))",
+                "Z init(O(nK))",
+                "edge pass",
+                "init share"
+            ],
             &rows
         )
     );
     println!("expected shape: the O(nK) columns are flat while the edge pass grows with degree, so the\ninit share is largest at the lowest degree (s << nK) — the paper's motivation for parallelizing it.");
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "ablation_init": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "ablation_init": json })).unwrap()
+        );
     }
 }

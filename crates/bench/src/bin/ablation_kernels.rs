@@ -19,8 +19,14 @@ use gee_graph::CsrGraph;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!(
         "Kernel ablation — {} stand-in (1/{} scale), symmetrized, K = {}\n",
         w.name, args.scale, args.k
@@ -32,14 +38,22 @@ fn main() {
         &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
         args.k,
     );
-    println!("{} vertices, {} directed edges\n", g.num_vertices(), g.num_edges());
+    println!(
+        "{} vertices, {} directed edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
     let _ = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic); // warm-up
 
     let (t_push, _, z_ref) = timed(args.runs, || {
-        gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+        gee_ligra::with_threads(args.threads, || {
+            gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+        })
     });
     let (t_racy, _, _) = timed(args.runs, || {
-        gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Racy))
+        gee_ligra::with_threads(args.threads, || {
+            gee_core::ligra::embed(&g, &labels, AtomicsMode::Racy)
+        })
     });
     let (t_pull, _, z_pull) = timed(args.runs, || {
         gee_ligra::with_threads(args.threads, || gee_core::kernels::embed_pull(&g, &labels))
@@ -53,12 +67,31 @@ fn main() {
     z_ref.assert_close(&z_bin, 1e-9);
 
     let rows = vec![
-        vec!["push + atomic writeAdd (paper)".into(), fmt_secs(t_push), "1.00".into()],
-        vec!["push + racy updates (§IV ablation)".into(), fmt_secs(t_racy), format!("{:.2}", t_racy / t_push)],
-        vec!["pull, atomics-free".into(), fmt_secs(t_pull), format!("{:.2}", t_pull / t_push)],
-        vec!["propagation blocking".into(), fmt_secs(t_bin), format!("{:.2}", t_bin / t_push)],
+        vec![
+            "push + atomic writeAdd (paper)".into(),
+            fmt_secs(t_push),
+            "1.00".into(),
+        ],
+        vec![
+            "push + racy updates (§IV ablation)".into(),
+            fmt_secs(t_racy),
+            format!("{:.2}", t_racy / t_push),
+        ],
+        vec![
+            "pull, atomics-free".into(),
+            fmt_secs(t_pull),
+            format!("{:.2}", t_pull / t_push),
+        ],
+        vec![
+            "propagation blocking".into(),
+            fmt_secs(t_bin),
+            format!("{:.2}", t_bin / t_push),
+        ],
     ];
-    println!("{}", render(&["Kernel", "Runtime", "vs paper kernel"], &rows));
+    println!(
+        "{}",
+        render(&["Kernel", "Runtime", "vs paper kernel"], &rows)
+    );
     println!("all kernels verified equal to the reference embedding (1e-9 relative).");
     if args.json {
         println!(

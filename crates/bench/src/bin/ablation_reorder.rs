@@ -16,8 +16,14 @@ use gee_graph::{ordering, CsrGraph};
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!(
         "Reordering ablation — GEE on the {} stand-in (1/{} scale) under four vertex orders\n",
         w.name, args.scale
@@ -30,7 +36,10 @@ fn main() {
     // measures labeling luck instead of locality.
     let structural_labels = gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF);
     let orders: Vec<(&str, Option<Vec<u32>>)> = vec![
-        ("random shuffle", Some(ordering::random_order(el.num_vertices(), args.seed ^ 1))),
+        (
+            "random shuffle",
+            Some(ordering::random_order(el.num_vertices(), args.seed ^ 1)),
+        ),
         ("natural (R-MAT)", None),
         ("degree descending", Some(ordering::degree_order(&base))),
         ("BFS order", Some(ordering::bfs_order(&base))),
@@ -55,7 +64,9 @@ fn main() {
         let labels = Labels::from_options_with_k(&relabeled, args.k);
         let _ = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic); // warm-up
         let (secs, _, z) = timed(args.runs, || {
-            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(args.threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         });
         gee_bench::verify_embedding(&z, el_ref, &labels, name);
         let base_secs = *baseline.get_or_insert(secs);
@@ -64,12 +75,20 @@ fn main() {
             fmt_secs(secs),
             format!("{:.2}", secs / base_secs),
         ]);
-        json.push(serde_json::json!({ "order": name, "seconds": secs, "vs_shuffle": secs / base_secs }));
+        json.push(
+            serde_json::json!({ "order": name, "seconds": secs, "vs_shuffle": secs / base_secs }),
+        );
         eprintln!("done: {name}");
     }
-    println!("{}", render(&["Vertex order", "GEE runtime", "vs shuffle"], &rows));
+    println!(
+        "{}",
+        render(&["Vertex order", "GEE runtime", "vs shuffle"], &rows)
+    );
     println!("expected shape: shuffle slowest; degree/BFS orders cut the random-write miss rate.");
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "ablation_reorder": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "ablation_reorder": json })).unwrap()
+        );
     }
 }

@@ -14,8 +14,14 @@ use gee_graph::CsrGraph;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!(
         "Figure 2 reproduction — {} stand-in at 1/{} scale, normalized to the Numba analog\n",
         w.name, args.scale
@@ -26,10 +32,15 @@ fn main() {
         &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
         args.k,
     );
-    let ms: Vec<_> = [Impl::Interp, Impl::Optimized, Impl::LigraSerial, Impl::LigraParallel]
-        .into_iter()
-        .map(|i| time_implementation(i, &el, &g, &labels, args.runs, args.threads))
-        .collect();
+    let ms: Vec<_> = [
+        Impl::Interp,
+        Impl::Optimized,
+        Impl::LigraSerial,
+        Impl::LigraParallel,
+    ]
+    .into_iter()
+    .map(|i| time_implementation(i, &el, &g, &labels, args.runs, args.threads))
+    .collect();
     let numba = ms[1].seconds;
     // Paper's Figure 2 normalized values (relative to Numba serial = 1):
     // Python ≈ 30, Ligra serial ≈ 0.69, Ligra parallel ≈ 1/17.
@@ -46,7 +57,18 @@ fn main() {
             ]
         })
         .collect();
-    println!("{}", render(&["Implementation", "Runtime", "Normalized (ours)", "Normalized (paper)"], &rows));
+    println!(
+        "{}",
+        render(
+            &[
+                "Implementation",
+                "Runtime",
+                "Normalized (ours)",
+                "Normalized (paper)"
+            ],
+            &rows
+        )
+    );
     if args.json {
         let json: Vec<_> = ms
             .iter()
@@ -60,6 +82,9 @@ fn main() {
                 })
             })
             .collect();
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "fig2": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "fig2": json })).unwrap()
+        );
     }
 }

@@ -14,12 +14,20 @@ use gee_graph::CsrGraph;
 
 fn main() {
     let args = Args::parse();
-    let w = table1_workloads().into_iter().last().expect("have workloads");
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let w = table1_workloads()
+        .into_iter()
+        .last()
+        .expect("have workloads");
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     let max_threads = if args.threads > 0 {
         args.threads
     } else {
-        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8)
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(8)
     };
     println!(
         "Figure 3 reproduction — GEE-Ligra strong scaling on the {} stand-in (1/{} scale), 1..{} threads\n",
@@ -38,7 +46,9 @@ fn main() {
     let mut t1 = 0.0f64;
     for threads in 1..=max_threads {
         let (secs, _, z) = timed(args.runs, || {
-            gee_ligra::with_threads(threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         });
         verify_embedding(&z, &el, &labels, "fig3");
         if threads == 1 {
@@ -54,13 +64,17 @@ fn main() {
         json.push(serde_json::json!({ "threads": threads, "seconds": secs, "speedup": speedup }));
         eprintln!("done: {threads} threads");
     }
-    println!("{}", render(&["Threads", "Runtime", "Speedup", "Efficiency"], &rows));
+    println!(
+        "{}",
+        render(&["Threads", "Runtime", "Speedup", "Efficiency"], &rows)
+    );
     println!("paper reference: 11× speedup at 24 cores (hyperthreading disabled)");
     // §IV's memory-bound explanation, made quantitative: a roofline lower
     // bound from measured bandwidth and the kernel's bytes/edge. Scaling
     // must flatten as measured runtime approaches this bound.
     let bandwidth = gee_bench::measure_bandwidth(args.runs);
-    let bound = gee_bench::predicted_edge_pass_seconds(el.num_edges(), !el.is_unit_weighted(), bandwidth);
+    let bound =
+        gee_bench::predicted_edge_pass_seconds(el.num_edges(), !el.is_unit_weighted(), bandwidth);
     println!(
         "\nmemory-bound roofline: {:.2} GB/s sustainable × {:.0} B/edge → ≥ {} for the edge pass",
         bandwidth / 1e9,

@@ -19,7 +19,10 @@ const AVG_DEGREE: usize = 16;
 
 fn main() {
     let args = Args::parse();
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!(
         "Figure 4 reproduction — Erdős–Rényi sweep, 2^13..2^{} edges, K={}, avg degree {}\n",
         args.max_log2, args.k, AVG_DEGREE
@@ -41,7 +44,14 @@ fn main() {
             .then(|| time_implementation(Impl::Interp, &el, &g, &labels, args.runs, args.threads));
         let opt = time_implementation(Impl::Optimized, &el, &g, &labels, args.runs, args.threads);
         let ser = time_implementation(Impl::LigraSerial, &el, &g, &labels, args.runs, args.threads);
-        let par = time_implementation(Impl::LigraParallel, &el, &g, &labels, args.runs, args.threads);
+        let par = time_implementation(
+            Impl::LigraParallel,
+            &el,
+            &g,
+            &labels,
+            args.runs,
+            args.threads,
+        );
         rows.push(vec![
             log2_edges.to_string(),
             el.num_edges().to_string(),
@@ -63,7 +73,14 @@ fn main() {
     println!(
         "{}",
         render(
-            &["log2(s)", "edges", "GEE-Py(model)", "Numba-analog", "Ligra serial", "Ligra parallel"],
+            &[
+                "log2(s)",
+                "edges",
+                "GEE-Py(model)",
+                "Numba-analog",
+                "Ligra serial",
+                "Ligra parallel"
+            ],
             &rows
         )
     );
@@ -72,9 +89,15 @@ fn main() {
     if json.len() >= 4 {
         let a = json[json.len() - 2]["ligra_parallel"].as_f64().unwrap();
         let b = json[json.len() - 1]["ligra_parallel"].as_f64().unwrap();
-        println!("last doubling ratio (ligra parallel): {:.2} (linear scaling → 2.0)", b / a);
+        println!(
+            "last doubling ratio (ligra parallel): {:.2} (linear scaling → 2.0)",
+            b / a
+        );
     }
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "fig4": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "fig4": json })).unwrap()
+        );
     }
 }

@@ -26,10 +26,17 @@ fn main() {
     // 8-block SBM.
     let blocks = 8usize;
     let per_block = (200_000 / blocks / args.scale).max(50);
-    let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(blocks, per_block, 0.01, 0.0005), args.seed);
+    let sbm = gee_gen::sbm(
+        &gee_gen::SbmParams::balanced(blocks, per_block, 0.01, 0.0005),
+        args.seed,
+    );
     let n = sbm.edges.num_vertices();
     let labels = Labels::from_options_with_k(
-        &gee_gen::subsample_labels(&sbm.truth, args.labeled_fraction.max(0.05), args.seed ^ 0x5E),
+        &gee_gen::subsample_labels(
+            &sbm.truth,
+            args.labeled_fraction.max(0.05),
+            args.seed ^ 0x5E,
+        ),
         blocks,
     );
     let classify_batch = 256usize.min(n);
@@ -44,7 +51,9 @@ fn main() {
     let max_threads = if args.threads > 0 {
         args.threads
     } else {
-        std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8)
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(8)
     };
     let mut shard_counts = vec![1usize, 2, 4];
     let mut s = 8;
@@ -62,9 +71,17 @@ fn main() {
         let engine = Engine::new(registry.clone());
 
         // Classify throughput.
-        let vertices: Vec<u32> = (0..classify_batch as u32).map(|i| (i * 97) % n as u32).collect();
+        let vertices: Vec<u32> = (0..classify_batch as u32)
+            .map(|i| (i * 97) % n as u32)
+            .collect();
         let (classify_secs, _, _) = timed(args.runs, || {
-            let reqs = vec![Envelope::new("g", Request::Classify { vertices: vertices.clone(), k: 5 })];
+            let reqs = vec![Envelope::new(
+                "g",
+                Request::Classify {
+                    vertices: vertices.clone(),
+                    k: 5,
+                },
+            )];
             let r = engine.execute_batch(reqs);
             assert!(r.iter().all(Result::is_ok));
         });
@@ -73,7 +90,15 @@ fn main() {
         // Similar throughput.
         let (similar_secs, _, _) = timed(args.runs, || {
             let reqs: Vec<Envelope> = (0..similar_batch as u32)
-                .map(|i| Envelope::new("g", Request::Similar { vertex: (i * 131) % n as u32, top: 10 }))
+                .map(|i| {
+                    Envelope::new(
+                        "g",
+                        Request::Similar {
+                            vertex: (i * 131) % n as u32,
+                            top: 10,
+                        },
+                    )
+                })
                 .collect();
             let r = engine.execute_batch(reqs);
             assert!(r.iter().all(Result::is_ok));
@@ -83,15 +108,31 @@ fn main() {
         // Mixed read/write batch: 64 rows + an update batch + 64 rows.
         let (mixed_secs, _, _) = timed(args.runs, || {
             let mut reqs: Vec<Envelope> = (0..64u32)
-                .map(|i| Envelope::new("g", Request::EmbedRow { vertex: (i * 11) % n as u32 }))
+                .map(|i| {
+                    Envelope::new(
+                        "g",
+                        Request::EmbedRow {
+                            vertex: (i * 11) % n as u32,
+                        },
+                    )
+                })
                 .collect();
             let updates: Vec<Update> = (0..128u32)
-                .map(|i| Update::InsertEdge { u: (i * 7) % n as u32, v: (i * 13 + 1) % n as u32, w: 1.0 })
+                .map(|i| Update::InsertEdge {
+                    u: (i * 7) % n as u32,
+                    v: (i * 13 + 1) % n as u32,
+                    w: 1.0,
+                })
                 .collect();
             reqs.push(Envelope::new("g", Request::ApplyUpdates { updates }));
-            reqs.extend(
-                (0..64u32).map(|i| Envelope::new("g", Request::EmbedRow { vertex: (i * 17) % n as u32 })),
-            );
+            reqs.extend((0..64u32).map(|i| {
+                Envelope::new(
+                    "g",
+                    Request::EmbedRow {
+                        vertex: (i * 17) % n as u32,
+                    },
+                )
+            }));
             let r = engine.execute_batch(reqs);
             assert!(r.iter().all(Result::is_ok));
         });
@@ -116,7 +157,13 @@ fn main() {
     println!(
         "{}",
         render(
-            &["Shards", "Register", "Classify q/s", "Similar q/s", "Mixed r/s (w/ updates)"],
+            &[
+                "Shards",
+                "Register",
+                "Classify q/s",
+                "Similar q/s",
+                "Mixed r/s (w/ updates)"
+            ],
             &rows
         )
     );

@@ -26,13 +26,18 @@ fn main() {
         let labels = Labels::from_options_with_k(
             &gee_gen::random_labels(
                 n,
-                LabelSpec { num_classes: k, labeled_fraction: args.labeled_fraction },
+                LabelSpec {
+                    num_classes: k,
+                    labeled_fraction: args.labeled_fraction,
+                },
                 args.seed ^ k as u64,
             ),
             k,
         );
         let (secs, _, z) = timed(args.runs, || {
-            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(args.threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         });
         assert_eq!(z.dim(), k);
         rows.push(vec![
@@ -49,9 +54,15 @@ fn main() {
         }));
         eprintln!("done: K = {k}");
     }
-    println!("{}", render(&["K", "nK / s", "embed time", "Z memory"], &rows));
+    println!(
+        "{}",
+        render(&["K", "nK / s", "embed time", "Z memory"], &rows)
+    );
     println!("expected shape: near-flat until nK/s approaches 1, then the O(nK) terms dominate.");
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "sweep_k": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "sweep_k": json })).unwrap()
+        );
     }
 }

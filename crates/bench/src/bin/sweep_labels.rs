@@ -17,7 +17,10 @@ fn main() {
     let args = Args::parse();
     let blocks = 8usize;
     let per_block = (200_000 / args.scale).clamp(200, 50_000);
-    let sbm = gee_gen::sbm(&gee_gen::SbmParams::balanced(blocks, per_block, 0.02, 0.001), args.seed);
+    let sbm = gee_gen::sbm(
+        &gee_gen::SbmParams::balanced(blocks, per_block, 0.02, 0.001),
+        args.seed,
+    );
     let g = CsrGraph::from_edge_list(&sbm.edges);
     let n = g.num_vertices();
     println!(
@@ -32,7 +35,9 @@ fn main() {
             blocks,
         );
         let (secs, _, z) = timed(args.runs, || {
-            gee_ligra::with_threads(args.threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(args.threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         });
         let mut zn = z.clone();
         zn.normalize_rows();
@@ -52,13 +57,23 @@ fn main() {
         }));
         eprintln!("done: {:.0}% labels", frac * 100.0);
     }
-    println!("{}", render(&["labeled", "vertices", "embed time", "ARI vs truth"], &rows));
+    println!(
+        "{}",
+        render(
+            &["labeled", "vertices", "embed time", "ARI vs truth"],
+            &rows
+        )
+    );
     println!("expected shape: flat runtime, rising ARI.");
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "sweep_labels": json })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "sweep_labels": json })).unwrap()
+        );
     }
 }
 
 fn gee_eval_kmeans(z: &gee_core::Embedding, n: usize, k: usize, seed: u64) -> Vec<u32> {
-    gee_eval::kmeans_best_of(z.as_slice(), n, k, gee_eval::KMeansOptions::new(k, seed), 4).assignment
+    gee_eval::kmeans_best_of(z.as_slice(), n, k, gee_eval::KMeansOptions::new(k, seed), 4)
+        .assignment
 }

@@ -6,16 +6,19 @@
 //! cargo run --release -p gee-bench --bin table1 -- --scale 64
 //! ```
 
-use gee_bench::{table1_workloads, time_implementation, Args};
 use gee_bench::runner::Impl;
 use gee_bench::table::{fmt_secs, fmt_speedup, render};
+use gee_bench::{table1_workloads, time_implementation, Args};
 use gee_core::Labels;
 use gee_gen::LabelSpec;
 use gee_graph::CsrGraph;
 
 fn main() {
     let args = Args::parse();
-    let spec = LabelSpec { num_classes: args.k, labeled_fraction: args.labeled_fraction };
+    let spec = LabelSpec {
+        num_classes: args.k,
+        labeled_fraction: args.labeled_fraction,
+    };
     println!(
         "Table I reproduction — R-MAT stand-ins at 1/{} scale, K={}, {}% labeled, median of {} runs\n",
         args.scale,
@@ -32,13 +35,23 @@ fn main() {
             &gee_gen::random_labels(el.num_vertices(), spec, args.seed ^ 0xBEEF),
             args.k,
         );
-        let ms: Vec<_> = [Impl::Interp, Impl::Optimized, Impl::LigraSerial, Impl::LigraParallel]
-            .into_iter()
-            .map(|i| time_implementation(i, &el, &g, &labels, args.runs, args.threads))
-            .collect();
+        let ms: Vec<_> = [
+            Impl::Interp,
+            Impl::Optimized,
+            Impl::LigraSerial,
+            Impl::LigraParallel,
+        ]
+        .into_iter()
+        .map(|i| time_implementation(i, &el, &g, &labels, args.runs, args.threads))
+        .collect();
         let t = |i: usize| ms[i].seconds;
         rows.push(vec![
-            format!("{} ({}K, {:.1}M)", w.name, el.num_vertices() / 1000, el.num_edges() as f64 / 1e6),
+            format!(
+                "{} ({}K, {:.1}M)",
+                w.name,
+                el.num_vertices() / 1000,
+                el.num_edges() as f64 / 1e6
+            ),
             fmt_secs(t(0)),
             fmt_secs(t(1)),
             fmt_secs(t(2)),
@@ -84,6 +97,9 @@ fn main() {
         )
     );
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&serde_json::json!({ "table1": json_rows })).unwrap());
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&serde_json::json!({ "table1": json_rows })).unwrap()
+        );
     }
 }

@@ -93,11 +93,17 @@ pub fn time_implementation(
             gee_ligra::with_threads(1, || gee_core::ligra::embed(g, labels, AtomicsMode::Atomic))
         }),
         Impl::LigraParallel => timed(runs, || {
-            gee_ligra::with_threads(threads, || gee_core::ligra::embed(g, labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(threads, || {
+                gee_core::ligra::embed(g, labels, AtomicsMode::Atomic)
+            })
         }),
     };
     verify_embedding(&z, el, labels, which.label());
-    Measurement { implementation: which, seconds, all_runs }
+    Measurement {
+        implementation: which,
+        seconds,
+        all_runs,
+    }
 }
 
 #[cfg(test)]
@@ -111,10 +117,18 @@ mod tests {
         let g = CsrGraph::from_edge_list(&el);
         let labels = Labels::from_options(&gee_gen::random_labels(
             500,
-            LabelSpec { num_classes: 10, labeled_fraction: 0.1 },
+            LabelSpec {
+                num_classes: 10,
+                labeled_fraction: 0.1,
+            },
             7,
         ));
-        for which in [Impl::Interp, Impl::Optimized, Impl::LigraSerial, Impl::LigraParallel] {
+        for which in [
+            Impl::Interp,
+            Impl::Optimized,
+            Impl::LigraSerial,
+            Impl::LigraParallel,
+        ] {
             let m = time_implementation(which, &el, &g, &labels, 1, 0);
             assert!(m.seconds >= 0.0);
             assert_eq!(m.all_runs.len(), 1);

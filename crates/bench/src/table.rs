@@ -60,7 +60,10 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let t = render(&["a", "bb"], &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]]);
+        let t = render(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
         assert!(t.contains("| a  | bb |"));
         assert!(t.contains("| 33 | 4  |"));
     }

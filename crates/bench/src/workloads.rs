@@ -27,19 +27,52 @@ pub struct Workload {
 /// The six Table I graphs with the paper's reported numbers.
 pub fn table1_workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "Twitch", paper_n: 168_000, paper_s: 6_800_000, paper_runtimes: [12.18, 0.20, 0.11, 0.013] },
-        Workload { name: "soc-Pokec", paper_n: 1_600_000, paper_s: 30_000_000, paper_runtimes: [133.21, 1.68, 0.99, 0.12] },
-        Workload { name: "soc-LiveJournal", paper_n: 6_400_000, paper_s: 69_000_000, paper_runtimes: [301.64, 4.29, 2.39, 0.39] },
-        Workload { name: "soc-orkut", paper_n: 3_000_000, paper_s: 117_000_000, paper_runtimes: [499.83, 4.48, 2.97, 0.26] },
-        Workload { name: "orkut-groups", paper_n: 3_000_000, paper_s: 327_000_000, paper_runtimes: [595.29, 11.43, 6.06, 2.36] },
-        Workload { name: "Friendster", paper_n: 65_000_000, paper_s: 1_800_000_000, paper_runtimes: [3374.72, 112.33, 77.23, 6.42] },
+        Workload {
+            name: "Twitch",
+            paper_n: 168_000,
+            paper_s: 6_800_000,
+            paper_runtimes: [12.18, 0.20, 0.11, 0.013],
+        },
+        Workload {
+            name: "soc-Pokec",
+            paper_n: 1_600_000,
+            paper_s: 30_000_000,
+            paper_runtimes: [133.21, 1.68, 0.99, 0.12],
+        },
+        Workload {
+            name: "soc-LiveJournal",
+            paper_n: 6_400_000,
+            paper_s: 69_000_000,
+            paper_runtimes: [301.64, 4.29, 2.39, 0.39],
+        },
+        Workload {
+            name: "soc-orkut",
+            paper_n: 3_000_000,
+            paper_s: 117_000_000,
+            paper_runtimes: [499.83, 4.48, 2.97, 0.26],
+        },
+        Workload {
+            name: "orkut-groups",
+            paper_n: 3_000_000,
+            paper_s: 327_000_000,
+            paper_runtimes: [595.29, 11.43, 6.06, 2.36],
+        },
+        Workload {
+            name: "Friendster",
+            paper_n: 65_000_000,
+            paper_s: 1_800_000_000,
+            paper_runtimes: [3374.72, 112.33, 77.23, 6.42],
+        },
     ]
 }
 
 impl Workload {
     /// Scaled stand-in sizes.
     pub fn scaled(&self, scale: usize) -> (usize, usize) {
-        ((self.paper_n / scale).max(64), (self.paper_s / scale).max(1024))
+        (
+            (self.paper_n / scale).max(64),
+            (self.paper_s / scale).max(1024),
+        )
     }
 
     /// Generate the R-MAT stand-in at `1/scale`.
@@ -75,7 +108,10 @@ mod tests {
         let el = w.generate(512, 1);
         let (n, s) = w.scaled(512);
         assert_eq!(el.num_edges(), s);
-        assert!(el.num_vertices() >= n, "vertex space must cover the target n");
+        assert!(
+            el.num_vertices() >= n,
+            "vertex space must cover the target n"
+        );
     }
 
     #[test]

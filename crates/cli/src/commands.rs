@@ -25,13 +25,16 @@ subcommands:
   communities  --graph <file> [--algo leiden|louvain] [--gamma G=1.0]
   analyze      --graph <file> --algo <cc|pagerank|kcore|sssp|bfs|triangles|
                                        matching|dominating-set|densest> [--source V=0]
-  serve        --graph <file> --script <file> [--k K=50] [--labeled F=0.1]
+  serve        --graph <file> (--script <file> | --listen ADDR) [--k K=50] [--labeled F=0.1]
                [--shards S=4] [--seed S=42]
                script lines: classify v1,v2,.. [k] | similar v [top] | row v |
                              insert u v w | remove u v w | label v <class|none> | stats
+               --listen serves wire protocol v1 over TCP (graph name \"g\");
+               [--max-conns N] stop after N connections, [--port-file F] write bound addr to F
   query        --graph <file> (--classify v1,v2,.. | --similar V | --row V | --stats true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
                [--shards S=4] [--seed S=42]
+               or query a running server: --connect ADDR [--name g] instead of --graph
   convert      <in-file> <out-file>
 
 formats by extension: .txt/.el/.edgelist (text), .snap, .mtx, .csr (binary), .edges (stream)
@@ -53,7 +56,9 @@ pub fn run(args: &[String]) -> crate::Result<String> {
         "query" => query(&flags),
         "convert" => convert(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
-        other => Err(CliError::Usage(format!("unknown subcommand {other:?}\n\n{USAGE}"))),
+        other => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -78,7 +83,11 @@ fn generate(flags: &Flags) -> crate::Result<String> {
             let vertices: usize = flags.get_parsed("vertices", 4000)?;
             let p_in: f64 = flags.get_parsed("p-in", 0.1)?;
             let p_out: f64 = flags.get_parsed("p-out", 0.005)?;
-            gee_gen::sbm(&SbmParams::balanced(blocks, vertices / blocks.max(1), p_in, p_out), seed).edges
+            gee_gen::sbm(
+                &SbmParams::balanced(blocks, vertices / blocks.max(1), p_in, p_out),
+                seed,
+            )
+            .edges
         }
         "pa" => {
             let vertices: usize = flags.get_parsed("vertices", 100_000)?;
@@ -89,7 +98,14 @@ fn generate(flags: &Flags) -> crate::Result<String> {
             let vertices: usize = flags.get_parsed("vertices", 1usize << 16)?;
             let lattice_k: usize = flags.get_parsed("lattice-k", 8)?;
             let beta: f64 = flags.get_parsed("beta", 0.1)?;
-            gee_gen::watts_strogatz(gee_gen::WsParams { n: vertices, k: lattice_k, beta }, seed)
+            gee_gen::watts_strogatz(
+                gee_gen::WsParams {
+                    n: vertices,
+                    k: lattice_k,
+                    beta,
+                },
+                seed,
+            )
         }
         "powerlaw" => {
             let vertices: usize = flags.get_parsed("vertices", 1usize << 16)?;
@@ -126,7 +142,12 @@ fn stats(flags: &Flags) -> crate::Result<String> {
     writeln!(out, "{path}").unwrap();
     writeln!(out, "  vertices      : {}", s.num_vertices).unwrap();
     writeln!(out, "  edges         : {}", s.num_edges).unwrap();
-    writeln!(out, "  degree        : min {} / avg {:.2} / max {}", s.min_degree, s.avg_degree, s.max_degree).unwrap();
+    writeln!(
+        out,
+        "  degree        : min {} / avg {:.2} / max {}",
+        s.min_degree, s.avg_degree, s.max_degree
+    )
+    .unwrap();
     writeln!(out, "  isolated      : {}", s.isolated).unwrap();
     writeln!(out, "  self-loops    : {}", s.self_loops).unwrap();
     writeln!(out, "  weighted      : {}", g.is_weighted()).unwrap();
@@ -151,7 +172,14 @@ fn embed(flags: &Flags) -> crate::Result<String> {
     let which = flags.get("impl").unwrap_or("ligra");
     let el = read_graph(Path::new(&graph_path))?;
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(el.num_vertices(), LabelSpec { num_classes: k, labeled_fraction: labeled }, seed),
+        &gee_gen::random_labels(
+            el.num_vertices(),
+            LabelSpec {
+                num_classes: k,
+                labeled_fraction: labeled,
+            },
+            seed,
+        ),
         k,
     );
     let t0 = std::time::Instant::now();
@@ -160,11 +188,15 @@ fn embed(flags: &Flags) -> crate::Result<String> {
         "optimized" => gee_core::serial_optimized::embed(&el, &labels),
         "ligra-serial" => {
             let g = CsrGraph::from_edge_list(&el);
-            gee_ligra::with_threads(1, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(1, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         }
         "ligra" => {
             let g = CsrGraph::from_edge_list(&el);
-            gee_ligra::with_threads(threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic))
+            gee_ligra::with_threads(threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            })
         }
         "deterministic" => gee_ligra::with_threads(threads, || {
             gee_core::deterministic::embed(el.num_vertices(), el.edges(), &labels)
@@ -206,17 +238,43 @@ fn communities(flags: &Flags) -> crate::Result<String> {
     let g = CsrGraph::from_edge_list(&el);
     let t0 = std::time::Instant::now();
     let p: Partition = match algo {
-        "louvain" => louvain(&g, LouvainOptions { gamma, ..Default::default() }),
-        "leiden" => leiden(&g, LeidenOptions { gamma, ..Default::default() }),
-        other => return Err(CliError::Usage(format!("unknown --algo {other:?} (louvain|leiden)"))),
+        "louvain" => louvain(
+            &g,
+            LouvainOptions {
+                gamma,
+                ..Default::default()
+            },
+        ),
+        "leiden" => leiden(
+            &g,
+            LeidenOptions {
+                gamma,
+                ..Default::default()
+            },
+        ),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --algo {other:?} (louvain|leiden)"
+            )))
+        }
     };
     let dt = t0.elapsed();
     let q = modularity(&g, &p, gamma);
     let mut sizes = p.community_sizes();
     sizes.sort_unstable_by(|a, b| b.cmp(a));
     let mut out = String::new();
-    writeln!(out, "{algo} on {graph_path} (γ = {gamma}): {} communities, modularity {q:.4}, {dt:.2?}", p.num_communities()).unwrap();
-    writeln!(out, "largest communities: {:?}", &sizes[..sizes.len().min(10)]).unwrap();
+    writeln!(
+        out,
+        "{algo} on {graph_path} (γ = {gamma}): {} communities, modularity {q:.4}, {dt:.2?}",
+        p.num_communities()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "largest communities: {:?}",
+        &sizes[..sizes.len().min(10)]
+    )
+    .unwrap();
     if let Some(out_path) = flags.get("out") {
         let mut csv = String::new();
         for (v, &c) in p.membership().iter().enumerate() {
@@ -320,7 +378,10 @@ fn build_engine(
     let labels = Labels::from_options_with_k(
         &gee_gen::random_labels(
             el.num_vertices(),
-            LabelSpec { num_classes: k, labeled_fraction: labeled },
+            LabelSpec {
+                num_classes: k,
+                labeled_fraction: labeled,
+            },
             seed,
         ),
         k,
@@ -352,11 +413,16 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
     let cmd = parts.next().expect("nonempty line has a first token");
     let args: Vec<&str> = parts.collect();
     let usage = |msg: &str| CliError::Usage(format!("serve script: {msg} (line {line:?})"));
-    let parse_u32 =
-        |s: &str, what: &str| s.parse::<u32>().map_err(|_| usage(&format!("bad {what} {s:?}")));
+    let parse_u32 = |s: &str, what: &str| {
+        s.parse::<u32>()
+            .map_err(|_| usage(&format!("bad {what} {s:?}")))
+    };
     let req = match cmd {
         "classify" => {
-            let vertices = parse_vertex_list(args.first().ok_or_else(|| usage("classify needs vertices"))?)?;
+            let vertices = parse_vertex_list(
+                args.first()
+                    .ok_or_else(|| usage("classify needs vertices"))?,
+            )?;
             let k = match args.get(1) {
                 Some(s) => s.parse().map_err(|_| usage(&format!("bad k {s:?}")))?,
                 None => 5,
@@ -364,7 +430,11 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
             Request::Classify { vertices, k }
         }
         "similar" => {
-            let vertex = parse_u32(args.first().ok_or_else(|| usage("similar needs a vertex"))?, "vertex")?;
+            let vertex = parse_u32(
+                args.first()
+                    .ok_or_else(|| usage("similar needs a vertex"))?,
+                "vertex",
+            )?;
             let top = match args.get(1) {
                 Some(s) => s.parse().map_err(|_| usage(&format!("bad top {s:?}")))?,
                 None => 10,
@@ -372,7 +442,10 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
             Request::Similar { vertex, top }
         }
         "row" => {
-            let vertex = parse_u32(args.first().ok_or_else(|| usage("row needs a vertex"))?, "vertex")?;
+            let vertex = parse_u32(
+                args.first().ok_or_else(|| usage("row needs a vertex"))?,
+                "vertex",
+            )?;
             Request::EmbedRow { vertex }
         }
         "insert" | "remove" => {
@@ -386,15 +459,23 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
             } else {
                 Update::RemoveEdge { u, v, w }
             };
-            Request::ApplyUpdates { updates: vec![update] }
+            Request::ApplyUpdates {
+                updates: vec![update],
+            }
         }
         "label" => {
             let [v, class] = args[..] else {
                 return Err(usage("label needs: v <class|none>"));
             };
             let v = parse_u32(v, "vertex")?;
-            let label = if class == "none" { None } else { Some(parse_u32(class, "class")?) };
-            Request::ApplyUpdates { updates: vec![Update::SetLabel { v, label }] }
+            let label = if class == "none" {
+                None
+            } else {
+                Some(parse_u32(class, "class")?)
+            };
+            Request::ApplyUpdates {
+                updates: vec![Update::SetLabel { v, label }],
+            }
         }
         "stats" => Request::Stats,
         other => return Err(usage(&format!("unknown command {other:?}"))),
@@ -427,9 +508,44 @@ fn render_response(out: &mut String, r: &gee_serve::Response) {
     }
 }
 
+/// `serve --listen`: stand up the engine and serve wire protocol v1 over
+/// TCP until `--max-conns` connections finish (or forever without it).
+fn serve_listen(flags: &Flags, addr: &str) -> crate::Result<String> {
+    let (engine, n) = build_engine(flags, "k", 50)?;
+    let max_conns = flags
+        .get("max-conns")
+        .map(|raw| {
+            raw.parse::<usize>()
+                .map_err(|_| CliError::Usage(format!("flag --max-conns: cannot parse {raw:?}")))
+        })
+        .transpose()?;
+    let handle = gee_serve::Server::listen(std::sync::Arc::new(engine), addr, max_conns)?;
+    let bound = handle.addr();
+    eprintln!(
+        "serving \"g\" ({n} vertices) on {bound} (wire protocol v{})",
+        gee_serve::PROTOCOL_VERSION
+    );
+    if let Some(port_file) = flags.get("port-file") {
+        std::fs::write(port_file, bound.to_string())?;
+    }
+    match max_conns {
+        Some(m) => {
+            handle.wait();
+            Ok(format!("served {m} connection(s) on {bound}; exiting\n"))
+        }
+        None => {
+            handle.wait(); // unbounded: runs until the process is killed
+            Ok(String::new())
+        }
+    }
+}
+
 /// `serve`: stand up the engine and run a query script against it as one
-/// coalesced batch.
+/// coalesced batch (or serve TCP with `--listen`).
 fn serve(flags: &Flags) -> crate::Result<String> {
+    if let Some(addr) = flags.get("listen") {
+        return serve_listen(flags, &addr.to_string());
+    }
     let script_path = flags.require("script")?.to_string();
     let (engine, _) = build_engine(flags, "k", 50)?;
     let script = std::fs::read_to_string(&script_path)?;
@@ -456,20 +572,26 @@ fn serve(flags: &Flags) -> crate::Result<String> {
     Ok(out)
 }
 
-/// `query`: one-shot request against a freshly served graph.
+/// `query`: one-shot request against a freshly served graph, or — with
+/// `--connect` — against a running `serve --listen` server over the wire.
 fn query(flags: &Flags) -> crate::Result<String> {
     use gee_serve::Request;
     let request = if let Some(raw) = flags.get("classify") {
         let k: usize = flags.get_parsed("k", 5)?;
-        Request::Classify { vertices: parse_vertex_list(raw)?, k }
+        Request::Classify {
+            vertices: parse_vertex_list(raw)?,
+            k,
+        }
     } else if let Some(raw) = flags.get("similar") {
-        let vertex =
-            raw.parse().map_err(|_| CliError::Usage(format!("bad --similar vertex {raw:?}")))?;
+        let vertex = raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --similar vertex {raw:?}")))?;
         let top: usize = flags.get_parsed("top", 10)?;
         Request::Similar { vertex, top }
     } else if let Some(raw) = flags.get("row") {
-        let vertex =
-            raw.parse().map_err(|_| CliError::Usage(format!("bad --row vertex {raw:?}")))?;
+        let vertex = raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --row vertex {raw:?}")))?;
         Request::EmbedRow { vertex }
     } else if flags.get("stats").is_some() {
         Request::Stats
@@ -478,8 +600,16 @@ fn query(flags: &Flags) -> crate::Result<String> {
             "query: need one of --classify, --similar, --row, --stats true".into(),
         ));
     };
-    let (engine, _) = build_engine(flags, "classes", 50)?;
     let mut out = String::new();
+    if let Some(addr) = flags.get("connect") {
+        let graph = flags.get("name").unwrap_or("g");
+        let mut client = gee_serve::Client::connect(addr)?;
+        let response = client.execute(graph, request)?;
+        render_response(&mut out, &response);
+        client.goodbye()?;
+        return Ok(out);
+    }
+    let (engine, _) = build_engine(flags, "classes", 50)?;
     match engine.execute("g", request) {
         Ok(r) => render_response(&mut out, &r),
         Err(e) => return Err(CliError::Usage(format!("query failed: {e}"))),
@@ -495,7 +625,11 @@ fn convert(flags: &Flags) -> crate::Result<String> {
     let output = flags.positional(1).expect("checked");
     let el = read_graph(Path::new(input))?;
     write_graph(Path::new(output), &el)?;
-    Ok(format!("converted {input} → {output} ({} vertices, {} edges)\n", el.num_vertices(), el.num_edges()))
+    Ok(format!(
+        "converted {input} → {output} ({} vertices, {} edges)\n",
+        el.num_vertices(),
+        el.num_edges()
+    ))
 }
 
 #[cfg(test)]
@@ -507,7 +641,10 @@ mod tests {
     }
 
     fn tmp(name: &str) -> String {
-        std::env::temp_dir().join(name).to_string_lossy().into_owned()
+        std::env::temp_dir()
+            .join(name)
+            .to_string_lossy()
+            .into_owned()
     }
 
     #[test]
@@ -531,14 +668,30 @@ mod tests {
         let graph = tmp("gee_cli_pipe.txt");
         let emb = tmp("gee_cli_pipe.csv");
         let out = run(&sv(&[
-            "generate", "--kind", "er", "--vertices", "500", "--edges", "4000", "--out", &graph,
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "500",
+            "--edges",
+            "4000",
+            "--out",
+            &graph,
         ]))
         .unwrap();
         assert!(out.contains("4000 edges"), "{out}");
         let out = run(&sv(&["stats", &graph])).unwrap();
         assert!(out.contains("vertices      : 500"), "{out}");
         let out = run(&sv(&[
-            "embed", "--graph", &graph, "--out", &emb, "--k", "5", "--impl", "optimized",
+            "embed",
+            "--graph",
+            &graph,
+            "--out",
+            &emb,
+            "--k",
+            "5",
+            "--impl",
+            "optimized",
         ]))
         .unwrap();
         assert!(out.contains("Z is 500×5"), "{out}");
@@ -553,8 +706,19 @@ mod tests {
     fn generate_sbm_and_communities() {
         let graph = tmp("gee_cli_sbm.txt");
         run(&sv(&[
-            "generate", "--kind", "sbm", "--blocks", "3", "--vertices", "120", "--p-in", "0.4",
-            "--p-out", "0.01", "--out", &graph,
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "120",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
         ]))
         .unwrap();
         let out = run(&sv(&["communities", "--graph", &graph, "--algo", "leiden"])).unwrap();
@@ -566,7 +730,18 @@ mod tests {
     fn convert_between_formats() {
         let a = tmp("gee_cli_conv.txt");
         let b = tmp("gee_cli_conv.mtx");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "50", "--edges", "200", "--out", &a])).unwrap();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "50",
+            "--edges",
+            "200",
+            "--out",
+            &a,
+        ]))
+        .unwrap();
         let out = run(&sv(&["convert", &a, &b])).unwrap();
         assert!(out.contains("200 edges"), "{out}");
         let back = read_graph(Path::new(&b)).unwrap();
@@ -578,28 +753,67 @@ mod tests {
     #[test]
     fn embed_rejects_unknown_impl() {
         let graph = tmp("gee_cli_impl.txt");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "20", "--edges", "50", "--out", &graph])).unwrap();
-        let r = run(&sv(&["embed", "--graph", &graph, "--out", "/dev/null", "--impl", "magic"]));
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "20",
+            "--edges",
+            "50",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let r = run(&sv(&[
+            "embed",
+            "--graph",
+            &graph,
+            "--out",
+            "/dev/null",
+            "--impl",
+            "magic",
+        ]));
         assert!(matches!(r, Err(CliError::Usage(_))));
         std::fs::remove_file(&graph).ok();
     }
 
     #[test]
     fn generate_requires_out() {
-        assert!(matches!(run(&sv(&["generate", "--kind", "er"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&sv(&["generate", "--kind", "er"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn generate_watts_strogatz_and_powerlaw() {
         let graph = tmp("gee_cli_ws.txt");
         let out = run(&sv(&[
-            "generate", "--kind", "ws", "--vertices", "100", "--lattice-k", "4", "--beta", "0.2",
-            "--out", &graph,
+            "generate",
+            "--kind",
+            "ws",
+            "--vertices",
+            "100",
+            "--lattice-k",
+            "4",
+            "--beta",
+            "0.2",
+            "--out",
+            &graph,
         ]))
         .unwrap();
         assert!(out.contains("100 vertices"), "{out}");
         let out = run(&sv(&[
-            "generate", "--kind", "powerlaw", "--vertices", "200", "--alpha", "2.5", "--out", &graph,
+            "generate",
+            "--kind",
+            "powerlaw",
+            "--vertices",
+            "200",
+            "--alpha",
+            "2.5",
+            "--out",
+            &graph,
         ]))
         .unwrap();
         assert!(out.contains("200 vertices"), "{out}");
@@ -610,9 +824,28 @@ mod tests {
     fn embed_deterministic_impl() {
         let graph = tmp("gee_cli_det.txt");
         let emb = tmp("gee_cli_det.csv");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "200", "--edges", "1000", "--out", &graph])).unwrap();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "200",
+            "--edges",
+            "1000",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
         let out = run(&sv(&[
-            "embed", "--graph", &graph, "--out", &emb, "--k", "4", "--impl", "deterministic",
+            "embed",
+            "--graph",
+            &graph,
+            "--out",
+            &emb,
+            "--k",
+            "4",
+            "--impl",
+            "deterministic",
         ]))
         .unwrap();
         assert!(out.contains("Z is 200×4"), "{out}");
@@ -623,7 +856,18 @@ mod tests {
     #[test]
     fn analyze_runs_every_algorithm() {
         let graph = tmp("gee_cli_analyze.txt");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "300", "--edges", "2400", "--out", &graph])).unwrap();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "300",
+            "--edges",
+            "2400",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
         for (algo, needle) in [
             ("cc", "connected components"),
             ("pagerank", "top-5 PageRank"),
@@ -646,8 +890,19 @@ mod tests {
         let graph = tmp("gee_cli_serve.txt");
         let script = tmp("gee_cli_serve.script");
         run(&sv(&[
-            "generate", "--kind", "sbm", "--blocks", "3", "--vertices", "120", "--p-in", "0.4",
-            "--p-out", "0.01", "--out", &graph,
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "120",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
         ]))
         .unwrap();
         std::fs::write(
@@ -663,15 +918,27 @@ mod tests {
         )
         .unwrap();
         let out = run(&sv(&[
-            "serve", "--graph", &graph, "--script", &script, "--k", "3", "--labeled", "0.5",
-            "--shards", "3",
+            "serve",
+            "--graph",
+            &graph,
+            "--script",
+            &script,
+            "--k",
+            "3",
+            "--labeled",
+            "0.5",
+            "--shards",
+            "3",
         ]))
         .unwrap();
         assert!(out.contains("classes:"), "{out}");
         assert!(out.contains("neighbors:"), "{out}");
         assert!(out.contains("row:"), "{out}");
         assert!(out.contains("applied 1 update(s); now at epoch 3"), "{out}");
-        assert!(out.contains("epoch 3 | 120 vertices × 3 dims, 3 shards"), "{out}");
+        assert!(
+            out.contains("epoch 3 | 120 vertices × 3 dims, 3 shards"),
+            "{out}"
+        );
         assert!(out.contains("served 7 request(s)"), "{out}");
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&script).ok();
@@ -681,7 +948,18 @@ mod tests {
     fn serve_rejects_bad_script_line() {
         let graph = tmp("gee_cli_serve_bad.txt");
         let script = tmp("gee_cli_serve_bad.script");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "30", "--edges", "100", "--out", &graph])).unwrap();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "30",
+            "--edges",
+            "100",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
         std::fs::write(&script, "frobnicate 1 2\n").unwrap();
         let r = run(&sv(&["serve", "--graph", &graph, "--script", &script]));
         assert!(matches!(r, Err(CliError::Usage(_))));
@@ -693,28 +971,202 @@ mod tests {
     fn query_classify_and_stats() {
         let graph = tmp("gee_cli_query.txt");
         run(&sv(&[
-            "generate", "--kind", "sbm", "--blocks", "3", "--vertices", "90", "--p-in", "0.4",
-            "--p-out", "0.01", "--out", &graph,
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "90",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
         ]))
         .unwrap();
         let out = run(&sv(&[
-            "query", "--graph", &graph, "--classify", "0,1,2", "--classes", "3", "--labeled",
-            "0.5", "--k", "3",
+            "query",
+            "--graph",
+            &graph,
+            "--classify",
+            "0,1,2",
+            "--classes",
+            "3",
+            "--labeled",
+            "0.5",
+            "--k",
+            "3",
         ]))
         .unwrap();
         assert!(out.contains("classes:"), "{out}");
         let out = run(&sv(&["query", "--graph", &graph, "--stats", "true"])).unwrap();
         assert!(out.contains("90 vertices"), "{out}");
-        let out =
-            run(&sv(&["query", "--graph", &graph, "--similar", "4", "--top", "3"])).unwrap();
+        let out = run(&sv(&[
+            "query",
+            "--graph",
+            &graph,
+            "--similar",
+            "4",
+            "--top",
+            "3",
+        ]))
+        .unwrap();
         assert!(out.contains("neighbors:"), "{out}");
         std::fs::remove_file(&graph).ok();
     }
 
     #[test]
+    fn serve_listen_and_query_connect_end_to_end() {
+        let graph = tmp("gee_cli_listen.txt");
+        let port_file = tmp("gee_cli_listen.port");
+        std::fs::remove_file(&port_file).ok();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "90",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let serve_args = sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "2",
+            "--port-file",
+            &port_file,
+            "--k",
+            "3",
+            "--labeled",
+            "0.5",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        // Wait for the server to write its bound address.
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+        let out = run(&sv(&["query", "--connect", &addr, "--stats", "true"])).unwrap();
+        assert!(out.contains("90 vertices"), "{out}");
+        let out = run(&sv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--classify",
+            "0,1,2",
+            "--k",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("classes:"), "{out}");
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("served 2 connection(s)"), "{out}");
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
+    fn query_connect_reports_typed_errors() {
+        let graph = tmp("gee_cli_connect_err.txt");
+        let port_file = tmp("gee_cli_connect_err.port");
+        std::fs::remove_file(&port_file).ok();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "40",
+            "--edges",
+            "150",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let serve_args = sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "1",
+            "--port-file",
+            &port_file,
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+        let r = run(&sv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--name",
+            "nope",
+            "--stats",
+            "true",
+        ]));
+        match r {
+            Err(CliError::Serve(e)) => {
+                assert!(
+                    matches!(e, gee_serve::ServeError::UnknownGraph { .. }),
+                    "{e}"
+                )
+            }
+            other => panic!("expected typed serve error, got {other:?}"),
+        }
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
     fn query_requires_a_request_kind() {
         let graph = tmp("gee_cli_query_none.txt");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "20", "--edges", "40", "--out", &graph])).unwrap();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "20",
+            "--edges",
+            "40",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
         let r = run(&sv(&["query", "--graph", &graph]));
         assert!(matches!(r, Err(CliError::Usage(_))));
         std::fs::remove_file(&graph).ok();
@@ -723,7 +1175,18 @@ mod tests {
     #[test]
     fn analyze_rejects_unknown_algo() {
         let graph = tmp("gee_cli_analyze_bad.txt");
-        run(&sv(&["generate", "--kind", "er", "--vertices", "20", "--edges", "40", "--out", &graph])).unwrap();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "20",
+            "--edges",
+            "40",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
         let r = run(&sv(&["analyze", "--graph", &graph, "--algo", "frobnicate"]));
         assert!(matches!(r, Err(CliError::Usage(_))));
         std::fs::remove_file(&graph).ok();

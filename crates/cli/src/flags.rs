@@ -82,7 +82,10 @@ mod tests {
 
     #[test]
     fn missing_value_is_usage_error() {
-        assert!(matches!(Flags::parse(&sv(&["--k"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            Flags::parse(&sv(&["--k"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub fn write_graph(path: &Path, el: &EdgeList) -> crate::Result<()> {
     match format {
         Format::EdgeListText => io::edgelist::write(writer, el)?,
         Format::Snap => {
-            return Err(CliError::Usage("writing SNAP format is not supported; use .txt".into()))
+            return Err(CliError::Usage(
+                "writing SNAP format is not supported; use .txt".into(),
+            ))
         }
         Format::MatrixMarket => io::mtx::write(writer, el)?,
         Format::BinaryCsr => io::binary::write(&mut writer, &CsrGraph::from_edge_list(el))?,
@@ -83,10 +85,22 @@ mod tests {
 
     #[test]
     fn detection_by_extension() {
-        assert_eq!(detect_format(Path::new("a.txt")).unwrap(), Format::EdgeListText);
-        assert_eq!(detect_format(Path::new("a.mtx")).unwrap(), Format::MatrixMarket);
-        assert_eq!(detect_format(Path::new("a.csr")).unwrap(), Format::BinaryCsr);
-        assert_eq!(detect_format(Path::new("a.edges")).unwrap(), Format::EdgeStream);
+        assert_eq!(
+            detect_format(Path::new("a.txt")).unwrap(),
+            Format::EdgeListText
+        );
+        assert_eq!(
+            detect_format(Path::new("a.mtx")).unwrap(),
+            Format::MatrixMarket
+        );
+        assert_eq!(
+            detect_format(Path::new("a.csr")).unwrap(),
+            Format::BinaryCsr
+        );
+        assert_eq!(
+            detect_format(Path::new("a.edges")).unwrap(),
+            Format::EdgeStream
+        );
         assert!(detect_format(Path::new("a.xyz")).is_err());
     }
 
@@ -94,7 +108,12 @@ mod tests {
     fn round_trip_all_writable_formats() {
         let el = EdgeList::new(4, vec![Edge::new(0, 1, 2.0), Edge::unit(3, 2)]).unwrap();
         let dir = std::env::temp_dir();
-        for name in ["gee_cli_t.txt", "gee_cli_t.mtx", "gee_cli_t.csr", "gee_cli_t.edges"] {
+        for name in [
+            "gee_cli_t.txt",
+            "gee_cli_t.mtx",
+            "gee_cli_t.csr",
+            "gee_cli_t.edges",
+        ] {
             let p = dir.join(name);
             write_graph(&p, &el).unwrap();
             let back = read_graph(&p).unwrap();

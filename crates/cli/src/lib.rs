@@ -19,6 +19,8 @@ pub enum CliError {
     Graph(gee_graph::GraphError),
     /// Filesystem failure.
     Io(std::io::Error),
+    /// Serving/wire-protocol failure (typed; see `gee_serve::ErrorCode`).
+    Serve(gee_serve::ServeError),
 }
 
 impl std::fmt::Display for CliError {
@@ -27,11 +29,18 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Graph(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "serve error [{}]: {e}", e.code().as_u16()),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<gee_serve::ServeError> for CliError {
+    fn from(e: gee_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
 
 impl From<gee_graph::GraphError> for CliError {
     fn from(e: gee_graph::GraphError) -> Self {

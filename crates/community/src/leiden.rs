@@ -36,7 +36,14 @@ pub struct LeidenOptions {
 
 impl Default for LeidenOptions {
     fn default() -> Self {
-        LeidenOptions { gamma: 1.0, max_levels: 20, max_sweeps: 20, min_gain: 1e-12, theta: 0.01, seed: 0 }
+        LeidenOptions {
+            gamma: 1.0,
+            max_levels: 20,
+            max_sweeps: 20,
+            min_gain: 1e-12,
+            theta: 0.01,
+            seed: 0,
+        }
     }
 }
 
@@ -87,7 +94,12 @@ fn refine(lg: &LevelGraph, p: &Partition, opts: &LeidenOptions, rng: &mut StdRng
         let mut positive: Vec<(u32, f64)> = cand
             .iter()
             .filter(|&(&rc, _)| rc != own)
-            .map(|(&rc, &kin)| (rc, kin - opts.gamma * deg_v * sub_tot[rc as usize] / lg.two_m))
+            .map(|(&rc, &kin)| {
+                (
+                    rc,
+                    kin - opts.gamma * deg_v * sub_tot[rc as usize] / lg.two_m,
+                )
+            })
             .filter(|&(_, gain)| gain > opts.min_gain)
             .collect();
         if positive.is_empty() {
@@ -117,7 +129,8 @@ pub fn leiden(g: &CsrGraph, opts: LeidenOptions) -> Partition {
     let mut level = LevelGraph::from_csr(g);
     let mut overall = Partition::singletons(g.num_vertices());
     for _ in 0..opts.max_levels {
-        let (membership, moved) = local_moving(&level, opts.gamma, opts.max_sweeps, opts.min_gain, &mut rng);
+        let (membership, moved) =
+            local_moving(&level, opts.gamma, opts.max_sweeps, opts.min_gain, &mut rng);
         let p = Partition::from_membership(&membership);
         if !moved || p.num_communities() == level.num_nodes() {
             break;
@@ -195,7 +208,9 @@ mod tests {
         let g = CsrGraph::from_edge_list(&sbm.edges);
         let p = leiden(&g, LeidenOptions::default());
         for c in 0..p.num_communities() as u32 {
-            let members: Vec<u32> = (0..g.num_vertices() as u32).filter(|&v| p.community(v) == c).collect();
+            let members: Vec<u32> = (0..g.num_vertices() as u32)
+                .filter(|&v| p.community(v) == c)
+                .collect();
             if members.len() <= 1 {
                 continue;
             }
@@ -231,6 +246,9 @@ mod tests {
         let g = CsrGraph::from_edge_list(&sbm.edges);
         let p = leiden(&g, LeidenOptions::default());
         assert!(p.num_communities() >= 2);
-        assert!(p.membership().iter().all(|&c| (c as usize) < p.num_communities()));
+        assert!(p
+            .membership()
+            .iter()
+            .all(|&c| (c as usize) < p.num_communities()));
     }
 }

@@ -30,7 +30,13 @@ pub struct LouvainOptions {
 
 impl Default for LouvainOptions {
     fn default() -> Self {
-        LouvainOptions { gamma: 1.0, max_levels: 20, max_sweeps: 20, min_gain: 1e-12, seed: 0 }
+        LouvainOptions {
+            gamma: 1.0,
+            max_levels: 20,
+            max_sweeps: 20,
+            min_gain: 1e-12,
+            seed: 0,
+        }
     }
 }
 
@@ -62,7 +68,12 @@ impl LevelGraph {
             .map(|v| adj[v].iter().map(|&(_, w)| w).sum::<f64>() + self_loop[v])
             .collect();
         let two_m = deg.iter().sum();
-        LevelGraph { adj, self_loop, deg, two_m }
+        LevelGraph {
+            adj,
+            self_loop,
+            deg,
+            two_m,
+        }
     }
 
     pub(crate) fn num_nodes(&self) -> usize {
@@ -99,7 +110,12 @@ impl LevelGraph {
             .map(|c| adj[c].iter().map(|&(_, w)| w).sum::<f64>() + self_loop[c])
             .collect();
         let two_m = deg.iter().sum();
-        LevelGraph { adj, self_loop, deg, two_m }
+        LevelGraph {
+            adj,
+            self_loop,
+            deg,
+            two_m,
+        }
     }
 }
 
@@ -165,7 +181,8 @@ pub fn louvain(g: &CsrGraph, opts: LouvainOptions) -> Partition {
     let mut level = LevelGraph::from_csr(g);
     let mut overall = Partition::singletons(g.num_vertices());
     for _ in 0..opts.max_levels {
-        let (membership, moved) = local_moving(&level, opts.gamma, opts.max_sweeps, opts.min_gain, &mut rng);
+        let (membership, moved) =
+            local_moving(&level, opts.gamma, opts.max_sweeps, opts.min_gain, &mut rng);
         let p = Partition::from_membership(&membership);
         if !moved || p.num_communities() == level.num_nodes() {
             break;
@@ -258,8 +275,22 @@ mod tests {
     #[test]
     fn high_gamma_fragments() {
         let g = ring_of_cliques(4, 5);
-        let low = louvain(&g, LouvainOptions { gamma: 0.1, seed: 1, ..Default::default() });
-        let high = louvain(&g, LouvainOptions { gamma: 8.0, seed: 1, ..Default::default() });
+        let low = louvain(
+            &g,
+            LouvainOptions {
+                gamma: 0.1,
+                seed: 1,
+                ..Default::default()
+            },
+        );
+        let high = louvain(
+            &g,
+            LouvainOptions {
+                gamma: 8.0,
+                seed: 1,
+                ..Default::default()
+            },
+        );
         assert!(high.num_communities() >= low.num_communities());
     }
 }

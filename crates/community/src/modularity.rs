@@ -12,7 +12,11 @@ use crate::partition::Partition;
 
 /// Modularity of `partition` on symmetric graph `g` at resolution `gamma`.
 pub fn modularity(g: &CsrGraph, partition: &Partition, gamma: f64) -> f64 {
-    assert_eq!(g.num_vertices(), partition.len(), "partition must cover graph");
+    assert_eq!(
+        g.num_vertices(),
+        partition.len(),
+        "partition must cover graph"
+    );
     let two_m: f64 = g.total_weight();
     if two_m == 0.0 {
         return 0.0;

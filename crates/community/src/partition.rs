@@ -10,7 +10,10 @@ pub struct Partition {
 impl Partition {
     /// Singleton partition: every vertex in its own community.
     pub fn singletons(n: usize) -> Self {
-        Partition { membership: (0..n as u32).collect(), num_communities: n }
+        Partition {
+            membership: (0..n as u32).collect(),
+            num_communities: n,
+        }
     }
 
     /// From a raw membership vector; community ids are compacted to
@@ -23,7 +26,10 @@ impl Partition {
             let id = *map.entry(c).or_insert(next);
             membership.push(id);
         }
-        Partition { membership, num_communities: map.len() }
+        Partition {
+            membership,
+            num_communities: map.len(),
+        }
     }
 
     /// Number of vertices.
@@ -64,8 +70,16 @@ impl Partition {
     /// Compose with a partition of the *communities* (after aggregation):
     /// `result[v] = coarser[self[v]]`.
     pub fn compose(&self, coarser: &Partition) -> Partition {
-        assert_eq!(coarser.len(), self.num_communities, "coarser partition must cover communities");
-        let raw: Vec<u32> = self.membership.iter().map(|&c| coarser.community(c)).collect();
+        assert_eq!(
+            coarser.len(),
+            self.num_communities,
+            "coarser partition must cover communities"
+        );
+        let raw: Vec<u32> = self
+            .membership
+            .iter()
+            .map(|&c| coarser.community(c))
+            .collect();
         Partition::from_membership(&raw)
     }
 }

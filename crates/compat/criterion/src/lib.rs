@@ -22,11 +22,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -104,7 +108,9 @@ fn human(d: Duration) -> String {
 }
 
 fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { last: Duration::ZERO };
+    let mut b = Bencher {
+        last: Duration::ZERO,
+    };
     f(&mut b);
     let extra = match throughput {
         Some(Throughput::Elements(n)) if b.last.as_nanos() > 0 => {
@@ -129,7 +135,10 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.into(), throughput: None }
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
     }
 
     pub fn sample_size(&mut self, _n: usize) -> &mut Self {
@@ -168,7 +177,11 @@ impl BenchmarkGroup {
         input: &I,
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
-        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut |b| f(b, input));
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            &mut |b| f(b, input),
+        );
         self
     }
 

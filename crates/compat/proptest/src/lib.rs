@@ -66,7 +66,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { inner: self, f, whence }
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
     }
 
     fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -126,7 +130,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
                 return v;
             }
         }
-        panic!("prop_filter {:?} rejected 1000 consecutive candidates", self.whence)
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive candidates",
+            self.whence
+        )
     }
 }
 
@@ -246,7 +253,10 @@ pub struct Union<T> {
 impl<T> Strategy for Union<T> {
     type Value = T;
     fn new_value(&self, rng: &mut TestRng) -> T {
-        assert!(!self.options.is_empty(), "prop_oneof! needs at least one option");
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one option"
+        );
         let i = rng.gen_range(0..self.options.len());
         self.options[i].new_value(rng)
     }

@@ -60,7 +60,9 @@ impl ThreadPoolBuilder {
     }
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads })
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
     }
 }
 
@@ -437,7 +439,10 @@ mod tests {
 
     #[test]
     fn fold_reduce_matches_serial() {
-        let total: u64 = (0..1000u64).into_par_iter().fold(|| 0u64, |a, b| a + b).sum();
+        let total: u64 = (0..1000u64)
+            .into_par_iter()
+            .fold(|| 0u64, |a, b| a + b)
+            .sum();
         assert_eq!(total, 499_500);
         let (lo, hi) = (0..1000u64)
             .into_par_iter()
@@ -448,7 +453,10 @@ mod tests {
 
     #[test]
     fn install_overrides_thread_count() {
-        let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
         assert_eq!(pool.install(crate::current_num_threads), 3);
         assert_ne!(crate::current_num_threads(), 0);
     }
@@ -457,11 +465,13 @@ mod tests {
     fn zip_chunks_mut_writes_through() {
         let mut out = vec![0u32; 100];
         let input: Vec<u32> = (0..100).collect();
-        out.par_chunks_mut(7).zip(input.par_chunks(7)).for_each(|(o, i)| {
-            for (slot, &x) in o.iter_mut().zip(i) {
-                *slot = x + 1;
-            }
-        });
+        out.par_chunks_mut(7)
+            .zip(input.par_chunks(7))
+            .for_each(|(o, i)| {
+                for (slot, &x) in o.iter_mut().zip(i) {
+                    *slot = x + 1;
+                }
+            });
         assert!(out.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
     }
 

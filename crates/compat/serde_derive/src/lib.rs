@@ -1,0 +1,439 @@
+//! Offline stand-in for serde's derive macros — but real ones.
+//!
+//! The original stand-in expanded `#[derive(Serialize)]` to nothing, which
+//! was enough while JSON output went exclusively through the `json!`
+//! macro. The wire protocol in `gee-serve` needs genuine round-trip
+//! serialization of its `Request`/`Response`/`ServeError` enums, so these
+//! derives now generate working impls of the compat `serde::Serialize` /
+//! `serde::Deserialize` traits (a concrete-tree data model; see the
+//! `serde` stand-in's docs for how it diverges from real serde).
+//!
+//! Implementation notes: with no `syn`/`quote` available offline, the item
+//! is parsed directly from the `proc_macro::TokenStream` (names only — the
+//! generated code never needs field *types*, because everything defers to
+//! trait method calls resolved by inference), and the output is built as a
+//! source string and re-parsed. Supported shapes, matching what the
+//! workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums whose variants are unit, named-field, or tuple.
+//!
+//! The encoding mirrors real serde's externally-tagged JSON defaults:
+//! structs → objects; newtype variants → `{"Variant": inner}`; named-field
+//! variants → `{"Variant": {..}}`; tuple variants → `{"Variant": [..]}`;
+//! unit variants → `"Variant"`. Missing object keys deserialize as `null`,
+//! which lets `Option` fields default to `None` (real serde's behavior)
+//! while non-optional fields produce a type error mentioning `null`.
+//!
+//! Not supported (compile error): generic parameters, unions, and
+//! `#[serde(...)]` attributes — nothing in the workspace uses them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Fields of a struct or enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    expand(item, generate_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    expand(item, generate_deserialize)
+}
+
+fn expand(item: TokenStream, generate: fn(&Item) -> String) -> TokenStream {
+    match parse_item(item) {
+        Ok(item) => generate(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error! always parses"),
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// True for `#`; the following bracket group is the attribute body.
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Advance past any `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility prefix, returning the new cursor.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < toks.len() && is_punct(&toks[i], '#') {
+            i += 2; // `#` + bracket group
+            continue;
+        }
+        if i < toks.len() && ident_of(&toks[i]).as_deref() == Some("pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1; // `pub(crate)` etc.
+                }
+            }
+            continue;
+        }
+        return i;
+    }
+}
+
+fn parse_item(ts: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind =
+        ident_of(toks.get(i).ok_or("empty item")?).ok_or("expected `struct` or `enum` keyword")?;
+    i += 1;
+    let name = ident_of(toks.get(i).ok_or("missing item name")?)
+        .ok_or("expected item name after struct/enum keyword")?;
+    i += 1;
+    if toks.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "serde compat derive does not support generic parameters (on `{name}`)"
+        ));
+    }
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())?))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(t) if is_punct(t, ';') => Body::Struct(Fields::Unit),
+            _ => return Err(format!("cannot parse body of struct `{name}`")),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err(format!("cannot parse body of enum `{name}`")),
+        },
+        other => return Err(format!("cannot derive serde traits for `{other}` items")),
+    };
+    Ok(Item { name, body })
+}
+
+/// Angle-bracket tracker for skipping type tokens. A comma only separates
+/// fields when no angle brackets are open (parenthesized/bracketed
+/// sub-streams arrive as atomic groups), and the `>` of an `->` return
+/// arrow (fn-pointer / `dyn Fn` types) must not be counted as closing a
+/// generic bracket.
+struct TypeScanner {
+    angle_depth: i32,
+    after_joint_minus: bool,
+}
+
+impl TypeScanner {
+    fn new() -> TypeScanner {
+        TypeScanner {
+            angle_depth: 0,
+            after_joint_minus: false,
+        }
+    }
+
+    /// Feed one type token; true when it is a top-level field-separating
+    /// comma.
+    fn is_field_separator(&mut self, t: &TokenTree) -> bool {
+        let was_arrow_tail = self.after_joint_minus;
+        self.after_joint_minus = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '-' if p.spacing() == proc_macro::Spacing::Joint => self.after_joint_minus = true,
+                '<' => self.angle_depth += 1,
+                '>' if !was_arrow_tail => self.angle_depth -= 1,
+                ',' if self.angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the names. Types are
+/// skipped wholesale via [`TypeScanner`].
+fn parse_named_fields(ts: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i])
+            .ok_or_else(|| format!("expected field name, found `{}`", toks[i]))?;
+        names.push(name);
+        i += 1;
+        if !toks.get(i).is_some_and(|t| is_punct(t, ':')) {
+            return Err("expected `:` after field name".into());
+        }
+        i += 1;
+        let mut scanner = TypeScanner::new();
+        while i < toks.len() {
+            let sep = scanner.is_field_separator(&toks[i]);
+            i += 1;
+            if sep {
+                break;
+            }
+        }
+    }
+    Ok(names)
+}
+
+/// Count the comma-separated types of a tuple field list.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut fields = 1;
+    let mut scanner = TypeScanner::new();
+    for (i, t) in toks.iter().enumerate() {
+        if scanner.is_field_separator(t) && i + 1 != toks.len() {
+            fields += 1;
+        }
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_of(&toks[i])
+            .ok_or_else(|| format!("expected variant name, found `{}`", toks[i]))?;
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream())?);
+                i += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() && !is_punct(&toks[i], ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ------------------------------------------------------------- generation
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => match fields {
+            Fields::Named(names) => {
+                let mut s =
+                    String::from("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+                for f in names {
+                    s.push_str(&format!(
+                        "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                    ));
+                }
+                s.push_str("::serde::Value::Object(__fields)");
+                s
+            }
+            Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            }
+            Fields::Unit => "::serde::Value::Null".to_string(),
+        },
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{ {inner} \
+                             ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Object(__fields))]) }},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => match fields {
+            Fields::Named(names) => {
+                let inits: Vec<String> = names
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(::serde::de_field(__v, \"{f}\")?)?"
+                        )
+                    })
+                    .collect();
+                format!("Ok({name} {{ {} }})", inits.join(", "))
+            }
+            Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "let __items = ::serde::de_tuple(__v, {n}, \"{name}\")?;\n\
+                     Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+            Fields::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+        },
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"));
+                    }
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::de_field(__inner, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let __items = ::serde::de_tuple(__inner, {n}, \"{name}::{vn}\")?; \
+                             Ok({name}::{vn}({})) }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\
+                         __other => Err(::serde::DeError(format!(\
+                             \"unknown unit variant {{__other:?}} for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__pairs[0];\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => Err(::serde::DeError(format!(\
+                                 \"unknown variant {{__other:?}} for enum {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => Err(::serde::DeError(format!(\
+                         \"invalid representation for enum {name}: {{:?}}\", __other))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}

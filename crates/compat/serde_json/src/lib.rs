@@ -1,176 +1,47 @@
 //! Offline stand-in for [serde_json](https://crates.io/crates/serde_json).
 //!
-//! Provides the subset the benchmark binaries use: the [`json!`] macro over
-//! object/array/expression literals, [`Value`] with `as_f64`/`as_str` and
-//! string indexing, and [`to_string_pretty`]. Numbers are stored as `f64`
-//! (printed without a fractional part when integral), objects preserve
-//! insertion order.
+//! The data model ([`Value`], [`Number`]) lives in the `serde` stand-in
+//! (mirroring the real crates' dependency direction) and is re-exported
+//! here, so `serde_json::Value` keeps working everywhere. On top of it
+//! this crate provides:
+//!
+//! * the [`json!`] macro over object/array/expression literals;
+//! * serialization — [`to_string`], [`to_string_pretty`], [`to_vec`] —
+//!   for any [`serde::Serialize`] type (derived or hand-written);
+//! * parsing — [`from_str`], [`from_slice`], [`from_value`] — into any
+//!   [`serde::Deserialize`] type, via a recursive-descent JSON parser
+//!   with full string-escape handling (`\uXXXX` incl. surrogate pairs),
+//!   exact `u64`/`i64` integers, and a nesting-depth limit so adversarial
+//!   wire input cannot blow the stack.
+//!
+//! Divergences from real serde_json, acceptable offline: objects are
+//! ordered pairs (no map dedup — last key wins on lookup of duplicates is
+//! NOT implemented; first wins), and non-finite floats print as `null`
+//! (real serde_json's `json!` does the same via `Number::from_f64`).
 
 use std::fmt::Write as _;
-use std::ops::Index;
 
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    Null,
-    Bool(bool),
-    Number(f64),
-    String(String),
-    Array(Vec<Value>),
-    Object(Vec<(String, Value)>),
-}
+pub use serde::{Number, Value};
 
-/// Error type for the serializer API (serialization never fails here).
-#[derive(Debug)]
-pub struct Error;
+/// Parse/serialize error with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json error")
+        write!(f, "json error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
 
-static NULL: Value = Value::Null;
-
-impl Value {
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Value::Number(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Value::Number(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
-            _ => None,
-        }
-    }
-
-    pub fn as_i64(&self) -> Option<i64> {
-        match self {
-            Value::Number(x) if x.fract() == 0.0 => Some(*x as i64),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::String(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Value::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    pub fn as_array(&self) -> Option<&Vec<Value>> {
-        match self {
-            Value::Array(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    pub fn is_null(&self) -> bool {
-        matches!(self, Value::Null)
-    }
-
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error(e.0)
     }
 }
 
-impl Index<&str> for Value {
-    type Output = Value;
-    fn index(&self, key: &str) -> &Value {
-        self.get(key).unwrap_or(&NULL)
-    }
-}
-
-impl Index<usize> for Value {
-    type Output = Value;
-    fn index(&self, i: usize) -> &Value {
-        match self {
-            Value::Array(a) => a.get(i).unwrap_or(&NULL),
-            _ => &NULL,
-        }
-    }
-}
-
-macro_rules! impl_from_number {
-    ($($t:ty),*) => {$(
-        impl From<$t> for Value {
-            fn from(x: $t) -> Value {
-                Value::Number(x as f64)
-            }
-        }
-    )*};
-}
-
-impl_from_number!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
-
-impl From<bool> for Value {
-    fn from(b: bool) -> Value {
-        Value::Bool(b)
-    }
-}
-
-impl From<&str> for Value {
-    fn from(s: &str) -> Value {
-        Value::String(s.to_string())
-    }
-}
-
-impl From<String> for Value {
-    fn from(s: String) -> Value {
-        Value::String(s)
-    }
-}
-
-impl From<&String> for Value {
-    fn from(s: &String) -> Value {
-        Value::String(s.clone())
-    }
-}
-
-impl From<Vec<Value>> for Value {
-    fn from(a: Vec<Value>) -> Value {
-        Value::Array(a)
-    }
-}
-
-impl From<&Vec<Value>> for Value {
-    fn from(a: &Vec<Value>) -> Value {
-        Value::Array(a.clone())
-    }
-}
-
-impl<T> From<Option<T>> for Value
-where
-    Value: From<T>,
-{
-    fn from(o: Option<T>) -> Value {
-        match o {
-            Some(x) => Value::from(x),
-            None => Value::Null,
-        }
-    }
-}
-
-impl From<&Value> for Value {
-    fn from(v: &Value) -> Value {
-        v.clone()
-    }
-}
+// ---------------------------------------------------------- serialization
 
 fn escape_into(out: &mut String, s: &str) {
     out.push('"');
@@ -190,14 +61,17 @@ fn escape_into(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn number_to_string(x: f64) -> String {
-    if x.is_finite() && x.fract() == 0.0 && x.abs() < 9e15 {
-        format!("{}", x as i64)
-    } else if x.is_finite() {
-        format!("{x}")
-    } else {
+fn number_to_string(n: Number) -> String {
+    match n {
+        Number::PosInt(x) => x.to_string(),
+        Number::NegInt(x) => x.to_string(),
+        // Integral floats keep a ".0" (like real serde_json) so the
+        // parser reproduces Number::Float and Value-level round trips
+        // are idempotent instead of silently retyping floats as ints.
+        Number::Float(x) if x.is_finite() && x.fract() == 0.0 => format!("{x:.1}"),
+        Number::Float(x) if x.is_finite() => format!("{x}"),
         // Real JSON has no Inf/NaN; mirror serde_json's lossy behavior.
-        "null".to_string()
+        Number::Float(_) => "null".to_string(),
     }
 }
 
@@ -255,18 +129,297 @@ fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
     }
 }
 
-/// Compact serialization.
-pub fn to_string<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+/// Compact serialization of any [`serde::Serialize`] type.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.clone().into(), 0, false);
+    write_value(&mut out, &value.to_value(), 0, false);
     Ok(out)
 }
 
 /// Two-space-indented serialization, like serde_json's.
-pub fn to_string_pretty<V: Into<Value> + Clone>(value: &V) -> Result<String, Error> {
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.clone().into(), 0, true);
+    write_value(&mut out, &value.to_value(), 0, true);
     Ok(out)
+}
+
+/// Compact serialization straight to bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Maximum array/object nesting the parser accepts. Deeper input — which
+/// no legitimate frame produces — is rejected instead of recursing toward
+/// a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal (expected {lit})")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']' in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(pairs));
+                        }
+                        _ => return Err(self.err("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(self.str_slice(run_start, self.pos)?);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(self.str_slice(run_start, self.pos)?);
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                    run_start = self.pos;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    /// A literal (escape-free) run of string bytes, validated as UTF-8.
+    fn str_slice(&self, start: usize, end: usize) -> Result<&'a str, Error> {
+        std::str::from_utf8(&self.bytes[start..end])
+            .map_err(|_| Error(format!("invalid UTF-8 in string at byte {start}")))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut x = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit"))?;
+            x = x * 16 + d;
+            self.pos += 1;
+        }
+        Ok(x)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            return Err(self.err("expected digit"));
+        }
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("expected digit after '.'"));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                return Err(self.err("expected exponent digit"));
+            }
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        let n = if integral {
+            if negative {
+                // -0 has no NegInt representation; fall through to i64/f64.
+                match text.parse::<i64>() {
+                    Ok(0) => Number::PosInt(0),
+                    Ok(x) => Number::NegInt(x),
+                    Err(_) => {
+                        Number::Float(text.parse::<f64>().map_err(|_| self.err("bad number"))?)
+                    }
+                }
+            } else {
+                match text.parse::<u64>() {
+                    Ok(x) => Number::PosInt(x),
+                    Err(_) => {
+                        Number::Float(text.parse::<f64>().map_err(|_| self.err("bad number"))?)
+                    }
+                }
+            }
+        } else {
+            Number::Float(text.parse::<f64>().map_err(|_| self.err("bad number"))?)
+        };
+        Ok(Value::Number(n))
+    }
+}
+
+/// Parse a JSON document into any [`serde::Deserialize`] type
+/// (`from_str::<Value>` gives the raw tree).
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    from_slice(s.as_bytes())
+}
+
+/// [`from_str`] over raw bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let mut p = Parser { bytes, pos: 0 };
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+/// Rebuild a typed value from an already-parsed tree.
+pub fn from_value<T: serde::Deserialize>(v: &Value) -> Result<T, Error> {
+    Ok(T::from_value(v)?)
 }
 
 /// Build a [`Value`] from JSON-ish syntax: objects, arrays, and Rust
@@ -395,11 +548,92 @@ mod tests {
         assert!(s.contains("null"));
         let compact = to_string(&v).unwrap();
         assert!(!compact.contains('\n'));
+        assert_eq!(from_str::<Value>(&s).unwrap(), v, "pretty output reparses");
+        assert_eq!(
+            from_str::<Value>(&compact).unwrap(),
+            v,
+            "compact output reparses"
+        );
     }
 
     #[test]
-    fn integral_floats_print_as_integers() {
-        assert_eq!(to_string(&json!({ "n": 3.0 })).unwrap(), "{\"n\":3}");
+    fn floats_stay_floats_through_round_trips() {
+        assert_eq!(to_string(&json!({ "n": 3.0 })).unwrap(), "{\"n\":3.0}");
         assert_eq!(to_string(&json!(2.5f64)).unwrap(), "2.5");
+        assert_eq!(to_string(&json!(3usize)).unwrap(), "3");
+        // Value-level idempotence: the Number variant survives.
+        for v in [json!(3.0f64), json!(-0.0f64), json!(1e18f64), json!(7u64)] {
+            let text = to_string(&v).unwrap();
+            assert_eq!(from_str::<Value>(&text).unwrap(), v, "{text}");
+        }
+        assert_eq!(
+            from_str::<Value>("3.0").unwrap(),
+            Value::Number(Number::Float(3.0))
+        );
+        assert_eq!(
+            from_str::<Value>("3").unwrap(),
+            Value::Number(Number::PosInt(3))
+        );
+    }
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(from_str::<Value>(" null ").unwrap(), Value::Null);
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-9223372036854775808").unwrap(), i64::MIN);
+        assert_eq!(from_str::<f64>("-1.25e2").unwrap(), -125.0);
+        assert_eq!(from_str::<Vec<u32>>("[1, 2,3]").unwrap(), vec![1, 2, 3]);
+        let v: Value = from_str("{\"a\": [1, {\"b\": null}], \"c\": \"x\"}").unwrap();
+        assert_eq!(v["a"][1]["b"], Value::Null);
+        assert_eq!(v["c"].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        let s: String = from_str(r#""a\"b\\c\/d\n\t\u0041\u00e9\ud83e\udd80""#).unwrap();
+        assert_eq!(s, "a\"b\\c/d\n\tAé🦀");
+        // Escape → parse round trip over awkward content.
+        let original = "quote\" backslash\\ newline\n control\u{1} unicode é🦀".to_string();
+        let text = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "01x",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":}",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "nul",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str::<Value>(&deep).is_err());
+        let ok = "[".repeat(60) + &"]".repeat(60);
+        assert!(from_str::<Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn typed_round_trip_through_text() {
+        let x: Vec<(u32, f64)> = vec![(0, 0.125), (u32::MAX, -3.5)];
+        let text = to_string(&x).unwrap();
+        assert_eq!(from_str::<Vec<(u32, f64)>>(&text).unwrap(), x);
+        let opt: Vec<Option<u32>> = vec![None, Some(7)];
+        let text = to_string(&opt).unwrap();
+        assert_eq!(from_str::<Vec<Option<u32>>>(&text).unwrap(), opt);
     }
 }

@@ -12,7 +12,11 @@ impl ConfusionMatrix {
     /// Tally predictions against ground truth; `k` is inferred as one plus
     /// the maximum label seen.
     pub fn from_predictions(predicted: &[u32], truth: &[u32]) -> Self {
-        assert_eq!(predicted.len(), truth.len(), "prediction/truth length mismatch");
+        assert_eq!(
+            predicted.len(),
+            truth.len(),
+            "prediction/truth length mismatch"
+        );
         let k = predicted
             .iter()
             .chain(truth)

@@ -17,7 +17,11 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Mean pairwise distance between (or within) point sets, from a
@@ -26,7 +30,10 @@ fn mean_cross(dist: &[Vec<f64>], ia: &[usize], ib: &[usize]) -> f64 {
     if ia.is_empty() || ib.is_empty() {
         return 0.0;
     }
-    let sum: f64 = ia.iter().map(|&i| ib.iter().map(|&j| dist[i][j]).sum::<f64>()).sum();
+    let sum: f64 = ia
+        .iter()
+        .map(|&i| ib.iter().map(|&j| dist[i][j]).sum::<f64>())
+        .sum();
     sum / (ia.len() * ib.len()) as f64
 }
 
@@ -58,7 +65,10 @@ impl TestResult {
 /// groups of embedded vectors (equal dimension); `permutations` draws of
 /// a label shuffle estimate the null. Deterministic in `seed`.
 pub fn energy_test(a: &[Vec<f64>], b: &[Vec<f64>], permutations: usize, seed: u64) -> TestResult {
-    assert!(!a.is_empty() && !b.is_empty(), "both samples must be non-empty");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "both samples must be non-empty"
+    );
     let dim = a[0].len();
     assert!(
         a.iter().chain(b).all(|p| p.len() == dim),
@@ -101,7 +111,9 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         // Sum of uniforms ≈ gaussian; exactness is irrelevant here.
         let mut noise = move || (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
-        (0..n).map(|_| vec![center + noise() * 0.3, noise() * 0.3]).collect()
+        (0..n)
+            .map(|_| vec![center + noise() * 0.3, noise() * 0.3])
+            .collect()
     }
 
     #[test]

@@ -19,7 +19,11 @@ pub struct KMeansOptions {
 impl KMeansOptions {
     /// Sensible defaults for embedding-space clustering.
     pub fn new(k: usize, seed: u64) -> Self {
-        KMeansOptions { k, max_iters: 100, seed }
+        KMeansOptions {
+            k,
+            max_iters: 100,
+            seed,
+        }
     }
 }
 
@@ -127,7 +131,10 @@ pub fn kmeans(data: &[f64], n: usize, dim: usize, opts: KMeansOptions) -> KMeans
                     .unwrap();
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(row(far));
             } else {
-                for (slot, &s) in centroids[c * dim..(c + 1) * dim].iter_mut().zip(&sums[c * dim..]) {
+                for (slot, &s) in centroids[c * dim..(c + 1) * dim]
+                    .iter_mut()
+                    .zip(&sums[c * dim..])
+                {
                     *slot = s / counts[c] as f64;
                 }
             }
@@ -140,7 +147,12 @@ pub fn kmeans(data: &[f64], n: usize, dim: usize, opts: KMeansOptions) -> KMeans
         .into_par_iter()
         .map(|i| sq_dist(row(i), &centroids[assignment[i] as usize * dim..][..dim]))
         .sum();
-    KMeansResult { assignment, centroids, inertia, iterations }
+    KMeansResult {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 /// Run [`kmeans`] `restarts` times with derived seeds and keep the run
@@ -155,7 +167,17 @@ pub fn kmeans_best_of(
 ) -> KMeansResult {
     assert!(restarts >= 1);
     (0..restarts as u64)
-        .map(|r| kmeans(data, n, dim, KMeansOptions { seed: opts.seed.wrapping_add(r * 0x9E3779B9), ..opts }))
+        .map(|r| {
+            kmeans(
+                data,
+                n,
+                dim,
+                KMeansOptions {
+                    seed: opts.seed.wrapping_add(r * 0x9E3779B9),
+                    ..opts
+                },
+            )
+        })
         .min_by(|a, b| a.inertia.partial_cmp(&b.inertia).unwrap())
         .expect("at least one restart")
 }

@@ -42,7 +42,8 @@ pub fn knn_classify(
                 }
             }
             // Majority vote, nearest-first tiebreak.
-            let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+            let mut counts: std::collections::HashMap<u32, usize> =
+                std::collections::HashMap::new();
             for &(_, c) in &best {
                 *counts.entry(c).or_default() += 1;
             }

@@ -24,7 +24,11 @@ pub struct LogRegOptions {
 
 impl Default for LogRegOptions {
     fn default() -> Self {
-        LogRegOptions { epochs: 200, learning_rate: 0.5, l2: 1e-4 }
+        LogRegOptions {
+            epochs: 200,
+            learning_rate: 0.5,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -49,9 +53,15 @@ impl LogisticRegression {
         assert_eq!(x.len(), y.len(), "one label per sample");
         assert!(!x.is_empty(), "training set must be non-empty");
         assert!(num_classes >= 2, "need at least two classes");
-        assert!(y.iter().all(|&c| (c as usize) < num_classes), "label out of range");
+        assert!(
+            y.iter().all(|&c| (c as usize) < num_classes),
+            "label out of range"
+        );
         let dim = x[0].len();
-        assert!(x.iter().all(|p| p.len() == dim), "all samples must share one dimension");
+        assert!(
+            x.iter().all(|p| p.len() == dim),
+            "all samples must share one dimension"
+        );
         let n = x.len();
         let mut model = LogisticRegression {
             weights: vec![0.0; num_classes * dim],
@@ -175,7 +185,11 @@ mod tests {
         let model = LogisticRegression::fit(&x, &y, 3, LogRegOptions::default());
         let pred = model.predict_batch(&x);
         let correct = pred.iter().zip(&y).filter(|(a, b)| a == b).count();
-        assert_eq!(correct, x.len(), "training accuracy below 100% on separable data");
+        assert_eq!(
+            correct,
+            x.len(),
+            "training accuracy below 100% on separable data"
+        );
     }
 
     #[test]
@@ -212,13 +226,19 @@ mod tests {
             &x,
             &y,
             3,
-            LogRegOptions { l2: 0.0, ..Default::default() },
+            LogRegOptions {
+                l2: 0.0,
+                ..Default::default()
+            },
         );
         let tight = LogisticRegression::fit(
             &x,
             &y,
             3,
-            LogRegOptions { l2: 1.0, ..Default::default() },
+            LogRegOptions {
+                l2: 1.0,
+                ..Default::default()
+            },
         );
         let norm = |m: &LogisticRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
         assert!(norm(&tight) < norm(&loose));
@@ -233,8 +253,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "dimension mismatch")]
     fn validates_prediction_dim() {
-        let model =
-            LogisticRegression::fit(&[vec![0.0], vec![1.0]], &[0, 1], 2, LogRegOptions::default());
+        let model = LogisticRegression::fit(
+            &[vec![0.0], vec![1.0]],
+            &[0, 1],
+            2,
+            LogRegOptions::default(),
+        );
         model.predict(&[0.0, 1.0]);
     }
 }

@@ -99,7 +99,9 @@ pub fn scatter_ratio(data: &[f64], n: usize, dim: usize, labels: &[u32]) -> f64 
     let mut sums: HashMap<u32, (Vec<f64>, f64)> = HashMap::new();
     #[allow(clippy::needless_range_loop)] // i indexes both rows and labels
     for i in 0..n {
-        let e = sums.entry(labels[i]).or_insert_with(|| (vec![0.0; dim], 0.0));
+        let e = sums
+            .entry(labels[i])
+            .or_insert_with(|| (vec![0.0; dim], 0.0));
         for (s, &x) in e.0.iter_mut().zip(row(i)) {
             *s += x;
         }

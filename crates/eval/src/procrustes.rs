@@ -243,7 +243,11 @@ mod tests {
         }
         let got = orthogonal_procrustes(&a, &b, 80, 3);
         assert!(is_orthogonal(&got.rotation, 3));
-        assert!(got.relative_residual < 0.02, "rel {}", got.relative_residual);
+        assert!(
+            got.relative_residual < 0.02,
+            "rel {}",
+            got.relative_residual
+        );
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub struct SpectralOptions {
 
 impl Default for SpectralOptions {
     fn default() -> Self {
-        SpectralOptions { k: 8, iterations: 50, seed: 1, scale_by_eigenvalues: true }
+        SpectralOptions {
+            k: 8,
+            iterations: 50,
+            seed: 1,
+            scale_by_eigenvalues: true,
+        }
     }
 }
 
@@ -59,7 +64,11 @@ pub fn spectral_embedding(g: &CsrGraph, opts: SpectralOptions) -> Vec<f64> {
     // Assemble row-major n×k, optionally scaled by sqrt(|λ|).
     let mut out = vec![0.0f64; n * k];
     for (j, col) in q.iter().enumerate() {
-        let scale = if opts.scale_by_eigenvalues { eigenvalues[j].abs().sqrt() } else { 1.0 };
+        let scale = if opts.scale_by_eigenvalues {
+            eigenvalues[j].abs().sqrt()
+        } else {
+            1.0
+        };
         for (i, &x) in col.iter().enumerate() {
             out[i * k + j] = x * scale;
         }
@@ -95,7 +104,9 @@ fn orthonormalize(q: &mut [Vec<f64>]) {
             let qi = &head[i];
             let qj = &mut tail[0];
             let r = dot(qi, qj);
-            qj.par_iter_mut().zip(qi.par_iter()).for_each(|(x, &y)| *x -= r * y);
+            qj.par_iter_mut()
+                .zip(qi.par_iter())
+                .for_each(|(x, &y)| *x -= r * y);
         }
         let norm = dot(&q[j], &q[j]).sqrt();
         if norm > 1e-300 {
@@ -139,7 +150,12 @@ mod tests {
             }
         }
         let g = CsrGraph::from_edge_list(&EdgeList::new(n as usize, edges).unwrap());
-        let opts = SpectralOptions { k: 1, iterations: 200, seed: 3, scale_by_eigenvalues: false };
+        let opts = SpectralOptions {
+            k: 1,
+            iterations: 200,
+            seed: 3,
+            scale_by_eigenvalues: false,
+        };
         let emb = spectral_embedding(&g, opts);
         // Verify A v = λ v by applying A once and measuring the ratio.
         let v: Vec<f64> = (0..n as usize).map(|i| emb[i]).collect();
@@ -151,7 +167,13 @@ mod tests {
     #[test]
     fn embedding_shape() {
         let g = complete_bipartite(3, 3);
-        let emb = spectral_embedding(&g, SpectralOptions { k: 2, ..Default::default() });
+        let emb = spectral_embedding(
+            &g,
+            SpectralOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
         assert_eq!(emb.len(), 6 * 2);
         assert!(emb.iter().all(|x| x.is_finite()));
     }
@@ -160,7 +182,15 @@ mod tests {
     fn two_block_sbm_separates() {
         let g = gee_gen::sbm(&gee_gen::SbmParams::balanced(2, 40, 0.5, 0.02), 9);
         let csr = CsrGraph::from_edge_list(&g.edges);
-        let emb = spectral_embedding(&csr, SpectralOptions { k: 2, iterations: 100, seed: 5, scale_by_eigenvalues: true });
+        let emb = spectral_embedding(
+            &csr,
+            SpectralOptions {
+                k: 2,
+                iterations: 100,
+                seed: 5,
+                scale_by_eigenvalues: true,
+            },
+        );
         let r = crate::metrics::scatter_ratio(&emb, 80, 2, &g.truth);
         assert!(r < 0.5, "expected separation, scatter ratio {r}");
     }
@@ -174,7 +204,13 @@ mod tests {
     #[test]
     fn k_clamped_to_n() {
         let g = complete_bipartite(1, 1);
-        let emb = spectral_embedding(&g, SpectralOptions { k: 10, ..Default::default() });
+        let emb = spectral_embedding(
+            &g,
+            SpectralOptions {
+                k: 10,
+                ..Default::default()
+            },
+        );
         assert_eq!(emb.len(), 2 * 2);
     }
 }

@@ -17,31 +17,47 @@ pub struct Split {
 /// Shuffle `0..n` and split with `test_fraction` held out. Deterministic
 /// in `seed`; every index lands in exactly one side.
 pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> Split {
-    assert!((0.0..=1.0).contains(&test_fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "fraction must be in [0, 1]"
+    );
     let mut idx: Vec<usize> = (0..n).collect();
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
     let cut = ((n as f64) * test_fraction).round() as usize;
     let (test, train) = idx.split_at(cut.min(n));
-    Split { train: train.to_vec(), test: test.to_vec() }
+    Split {
+        train: train.to_vec(),
+        test: test.to_vec(),
+    }
 }
 
 /// Stratified split: the test side holds `test_fraction` of *each class*
 /// (rounded per class), so rare classes stay represented.
 pub fn stratified_split(labels: &[u32], test_fraction: f64, seed: u64) -> Split {
-    assert!((0.0..=1.0).contains(&test_fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "fraction must be in [0, 1]"
+    );
     let k = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
     let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
     for (i, &c) in labels.iter().enumerate() {
         by_class[c as usize].push(i);
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let mut split = Split { train: Vec::new(), test: Vec::new() };
+    let mut split = Split {
+        train: Vec::new(),
+        test: Vec::new(),
+    };
     for mut members in by_class {
         members.shuffle(&mut rng);
         let cut = ((members.len() as f64) * test_fraction).round() as usize;
-        split.test.extend_from_slice(&members[..cut.min(members.len())]);
-        split.train.extend_from_slice(&members[cut.min(members.len())..]);
+        split
+            .test
+            .extend_from_slice(&members[..cut.min(members.len())]);
+        split
+            .train
+            .extend_from_slice(&members[cut.min(members.len())..]);
     }
     split
 }
@@ -137,7 +153,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each index tests exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index tests exactly once"
+        );
         // Fold sizes differ by at most one.
         let sizes: Vec<usize> = folds.iter().map(|s| s.test.len()).collect();
         assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);

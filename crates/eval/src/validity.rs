@@ -5,7 +5,11 @@
 use rayon::prelude::*;
 
 fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Mean silhouette coefficient over all points, in `[-1, 1]` (higher =
@@ -18,7 +22,11 @@ pub fn silhouette(points: &[Vec<f64>], assignment: &[u32]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let k = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     let mut cluster_sizes = vec![0usize; k];
     for &c in assignment {
         cluster_sizes[c as usize] += 1;
@@ -60,7 +68,11 @@ pub fn davies_bouldin(points: &[Vec<f64>], assignment: &[u32]) -> f64 {
         return 0.0;
     }
     let dim = points[0].len();
-    let k = assignment.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let k = assignment
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| m as usize + 1);
     // Centroids.
     let mut centroids = vec![vec![0.0f64; dim]; k];
     let mut sizes = vec![0usize; k];

@@ -43,8 +43,10 @@ pub fn embed_many(el: &EdgeList, labelings: &[&Labels]) -> Vec<Embedding> {
         })
         .collect();
     let stride: usize = dims.iter().sum();
-    let projections: Vec<Projection> =
-        labelings.iter().map(|l| Projection::build_serial(l)).collect();
+    let projections: Vec<Projection> = labelings
+        .iter()
+        .map(|l| Projection::build_serial(l))
+        .collect();
     // Hoist the per-labeling slices out of the edge loop.
     let metas: Vec<(usize, &[i32], &[f64])> = labelings
         .iter()
@@ -90,8 +92,10 @@ pub fn embed_many_parallel(el: &EdgeList, labelings: &[&Labels], bin_bits: u32) 
     if stride == 0 {
         return dims.iter().map(|_| Embedding::zeros(n, 0)).collect();
     }
-    let projections: Vec<Projection> =
-        labelings.iter().map(|l| Projection::build_parallel(l)).collect();
+    let projections: Vec<Projection> = labelings
+        .iter()
+        .map(|l| Projection::build_parallel(l))
+        .collect();
     let num_bins = (n >> bin_bits) + 1;
     let chunk = 1usize << 16;
     // Phase 1: route each edge's contributions (over all labelings) into
@@ -178,7 +182,10 @@ mod tests {
             .map(|i| {
                 Labels::from_options(&gee_gen::random_labels(
                     n,
-                    LabelSpec { num_classes: 3 + i, labeled_fraction: 0.2 + 0.2 * i as f64 },
+                    LabelSpec {
+                        num_classes: 3 + i,
+                        labeled_fraction: 0.2 + 0.2 * i as f64,
+                    },
                     seed + i as u64,
                 ))
             })
@@ -193,7 +200,11 @@ mod tests {
         let batch = embed_many(&el, &refs);
         for (l, z) in labelings.iter().zip(&batch) {
             let single = serial_optimized::embed(&el, l);
-            assert_eq!(single.as_slice(), z.as_slice(), "fused pass must be bit-identical");
+            assert_eq!(
+                single.as_slice(),
+                z.as_slice(),
+                "fused pass must be bit-identical"
+            );
         }
     }
 
@@ -217,7 +228,10 @@ mod tests {
         let l = Labels::from_options(&gee_gen::full_labels(100, 5, 19));
         let batch = embed_many(&el, &[&l]);
         assert_eq!(batch.len(), 1);
-        assert_eq!(batch[0].as_slice(), serial_optimized::embed(&el, &l).as_slice());
+        assert_eq!(
+            batch[0].as_slice(),
+            serial_optimized::embed(&el, &l).as_slice()
+        );
     }
 
     #[test]

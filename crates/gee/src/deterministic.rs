@@ -104,7 +104,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(n, m, seed);
         let labels = Labels::from_options(&gee_gen::random_labels(
             n,
-            LabelSpec { num_classes: 6, labeled_fraction: frac },
+            LabelSpec {
+                num_classes: 6,
+                labeled_fraction: frac,
+            },
             seed ^ 0xBEEF,
         ));
         (el, labels)
@@ -123,9 +126,8 @@ mod tests {
         let (el, labels) = setup(300, 3000, 21, 0.5);
         let reference = serial_reference::embed(&el, &labels);
         for threads in [1, 2, 4, 7] {
-            let z = gee_ligra::with_threads(threads, || {
-                embed(el.num_vertices(), el.edges(), &labels)
-            });
+            let z =
+                gee_ligra::with_threads(threads, || embed(el.num_vertices(), el.edges(), &labels));
             assert_eq!(
                 reference.as_slice(),
                 z.as_slice(),

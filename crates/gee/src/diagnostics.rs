@@ -30,7 +30,9 @@ pub struct Report {
 /// `Σ_edges w·(coeff(u) + coeff(v))`.
 pub fn expected_mass(el: &EdgeList, labels: &Labels) -> f64 {
     let p = Projection::build_serial(labels);
-    el.iter().map(|(u, v, w)| w * (p.coeff(u) + p.coeff(v))).sum()
+    el.iter()
+        .map(|(u, v, w)| w * (p.coeff(u) + p.coeff(v)))
+        .sum()
 }
 
 /// Produce a [`Report`] for `z` as the embedding of `el` under `labels`.
@@ -74,7 +76,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(100, 1000, 3);
         let labels = Labels::from_options(&gee_gen::random_labels(
             100,
-            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.4,
+            },
             5,
         ));
         let z = serial_optimized::embed(&el, &labels);

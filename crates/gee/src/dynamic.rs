@@ -52,7 +52,11 @@ pub struct DynamicGee {
 impl DynamicGee {
     /// Initialize from a static edge list and labeling (bulk pass, O(s)).
     pub fn new(el: &EdgeList, labels: &Labels) -> Self {
-        assert_eq!(el.num_vertices(), labels.len(), "labels must cover every vertex");
+        assert_eq!(
+            el.num_vertices(),
+            labels.len(),
+            "labels must cover every vertex"
+        );
         let n = el.num_vertices();
         let k = labels.num_classes();
         let mut dg = DynamicGee {
@@ -109,7 +113,10 @@ impl DynamicGee {
     /// Insert a directed edge `(u, v, w)` (undirected graphs insert both
     /// directions, matching §II's encoding).
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
-        assert!((u as usize) < self.n && (v as usize) < self.n, "endpoint out of range");
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "endpoint out of range"
+        );
         self.apply_edge(u, v, w, 1.0);
         self.adj[u as usize].push((v, w));
         self.adj[v as usize].push((u, w));
@@ -141,7 +148,11 @@ impl DynamicGee {
     pub fn set_label(&mut self, x: VertexId, label: Option<u32>) {
         let new = match label {
             Some(c) => {
-                assert!((c as usize) < self.k, "label {c} out of range for K={}", self.k);
+                assert!(
+                    (c as usize) < self.k,
+                    "label {c} out of range for K={}",
+                    self.k
+                );
                 c as i32
             }
             None => -1,
@@ -175,8 +186,11 @@ impl DynamicGee {
 
     /// Current labels as a [`Labels`] value (rebuilt, O(n)).
     pub fn labels(&self) -> Labels {
-        let opts: Vec<Option<u32>> =
-            self.y.iter().map(|&c| (c >= 0).then_some(c as u32)).collect();
+        let opts: Vec<Option<u32>> = self
+            .y
+            .iter()
+            .map(|&c| (c >= 0).then_some(c as u32))
+            .collect();
         Labels::from_options_with_k(&opts, self.k)
     }
 
@@ -197,8 +211,11 @@ impl DynamicGee {
             }
             // Self-loops appear twice in their own list; emit one edge per
             // pair of entries.
-            let selfs: Vec<Weight> =
-                list.iter().filter(|&&(t, _)| t as usize == u).map(|&(_, w)| w).collect();
+            let selfs: Vec<Weight> = list
+                .iter()
+                .filter(|&&(t, _)| t as usize == u)
+                .map(|&(_, w)| w)
+                .collect();
             for pair in selfs.chunks(2) {
                 edges.push(Edge::new(u as VertexId, u as VertexId, pair[0]));
             }
@@ -218,7 +235,11 @@ impl DynamicGee {
     /// building block: `gee-serve` publishes a snapshot by materializing
     /// each shard's vertex range on its own thread and concatenating.
     pub fn embedding_rows(&self, lo: usize, hi: usize) -> Vec<f64> {
-        assert!(lo <= hi && hi <= self.n, "row range {lo}..{hi} out of bounds for n={}", self.n);
+        assert!(
+            lo <= hi && hi <= self.n,
+            "row range {lo}..{hi} out of bounds for n={}",
+            self.n
+        );
         let k = self.k;
         let inv: Vec<f64> = self
             .counts
@@ -256,7 +277,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(n, m, seed);
         let labels = Labels::from_options(&gee_gen::random_labels(
             n,
-            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.4,
+            },
             seed ^ 0xAB,
         ));
         DynamicGee::new(&el, &labels)
@@ -267,7 +291,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(100, 900, 3);
         let labels = Labels::from_options(&gee_gen::random_labels(
             100,
-            LabelSpec { num_classes: 4, labeled_fraction: 0.5 },
+            LabelSpec {
+                num_classes: 4,
+                labeled_fraction: 0.5,
+            },
             7,
         ));
         let dg = DynamicGee::new(&el, &labels);
@@ -365,7 +392,11 @@ mod tests {
         let k = dg.dim();
         for (lo, hi) in [(0usize, 17), (17, 50), (0, 50), (25, 25)] {
             let rows = dg.embedding_rows(lo, hi);
-            assert_eq!(rows, full.as_slice()[lo * k..hi * k].to_vec(), "range {lo}..{hi}");
+            assert_eq!(
+                rows,
+                full.as_slice()[lo * k..hi * k].to_vec(),
+                "range {lo}..{hi}"
+            );
         }
     }
 
@@ -400,9 +431,17 @@ mod tests {
         .unwrap();
         let labels = Labels::from_options_with_k(&[Some(0), Some(0), Some(0), Some(0)], 1);
         let dg = DynamicGee::new(&el, &labels);
-        let mut a: Vec<_> = el.edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits())).collect();
-        let mut b: Vec<_> =
-            dg.edge_list().edges().iter().map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits())).collect();
+        let mut a: Vec<_> = el
+            .edges()
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits()))
+            .collect();
+        let mut b: Vec<_> = dg
+            .edge_list()
+            .edges()
+            .iter()
+            .map(|e| (e.u.min(e.v), e.u.max(e.v), e.w.to_bits()))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -13,7 +13,11 @@ pub struct Embedding {
 impl Embedding {
     /// Zero-filled embedding.
     pub fn zeros(n: usize, k: usize) -> Self {
-        Embedding { n, k, data: vec![0.0; n * k] }
+        Embedding {
+            n,
+            k,
+            data: vec![0.0; n * k],
+        }
     }
 
     /// Wrap an existing row-major buffer.
@@ -80,11 +84,7 @@ impl Embedding {
     /// the largest entry magnitude* (parallel GEE differs from serial only
     /// by FP-addition reordering, so tolerances are tiny but not zero).
     pub fn assert_close(&self, other: &Embedding, tol: f64) {
-        let scale = self
-            .data
-            .iter()
-            .map(|a| a.abs())
-            .fold(1.0f64, f64::max);
+        let scale = self.data.iter().map(|a| a.abs()).fold(1.0f64, f64::max);
         let diff = self.max_abs_diff(other);
         assert!(
             diff <= tol * scale,

@@ -32,7 +32,11 @@ use crate::projection::Projection;
 /// Panics (debug builds) if the graph is visibly asymmetric; correctness
 /// for directed inputs requires the transpose trick instead.
 pub fn embed_pull(g: &CsrGraph, labels: &Labels) -> Embedding {
-    assert_eq!(g.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        g.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = g.num_vertices();
     let k = labels.num_classes();
     let proj = Projection::build_parallel(labels);
@@ -40,24 +44,22 @@ pub fn embed_pull(g: &CsrGraph, labels: &Labels) -> Embedding {
     let y = labels.raw_slice();
     let mut z = vec![0.0f64; n * k];
     // Each task writes exactly the rows of its chunk — no synchronization.
-    z.par_chunks_mut(k.max(1))
-        .enumerate()
-        .for_each(|(d, row)| {
-            let d = d as u32;
-            for (i, &s) in g.neighbors(d).iter().enumerate() {
-                // Symmetric graph: the out-edge (d→s) mirrors the in-edge
-                // (s→d); apply line 10 of Algorithm 1 for that in-edge.
-                let ys = y[s as usize];
-                if ys >= 0 {
-                    // Algorithm 1 over the symmetric list updates Z(d, Y(s))
-                    // twice per undirected edge: line 10 of the stored edge
-                    // (s→d) and line 11 of its mirror (d→s). One pull visit
-                    // covers both, hence the factor 2 (self-loops included:
-                    // stored once, both lines hit the same entry).
-                    row[ys as usize] += 2.0 * coeff[s as usize] * g.weight_at(d, i);
-                }
+    z.par_chunks_mut(k.max(1)).enumerate().for_each(|(d, row)| {
+        let d = d as u32;
+        for (i, &s) in g.neighbors(d).iter().enumerate() {
+            // Symmetric graph: the out-edge (d→s) mirrors the in-edge
+            // (s→d); apply line 10 of Algorithm 1 for that in-edge.
+            let ys = y[s as usize];
+            if ys >= 0 {
+                // Algorithm 1 over the symmetric list updates Z(d, Y(s))
+                // twice per undirected edge: line 10 of the stored edge
+                // (s→d) and line 11 of its mirror (d→s). One pull visit
+                // covers both, hence the factor 2 (self-loops included:
+                // stored once, both lines hit the same entry).
+                row[ys as usize] += 2.0 * coeff[s as usize] * g.weight_at(d, i);
             }
-        });
+        }
+    });
     Embedding::from_vec(n, k, z)
 }
 
@@ -65,7 +67,12 @@ pub fn embed_pull(g: &CsrGraph, labels: &Labels) -> Embedding {
 /// drain bins with exclusive ownership. Works for arbitrary (directed,
 /// weighted) inputs. `bin_bits` sets the destination-range width
 /// (`2^bin_bits` vertices per bin; 16 ≈ a 25 MiB Z stripe at K=50).
-pub fn embed_binned(el_vertices: usize, edges: &[Edge], labels: &Labels, bin_bits: u32) -> Embedding {
+pub fn embed_binned(
+    el_vertices: usize,
+    edges: &[Edge],
+    labels: &Labels,
+    bin_bits: u32,
+) -> Embedding {
     assert_eq!(el_vertices, labels.len(), "labels must cover every vertex");
     let n = el_vertices;
     let k = labels.num_classes();
@@ -133,7 +140,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(n, m, seed).symmetrized();
         let labels = Labels::from_options(&gee_gen::random_labels(
             n,
-            LabelSpec { num_classes: 7, labeled_fraction: 0.3 },
+            LabelSpec {
+                num_classes: 7,
+                labeled_fraction: 0.3,
+            },
             seed ^ 0xF00D,
         ));
         (el, labels)
@@ -171,7 +181,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(500, 6000, 11);
         let labels = Labels::from_options(&gee_gen::random_labels(
             500,
-            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.4,
+            },
             13,
         ));
         let reference = serial_reference::embed(&el, &labels);

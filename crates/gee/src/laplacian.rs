@@ -67,12 +67,9 @@ mod tests {
     fn regular_graph_uniform_scaling() {
         // 4-cycle, symmetrized: every vertex has degree 4 (2 out + 2 in);
         // every weight becomes 1/4.
-        let el = EdgeList::new(
-            4,
-            (0..4u32).map(|v| Edge::unit(v, (v + 1) % 4)).collect(),
-        )
-        .unwrap()
-        .symmetrized();
+        let el = EdgeList::new(4, (0..4u32).map(|v| Edge::unit(v, (v + 1) % 4)).collect())
+            .unwrap()
+            .symmetrized();
         let norm = normalize(&el);
         for e in norm.edges() {
             assert!((e.w - 0.25).abs() < 1e-12);

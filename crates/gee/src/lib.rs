@@ -83,7 +83,11 @@ pub struct GeeOptions {
 
 impl Default for GeeOptions {
     fn default() -> Self {
-        GeeOptions { variant: Variant::Adjacency, atomics: AtomicsMode::Atomic, threads: 0 }
+        GeeOptions {
+            variant: Variant::Adjacency,
+            atomics: AtomicsMode::Atomic,
+            threads: 0,
+        }
     }
 }
 
@@ -135,7 +139,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(300, 3000, 42);
         let labels = Labels::from_options(&gee_gen::random_labels(
             300,
-            LabelSpec { num_classes: 5, labeled_fraction: 0.3 },
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.3,
+            },
             7,
         ));
         let opts = GeeOptions::default();
@@ -143,7 +150,11 @@ mod tests {
         let b = embed(&el, &labels, Implementation::Optimized, opts);
         let c = embed(&el, &labels, Implementation::LigraSerial, opts);
         let d = embed(&el, &labels, Implementation::LigraParallel, opts);
-        assert_eq!(a.as_slice(), b.as_slice(), "reference vs optimized must be bit-identical");
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "reference vs optimized must be bit-identical"
+        );
         a.assert_close(&c, 1e-9);
         a.assert_close(&d, 1e-9);
     }
@@ -152,12 +163,20 @@ mod tests {
     fn laplacian_variant_dispatches() {
         let el = gee_gen::erdos_renyi_gnm(100, 800, 3);
         let labels = Labels::from_options(&gee_gen::full_labels(100, 4, 5));
-        let opts = GeeOptions { variant: Variant::Laplacian, ..Default::default() };
+        let opts = GeeOptions {
+            variant: Variant::Laplacian,
+            ..Default::default()
+        };
         let a = embed(&el, &labels, Implementation::Reference, opts);
         let b = embed(&el, &labels, Implementation::LigraParallel, opts);
         a.assert_close(&b, 1e-9);
         // Laplacian output differs from adjacency output.
-        let adj = embed(&el, &labels, Implementation::Reference, GeeOptions::default());
+        let adj = embed(
+            &el,
+            &labels,
+            Implementation::Reference,
+            GeeOptions::default(),
+        );
         assert_ne!(a.as_slice(), adj.as_slice());
     }
 }

@@ -40,11 +40,19 @@ impl UpdateEmb<'_> {
     fn apply(&self, u: VertexId, v: VertexId, w: Weight) {
         let yv = self.y[v as usize];
         if yv >= 0 {
-            self.z.add(self.mode, u as usize * self.k + yv as usize, self.coeff[v as usize] * w);
+            self.z.add(
+                self.mode,
+                u as usize * self.k + yv as usize,
+                self.coeff[v as usize] * w,
+            );
         }
         let yu = self.y[u as usize];
         if yu >= 0 {
-            self.z.add(self.mode, v as usize * self.k + yu as usize, self.coeff[u as usize] * w);
+            self.z.add(
+                self.mode,
+                v as usize * self.k + yu as usize,
+                self.coeff[u as usize] * w,
+            );
         }
     }
 }
@@ -65,20 +73,33 @@ impl EdgeMapFn for UpdateEmb<'_> {
 /// [`gee_ligra::with_threads`] to control the worker count (the paper's
 /// Fig. 3 sweep).
 pub fn embed(g: &CsrGraph, labels: &Labels, mode: AtomicsMode) -> Embedding {
-    assert_eq!(g.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        g.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = g.num_vertices();
     let k = labels.num_classes();
     // Algorithm 2 lines 2–6: ParallelFor over classes / vertices.
     let proj = Projection::build_parallel(labels);
     // Line 7: EdgeMap(updateEmb, Z, W, Y, frontier = n).
     let z = AtomicF64Vec::zeros(n * k);
-    let functor = UpdateEmb { z: &z, coeff: proj.as_slice(), y: labels.raw_slice(), k, mode };
+    let functor = UpdateEmb {
+        z: &z,
+        coeff: proj.as_slice(),
+        y: labels.raw_slice(),
+        k,
+        mode,
+    };
     let frontier = VertexSubset::full(n);
     edge_map(
         g,
         &frontier,
         &functor,
-        EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true },
+        EdgeMapOptions {
+            kind: TraversalKind::DenseForward,
+            no_output: true,
+        },
     );
     Embedding::from_vec(n, k, z.into_vec())
 }
@@ -94,12 +115,22 @@ pub fn embed_compressed(
     mode: AtomicsMode,
 ) -> Embedding {
     use rayon::prelude::*;
-    assert_eq!(g.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        g.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = g.num_vertices();
     let k = labels.num_classes();
     let proj = Projection::build_parallel(labels);
     let z = AtomicF64Vec::zeros(n * k);
-    let functor = UpdateEmb { z: &z, coeff: proj.as_slice(), y: labels.raw_slice(), k, mode };
+    let functor = UpdateEmb {
+        z: &z,
+        coeff: proj.as_slice(),
+        y: labels.raw_slice(),
+        k,
+        mode,
+    };
     (0..n as u32).into_par_iter().for_each(|u| {
         g.for_each_out(u, |v, w| functor.apply(u, v, w));
     });
@@ -118,7 +149,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(n, m, seed);
         let labels = Labels::from_options(&gee_gen::random_labels(
             n,
-            LabelSpec { num_classes: k, labeled_fraction: frac },
+            LabelSpec {
+                num_classes: k,
+                labeled_fraction: frac,
+            },
             seed ^ 0xABCD,
         ));
         (el, labels)
@@ -161,14 +195,24 @@ mod tests {
         let exact = embed(&g, &labels, AtomicsMode::Atomic);
         let racy = embed(&g, &labels, AtomicsMode::Racy);
         let lost = (exact.total_mass() - racy.total_mass()).abs();
-        assert!(lost <= 0.01 * exact.total_mass().max(1.0), "lost {lost} of {}", exact.total_mass());
+        assert!(
+            lost <= 0.01 * exact.total_mass().max(1.0),
+            "lost {lost} of {}",
+            exact.total_mass()
+        );
     }
 
     #[test]
     fn weighted_graph_matches_reference() {
         use gee_graph::Edge;
         let edges: Vec<Edge> = (0..2000u32)
-            .map(|i| Edge::new(i % 100, (i * 13 + 1) % 100, ((i % 17) as f64).exp().min(10.0)))
+            .map(|i| {
+                Edge::new(
+                    i % 100,
+                    (i * 13 + 1) % 100,
+                    ((i % 17) as f64).exp().min(10.0),
+                )
+            })
             .collect();
         let el = EdgeList::new(100, edges).unwrap();
         let labels = Labels::from_options(&gee_gen::full_labels(100, 7, 5));

@@ -103,7 +103,13 @@ mod tests {
     #[test]
     fn parallel_matches_serial_large() {
         let y: Vec<Option<u32>> = (0..10_000)
-            .map(|i| if i % 7 == 0 { None } else { Some((i % 13) as u32) })
+            .map(|i| {
+                if i % 7 == 0 {
+                    None
+                } else {
+                    Some((i % 13) as u32)
+                }
+            })
             .collect();
         let l = Labels::from_options(&y);
         assert_eq!(Projection::build_serial(&l), Projection::build_parallel(&l));

@@ -15,7 +15,11 @@ use crate::projection::Projection;
 
 /// Optimized serial GEE over an edge list.
 pub fn embed(el: &EdgeList, labels: &Labels) -> Embedding {
-    assert_eq!(el.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        el.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = el.num_vertices();
     let k = labels.num_classes();
     let proj = Projection::build_serial(labels);
@@ -48,7 +52,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(200, 2000, 5);
         let labels = Labels::from_options(&gee_gen::random_labels(
             200,
-            LabelSpec { num_classes: 6, labeled_fraction: 0.25 },
+            LabelSpec {
+                num_classes: 6,
+                labeled_fraction: 0.25,
+            },
             3,
         ));
         let a = serial_reference::embed(&el, &labels);

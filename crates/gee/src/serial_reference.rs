@@ -13,7 +13,11 @@ use crate::projection::Projection;
 
 /// One-Hot Graph Encoder Embedding, Algorithm 1 of the paper.
 pub fn embed(el: &EdgeList, labels: &Labels) -> Embedding {
-    assert_eq!(el.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        el.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = el.num_vertices();
     let k = labels.num_classes();
     // Lines 2–6: W = zeros(n, K); W(idx, k) = 1/count(Y=k).
@@ -95,11 +99,17 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(50, 400, 3);
         let labels = Labels::from_options(&gee_gen::random_labels(
             50,
-            gee_gen::LabelSpec { num_classes: 4, labeled_fraction: 0.5 },
+            gee_gen::LabelSpec {
+                num_classes: 4,
+                labeled_fraction: 0.5,
+            },
             9,
         ));
         let p = crate::projection::Projection::build_serial(&labels);
-        let expected: f64 = el.iter().map(|(u, v, w)| w * (p.coeff(u) + p.coeff(v))).sum();
+        let expected: f64 = el
+            .iter()
+            .map(|(u, v, w)| w * (p.coeff(u) + p.coeff(v)))
+            .sum();
         let z = embed(&el, &labels);
         assert!((z.total_mass() - expected).abs() < 1e-9);
     }

@@ -39,7 +39,11 @@ pub fn embed_stream<R: Read>(
     mode: ChunkMode,
 ) -> gee_graph::Result<Embedding> {
     assert!(chunk_edges >= 1, "chunk size must be positive");
-    assert_eq!(reader.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        reader.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = reader.num_vertices();
     let k = labels.num_classes();
     let proj = Projection::build_parallel(labels);
@@ -104,7 +108,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(n, m, seed);
         let labels = Labels::from_options(&gee_gen::random_labels(
             n,
-            LabelSpec { num_classes: 6, labeled_fraction: 0.3 },
+            LabelSpec {
+                num_classes: 6,
+                labeled_fraction: 0.3,
+            },
             seed ^ 0xFACE,
         ));
         let mut bytes = Vec::new();

@@ -32,7 +32,12 @@ pub struct UnsupervisedOptions {
 impl UnsupervisedOptions {
     /// Defaults: 20 rounds max, ARI ≥ 0.999 convergence.
     pub fn new(k: usize, seed: u64) -> Self {
-        UnsupervisedOptions { k, max_rounds: 20, convergence_ari: 0.999, seed }
+        UnsupervisedOptions {
+            k,
+            max_rounds: 20,
+            convergence_ari: 0.999,
+            seed,
+        }
     }
 }
 
@@ -55,10 +60,7 @@ pub fn cluster(g: &CsrGraph, opts: UnsupervisedOptions) -> UnsupervisedResult {
     assert!(opts.k >= 1, "k must be at least 1");
     assert!(n >= opts.k, "need at least k vertices");
     // Round 0: uniform random full labeling.
-    let mut current: Vec<u32> = {
-        
-        gee_gen_free_random(n, opts.k, opts.seed)
-    };
+    let mut current: Vec<u32> = { gee_gen_free_random(n, opts.k, opts.seed) };
     let mut rounds = 0;
     let mut final_ari = 0.0;
     let mut embedding = Embedding::zeros(n, opts.k);
@@ -71,14 +73,24 @@ pub fn cluster(g: &CsrGraph, opts: UnsupervisedOptions) -> UnsupervisedResult {
         embedding = ligra::embed(g, &labels, AtomicsMode::Atomic);
         let mut z = embedding.clone();
         z.normalize_rows();
-        let km = kmeans(z.as_slice(), n, opts.k, KMeansOptions::new(opts.k, opts.seed ^ r as u64));
+        let km = kmeans(
+            z.as_slice(),
+            n,
+            opts.k,
+            KMeansOptions::new(opts.k, opts.seed ^ r as u64),
+        );
         final_ari = adjusted_rand_index(&current, &km.assignment);
         current = km.assignment;
         if final_ari >= opts.convergence_ari {
             break;
         }
     }
-    UnsupervisedResult { assignment: current, embedding, rounds, final_ari }
+    UnsupervisedResult {
+        assignment: current,
+        embedding,
+        rounds,
+        final_ari,
+    }
 }
 
 /// Deterministic uniform labels without depending on gee-gen (which would

@@ -25,7 +25,10 @@ use crate::stream_rng;
 /// the sequence exact). Output is symmetrized (both directions per edge).
 pub fn config_model(degrees: &[usize], seed: u64) -> EdgeList {
     let total: usize = degrees.iter().sum();
-    assert!(total.is_multiple_of(2), "degree sequence must have even sum (got {total})");
+    assert!(
+        total.is_multiple_of(2),
+        "degree sequence must have even sum (got {total})"
+    );
     let n = degrees.len();
     let mut stubs: Vec<VertexId> = Vec::with_capacity(total);
     for (v, &d) in degrees.iter().enumerate() {
@@ -62,7 +65,13 @@ pub fn config_model_simple(degrees: &[usize], seed: u64) -> EdgeList {
 /// `d_min..=d_max` by inverse-CDF over the finite support, then fix the
 /// parity of the sum by incrementing one vertex. `alpha ≈ 2–3` matches
 /// measured social-network skew.
-pub fn power_law_degrees(n: usize, alpha: f64, d_min: usize, d_max: usize, seed: u64) -> Vec<usize> {
+pub fn power_law_degrees(
+    n: usize,
+    alpha: f64,
+    d_min: usize,
+    d_max: usize,
+    seed: u64,
+) -> Vec<usize> {
     assert!(d_min >= 1 && d_min <= d_max, "need 1 <= d_min <= d_max");
     assert!(alpha > 0.0, "alpha must be positive");
     // Finite-support CDF.
@@ -116,7 +125,11 @@ mod tests {
         let degrees = vec![2; 40];
         let a = config_model(&degrees, 3);
         let b = config_model(&degrees, 3);
-        assert!(a.edges().iter().zip(b.edges()).all(|(x, y)| x.u == y.u && x.v == y.v));
+        assert!(a
+            .edges()
+            .iter()
+            .zip(b.edges())
+            .all(|(x, y)| x.u == y.u && x.v == y.v));
     }
 
     #[test]
@@ -124,8 +137,12 @@ mod tests {
         let degrees = power_law_degrees(200, 2.2, 1, 40, 9);
         let el = config_model_simple(&degrees, 9);
         assert!(el.edges().iter().all(|e| e.u != e.v));
-        let mut keys: Vec<(u32, u32)> =
-            el.edges().iter().filter(|e| e.u < e.v).map(|e| (e.u, e.v)).collect();
+        let mut keys: Vec<(u32, u32)> = el
+            .edges()
+            .iter()
+            .filter(|e| e.u < e.v)
+            .map(|e| (e.u, e.v))
+            .collect();
         let before = keys.len();
         keys.sort_unstable();
         keys.dedup();

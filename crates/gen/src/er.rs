@@ -133,7 +133,10 @@ mod tests {
         let got = el.num_edges() as f64;
         // within 5 standard deviations
         let sd = (expected * (1.0 - p)).sqrt();
-        assert!((got - expected).abs() < 5.0 * sd, "got {got}, expected {expected}±{sd}");
+        assert!(
+            (got - expected).abs() < 5.0 * sd,
+            "got {got}, expected {expected}±{sd}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct LabelSpec {
 impl Default for LabelSpec {
     /// The paper's configuration: K = 50, 10% labeled.
     fn default() -> Self {
-        LabelSpec { num_classes: 50, labeled_fraction: 0.10 }
+        LabelSpec {
+            num_classes: 50,
+            labeled_fraction: 0.10,
+        }
     }
 }
 
@@ -48,7 +51,9 @@ pub fn random_labels(n: usize, spec: LabelSpec, seed: u64) -> Vec<Option<u32>> {
 pub fn full_labels(n: usize, num_classes: usize, seed: u64) -> Vec<Option<u32>> {
     assert!(num_classes >= 1);
     let mut rng = stream_rng(seed, 1);
-    (0..n).map(|_| Some(rng.gen_range(0..num_classes as u32))).collect()
+    (0..n)
+        .map(|_| Some(rng.gen_range(0..num_classes as u32)))
+        .collect()
 }
 
 /// Corrupt ground-truth labels: keep each with probability `keep`, set the
@@ -59,7 +64,13 @@ pub fn subsample_labels(truth: &[u32], keep: f64, seed: u64) -> Vec<Option<u32>>
     let mut rng = stream_rng(seed, 2);
     truth
         .iter()
-        .map(|&t| if rng.gen::<f64>() < keep { Some(t) } else { None })
+        .map(|&t| {
+            if rng.gen::<f64>() < keep {
+                Some(t)
+            } else {
+                None
+            }
+        })
         .collect()
 }
 
@@ -69,14 +80,28 @@ mod tests {
 
     #[test]
     fn fraction_respected_exactly() {
-        let labels = random_labels(1000, LabelSpec { num_classes: 5, labeled_fraction: 0.1 }, 3);
+        let labels = random_labels(
+            1000,
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.1,
+            },
+            3,
+        );
         let labeled = labels.iter().filter(|l| l.is_some()).count();
         assert_eq!(labeled, 100);
     }
 
     #[test]
     fn classes_in_range() {
-        let labels = random_labels(500, LabelSpec { num_classes: 7, labeled_fraction: 0.5 }, 4);
+        let labels = random_labels(
+            500,
+            LabelSpec {
+                num_classes: 7,
+                labeled_fraction: 0.5,
+            },
+            4,
+        );
         assert!(labels.iter().flatten().all(|&c| c < 7));
     }
 
@@ -89,7 +114,14 @@ mod tests {
 
     #[test]
     fn all_classes_used_eventually() {
-        let labels = random_labels(5000, LabelSpec { num_classes: 10, labeled_fraction: 1.0 }, 5);
+        let labels = random_labels(
+            5000,
+            LabelSpec {
+                num_classes: 10,
+                labeled_fraction: 1.0,
+            },
+            5,
+        );
         let mut seen = [false; 10];
         for l in labels.iter().flatten() {
             seen[*l as usize] = true;
@@ -111,7 +143,14 @@ mod tests {
 
     #[test]
     fn zero_fraction_labels_nothing() {
-        let labels = random_labels(100, LabelSpec { num_classes: 5, labeled_fraction: 0.0 }, 2);
+        let labels = random_labels(
+            100,
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.0,
+            },
+            2,
+        );
         assert!(labels.iter().all(|l| l.is_none()));
     }
 }

@@ -15,7 +15,10 @@ use crate::stream_rng;
 /// proportional to degree (implemented with the repeated-endpoint trick:
 /// sample uniformly from the endpoint list built so far).
 pub fn preferential_attachment(n: usize, m_per_vertex: usize, seed: u64) -> EdgeList {
-    assert!(m_per_vertex >= 1, "each vertex must attach at least one edge");
+    assert!(
+        m_per_vertex >= 1,
+        "each vertex must attach at least one edge"
+    );
     let m0 = (m_per_vertex + 1).min(n);
     let mut rng = stream_rng(seed, 0);
     let mut edges: Vec<Edge> = Vec::new();
@@ -35,7 +38,11 @@ pub fn preferential_attachment(n: usize, m_per_vertex: usize, seed: u64) -> Edge
         let mut guard = 0;
         while chosen.len() < m_per_vertex && guard < 100 * m_per_vertex {
             guard += 1;
-            let t = if pool.is_empty() { 0 } else { pool[rng.gen_range(0..pool.len())] };
+            let t = if pool.is_empty() {
+                0
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
             if t != v && !chosen.contains(&t) {
                 chosen.push(t);
             }
@@ -66,7 +73,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(preferential_attachment(100, 2, 9), preferential_attachment(100, 2, 9));
+        assert_eq!(
+            preferential_attachment(100, 2, 9),
+            preferential_attachment(100, 2, 9)
+        );
     }
 
     #[test]
@@ -74,7 +84,12 @@ mod tests {
         let el = preferential_attachment(2000, 2, 3).symmetrized();
         let g = CsrGraph::from_edge_list(&el);
         let s = graph_stats(&g);
-        assert!(s.max_degree as f64 > 5.0 * s.avg_degree, "expected hubs, max {} avg {}", s.max_degree, s.avg_degree);
+        assert!(
+            s.max_degree as f64 > 5.0 * s.avg_degree,
+            "expected hubs, max {} avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
     }
 
     #[test]

@@ -29,7 +29,12 @@ pub struct RmatParams {
 impl Default for RmatParams {
     /// Graph500/social-network canonical parameters.
     fn default() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
     }
 }
 
@@ -40,9 +45,15 @@ impl RmatParams {
     }
 
     fn validate(&self) {
-        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0, "probabilities must be non-negative");
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0,
+            "probabilities must be non-negative"
+        );
         assert!(self.d() >= -1e-12, "a + b + c must be <= 1");
-        assert!((0.0..=0.5).contains(&self.noise), "noise must be in [0, 0.5]");
+        assert!(
+            (0.0..=0.5).contains(&self.noise),
+            "noise must be in [0, 0.5]"
+        );
     }
 }
 
@@ -149,7 +160,12 @@ mod tests {
     #[test]
     fn uniform_params_not_skewed() {
         // a=b=c=d=0.25 degenerates to ER; tail should be mild.
-        let p = RmatParams { a: 0.25, b: 0.25, c: 0.25, noise: 0.0 };
+        let p = RmatParams {
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+            noise: 0.0,
+        };
         let el = rmat(12, 1 << 16, p, 7);
         let g = CsrGraph::from_edge_list(&el);
         let s = graph_stats(&g);
@@ -166,6 +182,16 @@ mod tests {
     #[test]
     #[should_panic(expected = "probabilities")]
     fn rejects_negative_probability() {
-        rmat(4, 10, RmatParams { a: -0.1, b: 0.5, c: 0.5, noise: 0.0 }, 1);
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: -0.1,
+                b: 0.5,
+                c: 0.5,
+                noise: 0.0,
+            },
+            1,
+        );
     }
 }

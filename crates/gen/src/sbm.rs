@@ -25,7 +25,11 @@ pub struct SbmParams {
 impl SbmParams {
     /// Equal-sized blocks convenience constructor.
     pub fn balanced(num_blocks: usize, block_size: usize, p_in: f64, p_out: f64) -> Self {
-        SbmParams { block_sizes: vec![block_size; num_blocks], p_in, p_out }
+        SbmParams {
+            block_sizes: vec![block_size; num_blocks],
+            p_in,
+            p_out,
+        }
     }
 
     /// Total vertex count.
@@ -35,8 +39,14 @@ impl SbmParams {
 
     fn validate(&self) {
         assert!(!self.block_sizes.is_empty(), "need at least one block");
-        assert!((0.0..=1.0).contains(&self.p_in), "p_in must be a probability");
-        assert!((0.0..=1.0).contains(&self.p_out), "p_out must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.p_in),
+            "p_in must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_out),
+            "p_out must be a probability"
+        );
     }
 }
 
@@ -105,7 +115,10 @@ pub fn sbm(params: &SbmParams, seed: u64) -> SbmGraph {
                     // Decode triangular index: slot -> (row, col), row < col.
                     let s = ri.len() as u128;
                     let (row, col) = decode_triangular(slot, s);
-                    ((starts[bi] + row as usize) as u32, (starts[bi] + col as usize) as u32)
+                    (
+                        (starts[bi] + row as usize) as u32,
+                        (starts[bi] + col as usize) as u32,
+                    )
                 } else {
                     let cols = rj.len() as u128;
                     let row = (slot / cols) as usize;
@@ -166,7 +179,10 @@ mod tests {
         let g = sbm(&SbmParams::balanced(2, 15, 0.4, 0.1), 3);
         let edges = g.edges.edges();
         for e in edges {
-            assert!(edges.iter().any(|f| f.u == e.v && f.v == e.u), "missing reverse of {e:?}");
+            assert!(
+                edges.iter().any(|f| f.u == e.v && f.v == e.u),
+                "missing reverse of {e:?}"
+            );
         }
     }
 
@@ -197,7 +213,10 @@ mod tests {
         let expected = 2.0 * (b * (b - 1) / 2) as f64 * p_in * 2.0;
         let got = g.edges.num_edges() as f64;
         let sd = (2.0 * (b * (b - 1) / 2) as f64 * p_in * (1.0 - p_in)).sqrt() * 2.0;
-        assert!((got - expected).abs() < 6.0 * sd, "got {got}, expected {expected}±{sd}");
+        assert!(
+            (got - expected).abs() < 6.0 * sd,
+            "got {got}, expected {expected}±{sd}"
+        );
     }
 
     #[test]
@@ -208,7 +227,14 @@ mod tests {
 
     #[test]
     fn unbalanced_blocks() {
-        let g = sbm(&SbmParams { block_sizes: vec![5, 15], p_in: 1.0, p_out: 0.0 }, 4);
+        let g = sbm(
+            &SbmParams {
+                block_sizes: vec![5, 15],
+                p_in: 1.0,
+                p_out: 0.0,
+            },
+            4,
+        );
         assert_eq!(g.edges.num_vertices(), 20);
         assert_eq!(g.edges.num_edges(), 5 * 4 + 15 * 14);
     }

@@ -129,12 +129,23 @@ mod tests {
     fn topology_preserved() {
         let b = base();
         let el = assign_weights(&b, WeightDistribution::Uniform { lo: 0.0, hi: 1.0 }, 7);
-        assert!(b.edges().iter().zip(el.edges()).all(|(x, y)| x.u == y.u && x.v == y.v));
+        assert!(b
+            .edges()
+            .iter()
+            .zip(el.edges())
+            .all(|(x, y)| x.u == y.u && x.v == y.v));
     }
 
     #[test]
     fn lognormal_is_positive_and_skewed() {
-        let el = assign_weights(&base(), WeightDistribution::LogNormal { mu: 0.0, sigma: 1.0 }, 9);
+        let el = assign_weights(
+            &base(),
+            WeightDistribution::LogNormal {
+                mu: 0.0,
+                sigma: 1.0,
+            },
+            9,
+        );
         assert!(el.edges().iter().all(|e| e.w > 0.0));
         let mean: f64 = el.edges().iter().map(|e| e.w).sum::<f64>() / 1_000.0;
         let median = {
@@ -142,23 +153,48 @@ mod tests {
             ws.sort_by(f64::total_cmp);
             ws[500]
         };
-        assert!(mean > median, "right-skew: mean {mean} must exceed median {median}");
+        assert!(
+            mean > median,
+            "right-skew: mean {mean} must exceed median {median}"
+        );
     }
 
     #[test]
     fn zipf_discrete_and_skewed() {
-        let el = assign_weights(&base(), WeightDistribution::Zipf { max: 10, alpha: 1.5 }, 11);
-        assert!(el.edges().iter().all(|e| e.w >= 1.0 && e.w <= 10.0 && e.w.fract() == 0.0));
+        let el = assign_weights(
+            &base(),
+            WeightDistribution::Zipf {
+                max: 10,
+                alpha: 1.5,
+            },
+            11,
+        );
+        assert!(el
+            .edges()
+            .iter()
+            .all(|e| e.w >= 1.0 && e.w <= 10.0 && e.w.fract() == 0.0));
         let ones = el.edges().iter().filter(|e| e.w == 1.0).count();
         assert!(ones > 300, "w=1 should dominate, got {ones}/1000");
     }
 
     #[test]
     fn deterministic_in_seed() {
-        let a = assign_weights(&base(), WeightDistribution::Uniform { lo: 0.0, hi: 1.0 }, 13);
-        let b = assign_weights(&base(), WeightDistribution::Uniform { lo: 0.0, hi: 1.0 }, 13);
+        let a = assign_weights(
+            &base(),
+            WeightDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            13,
+        );
+        let b = assign_weights(
+            &base(),
+            WeightDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            13,
+        );
         assert!(a.edges().iter().zip(b.edges()).all(|(x, y)| x.w == y.w));
-        let c = assign_weights(&base(), WeightDistribution::Uniform { lo: 0.0, hi: 1.0 }, 14);
+        let c = assign_weights(
+            &base(),
+            WeightDistribution::Uniform { lo: 0.0, hi: 1.0 },
+            14,
+        );
         assert!(a.edges().iter().zip(c.edges()).any(|(x, y)| x.w != y.w));
     }
 

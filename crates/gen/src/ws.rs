@@ -27,9 +27,15 @@ pub struct WsParams {
 impl WsParams {
     fn validate(&self) {
         assert!(self.n >= 3, "ring needs at least 3 vertices");
-        assert!(self.k >= 2 && self.k.is_multiple_of(2), "k must be even and >= 2");
+        assert!(
+            self.k >= 2 && self.k.is_multiple_of(2),
+            "k must be even and >= 2"
+        );
         assert!(self.k < self.n, "lattice degree must be below n");
-        assert!((0.0..=1.0).contains(&self.beta), "beta must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&self.beta),
+            "beta must be a probability"
+        );
     }
 }
 
@@ -69,7 +75,14 @@ mod tests {
 
     #[test]
     fn beta_zero_is_ring_lattice() {
-        let el = watts_strogatz(WsParams { n: 10, k: 4, beta: 0.0 }, 1);
+        let el = watts_strogatz(
+            WsParams {
+                n: 10,
+                k: 4,
+                beta: 0.0,
+            },
+            1,
+        );
         assert_eq!(el.num_edges(), 10 * 4);
         // Vertex 0 must link to 1, 2 (right) and 8, 9 (left, via their
         // right-links).
@@ -94,24 +107,46 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let p = WsParams { n: 40, k: 4, beta: 0.5 };
+        let p = WsParams {
+            n: 40,
+            k: 4,
+            beta: 0.5,
+        };
         let a = watts_strogatz(p, 9);
         let b = watts_strogatz(p, 9);
         assert_eq!(a.edges().len(), b.edges().len());
-        assert!(a.edges().iter().zip(b.edges()).all(|(x, y)| x.u == y.u && x.v == y.v));
+        assert!(a
+            .edges()
+            .iter()
+            .zip(b.edges())
+            .all(|(x, y)| x.u == y.u && x.v == y.v));
         let c = watts_strogatz(p, 10);
         assert!(a.edges().iter().zip(c.edges()).any(|(x, y)| x.v != y.v));
     }
 
     #[test]
     fn no_self_loops() {
-        let el = watts_strogatz(WsParams { n: 30, k: 4, beta: 1.0 }, 3);
+        let el = watts_strogatz(
+            WsParams {
+                n: 30,
+                k: 4,
+                beta: 1.0,
+            },
+            3,
+        );
         assert!(el.edges().iter().all(|e| e.u != e.v));
     }
 
     #[test]
     fn symmetrized_output() {
-        let el = watts_strogatz(WsParams { n: 20, k: 2, beta: 0.4 }, 11);
+        let el = watts_strogatz(
+            WsParams {
+                n: 20,
+                k: 2,
+                beta: 0.4,
+            },
+            11,
+        );
         let mut fwd: Vec<(u32, u32)> = el.edges().iter().map(|e| (e.u, e.v)).collect();
         let mut rev: Vec<(u32, u32)> = el.edges().iter().map(|e| (e.v, e.u)).collect();
         fwd.sort_unstable();
@@ -122,12 +157,26 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be even")]
     fn odd_k_rejected() {
-        watts_strogatz(WsParams { n: 10, k: 3, beta: 0.0 }, 1);
+        watts_strogatz(
+            WsParams {
+                n: 10,
+                k: 3,
+                beta: 0.0,
+            },
+            1,
+        );
     }
 
     #[test]
     #[should_panic(expected = "below n")]
     fn oversized_k_rejected() {
-        watts_strogatz(WsParams { n: 4, k: 4, beta: 0.0 }, 1);
+        watts_strogatz(
+            WsParams {
+                n: 4,
+                k: 4,
+                beta: 0.0,
+            },
+            1,
+        );
     }
 }

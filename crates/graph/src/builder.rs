@@ -87,7 +87,13 @@ impl GraphBuilder {
 
     /// Finish into a validated [`EdgeList`].
     pub fn build(self) -> crate::Result<EdgeList> {
-        let GraphBuilder { num_vertices, mut edges, policy, symmetrize, drop_self_loops } = self;
+        let GraphBuilder {
+            num_vertices,
+            mut edges,
+            policy,
+            symmetrize,
+            drop_self_loops,
+        } = self;
         if drop_self_loops {
             edges.retain(|e| e.u != e.v);
         }

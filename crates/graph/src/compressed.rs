@@ -234,7 +234,12 @@ mod tests {
     fn preserves_edges_sorted() {
         let el = EdgeList::new(
             6,
-            vec![Edge::unit(0, 5), Edge::unit(0, 2), Edge::unit(0, 3), Edge::unit(4, 1)],
+            vec![
+                Edge::unit(0, 5),
+                Edge::unit(0, 2),
+                Edge::unit(0, 3),
+                Edge::unit(4, 1),
+            ],
         )
         .unwrap();
         let (_, c) = round_trip(&el);
@@ -273,7 +278,11 @@ mod tests {
         let edges: Vec<Edge> = (0..10_000u32).map(|v| Edge::unit(v, v + 1)).collect();
         let el = EdgeList::new(10_001, edges).unwrap();
         let (_, c) = round_trip(&el);
-        assert!(c.compression_ratio() < 0.3, "ratio {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() < 0.3,
+            "ratio {}",
+            c.compression_ratio()
+        );
     }
 
     #[test]
@@ -301,10 +310,14 @@ mod tests {
     fn gee_gen_like(n: usize, m: usize, seed: u64) -> EdgeList {
         let mut x = seed;
         let mut next = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (x >> 33) as u32
         };
-        let edges = (0..m).map(|_| Edge::unit(next() % n as u32, next() % n as u32)).collect();
+        let edges = (0..m)
+            .map(|_| Edge::unit(next() % n as u32, next() % n as u32))
+            .collect();
         EdgeList::new_unchecked(n, edges)
     }
 }

@@ -62,7 +62,11 @@ impl CsrGraph {
         // Phase 3: parallel scatter using per-vertex cursors.
         let cursors: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
         let mut targets = vec![0 as VertexId; s];
-        let mut weights = if store_weights { vec![0.0; s] } else { Vec::new() };
+        let mut weights = if store_weights {
+            vec![0.0; s]
+        } else {
+            Vec::new()
+        };
         {
             let tgt_ptr = SendPtr(targets.as_mut_ptr());
             let w_ptr = SendPtr(weights.as_mut_ptr());
@@ -101,7 +105,13 @@ impl CsrGraph {
         debug_assert_eq!(offsets.len(), num_vertices + 1);
         debug_assert_eq!(*offsets.last().unwrap_or(&0), targets.len());
         debug_assert!(weights.as_ref().is_none_or(|w| w.len() == targets.len()));
-        CsrGraph { num_vertices, offsets, targets, weights, transpose: None }
+        CsrGraph {
+            num_vertices,
+            offsets,
+            targets,
+            weights,
+            transpose: None,
+        }
     }
 
     /// Number of vertices `n`.
@@ -184,7 +194,10 @@ impl CsrGraph {
 
     /// Reconstruct the edge list (CSR order).
     pub fn to_edge_list(&self) -> EdgeList {
-        let edges = self.iter_edges().map(|(u, v, w)| Edge::new(u, v, w)).collect();
+        let edges = self
+            .iter_edges()
+            .map(|(u, v, w)| Edge::new(u, v, w))
+            .collect();
         EdgeList::new_unchecked(self.num_vertices, edges)
     }
 
@@ -263,8 +276,11 @@ mod tests {
     fn neighbors_and_weights_align() {
         let g = diamond();
         let nb = g.neighbors(0);
-        let mut pairs: Vec<(u32, f64)> =
-            nb.iter().enumerate().map(|(i, &v)| (v, g.weight_at(0, i))).collect();
+        let mut pairs: Vec<(u32, f64)> = nb
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, g.weight_at(0, i)))
+            .collect();
         pairs.sort_by_key(|a| a.0);
         assert_eq!(pairs, vec![(1, 1.0), (2, 2.0)]);
     }
@@ -279,7 +295,11 @@ mod tests {
 
     #[test]
     fn duplicates_and_loops_preserved() {
-        let el = EdgeList::new(2, vec![Edge::unit(0, 1), Edge::unit(0, 1), Edge::unit(1, 1)]).unwrap();
+        let el = EdgeList::new(
+            2,
+            vec![Edge::unit(0, 1), Edge::unit(0, 1), Edge::unit(1, 1)],
+        )
+        .unwrap();
         let g = CsrGraph::from_edge_list(&el);
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.out_degree(0), 2);
@@ -306,8 +326,14 @@ mod tests {
         assert_eq!(g.offsets(), g2.offsets());
         // CSR order within a vertex may differ after round trip only if the
         // scatter ordered differently; compare as multisets.
-        let mut a: Vec<_> = g.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
-        let mut b: Vec<_> = g2.iter_edges().map(|(u, v, w)| (u, v, w.to_bits())).collect();
+        let mut a: Vec<_> = g
+            .iter_edges()
+            .map(|(u, v, w)| (u, v, w.to_bits()))
+            .collect();
+        let mut b: Vec<_> = g2
+            .iter_edges()
+            .map(|(u, v, w)| (u, v, w.to_bits()))
+            .collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

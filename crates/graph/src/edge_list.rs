@@ -36,7 +36,11 @@ impl Edge {
     /// The same edge with endpoints swapped (used when symmetrizing).
     #[inline]
     pub fn reversed(self) -> Self {
-        Edge { u: self.v, v: self.u, w: self.w }
+        Edge {
+            u: self.v,
+            v: self.u,
+            w: self.w,
+        }
     }
 }
 
@@ -57,25 +61,37 @@ impl EdgeList {
     pub fn new(num_vertices: usize, edges: Vec<Edge>) -> crate::Result<Self> {
         for (i, e) in edges.iter().enumerate() {
             if (e.u as usize) >= num_vertices {
-                return Err(crate::GraphError::VertexOutOfRange { vertex: e.u as u64, n: num_vertices as u64 });
+                return Err(crate::GraphError::VertexOutOfRange {
+                    vertex: e.u as u64,
+                    n: num_vertices as u64,
+                });
             }
             if (e.v as usize) >= num_vertices {
-                return Err(crate::GraphError::VertexOutOfRange { vertex: e.v as u64, n: num_vertices as u64 });
+                return Err(crate::GraphError::VertexOutOfRange {
+                    vertex: e.v as u64,
+                    n: num_vertices as u64,
+                });
             }
             if !e.w.is_finite() {
                 return Err(crate::GraphError::InvalidWeight { edge_index: i });
             }
         }
-        Ok(EdgeList { num_vertices, edges })
+        Ok(EdgeList {
+            num_vertices,
+            edges,
+        })
     }
 
     /// Build without validation. The caller promises every endpoint is
     /// `< num_vertices` and every weight is finite.
     pub fn new_unchecked(num_vertices: usize, edges: Vec<Edge>) -> Self {
-        debug_assert!(edges
-            .iter()
-            .all(|e| (e.u as usize) < num_vertices && (e.v as usize) < num_vertices && e.w.is_finite()));
-        EdgeList { num_vertices, edges }
+        debug_assert!(edges.iter().all(|e| (e.u as usize) < num_vertices
+            && (e.v as usize) < num_vertices
+            && e.w.is_finite()));
+        EdgeList {
+            num_vertices,
+            edges,
+        }
     }
 
     /// Number of vertices `n`.
@@ -118,8 +134,16 @@ impl EdgeList {
     pub fn symmetrized(&self) -> EdgeList {
         let mut edges = Vec::with_capacity(self.edges.len() * 2);
         edges.extend_from_slice(&self.edges);
-        edges.extend(self.edges.iter().filter(|e| e.u != e.v).map(|e| e.reversed()));
-        EdgeList { num_vertices: self.num_vertices, edges }
+        edges.extend(
+            self.edges
+                .iter()
+                .filter(|e| e.u != e.v)
+                .map(|e| e.reversed()),
+        );
+        EdgeList {
+            num_vertices: self.num_vertices,
+            edges,
+        }
     }
 
     /// Total weight of all edges.
@@ -141,7 +165,11 @@ mod tests {
     use super::*;
 
     fn small() -> EdgeList {
-        EdgeList::new(4, vec![Edge::unit(0, 1), Edge::new(1, 2, 2.5), Edge::unit(3, 3)]).unwrap()
+        EdgeList::new(
+            4,
+            vec![Edge::unit(0, 1), Edge::new(1, 2, 2.5), Edge::unit(3, 3)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -154,19 +182,28 @@ mod tests {
     #[test]
     fn validation_rejects_out_of_range_source() {
         let err = EdgeList::new(2, vec![Edge::unit(2, 0)]).unwrap_err();
-        assert!(matches!(err, crate::GraphError::VertexOutOfRange { vertex: 2, n: 2 }));
+        assert!(matches!(
+            err,
+            crate::GraphError::VertexOutOfRange { vertex: 2, n: 2 }
+        ));
     }
 
     #[test]
     fn validation_rejects_out_of_range_destination() {
         let err = EdgeList::new(2, vec![Edge::unit(0, 5)]).unwrap_err();
-        assert!(matches!(err, crate::GraphError::VertexOutOfRange { vertex: 5, n: 2 }));
+        assert!(matches!(
+            err,
+            crate::GraphError::VertexOutOfRange { vertex: 5, n: 2 }
+        ));
     }
 
     #[test]
     fn validation_rejects_nan_weight() {
         let err = EdgeList::new(2, vec![Edge::new(0, 1, f64::NAN)]).unwrap_err();
-        assert!(matches!(err, crate::GraphError::InvalidWeight { edge_index: 0 }));
+        assert!(matches!(
+            err,
+            crate::GraphError::InvalidWeight { edge_index: 0 }
+        ));
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub fn read<R: Read>(mut r: R) -> crate::Result<CsrGraph> {
         offsets.push(read_u64(&mut r)? as usize);
     }
     if offsets.first() != Some(&0) || offsets.last() != Some(&s) {
-        return Err(GraphError::Format("offset array does not span edge count".into()));
+        return Err(GraphError::Format(
+            "offset array does not span edge count".into(),
+        ));
     }
     if offsets.windows(2).any(|w| w[0] > w[1]) {
         return Err(GraphError::Format("offsets not monotone".into()));
@@ -70,7 +72,10 @@ pub fn read<R: Read>(mut r: R) -> crate::Result<CsrGraph> {
         r.read_exact(&mut buf4)?;
         let t = u32::from_le_bytes(buf4);
         if t as usize >= n {
-            return Err(GraphError::VertexOutOfRange { vertex: t as u64, n: n as u64 });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: t as u64,
+                n: n as u64,
+            });
         }
         targets.push(t);
     }
@@ -103,7 +108,12 @@ mod tests {
         let w = |i: usize| if weighted { i as f64 + 0.5 } else { 1.0 };
         let el = EdgeList::new(
             4,
-            vec![Edge::new(0, 1, w(0)), Edge::new(1, 2, w(1)), Edge::new(2, 0, w(2)), Edge::new(3, 3, w(3))],
+            vec![
+                Edge::new(0, 1, w(0)),
+                Edge::new(1, 2, w(1)),
+                Edge::new(2, 0, w(2)),
+                Edge::new(3, 3, w(3)),
+            ],
         )
         .unwrap();
         CsrGraph::from_edge_list(&el)
@@ -153,6 +163,9 @@ mod tests {
         // (n+1)*8 bytes.
         let target_start = 32 + 5 * 8;
         buf[target_start..target_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(matches!(read(buf.as_slice()), Err(GraphError::VertexOutOfRange { .. })));
+        assert!(matches!(
+            read(buf.as_slice()),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
     }
 }

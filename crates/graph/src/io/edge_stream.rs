@@ -51,7 +51,12 @@ impl<R: Read> EdgeStreamReader<R> {
         let n = u64::from_le_bytes(b) as usize;
         inner.read_exact(&mut b)?;
         let s = u64::from_le_bytes(b) as usize;
-        Ok(EdgeStreamReader { inner, num_vertices: n, num_edges: s, remaining: s })
+        Ok(EdgeStreamReader {
+            inner,
+            num_vertices: n,
+            num_edges: s,
+            remaining: s,
+        })
     }
 
     /// Declared vertex count.
@@ -101,7 +106,12 @@ mod tests {
     fn sample() -> EdgeList {
         EdgeList::new(
             5,
-            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.5), Edge::new(3, 4, -0.5), Edge::unit(4, 0)],
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 2.5),
+                Edge::new(3, 4, -0.5),
+                Edge::unit(4, 0),
+            ],
         )
         .unwrap()
     }
@@ -164,6 +174,9 @@ mod tests {
         bytes[24..28].copy_from_slice(&999u32.to_le_bytes());
         let mut r = EdgeStreamReader::new(bytes.as_slice()).unwrap();
         let mut buf = Vec::new();
-        assert!(matches!(r.read_chunk(&mut buf, 10), Err(GraphError::VertexOutOfRange { .. })));
+        assert!(matches!(
+            r.read_chunk(&mut buf, 10),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
     }
 }

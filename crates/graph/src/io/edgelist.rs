@@ -18,9 +18,15 @@ pub fn read<R: BufRead>(reader: R, num_vertices: Option<usize>) -> crate::Result
         }
         let mut it = t.split_whitespace();
         let parse_id = |s: Option<&str>, what: &str| -> crate::Result<VertexId> {
-            s.ok_or_else(|| GraphError::Parse { line: lineno + 1, message: format!("missing {what}") })?
-                .parse::<VertexId>()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad {what}: {e}") })
+            s.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("missing {what}"),
+            })?
+            .parse::<VertexId>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad {what}: {e}"),
+            })
         };
         let u = parse_id(it.next(), "source")?;
         let v = parse_id(it.next(), "destination")?;
@@ -32,12 +38,19 @@ pub fn read<R: BufRead>(reader: R, num_vertices: Option<usize>) -> crate::Result
             })?,
         };
         if it.next().is_some() {
-            return Err(GraphError::Parse { line: lineno + 1, message: "trailing tokens".into() });
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: "trailing tokens".into(),
+            });
         }
         max_id = max_id.max(u as u64).max(v as u64);
         edges.push(Edge::new(u, v, w));
     }
-    let n = num_vertices.unwrap_or(if edges.is_empty() { 0 } else { (max_id + 1) as usize });
+    let n = num_vertices.unwrap_or(if edges.is_empty() {
+        0
+    } else {
+        (max_id + 1) as usize
+    });
     EdgeList::new(n, edges)
 }
 

@@ -22,14 +22,18 @@ enum Field {
 pub fn read<R: BufRead>(reader: R) -> crate::Result<EdgeList> {
     let mut lines = reader.lines().enumerate();
     // Header line.
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| GraphError::Parse { line: 1, message: "empty file".into() })?;
+    let (_, header) = lines.next().ok_or_else(|| GraphError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
     let header = header?;
     let mut h = header.split_whitespace();
     let banner = h.next().unwrap_or("");
     if banner != "%%MatrixMarket" {
-        return Err(GraphError::Parse { line: 1, message: "missing %%MatrixMarket banner".into() });
+        return Err(GraphError::Parse {
+            line: 1,
+            message: "missing %%MatrixMarket banner".into(),
+        });
     }
     let object = h.next().unwrap_or("");
     let format = h.next().unwrap_or("");
@@ -46,14 +50,20 @@ pub fn read<R: BufRead>(reader: R) -> crate::Result<EdgeList> {
         "real" => Field::Real,
         "integer" => Field::Integer,
         other => {
-            return Err(GraphError::Parse { line: 1, message: format!("unsupported field type {other}") })
+            return Err(GraphError::Parse {
+                line: 1,
+                message: format!("unsupported field type {other}"),
+            })
         }
     };
     let symmetric = match symmetry {
         "general" => false,
         "symmetric" => true,
         other => {
-            return Err(GraphError::Parse { line: 1, message: format!("unsupported symmetry {other}") })
+            return Err(GraphError::Parse {
+                line: 1,
+                message: format!("unsupported symmetry {other}"),
+            })
         }
     };
     // Size line: first non-comment line.
@@ -67,9 +77,15 @@ pub fn read<R: BufRead>(reader: R) -> crate::Result<EdgeList> {
         }
         let mut it = t.split_whitespace();
         let parse_usize = |s: Option<&str>| -> crate::Result<usize> {
-            s.ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing field".into() })?
-                .parse::<usize>()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad integer: {e}") })
+            s.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "missing field".into(),
+            })?
+            .parse::<usize>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad integer: {e}"),
+            })
         };
         match size {
             None => {
@@ -92,9 +108,15 @@ pub fn read<R: BufRead>(reader: R) -> crate::Result<EdgeList> {
                     Field::Pattern => 1.0,
                     Field::Real | Field::Integer => it
                         .next()
-                        .ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing value".into() })?
+                        .ok_or_else(|| GraphError::Parse {
+                            line: lineno + 1,
+                            message: "missing value".into(),
+                        })?
                         .parse::<f64>()
-                        .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad value: {e}") })?,
+                        .map_err(|e| GraphError::Parse {
+                            line: lineno + 1,
+                            message: format!("bad value: {e}"),
+                        })?,
                 };
                 let (u, v) = ((i - 1) as u32, (j - 1) as u32);
                 edges.push(Edge::new(u, v, w));
@@ -124,7 +146,13 @@ pub fn read<R: BufRead>(reader: R) -> crate::Result<EdgeList> {
 pub fn write<W: Write>(mut w: W, el: &EdgeList) -> crate::Result<()> {
     writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(w, "% written by gee-graph")?;
-    writeln!(w, "{} {} {}", el.num_vertices(), el.num_vertices(), el.num_edges())?;
+    writeln!(
+        w,
+        "{} {} {}",
+        el.num_vertices(),
+        el.num_vertices(),
+        el.num_edges()
+    )?;
     for e in el.edges() {
         writeln!(w, "{} {} {}", e.u + 1, e.v + 1, e.w)?;
     }
@@ -182,12 +210,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_banner() {
-        assert!(read(Cursor::new("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n")).is_err());
+        assert!(read(Cursor::new(
+            "%%NotMatrixMarket matrix coordinate real general\n1 1 0\n"
+        ))
+        .is_err());
     }
 
     #[test]
     fn rejects_array_format() {
-        assert!(read(Cursor::new("%%MatrixMarket matrix array real general\n1 1\n")).is_err());
+        assert!(read(Cursor::new(
+            "%%MatrixMarket matrix array real general\n1 1\n"
+        ))
+        .is_err());
     }
 
     #[test]

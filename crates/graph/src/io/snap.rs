@@ -41,9 +41,15 @@ pub fn read<R: BufRead>(reader: R, opts: SnapOptions) -> crate::Result<EdgeList>
         }
         let mut it = t.split_whitespace();
         let parse = |s: Option<&str>| -> crate::Result<u64> {
-            s.ok_or_else(|| GraphError::Parse { line: lineno + 1, message: "missing endpoint".into() })?
-                .parse::<u64>()
-                .map_err(|e| GraphError::Parse { line: lineno + 1, message: format!("bad id: {e}") })
+            s.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "missing endpoint".into(),
+            })?
+            .parse::<u64>()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad id: {e}"),
+            })
         };
         let raw_u = parse(it.next())?;
         let raw_v = parse(it.next())?;
@@ -55,7 +61,11 @@ pub fn read<R: BufRead>(reader: R, opts: SnapOptions) -> crate::Result<EdgeList>
         edges.push(Edge::unit(u, v));
     }
     let el = EdgeList::new_unchecked(next as usize, edges);
-    Ok(if opts.symmetrize { el.symmetrized() } else { el })
+    Ok(if opts.symmetrize {
+        el.symmetrized()
+    } else {
+        el
+    })
 }
 
 #[cfg(test)]
@@ -85,7 +95,10 @@ mod tests {
     fn symmetrize_option() {
         let el = read(
             Cursor::new("1 2\n"),
-            SnapOptions { symmetrize: true, drop_self_loops: false },
+            SnapOptions {
+                symmetrize: true,
+                drop_self_loops: false,
+            },
         )
         .unwrap();
         assert_eq!(el.num_edges(), 2);
@@ -95,7 +108,10 @@ mod tests {
     fn self_loop_dropping() {
         let el = read(
             Cursor::new("5 5\n5 6\n"),
-            SnapOptions { symmetrize: false, drop_self_loops: true },
+            SnapOptions {
+                symmetrize: false,
+                drop_self_loops: true,
+            },
         )
         .unwrap();
         assert_eq!(el.num_edges(), 1);

@@ -72,13 +72,18 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex id {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex id {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::InvalidWeight { edge_index } => {
                 write!(f, "edge {edge_index} has a non-finite weight")
             }
             GraphError::Io(e) => write!(f, "i/o error: {e}"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Format(m) => write!(f, "format error: {m}"),
         }
     }

@@ -67,7 +67,11 @@ pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
     let mut hist = vec![0usize; 40];
     for v in 0..g.num_vertices() as u32 {
         let d = g.out_degree(v);
-        let bucket = if d == 0 { 0 } else { (usize::BITS - 1 - d.leading_zeros()) as usize };
+        let bucket = if d == 0 {
+            0
+        } else {
+            (usize::BITS - 1 - d.leading_zeros()) as usize
+        };
         let idx = bucket.min(hist.len() - 1);
         hist[idx] += 1;
     }
@@ -100,7 +104,11 @@ mod tests {
 
     #[test]
     fn self_loops_counted() {
-        let el = EdgeList::new(2, vec![Edge::unit(0, 0), Edge::unit(1, 1), Edge::unit(0, 1)]).unwrap();
+        let el = EdgeList::new(
+            2,
+            vec![Edge::unit(0, 0), Edge::unit(1, 1), Edge::unit(0, 1)],
+        )
+        .unwrap();
         let s = graph_stats(&CsrGraph::from_edge_list(&el));
         assert_eq!(s.self_loops, 2);
     }

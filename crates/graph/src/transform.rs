@@ -35,7 +35,11 @@ pub fn compact(el: &EdgeList) -> (EdgeList, Vec<VertexId>) {
 /// Apply an arbitrary vertex permutation `perm` (new id of vertex `v` is
 /// `perm[v]`). `perm` must be a bijection on `0..n`.
 pub fn permute(el: &EdgeList, perm: &[VertexId]) -> EdgeList {
-    assert_eq!(perm.len(), el.num_vertices(), "permutation length must equal vertex count");
+    assert_eq!(
+        perm.len(),
+        el.num_vertices(),
+        "permutation length must equal vertex count"
+    );
     debug_assert!({
         let mut seen = vec![false; perm.len()];
         perm.iter().all(|&p| {
@@ -53,7 +57,10 @@ pub fn permute(el: &EdgeList, perm: &[VertexId]) -> EdgeList {
 }
 
 /// Keep only edges whose endpoints satisfy `keep`, then compact.
-pub fn induced_subgraph<F: Fn(VertexId) -> bool>(el: &EdgeList, keep: F) -> (EdgeList, Vec<VertexId>) {
+pub fn induced_subgraph<F: Fn(VertexId) -> bool>(
+    el: &EdgeList,
+    keep: F,
+) -> (EdgeList, Vec<VertexId>) {
     let edges: Vec<Edge> = el
         .edges()
         .iter()
@@ -89,7 +96,10 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
     fn find(&mut self, mut x: u32) -> u32 {
         while self.parent[x as usize] != x {
@@ -215,7 +225,11 @@ mod tests {
 
     #[test]
     fn induced_subgraph_filters_and_compacts() {
-        let el = EdgeList::new(4, vec![Edge::unit(0, 1), Edge::unit(2, 3), Edge::unit(1, 3)]).unwrap();
+        let el = EdgeList::new(
+            4,
+            vec![Edge::unit(0, 1), Edge::unit(2, 3), Edge::unit(1, 3)],
+        )
+        .unwrap();
         let (sub, _) = induced_subgraph(&el, |v| v != 3);
         assert_eq!(sub.num_edges(), 1);
         assert_eq!(sub.num_vertices(), 2);
@@ -239,7 +253,11 @@ mod tests {
 
     #[test]
     fn largest_component_connected_graph_is_identity_shape() {
-        let el = EdgeList::new(4, vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)]).unwrap();
+        let el = EdgeList::new(
+            4,
+            vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)],
+        )
+        .unwrap();
         let (lcc, _) = largest_component(&el);
         assert_eq!(lcc.num_vertices(), 4);
         assert_eq!(lcc.num_edges(), 3);
@@ -264,7 +282,9 @@ mod tests {
 
     #[test]
     fn sample_edges_rate_and_determinism() {
-        let edges: Vec<Edge> = (0..10_000u32).map(|i| Edge::unit(i % 100, (i + 1) % 100)).collect();
+        let edges: Vec<Edge> = (0..10_000u32)
+            .map(|i| Edge::unit(i % 100, (i + 1) % 100))
+            .collect();
         let el = EdgeList::new(100, edges).unwrap();
         let a = sample_edges(&el, 0.3, 11);
         let b = sample_edges(&el, 0.3, 11);

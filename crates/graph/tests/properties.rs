@@ -6,11 +6,15 @@ use proptest::prelude::*;
 /// Strategy: an arbitrary small graph as (n, edge list).
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
     (2usize..60).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..10.0), 0..200)
-            .prop_map(move |triples| {
-                let edges = triples.into_iter().map(|(u, v, w)| Edge::new(u, v, w)).collect();
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..10.0), 0..200).prop_map(
+            move |triples| {
+                let edges = triples
+                    .into_iter()
+                    .map(|(u, v, w)| Edge::new(u, v, w))
+                    .collect();
                 EdgeList::new_unchecked(n, edges)
-            })
+            },
+        )
     })
 }
 

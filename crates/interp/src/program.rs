@@ -80,7 +80,12 @@ fn assemble() -> Program {
     a.emit(Load(Y)).emit(Load(V)).emit(GetItem).emit(Store(YV));
     a.emit(Load(YV)).emit(Const(0)).emit(Ge);
     let skip1 = a.emit_jump_if_false();
-    a.emit(Load(U)).emit(Load(K)).emit(Mul).emit(Load(YV)).emit(Add).emit(Store(IDX));
+    a.emit(Load(U))
+        .emit(Load(K))
+        .emit(Mul)
+        .emit(Load(YV))
+        .emit(Add)
+        .emit(Store(IDX));
     a.emit(Load(Z)).emit(Load(IDX)); // SetItem operands: container, index, …
     a.emit(Load(Z)).emit(Load(IDX)).emit(GetItem); // old value
     a.emit(Load(COEFF)).emit(Load(V)).emit(GetItem); // coeff[v]
@@ -92,7 +97,12 @@ fn assemble() -> Program {
     a.emit(Load(Y)).emit(Load(U)).emit(GetItem).emit(Store(YU));
     a.emit(Load(YU)).emit(Const(0)).emit(Ge);
     let skip2 = a.emit_jump_if_false();
-    a.emit(Load(V)).emit(Load(K)).emit(Mul).emit(Load(YU)).emit(Add).emit(Store(IDX));
+    a.emit(Load(V))
+        .emit(Load(K))
+        .emit(Mul)
+        .emit(Load(YU))
+        .emit(Add)
+        .emit(Store(IDX));
     a.emit(Load(Z)).emit(Load(IDX));
     a.emit(Load(Z)).emit(Load(IDX)).emit(GetItem);
     a.emit(Load(COEFF)).emit(Load(U)).emit(GetItem);
@@ -106,14 +116,21 @@ fn assemble() -> Program {
     let end = a.here();
     a.patch(exit_patch, end);
     a.emit(Halt);
-    Program { code: a.code, constants: vec![Value::Int(0), Value::Int(1)] }
+    Program {
+        code: a.code,
+        constants: vec![Value::Int(0), Value::Int(1)],
+    }
 }
 
 /// Run GEE through the bytecode interpreter. Semantics identical to
 /// `gee_core::serial_reference::embed` (same edge order, same FP order) —
 /// the tests assert bit-equality — only the execution substrate differs.
 pub fn embed(el: &EdgeList, labels: &Labels) -> Embedding {
-    assert_eq!(el.num_vertices(), labels.len(), "labels must cover every vertex");
+    assert_eq!(
+        el.num_vertices(),
+        labels.len(),
+        "labels must cover every vertex"
+    );
     let n = el.num_vertices();
     let k = labels.num_classes();
     let s = el.num_edges();
@@ -124,7 +141,13 @@ pub fn embed(el: &EdgeList, labels: &Labels) -> Embedding {
     vm.locals[EU] = Value::list(el.edges().iter().map(|e| Value::Int(e.u as i64)).collect());
     vm.locals[EV] = Value::list(el.edges().iter().map(|e| Value::Int(e.v as i64)).collect());
     vm.locals[EW] = Value::list(el.edges().iter().map(|e| Value::Float(e.w)).collect());
-    vm.locals[Y] = Value::list(labels.raw_slice().iter().map(|&y| Value::Int(y as i64)).collect());
+    vm.locals[Y] = Value::list(
+        labels
+            .raw_slice()
+            .iter()
+            .map(|&y| Value::Int(y as i64))
+            .collect(),
+    );
     vm.locals[COEFF] = Value::list(proj.as_slice().iter().map(|&c| Value::Float(c)).collect());
     vm.locals[Z] = Value::list(vec![Value::Float(0.0); n * k]);
     vm.locals[K] = Value::Int(k as i64);
@@ -136,7 +159,10 @@ pub fn embed(el: &EdgeList, labels: &Labels) -> Embedding {
         Value::List(l) => l.borrow(),
         other => panic!("Z corrupted to {other:?}"),
     };
-    let data: Vec<f64> = z_list.iter().map(|v| v.as_f64().expect("Z holds floats")).collect();
+    let data: Vec<f64> = z_list
+        .iter()
+        .map(|v| v.as_f64().expect("Z holds floats"))
+        .collect();
     Embedding::from_vec(n, k, data)
 }
 
@@ -163,12 +189,19 @@ fn run_for_stats(el: &EdgeList, labels: &Labels) -> Vm {
     vm.locals[EU] = Value::list(el.edges().iter().map(|e| Value::Int(e.u as i64)).collect());
     vm.locals[EV] = Value::list(el.edges().iter().map(|e| Value::Int(e.v as i64)).collect());
     vm.locals[EW] = Value::list(el.edges().iter().map(|e| Value::Float(e.w)).collect());
-    vm.locals[Y] = Value::list(labels.raw_slice().iter().map(|&y| Value::Int(y as i64)).collect());
+    vm.locals[Y] = Value::list(
+        labels
+            .raw_slice()
+            .iter()
+            .map(|&y| Value::Int(y as i64))
+            .collect(),
+    );
     vm.locals[COEFF] = Value::list(proj.as_slice().iter().map(|&c| Value::Float(c)).collect());
     vm.locals[Z] = Value::list(vec![Value::Float(0.0); n * k]);
     vm.locals[K] = Value::Int(k as i64);
     vm.locals[S] = Value::Int(el.num_edges() as i64);
-    vm.run(&assemble()).expect("GEE bytecode must execute cleanly");
+    vm.run(&assemble())
+        .expect("GEE bytecode must execute cleanly");
     vm
 }
 
@@ -184,7 +217,10 @@ mod tests {
         let el = gee_gen::erdos_renyi_gnm(80, 800, 3);
         let labels = Labels::from_options(&gee_gen::random_labels(
             80,
-            LabelSpec { num_classes: 5, labeled_fraction: 0.4 },
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.4,
+            },
             9,
         ));
         let a = serial_reference::embed(&el, &labels);
@@ -195,11 +231,15 @@ mod tests {
     #[test]
     fn weighted_bit_identical() {
         use gee_graph::Edge;
-        let edges: Vec<Edge> =
-            (0..300u32).map(|i| Edge::new(i % 25, (i * 3 + 1) % 25, 0.25 + (i % 9) as f64)).collect();
+        let edges: Vec<Edge> = (0..300u32)
+            .map(|i| Edge::new(i % 25, (i * 3 + 1) % 25, 0.25 + (i % 9) as f64))
+            .collect();
         let el = EdgeList::new(25, edges).unwrap();
         let labels = Labels::from_options(&gee_gen::full_labels(25, 4, 2));
-        assert_eq!(serial_reference::embed(&el, &labels).as_slice(), embed(&el, &labels).as_slice());
+        assert_eq!(
+            serial_reference::embed(&el, &labels).as_slice(),
+            embed(&el, &labels).as_slice()
+        );
     }
 
     #[test]
@@ -227,7 +267,11 @@ mod tests {
         let hist = edge_loop_op_histogram(&el, &labels);
         // Data movement (LOAD) must dominate arithmetic (ADD/MUL) — the
         // interpreter's cost is dispatch and boxing, not FLOPs.
-        let count = |name: &str| hist.iter().find(|&&(n, _)| n == name).map_or(0, |&(_, c)| c);
+        let count = |name: &str| {
+            hist.iter()
+                .find(|&&(n, _)| n == name)
+                .map_or(0, |&(_, c)| c)
+        };
         assert_eq!(hist[0].0, "LOAD");
         assert!(count("LOAD") > 2 * (count("ADD") + count("MUL")));
         assert!(count("GET_ITEM") > 0 && count("SET_ITEM") > 0);

@@ -37,7 +37,9 @@ pub enum TypeError {
 impl std::fmt::Display for TypeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TypeError::BadOperand { op, got } => write!(f, "unsupported operand type for {op}: {got}"),
+            TypeError::BadOperand { op, got } => {
+                write!(f, "unsupported operand type for {op}: {got}")
+            }
             TypeError::BadIndex => write!(f, "bad list index"),
         }
     }
@@ -66,7 +68,10 @@ impl Value {
         match self {
             Value::Int(i) => Ok(*i as f64),
             Value::Float(f) => Ok(*f),
-            other => Err(TypeError::BadOperand { op: "float()", got: other.type_name() }),
+            other => Err(TypeError::BadOperand {
+                op: "float()",
+                got: other.type_name(),
+            }),
         }
     }
 
@@ -124,7 +129,10 @@ impl Value {
                 }
                 Ok(b[i as usize].clone())
             }
-            other => Err(TypeError::BadOperand { op: "getitem", got: other.type_name() }),
+            other => Err(TypeError::BadOperand {
+                op: "getitem",
+                got: other.type_name(),
+            }),
         }
     }
 
@@ -140,7 +148,10 @@ impl Value {
                 b[i as usize] = value;
                 Ok(())
             }
-            other => Err(TypeError::BadOperand { op: "setitem", got: other.type_name() }),
+            other => Err(TypeError::BadOperand {
+                op: "setitem",
+                got: other.type_name(),
+            }),
         }
     }
 }
@@ -151,7 +162,10 @@ mod tests {
 
     #[test]
     fn arithmetic_promotion() {
-        assert!(matches!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5)));
+        assert!(matches!(
+            Value::Int(2).add(&Value::Int(3)).unwrap(),
+            Value::Int(5)
+        ));
         match Value::Int(2).add(&Value::Float(0.5)).unwrap() {
             Value::Float(f) => assert_eq!(f, 2.5),
             other => panic!("expected float, got {other:?}"),
@@ -164,7 +178,10 @@ mod tests {
             Value::Float(f) => assert_eq!(f, 12.0),
             other => panic!("{other:?}"),
         }
-        assert!(matches!(Value::Int(5).sub(&Value::Int(7)).unwrap(), Value::Int(-2)));
+        assert!(matches!(
+            Value::Int(5).sub(&Value::Int(7)).unwrap(),
+            Value::Int(-2)
+        ));
     }
 
     #[test]
@@ -179,7 +196,10 @@ mod tests {
     fn index_errors() {
         let l = Value::list(vec![Value::Int(1)]);
         assert_eq!(l.get_item(&Value::Int(5)).unwrap_err(), TypeError::BadIndex);
-        assert_eq!(l.get_item(&Value::Int(-1)).unwrap_err(), TypeError::BadIndex);
+        assert_eq!(
+            l.get_item(&Value::Int(-1)).unwrap_err(),
+            TypeError::BadIndex
+        );
         assert!(Value::Int(3).get_item(&Value::Int(0)).is_err());
     }
 

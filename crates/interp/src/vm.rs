@@ -61,8 +61,19 @@ impl Instr {
     /// Mnemonic for the opcode index.
     pub fn opcode_name(opcode: usize) -> &'static str {
         [
-            "CONST", "LOAD", "STORE", "GET_ITEM", "SET_ITEM", "ADD", "SUB", "MUL", "LT", "GE",
-            "JUMP_IF_FALSE", "JUMP", "HALT",
+            "CONST",
+            "LOAD",
+            "STORE",
+            "GET_ITEM",
+            "SET_ITEM",
+            "ADD",
+            "SUB",
+            "MUL",
+            "LT",
+            "GE",
+            "JUMP_IF_FALSE",
+            "JUMP",
+            "HALT",
         ][opcode]
     }
 }
@@ -156,16 +167,26 @@ impl Vm {
             pc += 1;
             match instr {
                 Instr::Const(i) => {
-                    let v = consts.get(*i).ok_or(VmError::BadProgram("const index"))?.clone();
+                    let v = consts
+                        .get(*i)
+                        .ok_or(VmError::BadProgram("const index"))?
+                        .clone();
                     self.stack.push(v);
                 }
                 Instr::Load(i) => {
-                    let v = self.locals.get(*i).ok_or(VmError::BadProgram("local index"))?.clone();
+                    let v = self
+                        .locals
+                        .get(*i)
+                        .ok_or(VmError::BadProgram("local index"))?
+                        .clone();
                     self.stack.push(v);
                 }
                 Instr::Store(i) => {
                     let v = self.pop()?;
-                    let slot = self.locals.get_mut(*i).ok_or(VmError::BadProgram("local index"))?;
+                    let slot = self
+                        .locals
+                        .get_mut(*i)
+                        .ok_or(VmError::BadProgram("local index"))?;
                     *slot = v;
                 }
                 Instr::GetItem => {
@@ -197,12 +218,14 @@ impl Vm {
                 Instr::Lt => {
                     let b = self.pop()?;
                     let a = self.pop()?;
-                    self.stack.push(Value::Int(i64::from(a.as_f64()? < b.as_f64()?)));
+                    self.stack
+                        .push(Value::Int(i64::from(a.as_f64()? < b.as_f64()?)));
                 }
                 Instr::Ge => {
                     let b = self.pop()?;
                     let a = self.pop()?;
-                    self.stack.push(Value::Int(i64::from(a.as_f64()? >= b.as_f64()?)));
+                    self.stack
+                        .push(Value::Int(i64::from(a.as_f64()? >= b.as_f64()?)));
                 }
                 Instr::JumpIfFalse(t) => {
                     let c = self.pop()?;
@@ -293,12 +316,22 @@ mod tests {
         let mut vm = Vm::new(1);
         vm.locals[0] = Value::list(vec![Value::Int(0)]);
         vm.run(&p).unwrap();
-        assert_eq!(vm.locals[0].get_item(&Value::Int(0)).unwrap().as_i64().unwrap(), 42);
+        assert_eq!(
+            vm.locals[0]
+                .get_item(&Value::Int(0))
+                .unwrap()
+                .as_i64()
+                .unwrap(),
+            42
+        );
     }
 
     #[test]
     fn stack_underflow_detected() {
-        let p = Program { code: vec![Instr::Add, Instr::Halt], constants: vec![] };
+        let p = Program {
+            code: vec![Instr::Add, Instr::Halt],
+            constants: vec![],
+        };
         assert!(matches!(Vm::new(0).run(&p), Err(VmError::StackUnderflow)));
     }
 
@@ -316,7 +349,13 @@ mod tests {
     #[test]
     fn histogram_tracks_opcodes() {
         let p = Program {
-            code: vec![Instr::Const(0), Instr::Const(0), Instr::Add, Instr::Store(0), Instr::Halt],
+            code: vec![
+                Instr::Const(0),
+                Instr::Const(0),
+                Instr::Add,
+                Instr::Store(0),
+                Instr::Halt,
+            ],
             constants: vec![Value::Int(1)],
         };
         let mut vm = Vm::new(1);
@@ -325,7 +364,10 @@ mod tests {
         assert_eq!(hist[0], ("CONST", 2));
         assert!(hist.contains(&("ADD", 1)));
         assert!(hist.contains(&("HALT", 1)));
-        assert_eq!(hist.iter().map(|&(_, c)| c).sum::<u64>(), vm.instructions_executed);
+        assert_eq!(
+            hist.iter().map(|&(_, c)| c).sum::<u64>(),
+            vm.instructions_executed
+        );
     }
 
     #[test]
@@ -339,7 +381,12 @@ mod tests {
     #[test]
     fn type_error_propagates() {
         let p = Program {
-            code: vec![Instr::Const(0), Instr::Const(0), Instr::GetItem, Instr::Halt],
+            code: vec![
+                Instr::Const(0),
+                Instr::Const(0),
+                Instr::GetItem,
+                Instr::Halt,
+            ],
             constants: vec![Value::Int(1)],
         };
         assert!(matches!(Vm::new(0).run(&p), Err(VmError::Type(_))));

@@ -101,12 +101,18 @@ impl AtomicF64Vec {
     /// Convert into a plain `Vec<f64>` (single-owner, no copies of the
     /// atomic cells remain).
     pub fn into_vec(self) -> Vec<f64> {
-        self.data.into_iter().map(|a| f64::from_bits(a.into_inner())).collect()
+        self.data
+            .into_iter()
+            .map(|a| f64::from_bits(a.into_inner()))
+            .collect()
     }
 
     /// Copy out as a plain `Vec<f64>`.
     pub fn to_vec(&self) -> Vec<f64> {
-        self.data.iter().map(|a| f64::from_bits(a.load(Ordering::Relaxed))).collect()
+        self.data
+            .iter()
+            .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+            .collect()
     }
 }
 
@@ -127,7 +133,8 @@ pub fn write_min_u32(cell: &AtomicU32, v: u32) -> bool {
 /// Ligra's `CAS` on a u32 cell: set to `new` iff currently `expected`.
 #[inline]
 pub fn cas_u32(cell: &AtomicU32, expected: u32, new: u32) -> bool {
-    cell.compare_exchange(expected, new, Ordering::Relaxed, Ordering::Relaxed).is_ok()
+    cell.compare_exchange(expected, new, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
 }
 
 #[cfg(test)]

@@ -35,7 +35,11 @@ where
     // Phase 3: repack into disjoint ranges (one owner per source vertex).
     let keep_weights = g.is_weighted();
     let mut targets = vec![0 as VertexId; total];
-    let mut weights = if keep_weights { vec![0.0; total] } else { Vec::new() };
+    let mut weights = if keep_weights {
+        vec![0.0; total]
+    } else {
+        Vec::new()
+    };
     {
         let tp = SendPtr(targets.as_mut_ptr());
         let wp = SendPtr(weights.as_mut_ptr());
@@ -145,7 +149,14 @@ mod tests {
         // BFS reachability changes coherently after cutting a bridge.
         let el = EdgeList::new(
             4,
-            vec![Edge::unit(0, 1), Edge::unit(1, 0), Edge::unit(1, 2), Edge::unit(2, 1), Edge::unit(2, 3), Edge::unit(3, 2)],
+            vec![
+                Edge::unit(0, 1),
+                Edge::unit(1, 0),
+                Edge::unit(1, 2),
+                Edge::unit(2, 1),
+                Edge::unit(2, 3),
+                Edge::unit(3, 2),
+            ],
         )
         .unwrap();
         let g = CsrGraph::from_edge_list(&el);

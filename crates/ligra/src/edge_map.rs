@@ -167,7 +167,9 @@ pub fn edge_map_dense_forward(
     }
     let out_flags: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
     if full {
-        (0..n as u32).into_par_iter().for_each(|u| run(u, Some(&out_flags)));
+        (0..n as u32)
+            .into_par_iter()
+            .for_each(|u| run(u, Some(&out_flags)));
     } else {
         (0..n as u32)
             .into_par_iter()
@@ -233,7 +235,9 @@ mod tests {
 
     impl CountVisits {
         fn new(n: usize) -> Self {
-            CountVisits { counts: (0..n).map(|_| AtomicU32::new(0)).collect() }
+            CountVisits {
+                counts: (0..n).map(|_| AtomicU32::new(0)).collect(),
+            }
         }
         fn count(&self, v: u32) -> u32 {
             self.counts[v as usize].load(Ordering::Relaxed)
@@ -252,7 +256,11 @@ mod tests {
 
     fn path_graph() -> CsrGraph {
         // 0 -> 1 -> 2 -> 3
-        let el = EdgeList::new(4, vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)]).unwrap();
+        let el = EdgeList::new(
+            4,
+            vec![Edge::unit(0, 1), Edge::unit(1, 2), Edge::unit(2, 3)],
+        )
+        .unwrap();
         CsrGraph::from_edge_list(&el)
     }
 
@@ -261,7 +269,15 @@ mod tests {
         let g = path_graph();
         let f = CountVisits::new(4);
         let frontier = VertexSubset::single(4, 0);
-        let next = edge_map(&g, &frontier, &f, EdgeMapOptions { kind: TraversalKind::Sparse, no_output: false });
+        let next = edge_map(
+            &g,
+            &frontier,
+            &f,
+            EdgeMapOptions {
+                kind: TraversalKind::Sparse,
+                no_output: false,
+            },
+        );
         assert_eq!(f.count(1), 1);
         assert_eq!(f.count(2), 0);
         assert_eq!(next.to_ids(), vec![1]);
@@ -272,7 +288,15 @@ mod tests {
         let g = path_graph();
         let f = CountVisits::new(4);
         let frontier = VertexSubset::full(4);
-        edge_map(&g, &frontier, &f, EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true });
+        edge_map(
+            &g,
+            &frontier,
+            &f,
+            EdgeMapOptions {
+                kind: TraversalKind::DenseForward,
+                no_output: true,
+            },
+        );
         assert_eq!(f.count(0), 0);
         assert_eq!(f.count(1), 1);
         assert_eq!(f.count(2), 1);
@@ -300,8 +324,24 @@ mod tests {
         let f1 = CountVisits::new(4);
         let f2 = CountVisits::new(4);
         let frontier = VertexSubset::full(4);
-        edge_map(&g, &frontier, &f1, EdgeMapOptions { kind: TraversalKind::DensePull, no_output: true });
-        edge_map(&g, &frontier, &f2, EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: true });
+        edge_map(
+            &g,
+            &frontier,
+            &f1,
+            EdgeMapOptions {
+                kind: TraversalKind::DensePull,
+                no_output: true,
+            },
+        );
+        edge_map(
+            &g,
+            &frontier,
+            &f2,
+            EdgeMapOptions {
+                kind: TraversalKind::DenseForward,
+                no_output: true,
+            },
+        );
         for v in 0..4 {
             assert_eq!(f1.count(v), f2.count(v), "vertex {v}");
         }
@@ -337,7 +377,15 @@ mod tests {
         }
         let g = path_graph();
         let frontier = VertexSubset::full(4);
-        let next = edge_map(&g, &frontier, &OnlyOdd, EdgeMapOptions { kind: TraversalKind::DenseForward, no_output: false });
+        let next = edge_map(
+            &g,
+            &frontier,
+            &OnlyOdd,
+            EdgeMapOptions {
+                kind: TraversalKind::DenseForward,
+                no_output: false,
+            },
+        );
         let mut ids = next.to_ids();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 3]);
@@ -351,7 +399,10 @@ mod tests {
             &g,
             &VertexSubset::full(4),
             &f,
-            EdgeMapOptions { kind: TraversalKind::Sparse, no_output: true },
+            EdgeMapOptions {
+                kind: TraversalKind::Sparse,
+                no_output: true,
+            },
         );
         assert!(next.is_empty());
     }

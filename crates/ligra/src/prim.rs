@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn pack_indices_basic() {
-        assert_eq!(pack_indices(&[false, true, true, false, true]), vec![1, 2, 4]);
+        assert_eq!(
+            pack_indices(&[false, true, true, false, true]),
+            vec![1, 2, 4]
+        );
     }
 
     #[test]

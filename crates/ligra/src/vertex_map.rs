@@ -10,19 +10,20 @@ use crate::vertex_subset::VertexSubset;
 pub fn vertex_map<F: Fn(VertexId) + Sync>(frontier: &VertexSubset, f: F) {
     match frontier {
         VertexSubset::Sparse { ids, .. } => ids.par_iter().for_each(|&v| f(v)),
-        VertexSubset::Dense { flags, .. } => {
-            flags.par_iter().enumerate().for_each(|(v, &b)| {
-                if b {
-                    f(v as VertexId);
-                }
-            })
-        }
+        VertexSubset::Dense { flags, .. } => flags.par_iter().enumerate().for_each(|(v, &b)| {
+            if b {
+                f(v as VertexId);
+            }
+        }),
     }
 }
 
 /// Apply `pred` to each member; keep those where it returns `true`
 /// (Ligra's `vertexFilter`).
-pub fn vertex_filter<F: Fn(VertexId) -> bool + Sync>(frontier: &VertexSubset, pred: F) -> VertexSubset {
+pub fn vertex_filter<F: Fn(VertexId) -> bool + Sync>(
+    frontier: &VertexSubset,
+    pred: F,
+) -> VertexSubset {
     let n = frontier.universe();
     match frontier {
         VertexSubset::Sparse { ids, .. } => {
@@ -66,7 +67,9 @@ mod tests {
 
     #[test]
     fn filter_sparse() {
-        let f = vertex_filter(&VertexSubset::from_ids(10, vec![1, 2, 3, 4]), |v| v % 2 == 0);
+        let f = vertex_filter(&VertexSubset::from_ids(10, vec![1, 2, 3, 4]), |v| {
+            v % 2 == 0
+        });
         let mut ids = f.to_ids();
         ids.sort_unstable();
         assert_eq!(ids, vec![2, 4]);

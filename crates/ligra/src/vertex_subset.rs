@@ -31,7 +31,10 @@ impl VertexSubset {
 
     /// The full vertex set (dense) — GEE's frontier is "the entire graph".
     pub fn full(n: usize) -> Self {
-        VertexSubset::Dense { flags: vec![true; n], count: n }
+        VertexSubset::Dense {
+            flags: vec![true; n],
+            count: n,
+        }
     }
 
     /// A singleton subset.
@@ -107,7 +110,10 @@ impl VertexSubset {
             for &v in ids.iter() {
                 flags[v as usize] = true;
             }
-            *self = VertexSubset::Dense { count: ids.len(), flags };
+            *self = VertexSubset::Dense {
+                count: ids.len(),
+                flags,
+            };
         }
     }
 
@@ -120,7 +126,10 @@ impl VertexSubset {
                 .filter(|(_, &b)| b)
                 .map(|(i, _)| i as VertexId)
                 .collect();
-            *self = VertexSubset::Sparse { n: flags.len(), ids };
+            *self = VertexSubset::Sparse {
+                n: flags.len(),
+                ids,
+            };
         }
     }
 

@@ -5,9 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use gee_graph::{CsrGraph, Edge, EdgeList, VertexId, Weight};
 use gee_ligra::prim::{exclusive_scan, pack, pack_indices};
-use gee_ligra::{
-    edge_map, AtomicF64Vec, EdgeMapFn, EdgeMapOptions, TraversalKind, VertexSubset,
-};
+use gee_ligra::{edge_map, AtomicF64Vec, EdgeMapFn, EdgeMapOptions, TraversalKind, VertexSubset};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = EdgeList> {
@@ -27,7 +25,9 @@ struct Fingerprint {
 
 impl Fingerprint {
     fn new() -> Self {
-        Fingerprint { acc: AtomicU64::new(0) }
+        Fingerprint {
+            acc: AtomicU64::new(0),
+        }
     }
     fn value(&self) -> u64 {
         self.acc.load(Ordering::Relaxed)

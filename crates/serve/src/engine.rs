@@ -14,13 +14,17 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::registry::{Registry, Update};
 use crate::snapshot::Snapshot;
 use crate::ServeError;
 
 /// A query or mutation against one named graph.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Part of the wire contract: serializes via serde's externally-tagged
+/// enum encoding (see [`crate::wire`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
     /// kNN-classify each vertex from the labeled train set (majority vote
     /// of the `k` nearest labeled rows, nearest-first tiebreak — the
@@ -45,8 +49,8 @@ impl Request {
     }
 }
 
-/// Answer to one [`Request`].
-#[derive(Debug, Clone, PartialEq)]
+/// Answer to one [`Request`]. Part of the wire contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Response {
     /// Predicted class per queried vertex, in query order.
     Classes(Vec<u32>),
@@ -61,8 +65,9 @@ pub enum Response {
     Stats(GraphReport),
 }
 
-/// Snapshot-plus-counters description of a served graph.
-#[derive(Debug, Clone, PartialEq)]
+/// Snapshot-plus-counters description of a served graph. Part of the
+/// wire contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphReport {
     pub graph: String,
     pub epoch: u64,
@@ -74,8 +79,9 @@ pub struct GraphReport {
     pub updates_applied: u64,
 }
 
-/// A request addressed to a named graph, for batch submission.
-#[derive(Debug, Clone)]
+/// A request addressed to a named graph, for batch submission. Part of
+/// the wire contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Envelope {
     pub graph: String,
     pub request: Request,
@@ -83,7 +89,10 @@ pub struct Envelope {
 
 impl Envelope {
     pub fn new(graph: impl Into<String>, request: Request) -> Self {
-        Envelope { graph: graph.into(), request }
+        Envelope {
+            graph: graph.into(),
+            request,
+        }
     }
 }
 
@@ -102,6 +111,65 @@ impl Engine {
         &self.registry
     }
 
+    // The named methods below mirror [`Client`](crate::Client) exactly
+    // (same signatures, same semantics), so in-process and over-the-wire
+    // execution are interchangeable and their equivalence is
+    // property-testable.
+
+    /// kNN-classify `vertices` against the labeled train set.
+    pub fn classify(
+        &self,
+        graph: &str,
+        vertices: Vec<u32>,
+        k: usize,
+    ) -> Result<Vec<u32>, ServeError> {
+        match self.execute(graph, Request::Classify { vertices, k })? {
+            Response::Classes(classes) => Ok(classes),
+            other => unreachable!("Classify answered with {other:?}"),
+        }
+    }
+
+    /// The `top` nearest vertices to `vertex`.
+    pub fn similar(
+        &self,
+        graph: &str,
+        vertex: u32,
+        top: usize,
+    ) -> Result<Vec<(u32, f64)>, ServeError> {
+        match self.execute(graph, Request::Similar { vertex, top })? {
+            Response::Neighbors(neighbors) => Ok(neighbors),
+            other => unreachable!("Similar answered with {other:?}"),
+        }
+    }
+
+    /// One raw embedding row.
+    pub fn embed_row(&self, graph: &str, vertex: u32) -> Result<Vec<f64>, ServeError> {
+        match self.execute(graph, Request::EmbedRow { vertex })? {
+            Response::Row(row) => Ok(row),
+            other => unreachable!("EmbedRow answered with {other:?}"),
+        }
+    }
+
+    /// Apply a mutation batch; returns `(applied, epoch)`.
+    pub fn apply_updates(
+        &self,
+        graph: &str,
+        updates: Vec<Update>,
+    ) -> Result<(usize, u64), ServeError> {
+        match self.execute(graph, Request::ApplyUpdates { updates })? {
+            Response::Applied { applied, epoch } => Ok((applied, epoch)),
+            other => unreachable!("ApplyUpdates answered with {other:?}"),
+        }
+    }
+
+    /// Serving statistics for one graph.
+    pub fn stats(&self, graph: &str) -> Result<GraphReport, ServeError> {
+        match self.execute(graph, Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => unreachable!("Stats answered with {other:?}"),
+        }
+    }
+
     /// Execute one request.
     pub fn execute(&self, graph: &str, request: Request) -> Result<Response, ServeError> {
         self.execute_batch(vec![Envelope::new(graph, request)])
@@ -113,7 +181,8 @@ impl Engine {
     /// each failed request carries its own error without aborting the
     /// rest of the batch.
     pub fn execute_batch(&self, batch: Vec<Envelope>) -> Vec<Result<Response, ServeError>> {
-        let mut out: Vec<Option<Result<Response, ServeError>>> = (0..batch.len()).map(|_| None).collect();
+        let mut out: Vec<Option<Result<Response, ServeError>>> =
+            (0..batch.len()).map(|_| None).collect();
         let mut i = 0usize;
         while i < batch.len() {
             if batch[i].request.is_write() {
@@ -126,24 +195,35 @@ impl Engine {
                     j += 1;
                 }
                 let run = &batch[i..j];
-                // One snapshot per graph for the whole run: reads in the
-                // run see a single consistent epoch per graph.
-                let mut snaps: Vec<(String, Result<Arc<Snapshot>, ServeError>)> = Vec::new();
+                // One entry + snapshot resolution per graph for the whole
+                // run: reads in the run see a single consistent epoch per
+                // graph, and the registry lock is not re-taken per
+                // request inside the parallel region (so a concurrent
+                // deregister cannot fail reads that already hold their
+                // snapshot).
+                type Resolved = Result<(Arc<crate::registry::Entry>, Arc<Snapshot>), ServeError>;
+                let mut snaps: Vec<(String, Resolved)> = Vec::new();
                 for env in run {
                     if !snaps.iter().any(|(g, _)| g == &env.graph) {
-                        snaps.push((env.graph.clone(), self.registry.snapshot(&env.graph)));
+                        let resolved = self.registry.entry(&env.graph).map(|entry| {
+                            let snap = entry.snapshot();
+                            (entry, snap)
+                        });
+                        snaps.push((env.graph.clone(), resolved));
                     }
                 }
                 let answers: Vec<Result<Response, ServeError>> = run
                     .par_iter()
                     .map(|env| {
-                        let (_, snap) = snaps
+                        let (_, resolved) = snaps
                             .iter()
                             .find(|(g, _)| g == &env.graph)
                             .expect("snapshot prefetched for every graph in run");
-                        match snap {
+                        match resolved {
                             Err(e) => Err(e.clone()),
-                            Ok(snap) => self.execute_read(&env.graph, &env.request, snap),
+                            Ok((entry, snap)) => {
+                                self.execute_read(&env.graph, &env.request, entry, snap)
+                            }
                         }
                     })
                     .collect();
@@ -153,7 +233,9 @@ impl Engine {
                 i = j;
             }
         }
-        out.into_iter().map(|r| r.expect("every slot answered")).collect()
+        out.into_iter()
+            .map(|r| r.expect("every slot answered"))
+            .collect()
     }
 
     fn execute_write(&self, env: &Envelope) -> Result<Response, ServeError> {
@@ -161,34 +243,40 @@ impl Engine {
             unreachable!("only ApplyUpdates is a write");
         };
         let (applied, snap) = self.registry.apply_updates(&env.graph, updates)?;
-        Ok(Response::Applied { applied, epoch: snap.epoch })
+        Ok(Response::Applied {
+            applied,
+            epoch: snap.epoch,
+        })
     }
 
     fn execute_read(
         &self,
         graph: &str,
         request: &Request,
+        entry: &crate::registry::Entry,
         snap: &Snapshot,
     ) -> Result<Response, ServeError> {
-        let entry = self.registry.entry(graph)?;
         entry.queries_served.fetch_add(1, Ordering::Relaxed);
         let n = snap.embedding.num_vertices();
         let check = |v: u32| {
             if (v as usize) < n {
                 Ok(())
             } else {
-                Err(ServeError::VertexOutOfRange { vertex: v, num_vertices: n })
+                Err(ServeError::VertexOutOfRange {
+                    vertex: v,
+                    num_vertices: n,
+                })
             }
         };
         match request {
             Request::Classify { vertices, k } => {
                 if *k == 0 {
-                    return Err(ServeError::BadRequest("Classify needs k >= 1".into()));
+                    return Err(ServeError::ZeroLimit { param: "k".into() });
                 }
                 if snap.num_labeled() == 0 {
-                    return Err(ServeError::BadRequest(
-                        "Classify needs at least one labeled vertex".into(),
-                    ));
+                    return Err(ServeError::NoLabeledVertices {
+                        graph: graph.to_string(),
+                    });
                 }
                 for &v in vertices {
                     check(v)?;
@@ -200,13 +288,26 @@ impl Engine {
                 let classes = if vertices.len() == 1 {
                     vec![classify_one(snap, vertices[0], *k, true)]
                 } else {
-                    vertices.par_iter().map(|&q| classify_one(snap, q, *k, false)).collect()
+                    vertices
+                        .par_iter()
+                        .map(|&q| classify_one(snap, q, *k, false))
+                        .collect()
                 };
                 Ok(Response::Classes(classes))
             }
             Request::Similar { vertex, top } => {
+                if *top == 0 {
+                    return Err(ServeError::ZeroLimit {
+                        param: "top".into(),
+                    });
+                }
                 check(*vertex)?;
-                Ok(Response::Neighbors(similar(snap, &entry.layout, *vertex, *top)))
+                Ok(Response::Neighbors(similar(
+                    snap,
+                    &entry.layout,
+                    *vertex,
+                    *top,
+                )))
             }
             Request::EmbedRow { vertex } => {
                 check(*vertex)?;
@@ -245,7 +346,11 @@ fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32
     let scan_shard = |train: &Vec<(u32, u32)>| {
         let mut best: Vec<(f64, u32, u32)> = Vec::with_capacity(k + 1);
         for &(t, class) in train {
-            let d: f64 = qr.iter().zip(z.row(t)).map(|(a, b)| (a - b) * (a - b)).sum();
+            let d: f64 = qr
+                .iter()
+                .zip(z.row(t))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
             let pos = best.partition_point(|&(bd, ..)| bd < d);
             if pos < k {
                 best.insert(pos, (d, t, class));
@@ -262,7 +367,7 @@ fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32
         snap.train_by_shard.iter().map(scan_shard).collect()
     };
     let mut merged: Vec<(f64, u32, u32)> = per_shard.into_iter().flatten().collect();
-    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(b.1.cmp(&a.1)));
+    merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
     merged.truncate(k);
     let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for &(.., c) in &merged {
@@ -283,9 +388,7 @@ fn similar(
     vertex: u32,
     top: usize,
 ) -> Vec<(u32, f64)> {
-    if top == 0 {
-        return Vec::new();
-    }
+    debug_assert!(top > 0, "top = 0 is rejected before the sweep");
     let z = &snap.embedding;
     let qr = z.row(vertex);
     let per_shard: Vec<Vec<(f64, u32)>> = layout.par_map(|_, lo, hi| {
@@ -294,7 +397,11 @@ fn similar(
             if v == vertex {
                 continue;
             }
-            let d: f64 = qr.iter().zip(z.row(v)).map(|(a, b)| (a - b) * (a - b)).sum();
+            let d: f64 = qr
+                .iter()
+                .zip(z.row(v))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
             // Tie-break toward smaller id: ids ascend within a shard, so
             // inserting *after* equal distances keeps the smaller id first
             // and the boundary drops the larger id, consistent with the
@@ -310,7 +417,7 @@ fn similar(
         best
     });
     let mut merged: Vec<(f64, u32)> = per_shard.into_iter().flatten().collect();
-    merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+    merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     merged.truncate(top);
     merged.into_iter().map(|(d, v)| (v, d.sqrt())).collect()
 }
@@ -325,7 +432,14 @@ mod tests {
         let n = 120;
         let el = gee_gen::erdos_renyi_gnm(n, 900, 21);
         let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(n, LabelSpec { num_classes: 5, labeled_fraction: 0.3 }, 3),
+            &gee_gen::random_labels(
+                n,
+                LabelSpec {
+                    num_classes: 5,
+                    labeled_fraction: 0.3,
+                },
+                3,
+            ),
             5,
         );
         let reg = Registry::new(shards);
@@ -348,7 +462,13 @@ mod tests {
                 k,
             );
             let got = match engine
-                .execute("g", Request::Classify { vertices: queries.clone(), k })
+                .execute(
+                    "g",
+                    Request::Classify {
+                        vertices: queries.clone(),
+                        k,
+                    },
+                )
                 .unwrap()
             {
                 Response::Classes(c) => c,
@@ -365,7 +485,13 @@ mod tests {
             .map(|s| {
                 let (engine, n) = engine(s);
                 match engine
-                    .execute("g", Request::Classify { vertices: (0..n as u32).collect(), k: 5 })
+                    .execute(
+                        "g",
+                        Request::Classify {
+                            vertices: (0..n as u32).collect(),
+                            k: 5,
+                        },
+                    )
                     .unwrap()
                 {
                     Response::Classes(c) => c,
@@ -381,21 +507,31 @@ mod tests {
     #[test]
     fn similar_finds_nearest_and_excludes_self() {
         let (engine, _) = engine(3);
-        let got = match engine.execute("g", Request::Similar { vertex: 7, top: 10 }).unwrap() {
+        let got = match engine
+            .execute("g", Request::Similar { vertex: 7, top: 10 })
+            .unwrap()
+        {
             Response::Neighbors(x) => x,
             other => panic!("unexpected response {other:?}"),
         };
         assert_eq!(got.len(), 10);
         assert!(got.iter().all(|&(v, _)| v != 7), "self must be excluded");
-        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "must be sorted by distance");
+        assert!(
+            got.windows(2).all(|w| w[0].1 <= w[1].1),
+            "must be sorted by distance"
+        );
         // Oracle: serial full scan.
         let snap = engine.registry().snapshot("g").unwrap();
         let z = &snap.embedding;
         let mut all: Vec<(f64, u32)> = (0..z.num_vertices() as u32)
             .filter(|&v| v != 7)
             .map(|v| {
-                let d: f64 =
-                    z.row(7).iter().zip(z.row(v)).map(|(a, b)| (a - b) * (a - b)).sum();
+                let d: f64 = z
+                    .row(7)
+                    .iter()
+                    .zip(z.row(v))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
                 (d.sqrt(), v)
             })
             .collect();
@@ -409,23 +545,41 @@ mod tests {
         let make_batch = || {
             vec![
                 Envelope::new("g", Request::EmbedRow { vertex: 3 }),
-                Envelope::new("g", Request::Classify { vertices: vec![1, 2, 3], k: 3 }),
+                Envelope::new(
+                    "g",
+                    Request::Classify {
+                        vertices: vec![1, 2, 3],
+                        k: 3,
+                    },
+                ),
                 Envelope::new(
                     "g",
                     Request::ApplyUpdates {
                         updates: vec![
                             Update::InsertEdge { u: 1, v: 2, w: 5.0 },
-                            Update::SetLabel { v: 2, label: Some(1) },
+                            Update::SetLabel {
+                                v: 2,
+                                label: Some(1),
+                            },
                         ],
                     },
                 ),
-                Envelope::new("g", Request::Classify { vertices: vec![1, 2, 3], k: 3 }),
+                Envelope::new(
+                    "g",
+                    Request::Classify {
+                        vertices: vec![1, 2, 3],
+                        k: 3,
+                    },
+                ),
                 Envelope::new("g", Request::Similar { vertex: 1, top: 5 }),
             ]
         };
         let (engine_a, _) = engine(4);
-        let batched: Vec<_> =
-            engine_a.execute_batch(make_batch()).into_iter().map(Result::unwrap).collect();
+        let batched: Vec<_> = engine_a
+            .execute_batch(make_batch())
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
         let (engine_b, _) = engine(4);
         let sequential: Vec<_> = make_batch()
             .into_iter()
@@ -460,24 +614,141 @@ mod tests {
         let batch = vec![
             Envelope::new("g", Request::EmbedRow { vertex: 0 }),
             Envelope::new("g", Request::EmbedRow { vertex: n as u32 }), // out of range
-            Envelope::new("missing", Request::Stats),                  // unknown graph
-            Envelope::new("g", Request::Classify { vertices: vec![0], k: 0 }), // bad k
+            Envelope::new("missing", Request::Stats),                   // unknown graph
+            Envelope::new(
+                "g",
+                Request::Classify {
+                    vertices: vec![0],
+                    k: 0,
+                },
+            ), // bad k
         ];
         let results = engine.execute_batch(batch);
         assert!(results[0].is_ok());
-        assert!(matches!(results[1], Err(ServeError::VertexOutOfRange { .. })));
-        assert!(matches!(results[2], Err(ServeError::UnknownGraph(_))));
-        assert!(matches!(results[3], Err(ServeError::BadRequest(_))));
+        assert!(matches!(
+            results[1],
+            Err(ServeError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(results[2], Err(ServeError::UnknownGraph { .. })));
+        assert!(matches!(results[3], Err(ServeError::ZeroLimit { .. })));
+    }
+
+    #[test]
+    fn read_paths_reject_out_of_range_vertices() {
+        // Regression: every read path must return a typed error for a
+        // vertex id at/beyond n, not panic on slice indexing.
+        let (engine, n) = engine(3);
+        for (name, req) in [
+            (
+                "Similar",
+                Request::Similar {
+                    vertex: n as u32,
+                    top: 5,
+                },
+            ),
+            ("EmbedRow", Request::EmbedRow { vertex: u32::MAX }),
+            // Out-of-range in the middle of an otherwise valid list.
+            (
+                "Classify",
+                Request::Classify {
+                    vertices: vec![0, n as u32, 1],
+                    k: 3,
+                },
+            ),
+        ] {
+            let got = engine.execute("g", req);
+            assert!(
+                matches!(got, Err(ServeError::VertexOutOfRange { .. })),
+                "{name}: expected VertexOutOfRange, got {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_limits_are_typed_errors() {
+        let (engine, _) = engine(2);
+        assert_eq!(
+            engine.execute("g", Request::Similar { vertex: 0, top: 0 }),
+            Err(ServeError::ZeroLimit {
+                param: "top".into()
+            })
+        );
+        assert_eq!(
+            engine.execute(
+                "g",
+                Request::Classify {
+                    vertices: vec![0],
+                    k: 0
+                }
+            ),
+            Err(ServeError::ZeroLimit { param: "k".into() })
+        );
+    }
+
+    #[test]
+    fn classify_without_labels_is_a_typed_error() {
+        let reg = Registry::new(2);
+        let el = gee_gen::erdos_renyi_gnm(30, 100, 4);
+        reg.register(
+            "bare",
+            &el,
+            &gee_core::Labels::from_options_with_k(&vec![None; 30], 3),
+        );
+        let engine = Engine::new(Arc::new(reg));
+        assert_eq!(
+            engine.execute(
+                "bare",
+                Request::Classify {
+                    vertices: vec![0],
+                    k: 3
+                }
+            ),
+            Err(ServeError::NoLabeledVertices {
+                graph: "bare".into()
+            })
+        );
+    }
+
+    #[test]
+    fn named_methods_mirror_execute() {
+        let (engine, _) = engine(3);
+        assert_eq!(
+            engine.classify("g", vec![0, 1], 3).unwrap(),
+            match engine
+                .execute(
+                    "g",
+                    Request::Classify {
+                        vertices: vec![0, 1],
+                        k: 3
+                    }
+                )
+                .unwrap()
+            {
+                Response::Classes(c) => c,
+                other => panic!("unexpected response {other:?}"),
+            }
+        );
+        assert_eq!(engine.similar("g", 2, 4).unwrap().len(), 4);
+        assert_eq!(engine.embed_row("g", 0).unwrap().len(), 5);
+        let (applied, epoch) = engine
+            .apply_updates("g", vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+            .unwrap();
+        assert_eq!((applied, epoch), (1, 1));
+        assert_eq!(engine.stats("g").unwrap().epoch, 1);
     }
 
     #[test]
     fn stats_counts_queries_and_updates() {
         let (engine, _) = engine(2);
-        engine.execute("g", Request::EmbedRow { vertex: 0 }).unwrap();
+        engine
+            .execute("g", Request::EmbedRow { vertex: 0 })
+            .unwrap();
         engine
             .execute(
                 "g",
-                Request::ApplyUpdates { updates: vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }] },
+                Request::ApplyUpdates {
+                    updates: vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }],
+                },
             )
             .unwrap();
         let report = match engine.execute("g", Request::Stats).unwrap() {

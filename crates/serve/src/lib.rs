@@ -23,6 +23,40 @@
 //!   snapshot per graph while keeping batch results identical to
 //!   one-at-a-time execution.
 //!
+//! # Wire protocol v1
+//!
+//! Every serve type doubles as a versioned public wire contract, so the
+//! engine can be driven across a process boundary with answers provably
+//! equal to in-process execution:
+//!
+//! * **Frame layout** — a frame is one [`wire::ClientFrame`] or
+//!   [`wire::ServerFrame`] serialized as compact JSON (serde's
+//!   externally-tagged enum encoding). On stream transports (TCP) each
+//!   frame is length-prefixed with a big-endian `u32` byte count, capped
+//!   at [`wire::MAX_FRAME_LEN`]; the in-process [`transport::duplex`]
+//!   moves the encoded frames through a channel without copying.
+//! * **Version negotiation** — a connection starts with
+//!   `ClientFrame::Hello { min_version, max_version }`; the server picks
+//!   the highest mutually supported version (currently
+//!   [`wire::PROTOCOL_VERSION`] = 1) and answers `ServerFrame::HelloAck`,
+//!   or a typed [`ServeError::VersionUnsupported`] and closes.
+//! * **Requests** — `ClientFrame::Batch { id, requests }` carries an
+//!   ordered [`Envelope`] batch that the server feeds to
+//!   [`Engine::execute_batch`]; the response echoes the `id`, which lets
+//!   a client pipeline many batches on one connection before reading any
+//!   reply ([`Client::pipeline`]).
+//! * **Errors** — failures travel as [`ServeError`] values with stable
+//!   numeric [`ErrorCode`]s (see [`ErrorCode::as_u16`]), never as bare
+//!   strings, so clients can branch without parsing messages.
+//!
+//! [`Server`] accepts connections (any [`Transport`]) and [`Client`]
+//! mirrors [`Engine`]'s methods one-for-one (`classify`, `similar`,
+//! `embed_row`, `apply_updates`, `stats`, `execute_batch`), which makes
+//! Engine-vs-Client equivalence property-testable. See
+//! `examples/network_serving.rs` for the end-to-end proof and the
+//! `wire_overhead` bench binary for in-process vs duplex vs loopback-TCP
+//! throughput.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use gee_core::Labels;
@@ -46,42 +80,267 @@
 //! # if let Ok(Response::Classes(c)) = &answers[0] { assert_eq!(c.len(), 3); }
 //! ```
 
+use serde::{Deserialize, Serialize};
+
+pub mod client;
 pub mod engine;
 pub mod registry;
+pub mod server;
 pub mod shard;
 pub mod snapshot;
+pub mod transport;
+pub mod wire;
 
+pub use client::Client;
 pub use engine::{Engine, Envelope, GraphReport, Request, Response};
 pub use registry::{Registry, Update};
+pub use server::{Server, ServerHandle};
 pub use shard::ShardLayout;
 pub use snapshot::Snapshot;
+pub use transport::{duplex, DuplexTransport, TcpTransport, Transport};
+pub use wire::{ClientFrame, ServerFrame, PROTOCOL_VERSION};
 
 /// Errors a serving request can produce.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every variant is part of the versioned wire contract: it serializes
+/// with serde's externally-tagged encoding and maps to a stable numeric
+/// [`ErrorCode`], so remote clients get the same typed failures as
+/// in-process callers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ServeError {
     /// No graph registered under this name.
-    UnknownGraph(String),
+    UnknownGraph { graph: String },
     /// A vertex id at or beyond the graph's vertex count.
     VertexOutOfRange { vertex: u32, num_vertices: usize },
     /// A class label at or beyond the registered `K`.
     ClassOutOfRange { class: u32, num_classes: usize },
-    /// Request parameters that can never succeed (k = 0, no labels, …).
-    BadRequest(String),
+    /// A count parameter (`k`, `top`, …) that must be >= 1 was 0.
+    ZeroLimit { param: String },
+    /// `Classify` against a graph whose train set is empty.
+    NoLabeledVertices { graph: String },
+    /// A numeric parameter that must be finite was NaN or infinite
+    /// (e.g. an update weight — JSON cannot carry non-finite values, and
+    /// a NaN weight would poison every distance computation).
+    NonFinite { param: String },
+    /// A batch's encoded response exceeded the frame-size cap; resend as
+    /// smaller batches. The request itself was valid — every result slot
+    /// of the batch carries this error and the connection stays open.
+    ResponseTooLarge { bytes: usize, max_bytes: usize },
+    /// Handshake failure: no protocol version in the client's range is
+    /// supported by the server.
+    VersionUnsupported {
+        client_min: u32,
+        client_max: u32,
+        server_min: u32,
+        server_max: u32,
+    },
+    /// The peer violated the wire protocol (malformed frame, oversized
+    /// frame, missing handshake, out-of-order response, …).
+    Protocol { detail: String },
+    /// The underlying transport failed (connection reset, closed pipe).
+    Transport { detail: String },
+}
+
+impl ServeError {
+    pub(crate) fn protocol(detail: impl Into<String>) -> ServeError {
+        ServeError::Protocol {
+            detail: detail.into(),
+        }
+    }
+
+    pub(crate) fn transport(detail: impl Into<String>) -> ServeError {
+        ServeError::Transport {
+            detail: detail.into(),
+        }
+    }
+
+    /// The stable error code for this error.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServeError::UnknownGraph { .. } => ErrorCode::UnknownGraph,
+            ServeError::VertexOutOfRange { .. } => ErrorCode::VertexOutOfRange,
+            ServeError::ClassOutOfRange { .. } => ErrorCode::ClassOutOfRange,
+            ServeError::ZeroLimit { .. } => ErrorCode::ZeroLimit,
+            ServeError::NoLabeledVertices { .. } => ErrorCode::NoLabeledVertices,
+            ServeError::NonFinite { .. } => ErrorCode::NonFinite,
+            ServeError::ResponseTooLarge { .. } => ErrorCode::ResponseTooLarge,
+            ServeError::VersionUnsupported { .. } => ErrorCode::VersionUnsupported,
+            ServeError::Protocol { .. } => ErrorCode::Protocol,
+            ServeError::Transport { .. } => ErrorCode::Transport,
+        }
+    }
+}
+
+/// Stable numeric identifiers for [`ServeError`] variants — the wire
+/// contract clients may branch on. Values are append-only: a code is
+/// never renumbered or reused once a protocol version has shipped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorCode {
+    UnknownGraph,
+    VertexOutOfRange,
+    ClassOutOfRange,
+    ZeroLimit,
+    NoLabeledVertices,
+    VersionUnsupported,
+    Protocol,
+    Transport,
+    NonFinite,
+    ResponseTooLarge,
+}
+
+impl ErrorCode {
+    /// The stable numeric code.
+    pub const fn as_u16(self) -> u16 {
+        match self {
+            ErrorCode::UnknownGraph => 1,
+            ErrorCode::VertexOutOfRange => 2,
+            ErrorCode::ClassOutOfRange => 3,
+            ErrorCode::ZeroLimit => 4,
+            ErrorCode::NoLabeledVertices => 5,
+            ErrorCode::VersionUnsupported => 6,
+            ErrorCode::Protocol => 7,
+            ErrorCode::Transport => 8,
+            ErrorCode::NonFinite => 9,
+            ErrorCode::ResponseTooLarge => 10,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::UnknownGraph(name) => write!(f, "unknown graph {name:?}"),
-            ServeError::VertexOutOfRange { vertex, num_vertices } => {
-                write!(f, "vertex {vertex} out of range (graph has {num_vertices} vertices)")
+            ServeError::UnknownGraph { graph } => write!(f, "unknown graph {graph:?}"),
+            ServeError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range (graph has {num_vertices} vertices)"
+                )
             }
             ServeError::ClassOutOfRange { class, num_classes } => {
                 write!(f, "class {class} out of range (graph has K={num_classes})")
             }
-            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::ZeroLimit { param } => {
+                write!(f, "parameter {param:?} must be at least 1")
+            }
+            ServeError::NoLabeledVertices { graph } => {
+                write!(
+                    f,
+                    "graph {graph:?} has no labeled vertices to classify against"
+                )
+            }
+            ServeError::VersionUnsupported {
+                client_min,
+                client_max,
+                server_min,
+                server_max,
+            } => {
+                write!(
+                    f,
+                    "no common protocol version: client supports {client_min}..={client_max}, \
+                     server supports {server_min}..={server_max}"
+                )
+            }
+            ServeError::NonFinite { param } => {
+                write!(
+                    f,
+                    "parameter {param:?} must be finite (got NaN or infinity)"
+                )
+            }
+            ServeError::ResponseTooLarge { bytes, max_bytes } => {
+                write!(
+                    f,
+                    "encoded response is {bytes} bytes (max {max_bytes}); resend as smaller batches"
+                )
+            }
+            ServeError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            ServeError::Transport { detail } => write!(f, "transport failure: {detail}"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_are_stable() {
+        // The wire contract: these numbers must never change.
+        let expected: [(ErrorCode, u16); 10] = [
+            (ErrorCode::UnknownGraph, 1),
+            (ErrorCode::VertexOutOfRange, 2),
+            (ErrorCode::ClassOutOfRange, 3),
+            (ErrorCode::ZeroLimit, 4),
+            (ErrorCode::NoLabeledVertices, 5),
+            (ErrorCode::VersionUnsupported, 6),
+            (ErrorCode::Protocol, 7),
+            (ErrorCode::Transport, 8),
+            (ErrorCode::NonFinite, 9),
+            (ErrorCode::ResponseTooLarge, 10),
+        ];
+        for (code, n) in expected {
+            assert_eq!(code.as_u16(), n, "{code:?}");
+        }
+    }
+
+    #[test]
+    fn every_error_maps_to_its_code() {
+        let cases = [
+            (
+                ServeError::UnknownGraph { graph: "g".into() },
+                ErrorCode::UnknownGraph,
+            ),
+            (
+                ServeError::VertexOutOfRange {
+                    vertex: 9,
+                    num_vertices: 3,
+                },
+                ErrorCode::VertexOutOfRange,
+            ),
+            (
+                ServeError::ClassOutOfRange {
+                    class: 9,
+                    num_classes: 3,
+                },
+                ErrorCode::ClassOutOfRange,
+            ),
+            (
+                ServeError::ZeroLimit { param: "k".into() },
+                ErrorCode::ZeroLimit,
+            ),
+            (
+                ServeError::NoLabeledVertices { graph: "g".into() },
+                ErrorCode::NoLabeledVertices,
+            ),
+            (
+                ServeError::VersionUnsupported {
+                    client_min: 2,
+                    client_max: 3,
+                    server_min: 1,
+                    server_max: 1,
+                },
+                ErrorCode::VersionUnsupported,
+            ),
+            (ServeError::protocol("x"), ErrorCode::Protocol),
+            (ServeError::transport("x"), ErrorCode::Transport),
+            (
+                ServeError::NonFinite { param: "w".into() },
+                ErrorCode::NonFinite,
+            ),
+            (
+                ServeError::ResponseTooLarge {
+                    bytes: 99,
+                    max_bytes: 9,
+                },
+                ErrorCode::ResponseTooLarge,
+            ),
+        ];
+        for (err, code) in cases {
+            assert_eq!(err.code(), code, "{err}");
+        }
+    }
+}

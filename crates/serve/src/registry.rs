@@ -21,13 +21,14 @@ use std::sync::{Arc, Mutex, RwLock};
 
 use gee_core::{DynamicGee, Embedding, Labels};
 use gee_graph::{EdgeList, VertexId, Weight};
+use serde::{Deserialize, Serialize};
 
 use crate::shard::ShardLayout;
 use crate::snapshot::Snapshot;
 use crate::ServeError;
 
-/// One streaming graph/label mutation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One streaming graph/label mutation. Part of the wire contract.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Update {
     /// Insert edge `(u, v, w)` (one direction; symmetric graphs send both).
     InsertEdge { u: VertexId, v: VertexId, w: Weight },
@@ -49,7 +50,10 @@ pub(crate) struct Entry {
 impl Entry {
     /// The currently published snapshot (cheap `Arc` clone).
     pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
-        self.snapshot.read().expect("snapshot lock poisoned").clone()
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
     }
 }
 
@@ -62,7 +66,10 @@ pub struct Registry {
 impl Registry {
     /// A registry whose graphs default to `default_shards` shards.
     pub fn new(default_shards: usize) -> Self {
-        Registry { entries: RwLock::new(HashMap::new()), default_shards: default_shards.max(1) }
+        Registry {
+            entries: RwLock::new(HashMap::new()),
+            default_shards: default_shards.max(1),
+        }
     }
 
     /// Register `name`, computing the epoch-0 embedding from the edge
@@ -89,19 +96,31 @@ impl Registry {
             queries_served: AtomicU64::new(0),
             updates_applied: AtomicU64::new(0),
         });
-        self.entries.write().expect("registry lock poisoned").insert(name.to_string(), entry);
+        self.entries
+            .write()
+            .expect("registry lock poisoned")
+            .insert(name.to_string(), entry);
         snapshot
     }
 
     /// Drop a graph. Returns `false` if it was not registered.
     pub fn deregister(&self, name: &str) -> bool {
-        self.entries.write().expect("registry lock poisoned").remove(name).is_some()
+        self.entries
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name)
+            .is_some()
     }
 
     /// Names of registered graphs, sorted.
     pub fn graph_names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.entries.read().expect("registry lock poisoned").keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .entries
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
         names.sort();
         names
     }
@@ -112,7 +131,9 @@ impl Registry {
             .expect("registry lock poisoned")
             .get(name)
             .cloned()
-            .ok_or_else(|| ServeError::UnknownGraph(name.to_string()))
+            .ok_or_else(|| ServeError::UnknownGraph {
+                graph: name.to_string(),
+            })
     }
 
     /// The published snapshot of `name`.
@@ -126,13 +147,17 @@ impl Registry {
     ///
     /// Returns `(applied, snapshot)`; `applied` counts updates that took
     /// effect (`RemoveEdge` of a missing edge is a no-op and doesn't
-    /// count).
+    /// count). An empty batch is a no-op: it returns the currently
+    /// published snapshot without publishing a new epoch.
     pub fn apply_updates(
         &self,
         name: &str,
         updates: &[Update],
     ) -> Result<(usize, Arc<Snapshot>), ServeError> {
         let entry = self.entry(name)?;
+        if updates.is_empty() {
+            return Ok((0, entry.snapshot()));
+        }
         let mut writer = entry.writer.lock().expect("writer lock poisoned");
         let n = writer.num_vertices();
         let k = writer.dim();
@@ -140,20 +165,38 @@ impl Registry {
         // leave the writer half-mutated.
         for u in updates {
             match *u {
-                Update::InsertEdge { u, v, .. } | Update::RemoveEdge { u, v, .. } => {
+                Update::InsertEdge { u, v, w } | Update::RemoveEdge { u, v, w } => {
                     for x in [u, v] {
                         if x as usize >= n {
-                            return Err(ServeError::VertexOutOfRange { vertex: x, num_vertices: n });
+                            return Err(ServeError::VertexOutOfRange {
+                                vertex: x,
+                                num_vertices: n,
+                            });
                         }
+                    }
+                    // A NaN/Inf weight would poison every distance the
+                    // embedding later feeds — and JSON cannot carry it,
+                    // so accepting it in-process would break Engine ==
+                    // Client equivalence.
+                    if !w.is_finite() {
+                        return Err(ServeError::NonFinite {
+                            param: format!("weight of edge ({u}, {v})"),
+                        });
                     }
                 }
                 Update::SetLabel { v, label } => {
                     if v as usize >= n {
-                        return Err(ServeError::VertexOutOfRange { vertex: v, num_vertices: n });
+                        return Err(ServeError::VertexOutOfRange {
+                            vertex: v,
+                            num_vertices: n,
+                        });
                     }
                     if let Some(c) = label {
                         if c as usize >= k {
-                            return Err(ServeError::ClassOutOfRange { class: c, num_classes: k });
+                            return Err(ServeError::ClassOutOfRange {
+                                class: c,
+                                num_classes: k,
+                            });
                         }
                     }
                 }
@@ -178,7 +221,9 @@ impl Registry {
         let next_epoch = entry.snapshot().epoch + 1;
         let snapshot = Arc::new(publish(&writer, &entry.layout, next_epoch));
         *entry.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
-        entry.updates_applied.fetch_add(applied as u64, Ordering::Relaxed);
+        entry
+            .updates_applied
+            .fetch_add(applied as u64, Ordering::Relaxed);
         drop(writer);
         Ok((applied, snapshot))
     }
@@ -206,16 +251,21 @@ mod tests {
     fn setup() -> (Registry, EdgeList, Labels) {
         let el = gee_gen::erdos_renyi_gnm(80, 400, 9);
         let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(80, LabelSpec { num_classes: 4, labeled_fraction: 0.4 }, 5),
+            &gee_gen::random_labels(
+                80,
+                LabelSpec {
+                    num_classes: 4,
+                    labeled_fraction: 0.4,
+                },
+                5,
+            ),
             4,
         );
         (Registry::new(4), el, labels)
     }
 
     #[test]
-    fn register_publishes_epoch_zero_matching_static_embed(
-
-    ) {
+    fn register_publishes_epoch_zero_matching_static_embed() {
         let (reg, el, labels) = setup();
         let snap = reg.register("g", &el, &labels);
         assert_eq!(snap.epoch, 0);
@@ -232,9 +282,16 @@ mod tests {
                 "g",
                 &[
                     Update::InsertEdge { u: 1, v: 2, w: 2.0 },
-                    Update::SetLabel { v: 3, label: Some(0) },
+                    Update::SetLabel {
+                        v: 3,
+                        label: Some(0),
+                    },
                     Update::RemoveEdge { u: 1, v: 2, w: 2.0 },
-                    Update::RemoveEdge { u: 0, v: 1, w: 555.0 }, // missing: no-op
+                    Update::RemoveEdge {
+                        u: 0,
+                        v: 1,
+                        w: 555.0,
+                    }, // missing: no-op
                 ],
             )
             .unwrap();
@@ -257,7 +314,11 @@ mod tests {
                 "g",
                 &[
                     Update::InsertEdge { u: 0, v: 1, w: 1.0 },
-                    Update::InsertEdge { u: 0, v: 10_000, w: 1.0 }, // invalid
+                    Update::InsertEdge {
+                        u: 0,
+                        v: 10_000,
+                        w: 1.0,
+                    }, // invalid
                 ],
             )
             .unwrap_err();
@@ -275,9 +336,24 @@ mod tests {
         // Insert an edge to a *labeled* vertex so the write provably
         // changes the embedding (an edge between two unlabeled vertices
         // contributes nothing).
-        let (t, _) = labels.iter_labeled().next().expect("some vertex is labeled");
-        reg.apply_updates("g", &[Update::InsertEdge { u: 0, v: t, w: 10.0 }]).unwrap();
-        assert_eq!(old.embedding.as_slice(), &frozen[..], "held snapshot must not move");
+        let (t, _) = labels
+            .iter_labeled()
+            .next()
+            .expect("some vertex is labeled");
+        reg.apply_updates(
+            "g",
+            &[Update::InsertEdge {
+                u: 0,
+                v: t,
+                w: 10.0,
+            }],
+        )
+        .unwrap();
+        assert_eq!(
+            old.embedding.as_slice(),
+            &frozen[..],
+            "held snapshot must not move"
+        );
         assert_ne!(
             reg.snapshot("g").unwrap().embedding.as_slice(),
             &frozen[..],
@@ -288,7 +364,53 @@ mod tests {
     #[test]
     fn unknown_graph_is_an_error() {
         let (reg, ..) = setup();
-        assert!(matches!(reg.snapshot("nope"), Err(ServeError::UnknownGraph(_))));
+        assert!(matches!(
+            reg.snapshot("nope"),
+            Err(ServeError::UnknownGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected_atomically() {
+        let (reg, el, labels) = setup();
+        reg.register("g", &el, &labels);
+        let before = reg.snapshot("g").unwrap();
+        for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = reg
+                .apply_updates(
+                    "g",
+                    &[
+                        Update::InsertEdge { u: 0, v: 1, w: 1.0 },
+                        Update::InsertEdge { u: 2, v: 3, w },
+                    ],
+                )
+                .unwrap_err();
+            assert!(matches!(err, ServeError::NonFinite { .. }), "{w}: {err}");
+        }
+        assert_eq!(
+            reg.snapshot("g").unwrap().epoch,
+            before.epoch,
+            "nothing published"
+        );
+    }
+
+    #[test]
+    fn empty_update_batch_does_not_publish_an_epoch() {
+        let (reg, el, labels) = setup();
+        reg.register("g", &el, &labels);
+        let before = reg.snapshot("g").unwrap();
+        let (applied, snap) = reg.apply_updates("g", &[]).unwrap();
+        assert_eq!(applied, 0);
+        assert!(
+            Arc::ptr_eq(&snap, &before),
+            "no-op must return the published snapshot as-is"
+        );
+        assert_eq!(reg.snapshot("g").unwrap().epoch, before.epoch);
+        // A real batch afterwards still publishes the next epoch.
+        let (_, snap) = reg
+            .apply_updates("g", &[Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+            .unwrap();
+        assert_eq!(snap.epoch, before.epoch + 1);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Network front end: accept connections, decode batches, feed the
+//! engine.
+//!
+//! [`Server`] is transport-agnostic — [`Server::serve_connection`] drives
+//! the full protocol (handshake, batch loop, typed errors) over any
+//! [`Transport`], so the same code path is exercised by in-process duplex
+//! tests and real sockets. [`Server::listen`] adds the TCP shell: an
+//! accept loop handing each connection to its own thread (connections are
+//! independent; batches *within* one connection execute in order, which
+//! is what makes client-side pipelining safe).
+
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::engine::Engine;
+use crate::transport::{TcpTransport, Transport};
+use crate::wire::{self, ClientFrame, ServerFrame, MAX_FRAME_LEN};
+use crate::ServeError;
+
+/// Serves an [`Engine`] over wire protocol v1.
+#[derive(Clone)]
+pub struct Server {
+    engine: Arc<Engine>,
+}
+
+/// What one connection did, for logs and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionReport {
+    /// Batch frames answered.
+    pub batches: u64,
+    /// Individual requests executed across those batches.
+    pub requests: u64,
+}
+
+impl Server {
+    pub fn new(engine: Arc<Engine>) -> Server {
+        Server { engine }
+    }
+
+    /// The served engine (shared with any in-process callers).
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Drive one connection to completion: handshake, then answer batch
+    /// frames until the peer says goodbye or closes.
+    ///
+    /// Returns an error only for connection-fatal conditions (handshake
+    /// failure, malformed frame, transport failure); per-request errors
+    /// travel back inside `ServerFrame::Batch` results.
+    pub fn serve_connection(
+        &self,
+        transport: &mut dyn Transport,
+    ) -> Result<ConnectionReport, ServeError> {
+        // -- Handshake.
+        let hello = transport
+            .recv()?
+            .ok_or_else(|| ServeError::protocol("connection closed before Hello"))?;
+        let (min_version, max_version) = match wire::decode::<ClientFrame>(&hello) {
+            Ok(ClientFrame::Hello {
+                min_version,
+                max_version,
+            }) => (min_version, max_version),
+            Ok(_) => {
+                let error = ServeError::protocol("first frame must be Hello");
+                transport.send(wire::encode(&ServerFrame::Error {
+                    error: error.clone(),
+                }))?;
+                return Err(error);
+            }
+            Err(error) => {
+                transport.send(wire::encode(&ServerFrame::Error {
+                    error: error.clone(),
+                }))?;
+                return Err(error);
+            }
+        };
+        match wire::negotiate(min_version, max_version) {
+            Ok(version) => {
+                transport.send(wire::encode(&ServerFrame::HelloAck { version }))?;
+            }
+            Err(error) => {
+                transport.send(wire::encode(&ServerFrame::Error {
+                    error: error.clone(),
+                }))?;
+                return Err(error);
+            }
+        }
+
+        // -- Batch loop.
+        let mut report = ConnectionReport {
+            batches: 0,
+            requests: 0,
+        };
+        while let Some(frame) = transport.recv()? {
+            match wire::decode::<ClientFrame>(&frame) {
+                Ok(ClientFrame::Batch { id, requests }) => {
+                    report.batches += 1;
+                    report.requests += requests.len() as u64;
+                    let num_requests = requests.len();
+                    let results = self.engine.execute_batch(requests);
+                    let mut frame = wire::encode(&ServerFrame::Batch { id, results });
+                    if frame.len() > MAX_FRAME_LEN {
+                        // A valid request can legitimately produce an
+                        // over-cap response (e.g. many EmbedRow queries
+                        // on a wide embedding). Keep the connection: put
+                        // a typed error in every result slot so the
+                        // count still matches and the client can resend
+                        // in smaller batches.
+                        let error = ServeError::ResponseTooLarge {
+                            bytes: frame.len(),
+                            max_bytes: MAX_FRAME_LEN,
+                        };
+                        let results: Vec<Result<crate::engine::Response, ServeError>> =
+                            (0..num_requests).map(|_| Err(error.clone())).collect();
+                        frame = wire::encode(&ServerFrame::Batch { id, results });
+                        if frame.len() > MAX_FRAME_LEN {
+                            // Even the substituted errors overflow
+                            // (astronomically many requests): fatal.
+                            transport.send(wire::encode(&ServerFrame::Error {
+                                error: error.clone(),
+                            }))?;
+                            return Err(error);
+                        }
+                    }
+                    transport.send(frame)?;
+                }
+                Ok(ClientFrame::Goodbye) => break,
+                Ok(ClientFrame::Hello { .. }) => {
+                    let error = ServeError::protocol("duplicate Hello after handshake");
+                    transport.send(wire::encode(&ServerFrame::Error {
+                        error: error.clone(),
+                    }))?;
+                    return Err(error);
+                }
+                Err(error) => {
+                    // The stream may be desynchronized; close rather than
+                    // guess at the next frame boundary.
+                    transport.send(wire::encode(&ServerFrame::Error {
+                        error: error.clone(),
+                    }))?;
+                    return Err(error);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Bind `addr` and serve connections on background threads until the
+    /// returned handle is shut down (or, with `max_conns`, until that
+    /// many connections have been accepted and served).
+    pub fn listen(
+        engine: Arc<Engine>,
+        addr: impl ToSocketAddrs,
+        max_conns: Option<usize>,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let server = Server::new(engine);
+        let accept_thread = std::thread::spawn(move || {
+            let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+            let mut accepted = 0usize;
+            while max_conns.is_none_or(|m| accepted < m) {
+                let stream = match listener.accept() {
+                    Ok((stream, _)) => stream,
+                    Err(_) => {
+                        // Persistent accept failures (EMFILE under fd
+                        // pressure, EINTR storms) must not busy-spin the
+                        // core; back off briefly and retry.
+                        if accept_stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if accept_stop.load(Ordering::SeqCst) {
+                    break; // the shutdown self-connection
+                }
+                accepted += 1;
+                // Reap handles of finished connections so a long-lived
+                // server doesn't accumulate one JoinHandle per
+                // connection ever accepted.
+                conn_threads.retain(|t| !t.is_finished());
+                let server = server.clone();
+                conn_threads.push(std::thread::spawn(move || {
+                    if let Ok(mut transport) = TcpTransport::from_stream(stream) {
+                        // Peer-caused failures are the peer's problem;
+                        // this thread just ends.
+                        let _ = server.serve_connection(&mut transport);
+                    }
+                }));
+            }
+            for t in conn_threads {
+                let _ = t.join();
+            }
+        });
+        Ok(ServerHandle {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Owner of a listening server; dropping it shuts the server down.
+pub struct ServerHandle {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, wait for in-flight connections to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    /// Wait for the accept loop to end on its own (only terminates when
+    /// `listen` was given `max_conns`).
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(accept_thread) = self.accept_thread.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` so the loop observes the stop flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = accept_thread.join();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}

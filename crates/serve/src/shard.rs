@@ -84,7 +84,10 @@ impl ShardLayout {
 
     /// Group `(vertex, payload)` pairs by owning shard, preserving input
     /// order within each shard. Used to bucket the labeled train set.
-    pub fn group_by_shard<T: Copy>(&self, items: impl Iterator<Item = (u32, T)>) -> Vec<Vec<(u32, T)>> {
+    pub fn group_by_shard<T: Copy>(
+        &self,
+        items: impl Iterator<Item = (u32, T)>,
+    ) -> Vec<Vec<(u32, T)>> {
         let mut by_shard: Vec<Vec<(u32, T)>> = vec![Vec::new(); self.num_shards()];
         for (v, t) in items {
             by_shard[self.shard_of(v)].push((v, t));

@@ -54,10 +54,8 @@ mod tests {
     #[test]
     fn buckets_train_set_by_shard() {
         let layout = ShardLayout::new(6, 2);
-        let labels = Labels::from_options_with_k(
-            &[Some(1), None, Some(0), Some(2), None, Some(1)],
-            3,
-        );
+        let labels =
+            Labels::from_options_with_k(&[Some(1), None, Some(0), Some(2), None, Some(1)], 3);
         let z = Embedding::zeros(6, 3);
         let s = Snapshot::new(0, z, labels, &layout);
         assert_eq!(s.epoch, 0);

@@ -1,0 +1,177 @@
+//! Wire protocol v1: versioned, transport-agnostic frame types.
+//!
+//! A *frame* is one [`ClientFrame`] or [`ServerFrame`] encoded as compact
+//! JSON via the workspace serde layer (externally-tagged enums, exact
+//! 64-bit integers). Framing — how frame boundaries are found in a byte
+//! stream — belongs to the [`Transport`](crate::transport::Transport):
+//! TCP length-prefixes each frame with a big-endian `u32`, the in-process
+//! duplex moves the encoded `Vec<u8>` through a channel untouched.
+//!
+//! Connection lifecycle:
+//!
+//! 1. client sends [`ClientFrame::Hello`] advertising the protocol
+//!    versions it can speak;
+//! 2. server answers [`ServerFrame::HelloAck`] with the negotiated
+//!    version ([`negotiate`]), or [`ServerFrame::Error`] with
+//!    [`ServeError::VersionUnsupported`] and closes;
+//! 3. client sends any number of [`ClientFrame::Batch`] frames — each an
+//!    ordered [`Envelope`] batch with a client-chosen `id` — without
+//!    waiting for replies (pipelining); the server executes each batch
+//!    through [`Engine::execute_batch`](crate::Engine::execute_batch) and
+//!    answers [`ServerFrame::Batch`] frames echoing the `id`s in order;
+//! 4. client sends [`ClientFrame::Goodbye`] (or just closes) to end the
+//!    connection.
+//!
+//! Per-request failures ride *inside* `ServerFrame::Batch` as
+//! `Err(ServeError)` results; `ServerFrame::Error` is reserved for
+//! connection-fatal conditions (handshake failure, malformed frame).
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{Envelope, Response};
+use crate::ServeError;
+
+/// Current (and highest supported) protocol version.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Oldest protocol version this build still speaks.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's encoded size (64 MiB). Both sides reject
+/// larger frames as a protocol violation instead of allocating blindly.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// Frames a client may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientFrame {
+    /// Handshake: the closed version range the client can speak.
+    Hello { min_version: u32, max_version: u32 },
+    /// One ordered request batch; `id` is echoed by the response.
+    Batch { id: u64, requests: Vec<Envelope> },
+    /// Clean shutdown of this connection.
+    Goodbye,
+}
+
+/// Frames a server may send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServerFrame {
+    /// Handshake accepted at `version`.
+    HelloAck { version: u32 },
+    /// Results for the batch with the same `id`, in request order; each
+    /// request fails or succeeds independently.
+    Batch {
+        id: u64,
+        results: Vec<Result<Response, ServeError>>,
+    },
+    /// Connection-fatal error; the server closes after sending this.
+    Error { error: ServeError },
+}
+
+/// Encode a frame body as compact JSON bytes.
+pub fn encode<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_vec(msg).expect("wire types always serialize")
+}
+
+/// Decode a frame body. Any parse or shape mismatch is a
+/// [`ServeError::Protocol`] — malformed input from a peer, not a bug.
+pub fn decode<T: Deserialize>(bytes: &[u8]) -> Result<T, ServeError> {
+    serde_json::from_slice(bytes)
+        .map_err(|e| ServeError::protocol(format!("undecodable frame: {e}")))
+}
+
+/// Pick the protocol version for a connection: the highest version both
+/// sides support, or a typed error naming both ranges.
+pub fn negotiate(client_min: u32, client_max: u32) -> Result<u32, ServeError> {
+    let version = client_max.min(PROTOCOL_VERSION);
+    if client_min <= client_max && version >= MIN_PROTOCOL_VERSION && version >= client_min {
+        Ok(version)
+    } else {
+        Err(ServeError::VersionUnsupported {
+            client_min,
+            client_max,
+            server_min: MIN_PROTOCOL_VERSION,
+            server_max: PROTOCOL_VERSION,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Request;
+
+    #[test]
+    fn negotiation_picks_highest_common_version() {
+        assert_eq!(negotiate(1, 1), Ok(1));
+        assert_eq!(
+            negotiate(1, 5),
+            Ok(PROTOCOL_VERSION),
+            "future-proof client downgrades"
+        );
+        assert!(matches!(
+            negotiate(2, 5),
+            Err(ServeError::VersionUnsupported { .. })
+        ));
+        assert!(matches!(
+            negotiate(0, 0),
+            Err(ServeError::VersionUnsupported { .. })
+        ));
+        assert!(
+            matches!(negotiate(3, 1), Err(ServeError::VersionUnsupported { .. })),
+            "inverted range"
+        );
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            ClientFrame::Hello {
+                min_version: 1,
+                max_version: 7,
+            },
+            ClientFrame::Batch {
+                id: u64::MAX,
+                requests: vec![
+                    Envelope::new(
+                        "g",
+                        Request::Classify {
+                            vertices: vec![0, 1],
+                            k: 3,
+                        },
+                    ),
+                    Envelope::new("h", Request::Stats),
+                ],
+            },
+            ClientFrame::Goodbye,
+        ];
+        for f in frames {
+            assert_eq!(decode::<ClientFrame>(&encode(&f)).unwrap(), f);
+        }
+        let frames = vec![
+            ServerFrame::HelloAck { version: 1 },
+            ServerFrame::Batch {
+                id: 3,
+                results: vec![
+                    Ok(Response::Classes(vec![1, 0])),
+                    Err(ServeError::UnknownGraph { graph: "h".into() }),
+                ],
+            },
+            ServerFrame::Error {
+                error: ServeError::protocol("bad"),
+            },
+        ];
+        for f in frames {
+            assert_eq!(decode::<ServerFrame>(&encode(&f)).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_protocol_error() {
+        for bad in [&b"not json"[..], b"{\"Nope\":1}", b"", b"\xff\xfe"] {
+            assert!(matches!(
+                decode::<ClientFrame>(bad),
+                Err(ServeError::Protocol { .. })
+            ));
+        }
+    }
+}

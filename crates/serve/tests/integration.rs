@@ -43,7 +43,10 @@ fn serve_pipeline_end_to_end() {
     // -- Register: epoch-0 embedding must match the paper's parallel path.
     let registry = Arc::new(Registry::new(SHARDS));
     let snap0 = registry.register_with_shards("sbm", &el, &labels, SHARDS);
-    assert!(snap0.train_by_shard.len() >= 2, "acceptance requires >= 2 shards");
+    assert!(
+        snap0.train_by_shard.len() >= 2,
+        "acceptance requires >= 2 shards"
+    );
     let g = CsrGraph::from_edge_list(&el);
     let ligra = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
     ligra.assert_close(&snap0.embedding, 1e-9);
@@ -53,12 +56,27 @@ fn serve_pipeline_end_to_end() {
 
     // -- Batched reads: Classify + Similar in one batch.
     let batch = vec![
-        Envelope::new("sbm", Request::Classify { vertices: queries.clone(), k: KNN }),
+        Envelope::new(
+            "sbm",
+            Request::Classify {
+                vertices: queries.clone(),
+                k: KNN,
+            },
+        ),
         Envelope::new("sbm", Request::Similar { vertex: 0, top: 10 }),
-        Envelope::new("sbm", Request::Similar { vertex: (n - 1) as u32, top: 10 }),
+        Envelope::new(
+            "sbm",
+            Request::Similar {
+                vertex: (n - 1) as u32,
+                top: 10,
+            },
+        ),
     ];
-    let mut batched: Vec<Response> =
-        engine.execute_batch(batch.clone()).into_iter().map(Result::unwrap).collect();
+    let mut batched: Vec<Response> = engine
+        .execute_batch(batch.clone())
+        .into_iter()
+        .map(Result::unwrap)
+        .collect();
 
     // Batched and one-at-a-time answers must be identical.
     let sequential: Vec<Response> = batch
@@ -70,27 +88,53 @@ fn serve_pipeline_end_to_end() {
     // The classifier should recover the planted SBM communities well.
     let classes = unwrap_classes(batched.remove(0));
     let acc = gee_eval::accuracy(&classes, &truth);
-    assert!(acc > 0.8, "kNN over the served embedding should recover SBM blocks (acc {acc:.3})");
+    assert!(
+        acc > 0.8,
+        "kNN over the served embedding should recover SBM blocks (acc {acc:.3})"
+    );
 
     // Similar neighbors of a vertex should mostly share its block.
     let neigh = unwrap_neighbors(batched.remove(0));
-    let same_block =
-        neigh.iter().filter(|&&(v, _)| truth[v as usize] == truth[0]).count();
-    assert!(same_block >= 7, "{same_block}/10 nearest should share vertex 0's block");
+    let same_block = neigh
+        .iter()
+        .filter(|&&(v, _)| truth[v as usize] == truth[0])
+        .count();
+    assert!(
+        same_block >= 7,
+        "{same_block}/10 nearest should share vertex 0's block"
+    );
 
     // -- Writes: stream a mixed batch of edge/label updates.
     let updates = vec![
         Update::InsertEdge { u: 0, v: 1, w: 2.0 },
         Update::InsertEdge { u: 5, v: 5, w: 1.5 }, // self-loop
-        Update::SetLabel { v: 2, label: Some(3) },
+        Update::SetLabel {
+            v: 2,
+            label: Some(3),
+        },
         Update::SetLabel { v: 7, label: None },
         Update::RemoveEdge { u: 0, v: 1, w: 2.0 },
-        Update::InsertEdge { u: 10, v: 20, w: 4.0 },
+        Update::InsertEdge {
+            u: 10,
+            v: 20,
+            w: 4.0,
+        },
     ];
     let applied = engine
-        .execute("sbm", Request::ApplyUpdates { updates: updates.clone() })
+        .execute(
+            "sbm",
+            Request::ApplyUpdates {
+                updates: updates.clone(),
+            },
+        )
         .unwrap();
-    assert_eq!(applied, Response::Applied { applied: 6, epoch: 1 });
+    assert_eq!(
+        applied,
+        Response::Applied {
+            applied: 6,
+            epoch: 1
+        }
+    );
 
     // -- Post-update reads must equal a from-scratch recompute.
     let mut oracle_dg = gee_core::DynamicGee::new(&el, &labels);
@@ -109,14 +153,28 @@ fn serve_pipeline_end_to_end() {
     // Query-path parity after the update: served Classify equals kNN over
     // the fresh recompute.
     let served = unwrap_classes(
-        engine.execute("sbm", Request::Classify { vertices: queries.clone(), k: KNN }).unwrap(),
+        engine
+            .execute(
+                "sbm",
+                Request::Classify {
+                    vertices: queries.clone(),
+                    k: KNN,
+                },
+            )
+            .unwrap(),
     );
     let train: Vec<(u32, u32)> = oracle_dg.labels().iter_labeled().collect();
     let expected = gee_eval::knn_classify(fresh.as_slice(), fresh.dim(), &train, &queries, KNN);
-    assert_eq!(served, expected, "post-update Classify must match fresh-recompute kNN");
+    assert_eq!(
+        served, expected,
+        "post-update Classify must match fresh-recompute kNN"
+    );
 
     // EmbedRow parity after the update.
-    let row = match engine.execute("sbm", Request::EmbedRow { vertex: 2 }).unwrap() {
+    let row = match engine
+        .execute("sbm", Request::EmbedRow { vertex: 2 })
+        .unwrap()
+    {
         Response::Row(r) => r,
         other => panic!("expected Row, got {other:?}"),
     };
@@ -170,13 +228,27 @@ fn update_then_read_equals_static_recompute_randomized() {
         let u = (i * 37 + 11) % n;
         let v = (i * 101 + 3) % n;
         match i % 3 {
-            0 => updates.push(Update::InsertEdge { u, v, w: 1.0 + f64::from(i % 5) }),
-            1 => updates.push(Update::SetLabel { v: u, label: Some(i % K_CLASSES as u32) }),
+            0 => updates.push(Update::InsertEdge {
+                u,
+                v,
+                w: 1.0 + f64::from(i % 5),
+            }),
+            1 => updates.push(Update::SetLabel {
+                v: u,
+                label: Some(i % K_CLASSES as u32),
+            }),
             _ => updates.push(Update::SetLabel { v, label: None }),
         }
     }
     for chunk in updates.chunks(7) {
-        engine.execute("g", Request::ApplyUpdates { updates: chunk.to_vec() }).unwrap();
+        engine
+            .execute(
+                "g",
+                Request::ApplyUpdates {
+                    updates: chunk.to_vec(),
+                },
+            )
+            .unwrap();
     }
     for u in &updates {
         match *u {

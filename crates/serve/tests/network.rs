@@ -1,0 +1,325 @@
+//! Engine-vs-Client equivalence: the same workload executed in-process
+//! and across the wire must produce identical (`==`) results — over the
+//! in-process duplex transport, over loopback TCP, and under pipelining.
+
+use std::sync::Arc;
+
+use gee_core::Labels;
+use gee_serve::{
+    duplex, Client, Engine, Envelope, Registry, Request, Response, ServeError, Server,
+    TcpTransport, Transport, Update, PROTOCOL_VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const N: usize = 120;
+const K: usize = 5;
+
+/// Two engines built from identical inputs: one to serve remotely, one to
+/// answer in-process as the oracle.
+fn twin_engines(shards: usize) -> (Arc<Engine>, Engine) {
+    let make = || {
+        let el = gee_gen::erdos_renyi_gnm(N, 900, 21);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(
+                N,
+                gee_gen::LabelSpec {
+                    num_classes: K,
+                    labeled_fraction: 0.3,
+                },
+                3,
+            ),
+            K,
+        );
+        let reg = Registry::new(shards);
+        reg.register("g", &el, &labels);
+        Engine::new(Arc::new(reg))
+    };
+    (Arc::new(make()), make())
+}
+
+/// Serve `server_engine` on one end of a duplex pair in a background
+/// thread; return a handshaken client on the other end.
+fn duplex_client(server_engine: Arc<Engine>) -> (Client, std::thread::JoinHandle<()>) {
+    let (server_end, client_end) = duplex();
+    let handle = std::thread::spawn(move || {
+        let mut transport = server_end;
+        let _ = Server::new(server_engine).serve_connection(&mut transport);
+    });
+    (
+        Client::over(client_end).expect("handshake succeeds"),
+        handle,
+    )
+}
+
+/// A mixed read/write/error workload batch, deterministic in `case`.
+fn workload_batch(case: u32) -> Vec<Envelope> {
+    let v = |i: u32| (case.wrapping_mul(31).wrapping_add(i * 7)) % N as u32;
+    let mut batch = vec![
+        Envelope::new(
+            "g",
+            Request::Classify {
+                vertices: vec![v(0), v(1), v(2)],
+                k: 3,
+            },
+        ),
+        Envelope::new(
+            "g",
+            Request::Similar {
+                vertex: v(3),
+                top: 5,
+            },
+        ),
+        Envelope::new("g", Request::EmbedRow { vertex: v(4) }),
+        Envelope::new(
+            "g",
+            Request::ApplyUpdates {
+                updates: vec![
+                    Update::InsertEdge {
+                        u: v(5),
+                        v: v(6),
+                        w: 1.0 + f64::from(case % 4),
+                    },
+                    Update::SetLabel {
+                        v: v(7),
+                        label: Some(case % K as u32),
+                    },
+                ],
+            },
+        ),
+        Envelope::new(
+            "g",
+            Request::Classify {
+                vertices: vec![v(0), v(1), v(2)],
+                k: 3,
+            },
+        ),
+        Envelope::new("g", Request::Stats),
+    ];
+    if case % 3 == 0 {
+        // Per-request failures must be equivalent too.
+        batch.push(Envelope::new("missing", Request::Stats));
+        batch.push(Envelope::new("g", Request::EmbedRow { vertex: u32::MAX }));
+        batch.push(Envelope::new(
+            "g",
+            Request::Similar {
+                vertex: v(8),
+                top: 0,
+            },
+        ));
+    }
+    batch
+}
+
+#[test]
+fn duplex_client_equals_engine_on_scripted_workload() {
+    let (remote, local) = twin_engines(4);
+    let (mut client, server_thread) = duplex_client(remote);
+    assert_eq!(client.protocol_version(), PROTOCOL_VERSION);
+    for case in 0..12u32 {
+        let batch = workload_batch(case);
+        let over_wire = client.execute_batch(batch.clone()).unwrap();
+        let in_process = local.execute_batch(batch);
+        assert_eq!(over_wire, in_process, "case {case}");
+    }
+    client.goodbye().unwrap();
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn duplex_client_equals_engine_on_random_batches() {
+    // Property check over random envelope batches (including nonsense
+    // parameters — equivalence must hold for errors as much as answers).
+    let arb_batch = vec(
+        (
+            0usize..5,
+            vec(0u32..(2 * N as u32), 0..4),
+            0usize..4,
+            1usize..7,
+        )
+            .prop_map(|(kind, vs, top, k)| {
+                let graph = if kind == 4 { "nope" } else { "g" };
+                let request = match kind {
+                    0 => Request::Classify { vertices: vs, k },
+                    1 => Request::Similar {
+                        vertex: vs.first().copied().unwrap_or(0),
+                        top,
+                    },
+                    2 => Request::EmbedRow {
+                        vertex: vs.first().copied().unwrap_or(0),
+                    },
+                    3 => Request::ApplyUpdates {
+                        updates: vs
+                            .iter()
+                            .map(|&u| Update::InsertEdge {
+                                u: u % N as u32,
+                                v: (u / 2) % N as u32,
+                                w: 1.0,
+                            })
+                            .collect(),
+                    },
+                    _ => Request::Stats,
+                };
+                Envelope::new(graph, request)
+            }),
+        0..8,
+    );
+    let (remote, local) = twin_engines(3);
+    let (mut client, server_thread) = duplex_client(remote);
+    for case in 0..64u32 {
+        let mut rng = proptest::case_rng(case);
+        let batch = arb_batch.new_value(&mut rng);
+        let over_wire = client.execute_batch(batch.clone()).unwrap();
+        let in_process = local.execute_batch(batch.clone());
+        assert_eq!(over_wire, in_process, "case {case}: {batch:?}");
+    }
+    drop(client);
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn named_client_methods_equal_named_engine_methods() {
+    let (remote, local) = twin_engines(2);
+    let (mut client, server_thread) = duplex_client(remote);
+    assert_eq!(
+        client.classify("g", vec![0, 1, 2], 5),
+        local.classify("g", vec![0, 1, 2], 5)
+    );
+    assert_eq!(client.similar("g", 7, 10), local.similar("g", 7, 10));
+    assert_eq!(client.embed_row("g", 3), local.embed_row("g", 3));
+    let updates = vec![Update::InsertEdge { u: 1, v: 2, w: 2.0 }];
+    assert_eq!(
+        client.apply_updates("g", updates.clone()),
+        local.apply_updates("g", updates)
+    );
+    assert_eq!(client.stats("g"), local.stats("g"));
+    // Typed errors come through the named methods unchanged too.
+    assert_eq!(client.similar("g", 0, 0), local.similar("g", 0, 0));
+    assert_eq!(client.stats("missing"), local.stats("missing"));
+    // Non-finite weights (which JSON cannot carry) are rejected with the
+    // same typed error on both paths — equivalence holds even here.
+    let nan_update = vec![Update::InsertEdge {
+        u: 0,
+        v: 1,
+        w: f64::NAN,
+    }];
+    let remote_err = client.apply_updates("g", nan_update.clone());
+    assert_eq!(remote_err, local.apply_updates("g", nan_update));
+    assert!(
+        matches!(remote_err, Err(ServeError::NonFinite { .. })),
+        "{remote_err:?}"
+    );
+    drop(client);
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn tcp_client_equals_engine_and_pipelines() {
+    let (remote, local) = twin_engines(4);
+    let handle = Server::listen(remote, "127.0.0.1:0", None).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // Sequential equivalence.
+    for case in 0..4u32 {
+        let batch = workload_batch(case);
+        assert_eq!(
+            client.execute_batch(batch.clone()).unwrap(),
+            local.execute_batch(batch)
+        );
+    }
+
+    // Pipelined equivalence: all batches sent before any reply is read.
+    let batches: Vec<Vec<Envelope>> = (4..10u32).map(workload_batch).collect();
+    let over_wire = client.pipeline(batches.clone()).unwrap();
+    let in_process: Vec<_> = batches
+        .into_iter()
+        .map(|b| local.execute_batch(b))
+        .collect();
+    assert_eq!(over_wire, in_process);
+
+    // Two clients on one server: the second sees the first's writes.
+    let mut second = Client::connect(handle.addr()).unwrap();
+    let epoch_now = second.stats("g").unwrap().epoch;
+    assert_eq!(epoch_now, local.stats("g").unwrap().epoch);
+
+    client.goodbye().unwrap();
+    second.goodbye().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn handshake_rejects_unsupported_version_range() {
+    let (remote, _) = twin_engines(1);
+    let handle = Server::listen(remote, "127.0.0.1:0", None).unwrap();
+    // Hand-rolled hello demanding a future protocol.
+    let mut t = TcpTransport::connect(handle.addr()).unwrap();
+    t.send(gee_serve::wire::encode(&gee_serve::ClientFrame::Hello {
+        min_version: PROTOCOL_VERSION + 1,
+        max_version: PROTOCOL_VERSION + 5,
+    }))
+    .unwrap();
+    let reply = t.recv().unwrap().expect("server answers before closing");
+    match gee_serve::wire::decode::<gee_serve::ServerFrame>(&reply).unwrap() {
+        gee_serve::ServerFrame::Error { error } => {
+            assert_eq!(
+                error,
+                ServeError::VersionUnsupported {
+                    client_min: PROTOCOL_VERSION + 1,
+                    client_max: PROTOCOL_VERSION + 5,
+                    server_min: gee_serve::wire::MIN_PROTOCOL_VERSION,
+                    server_max: PROTOCOL_VERSION,
+                }
+            );
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    assert_eq!(
+        t.recv().unwrap(),
+        None,
+        "server closes after rejecting the handshake"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_frame_is_rejected_with_a_typed_error() {
+    let (remote, _) = twin_engines(1);
+    let (server_end, mut raw) = duplex();
+    let thread = std::thread::spawn(move || {
+        let mut transport = server_end;
+        Server::new(remote).serve_connection(&mut transport)
+    });
+    raw.send(b"this is not json".to_vec()).unwrap();
+    let reply = raw.recv().unwrap().unwrap();
+    match gee_serve::wire::decode::<gee_serve::ServerFrame>(&reply).unwrap() {
+        gee_serve::ServerFrame::Error { error } => {
+            assert!(matches!(error, ServeError::Protocol { .. }), "{error}");
+        }
+        other => panic!("expected Error frame, got {other:?}"),
+    }
+    let served = thread.join().unwrap();
+    assert!(matches!(served, Err(ServeError::Protocol { .. })));
+}
+
+#[test]
+fn responses_are_equal_when_roundtripped_through_wire_bytes() {
+    // Byte-level check: serialize the in-process responses with the same
+    // wire encoding the server uses and confirm the client-received
+    // values decode from exactly those semantics.
+    let (remote, local) = twin_engines(2);
+    let (mut client, server_thread) = duplex_client(remote);
+    let batch = workload_batch(1);
+    let over_wire = client.execute_batch(batch.clone()).unwrap();
+    let in_process = local.execute_batch(batch);
+    let wire_bytes_local = gee_serve::wire::encode(&in_process);
+    let wire_bytes_remote = gee_serve::wire::encode(&over_wire);
+    assert_eq!(
+        wire_bytes_local, wire_bytes_remote,
+        "byte-identical on the wire"
+    );
+    let decoded: Vec<Result<Response, ServeError>> =
+        gee_serve::wire::decode(&wire_bytes_local).unwrap();
+    assert_eq!(decoded, in_process);
+    drop(client);
+    server_thread.join().unwrap();
+}

@@ -1,0 +1,270 @@
+//! Wire-encoding round-trip property: `decode(encode(x)) == x` for every
+//! `Request` / `Response` / `ServeError` / frame variant, over seeded
+//! random instances plus the empty and maximal-size payloads the
+//! generators would rarely hit.
+
+use gee_serve::wire::{decode, encode, ClientFrame, ServerFrame};
+use gee_serve::{Envelope, ErrorCode, GraphReport, Request, Response, ServeError, Update};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Characters chosen to stress JSON escaping: quotes, backslashes,
+/// control characters, multi-byte UTF-8.
+const CHAR_PALETTE: [char; 16] = [
+    'a', 'Z', '0', '_', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{7f}', 'é', '🦀', '{',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    vec(0usize..CHAR_PALETTE.len(), 0..12)
+        .prop_map(|ids| ids.into_iter().map(|i| CHAR_PALETTE[i]).collect())
+}
+
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e9f64..1e9,
+        Just(0.0),
+        Just(-1.0),
+        Just(1e308),
+        Just(5e-324),
+        Just(1e18), // integral float beyond the integer-print cutoff
+    ]
+}
+
+fn arb_update() -> impl Strategy<Value = Update> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>(), arb_f64()).prop_map(|(u, v, w)| Update::InsertEdge {
+            u,
+            v,
+            w
+        }),
+        (any::<u32>(), any::<u32>(), arb_f64()).prop_map(|(u, v, w)| Update::RemoveEdge {
+            u,
+            v,
+            w
+        }),
+        (
+            any::<u32>(),
+            prop_oneof![Just(None), any::<u32>().prop_map(Some)]
+        )
+            .prop_map(|(v, label)| Update::SetLabel { v, label }),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (vec(any::<u32>(), 0..8), any::<usize>())
+            .prop_map(|(vertices, k)| Request::Classify { vertices, k }),
+        (any::<u32>(), any::<usize>()).prop_map(|(vertex, top)| Request::Similar { vertex, top }),
+        any::<u32>().prop_map(|vertex| Request::EmbedRow { vertex }),
+        vec(arb_update(), 0..6).prop_map(|updates| Request::ApplyUpdates { updates }),
+        Just(Request::Stats),
+    ]
+}
+
+fn arb_report() -> impl Strategy<Value = GraphReport> {
+    (
+        arb_string(),
+        any::<u64>(),
+        (
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+            any::<usize>(),
+        ),
+        (any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(graph, epoch, (num_vertices, dim, num_shards, num_labeled), (q, u))| GraphReport {
+                graph,
+                epoch,
+                num_vertices,
+                dim,
+                num_shards,
+                num_labeled,
+                queries_served: q,
+                updates_applied: u,
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        vec(any::<u32>(), 0..10).prop_map(Response::Classes),
+        vec((any::<u32>(), arb_f64()), 0..10).prop_map(Response::Neighbors),
+        vec(arb_f64(), 0..10).prop_map(Response::Row),
+        (any::<usize>(), any::<u64>())
+            .prop_map(|(applied, epoch)| Response::Applied { applied, epoch }),
+        arb_report().prop_map(Response::Stats),
+    ]
+}
+
+fn arb_error() -> impl Strategy<Value = ServeError> {
+    prop_oneof![
+        arb_string().prop_map(|graph| ServeError::UnknownGraph { graph }),
+        (any::<u32>(), any::<usize>()).prop_map(|(vertex, num_vertices)| {
+            ServeError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            }
+        }),
+        (any::<u32>(), any::<usize>())
+            .prop_map(|(class, num_classes)| ServeError::ClassOutOfRange { class, num_classes }),
+        arb_string().prop_map(|param| ServeError::ZeroLimit { param }),
+        arb_string().prop_map(|graph| ServeError::NoLabeledVertices { graph }),
+        arb_string().prop_map(|param| ServeError::NonFinite { param }),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(bytes, max_bytes)| ServeError::ResponseTooLarge { bytes, max_bytes }),
+        (any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>()).prop_map(
+            |(client_min, client_max, server_min, server_max)| ServeError::VersionUnsupported {
+                client_min,
+                client_max,
+                server_min,
+                server_max,
+            }
+        ),
+        arb_string().prop_map(|detail| ServeError::Protocol { detail }),
+        arb_string().prop_map(|detail| ServeError::Transport { detail }),
+    ]
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (arb_string(), arb_request()).prop_map(|(graph, request)| Envelope { graph, request })
+}
+
+fn arb_client_frame() -> impl Strategy<Value = ClientFrame> {
+    prop_oneof![
+        (any::<u32>(), any::<u32>()).prop_map(|(min_version, max_version)| ClientFrame::Hello {
+            min_version,
+            max_version
+        }),
+        (any::<u64>(), vec(arb_envelope(), 0..5))
+            .prop_map(|(id, requests)| ClientFrame::Batch { id, requests }),
+        Just(ClientFrame::Goodbye),
+    ]
+}
+
+fn arb_server_frame() -> impl Strategy<Value = ServerFrame> {
+    let result = prop_oneof![arb_response().prop_map(Ok), arb_error().prop_map(Err),];
+    prop_oneof![
+        any::<u32>().prop_map(|version| ServerFrame::HelloAck { version }),
+        (any::<u64>(), vec(result, 0..5))
+            .prop_map(|(id, results)| ServerFrame::Batch { id, results }),
+        arb_error().prop_map(|error| ServerFrame::Error { error }),
+    ]
+}
+
+fn assert_round_trip<T>(x: &T)
+where
+    T: serde::Serialize + serde::Deserialize + PartialEq + std::fmt::Debug,
+{
+    let bytes = encode(x);
+    let back: T = decode(&bytes).unwrap_or_else(|e| {
+        panic!(
+            "decode failed for {x:?}: {e} (frame: {})",
+            String::from_utf8_lossy(&bytes)
+        )
+    });
+    assert_eq!(&back, x);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn requests_round_trip(x in arb_request()) {
+        assert_round_trip(&x);
+    }
+
+    #[test]
+    fn responses_round_trip(x in arb_response()) {
+        assert_round_trip(&x);
+    }
+
+    #[test]
+    fn errors_round_trip(x in arb_error()) {
+        assert_round_trip(&x);
+        // The error code survives the wire too (it is derived, but that
+        // derivation must agree on both sides).
+        let back: ServeError = decode(&encode(&x)).unwrap();
+        prop_assert_eq!(back.code(), x.code());
+    }
+
+    #[test]
+    fn error_codes_round_trip(x in arb_error()) {
+        let code: ErrorCode = decode(&encode(&x.code())).unwrap();
+        prop_assert_eq!(code, x.code());
+    }
+
+    #[test]
+    fn client_frames_round_trip(x in arb_client_frame()) {
+        assert_round_trip(&x);
+    }
+
+    #[test]
+    fn server_frames_round_trip(x in arb_server_frame()) {
+        assert_round_trip(&x);
+    }
+}
+
+#[test]
+fn empty_payloads_round_trip() {
+    assert_round_trip(&Request::Classify {
+        vertices: vec![],
+        k: 0,
+    });
+    assert_round_trip(&Request::ApplyUpdates { updates: vec![] });
+    assert_round_trip(&Response::Classes(vec![]));
+    assert_round_trip(&Response::Neighbors(vec![]));
+    assert_round_trip(&Response::Row(vec![]));
+    assert_round_trip(&Envelope::new("", Request::Stats));
+    assert_round_trip(&ClientFrame::Batch {
+        id: 0,
+        requests: vec![],
+    });
+    assert_round_trip(&ServerFrame::Batch {
+        id: 0,
+        results: vec![],
+    });
+}
+
+#[test]
+fn extreme_integers_round_trip() {
+    assert_round_trip(&Response::Applied {
+        applied: usize::MAX,
+        epoch: u64::MAX,
+    });
+    assert_round_trip(&ClientFrame::Batch {
+        id: u64::MAX,
+        requests: vec![],
+    });
+    assert_round_trip(&ServeError::VertexOutOfRange {
+        vertex: u32::MAX,
+        num_vertices: usize::MAX,
+    });
+}
+
+#[test]
+fn maximal_size_payloads_round_trip() {
+    // A frame the size of a real bulk answer: 100k-row classify, a 50k-f64
+    // embedding row, and a dense neighbor list.
+    let vertices: Vec<u32> = (0..100_000u32).collect();
+    assert_round_trip(&Request::Classify {
+        vertices,
+        k: usize::MAX,
+    });
+    let row: Vec<f64> = (0..50_000).map(|i| (i as f64).sin() * 1e6).collect();
+    assert_round_trip(&Response::Row(row));
+    let neighbors: Vec<(u32, f64)> = (0..20_000u32).map(|v| (v, f64::from(v) * 0.125)).collect();
+    assert_round_trip(&Response::Neighbors(neighbors));
+    let updates: Vec<Update> = (0..30_000u32)
+        .map(|i| Update::InsertEdge {
+            u: i,
+            v: i.wrapping_mul(2_654_435_761),
+            w: 1.0,
+        })
+        .collect();
+    assert_round_trip(&ClientFrame::Batch {
+        id: 1,
+        requests: vec![Envelope::new("bulk", Request::ApplyUpdates { updates })],
+    });
+}

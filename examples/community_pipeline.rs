@@ -10,13 +10,18 @@
 use gee_repro::prelude::*;
 
 use gee_repro::community::{leiden, modularity, LeidenOptions};
-use gee_repro::eval::{adjusted_rand_index, kmeans, spectral_embedding, KMeansOptions, SpectralOptions};
+use gee_repro::eval::{
+    adjusted_rand_index, kmeans, spectral_embedding, KMeansOptions, SpectralOptions,
+};
 
 fn main() {
     // Planted-partition graph: 4 blocks of 250 vertices.
     let k = 4;
     let params = SbmParams::balanced(k, 250, 0.08, 0.005);
-    println!("generating SBM: {} vertices, p_in = 0.08, p_out = 0.005", params.num_vertices());
+    println!(
+        "generating SBM: {} vertices, p_in = 0.08, p_out = 0.005",
+        params.num_vertices()
+    );
     let sbm = gee_gen::sbm(&params, 99);
     let g = CsrGraph::from_edge_list(&sbm.edges);
     let n = g.num_vertices();
@@ -24,7 +29,11 @@ fn main() {
 
     // 1. Unsupervised labels from Leiden (the label source §II names).
     let partition = leiden(&g, LeidenOptions::default());
-    let q = modularity(&g, &gee_repro::community::Partition::from_membership(partition.membership()), 1.0);
+    let q = modularity(
+        &g,
+        &gee_repro::community::Partition::from_membership(partition.membership()),
+        1.0,
+    );
     println!(
         "\nLeiden: {} communities, modularity {q:.3}, ARI vs truth {:.3}",
         partition.num_communities(),
@@ -44,7 +53,15 @@ fn main() {
     println!("k-means on GEE embedding: ARI vs truth = {ari_gee:.3}");
 
     // 4. Spectral baseline (what GEE is proven to converge toward).
-    let spec = spectral_embedding(&g, SpectralOptions { k, iterations: 100, seed: 3, scale_by_eigenvalues: true });
+    let spec = spectral_embedding(
+        &g,
+        SpectralOptions {
+            k,
+            iterations: 100,
+            seed: 3,
+            scale_by_eigenvalues: true,
+        },
+    );
     let km_s = kmeans(&spec, n, k, KMeansOptions::new(k, 5));
     let ari_spec = adjusted_rand_index(&km_s.assignment, &sbm.truth);
     println!("k-means on spectral embedding: ARI vs truth = {ari_spec:.3}");
@@ -54,5 +71,8 @@ fn main() {
          in a single edge pass (spectral needs ~100 SpMV sweeps).",
         100.0 * ari_gee / ari_spec.max(1e-9)
     );
-    assert!(ari_gee > 0.8, "GEE should recover a strongly separated SBM (got ARI {ari_gee:.3})");
+    assert!(
+        ari_gee > 0.8,
+        "GEE should recover a strongly separated SBM (got ARI {ari_gee:.3})"
+    );
 }

@@ -15,10 +15,8 @@ fn main() {
     let m = 1_500_000;
     println!("graph: Erdős–Rényi n = {n}, s = {m}, K = 50");
     let el = gee_gen::erdos_renyi_gnm(n, m, 3);
-    let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(n, LabelSpec::default(), 9),
-        50,
-    );
+    let labels =
+        Labels::from_options_with_k(&gee_gen::random_labels(n, LabelSpec::default(), 9), 50);
 
     let t0 = Instant::now();
     let reference = serial_reference::embed(&el, &labels);
@@ -38,8 +36,14 @@ fn main() {
     let atomic_drift = reference.max_abs_diff(&atomic);
     // …while the deterministic kernel is bit-exact at any thread count.
     for threads in [1, 2, 4] {
-        let z = with_threads(threads, || deterministic::embed(el.num_vertices(), el.edges(), &labels));
-        assert_eq!(z.as_slice(), reference.as_slice(), "bit mismatch at {threads} threads");
+        let z = with_threads(threads, || {
+            deterministic::embed(el.num_vertices(), el.edges(), &labels)
+        });
+        assert_eq!(
+            z.as_slice(),
+            reference.as_slice(),
+            "bit mismatch at {threads} threads"
+        );
     }
     println!("atomic kernel drift from serial: {atomic_drift:.3e} (FP reordering)");
     println!("deterministic kernel: bit-identical to serial at 1, 2 and 4 threads ✓");

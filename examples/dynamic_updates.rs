@@ -18,7 +18,14 @@ fn main() {
     println!("base graph: Erdős–Rényi n = {n}, s = {m}, K = {k}");
     let el = gee_gen::erdos_renyi_gnm(n, m, 11);
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(n, LabelSpec { num_classes: k, labeled_fraction: 0.1 }, 5),
+        &gee_gen::random_labels(
+            n,
+            LabelSpec {
+                num_classes: k,
+                labeled_fraction: 0.1,
+            },
+            5,
+        ),
         k,
     );
 

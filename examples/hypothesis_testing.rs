@@ -25,10 +25,7 @@ fn main() {
     );
 
     // Semi-supervised labels from 15% of the ground truth.
-    let labels = Labels::from_options_with_k(
-        &gee_gen::subsample_labels(&g.truth, 0.15, 23),
-        3,
-    );
+    let labels = Labels::from_options_with_k(&gee_gen::subsample_labels(&g.truth, 0.15, 23), 3);
     let mut z = serial_optimized::embed(&g.edges, &labels);
     z.normalize_rows();
 
@@ -49,7 +46,11 @@ fn main() {
         "block 0 vs block 1: statistic = {:.4}, p = {:.4}  →  {}",
         across.statistic,
         across.p_value,
-        if across.rejects_at(0.01) { "REJECT (different latent positions) ✓" } else { "no rejection ✗" }
+        if across.rejects_at(0.01) {
+            "REJECT (different latent positions) ✓"
+        } else {
+            "no rejection ✗"
+        }
     );
     assert!(across.rejects_at(0.01), "different blocks must separate");
 
@@ -59,7 +60,11 @@ fn main() {
         "block 0 first half vs second half: statistic = {:.4}, p = {:.4}  →  {}",
         within.statistic,
         within.p_value,
-        if within.rejects_at(0.01) { "rejected (unexpected) ✗" } else { "no rejection (same distribution) ✓" }
+        if within.rejects_at(0.01) {
+            "rejected (unexpected) ✗"
+        } else {
+            "no rejection (same distribution) ✓"
+        }
     );
     assert!(!within.rejects_at(0.01), "same block must not separate");
 }

@@ -16,10 +16,8 @@ fn main() {
     let m = 2_000_000;
     println!("generating Erdős–Rényi graph: n = {n}, s = {m}");
     let el = gee_gen::erdos_renyi_gnm(n, m, 42);
-    let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(n, LabelSpec::default(), 7),
-        50,
-    );
+    let labels =
+        Labels::from_options_with_k(&gee_gen::random_labels(n, LabelSpec::default(), 7), 50);
     println!("labeled vertices: {} / {n}", labels.num_labeled());
 
     let mut reference: Option<Embedding> = None;
@@ -27,12 +25,19 @@ fn main() {
         ("serial reference (Algorithm 1)", Implementation::Reference),
         ("optimized serial (Numba analog)", Implementation::Optimized),
         ("GEE-Ligra, 1 thread", Implementation::LigraSerial),
-        ("GEE-Ligra, all threads (Algorithm 2)", Implementation::LigraParallel),
+        (
+            "GEE-Ligra, all threads (Algorithm 2)",
+            Implementation::LigraParallel,
+        ),
     ] {
         let t0 = Instant::now();
         let z = gee_core::embed(&el, &labels, imp, GeeOptions::default());
         let dt = t0.elapsed();
-        println!("{name:<40} {dt:>10.2?}   Z is {}×{}", z.num_vertices(), z.dim());
+        println!(
+            "{name:<40} {dt:>10.2?}   Z is {}×{}",
+            z.num_vertices(),
+            z.dim()
+        );
         match &reference {
             None => reference = Some(z),
             Some(r) => {
@@ -43,7 +48,10 @@ fn main() {
     }
 
     // Peek at one labeled vertex's embedding row.
-    let (v, c) = labels.iter_labeled().next().expect("some vertex is labeled");
+    let (v, c) = labels
+        .iter_labeled()
+        .next()
+        .expect("some vertex is labeled");
     let z = reference.unwrap();
     let row = z.row(v);
     let top = row

@@ -21,16 +21,23 @@ fn main() {
         50,
     );
 
-    let max_threads = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(8);
+    let max_threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(8);
     let mut threads = 1;
     let mut t1 = 0.0f64;
-    println!("\n{:>8} {:>12} {:>9} {:>11}", "threads", "runtime", "speedup", "efficiency");
+    println!(
+        "\n{:>8} {:>12} {:>9} {:>11}",
+        "threads", "runtime", "speedup", "efficiency"
+    );
     while threads <= max_threads {
         // Median of 3.
         let mut times = Vec::new();
         for _ in 0..3 {
             let t0 = Instant::now();
-            let z = with_threads(threads, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic));
+            let z = with_threads(threads, || {
+                gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+            });
             times.push(t0.elapsed().as_secs_f64());
             assert_eq!(z.dim(), 50);
         }

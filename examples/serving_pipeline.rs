@@ -19,7 +19,8 @@ fn main() {
     let per_block = 5_000;
     let sbm = gee_gen::sbm(&SbmParams::balanced(blocks, per_block, 0.01, 0.0005), 42);
     let n = sbm.edges.num_vertices();
-    let labels = Labels::from_options_with_k(&gee_gen::subsample_labels(&sbm.truth, 0.3, 7), blocks);
+    let labels =
+        Labels::from_options_with_k(&gee_gen::subsample_labels(&sbm.truth, 0.3, 7), blocks);
     println!(
         "workload: SBM with {blocks} blocks × {per_block} vertices, {} edges, {} labeled",
         sbm.edges.num_edges(),
@@ -31,13 +32,22 @@ fn main() {
     let registry = Arc::new(Registry::new(shards));
     let t0 = Instant::now();
     registry.register("social", &sbm.edges, &labels);
-    println!("registered \"social\" across {shards} shards in {:.2?}", t0.elapsed());
+    println!(
+        "registered \"social\" across {shards} shards in {:.2?}",
+        t0.elapsed()
+    );
     let engine = ServeEngine::new(registry.clone());
 
     // -- A mixed read batch: classification + similarity + raw rows.
     let queries: Vec<u32> = (0..n as u32).step_by(97).collect();
     let batch = vec![
-        Envelope::new("social", Request::Classify { vertices: queries.clone(), k: 5 }),
+        Envelope::new(
+            "social",
+            Request::Classify {
+                vertices: queries.clone(),
+                k: 5,
+            },
+        ),
         Envelope::new("social", Request::Similar { vertex: 0, top: 10 }),
         Envelope::new("social", Request::EmbedRow { vertex: 123 }),
         Envelope::new("social", Request::Stats),
@@ -45,7 +55,9 @@ fn main() {
     let t1 = Instant::now();
     let answers = engine.execute_batch(batch);
     let read_time = t1.elapsed();
-    let Ok(Response::Classes(classes)) = &answers[0] else { panic!("classify failed") };
+    let Ok(Response::Classes(classes)) = &answers[0] else {
+        panic!("classify failed")
+    };
     let truth_sample: Vec<u32> = queries.iter().map(|&v| sbm.truth[v as usize]).collect();
     let acc = gee_repro::eval::accuracy(classes, &truth_sample);
     println!(
@@ -53,8 +65,13 @@ fn main() {
          classification accuracy vs planted blocks: {acc:.3}",
         queries.len()
     );
-    let Ok(Response::Neighbors(neighbors)) = &answers[1] else { panic!("similar failed") };
-    let same = neighbors.iter().filter(|&&(v, _)| sbm.truth[v as usize] == sbm.truth[0]).count();
+    let Ok(Response::Neighbors(neighbors)) = &answers[1] else {
+        panic!("similar failed")
+    };
+    let same = neighbors
+        .iter()
+        .filter(|&&(v, _)| sbm.truth[v as usize] == sbm.truth[0])
+        .count();
     println!("vertex 0's 10 nearest neighbors: {same}/10 share its block");
 
     // -- Stream updates through the DynamicGee write path.
@@ -65,13 +82,21 @@ fn main() {
         let v = (u ^ i.wrapping_mul(40_503)) % n as u32;
         match i % 4 {
             0 | 1 => updates.push(Update::InsertEdge { u, v, w: 1.0 }),
-            2 => updates.push(Update::SetLabel { v: u, label: Some(i % blocks as u32) }),
+            2 => updates.push(Update::SetLabel {
+                v: u,
+                label: Some(i % blocks as u32),
+            }),
             _ => updates.push(Update::SetLabel { v, label: None }),
         }
     }
     let t2 = Instant::now();
     for chunk in updates.chunks(1_000) {
-        let r = engine.execute("social", Request::ApplyUpdates { updates: chunk.to_vec() });
+        let r = engine.execute(
+            "social",
+            Request::ApplyUpdates {
+                updates: chunk.to_vec(),
+            },
+        );
         assert!(r.is_ok());
     }
     let write_time = t2.elapsed();

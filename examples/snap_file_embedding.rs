@@ -28,7 +28,10 @@ fn main() {
                 // Sparse ids: multiply by 7 to leave gaps like real SNAP files.
                 writeln!(f, "{}\t{}", e.u as u64 * 7, e.v as u64 * 7).unwrap();
             }
-            println!("no input given — wrote a synthetic sample to {}", tmp.display());
+            println!(
+                "no input given — wrote a synthetic sample to {}",
+                tmp.display()
+            );
             tmp.clone()
         }
     };
@@ -36,10 +39,18 @@ fn main() {
     let file = std::fs::File::open(&path).expect("open input");
     let el = snap::read(
         BufReader::new(file),
-        snap::SnapOptions { symmetrize: true, drop_self_loops: true },
+        snap::SnapOptions {
+            symmetrize: true,
+            drop_self_loops: true,
+        },
     )
     .expect("parse SNAP file");
-    println!("loaded {}: n = {}, s = {} (after symmetrize)", path.display(), el.num_vertices(), el.num_edges());
+    println!(
+        "loaded {}: n = {}, s = {} (after symmetrize)",
+        path.display(),
+        el.num_vertices(),
+        el.num_edges()
+    );
 
     let g = CsrGraph::from_edge_list(&el);
     let s = graph_stats(&g);
@@ -55,14 +66,24 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
-    println!("embedded in {:.2?} → Z is {}×{}", t0.elapsed(), z.num_vertices(), z.dim());
+    println!(
+        "embedded in {:.2?} → Z is {}×{}",
+        t0.elapsed(),
+        z.num_vertices(),
+        z.dim()
+    );
 
     // Cache the CSR for fast reload.
     let cache = std::env::temp_dir().join("gee_snap_sample.csr");
-    binary::write(BufWriter::new(std::fs::File::create(&cache).expect("create cache")), &g)
-        .expect("write cache");
-    let reloaded = binary::read(BufReader::new(std::fs::File::open(&cache).expect("open cache")))
-        .expect("read cache");
+    binary::write(
+        BufWriter::new(std::fs::File::create(&cache).expect("create cache")),
+        &g,
+    )
+    .expect("write cache");
+    let reloaded = binary::read(BufReader::new(
+        std::fs::File::open(&cache).expect("open cache"),
+    ))
+    .expect("read cache");
     assert_eq!(reloaded.num_edges(), g.num_edges());
     println!("binary CSR cache round-tripped at {}", cache.display());
 

@@ -25,8 +25,11 @@ fn main() {
     // Spill the edges to disk (16 bytes per edge).
     let path = std::env::temp_dir().join("gee_stream_demo.edges");
     let t0 = std::time::Instant::now();
-    edge_stream::write(BufWriter::new(std::fs::File::create(&path).expect("create")), &el)
-        .expect("write stream");
+    edge_stream::write(
+        BufWriter::new(std::fs::File::create(&path).expect("create")),
+        &el,
+    )
+    .expect("write stream");
     let bytes = std::fs::metadata(&path).expect("stat").len();
     println!(
         "wrote {} ({:.1} MiB) in {:.2?}",
@@ -42,8 +45,16 @@ fn main() {
 
     // Streamed passes at two chunk sizes, serial and parallel kernels.
     for (chunk, mode, what) in [
-        (1 << 16, ChunkMode::Serial, "streamed serial, 64k-edge chunks"),
-        (1 << 20, ChunkMode::Parallel, "streamed parallel, 1M-edge chunks"),
+        (
+            1 << 16,
+            ChunkMode::Serial,
+            "streamed serial, 64k-edge chunks",
+        ),
+        (
+            1 << 20,
+            ChunkMode::Parallel,
+            "streamed parallel, 1M-edge chunks",
+        ),
     ] {
         let t0 = std::time::Instant::now();
         let mut reader =

@@ -20,7 +20,11 @@ fn main() {
     );
     let sbm = gee_gen::sbm(&params, 77);
     let g = CsrGraph::from_edge_list(&sbm.edges);
-    println!("{} vertices, {} directed edges\n", g.num_vertices(), g.num_edges());
+    println!(
+        "{} vertices, {} directed edges\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Iterative GEE.
     let t0 = std::time::Instant::now();

@@ -34,7 +34,10 @@ fn main() {
     let predicted = knn_classify(z.as_slice(), z.dim(), &train, &queries, 5);
     let gee_time = t0.elapsed();
     let gee_acc = accuracy(&predicted, &truth_queries);
-    println!("\nGEE + 5-NN            : accuracy {:.3} in {gee_time:.2?}", gee_acc);
+    println!(
+        "\nGEE + 5-NN            : accuracy {:.3} in {gee_time:.2?}",
+        gee_acc
+    );
 
     // Method 2: argmax of the embedding row (zero extra cost).
     let argmax: Vec<u32> = queries
@@ -48,7 +51,10 @@ fn main() {
                 .unwrap()
         })
         .collect();
-    println!("GEE row-argmax        : accuracy {:.3} (free with the embedding)", accuracy(&argmax, &truth_queries));
+    println!(
+        "GEE row-argmax        : accuracy {:.3} (free with the embedding)",
+        accuracy(&argmax, &truth_queries)
+    );
 
     // Method 3: label propagation on the raw graph.
     let t0 = std::time::Instant::now();
@@ -58,8 +64,14 @@ fn main() {
         .iter()
         .map(|&v| propagated[v as usize].unwrap_or(u32::MAX))
         .collect();
-    println!("label propagation     : accuracy {:.3} in {lp_time:.2?}", accuracy(&lp_pred, &truth_queries));
+    println!(
+        "label propagation     : accuracy {:.3} in {lp_time:.2?}",
+        accuracy(&lp_pred, &truth_queries)
+    );
 
-    assert!(gee_acc > 0.8, "GEE classification should work on a separated SBM");
+    assert!(
+        gee_acc > 0.8,
+        "GEE classification should work on a separated SBM"
+    );
     println!("\nGEE gives a reusable geometric representation; label propagation answers only this one query.");
 }

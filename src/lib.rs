@@ -36,6 +36,25 @@
 //! `examples/serving_pipeline.rs` for the end-to-end flow and the
 //! `serve-throughput` bench binary for queries/sec vs shard count.
 //!
+//! ### Wire protocol v1
+//!
+//! The serve types double as a versioned network contract
+//! ([`serve::wire`]): frames are compact JSON (serde's externally-tagged
+//! enums, exact 64-bit integers), length-prefixed with a big-endian `u32`
+//! on TCP, and exchanged over any [`serve::Transport`] — loopback-free
+//! in-process [`serve::duplex`] or [`serve::TcpTransport`]. A connection
+//! opens with a `Hello` handshake that negotiates the protocol version
+//! (currently [`serve::PROTOCOL_VERSION`] = 1), then carries pipelined
+//! request batches; failures travel as typed [`serve::ServeError`] values
+//! with stable numeric [`serve::ErrorCode`]s. A [`serve::Server`] feeds
+//! decoded batches to `Engine::execute_batch`, and the blocking
+//! [`serve::Client`] mirrors `Engine`'s methods one-for-one, so remote
+//! answers are provably `==` in-process answers —
+//! `examples/network_serving.rs` demonstrates exactly that, and the
+//! `wire_overhead` bench binary measures in-process vs duplex vs
+//! loopback-TCP throughput. On the command line: `gee serve --graph G
+//! --listen ADDR` and `gee query --connect ADDR ...`.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! binaries that regenerate each table and figure of the paper.
 
@@ -51,12 +70,17 @@ pub use gee_serve as serve;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use gee_core::{AtomicsMode, DynamicGee, Embedding, GeeOptions, Implementation, Labels, Variant};
+    pub use gee_core;
+    pub use gee_core::{
+        AtomicsMode, DynamicGee, Embedding, GeeOptions, Implementation, Labels, Variant,
+    };
     pub use gee_gen::{self, LabelSpec, RmatParams, SbmParams, WsParams};
     pub use gee_graph::{CsrGraph, Edge, EdgeList, GraphBuilder};
     pub use gee_ligra::{with_threads, BucketOrder, Buckets, VertexSubset};
-    pub use gee_serve::{Engine as ServeEngine, Envelope, Registry, Request, Response, ServeError, Update};
-    pub use gee_core;
+    pub use gee_serve::{
+        Client as ServeClient, Engine as ServeEngine, Envelope, ErrorCode, Registry, Request,
+        Response, ServeError, Server as ServeServer, Update,
+    };
 }
 
 #[cfg(test)]
@@ -67,10 +91,22 @@ mod tests {
     fn facade_quickstart_compiles_and_runs() {
         let el = gee_gen::erdos_renyi_gnm(100, 500, 1);
         let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(100, LabelSpec { num_classes: 3, labeled_fraction: 0.2 }, 2),
+            &gee_gen::random_labels(
+                100,
+                LabelSpec {
+                    num_classes: 3,
+                    labeled_fraction: 0.2,
+                },
+                2,
+            ),
             3,
         );
-        let z = gee_core::embed(&el, &labels, Implementation::LigraParallel, GeeOptions::default());
+        let z = gee_core::embed(
+            &el,
+            &labels,
+            Implementation::LigraParallel,
+            GeeOptions::default(),
+        );
         assert_eq!(z.dim(), 3);
     }
 }

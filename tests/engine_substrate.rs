@@ -35,11 +35,22 @@ fn results_independent_of_thread_count() {
     assert_eq!(cc1, cc8, "CC labels must not depend on parallelism");
 
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(g.num_vertices(), LabelSpec { num_classes: 5, labeled_fraction: 0.3 }, 7),
+        &gee_gen::random_labels(
+            g.num_vertices(),
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.3,
+            },
+            7,
+        ),
         5,
     );
-    let z1 = with_threads(1, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic));
-    let z8 = with_threads(8, || gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic));
+    let z1 = with_threads(1, || {
+        gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+    });
+    let z8 = with_threads(8, || {
+        gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic)
+    });
     z1.assert_close(&z8, 1e-9);
 }
 
@@ -58,7 +69,14 @@ fn io_round_trip_feeds_engine() {
     let g2 = binary::read(bin.as_slice()).unwrap();
     // Same embedding from both.
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(400, LabelSpec { num_classes: 4, labeled_fraction: 0.5 }, 1),
+        &gee_gen::random_labels(
+            400,
+            LabelSpec {
+                num_classes: 4,
+                labeled_fraction: 0.5,
+            },
+            1,
+        ),
         4,
     );
     let z1 = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
@@ -80,7 +98,10 @@ fn triangle_count_and_kcore_on_cliques() {
     let g = builder.symmetrize(true).build_csr().unwrap();
     assert_eq!(algos::triangle_count(&g), 30);
     assert!(algos::kcore(&g).iter().all(|&c| c == 4));
-    assert_eq!(algos::cc::num_components(&algos::connected_components(&g)), 3);
+    assert_eq!(
+        algos::cc::num_components(&algos::connected_components(&g)),
+        3
+    );
 }
 
 #[test]
@@ -96,9 +117,15 @@ fn betweenness_on_barbell() {
     let g = b.symmetrize(true).build_csr().unwrap();
     // From source 0 the bridge vertex 8 relays all four far-clique targets.
     let dep = algos::betweenness(&g, 0);
-    assert!((dep[8] - 4.0).abs() < 1e-9, "bridge dependency should be 4: {dep:?}");
+    assert!(
+        (dep[8] - 4.0).abs() < 1e-9,
+        "bridge dependency should be 4: {dep:?}"
+    );
     // Exclude the source itself: Brandes' δ_s(s) is defined but never
     // counted toward centrality.
     let max_other = (1..8u32).map(|v| dep[v as usize]).fold(0.0, f64::max);
-    assert!(dep[8] >= max_other, "bridge vertex should dominate: {dep:?}");
+    assert!(
+        dep[8] >= max_other,
+        "bridge vertex should dominate: {dep:?}"
+    );
 }

@@ -14,12 +14,26 @@ fn deterministic_kernel_bit_exact_on_all_families() {
         gee_gen::erdos_renyi_gnm(1_500, 20_000, 3),
         gee_gen::rmat(11, 30_000, RmatParams::default(), 5),
         gee_gen::preferential_attachment(2_000, 4, 7).symmetrized(),
-        gee_gen::watts_strogatz(gee_gen::WsParams { n: 1_000, k: 8, beta: 0.2 }, 9),
+        gee_gen::watts_strogatz(
+            gee_gen::WsParams {
+                n: 1_000,
+                k: 8,
+                beta: 0.2,
+            },
+            9,
+        ),
     ];
     for (i, el) in workloads.iter().enumerate() {
         let n = el.num_vertices();
         let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(n, LabelSpec { num_classes: 12, labeled_fraction: 0.2 }, i as u64),
+            &gee_gen::random_labels(
+                n,
+                LabelSpec {
+                    num_classes: 12,
+                    labeled_fraction: 0.2,
+                },
+                i as u64,
+            ),
             12,
         );
         let reference = gee_core::serial_reference::embed(el, &labels);
@@ -41,7 +55,14 @@ fn deterministic_kernel_bit_exact_on_all_families() {
 fn dynamic_gee_tracks_static_recompute_through_long_stream() {
     let el = gee_gen::erdos_renyi_gnm(500, 4_000, 11);
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(500, LabelSpec { num_classes: 8, labeled_fraction: 0.3 }, 13),
+        &gee_gen::random_labels(
+            500,
+            LabelSpec {
+                num_classes: 8,
+                labeled_fraction: 0.3,
+            },
+            13,
+        ),
         8,
     );
     let mut dg = DynamicGee::new(&el, &labels);
@@ -64,11 +85,18 @@ fn dynamic_gee_tracks_static_recompute_through_long_stream() {
             }
             2 if !inserted.is_empty() => {
                 let (u, v, w) = inserted.swap_remove((next() as usize) % inserted.len());
-                assert!(dg.remove_edge(u, v, w), "step {step}: tracked edge must exist");
+                assert!(
+                    dg.remove_edge(u, v, w),
+                    "step {step}: tracked edge must exist"
+                );
             }
             _ => {
                 let v = (next() % 500) as u32;
-                let label = if next() % 5 == 0 { None } else { Some((next() % 8) as u32) };
+                let label = if next() % 5 == 0 {
+                    None
+                } else {
+                    Some((next() % 8) as u32)
+                };
                 dg.set_label(v, label);
             }
         }
@@ -88,7 +116,14 @@ fn bucketed_kcore_agrees_across_generators() {
     let graphs = [
         gee_gen::erdos_renyi_gnm(800, 6_000, 17).symmetrized(),
         gee_gen::rmat(10, 15_000, RmatParams::default(), 19).symmetrized(),
-        gee_gen::watts_strogatz(gee_gen::WsParams { n: 600, k: 6, beta: 0.3 }, 21),
+        gee_gen::watts_strogatz(
+            gee_gen::WsParams {
+                n: 600,
+                k: 6,
+                beta: 0.3,
+            },
+            21,
+        ),
         gee_gen::config_model(&gee_gen::power_law_degrees(500, 2.3, 1, 60, 23), 23),
     ];
     for (i, el) in graphs.iter().enumerate() {
@@ -116,7 +151,12 @@ fn delta_stepping_agrees_with_bellman_ford() {
     let b = gee_repro::algos::sssp(&g, 0);
     for v in 0..g.num_vertices() {
         if a[v].is_finite() || b[v].is_finite() {
-            assert!((a[v] - b[v]).abs() < 1e-9, "vertex {v}: {} vs {}", a[v], b[v]);
+            assert!(
+                (a[v] - b[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                a[v],
+                b[v]
+            );
         }
     }
 }
@@ -157,7 +197,10 @@ fn embedding_supports_downstream_inference() {
     );
     let pred = model.predict_batch(&xte);
     let acc = pred.iter().zip(&yte).filter(|(a, b)| a == b).count() as f64 / yte.len() as f64;
-    assert!(acc > 0.9, "logistic regression accuracy {acc} (chance = 0.25)");
+    assert!(
+        acc > 0.9,
+        "logistic regression accuracy {acc} (chance = 0.25)"
+    );
 
     // Internal validity: the truth partition of the embedding must score
     // better than a rotated (shifted) partition.
@@ -167,7 +210,10 @@ fn embedding_supports_downstream_inference() {
     let mixed: Vec<u32> = (0..400u32).map(|i| i % 4).collect();
     let sil_truth = gee_repro::eval::silhouette(&points, &truth);
     let sil_mixed = gee_repro::eval::silhouette(&points, &mixed);
-    assert!(sil_truth > sil_mixed + 0.2, "silhouette {sil_truth} vs mixed {sil_mixed}");
+    assert!(
+        sil_truth > sil_mixed + 0.2,
+        "silhouette {sil_truth} vs mixed {sil_mixed}"
+    );
     // Relabeling (a permutation) scores identically — silhouette is
     // label-invariant.
     let sil_shifted = gee_repro::eval::silhouette(&points, &shifted);
@@ -200,7 +246,17 @@ fn energy_test_separates_blocks_end_to_end() {
 #[test]
 fn new_generators_flow_through_pipeline() {
     let families: Vec<(&str, EdgeList)> = vec![
-        ("watts-strogatz", gee_gen::watts_strogatz(gee_gen::WsParams { n: 2_000, k: 10, beta: 0.1 }, 45)),
+        (
+            "watts-strogatz",
+            gee_gen::watts_strogatz(
+                gee_gen::WsParams {
+                    n: 2_000,
+                    k: 10,
+                    beta: 0.1,
+                },
+                45,
+            ),
+        ),
         (
             "config-model",
             gee_gen::config_model(&gee_gen::power_law_degrees(2_000, 2.4, 1, 100, 47), 47),
@@ -213,7 +269,14 @@ fn new_generators_flow_through_pipeline() {
     for (name, el) in families {
         let n = el.num_vertices();
         let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(n, LabelSpec { num_classes: 10, labeled_fraction: 0.15 }, 51),
+            &gee_gen::random_labels(
+                n,
+                LabelSpec {
+                    num_classes: 10,
+                    labeled_fraction: 0.15,
+                },
+                51,
+            ),
             10,
         );
         let g = CsrGraph::from_edge_list(&el);
@@ -241,7 +304,12 @@ fn gee_aligns_with_spectral_embedding_up_to_rotation() {
     let g = CsrGraph::from_edge_list(&sbm.edges);
     let spectral = gee_repro::eval::spectral_embedding(
         &g,
-        gee_repro::eval::SpectralOptions { k, iterations: 80, seed: 65, scale_by_eigenvalues: true },
+        gee_repro::eval::SpectralOptions {
+            k,
+            iterations: 80,
+            seed: 65,
+            scale_by_eigenvalues: true,
+        },
     );
     // Row-normalize the spectral embedding the same way.
     let mut spec = spectral;
@@ -277,7 +345,14 @@ fn gee_aligns_with_spectral_embedding_up_to_rotation() {
 /// weights equals BFS depth (every bucket is one BFS level when Δ = 1).
 #[test]
 fn delta_stepping_on_unit_weights_is_bfs() {
-    let el = gee_gen::watts_strogatz(gee_gen::WsParams { n: 800, k: 6, beta: 0.05 }, 53);
+    let el = gee_gen::watts_strogatz(
+        gee_gen::WsParams {
+            n: 800,
+            k: 6,
+            beta: 0.05,
+        },
+        53,
+    );
     let g = CsrGraph::from_edge_list(&el);
     let d = gee_repro::algos::delta_stepping(&g, 0, 1.0);
     let bfs = gee_repro::algos::bfs_distances(&g, 0);

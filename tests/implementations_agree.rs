@@ -7,11 +7,21 @@ use gee_repro::prelude::*;
 fn check_agreement(el: &EdgeList, labels: &Labels) {
     let reference = gee_core::serial_reference::embed(el, labels);
     let optimized = gee_core::serial_optimized::embed(el, labels);
-    assert_eq!(reference.as_slice(), optimized.as_slice(), "optimized must be bit-identical");
+    assert_eq!(
+        reference.as_slice(),
+        optimized.as_slice(),
+        "optimized must be bit-identical"
+    );
     let interp = gee_repro::interp::embed(el, labels);
-    assert_eq!(reference.as_slice(), interp.as_slice(), "interpreter must be bit-identical");
+    assert_eq!(
+        reference.as_slice(),
+        interp.as_slice(),
+        "interpreter must be bit-identical"
+    );
     let g = CsrGraph::from_edge_list(el);
-    let serial = with_threads(1, || gee_core::ligra::embed(&g, labels, AtomicsMode::Atomic));
+    let serial = with_threads(1, || {
+        gee_core::ligra::embed(&g, labels, AtomicsMode::Atomic)
+    });
     reference.assert_close(&serial, 1e-9);
     let parallel = gee_core::ligra::embed(&g, labels, AtomicsMode::Atomic);
     reference.assert_close(&parallel, 1e-9);
@@ -20,10 +30,8 @@ fn check_agreement(el: &EdgeList, labels: &Labels) {
 #[test]
 fn agree_on_erdos_renyi() {
     let el = gee_gen::erdos_renyi_gnm(2_000, 30_000, 17);
-    let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(2_000, LabelSpec::default(), 3),
-        50,
-    );
+    let labels =
+        Labels::from_options_with_k(&gee_gen::random_labels(2_000, LabelSpec::default(), 3), 50);
     check_agreement(&el, &labels);
 }
 
@@ -31,7 +39,14 @@ fn agree_on_erdos_renyi() {
 fn agree_on_rmat() {
     let el = gee_gen::rmat(12, 50_000, RmatParams::default(), 23);
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(el.num_vertices(), LabelSpec { num_classes: 50, labeled_fraction: 0.1 }, 5),
+        &gee_gen::random_labels(
+            el.num_vertices(),
+            LabelSpec {
+                num_classes: 50,
+                labeled_fraction: 0.1,
+            },
+            5,
+        ),
         50,
     );
     check_agreement(&el, &labels);
@@ -48,7 +63,14 @@ fn agree_on_sbm_with_truth_labels() {
 fn agree_on_preferential_attachment() {
     let el = gee_gen::preferential_attachment(3_000, 4, 31).symmetrized();
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(3_000, LabelSpec { num_classes: 10, labeled_fraction: 0.2 }, 13),
+        &gee_gen::random_labels(
+            3_000,
+            LabelSpec {
+                num_classes: 10,
+                labeled_fraction: 0.2,
+            },
+            13,
+        ),
         10,
     );
     check_agreement(&el, &labels);
@@ -66,7 +88,14 @@ fn agree_on_weighted_graph() {
             .collect(),
     );
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(500, LabelSpec { num_classes: 8, labeled_fraction: 0.5 }, 21),
+        &gee_gen::random_labels(
+            500,
+            LabelSpec {
+                num_classes: 8,
+                labeled_fraction: 0.5,
+            },
+            21,
+        ),
         8,
     );
     check_agreement(&el, &labels);
@@ -76,7 +105,14 @@ fn agree_on_weighted_graph() {
 fn agree_on_laplacian_variant() {
     let el = gee_gen::erdos_renyi_gnm(800, 10_000, 5);
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(800, LabelSpec { num_classes: 6, labeled_fraction: 0.3 }, 2),
+        &gee_gen::random_labels(
+            800,
+            LabelSpec {
+                num_classes: 6,
+                labeled_fraction: 0.3,
+            },
+            2,
+        ),
         6,
     );
     let norm = gee_core::laplacian::normalize(&el);
@@ -88,7 +124,14 @@ fn agree_under_many_seeds() {
     for seed in 0..10u64 {
         let el = gee_gen::erdos_renyi_gnm(300, 3_000, seed);
         let labels = Labels::from_options_with_k(
-            &gee_gen::random_labels(300, LabelSpec { num_classes: 4, labeled_fraction: 0.25 }, seed),
+            &gee_gen::random_labels(
+                300,
+                LabelSpec {
+                    num_classes: 4,
+                    labeled_fraction: 0.25,
+                },
+                seed,
+            ),
             4,
         );
         check_agreement(&el, &labels);
@@ -99,12 +142,23 @@ fn agree_under_many_seeds() {
 fn dispatcher_covers_every_implementation() {
     let el = gee_gen::erdos_renyi_gnm(200, 2_000, 3);
     let labels = Labels::from_options_with_k(
-        &gee_gen::random_labels(200, LabelSpec { num_classes: 5, labeled_fraction: 0.4 }, 4),
+        &gee_gen::random_labels(
+            200,
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.4,
+            },
+            4,
+        ),
         5,
     );
     let opts = GeeOptions::default();
     let a = gee_core::embed(&el, &labels, Implementation::Reference, opts);
-    for imp in [Implementation::Optimized, Implementation::LigraSerial, Implementation::LigraParallel] {
+    for imp in [
+        Implementation::Optimized,
+        Implementation::LigraSerial,
+        Implementation::LigraParallel,
+    ] {
         let z = gee_core::embed(&el, &labels, imp, opts);
         a.assert_close(&z, 1e-9);
     }

@@ -19,7 +19,9 @@ struct NaiveBuckets {
 
 impl NaiveBuckets {
     fn new(n: usize) -> Self {
-        NaiveBuckets { bucket_of: vec![None; n] }
+        NaiveBuckets {
+            bucket_of: vec![None; n],
+        }
     }
     fn update(&mut self, v: u32, b: u64) {
         self.bucket_of[v as usize] = Some(b);

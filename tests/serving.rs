@@ -28,7 +28,13 @@ fn serve_query_path_matches_library_paths() {
     let engine = ServeEngine::new(registry);
     let queries: Vec<u32> = (0..el.num_vertices() as u32).collect();
     let served = match engine
-        .execute("g", Request::Classify { vertices: queries.clone(), k: 3 })
+        .execute(
+            "g",
+            Request::Classify {
+                vertices: queries.clone(),
+                k: 3,
+            },
+        )
         .unwrap()
     {
         Response::Classes(c) => c,
@@ -48,13 +54,25 @@ fn serve_updates_then_read_equals_recompute() {
     let engine = ServeEngine::new(registry.clone());
 
     let updates = vec![
-        Update::InsertEdge { u: 0, v: 60, w: 3.0 },
-        Update::SetLabel { v: 10, label: Some(2) },
+        Update::InsertEdge {
+            u: 0,
+            v: 60,
+            w: 3.0,
+        },
+        Update::SetLabel {
+            v: 10,
+            label: Some(2),
+        },
         Update::SetLabel { v: 20, label: None },
     ];
     let batch = vec![
         Envelope::new("g", Request::EmbedRow { vertex: 0 }),
-        Envelope::new("g", Request::ApplyUpdates { updates: updates.clone() }),
+        Envelope::new(
+            "g",
+            Request::ApplyUpdates {
+                updates: updates.clone(),
+            },
+        ),
         Envelope::new("g", Request::EmbedRow { vertex: 0 }),
     ];
     let batched = engine.execute_batch(batch.clone());
@@ -64,8 +82,10 @@ fn serve_updates_then_read_equals_recompute() {
     let registry2 = Arc::new(Registry::new(3));
     registry2.register("g", &el, &labels);
     let engine2 = ServeEngine::new(registry2);
-    let sequential: Vec<_> =
-        batch.into_iter().map(|e| engine2.execute(&e.graph, e.request)).collect();
+    let sequential: Vec<_> = batch
+        .into_iter()
+        .map(|e| engine2.execute(&e.graph, e.request))
+        .collect();
     assert_eq!(batched, sequential);
 
     // Post-update snapshot equals a from-scratch recompute.

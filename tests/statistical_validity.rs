@@ -17,21 +17,33 @@ fn sbm_recovery_ari(blocks: usize, per_block: usize, label_frac: f64, seed: u64)
     let g = CsrGraph::from_edge_list(&sbm.edges);
     let mut z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
     z.normalize_rows();
-    let km = kmeans_best_of(z.as_slice(), n, blocks, KMeansOptions::new(blocks, seed ^ 0x11), 8);
+    let km = kmeans_best_of(
+        z.as_slice(),
+        n,
+        blocks,
+        KMeansOptions::new(blocks, seed ^ 0x11),
+        8,
+    );
     adjusted_rand_index(&km.assignment, &sbm.truth)
 }
 
 #[test]
 fn semi_supervised_recovery_on_sbm() {
     let ari = sbm_recovery_ari(4, 200, 0.10, 42);
-    assert!(ari > 0.85, "10% labels should recover a well-separated SBM; ARI = {ari:.3}");
+    assert!(
+        ari > 0.85,
+        "10% labels should recover a well-separated SBM; ARI = {ari:.3}"
+    );
 }
 
 #[test]
 fn more_labels_do_not_hurt() {
     let lo = sbm_recovery_ari(3, 150, 0.05, 7);
     let hi = sbm_recovery_ari(3, 150, 0.5, 7);
-    assert!(hi >= lo - 0.05, "more supervision should not hurt: 5% → {lo:.3}, 50% → {hi:.3}");
+    assert!(
+        hi >= lo - 0.05,
+        "more supervision should not hurt: 5% → {lo:.3}, 50% → {hi:.3}"
+    );
 }
 
 #[test]
@@ -42,7 +54,10 @@ fn embedding_separates_classes_geometrically() {
     let mut z = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
     z.normalize_rows();
     let r = scatter_ratio(z.as_slice(), z.num_vertices(), z.dim(), &sbm.truth);
-    assert!(r < 0.5, "within/between scatter should be small; got {r:.3}");
+    assert!(
+        r < 0.5,
+        "within/between scatter should be small; got {r:.3}"
+    );
 }
 
 #[test]
@@ -52,7 +67,8 @@ fn unsupervised_gee_matches_leiden_quality() {
     let sbm = gee_gen::sbm(&SbmParams::balanced(3, 120, 0.15, 0.01), 23);
     let g = CsrGraph::from_edge_list(&sbm.edges);
 
-    let gee = gee_core::unsupervised::cluster(&g, gee_core::unsupervised::UnsupervisedOptions::new(3, 5));
+    let gee =
+        gee_core::unsupervised::cluster(&g, gee_core::unsupervised::UnsupervisedOptions::new(3, 5));
     let ari_gee = adjusted_rand_index(&gee.assignment, &sbm.truth);
 
     let leiden = gee_repro::community::leiden(&g, gee_repro::community::LeidenOptions::default());
@@ -94,7 +110,13 @@ fn laplacian_variant_also_recovers() {
     z.normalize_rows();
     // Multiple restarts: a single Lloyd run from one seed can land in a
     // local optimum just under the threshold.
-    let km = kmeans_best_of(z.as_slice(), z.num_vertices(), 3, KMeansOptions::new(3, 9), 5);
+    let km = kmeans_best_of(
+        z.as_slice(),
+        z.num_vertices(),
+        3,
+        KMeansOptions::new(3, 9),
+        5,
+    );
     let ari = adjusted_rand_index(&km.assignment, &sbm.truth);
     assert!(ari > 0.8, "laplacian-variant ARI {ari:.3}");
 }
