@@ -67,7 +67,9 @@ fn main() {
     let mut json = Vec::new();
     for &shards in &shard_counts {
         let registry = Arc::new(Registry::new(shards));
-        let (reg_secs, _, _) = timed(args.runs, || registry.register("g", &sbm.edges, &labels));
+        let (reg_secs, _, _) = timed(args.runs, || {
+            registry.register("g", &sbm.edges, &labels).unwrap()
+        });
         let engine = Engine::new(registry.clone());
 
         // Classify throughput.

@@ -36,7 +36,7 @@ fn build_engine(args: &Args, blocks: usize, per_block: usize, shards: usize) -> 
         blocks,
     );
     let registry = Arc::new(Registry::new(shards));
-    registry.register("g", &sbm.edges, &labels);
+    registry.register("g", &sbm.edges, &labels).unwrap();
     Arc::new(Engine::new(registry))
 }
 

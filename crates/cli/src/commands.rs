@@ -31,10 +31,16 @@ subcommands:
                              insert u v w | remove u v w | label v <class|none> | stats
                --listen serves wire protocol v1 over TCP (graph name \"g\");
                [--max-conns N] stop after N connections, [--port-file F] write bound addr to F
+               durability: [--data-dir DIR [--sync always|never] [--checkpoint-every N=64]]
+               recovers graph \"g\" from DIR if present (then --graph is optional);
+               every update batch is WAL-logged and survives restart
   query        --graph <file> (--classify v1,v2,.. | --similar V | --row V | --stats true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
                [--shards S=4] [--seed S=42]
                or query a running server: --connect ADDR [--name g] instead of --graph
+  recover      --data-dir DIR [--shards S=4] [--checkpoint true]
+               recover a durable serving directory (checkpoint + WAL replay), report
+               each graph's epoch/size, optionally force a compacting checkpoint
   convert      <in-file> <out-file>
 
 formats by extension: .txt/.el/.edgelist (text), .snap, .mtx, .csr (binary), .edges (stream)
@@ -54,6 +60,7 @@ pub fn run(args: &[String]) -> crate::Result<String> {
         "analyze" => analyze(&flags),
         "serve" => serve(&flags),
         "query" => query(&flags),
+        "recover" => recover(&flags),
         "convert" => convert(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(CliError::Usage(format!(
@@ -362,18 +369,38 @@ fn analyze(flags: &Flags) -> crate::Result<String> {
     Ok(out)
 }
 
-/// Load a graph, label it (randomly, like `embed`), and stand up a
-/// one-graph serving engine named `"g"`.
-fn build_engine(
+/// The durability policy the flags describe, if `--data-dir` was given.
+fn durability_from_flags(flags: &Flags) -> crate::Result<Option<gee_serve::Durability>> {
+    let Some(dir) = flags.get("data-dir") else {
+        return Ok(None);
+    };
+    let sync = match flags.get("sync").unwrap_or("always") {
+        "always" => gee_serve::SyncPolicy::Always,
+        "never" => gee_serve::SyncPolicy::Never,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --sync {other:?} (always|never)"
+            )))
+        }
+    };
+    let checkpoint_every: u64 = flags.get_parsed("checkpoint-every", 64u64)?;
+    Ok(Some(gee_serve::Durability::Wal {
+        dir: std::path::PathBuf::from(dir),
+        sync,
+        checkpoint_every,
+    }))
+}
+
+/// Load the `--graph` file and label it (randomly, like `embed`).
+fn load_labeled_graph(
     flags: &Flags,
     classes_flag: &str,
     default_classes: usize,
-) -> crate::Result<(gee_serve::Engine, usize)> {
+) -> crate::Result<(gee_graph::EdgeList, Labels)> {
     let graph_path = flags.require("graph")?.to_string();
     let k: usize = flags.get_parsed(classes_flag, default_classes)?;
     let labeled: f64 = flags.get_parsed("labeled", 0.1)?;
     let seed: u64 = flags.get_parsed("seed", 42)?;
-    let shards: usize = flags.get_parsed("shards", 4)?;
     let el = read_graph(Path::new(&graph_path))?;
     let labels = Labels::from_options_with_k(
         &gee_gen::random_labels(
@@ -386,9 +413,64 @@ fn build_engine(
         ),
         k,
     );
-    let registry = std::sync::Arc::new(gee_serve::Registry::new(shards));
-    registry.register("g", &el, &labels);
-    Ok((gee_serve::Engine::new(registry), el.num_vertices()))
+    Ok((el, labels))
+}
+
+/// Stand up a one-graph serving engine named `"g"`. Without
+/// `--data-dir` the registry is in-memory and `--graph` is required;
+/// with it, the data directory is recovered first and `--graph` is only
+/// needed (and only read) when no graph `"g"` was recovered.
+fn build_engine(
+    flags: &Flags,
+    classes_flag: &str,
+    default_classes: usize,
+) -> crate::Result<(gee_serve::Engine, usize)> {
+    let shards: usize = flags.get_parsed("shards", 4)?;
+    let engine = match durability_from_flags(flags)? {
+        None => gee_serve::Engine::new(std::sync::Arc::new(gee_serve::Registry::new(shards))),
+        Some(durability) => gee_serve::Engine::open(shards, durability)?,
+    };
+    if let Ok(snap) = engine.registry().snapshot("g") {
+        eprintln!(
+            "recovered \"g\" at epoch {} from {}",
+            snap.epoch,
+            flags.get("data-dir").unwrap_or("?")
+        );
+        return Ok((engine, snap.embedding.num_vertices()));
+    }
+    let (el, labels) = load_labeled_graph(flags, classes_flag, default_classes)?;
+    engine.registry().register("g", &el, &labels)?;
+    Ok((engine, el.num_vertices()))
+}
+
+/// `recover`: open a durable serving directory (latest checkpoint + WAL
+/// tail replay) and report what came back. `--checkpoint true` then
+/// forces a compacting checkpoint, retiring covered WAL segments.
+fn recover(flags: &Flags) -> crate::Result<String> {
+    let dir = flags.require("data-dir")?.to_string();
+    let shards: usize = flags.get_parsed("shards", 4)?;
+    let durability = durability_from_flags(flags)?.expect("--data-dir was required");
+    let registry = gee_serve::Registry::open(shards, durability)?;
+    let names = registry.graph_names();
+    let mut out = String::new();
+    writeln!(out, "recovered {} graph(s) from {dir}", names.len()).unwrap();
+    for name in &names {
+        let snap = registry.snapshot(name)?;
+        writeln!(
+            out,
+            "  {name:?}: epoch {} | {} vertices × {} dims, {} labeled",
+            snap.epoch,
+            snap.embedding.num_vertices(),
+            snap.embedding.dim(),
+            snap.num_labeled(),
+        )
+        .unwrap();
+    }
+    if flags.get_parsed("checkpoint", false)? {
+        let lsn = registry.checkpoint_now()?.expect("registry opened durable");
+        writeln!(out, "checkpoint written at lsn {lsn}; WAL compacted").unwrap();
+    }
+    Ok(out)
 }
 
 fn parse_vertex_list(raw: &str) -> crate::Result<Vec<u32>> {
@@ -1150,6 +1232,115 @@ mod tests {
         server.join().unwrap().unwrap();
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
+    fn serve_data_dir_survives_restart_and_recover_reports() {
+        let graph = tmp("gee_cli_durable.txt");
+        let script = tmp("gee_cli_durable.script");
+        let data_dir = tmp("gee_cli_durable_data");
+        std::fs::remove_dir_all(&data_dir).ok();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "90",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        std::fs::write(&script, "insert 0 1 2.5\nlabel 3 1\nstats\n").unwrap();
+        let out = run(&sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--script",
+            &script,
+            "--k",
+            "3",
+            "--labeled",
+            "0.5",
+            "--data-dir",
+            &data_dir,
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 2"), "{out}");
+        // Restart without --graph: the graph comes back from the WAL.
+        std::fs::write(&script, "stats\nlabel 5 2\n").unwrap();
+        let out = run(&sv(&[
+            "serve",
+            "--script",
+            &script,
+            "--data-dir",
+            &data_dir,
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 2 | 90 vertices"), "{out}");
+        // recover: reports the state (now at epoch 3 after the label).
+        let out = run(&sv(&["recover", "--data-dir", &data_dir])).unwrap();
+        assert!(out.contains("recovered 1 graph(s)"), "{out}");
+        assert!(out.contains("\"g\": epoch 3 | 90 vertices"), "{out}");
+        // --checkpoint false must NOT compact.
+        let out = run(&sv(&[
+            "recover",
+            "--data-dir",
+            &data_dir,
+            "--checkpoint",
+            "false",
+        ]))
+        .unwrap();
+        assert!(!out.contains("WAL compacted"), "{out}");
+        // recover --checkpoint true compacts the WAL.
+        let out = run(&sv(&[
+            "recover",
+            "--data-dir",
+            &data_dir,
+            "--checkpoint",
+            "true",
+        ]))
+        .unwrap();
+        assert!(out.contains("WAL compacted"), "{out}");
+        // Damage the checkpoint: recovery must fail typed, not panic.
+        let ckpt = std::fs::read_dir(&data_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.to_string_lossy().ends_with(".ckpt"))
+            .expect("a checkpoint exists after --checkpoint true");
+        let mut bytes = std::fs::read(&ckpt).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x11;
+        std::fs::write(&ckpt, &bytes).unwrap();
+        match run(&sv(&["recover", "--data-dir", &data_dir])) {
+            Err(CliError::Serve(e)) => {
+                assert!(matches!(e, gee_serve::ServeError::Corrupt { .. }), "{e}")
+            }
+            other => panic!("expected typed Corrupt error, got {other:?}"),
+        }
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&script).ok();
+        std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    #[test]
+    fn recover_requires_data_dir_and_rejects_bad_sync() {
+        assert!(matches!(run(&sv(&["recover"])), Err(CliError::Usage(_))));
+        let data_dir = tmp("gee_cli_badsync_data");
+        let r = run(&sv(&[
+            "recover",
+            "--data-dir",
+            &data_dir,
+            "--sync",
+            "sometimes",
+        ]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&data_dir).ok();
     }
 
     #[test]

@@ -29,6 +29,35 @@ use gee_graph::{EdgeList, VertexId, Weight};
 use crate::embedding::Embedding;
 use crate::labels::Labels;
 
+/// The complete internal state of a [`DynamicGee`] — every field that
+/// determines its future behavior, exposed so a checkpoint can persist
+/// the writer *bit-exactly* and restore it with
+/// [`DynamicGee::from_state`].
+///
+/// Bit-exactness matters: the accumulator `Ẑ` is a floating-point sum
+/// whose value depends on the order contributions arrived, and the
+/// adjacency mirror's entry order determines which duplicate edge a
+/// future `remove_edge` takes and the order `set_label` walks incident
+/// edges. Persisting the raw fields (f64 bit patterns, adjacency order
+/// intact) is therefore the only representation from which a restarted
+/// writer behaves identically to one that never stopped — re-deriving
+/// the state from an edge list would change summation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicGeeState {
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Class universe size `K`.
+    pub num_classes: usize,
+    /// Unnormalized accumulator `Ẑ`, row-major `n × K`.
+    pub zhat: Vec<f64>,
+    /// Label per vertex (`-1` = unlabeled), length `n`.
+    pub labels: Vec<i32>,
+    /// Labeled-vertex count per class, length `K`.
+    pub class_counts: Vec<u64>,
+    /// Incident-edge mirror in insertion order, length `n`.
+    pub adjacency: Vec<Vec<(VertexId, Weight)>>,
+}
+
 /// A GEE embedding maintained under streaming graph/label updates.
 ///
 /// The class universe `K` is fixed at construction; labels move within
@@ -221,6 +250,97 @@ impl DynamicGee {
             }
         }
         EdgeList::new_unchecked(self.n, edges)
+    }
+
+    /// Export the complete writer state for checkpointing. The returned
+    /// [`DynamicGeeState`] round-trips through [`DynamicGee::from_state`]
+    /// bit-exactly.
+    pub fn export_state(&self) -> DynamicGeeState {
+        DynamicGeeState {
+            num_vertices: self.n,
+            num_classes: self.k,
+            zhat: self.zhat.clone(),
+            labels: self.y.clone(),
+            class_counts: self.counts.clone(),
+            adjacency: self.adj.clone(),
+        }
+    }
+
+    /// Rebuild a writer from an exported state, validating every
+    /// structural invariant (shapes, label ranges, class-count histogram,
+    /// adjacency-mirror symmetry) so a corrupted checkpoint yields a
+    /// typed error instead of a writer that panics later.
+    pub fn from_state(state: DynamicGeeState) -> Result<Self, String> {
+        let DynamicGeeState {
+            num_vertices: n,
+            num_classes: k,
+            zhat,
+            labels: y,
+            class_counts: counts,
+            adjacency: adj,
+        } = state;
+        if zhat.len() != n.checked_mul(k).ok_or("n × K overflows")? {
+            return Err(format!("zhat has {} entries, want {}", zhat.len(), n * k));
+        }
+        if y.len() != n {
+            return Err(format!("labels cover {} of {n} vertices", y.len()));
+        }
+        if counts.len() != k {
+            return Err(format!("{} class counts for K={k}", counts.len()));
+        }
+        if adj.len() != n {
+            return Err(format!("adjacency covers {} of {n} vertices", adj.len()));
+        }
+        let mut histogram = vec![0u64; k];
+        for (v, &label) in y.iter().enumerate() {
+            if label >= 0 {
+                *histogram
+                    .get_mut(label as usize)
+                    .ok_or_else(|| format!("vertex {v} labeled {label}, K={k}"))? += 1;
+            } else if label != -1 {
+                return Err(format!("vertex {v} has invalid raw label {label}"));
+            }
+        }
+        if histogram != counts {
+            return Err("class counts disagree with the label histogram".into());
+        }
+        // The mirror invariant: entry (v, w) in adj[u] pairs with entry
+        // (u, w) in adj[v] (self-loops pair within their own list), which
+        // is what remove_edge's two-sided removal relies on.
+        let mut pair_balance: std::collections::HashMap<(u32, u32, u64), i64> =
+            std::collections::HashMap::new();
+        for (u, list) in adj.iter().enumerate() {
+            let u = u as u32;
+            for &(v, w) in list {
+                if v as usize >= n {
+                    return Err(format!("adjacency of {u} references vertex {v}, n={n}"));
+                }
+                if u == v {
+                    *pair_balance.entry((u, u, w.to_bits())).or_default() += 1;
+                } else {
+                    let key = (u.min(v), u.max(v), w.to_bits());
+                    *pair_balance.entry(key).or_default() += if u < v { 1 } else { -1 };
+                }
+            }
+        }
+        for ((u, v, _), balance) in &pair_balance {
+            let ok = if u == v {
+                balance % 2 == 0
+            } else {
+                *balance == 0
+            };
+            if !ok {
+                return Err(format!("adjacency mirror out of sync on edge ({u}, {v})"));
+            }
+        }
+        Ok(DynamicGee {
+            n,
+            k,
+            zhat,
+            y,
+            counts,
+            adj,
+        })
     }
 
     /// Materialize the normalized embedding `Z(u,c) = Ẑ(u,c)/count(c)`
@@ -445,6 +565,68 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn state_export_round_trips_bit_exactly() {
+        let mut dg = setup(60, 400, 53);
+        dg.insert_edge(1, 2, 3.25);
+        dg.set_label(4, Some(2));
+        let state = dg.export_state();
+        let mut restored = DynamicGee::from_state(state.clone()).unwrap();
+        assert_eq!(restored.export_state(), state);
+        let a: Vec<u64> = dg
+            .embedding()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        let b: Vec<u64> = restored
+            .embedding()
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(a, b, "restored embedding must match bit-for-bit");
+        // The restored writer behaves identically under further updates.
+        dg.set_label(1, Some(0));
+        restored.set_label(1, Some(0));
+        assert!(dg.remove_edge(1, 2, 3.25));
+        assert!(restored.remove_edge(1, 2, 3.25));
+        assert_eq!(restored.export_state(), dg.export_state());
+    }
+
+    #[test]
+    fn from_state_rejects_structural_corruption() {
+        let dg = setup(20, 60, 59);
+        let good = dg.export_state();
+        // Shape violations.
+        let mut s = good.clone();
+        s.zhat.pop();
+        assert!(DynamicGee::from_state(s).is_err());
+        let mut s = good.clone();
+        s.labels.push(0);
+        assert!(DynamicGee::from_state(s).is_err());
+        let mut s = good.clone();
+        s.class_counts.push(0);
+        assert!(DynamicGee::from_state(s).is_err());
+        // Label out of the class universe.
+        let mut s = good.clone();
+        s.labels[0] = 99;
+        assert!(DynamicGee::from_state(s).is_err());
+        // Counts disagreeing with the histogram.
+        let mut s = good.clone();
+        s.class_counts[0] = s.class_counts[0].wrapping_add(1);
+        assert!(DynamicGee::from_state(s).is_err());
+        // One-sided adjacency entry (mirror broken).
+        let mut s = good.clone();
+        s.adjacency[0].push((1, 777.0));
+        assert!(DynamicGee::from_state(s).is_err());
+        // Adjacency referencing a vertex beyond n.
+        let mut s = good.clone();
+        s.adjacency[0].push((19_999, 1.0));
+        assert!(DynamicGee::from_state(s).is_err());
+        assert!(DynamicGee::from_state(good).is_ok());
     }
 
     #[test]

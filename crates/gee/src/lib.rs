@@ -46,7 +46,7 @@ pub mod serial_reference;
 pub mod streaming;
 pub mod unsupervised;
 
-pub use dynamic::DynamicGee;
+pub use dynamic::{DynamicGee, DynamicGeeState};
 pub use embedding::Embedding;
 pub use gee_ligra::AtomicsMode;
 pub use labels::Labels;

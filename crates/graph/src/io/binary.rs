@@ -17,6 +17,7 @@
 
 use std::io::{Read, Write};
 
+use super::frame::read_u64;
 use crate::{CsrGraph, GraphError};
 
 const MAGIC: &[u8; 8] = b"GEECSR1\0";
@@ -91,12 +92,6 @@ pub fn read<R: Read>(mut r: R) -> crate::Result<CsrGraph> {
         None
     };
     Ok(CsrGraph::from_raw_parts(n, offsets, targets, weights))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> crate::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 #[cfg(test)]

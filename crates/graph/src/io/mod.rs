@@ -5,9 +5,13 @@
 //!   pairs, arbitrary sparse vertex ids which are compacted on load).
 //! * [`binary`] — a compact little-endian binary CSR dump for fast reload of
 //!   generated benchmark graphs.
+//! * [`frame`] — length-prefixed, CRC-checksummed binary frames and the
+//!   little-endian scalar primitives shared by [`binary`] and the
+//!   `gee-serve` durability subsystem (WAL + checkpoints).
 
 pub mod binary;
 pub mod edge_stream;
 pub mod edgelist;
+pub mod frame;
 pub mod mtx;
 pub mod snap;

@@ -106,6 +106,21 @@ impl Engine {
         Engine { registry }
     }
 
+    /// Stand up an engine over a freshly opened registry — with
+    /// [`Durability::Wal`](crate::Durability::Wal) this recovers any
+    /// existing state in the data directory (latest checkpoint + WAL
+    /// tail replay) before serving. See
+    /// [`Registry::open`](crate::Registry::open).
+    pub fn open(
+        default_shards: usize,
+        durability: crate::Durability,
+    ) -> Result<Engine, ServeError> {
+        Ok(Engine::new(Arc::new(Registry::open(
+            default_shards,
+            durability,
+        )?)))
+    }
+
     /// The underlying registry (for registration and admin).
     pub fn registry(&self) -> &Registry {
         &self.registry
@@ -443,7 +458,7 @@ mod tests {
             5,
         );
         let reg = Registry::new(shards);
-        reg.register("g", &el, &labels);
+        reg.register("g", &el, &labels).unwrap();
         (Engine::new(Arc::new(reg)), n)
     }
 
@@ -693,7 +708,8 @@ mod tests {
             "bare",
             &el,
             &gee_core::Labels::from_options_with_k(&vec![None; 30], 3),
-        );
+        )
+        .unwrap();
         let engine = Engine::new(Arc::new(reg));
         assert_eq!(
             engine.execute(

@@ -1,5 +1,5 @@
 //! Multi-graph store: named graphs, their write state, and published
-//! epoch snapshots.
+//! epoch snapshots — optionally durable.
 //!
 //! Each registered graph owns
 //!
@@ -14,17 +14,45 @@
 //! per edge op and O(deg) per label move in the writer, and publishing a
 //! new epoch is an O(nK) shard-parallel materialization — never a full
 //! O(s) edge pass.
+//!
+//! # Durability
+//!
+//! A registry opened with [`Durability::Wal`] writes every mutation —
+//! [`Registry::register`] (the full epoch-0 input), each
+//! [`Registry::apply_updates`] batch, [`Registry::deregister`] — to a
+//! write-ahead log ([`crate::wal`]) *before* mutating in-memory state;
+//! the append (fsynced under [`SyncPolicy::Always`](crate::SyncPolicy::Always)) is the commit
+//! point. Every `checkpoint_every` committed records (batches,
+//! registrations, deregistrations) the full writer state is
+//! checkpointed ([`crate::checkpoint`]) and fully-covered WAL segments
+//! are retired. [`Registry::open`] recovers by loading the latest
+//! checkpoint and replaying the WAL tail, arriving at writers and
+//! snapshots **bit-identical** to the pre-crash process (same
+//! floating-point accumulation order, same adjacency order, same
+//! epochs) — `tests/durability.rs` proves it query-by-query.
+//!
+//! Durable mutations serialize on one log lock (WAL order must equal
+//! apply order); reads never touch it. `queries_served` is a read-side
+//! counter and intentionally resets on recovery; `updates_applied`
+//! survives (it is recomputed by replay and carried by checkpoints).
+//! A deregistered graph's durable lineage is dropped from the log at the
+//! next checkpoint compaction; until then its records remain but replay
+//! removes the graph, so re-registering the same name starts a fresh
+//! epoch-0 lineage either way.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use gee_core::{DynamicGee, Embedding, Labels};
-use gee_graph::{EdgeList, VertexId, Weight};
+use gee_graph::{Edge, EdgeList, VertexId, Weight};
 use serde::{Deserialize, Serialize};
 
+use crate::checkpoint::{self, Checkpoint, GraphCheckpoint};
 use crate::shard::ShardLayout;
 use crate::snapshot::Snapshot;
+use crate::wal::{self, Durability, WalRecord, WalWriter};
 use crate::ServeError;
 
 /// One streaming graph/label mutation. Part of the wire contract.
@@ -41,6 +69,9 @@ pub enum Update {
 /// Per-graph serving state.
 pub(crate) struct Entry {
     pub(crate) layout: ShardLayout,
+    /// Shard count as requested at registration (the layout clamps it;
+    /// checkpoints persist the request so restore re-clamps identically).
+    requested_shards: u32,
     writer: Mutex<DynamicGee>,
     snapshot: RwLock<Arc<Snapshot>>,
     pub(crate) queries_served: AtomicU64,
@@ -57,24 +88,194 @@ impl Entry {
     }
 }
 
+/// The durable half of a registry: the WAL writer plus checkpoint
+/// cadence. One lock serializes all durable mutations so WAL order is
+/// apply order.
+struct DurableLog {
+    writer: WalWriter,
+    dir: PathBuf,
+    checkpoint_every: u64,
+    records_since_checkpoint: u64,
+    /// Held for the life of the registry; releases the data-dir lock
+    /// file on drop.
+    _lock: wal::DirLock,
+}
+
+impl DurableLog {
+    /// Snapshot every graph's writer state and write a checkpoint at the
+    /// current WAL position, then rotate the log and retire covered
+    /// segments and older checkpoints. Caller holds the log lock, so no
+    /// durable mutation can interleave.
+    fn take_checkpoint(
+        &mut self,
+        entries: &HashMap<String, Arc<Entry>>,
+    ) -> Result<u64, ServeError> {
+        let lsn = self.writer.next_lsn();
+        let mut graphs: Vec<GraphCheckpoint> = entries
+            .iter()
+            .map(|(name, entry)| {
+                let writer = entry.writer.lock().expect("writer lock poisoned");
+                GraphCheckpoint {
+                    name: name.clone(),
+                    shards: entry.requested_shards,
+                    epoch: entry.snapshot().epoch,
+                    updates_applied: entry.updates_applied.load(Ordering::Relaxed),
+                    state: writer.export_state(),
+                }
+            })
+            .collect();
+        graphs.sort_by(|a, b| a.name.cmp(&b.name));
+        checkpoint::save(&self.dir, &Checkpoint { lsn, graphs })?;
+        self.writer.rotate()?;
+        checkpoint::retire_older_than(&self.dir, lsn)?;
+        self.records_since_checkpoint = 0;
+        Ok(lsn)
+    }
+}
+
 /// Owner of all served graphs.
 pub struct Registry {
     entries: RwLock<HashMap<String, Arc<Entry>>>,
     default_shards: usize,
+    durable: Option<Mutex<DurableLog>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("graphs", &self.graph_names())
+            .field("default_shards", &self.default_shards)
+            .field("durable", &self.durable.is_some())
+            .finish()
+    }
 }
 
 impl Registry {
-    /// A registry whose graphs default to `default_shards` shards.
+    /// An in-memory registry whose graphs default to `default_shards`
+    /// shards (equivalent to [`Registry::open`] with
+    /// [`Durability::None`], which cannot fail).
     pub fn new(default_shards: usize) -> Self {
         Registry {
             entries: RwLock::new(HashMap::new()),
             default_shards: default_shards.max(1),
+            durable: None,
         }
+    }
+
+    /// Open a registry under the given durability policy. With
+    /// [`Durability::Wal`] this **recovers**: the data directory is
+    /// created if missing, the latest valid checkpoint is loaded, the
+    /// WAL tail is replayed on top (a torn final record — a crash
+    /// mid-append — is truncated away), and the registry resumes exactly
+    /// where the last committed batch left it. Damaged durable state
+    /// (checksum mismatches, non-tiling segments, retired history)
+    /// surfaces as [`ServeError::Corrupt`]; it never panics and never
+    /// silently serves a shortened history.
+    pub fn open(default_shards: usize, durability: Durability) -> Result<Self, ServeError> {
+        let Durability::Wal {
+            dir,
+            sync,
+            checkpoint_every,
+        } = durability
+        else {
+            return Ok(Self::new(default_shards));
+        };
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| ServeError::storage(format!("creating {}: {e}", dir.display())))?;
+        // One process at a time: concurrent writers would interleave
+        // frames in the same segment and destroy the log.
+        let lock = wal::DirLock::acquire(&dir)?;
+        // A crash between a checkpoint's temp write and its rename can
+        // orphan a state-sized *.tmp file; nothing else ever reads one.
+        checkpoint::sweep_orphaned_temps(&dir)?;
+        let loaded = checkpoint::load_latest(&dir)?;
+        let min_lsn = loaded.as_ref().map_or(0, |(c, _)| c.lsn);
+        let scan = wal::scan(&dir, min_lsn)?;
+        let mut entries: HashMap<String, Arc<Entry>> = HashMap::new();
+        if let Some((ckpt, path)) = loaded {
+            for g in ckpt.graphs {
+                let writer =
+                    DynamicGee::from_state(g.state).map_err(|detail| ServeError::Corrupt {
+                        path: path.display().to_string(),
+                        detail: format!("graph {:?}: {detail}", g.name),
+                    })?;
+                entries.insert(
+                    g.name,
+                    Arc::new(make_entry(writer, g.shards, g.epoch, g.updates_applied)),
+                );
+            }
+        }
+        for (lsn, record) in &scan.records {
+            if *lsn < min_lsn {
+                continue;
+            }
+            replay(&mut entries, record).map_err(|detail| ServeError::Corrupt {
+                path: dir.display().to_string(),
+                detail: format!("replaying lsn {lsn}: {detail}"),
+            })?;
+        }
+        let writer = WalWriter::open(&dir, sync, &scan)?;
+        Ok(Registry {
+            entries: RwLock::new(entries),
+            default_shards: default_shards.max(1),
+            durable: Some(Mutex::new(DurableLog {
+                writer,
+                dir,
+                checkpoint_every,
+                records_since_checkpoint: 0,
+                _lock: lock,
+            })),
+        })
+    }
+
+    /// Whether this registry persists its state.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// The durable data directory, if any.
+    pub fn data_dir(&self) -> Option<PathBuf> {
+        self.durable
+            .as_ref()
+            .map(|d| d.lock().expect("log lock poisoned").dir.clone())
+    }
+
+    /// Arm a WAL crash point for the crash-recovery harness: the next
+    /// durable append writes a chosen prefix of its record, flushes it,
+    /// and fails — the on-disk outcome of a process killed mid-append.
+    /// No-op on an in-memory registry.
+    pub fn inject_wal_fault(&self, fault: crate::wal::FaultPoint) {
+        if let Some(durable) = &self.durable {
+            durable
+                .lock()
+                .expect("log lock poisoned")
+                .writer
+                .inject_fault(fault);
+        }
+    }
+
+    /// Force a checkpoint now (compacting the WAL). Returns the covered
+    /// LSN, or `None` on an in-memory registry.
+    pub fn checkpoint_now(&self) -> Result<Option<u64>, ServeError> {
+        let Some(durable) = &self.durable else {
+            return Ok(None);
+        };
+        let mut log = durable.lock().expect("log lock poisoned");
+        let entries = self.entries.read().expect("registry lock poisoned").clone();
+        log.take_checkpoint(&entries).map(Some)
     }
 
     /// Register `name`, computing the epoch-0 embedding from the edge
     /// list and labels. Replaces any previous graph of the same name.
-    pub fn register(&self, name: &str, el: &EdgeList, labels: &Labels) -> Arc<Snapshot> {
+    /// On a durable registry the full input is WAL-logged (commit point)
+    /// before the graph becomes visible; the only error source is that
+    /// durable append.
+    pub fn register(
+        &self,
+        name: &str,
+        el: &EdgeList,
+        labels: &Labels,
+    ) -> Result<Arc<Snapshot>, ServeError> {
         self.register_with_shards(name, el, labels, self.default_shards)
     }
 
@@ -85,17 +286,48 @@ impl Registry {
         el: &EdgeList,
         labels: &Labels,
         shards: usize,
+    ) -> Result<Arc<Snapshot>, ServeError> {
+        assert_eq!(
+            el.num_vertices(),
+            labels.len(),
+            "labels must cover every vertex"
+        );
+        let log = self
+            .durable
+            .as_ref()
+            .map(|d| d.lock().expect("log lock poisoned"));
+        if let Some(mut log) = log {
+            log.writer.append(&WalRecord::Register {
+                name: name.to_string(),
+                shards: shards.min(u32::MAX as usize) as u32,
+                num_vertices: el.num_vertices() as u64,
+                num_classes: labels.num_classes() as u32,
+                labels: labels.raw_slice().to_vec(),
+                edges: el.edges().iter().map(|e| (e.u, e.v, e.w)).collect(),
+            })?;
+            let snapshot = self.register_in_memory(name, el, labels, shards);
+            self.bump_and_maybe_checkpoint(&mut log)?;
+            Ok(snapshot)
+        } else {
+            Ok(self.register_in_memory(name, el, labels, shards))
+        }
+    }
+
+    fn register_in_memory(
+        &self,
+        name: &str,
+        el: &EdgeList,
+        labels: &Labels,
+        shards: usize,
     ) -> Arc<Snapshot> {
         let writer = DynamicGee::new(el, labels);
-        let layout = ShardLayout::new(writer.num_vertices(), shards);
-        let snapshot = Arc::new(publish(&writer, &layout, 0));
-        let entry = Arc::new(Entry {
-            layout,
-            writer: Mutex::new(writer),
-            snapshot: RwLock::new(snapshot.clone()),
-            queries_served: AtomicU64::new(0),
-            updates_applied: AtomicU64::new(0),
-        });
+        let entry = Arc::new(make_entry(
+            writer,
+            shards.min(u32::MAX as usize) as u32,
+            0,
+            0,
+        ));
+        let snapshot = entry.snapshot();
         self.entries
             .write()
             .expect("registry lock poisoned")
@@ -103,13 +335,50 @@ impl Registry {
         snapshot
     }
 
-    /// Drop a graph. Returns `false` if it was not registered.
-    pub fn deregister(&self, name: &str) -> bool {
-        self.entries
-            .write()
-            .expect("registry lock poisoned")
-            .remove(name)
-            .is_some()
+    /// Drop a graph. Returns `Ok(false)` if it was not registered. On a
+    /// durable registry the removal is WAL-logged, so recovery drops the
+    /// graph too, and its durable lineage (Register/Batch records) is
+    /// physically retired at the next checkpoint compaction.
+    /// Re-registering the same name afterwards starts a fresh epoch-0
+    /// lineage.
+    pub fn deregister(&self, name: &str) -> Result<bool, ServeError> {
+        // The log lock must be held across the in-memory removal (as
+        // register/apply_updates hold it across their mutations):
+        // releasing it in between would let a concurrent durable write
+        // log a Batch/Register *after* the Deregister record while the
+        // graph is still visible, and replay of that order fails.
+        let log = self
+            .durable
+            .as_ref()
+            .map(|d| d.lock().expect("log lock poisoned"));
+        if let Some(mut log) = log {
+            let present = self
+                .entries
+                .read()
+                .expect("registry lock poisoned")
+                .contains_key(name);
+            if !present {
+                return Ok(false);
+            }
+            log.writer.append(&WalRecord::Deregister {
+                name: name.to_string(),
+            })?;
+            let removed = self
+                .entries
+                .write()
+                .expect("registry lock poisoned")
+                .remove(name)
+                .is_some();
+            self.bump_and_maybe_checkpoint(&mut log)?;
+            Ok(removed)
+        } else {
+            Ok(self
+                .entries
+                .write()
+                .expect("registry lock poisoned")
+                .remove(name)
+                .is_some())
+        }
     }
 
     /// Names of registered graphs, sorted.
@@ -148,84 +417,213 @@ impl Registry {
     /// Returns `(applied, snapshot)`; `applied` counts updates that took
     /// effect (`RemoveEdge` of a missing edge is a no-op and doesn't
     /// count). An empty batch is a no-op: it returns the currently
-    /// published snapshot without publishing a new epoch.
+    /// published snapshot without publishing a new epoch (and writes
+    /// nothing to the WAL).
+    ///
+    /// On a durable registry the batch is validated, WAL-appended
+    /// (fsynced under [`SyncPolicy::Always`](crate::SyncPolicy::Always) — the commit point), then
+    /// applied; a [`ServeError::Storage`] means the batch did **not**
+    /// commit. If the automatic post-commit checkpoint fails, its
+    /// `Storage` error is returned even though the batch itself is
+    /// durable and applied — the next successful batch retries the
+    /// checkpoint.
     pub fn apply_updates(
         &self,
         name: &str,
         updates: &[Update],
     ) -> Result<(usize, Arc<Snapshot>), ServeError> {
+        // On a durable registry the entry must be resolved *under* the
+        // log lock: resolving first would let a concurrent deregister or
+        // re-register commit its record between our lookup and our
+        // append, making the WAL order diverge from the apply order (a
+        // Batch after a Deregister fails replay).
+        let log = self
+            .durable
+            .as_ref()
+            .map(|d| d.lock().expect("log lock poisoned"));
         let entry = self.entry(name)?;
         if updates.is_empty() {
             return Ok((0, entry.snapshot()));
         }
         let mut writer = entry.writer.lock().expect("writer lock poisoned");
-        let n = writer.num_vertices();
-        let k = writer.dim();
-        // Validate the whole batch up front so a mid-batch failure can't
-        // leave the writer half-mutated.
-        for u in updates {
-            match *u {
-                Update::InsertEdge { u, v, w } | Update::RemoveEdge { u, v, w } => {
-                    for x in [u, v] {
-                        if x as usize >= n {
-                            return Err(ServeError::VertexOutOfRange {
-                                vertex: x,
-                                num_vertices: n,
-                            });
-                        }
-                    }
-                    // A NaN/Inf weight would poison every distance the
-                    // embedding later feeds — and JSON cannot carry it,
-                    // so accepting it in-process would break Engine ==
-                    // Client equivalence.
-                    if !w.is_finite() {
-                        return Err(ServeError::NonFinite {
-                            param: format!("weight of edge ({u}, {v})"),
-                        });
-                    }
-                }
-                Update::SetLabel { v, label } => {
-                    if v as usize >= n {
+        validate_batch(&writer, updates)?;
+        if let Some(mut log) = log {
+            log.writer.append(&WalRecord::Batch {
+                name: name.to_string(),
+                updates: updates.to_vec(),
+            })?;
+            let result = apply_batch(&entry, &mut writer, updates);
+            drop(writer);
+            self.bump_and_maybe_checkpoint(&mut log)?;
+            Ok(result)
+        } else {
+            Ok(apply_batch(&entry, &mut writer, updates))
+        }
+    }
+
+    /// Count one committed record toward the checkpoint cadence and
+    /// compact when it is reached. Caller holds the log lock.
+    fn bump_and_maybe_checkpoint(&self, log: &mut DurableLog) -> Result<(), ServeError> {
+        log.records_since_checkpoint += 1;
+        if log.checkpoint_every > 0 && log.records_since_checkpoint >= log.checkpoint_every {
+            let entries = self.entries.read().expect("registry lock poisoned").clone();
+            log.take_checkpoint(&entries)?;
+        }
+        Ok(())
+    }
+}
+
+/// Build an entry (and publish its snapshot) from a writer at `epoch`.
+fn make_entry(
+    writer: DynamicGee,
+    requested_shards: u32,
+    epoch: u64,
+    updates_applied: u64,
+) -> Entry {
+    let layout = ShardLayout::new(writer.num_vertices(), requested_shards as usize);
+    let snapshot = Arc::new(publish(&writer, &layout, epoch));
+    Entry {
+        layout,
+        requested_shards,
+        writer: Mutex::new(writer),
+        snapshot: RwLock::new(snapshot),
+        queries_served: AtomicU64::new(0),
+        updates_applied: AtomicU64::new(updates_applied),
+    }
+}
+
+/// Check a batch against writer dimensions without mutating anything, so
+/// a mid-batch failure can't leave the writer half-mutated (and, on a
+/// durable registry, so an invalid batch never reaches the WAL).
+fn validate_batch(writer: &DynamicGee, updates: &[Update]) -> Result<(), ServeError> {
+    let n = writer.num_vertices();
+    let k = writer.dim();
+    for u in updates {
+        match *u {
+            Update::InsertEdge { u, v, w } | Update::RemoveEdge { u, v, w } => {
+                for x in [u, v] {
+                    if x as usize >= n {
                         return Err(ServeError::VertexOutOfRange {
-                            vertex: v,
+                            vertex: x,
                             num_vertices: n,
                         });
                     }
-                    if let Some(c) = label {
-                        if c as usize >= k {
-                            return Err(ServeError::ClassOutOfRange {
-                                class: c,
-                                num_classes: k,
-                            });
-                        }
+                }
+                // A NaN/Inf weight would poison every distance the
+                // embedding later feeds — and JSON cannot carry it,
+                // so accepting it in-process would break Engine ==
+                // Client equivalence.
+                if !w.is_finite() {
+                    return Err(ServeError::NonFinite {
+                        param: format!("weight of edge ({u}, {v})"),
+                    });
+                }
+            }
+            Update::SetLabel { v, label } => {
+                if v as usize >= n {
+                    return Err(ServeError::VertexOutOfRange {
+                        vertex: v,
+                        num_vertices: n,
+                    });
+                }
+                if let Some(c) = label {
+                    if c as usize >= k {
+                        return Err(ServeError::ClassOutOfRange {
+                            class: c,
+                            num_classes: k,
+                        });
                     }
                 }
             }
         }
-        let mut applied = 0usize;
-        for u in updates {
-            match *u {
-                Update::InsertEdge { u, v, w } => {
-                    writer.insert_edge(u, v, w);
-                    applied += 1;
-                }
-                Update::RemoveEdge { u, v, w } => {
-                    applied += usize::from(writer.remove_edge(u, v, w));
-                }
-                Update::SetLabel { v, label } => {
-                    writer.set_label(v, label);
-                    applied += 1;
-                }
+    }
+    Ok(())
+}
+
+/// Apply a validated batch and publish the next epoch. Shared verbatim by
+/// the live path and WAL replay, which is what makes replay bit-exact.
+fn apply_batch(
+    entry: &Entry,
+    writer: &mut DynamicGee,
+    updates: &[Update],
+) -> (usize, Arc<Snapshot>) {
+    let mut applied = 0usize;
+    for u in updates {
+        match *u {
+            Update::InsertEdge { u, v, w } => {
+                writer.insert_edge(u, v, w);
+                applied += 1;
+            }
+            Update::RemoveEdge { u, v, w } => {
+                applied += usize::from(writer.remove_edge(u, v, w));
+            }
+            Update::SetLabel { v, label } => {
+                writer.set_label(v, label);
+                applied += 1;
             }
         }
-        let next_epoch = entry.snapshot().epoch + 1;
-        let snapshot = Arc::new(publish(&writer, &entry.layout, next_epoch));
-        *entry.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
-        entry
-            .updates_applied
-            .fetch_add(applied as u64, Ordering::Relaxed);
-        drop(writer);
-        Ok((applied, snapshot))
+    }
+    let next_epoch = entry.snapshot().epoch + 1;
+    let snapshot = Arc::new(publish(writer, &entry.layout, next_epoch));
+    *entry.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
+    entry
+        .updates_applied
+        .fetch_add(applied as u64, Ordering::Relaxed);
+    (applied, snapshot)
+}
+
+/// Apply one WAL record to the recovering entry map. Errors are strings;
+/// the caller wraps them with the offending LSN into
+/// [`ServeError::Corrupt`].
+fn replay(entries: &mut HashMap<String, Arc<Entry>>, record: &WalRecord) -> Result<(), String> {
+    match record {
+        WalRecord::Register {
+            name,
+            shards,
+            num_vertices,
+            num_classes,
+            labels,
+            edges,
+        } => {
+            let n = *num_vertices as usize;
+            let k = *num_classes as usize;
+            if labels.len() != n {
+                return Err(format!("{} labels for {n} vertices", labels.len()));
+            }
+            let opts: Vec<Option<u32>> = labels
+                .iter()
+                .map(|&c| match c {
+                    -1 => Ok(None),
+                    c if c >= 0 && (c as usize) < k => Ok(Some(c as u32)),
+                    c => Err(format!("label {c} outside K={k}")),
+                })
+                .collect::<Result<_, _>>()?;
+            let mut edge_vec = Vec::with_capacity(edges.len());
+            for &(u, v, w) in edges {
+                if u as usize >= n || v as usize >= n {
+                    return Err(format!("edge ({u}, {v}) outside n={n}"));
+                }
+                edge_vec.push(Edge::new(u, v, w));
+            }
+            let el = EdgeList::new_unchecked(n, edge_vec);
+            let writer = DynamicGee::new(&el, &Labels::from_options_with_k(&opts, k));
+            entries.insert(name.clone(), Arc::new(make_entry(writer, *shards, 0, 0)));
+            Ok(())
+        }
+        WalRecord::Batch { name, updates } => {
+            let entry = entries
+                .get(name)
+                .ok_or_else(|| format!("batch for unregistered graph {name:?}"))?
+                .clone();
+            let mut writer = entry.writer.lock().expect("writer lock poisoned");
+            validate_batch(&writer, updates).map_err(|e| format!("invalid logged batch: {e}"))?;
+            apply_batch(&entry, &mut writer, updates);
+            Ok(())
+        }
+        WalRecord::Deregister { name } => match entries.remove(name) {
+            Some(_) => Ok(()),
+            None => Err(format!("deregister of unregistered graph {name:?}")),
+        },
     }
 }
 
@@ -267,7 +665,7 @@ mod tests {
     #[test]
     fn register_publishes_epoch_zero_matching_static_embed() {
         let (reg, el, labels) = setup();
-        let snap = reg.register("g", &el, &labels);
+        let snap = reg.register("g", &el, &labels).unwrap();
         assert_eq!(snap.epoch, 0);
         let statik = gee_core::serial_optimized::embed(&el, &labels);
         statik.assert_close(&snap.embedding, 1e-12);
@@ -276,7 +674,7 @@ mod tests {
     #[test]
     fn apply_updates_bumps_epoch_and_matches_recompute() {
         let (reg, el, labels) = setup();
-        reg.register("g", &el, &labels);
+        reg.register("g", &el, &labels).unwrap();
         let (applied, snap) = reg
             .apply_updates(
                 "g",
@@ -307,7 +705,7 @@ mod tests {
     #[test]
     fn batch_is_atomic_on_validation_failure() {
         let (reg, el, labels) = setup();
-        reg.register("g", &el, &labels);
+        reg.register("g", &el, &labels).unwrap();
         let before = reg.snapshot("g").unwrap();
         let err = reg
             .apply_updates(
@@ -331,7 +729,7 @@ mod tests {
     #[test]
     fn old_snapshots_stay_consistent_after_writes() {
         let (reg, el, labels) = setup();
-        let old = reg.register("g", &el, &labels);
+        let old = reg.register("g", &el, &labels).unwrap();
         let frozen = old.embedding.as_slice().to_vec();
         // Insert an edge to a *labeled* vertex so the write provably
         // changes the embedding (an edge between two unlabeled vertices
@@ -373,7 +771,7 @@ mod tests {
     #[test]
     fn non_finite_weights_are_rejected_atomically() {
         let (reg, el, labels) = setup();
-        reg.register("g", &el, &labels);
+        reg.register("g", &el, &labels).unwrap();
         let before = reg.snapshot("g").unwrap();
         for w in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
             let err = reg
@@ -397,7 +795,7 @@ mod tests {
     #[test]
     fn empty_update_batch_does_not_publish_an_epoch() {
         let (reg, el, labels) = setup();
-        reg.register("g", &el, &labels);
+        reg.register("g", &el, &labels).unwrap();
         let before = reg.snapshot("g").unwrap();
         let (applied, snap) = reg.apply_updates("g", &[]).unwrap();
         assert_eq!(applied, 0);
@@ -416,11 +814,21 @@ mod tests {
     #[test]
     fn deregister_and_names() {
         let (reg, el, labels) = setup();
-        reg.register("b", &el, &labels);
-        reg.register("a", &el, &labels);
+        reg.register("b", &el, &labels).unwrap();
+        reg.register("a", &el, &labels).unwrap();
         assert_eq!(reg.graph_names(), vec!["a".to_string(), "b".to_string()]);
-        assert!(reg.deregister("a"));
-        assert!(!reg.deregister("a"));
+        assert!(reg.deregister("a").unwrap());
+        assert!(!reg.deregister("a").unwrap());
         assert_eq!(reg.graph_names(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn in_memory_registry_reports_no_durability() {
+        let (reg, ..) = setup();
+        assert!(!reg.is_durable());
+        assert_eq!(reg.data_dir(), None);
+        assert_eq!(reg.checkpoint_now().unwrap(), None);
+        let reg = Registry::open(4, Durability::None).unwrap();
+        assert!(!reg.is_durable());
     }
 }

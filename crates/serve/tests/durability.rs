@@ -1,0 +1,620 @@
+//! Crash-recovery harness for the durability subsystem.
+//!
+//! [`CrashHarness`] drives one scripted workload — register a seeded
+//! graph, stream deterministic update batches — against a durable
+//! registry, then kills it in a chosen way and recovers. The oracle is
+//! an in-memory engine that applied the same prefix of batches without
+//! ever stopping: a recovered engine must answer the full read suite
+//! (`Classify`, `Similar`, `EmbedRow`, `Stats`, plus requests that must
+//! fail with typed errors) **byte-identically** — compared on encoded
+//! wire frames, so every f64 bit pattern counts.
+//!
+//! Crash modes covered: a fault injected mid-append at every byte offset
+//! of the record frame; file truncation at every byte of the log; a
+//! flipped byte (CRC or payload) anywhere; duplicated WAL segments;
+//! deleted checkpoints — each either recovers to the last committed
+//! epoch or fails with a typed [`ServeError::Corrupt`], never a panic.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use gee_core::Labels;
+use gee_gen::LabelSpec;
+use gee_graph::EdgeList;
+use gee_serve::wal::FaultPoint;
+use gee_serve::wire::{self, ServerFrame};
+use gee_serve::{
+    duplex, Client, Durability, Engine, Envelope, Registry, Request, ServeError, Server,
+    SyncPolicy, Update,
+};
+
+const N: usize = 60;
+const K: usize = 4;
+const SHARDS: usize = 3;
+
+/// One scripted crash-recovery scenario: a data dir, the epoch-0 input,
+/// and a deterministic update-batch schedule.
+struct CrashHarness {
+    dir: PathBuf,
+    el: EdgeList,
+    labels: Labels,
+    batches: Vec<Vec<Update>>,
+    checkpoint_every: u64,
+}
+
+impl CrashHarness {
+    fn new(tag: &str, num_batches: usize, checkpoint_every: u64) -> Self {
+        let dir = std::env::temp_dir().join(format!(
+            "gee_durability_{tag}_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let el = gee_gen::erdos_renyi_gnm(N, 320, 11);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(
+                N,
+                LabelSpec {
+                    num_classes: K,
+                    labeled_fraction: 0.4,
+                },
+                7,
+            ),
+            K,
+        );
+        let batches = (0..num_batches as u32).map(scripted_batch).collect();
+        CrashHarness {
+            dir,
+            el,
+            labels,
+            batches,
+            checkpoint_every,
+        }
+    }
+
+    fn durability(&self) -> Durability {
+        Durability::Wal {
+            dir: self.dir.clone(),
+            sync: SyncPolicy::Always,
+            checkpoint_every: self.checkpoint_every,
+        }
+    }
+
+    /// Fresh durable registry with `committed` batches applied.
+    fn run_until(&self, committed: usize) -> Registry {
+        let reg = Registry::open(SHARDS, self.durability()).unwrap();
+        reg.register("g", &self.el, &self.labels).unwrap();
+        for batch in &self.batches[..committed] {
+            reg.apply_updates("g", batch).unwrap();
+        }
+        reg
+    }
+
+    /// The uninterrupted reference: an in-memory engine that applied the
+    /// same `committed` prefix and never restarted.
+    fn oracle(&self, committed: usize) -> Engine {
+        let reg = Registry::new(SHARDS);
+        reg.register("g", &self.el, &self.labels).unwrap();
+        for batch in &self.batches[..committed] {
+            reg.apply_updates("g", batch).unwrap();
+        }
+        Engine::new(Arc::new(reg))
+    }
+
+    fn recover(&self) -> Result<Registry, ServeError> {
+        Registry::open(SHARDS, self.durability())
+    }
+
+    /// Recover and require byte-identical answers to the uninterrupted
+    /// oracle at `committed` batches.
+    fn assert_recovers_to(&self, committed: usize) {
+        let reg = self.recover().unwrap();
+        // Read the epoch off the snapshot, not via Stats: a Stats request
+        // would bump the query counter and skew the byte comparison.
+        assert_eq!(
+            reg.snapshot("g").unwrap().epoch,
+            committed as u64,
+            "recovered epoch"
+        );
+        let engine = Engine::new(Arc::new(reg));
+        assert_eq!(
+            read_suite_bytes(&engine),
+            read_suite_bytes(&self.oracle(committed)),
+            "recovered engine must answer byte-identically at {committed} batches"
+        );
+    }
+
+    fn wal_segments(&self) -> Vec<PathBuf> {
+        sorted_files(&self.dir, "wal-")
+    }
+
+    fn checkpoints(&self) -> Vec<PathBuf> {
+        sorted_files(&self.dir, "ckpt-")
+    }
+}
+
+impl Drop for CrashHarness {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+fn sorted_files(dir: &Path, prefix: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with(prefix))
+                .unwrap_or(false)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Deterministic mixed batch: inserts, label moves, removes (some
+/// hitting, some no-ops) — all valid for the fixture's `N`/`K`.
+fn scripted_batch(b: u32) -> Vec<Update> {
+    let v = |i: u32| (b * 131 + i * 17) % N as u32;
+    vec![
+        Update::InsertEdge {
+            u: v(0),
+            v: v(1),
+            w: 1.0 + f64::from(b % 5) * 0.25,
+        },
+        Update::SetLabel {
+            v: v(2),
+            label: Some(b % K as u32),
+        },
+        Update::InsertEdge {
+            u: v(3),
+            v: v(3),
+            w: 2.0,
+        },
+        Update::RemoveEdge {
+            u: v(3),
+            v: v(3),
+            w: 2.0,
+        },
+        Update::SetLabel {
+            v: v(4),
+            label: None,
+        },
+        Update::RemoveEdge {
+            u: v(5),
+            v: v(6),
+            w: 123.456,
+        }, // almost surely a no-op
+    ]
+}
+
+/// The read suite every comparison runs: one coalesced batch of reads
+/// (including requests that must fail typed), then `Stats` on its own so
+/// the query counter it reports is deterministic.
+fn read_requests() -> Vec<Envelope> {
+    let mut reqs = vec![
+        Envelope::new(
+            "g",
+            Request::Classify {
+                vertices: (0..N as u32).collect(),
+                k: 5,
+            },
+        ),
+        Envelope::new(
+            "g",
+            Request::Classify {
+                vertices: vec![3, 1, 4],
+                k: 1,
+            },
+        ),
+        Envelope::new("g", Request::Similar { vertex: 7, top: 9 }),
+        Envelope::new(
+            "g",
+            Request::Similar {
+                vertex: N as u32 - 1,
+                top: 1,
+            },
+        ),
+        Envelope::new("g", Request::EmbedRow { vertex: 0 }),
+        Envelope::new(
+            "g",
+            Request::EmbedRow {
+                vertex: N as u32 / 2,
+            },
+        ),
+        // Typed failures must be preserved by recovery too.
+        Envelope::new(
+            "g",
+            Request::EmbedRow {
+                vertex: N as u32 + 9,
+            },
+        ),
+        Envelope::new("missing", Request::Stats),
+    ];
+    reqs.push(Envelope::new("g", Request::Similar { vertex: 0, top: 0 }));
+    reqs
+}
+
+/// Encode an engine's answers to the read suite as wire bytes, so
+/// "equal" means equal down to every f64 bit.
+fn read_suite_bytes(engine: &Engine) -> Vec<u8> {
+    let mut results = engine.execute_batch(read_requests());
+    results.push(engine.execute("g", Request::Stats));
+    wire::encode(&ServerFrame::Batch { id: 0, results })
+}
+
+/// Client-side twin of [`read_suite_bytes`] for over-the-wire runs.
+fn read_suite_bytes_via(client: &mut Client) -> Vec<u8> {
+    let mut results = client.execute_batch(read_requests()).unwrap();
+    results.push(client.execute("g", Request::Stats));
+    wire::encode(&ServerFrame::Batch { id: 0, results })
+}
+
+// ---- fault-point injection (kill mid-append) ---------------------------
+
+#[test]
+fn kill_mid_append_at_every_byte_offset_recovers_to_last_commit() {
+    // The record that will be torn: batch #4's frame (8-byte header +
+    // payload). Injecting at every offset covers: nothing written, torn
+    // length prefix, torn CRC, every torn-payload length.
+    let frame_len = 8 + gee_serve::wal::encode_record(&gee_serve::wal::WalRecord::Batch {
+        name: "g".into(),
+        updates: scripted_batch(4),
+    })
+    .len();
+    // Every offset of a short prefix, then a spread across the payload.
+    let offsets: Vec<usize> = (0..14).chain((14..frame_len).step_by(7)).collect();
+    for keep in offsets {
+        let h = CrashHarness::new(&format!("kill{keep}"), 5, 0);
+        let reg = h.run_until(4);
+        reg.inject_wal_fault(FaultPoint::TornAppend { keep_bytes: keep });
+        let err = reg.apply_updates("g", &h.batches[4]).unwrap_err();
+        assert!(
+            matches!(err, ServeError::Storage { .. }),
+            "keep={keep}: {err}"
+        );
+        // The in-memory state never saw the failed batch.
+        assert_eq!(reg.snapshot("g").unwrap().epoch, 4);
+        drop(reg); // the "crash"
+        h.assert_recovers_to(4);
+    }
+}
+
+#[test]
+fn poisoned_writer_refuses_appends_until_reopen() {
+    let h = CrashHarness::new("poison", 3, 0);
+    let reg = h.run_until(2);
+    reg.inject_wal_fault(FaultPoint::TornAppend { keep_bytes: 3 });
+    assert!(reg.apply_updates("g", &h.batches[2]).is_err());
+    // Still poisoned: a retry must not write behind the torn bytes.
+    let err = reg.apply_updates("g", &h.batches[2]).unwrap_err();
+    assert!(matches!(err, ServeError::Storage { .. }), "{err}");
+    drop(reg);
+    // Reopen truncates the torn tail; the batch can then be applied.
+    let reg = h.recover().unwrap();
+    reg.apply_updates("g", &h.batches[2]).unwrap();
+    drop(reg);
+    h.assert_recovers_to(3);
+}
+
+// ---- file-level crashes (truncation, bit flips, stray files) -----------
+
+#[test]
+fn truncation_at_every_byte_recovers_a_committed_prefix_or_nothing() {
+    let h = CrashHarness::new("trunc", 3, 0);
+    drop(h.run_until(3));
+    let segment = {
+        let segs = h.wal_segments();
+        assert_eq!(segs.len(), 1);
+        segs[0].clone()
+    };
+    let full = std::fs::read(&segment).unwrap();
+    for cut in 0..full.len() {
+        std::fs::write(&segment, &full[..cut]).unwrap();
+        let reg = h.recover().unwrap_or_else(|e| {
+            panic!("cut at {cut}: recovery must succeed after truncation, got {e}")
+        });
+        match reg.snapshot("g") {
+            Ok(snap) => {
+                let committed = snap.epoch as usize;
+                assert!(committed <= 3, "cut at {cut}");
+                drop(reg);
+                h.assert_recovers_to(committed);
+            }
+            Err(ServeError::UnknownGraph { .. }) => {
+                // The cut landed inside the Register record: the log
+                // holds no committed registration at all.
+                assert!(reg.graph_names().is_empty());
+            }
+            Err(other) => panic!("cut at {cut}: {other}"),
+        }
+        std::fs::write(&segment, &full).unwrap();
+    }
+}
+
+#[test]
+fn flipped_bytes_never_panic_and_flag_committed_damage_as_corrupt() {
+    let h = CrashHarness::new("flip", 3, 0);
+    drop(h.run_until(3));
+    let segment = h.wal_segments()[0].clone();
+    let full = std::fs::read(&segment).unwrap();
+    let mut corrupt_seen = 0usize;
+    for i in (0..full.len()).step_by(3) {
+        let mut bad = full.clone();
+        bad[i] ^= 0x08;
+        std::fs::write(&segment, &bad).unwrap();
+        match h.recover() {
+            // A flip in a length prefix can masquerade as a torn tail;
+            // recovery may then truncate — legal, but only ever to a
+            // committed prefix.
+            Ok(reg) => match reg.snapshot("g") {
+                Ok(snap) => assert!(snap.epoch <= 3, "flip at {i}"),
+                Err(ServeError::UnknownGraph { .. }) => {}
+                Err(other) => panic!("flip at {i}: {other}"),
+            },
+            Err(ServeError::Corrupt { .. }) => corrupt_seen += 1,
+            Err(other) => panic!("flip at {i}: expected Corrupt, got {other}"),
+        }
+    }
+    assert!(
+        corrupt_seen > 0,
+        "bit flips over committed records must surface as Corrupt"
+    );
+    // The canonical satellite case — a flipped CRC byte on an interior
+    // record — is deterministically Corrupt: record 0's CRC lives at
+    // bytes 16..20 (12-byte segment header + 4-byte length).
+    let mut bad = full.clone();
+    bad[17] ^= 0xFF;
+    std::fs::write(&segment, &bad).unwrap();
+    let err = h.recover().unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+    std::fs::write(&segment, &full).unwrap();
+    h.assert_recovers_to(3);
+}
+
+#[test]
+fn duplicate_segment_is_corrupt() {
+    let h = CrashHarness::new("dupseg", 4, 2);
+    let reg = h.run_until(4);
+    drop(reg);
+    let segs = h.wal_segments();
+    let donor = segs.last().unwrap();
+    // A stray copy that breaks LSN tiling (e.g. a hand-restored backup).
+    std::fs::copy(donor, h.dir.join("wal-00000000000000ff.log")).unwrap();
+    let err = h.recover().unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn missing_checkpoint_with_full_wal_replays_from_scratch() {
+    // checkpoint_every = 0: no checkpoint is ever taken, the WAL reaches
+    // back to lsn 0, and recovery is a full replay.
+    let h = CrashHarness::new("nockpt", 5, 0);
+    drop(h.run_until(5));
+    assert!(h.checkpoints().is_empty());
+    h.assert_recovers_to(5);
+}
+
+#[test]
+fn deleted_checkpoint_after_compaction_is_corrupt_not_a_guess() {
+    let h = CrashHarness::new("delckpt", 4, 2);
+    drop(h.run_until(4));
+    let ckpts = h.checkpoints();
+    assert!(!ckpts.is_empty(), "compaction must have checkpointed");
+    // The WAL before the checkpoint was retired; deleting the checkpoint
+    // leaves a hole that recovery must refuse to paper over.
+    for c in &ckpts {
+        std::fs::remove_file(c).unwrap();
+    }
+    let err = h.recover().unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+}
+
+#[test]
+fn corrupted_checkpoint_is_a_typed_error() {
+    let h = CrashHarness::new("badckpt", 4, 2);
+    drop(h.run_until(4));
+    let ckpt = h.checkpoints().pop().unwrap();
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let err = h.recover().unwrap_err();
+    assert!(matches!(err, ServeError::Corrupt { .. }), "{err}");
+}
+
+// ---- replay equivalence ------------------------------------------------
+
+#[test]
+fn checkpoint_plus_tail_replay_is_bit_identical_across_cadences() {
+    // Same workload under different checkpoint cadences (never, every
+    // batch, every 3rd) must recover to identical bytes.
+    let mut images: Vec<Vec<u8>> = Vec::new();
+    for cadence in [0u64, 1, 3] {
+        let h = CrashHarness::new(&format!("cadence{cadence}"), 7, cadence);
+        drop(h.run_until(7));
+        let engine = Engine::new(Arc::new(h.recover().unwrap()));
+        images.push(read_suite_bytes(&engine));
+        drop(engine); // release the dir lock before re-opening
+        h.assert_recovers_to(7);
+    }
+    assert!(
+        images.windows(2).all(|w| w[0] == w[1]),
+        "checkpoint cadence must not change recovered answers"
+    );
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let h = CrashHarness::new("idem", 6, 2);
+    drop(h.run_until(6));
+    for _ in 0..3 {
+        h.assert_recovers_to(6);
+    }
+}
+
+#[test]
+fn recovered_engine_matches_uninterrupted_over_duplex_and_tcp() {
+    let h = CrashHarness::new("wire", 5, 3);
+    drop(h.run_until(5));
+    let recovered = Arc::new(Engine::new(Arc::new(h.recover().unwrap())));
+    let oracle = Arc::new(h.oracle(5));
+    let expected = read_suite_bytes(&oracle);
+
+    // In-process duplex.
+    let (server_end, client_end) = duplex();
+    let engine = recovered.clone();
+    let server = std::thread::spawn(move || {
+        let mut t = server_end;
+        let _ = Server::new(engine).serve_connection(&mut t);
+    });
+    let mut client = Client::over(client_end).unwrap();
+    assert_eq!(
+        read_suite_bytes_via(&mut client),
+        expected,
+        "duplex answers must be byte-identical to the uninterrupted oracle"
+    );
+    client.goodbye().unwrap();
+    server.join().unwrap();
+
+    // Real loopback TCP. Fresh engines so query counters start equal
+    // (dropping the duplex engine also releases the dir lock).
+    drop(recovered);
+    let recovered = Arc::new(Engine::new(Arc::new(h.recover().unwrap())));
+    let handle = Server::listen(recovered, "127.0.0.1:0", Some(1)).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    assert_eq!(
+        read_suite_bytes_via(&mut client),
+        read_suite_bytes(&h.oracle(5)),
+        "TCP answers must be byte-identical to the uninterrupted oracle"
+    );
+    client.goodbye().unwrap();
+    handle.wait();
+}
+
+// ---- lifecycle ---------------------------------------------------------
+
+#[test]
+fn deregister_retires_durable_state_and_reregister_starts_fresh() {
+    let h = CrashHarness::new("dereg", 4, 0);
+    let reg = h.run_until(2);
+    assert!(reg.deregister("g").unwrap());
+    assert!(!reg.deregister("g").unwrap(), "double deregister");
+    // Re-register the same name: a fresh epoch-0 lineage.
+    reg.register("g", &h.el, &h.labels).unwrap();
+    reg.apply_updates("g", &h.batches[0]).unwrap();
+    assert_eq!(reg.snapshot("g").unwrap().epoch, 1);
+    drop(reg);
+    // Recovery replays the deregister + re-register: one batch applied.
+    h.assert_recovers_to(1);
+    // After a checkpoint the old lineage is physically retired: the WAL
+    // holds exactly one segment and recovery still agrees.
+    let reg = h.recover().unwrap();
+    reg.checkpoint_now().unwrap().unwrap();
+    drop(reg);
+    assert_eq!(h.wal_segments().len(), 1);
+    h.assert_recovers_to(1);
+    // A deregister right before the crash survives it too.
+    let reg = h.recover().unwrap();
+    assert!(reg.deregister("g").unwrap());
+    drop(reg);
+    let reg = h.recover().unwrap();
+    assert!(reg.graph_names().is_empty(), "deregister must be durable");
+}
+
+#[test]
+fn data_dir_is_locked_against_concurrent_opens() {
+    let h = CrashHarness::new("lock", 1, 0);
+    let reg = h.run_until(1);
+    // While one registry owns the dir, a second open must fail typed —
+    // two writers interleaving appends would destroy the log.
+    let err = h.recover().unwrap_err();
+    assert!(matches!(err, ServeError::Storage { .. }), "{err}");
+    drop(reg);
+    h.assert_recovers_to(1);
+    // A lock left behind by a dead process (kill -9) is reclaimed.
+    std::fs::write(h.dir.join("LOCK"), "4294967294").unwrap();
+    h.assert_recovers_to(1);
+    // Unreadable lock content could be a concurrent opener mid-write, so
+    // it fails safe (typed, with cleanup advice) instead of reclaiming.
+    std::fs::write(h.dir.join("LOCK"), "not a pid").unwrap();
+    let err = h.recover().unwrap_err();
+    assert!(matches!(err, ServeError::Storage { .. }), "{err}");
+    std::fs::remove_file(h.dir.join("LOCK")).unwrap();
+    h.assert_recovers_to(1);
+}
+
+#[test]
+fn register_heavy_log_still_compacts() {
+    // Register/Deregister records count toward the checkpoint cadence,
+    // so a log of full-graph Register records cannot grow unboundedly.
+    let h = CrashHarness::new("regheavy", 1, 3);
+    let reg = Registry::open(SHARDS, h.durability()).unwrap();
+    for _ in 0..4 {
+        reg.register("g", &h.el, &h.labels).unwrap();
+    }
+    drop(reg);
+    assert_eq!(h.wal_segments().len(), 1, "covered segments retired");
+    assert_eq!(h.checkpoints().len(), 1, "a checkpoint was taken");
+    h.assert_recovers_to(0);
+}
+
+#[test]
+fn orphaned_checkpoint_temp_files_are_swept() {
+    let h = CrashHarness::new("tmpsweep", 2, 0);
+    drop(h.run_until(2));
+    // A crash between a checkpoint's temp write and its rename leaves a
+    // *.ckpt.tmp behind; recovery must remove it and proceed.
+    let orphan = h.dir.join("ckpt-00000000000000aa.ckpt.tmp");
+    std::fs::write(&orphan, vec![0u8; 4096]).unwrap();
+    h.assert_recovers_to(2);
+    assert!(!orphan.exists(), "orphaned temp file swept on open");
+}
+
+#[test]
+fn checkpoint_compaction_bounds_wal_growth() {
+    let h = CrashHarness::new("compact", 9, 2);
+    drop(h.run_until(9));
+    assert_eq!(h.wal_segments().len(), 1, "covered segments retired");
+    assert_eq!(h.checkpoints().len(), 1, "older checkpoints retired");
+    h.assert_recovers_to(9);
+}
+
+#[test]
+fn sync_never_recovers_after_a_clean_close() {
+    let h = CrashHarness::new("nosync", 4, 0);
+    {
+        let reg = Registry::open(
+            SHARDS,
+            Durability::Wal {
+                dir: h.dir.clone(),
+                sync: SyncPolicy::Never,
+                checkpoint_every: 0,
+            },
+        )
+        .unwrap();
+        reg.register("g", &h.el, &h.labels).unwrap();
+        for batch in &h.batches {
+            reg.apply_updates("g", batch).unwrap();
+        }
+    } // dropped: the OS file close flushes buffered appends
+    h.assert_recovers_to(4);
+}
+
+#[test]
+fn empty_data_dir_opens_empty_and_serves() {
+    let h = CrashHarness::new("fresh", 1, 0);
+    let reg = h.recover().unwrap();
+    assert!(reg.graph_names().is_empty());
+    assert!(matches!(
+        reg.snapshot("g"),
+        Err(ServeError::UnknownGraph { .. })
+    ));
+    reg.register("g", &h.el, &h.labels).unwrap();
+    drop(reg);
+    h.assert_recovers_to(0);
+}

@@ -42,7 +42,9 @@ fn serve_pipeline_end_to_end() {
 
     // -- Register: epoch-0 embedding must match the paper's parallel path.
     let registry = Arc::new(Registry::new(SHARDS));
-    let snap0 = registry.register_with_shards("sbm", &el, &labels, SHARDS);
+    let snap0 = registry
+        .register_with_shards("sbm", &el, &labels, SHARDS)
+        .unwrap();
     assert!(
         snap0.train_by_shard.len() >= 2,
         "acceptance requires >= 2 shards"
@@ -206,7 +208,7 @@ fn query_path_parity_with_ligra_embed_across_shard_counts() {
     let ligra = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
     for shards in [1usize, 2, 3, 8] {
         let registry = Registry::new(shards);
-        let snap = registry.register("g", &el, &labels);
+        let snap = registry.register("g", &el, &labels).unwrap();
         ligra.assert_close(&snap.embedding, 1e-9);
     }
 }
@@ -219,7 +221,7 @@ fn update_then_read_equals_static_recompute_randomized() {
     let (el, labels, _) = sbm_setup();
     let n = el.num_vertices() as u32;
     let registry = Arc::new(Registry::new(3));
-    registry.register("g", &el, &labels);
+    registry.register("g", &el, &labels).unwrap();
     let engine = Engine::new(registry.clone());
     let mut oracle = gee_core::DynamicGee::new(&el, &labels);
 

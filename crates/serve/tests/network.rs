@@ -32,7 +32,7 @@ fn twin_engines(shards: usize) -> (Arc<Engine>, Engine) {
             K,
         );
         let reg = Registry::new(shards);
-        reg.register("g", &el, &labels);
+        reg.register("g", &el, &labels).unwrap();
         Engine::new(Arc::new(reg))
     };
     (Arc::new(make()), make())

@@ -124,6 +124,9 @@ fn arb_error() -> impl Strategy<Value = ServeError> {
         ),
         arb_string().prop_map(|detail| ServeError::Protocol { detail }),
         arb_string().prop_map(|detail| ServeError::Transport { detail }),
+        (arb_string(), arb_string())
+            .prop_map(|(path, detail)| ServeError::Corrupt { path, detail }),
+        arb_string().prop_map(|detail| ServeError::Storage { detail }),
     ]
 }
 

@@ -25,7 +25,7 @@ fn build_engine(blocks: usize, per_block: usize, shards: usize) -> ServeEngine {
     let labels =
         Labels::from_options_with_k(&gee_gen::subsample_labels(&sbm.truth, 0.3, 7), blocks);
     let registry = Arc::new(Registry::new(shards));
-    registry.register("social", &sbm.edges, &labels);
+    registry.register("social", &sbm.edges, &labels).unwrap();
     ServeEngine::new(registry)
 }
 

@@ -31,7 +31,7 @@ fn main() {
     let shards = 8;
     let registry = Arc::new(Registry::new(shards));
     let t0 = Instant::now();
-    registry.register("social", &sbm.edges, &labels);
+    registry.register("social", &sbm.edges, &labels).unwrap();
     println!(
         "registered \"social\" across {shards} shards in {:.2?}",
         t0.elapsed()

@@ -55,6 +55,22 @@
 //! loopback-TCP throughput. On the command line: `gee serve --graph G
 //! --listen ADDR` and `gee query --connect ADDR ...`.
 //!
+//! ### Durable serving
+//!
+//! With [`serve::Durability::Wal`] a registry survives process death:
+//! every registration and update batch is committed to an append-only,
+//! CRC-checksummed write-ahead log ([`serve::wal`]) before in-memory
+//! state changes, and checkpoints ([`serve::checkpoint`]) of the full
+//! writer state periodically compact the log. Recovery replays
+//! checkpoint + WAL tail to answers **bit-identical** to the
+//! uninterrupted process; corruption surfaces as typed
+//! [`serve::ServeError::Corrupt`], never a panic.
+//! `examples/durable_serving.rs` crashes and recovers a serving
+//! pipeline end-to-end; the `durability_overhead` bench binary measures
+//! the fsync cost and the recovery speedup a checkpoint buys. On the
+//! command line: `gee serve --data-dir DIR ...` and `gee recover
+//! --data-dir DIR`.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! binaries that regenerate each table and figure of the paper.
 
@@ -78,8 +94,8 @@ pub mod prelude {
     pub use gee_graph::{CsrGraph, Edge, EdgeList, GraphBuilder};
     pub use gee_ligra::{with_threads, BucketOrder, Buckets, VertexSubset};
     pub use gee_serve::{
-        Client as ServeClient, Engine as ServeEngine, Envelope, ErrorCode, Registry, Request,
-        Response, ServeError, Server as ServeServer, Update,
+        Client as ServeClient, Durability, Engine as ServeEngine, Envelope, ErrorCode, Registry,
+        Request, Response, ServeError, Server as ServeServer, SyncPolicy, Update,
     };
 }
 

@@ -17,7 +17,7 @@ fn setup() -> (EdgeList, Labels, Vec<u32>) {
 fn serve_query_path_matches_library_paths() {
     let (el, labels, _) = setup();
     let registry = Arc::new(Registry::new(2));
-    let snap = registry.register("g", &el, &labels);
+    let snap = registry.register("g", &el, &labels).unwrap();
 
     // Epoch-0 snapshot equals the paper's parallel embedding.
     let g = CsrGraph::from_edge_list(&el);
@@ -50,7 +50,7 @@ fn serve_query_path_matches_library_paths() {
 fn serve_updates_then_read_equals_recompute() {
     let (el, labels, _) = setup();
     let registry = Arc::new(Registry::new(3));
-    registry.register("g", &el, &labels);
+    registry.register("g", &el, &labels).unwrap();
     let engine = ServeEngine::new(registry.clone());
 
     let updates = vec![
@@ -80,7 +80,7 @@ fn serve_updates_then_read_equals_recompute() {
 
     // Batched == one-at-a-time (on a fresh identical registry).
     let registry2 = Arc::new(Registry::new(3));
-    registry2.register("g", &el, &labels);
+    registry2.register("g", &el, &labels).unwrap();
     let engine2 = ServeEngine::new(registry2);
     let sequential: Vec<_> = batch
         .into_iter()
