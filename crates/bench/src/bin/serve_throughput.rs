@@ -77,13 +77,7 @@ fn main() {
             .map(|i| (i * 97) % n as u32)
             .collect();
         let (classify_secs, _, _) = timed(args.runs, || {
-            let reqs = vec![Envelope::new(
-                "g",
-                Request::Classify {
-                    vertices: vertices.clone(),
-                    k: 5,
-                },
-            )];
+            let reqs = vec![Envelope::new("g", Request::classify(vertices.clone(), 5))];
             let r = engine.execute_batch(reqs);
             assert!(r.iter().all(Result::is_ok));
         });
@@ -92,15 +86,7 @@ fn main() {
         // Similar throughput.
         let (similar_secs, _, _) = timed(args.runs, || {
             let reqs: Vec<Envelope> = (0..similar_batch as u32)
-                .map(|i| {
-                    Envelope::new(
-                        "g",
-                        Request::Similar {
-                            vertex: (i * 131) % n as u32,
-                            top: 10,
-                        },
-                    )
-                })
+                .map(|i| Envelope::new("g", Request::similar((i * 131) % n as u32, 10)))
                 .collect();
             let r = engine.execute_batch(reqs);
             assert!(r.iter().all(Result::is_ok));
@@ -110,14 +96,7 @@ fn main() {
         // Mixed read/write batch: 64 rows + an update batch + 64 rows.
         let (mixed_secs, _, _) = timed(args.runs, || {
             let mut reqs: Vec<Envelope> = (0..64u32)
-                .map(|i| {
-                    Envelope::new(
-                        "g",
-                        Request::EmbedRow {
-                            vertex: (i * 11) % n as u32,
-                        },
-                    )
-                })
+                .map(|i| Envelope::new("g", Request::embed_row((i * 11) % n as u32)))
                 .collect();
             let updates: Vec<Update> = (0..128u32)
                 .map(|i| Update::InsertEdge {
@@ -127,18 +106,61 @@ fn main() {
                 })
                 .collect();
             reqs.push(Envelope::new("g", Request::ApplyUpdates { updates }));
-            reqs.extend((0..64u32).map(|i| {
-                Envelope::new(
-                    "g",
-                    Request::EmbedRow {
-                        vertex: (i * 17) % n as u32,
-                    },
-                )
-            }));
+            reqs.extend(
+                (0..64u32).map(|i| Envelope::new("g", Request::embed_row((i * 17) % n as u32))),
+            );
             let r = engine.execute_batch(reqs);
             assert!(r.iter().all(Result::is_ok));
         });
         let mixed_rps = 129.0 / mixed_secs;
+
+        // CoW vs full republish: publish latency of an update batch as a
+        // function of the fraction of shards it touches. Edge batches
+        // confined to one shard republish one ShardBlock; a label move
+        // rescales whole columns and republishes everything — the
+        // full-rebuild baseline.
+        let layout = gee_serve::ShardLayout::new(n, shards);
+        let publish_ms = |fraction_shards: usize| -> f64 {
+            let touched = fraction_shards.clamp(1, layout.num_shards());
+            let (secs, _, _) = timed(args.runs, || {
+                let updates: Vec<Update> = (0..touched)
+                    .flat_map(|s| {
+                        let (lo, hi) = layout.range(s % layout.num_shards());
+                        let span = (hi - lo).max(2);
+                        (0..4u32).map(move |i| Update::InsertEdge {
+                            u: lo + (i * 5) % span,
+                            v: lo + (i * 11 + 1) % span,
+                            w: 1.0,
+                        })
+                    })
+                    .collect();
+                registry.apply_updates("g", &updates).unwrap();
+            });
+            secs * 1e3
+        };
+        let cow_one = publish_ms(1);
+        let cow_half = publish_ms(shards.div_ceil(2));
+        let cow_all = publish_ms(shards);
+        // Full-republish baseline: one label move dirties every shard's
+        // rows (class-count rescale), exactly the pre-CoW publish cost.
+        let (full_secs, _, _) = timed(args.runs, || {
+            registry
+                .apply_updates(
+                    "g",
+                    &[
+                        Update::SetLabel {
+                            v: 0,
+                            label: Some(1),
+                        },
+                        Update::SetLabel {
+                            v: 0,
+                            label: Some(0),
+                        },
+                    ],
+                )
+                .unwrap();
+        });
+        let full_ms = full_secs * 1e3;
 
         rows.push(vec![
             shards.to_string(),
@@ -146,6 +168,11 @@ fn main() {
             format!("{classify_qps:.0}"),
             format!("{similar_qps:.0}"),
             format!("{mixed_rps:.0}"),
+            format!("{cow_one:.2} ms"),
+            format!("{cow_half:.2} ms"),
+            format!("{cow_all:.2} ms"),
+            format!("{full_ms:.2} ms"),
+            format!("{:.1}x", full_ms / cow_one.max(1e-9)),
         ]);
         json.push(serde_json::json!({
             "shards": shards,
@@ -153,6 +180,10 @@ fn main() {
             "classify_qps": classify_qps,
             "similar_qps": similar_qps,
             "mixed_rps": mixed_rps,
+            "cow_publish_ms_1_shard": cow_one,
+            "cow_publish_ms_half_shards": cow_half,
+            "cow_publish_ms_all_shards": cow_all,
+            "full_republish_ms": full_ms,
         }));
         eprintln!("done: {shards} shards");
     }
@@ -164,12 +195,21 @@ fn main() {
                 "Register",
                 "Classify q/s",
                 "Similar q/s",
-                "Mixed r/s (w/ updates)"
+                "Mixed r/s (w/ updates)",
+                "CoW pub 1/S",
+                "CoW pub ½",
+                "CoW pub all",
+                "Full repub",
+                "CoW speedup"
             ],
             &rows
         )
     );
     println!("expected shape: q/s grows with shards until the scan is bandwidth-bound.");
+    println!(
+        "expected shape: CoW publish cost scales with the fraction of shards a batch \
+         touches; single-shard batches approach full-republish/S."
+    );
     if args.json {
         println!(
             "{}",

@@ -47,7 +47,7 @@ fn phase_batches(n: usize, batches: usize, queries: usize) -> Vec<Vec<Envelope>>
             (0..queries)
                 .map(|i| {
                     let v = ((b * 131 + i * 17) % n) as u32;
-                    Envelope::new("g", Request::EmbedRow { vertex: v })
+                    Envelope::new("g", Request::embed_row(v))
                 })
                 .collect()
         })

@@ -26,18 +26,21 @@ subcommands:
   analyze      --graph <file> --algo <cc|pagerank|kcore|sssp|bfs|triangles|
                                        matching|dominating-set|densest> [--source V=0]
   serve        --graph <file> (--script <file> | --listen ADDR) [--k K=50] [--labeled F=0.1]
-               [--shards S=4] [--seed S=42]
+               [--shards S=4] [--seed S=42] [--history N=1] [--max-pending N]
                script lines: classify v1,v2,.. [k] | similar v [top] | row v |
                              insert u v w | remove u v w | label v <class|none> | stats
-               --listen serves wire protocol v1 over TCP (graph name \"g\");
+               --listen serves wire protocol v2 over TCP (graph name \"g\");
                [--max-conns N] stop after N connections, [--port-file F] write bound addr to F
+               --history N retains the N newest epochs for --at-epoch reads;
+               --max-pending N rejects update batches beyond N in flight (code 14)
                durability: [--data-dir DIR [--sync always|never] [--checkpoint-every N=64]]
                recovers graph \"g\" from DIR if present (then --graph is optional);
                every update batch is WAL-logged and survives restart
   query        --graph <file> (--classify v1,v2,.. | --similar V | --row V | --stats true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
-               [--shards S=4] [--seed S=42]
+               [--shards S=4] [--seed S=42] [--at-epoch E] [--history N=1]
                or query a running server: --connect ADDR [--name g] instead of --graph
+               --at-epoch E pins the read to retained epoch E (error 13 if evicted)
   recover      --data-dir DIR [--shards S=4] [--checkpoint true]
                recover a durable serving directory (checkpoint + WAL replay), report
                each graph's epoch/size, optionally force a compacting checkpoint
@@ -426,17 +429,29 @@ fn build_engine(
     default_classes: usize,
 ) -> crate::Result<(gee_serve::Engine, usize)> {
     let shards: usize = flags.get_parsed("shards", 4)?;
-    let engine = match durability_from_flags(flags)? {
-        None => gee_serve::Engine::new(std::sync::Arc::new(gee_serve::Registry::new(shards))),
-        Some(durability) => gee_serve::Engine::open(shards, durability)?,
+    let history: usize = flags.get_parsed("history", 1)?;
+    let backpressure = match flags.get("max-pending") {
+        Some(raw) => {
+            let max: usize = raw.parse().map_err(|_| {
+                CliError::Usage(format!("flag --max-pending: cannot parse {raw:?}"))
+            })?;
+            gee_serve::BackpressurePolicy::max_pending(max)
+        }
+        None => gee_serve::BackpressurePolicy::unbounded(),
     };
+    let engine = gee_serve::Engine::with_config(gee_serve::RegistryConfig {
+        default_shards: shards,
+        history: gee_serve::HistoryPolicy::keep(history),
+        backpressure,
+        durability: durability_from_flags(flags)?.unwrap_or(gee_serve::Durability::None),
+    })?;
     if let Ok(snap) = engine.registry().snapshot("g") {
         eprintln!(
             "recovered \"g\" at epoch {} from {}",
             snap.epoch,
             flags.get("data-dir").unwrap_or("?")
         );
-        return Ok((engine, snap.embedding.num_vertices()));
+        return Ok((engine, snap.num_vertices()));
     }
     let (el, labels) = load_labeled_graph(flags, classes_flag, default_classes)?;
     engine.registry().register("g", &el, &labels)?;
@@ -460,8 +475,8 @@ fn recover(flags: &Flags) -> crate::Result<String> {
             out,
             "  {name:?}: epoch {} | {} vertices × {} dims, {} labeled",
             snap.epoch,
-            snap.embedding.num_vertices(),
-            snap.embedding.dim(),
+            snap.num_vertices(),
+            snap.dim(),
             snap.num_labeled(),
         )
         .unwrap();
@@ -509,7 +524,7 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
                 Some(s) => s.parse().map_err(|_| usage(&format!("bad k {s:?}")))?,
                 None => 5,
             };
-            Request::Classify { vertices, k }
+            Request::classify(vertices, k)
         }
         "similar" => {
             let vertex = parse_u32(
@@ -521,14 +536,14 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
                 Some(s) => s.parse().map_err(|_| usage(&format!("bad top {s:?}")))?,
                 None => 10,
             };
-            Request::Similar { vertex, top }
+            Request::similar(vertex, top)
         }
         "row" => {
             let vertex = parse_u32(
                 args.first().ok_or_else(|| usage("row needs a vertex"))?,
                 "vertex",
             )?;
-            Request::EmbedRow { vertex }
+            Request::embed_row(vertex)
         }
         "insert" | "remove" => {
             let [u, v, w] = args[..] else {
@@ -559,7 +574,7 @@ fn parse_script_line(line: &str) -> crate::Result<Option<gee_serve::Request>> {
                 updates: vec![Update::SetLabel { v, label }],
             }
         }
-        "stats" => Request::Stats,
+        "stats" => Request::stats(),
         other => return Err(usage(&format!("unknown command {other:?}"))),
     };
     Ok(Some(req))
@@ -583,14 +598,14 @@ fn render_response(out: &mut String, r: &gee_serve::Response) {
         }
         Response::Stats(s) => writeln!(
             out,
-            "stats: graph {:?} epoch {} | {} vertices × {} dims, {} shards, {} labeled | {} queries served, {} updates applied",
-            s.graph, s.epoch, s.num_vertices, s.dim, s.num_shards, s.num_labeled, s.queries_served, s.updates_applied
+            "stats: graph {:?} epoch {} (retained from {}) | {} vertices × {} dims, {} shards, {} labeled | {} queries served, {} updates applied",
+            s.graph, s.epoch, s.oldest_epoch, s.num_vertices, s.dim, s.num_shards, s.num_labeled, s.queries_served, s.updates_applied
         )
         .unwrap(),
     }
 }
 
-/// `serve --listen`: stand up the engine and serve wire protocol v1 over
+/// `serve --listen`: stand up the engine and serve the wire protocol over
 /// TCP until `--max-conns` connections finish (or forever without it).
 fn serve_listen(flags: &Flags, addr: &str) -> crate::Result<String> {
     let (engine, n) = build_engine(flags, "k", 50)?;
@@ -658,30 +673,33 @@ fn serve(flags: &Flags) -> crate::Result<String> {
 /// `--connect` — against a running `serve --listen` server over the wire.
 fn query(flags: &Flags) -> crate::Result<String> {
     use gee_serve::Request;
-    let request = if let Some(raw) = flags.get("classify") {
+    let mut request = if let Some(raw) = flags.get("classify") {
         let k: usize = flags.get_parsed("k", 5)?;
-        Request::Classify {
-            vertices: parse_vertex_list(raw)?,
-            k,
-        }
+        Request::classify(parse_vertex_list(raw)?, k)
     } else if let Some(raw) = flags.get("similar") {
         let vertex = raw
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --similar vertex {raw:?}")))?;
         let top: usize = flags.get_parsed("top", 10)?;
-        Request::Similar { vertex, top }
+        Request::similar(vertex, top)
     } else if let Some(raw) = flags.get("row") {
         let vertex = raw
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --row vertex {raw:?}")))?;
-        Request::EmbedRow { vertex }
+        Request::embed_row(vertex)
     } else if flags.get("stats").is_some() {
-        Request::Stats
+        Request::stats()
     } else {
         return Err(CliError::Usage(
             "query: need one of --classify, --similar, --row, --stats true".into(),
         ));
     };
+    if let Some(raw) = flags.get("at-epoch") {
+        let epoch: u64 = raw
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --at-epoch {raw:?}")))?;
+        request = request.pinned(epoch);
+    }
     let mut out = String::new();
     if let Some(addr) = flags.get("connect") {
         let graph = flags.get("name").unwrap_or("g");
@@ -1018,7 +1036,7 @@ mod tests {
         assert!(out.contains("row:"), "{out}");
         assert!(out.contains("applied 1 update(s); now at epoch 3"), "{out}");
         assert!(
-            out.contains("epoch 3 | 120 vertices × 3 dims, 3 shards"),
+            out.contains("epoch 3 (retained from 3) | 120 vertices × 3 dims, 3 shards"),
             "{out}"
         );
         assert!(out.contains("served 7 request(s)"), "{out}");
@@ -1096,6 +1114,55 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("neighbors:"), "{out}");
+        std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn query_at_epoch_pins_and_reports_eviction() {
+        let graph = tmp("gee_cli_query_epoch.txt");
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "90",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        // A fresh engine serves only epoch 0: a pinned read at 0 answers
+        // exactly like the unpinned read.
+        let base = |extra: &[&str]| {
+            let mut args = vec!["query", "--graph", &graph, "--row", "7", "--seed", "9"];
+            args.extend_from_slice(extra);
+            run(&sv(&args))
+        };
+        let unpinned = base(&[]).unwrap();
+        let pinned = base(&["--at-epoch", "0"]).unwrap();
+        assert_eq!(unpinned, pinned);
+        // Pinning an epoch the ring does not retain is the typed
+        // EpochEvicted failure (code 13), surfaced in the message.
+        let err = base(&["--at-epoch", "5"]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("not retained"), "{msg}");
+        // Stats reports the retained range.
+        let out = run(&sv(&[
+            "query",
+            "--graph",
+            &graph,
+            "--stats",
+            "true",
+            "--history",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("epoch 0 (retained from 0)"), "{out}");
         std::fs::remove_file(&graph).ok();
     }
 
@@ -1282,7 +1349,10 @@ mod tests {
             &data_dir,
         ]))
         .unwrap();
-        assert!(out.contains("epoch 2 | 90 vertices"), "{out}");
+        assert!(
+            out.contains("epoch 2 (retained from 2) | 90 vertices"),
+            "{out}"
+        );
         // recover: reports the state (now at epoch 3 after the label).
         let out = run(&sv(&["recover", "--data-dir", &data_dir])).unwrap();
         assert!(out.contains("recovered 1 graph(s)"), "{out}");

@@ -121,7 +121,26 @@ impl Client {
         vertices: Vec<u32>,
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
-        match self.execute(graph, Request::Classify { vertices, k })? {
+        self.classify_at(graph, vertices, k, None)
+    }
+
+    /// Mirrors [`Engine::classify_at`](crate::Engine::classify_at):
+    /// classify against a pinned retained epoch.
+    pub fn classify_at(
+        &mut self,
+        graph: &str,
+        vertices: Vec<u32>,
+        k: usize,
+        at_epoch: Option<u64>,
+    ) -> Result<Vec<u32>, ServeError> {
+        match self.execute(
+            graph,
+            Request::Classify {
+                vertices,
+                k,
+                at_epoch,
+            },
+        )? {
             Response::Classes(classes) => Ok(classes),
             other => Err(unexpected("Classes", &other)),
         }
@@ -134,7 +153,25 @@ impl Client {
         vertex: u32,
         top: usize,
     ) -> Result<Vec<(u32, f64)>, ServeError> {
-        match self.execute(graph, Request::Similar { vertex, top })? {
+        self.similar_at(graph, vertex, top, None)
+    }
+
+    /// Mirrors [`Engine::similar_at`](crate::Engine::similar_at).
+    pub fn similar_at(
+        &mut self,
+        graph: &str,
+        vertex: u32,
+        top: usize,
+        at_epoch: Option<u64>,
+    ) -> Result<Vec<(u32, f64)>, ServeError> {
+        match self.execute(
+            graph,
+            Request::Similar {
+                vertex,
+                top,
+                at_epoch,
+            },
+        )? {
             Response::Neighbors(neighbors) => Ok(neighbors),
             other => Err(unexpected("Neighbors", &other)),
         }
@@ -142,7 +179,17 @@ impl Client {
 
     /// Mirrors [`Engine::embed_row`](crate::Engine::embed_row).
     pub fn embed_row(&mut self, graph: &str, vertex: u32) -> Result<Vec<f64>, ServeError> {
-        match self.execute(graph, Request::EmbedRow { vertex })? {
+        self.embed_row_at(graph, vertex, None)
+    }
+
+    /// Mirrors [`Engine::embed_row_at`](crate::Engine::embed_row_at).
+    pub fn embed_row_at(
+        &mut self,
+        graph: &str,
+        vertex: u32,
+        at_epoch: Option<u64>,
+    ) -> Result<Vec<f64>, ServeError> {
+        match self.execute(graph, Request::EmbedRow { vertex, at_epoch })? {
             Response::Row(row) => Ok(row),
             other => Err(unexpected("Row", &other)),
         }
@@ -163,7 +210,16 @@ impl Client {
 
     /// Mirrors [`Engine::stats`](crate::Engine::stats).
     pub fn stats(&mut self, graph: &str) -> Result<GraphReport, ServeError> {
-        match self.execute(graph, Request::Stats)? {
+        self.stats_at(graph, None)
+    }
+
+    /// Mirrors [`Engine::stats_at`](crate::Engine::stats_at).
+    pub fn stats_at(
+        &mut self,
+        graph: &str,
+        at_epoch: Option<u64>,
+    ) -> Result<GraphReport, ServeError> {
+        match self.execute(graph, Request::Stats { at_epoch })? {
             Response::Stats(report) => Ok(report),
             other => Err(unexpected("Stats", &other)),
         }
@@ -175,6 +231,20 @@ impl Client {
     }
 
     fn send_batch(&mut self, requests: Vec<Envelope>) -> Result<u64, ServeError> {
+        // Epoch pins are a v2 extension. A v1 server would silently
+        // ignore the `at_epoch` key and answer from the newest epoch —
+        // wrong data, no error — so refuse to send one downlevel.
+        if self.version < wire::EPOCH_PIN_VERSION {
+            if let Some(env) = requests.iter().find(|e| e.request.at_epoch().is_some()) {
+                return Err(ServeError::protocol(format!(
+                    "at_epoch-pinned {:?} request requires protocol v{} \
+                     (negotiated v{})",
+                    env.graph,
+                    wire::EPOCH_PIN_VERSION,
+                    self.version
+                )));
+            }
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.transport

@@ -1,14 +1,21 @@
-//! Typed request/response engine with batch coalescing.
+//! Typed request/response engine with batch coalescing and epoch-pinned
+//! reads.
 //!
 //! [`Engine::execute_batch`] is the serving entry point: it walks an
 //! ordered batch, coalesces maximal runs of read requests, and answers
-//! each run shard-parallel against one consistent snapshot per graph.
-//! Writes ([`Request::ApplyUpdates`]) break a run: they flow through the
-//! registry's `DynamicGee` writer and publish a new epoch, which the next
-//! read run observes. This makes a batch observationally identical to
-//! executing its requests one at a time, while amortizing snapshot
-//! acquisition and letting independent reads fan out across shards and
-//! queries simultaneously.
+//! each run shard-parallel against one consistent snapshot per
+//! `(graph, pinned epoch)` pair. Writes ([`Request::ApplyUpdates`])
+//! break a run: they flow through the registry's `DynamicGee` writer and
+//! publish a new epoch copy-on-write, which the next read run observes.
+//! This makes a batch observationally identical to executing its
+//! requests one at a time, while amortizing snapshot acquisition and
+//! letting independent reads fan out across shards and queries
+//! simultaneously.
+//!
+//! Every read request carries an optional `at_epoch` pin: `None` reads
+//! the published epoch; `Some(e)` reads the retained epoch `e` from the
+//! registry's history ring ([`crate::HistoryPolicy`]) or fails with the
+//! typed [`ServeError::EpochEvicted`].
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -23,29 +30,191 @@ use crate::ServeError;
 /// A query or mutation against one named graph.
 ///
 /// Part of the wire contract: serializes via serde's externally-tagged
-/// enum encoding (see [`crate::wire`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// enum encoding (see [`crate::wire`]). The `at_epoch` pins are a
+/// protocol-v2 extension encoded **additively**: `at_epoch: None`
+/// serializes byte-identically to the v1 frames (no `at_epoch` key;
+/// `Stats` stays the bare `"Stats"` string), and v1 frames decode with
+/// `at_epoch: None` — see the hand-written serde impls below.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// kNN-classify each vertex from the labeled train set (majority vote
     /// of the `k` nearest labeled rows, nearest-first tiebreak — the
     /// semantics of `gee_eval::knn_classify`).
-    Classify { vertices: Vec<u32>, k: usize },
+    Classify {
+        vertices: Vec<u32>,
+        k: usize,
+        at_epoch: Option<u64>,
+    },
     /// The `top` nearest vertices to `vertex` by embedding distance
     /// (Euclidean), excluding the vertex itself. Ties break toward the
     /// smaller vertex id.
-    Similar { vertex: u32, top: usize },
+    Similar {
+        vertex: u32,
+        top: usize,
+        at_epoch: Option<u64>,
+    },
     /// The raw embedding row of one vertex.
-    EmbedRow { vertex: u32 },
+    EmbedRow { vertex: u32, at_epoch: Option<u64> },
     /// Apply a mutation batch and publish a new epoch.
     ApplyUpdates { updates: Vec<Update> },
-    /// Serving statistics for the graph.
-    Stats,
+    /// Serving statistics for the graph (optionally describing a pinned
+    /// retained epoch).
+    Stats { at_epoch: Option<u64> },
 }
 
 impl Request {
+    /// `Classify` with no epoch pin.
+    pub fn classify(vertices: Vec<u32>, k: usize) -> Request {
+        Request::Classify {
+            vertices,
+            k,
+            at_epoch: None,
+        }
+    }
+
+    /// `Similar` with no epoch pin.
+    pub fn similar(vertex: u32, top: usize) -> Request {
+        Request::Similar {
+            vertex,
+            top,
+            at_epoch: None,
+        }
+    }
+
+    /// `EmbedRow` with no epoch pin.
+    pub fn embed_row(vertex: u32) -> Request {
+        Request::EmbedRow {
+            vertex,
+            at_epoch: None,
+        }
+    }
+
+    /// `Stats` with no epoch pin.
+    pub fn stats() -> Request {
+        Request::Stats { at_epoch: None }
+    }
+
+    /// The epoch this read pins, if any (`None` for writes).
+    pub fn at_epoch(&self) -> Option<u64> {
+        match self {
+            Request::Classify { at_epoch, .. }
+            | Request::Similar { at_epoch, .. }
+            | Request::EmbedRow { at_epoch, .. }
+            | Request::Stats { at_epoch } => *at_epoch,
+            Request::ApplyUpdates { .. } => None,
+        }
+    }
+
+    /// This request with its epoch pin set (no-op on writes).
+    pub fn pinned(mut self, epoch: u64) -> Request {
+        match &mut self {
+            Request::Classify { at_epoch, .. }
+            | Request::Similar { at_epoch, .. }
+            | Request::EmbedRow { at_epoch, .. }
+            | Request::Stats { at_epoch } => *at_epoch = Some(epoch),
+            Request::ApplyUpdates { .. } => {}
+        }
+        self
+    }
+
     /// Writes break read runs; everything else coalesces.
     fn is_write(&self) -> bool {
         matches!(self, Request::ApplyUpdates { .. })
+    }
+}
+
+// Hand-written wire encoding for `Request` (everything else derives):
+// the derive would always emit an `at_epoch` key and would turn `Stats`
+// into a struct variant, changing every v1 frame. These impls keep the
+// v1 byte encoding for unpinned requests and only add the key when a pin
+// is present, so the extension is additive on the wire
+// (`tests/wire_roundtrip.rs` pins the exact bytes).
+impl Serialize for Request {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        fn variant(tag: &str, mut fields: Vec<(String, Value)>, at_epoch: &Option<u64>) -> Value {
+            if let Some(e) = at_epoch {
+                fields.push(("at_epoch".to_string(), Value::from(*e)));
+            }
+            Value::Object(vec![(tag.to_string(), Value::Object(fields))])
+        }
+        match self {
+            Request::Classify {
+                vertices,
+                k,
+                at_epoch,
+            } => variant(
+                "Classify",
+                vec![
+                    ("vertices".to_string(), vertices.to_value()),
+                    ("k".to_string(), k.to_value()),
+                ],
+                at_epoch,
+            ),
+            Request::Similar {
+                vertex,
+                top,
+                at_epoch,
+            } => variant(
+                "Similar",
+                vec![
+                    ("vertex".to_string(), vertex.to_value()),
+                    ("top".to_string(), top.to_value()),
+                ],
+                at_epoch,
+            ),
+            Request::EmbedRow { vertex, at_epoch } => variant(
+                "EmbedRow",
+                vec![("vertex".to_string(), vertex.to_value())],
+                at_epoch,
+            ),
+            Request::ApplyUpdates { updates } => Value::Object(vec![(
+                "ApplyUpdates".to_string(),
+                Value::Object(vec![("updates".to_string(), updates.to_value())]),
+            )]),
+            Request::Stats { at_epoch: None } => Value::String("Stats".to_string()),
+            Request::Stats { at_epoch } => variant("Stats", vec![], at_epoch),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::{de_field, DeError, Value};
+        match v {
+            Value::String(s) if s == "Stats" => Ok(Request::Stats { at_epoch: None }),
+            Value::Object(pairs) if pairs.len() == 1 => {
+                let (tag, inner) = &pairs[0];
+                match tag.as_str() {
+                    "Classify" => Ok(Request::Classify {
+                        vertices: Deserialize::from_value(de_field(inner, "vertices")?)?,
+                        k: Deserialize::from_value(de_field(inner, "k")?)?,
+                        at_epoch: Deserialize::from_value(de_field(inner, "at_epoch")?)?,
+                    }),
+                    "Similar" => Ok(Request::Similar {
+                        vertex: Deserialize::from_value(de_field(inner, "vertex")?)?,
+                        top: Deserialize::from_value(de_field(inner, "top")?)?,
+                        at_epoch: Deserialize::from_value(de_field(inner, "at_epoch")?)?,
+                    }),
+                    "EmbedRow" => Ok(Request::EmbedRow {
+                        vertex: Deserialize::from_value(de_field(inner, "vertex")?)?,
+                        at_epoch: Deserialize::from_value(de_field(inner, "at_epoch")?)?,
+                    }),
+                    "ApplyUpdates" => Ok(Request::ApplyUpdates {
+                        updates: Deserialize::from_value(de_field(inner, "updates")?)?,
+                    }),
+                    "Stats" => Ok(Request::Stats {
+                        at_epoch: Deserialize::from_value(de_field(inner, "at_epoch")?)?,
+                    }),
+                    other => Err(DeError(format!(
+                        "unknown variant {other:?} for enum Request"
+                    ))),
+                }
+            }
+            other => Err(DeError(format!(
+                "invalid representation for enum Request: {other:?}"
+            ))),
+        }
     }
 }
 
@@ -66,11 +235,16 @@ pub enum Response {
 }
 
 /// Snapshot-plus-counters description of a served graph. Part of the
-/// wire contract.
+/// wire contract. With `Stats { at_epoch: Some(e) }` the
+/// per-snapshot fields (`epoch`, `num_labeled`) describe the pinned
+/// epoch; `oldest_epoch` and the counters always describe the present.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GraphReport {
     pub graph: String,
     pub epoch: u64,
+    /// Oldest epoch still retained for `at_epoch` reads (equals the
+    /// published epoch when [`crate::HistoryPolicy`] keeps 1).
+    pub oldest_epoch: u64,
     pub num_vertices: usize,
     pub dim: usize,
     pub num_shards: usize,
@@ -121,6 +295,13 @@ impl Engine {
         )?)))
     }
 
+    /// Stand up an engine over a registry opened with a full
+    /// [`RegistryConfig`](crate::RegistryConfig) (history retention,
+    /// back-pressure, durability).
+    pub fn with_config(config: crate::RegistryConfig) -> Result<Engine, ServeError> {
+        Ok(Engine::new(Arc::new(Registry::with_config(config)?)))
+    }
+
     /// The underlying registry (for registration and admin).
     pub fn registry(&self) -> &Registry {
         &self.registry
@@ -138,7 +319,25 @@ impl Engine {
         vertices: Vec<u32>,
         k: usize,
     ) -> Result<Vec<u32>, ServeError> {
-        match self.execute(graph, Request::Classify { vertices, k })? {
+        self.classify_at(graph, vertices, k, None)
+    }
+
+    /// [`Engine::classify`] pinned to a retained epoch.
+    pub fn classify_at(
+        &self,
+        graph: &str,
+        vertices: Vec<u32>,
+        k: usize,
+        at_epoch: Option<u64>,
+    ) -> Result<Vec<u32>, ServeError> {
+        match self.execute(
+            graph,
+            Request::Classify {
+                vertices,
+                k,
+                at_epoch,
+            },
+        )? {
             Response::Classes(classes) => Ok(classes),
             other => unreachable!("Classify answered with {other:?}"),
         }
@@ -151,7 +350,25 @@ impl Engine {
         vertex: u32,
         top: usize,
     ) -> Result<Vec<(u32, f64)>, ServeError> {
-        match self.execute(graph, Request::Similar { vertex, top })? {
+        self.similar_at(graph, vertex, top, None)
+    }
+
+    /// [`Engine::similar`] pinned to a retained epoch.
+    pub fn similar_at(
+        &self,
+        graph: &str,
+        vertex: u32,
+        top: usize,
+        at_epoch: Option<u64>,
+    ) -> Result<Vec<(u32, f64)>, ServeError> {
+        match self.execute(
+            graph,
+            Request::Similar {
+                vertex,
+                top,
+                at_epoch,
+            },
+        )? {
             Response::Neighbors(neighbors) => Ok(neighbors),
             other => unreachable!("Similar answered with {other:?}"),
         }
@@ -159,7 +376,17 @@ impl Engine {
 
     /// One raw embedding row.
     pub fn embed_row(&self, graph: &str, vertex: u32) -> Result<Vec<f64>, ServeError> {
-        match self.execute(graph, Request::EmbedRow { vertex })? {
+        self.embed_row_at(graph, vertex, None)
+    }
+
+    /// [`Engine::embed_row`] pinned to a retained epoch.
+    pub fn embed_row_at(
+        &self,
+        graph: &str,
+        vertex: u32,
+        at_epoch: Option<u64>,
+    ) -> Result<Vec<f64>, ServeError> {
+        match self.execute(graph, Request::EmbedRow { vertex, at_epoch })? {
             Response::Row(row) => Ok(row),
             other => unreachable!("EmbedRow answered with {other:?}"),
         }
@@ -179,7 +406,12 @@ impl Engine {
 
     /// Serving statistics for one graph.
     pub fn stats(&self, graph: &str) -> Result<GraphReport, ServeError> {
-        match self.execute(graph, Request::Stats)? {
+        self.stats_at(graph, None)
+    }
+
+    /// [`Engine::stats`] describing a pinned retained epoch.
+    pub fn stats_at(&self, graph: &str, at_epoch: Option<u64>) -> Result<GraphReport, ServeError> {
+        match self.execute(graph, Request::Stats { at_epoch })? {
             Response::Stats(report) => Ok(report),
             other => unreachable!("Stats answered with {other:?}"),
         }
@@ -210,30 +442,34 @@ impl Engine {
                     j += 1;
                 }
                 let run = &batch[i..j];
-                // One entry + snapshot resolution per graph for the whole
-                // run: reads in the run see a single consistent epoch per
-                // graph, and the registry lock is not re-taken per
-                // request inside the parallel region (so a concurrent
-                // deregister cannot fail reads that already hold their
-                // snapshot).
+                // One entry + snapshot resolution per (graph, pinned
+                // epoch) for the whole run: unpinned reads in the run
+                // see a single consistent published epoch per graph,
+                // pinned reads their retained epoch, and the registry
+                // lock is not re-taken per request inside the parallel
+                // region (so a concurrent deregister cannot fail reads
+                // that already hold their snapshot).
                 type Resolved = Result<(Arc<crate::registry::Entry>, Arc<Snapshot>), ServeError>;
-                let mut snaps: Vec<(String, Resolved)> = Vec::new();
+                type Key = (String, Option<u64>);
+                let mut snaps: Vec<(Key, Resolved)> = Vec::new();
                 for env in run {
-                    if !snaps.iter().any(|(g, _)| g == &env.graph) {
-                        let resolved = self.registry.entry(&env.graph).map(|entry| {
-                            let snap = entry.snapshot();
-                            (entry, snap)
+                    let pin = env.request.at_epoch();
+                    if !snaps.iter().any(|(k, _)| k.0 == env.graph && k.1 == pin) {
+                        let resolved = self.registry.entry(&env.graph).and_then(|entry| {
+                            let snap = entry.snapshot_sel(&env.graph, pin)?;
+                            Ok((entry, snap))
                         });
-                        snaps.push((env.graph.clone(), resolved));
+                        snaps.push(((env.graph.clone(), pin), resolved));
                     }
                 }
                 let answers: Vec<Result<Response, ServeError>> = run
                     .par_iter()
                     .map(|env| {
+                        let pin = env.request.at_epoch();
                         let (_, resolved) = snaps
                             .iter()
-                            .find(|(g, _)| g == &env.graph)
-                            .expect("snapshot prefetched for every graph in run");
+                            .find(|(k, _)| k.0 == env.graph && k.1 == pin)
+                            .expect("snapshot prefetched for every (graph, epoch) in run");
                         match resolved {
                             Err(e) => Err(e.clone()),
                             Ok((entry, snap)) => {
@@ -272,7 +508,7 @@ impl Engine {
         snap: &Snapshot,
     ) -> Result<Response, ServeError> {
         entry.queries_served.fetch_add(1, Ordering::Relaxed);
-        let n = snap.embedding.num_vertices();
+        let n = snap.num_vertices();
         let check = |v: u32| {
             if (v as usize) < n {
                 Ok(())
@@ -284,7 +520,7 @@ impl Engine {
             }
         };
         match request {
-            Request::Classify { vertices, k } => {
+            Request::Classify { vertices, k, .. } => {
                 if *k == 0 {
                     return Err(ServeError::ZeroLimit { param: "k".into() });
                 }
@@ -310,42 +546,41 @@ impl Engine {
                 };
                 Ok(Response::Classes(classes))
             }
-            Request::Similar { vertex, top } => {
+            Request::Similar { vertex, top, .. } => {
                 if *top == 0 {
                     return Err(ServeError::ZeroLimit {
                         param: "top".into(),
                     });
                 }
                 check(*vertex)?;
-                Ok(Response::Neighbors(similar(
-                    snap,
-                    &entry.layout,
-                    *vertex,
-                    *top,
-                )))
+                Ok(Response::Neighbors(similar(snap, *vertex, *top)))
             }
-            Request::EmbedRow { vertex } => {
+            Request::EmbedRow { vertex, .. } => {
                 check(*vertex)?;
-                Ok(Response::Row(snap.embedding.row(*vertex).to_vec()))
+                Ok(Response::Row(snap.row(*vertex).to_vec()))
             }
-            Request::Stats => Ok(Response::Stats(GraphReport {
-                graph: graph.to_string(),
-                epoch: snap.epoch,
-                num_vertices: n,
-                dim: snap.embedding.dim(),
-                num_shards: entry.layout.num_shards(),
-                num_labeled: snap.num_labeled(),
-                queries_served: entry.queries_served.load(Ordering::Relaxed),
-                updates_applied: entry.updates_applied.load(Ordering::Relaxed),
-            })),
+            Request::Stats { .. } => {
+                let (oldest_epoch, _) = entry.epoch_range();
+                Ok(Response::Stats(GraphReport {
+                    graph: graph.to_string(),
+                    epoch: snap.epoch,
+                    oldest_epoch,
+                    num_vertices: n,
+                    dim: snap.dim(),
+                    num_shards: snap.num_shards(),
+                    num_labeled: snap.num_labeled(),
+                    queries_served: entry.queries_served.load(Ordering::Relaxed),
+                    updates_applied: entry.updates_applied.load(Ordering::Relaxed),
+                }))
+            }
             Request::ApplyUpdates { .. } => unreachable!("writes handled in execute_write"),
         }
     }
 }
 
-/// kNN-classify one vertex: scan each shard's train set in parallel for
-/// its local k-best, merge to the global k-best, then majority-vote with
-/// nearest-first tiebreak — exactly the semantics of
+/// kNN-classify one vertex: scan each shard block's train set in
+/// parallel for its local k-best, merge to the global k-best, then
+/// majority-vote with nearest-first tiebreak — exactly the semantics of
 /// `gee_eval::knn_classify`, sharded.
 ///
 /// `knn_classify` iterates the train set in vertex order and inserts each
@@ -355,15 +590,18 @@ impl Engine {
 /// ordering locally (per-shard train sets ascend) and the merge re-sorts
 /// by the same key, so the final list — membership and order — is
 /// identical to the unsharded scan.
+///
+/// A train vertex's row lives in its own shard's block, so each shard
+/// scan reads one block's rows directly; only the query row needs the
+/// cross-block lookup.
 fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32 {
-    let z = &snap.embedding;
-    let qr = z.row(q);
-    let scan_shard = |train: &Vec<(u32, u32)>| {
+    let qr = snap.row(q);
+    let scan_block = |block: &Arc<crate::snapshot::ShardBlock>| {
         let mut best: Vec<(f64, u32, u32)> = Vec::with_capacity(k + 1);
-        for &(t, class) in train {
+        for &(t, class) in block.train() {
             let d: f64 = qr
                 .iter()
-                .zip(z.row(t))
+                .zip(block.row(t))
                 .map(|(a, b)| (a - b) * (a - b))
                 .sum();
             let pos = best.partition_point(|&(bd, ..)| bd < d);
@@ -377,9 +615,9 @@ fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32
         best
     };
     let per_shard: Vec<Vec<(f64, u32, u32)>> = if parallel_shards {
-        snap.train_by_shard.par_iter().map(scan_shard).collect()
+        snap.blocks().par_iter().map(scan_block).collect()
     } else {
-        snap.train_by_shard.iter().map(scan_shard).collect()
+        snap.blocks().iter().map(scan_block).collect()
     };
     let mut merged: Vec<(f64, u32, u32)> = per_shard.into_iter().flatten().collect();
     merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
@@ -396,41 +634,41 @@ fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32
         .expect("labeled train set is nonempty")
 }
 
-/// Shard-parallel nearest-neighbor sweep for `Similar`.
-fn similar(
-    snap: &Snapshot,
-    layout: &crate::shard::ShardLayout,
-    vertex: u32,
-    top: usize,
-) -> Vec<(u32, f64)> {
+/// Shard-parallel nearest-neighbor sweep for `Similar`, one block per
+/// task, each scanning its own rows sequentially.
+fn similar(snap: &Snapshot, vertex: u32, top: usize) -> Vec<(u32, f64)> {
     debug_assert!(top > 0, "top = 0 is rejected before the sweep");
-    let z = &snap.embedding;
-    let qr = z.row(vertex);
-    let per_shard: Vec<Vec<(f64, u32)>> = layout.par_map(|_, lo, hi| {
-        let mut best: Vec<(f64, u32)> = Vec::with_capacity(top + 1);
-        for v in lo..hi {
-            if v == vertex {
-                continue;
-            }
-            let d: f64 = qr
-                .iter()
-                .zip(z.row(v))
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            // Tie-break toward smaller id: ids ascend within a shard, so
-            // inserting *after* equal distances keeps the smaller id first
-            // and the boundary drops the larger id, consistent with the
-            // final `(distance, id)` sort.
-            let pos = best.partition_point(|&(bd, _)| bd <= d);
-            if pos < top {
-                best.insert(pos, (d, v));
-                if best.len() > top {
-                    best.pop();
+    let qr = snap.row(vertex);
+    let per_shard: Vec<Vec<(f64, u32)>> = snap
+        .blocks()
+        .par_iter()
+        .map(|block| {
+            let (lo, hi) = block.range();
+            let mut best: Vec<(f64, u32)> = Vec::with_capacity(top + 1);
+            for v in lo..hi {
+                if v == vertex {
+                    continue;
+                }
+                let d: f64 = qr
+                    .iter()
+                    .zip(block.row(v))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                // Tie-break toward smaller id: ids ascend within a shard, so
+                // inserting *after* equal distances keeps the smaller id first
+                // and the boundary drops the larger id, consistent with the
+                // final `(distance, id)` sort.
+                let pos = best.partition_point(|&(bd, _)| bd <= d);
+                if pos < top {
+                    best.insert(pos, (d, v));
+                    if best.len() > top {
+                        best.pop();
+                    }
                 }
             }
-        }
-        best
-    });
+            best
+        })
+        .collect();
     let mut merged: Vec<(f64, u32)> = per_shard.into_iter().flatten().collect();
     merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     merged.truncate(top);
@@ -467,23 +705,12 @@ mod tests {
         let (engine, n) = engine(4);
         let snap = engine.registry().snapshot("g").unwrap();
         let queries: Vec<u32> = (0..n as u32).collect();
-        let train: Vec<(u32, u32)> = snap.labels.iter_labeled().collect();
+        let train: Vec<(u32, u32)> = snap.iter_labeled().collect();
+        let z = snap.to_embedding();
         for k in [1, 3, 7] {
-            let expected = gee_eval::knn_classify(
-                snap.embedding.as_slice(),
-                snap.embedding.dim(),
-                &train,
-                &queries,
-                k,
-            );
+            let expected = gee_eval::knn_classify(z.as_slice(), z.dim(), &train, &queries, k);
             let got = match engine
-                .execute(
-                    "g",
-                    Request::Classify {
-                        vertices: queries.clone(),
-                        k,
-                    },
-                )
+                .execute("g", Request::classify(queries.clone(), k))
                 .unwrap()
             {
                 Response::Classes(c) => c,
@@ -500,13 +727,7 @@ mod tests {
             .map(|s| {
                 let (engine, n) = engine(s);
                 match engine
-                    .execute(
-                        "g",
-                        Request::Classify {
-                            vertices: (0..n as u32).collect(),
-                            k: 5,
-                        },
-                    )
+                    .execute("g", Request::classify((0..n as u32).collect(), 5))
                     .unwrap()
                 {
                     Response::Classes(c) => c,
@@ -522,10 +743,7 @@ mod tests {
     #[test]
     fn similar_finds_nearest_and_excludes_self() {
         let (engine, _) = engine(3);
-        let got = match engine
-            .execute("g", Request::Similar { vertex: 7, top: 10 })
-            .unwrap()
-        {
+        let got = match engine.execute("g", Request::similar(7, 10)).unwrap() {
             Response::Neighbors(x) => x,
             other => panic!("unexpected response {other:?}"),
         };
@@ -537,7 +755,7 @@ mod tests {
         );
         // Oracle: serial full scan.
         let snap = engine.registry().snapshot("g").unwrap();
-        let z = &snap.embedding;
+        let z = snap.to_embedding();
         let mut all: Vec<(f64, u32)> = (0..z.num_vertices() as u32)
             .filter(|&v| v != 7)
             .map(|v| {
@@ -559,14 +777,8 @@ mod tests {
     fn batch_equals_one_at_a_time() {
         let make_batch = || {
             vec![
-                Envelope::new("g", Request::EmbedRow { vertex: 3 }),
-                Envelope::new(
-                    "g",
-                    Request::Classify {
-                        vertices: vec![1, 2, 3],
-                        k: 3,
-                    },
-                ),
+                Envelope::new("g", Request::embed_row(3)),
+                Envelope::new("g", Request::classify(vec![1, 2, 3], 3)),
                 Envelope::new(
                     "g",
                     Request::ApplyUpdates {
@@ -579,14 +791,8 @@ mod tests {
                         ],
                     },
                 ),
-                Envelope::new(
-                    "g",
-                    Request::Classify {
-                        vertices: vec![1, 2, 3],
-                        k: 3,
-                    },
-                ),
-                Envelope::new("g", Request::Similar { vertex: 1, top: 5 }),
+                Envelope::new("g", Request::classify(vec![1, 2, 3], 3)),
+                Envelope::new("g", Request::similar(1, 5)),
             ]
         };
         let (engine_a, _) = engine(4);
@@ -609,8 +815,8 @@ mod tests {
     fn reads_in_one_run_share_an_epoch() {
         let (engine, _) = engine(2);
         let batch = vec![
-            Envelope::new("g", Request::Stats),
-            Envelope::new("g", Request::Stats),
+            Envelope::new("g", Request::stats()),
+            Envelope::new("g", Request::stats()),
         ];
         let epochs: Vec<u64> = engine
             .execute_batch(batch)
@@ -627,16 +833,10 @@ mod tests {
     fn errors_are_per_request() {
         let (engine, n) = engine(2);
         let batch = vec![
-            Envelope::new("g", Request::EmbedRow { vertex: 0 }),
-            Envelope::new("g", Request::EmbedRow { vertex: n as u32 }), // out of range
-            Envelope::new("missing", Request::Stats),                   // unknown graph
-            Envelope::new(
-                "g",
-                Request::Classify {
-                    vertices: vec![0],
-                    k: 0,
-                },
-            ), // bad k
+            Envelope::new("g", Request::embed_row(0)),
+            Envelope::new("g", Request::embed_row(n as u32)), // out of range
+            Envelope::new("missing", Request::stats()),       // unknown graph
+            Envelope::new("g", Request::classify(vec![0], 0)), // bad k
         ];
         let results = engine.execute_batch(batch);
         assert!(results[0].is_ok());
@@ -654,22 +854,10 @@ mod tests {
         // vertex id at/beyond n, not panic on slice indexing.
         let (engine, n) = engine(3);
         for (name, req) in [
-            (
-                "Similar",
-                Request::Similar {
-                    vertex: n as u32,
-                    top: 5,
-                },
-            ),
-            ("EmbedRow", Request::EmbedRow { vertex: u32::MAX }),
+            ("Similar", Request::similar(n as u32, 5)),
+            ("EmbedRow", Request::embed_row(u32::MAX)),
             // Out-of-range in the middle of an otherwise valid list.
-            (
-                "Classify",
-                Request::Classify {
-                    vertices: vec![0, n as u32, 1],
-                    k: 3,
-                },
-            ),
+            ("Classify", Request::classify(vec![0, n as u32, 1], 3)),
         ] {
             let got = engine.execute("g", req);
             assert!(
@@ -683,19 +871,13 @@ mod tests {
     fn zero_limits_are_typed_errors() {
         let (engine, _) = engine(2);
         assert_eq!(
-            engine.execute("g", Request::Similar { vertex: 0, top: 0 }),
+            engine.execute("g", Request::similar(0, 0)),
             Err(ServeError::ZeroLimit {
                 param: "top".into()
             })
         );
         assert_eq!(
-            engine.execute(
-                "g",
-                Request::Classify {
-                    vertices: vec![0],
-                    k: 0
-                }
-            ),
+            engine.execute("g", Request::classify(vec![0], 0)),
             Err(ServeError::ZeroLimit { param: "k".into() })
         );
     }
@@ -712,13 +894,7 @@ mod tests {
         .unwrap();
         let engine = Engine::new(Arc::new(reg));
         assert_eq!(
-            engine.execute(
-                "bare",
-                Request::Classify {
-                    vertices: vec![0],
-                    k: 3
-                }
-            ),
+            engine.execute("bare", Request::classify(vec![0], 3)),
             Err(ServeError::NoLabeledVertices {
                 graph: "bare".into()
             })
@@ -731,13 +907,7 @@ mod tests {
         assert_eq!(
             engine.classify("g", vec![0, 1], 3).unwrap(),
             match engine
-                .execute(
-                    "g",
-                    Request::Classify {
-                        vertices: vec![0, 1],
-                        k: 3
-                    }
-                )
+                .execute("g", Request::classify(vec![0, 1], 3))
                 .unwrap()
             {
                 Response::Classes(c) => c,
@@ -756,9 +926,7 @@ mod tests {
     #[test]
     fn stats_counts_queries_and_updates() {
         let (engine, _) = engine(2);
-        engine
-            .execute("g", Request::EmbedRow { vertex: 0 })
-            .unwrap();
+        engine.execute("g", Request::embed_row(0)).unwrap();
         engine
             .execute(
                 "g",
@@ -767,13 +935,93 @@ mod tests {
                 },
             )
             .unwrap();
-        let report = match engine.execute("g", Request::Stats).unwrap() {
+        let report = match engine.execute("g", Request::stats()).unwrap() {
             Response::Stats(s) => s,
             other => panic!("unexpected response {other:?}"),
         };
         assert_eq!(report.epoch, 1);
+        assert_eq!(report.oldest_epoch, 1, "default history keeps 1 epoch");
         assert_eq!(report.updates_applied, 1);
         assert!(report.queries_served >= 1);
         assert_eq!(report.num_shards, 2);
+    }
+
+    #[test]
+    fn pinned_reads_travel_in_time() {
+        let n = 60;
+        let el = gee_gen::erdos_renyi_gnm(n, 300, 77);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(
+                n,
+                LabelSpec {
+                    num_classes: 3,
+                    labeled_fraction: 0.4,
+                },
+                9,
+            ),
+            3,
+        );
+        let engine = Engine::with_config(crate::RegistryConfig {
+            default_shards: 4,
+            history: crate::HistoryPolicy::keep(4),
+            ..crate::RegistryConfig::default()
+        })
+        .unwrap();
+        engine.registry().register("g", &el, &labels).unwrap();
+        let row_then = engine.embed_row("g", 5).unwrap();
+        let classes_then = engine.classify("g", vec![0, 1, 2], 3).unwrap();
+        for i in 0..3u32 {
+            engine
+                .apply_updates(
+                    "g",
+                    vec![Update::InsertEdge {
+                        u: 5,
+                        v: (i * 13 + 1) % n as u32,
+                        w: 4.0 + f64::from(i),
+                    }],
+                )
+                .unwrap();
+        }
+        // Pinned at epoch 0, every read answers exactly as it did then.
+        assert_eq!(engine.embed_row_at("g", 5, Some(0)).unwrap(), row_then);
+        assert_eq!(
+            engine.classify_at("g", vec![0, 1, 2], 3, Some(0)).unwrap(),
+            classes_then
+        );
+        assert_eq!(
+            engine.similar_at("g", 5, 4, Some(0)).unwrap(),
+            engine.similar_at("g", 5, 4, Some(0)).unwrap(),
+            "pinned reads are stable"
+        );
+        let pinned = engine.stats_at("g", Some(1)).unwrap();
+        assert_eq!((pinned.epoch, pinned.oldest_epoch), (1, 0));
+        // Unpinned reads see the newest epoch.
+        assert_eq!(engine.stats("g").unwrap().epoch, 3);
+        assert_ne!(engine.embed_row("g", 5).unwrap(), row_then);
+        // Pins outside the ring are typed errors.
+        assert!(matches!(
+            engine.embed_row_at("g", 5, Some(99)),
+            Err(ServeError::EpochEvicted {
+                oldest: 0,
+                newest: 3,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn one_run_serves_multiple_pinned_epochs_consistently() {
+        let (engine, _) = engine(3);
+        // Default history keeps 1: pinning the published epoch works,
+        // anything else is evicted.
+        let epoch = engine.stats("g").unwrap().epoch;
+        let batch = vec![
+            Envelope::new("g", Request::embed_row(0)),
+            Envelope::new("g", Request::embed_row(0).pinned(epoch)),
+            Envelope::new("g", Request::embed_row(0).pinned(epoch + 1)),
+        ];
+        let results = engine.execute_batch(batch);
+        assert_eq!(results[0], results[1]);
+        assert!(matches!(results[2], Err(ServeError::EpochEvicted { .. })));
     }
 }

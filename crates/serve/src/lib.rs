@@ -16,6 +16,10 @@
 //! * [`ShardLayout`] partitions vertices across `S` contiguous shards so
 //!   snapshot materialization, kNN scans, and `Similar` sweeps run
 //!   shard-parallel via rayon.
+//! * A [`Snapshot`] is a set of per-shard [`ShardBlock`]s published
+//!   **copy-on-write**: an update batch re-materializes only the shards
+//!   it dirtied and structurally shares the rest with the parent epoch
+//!   (see `registry`'s module docs for the exact dirty rules).
 //! * [`Engine`] answers typed requests — [`Request::Classify`],
 //!   [`Request::Similar`], [`Request::EmbedRow`],
 //!   [`Request::ApplyUpdates`], [`Request::Stats`] — and
@@ -23,7 +27,7 @@
 //!   snapshot per graph while keeping batch results identical to
 //!   one-at-a-time execution.
 //!
-//! # Wire protocol v1
+//! # Wire protocol
 //!
 //! Every serve type doubles as a versioned public wire contract, so the
 //! engine can be driven across a process boundary with answers provably
@@ -38,8 +42,10 @@
 //! * **Version negotiation** — a connection starts with
 //!   `ClientFrame::Hello { min_version, max_version }`; the server picks
 //!   the highest mutually supported version (currently
-//!   [`wire::PROTOCOL_VERSION`] = 1) and answers `ServerFrame::HelloAck`,
-//!   or a typed [`ServeError::VersionUnsupported`] and closes.
+//!   [`wire::PROTOCOL_VERSION`] = 2; v1 is still spoken, and the v2
+//!   `at_epoch` extension is additive — see [`wire`]'s module docs) and
+//!   answers `ServerFrame::HelloAck`, or a typed
+//!   [`ServeError::VersionUnsupported`] and closes.
 //! * **Requests** — `ClientFrame::Batch { id, requests }` carries an
 //!   ordered [`Envelope`] batch that the server feeds to
 //!   [`Engine::execute_batch`]; the response echoes the `id`, which lets
@@ -56,6 +62,38 @@
 //! `examples/network_serving.rs` for the end-to-end proof and the
 //! `wire_overhead` bench binary for in-process vs duplex vs loopback-TCP
 //! throughput.
+//!
+//! # Epoch pinning and back-pressure
+//!
+//! A registry opened via [`Registry::with_config`] takes two serving
+//! policies alongside durability:
+//!
+//! * **[`HistoryPolicy`]** — how many published epochs each graph
+//!   retains (default 1: newest only). Read requests carry an optional
+//!   `at_epoch` pin ([`Request::Classify`], [`Request::Similar`],
+//!   [`Request::EmbedRow`], [`Request::Stats`], or the `*_at` methods on
+//!   [`Engine`]/[`Client`]): a pinned read answers against exactly that
+//!   retained epoch — time-travel — no matter how many writes have
+//!   landed since. Repeated reads of the same pinned epoch are
+//!   byte-identical for as long as the epoch is retained. A pin outside
+//!   the retained ring (evicted *or* not yet published) fails with the
+//!   typed [`ServeError::EpochEvicted`] ([`ErrorCode::EpochEvicted`] =
+//!   13) naming the retained range, so clients can re-pin. Retention is
+//!   cheap: consecutive epochs share every [`ShardBlock`] their batch
+//!   did not dirty.
+//! * **[`BackpressurePolicy`]** — a bound on update batches in flight
+//!   per graph. Writers that outpace publication are rejected up front
+//!   with [`ServeError::Overloaded`] ([`ErrorCode::Overloaded`] = 14)
+//!   *before* taking any lock, instead of queueing unboundedly on the
+//!   writer mutex; the batch is guaranteed unapplied (and, on a durable
+//!   registry, unlogged), so the caller can simply retry. Reads are
+//!   never back-pressured. [`Registry::hold_write_slot`] reserves a
+//!   slot as a write fence for maintenance windows.
+//!
+//! `tests/concurrency.rs` stress-tests both policies under concurrent
+//! writers and readers, and `tests/cow_property.rs` property-tests that
+//! CoW-published epochs are element-wise identical to from-scratch
+//! rebuilds with exactly the untouched blocks shared.
 //!
 //! # Durability
 //!
@@ -91,11 +129,11 @@
 //! let engine = Engine::new(registry);
 //!
 //! let answers = engine.execute_batch(vec![
-//!     Envelope::new("social", Request::Classify { vertices: vec![0, 1, 2], k: 5 }),
+//!     Envelope::new("social", Request::classify(vec![0, 1, 2], 5)),
 //!     Envelope::new("social", Request::ApplyUpdates {
 //!         updates: vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }],
 //!     }),
-//!     Envelope::new("social", Request::Similar { vertex: 0, top: 3 }),
+//!     Envelope::new("social", Request::similar(0, 3)),
 //! ]);
 //! assert!(answers.iter().all(Result::is_ok));
 //! # if let Ok(Response::Classes(c)) = &answers[0] { assert_eq!(c.len(), 3); }
@@ -116,10 +154,12 @@ pub mod wire;
 
 pub use client::Client;
 pub use engine::{Engine, Envelope, GraphReport, Request, Response};
-pub use registry::{Registry, Update};
+pub use registry::{
+    BackpressurePolicy, HistoryPolicy, Registry, RegistryConfig, Update, WriteSlot,
+};
 pub use server::{Server, ServerHandle};
 pub use shard::ShardLayout;
-pub use snapshot::Snapshot;
+pub use snapshot::{ShardBlock, Snapshot};
 pub use transport::{duplex, DuplexTransport, TcpTransport, Transport};
 pub use wal::{Durability, FaultPoint, SyncPolicy};
 pub use wire::{ClientFrame, ServerFrame, PROTOCOL_VERSION};
@@ -173,6 +213,26 @@ pub enum ServeError {
     /// directory scan). With [`SyncPolicy::Always`] an update batch that
     /// returns this error was *not* committed.
     Storage { detail: String },
+    /// An `at_epoch`-pinned read named an epoch outside the graph's
+    /// retained history ring — either evicted (older than `oldest`) or
+    /// not yet published (newer than `newest`). Retention is set by
+    /// [`HistoryPolicy`]; re-issue without `at_epoch` for the newest
+    /// state.
+    EpochEvicted {
+        graph: String,
+        epoch: u64,
+        oldest: u64,
+        newest: u64,
+    },
+    /// An update batch was rejected by back-pressure: the graph already
+    /// has [`BackpressurePolicy::max_pending_batches`] batches in
+    /// flight. The batch was **not** applied (and not WAL-logged);
+    /// retry later or batch coarser.
+    Overloaded {
+        graph: String,
+        pending: usize,
+        max_pending: usize,
+    },
 }
 
 impl ServeError {
@@ -209,6 +269,8 @@ impl ServeError {
             ServeError::Transport { .. } => ErrorCode::Transport,
             ServeError::Corrupt { .. } => ErrorCode::Corrupt,
             ServeError::Storage { .. } => ErrorCode::Storage,
+            ServeError::EpochEvicted { .. } => ErrorCode::EpochEvicted,
+            ServeError::Overloaded { .. } => ErrorCode::Overloaded,
         }
     }
 }
@@ -230,6 +292,8 @@ pub enum ErrorCode {
     ResponseTooLarge,
     Corrupt,
     Storage,
+    EpochEvicted,
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -248,6 +312,8 @@ impl ErrorCode {
             ErrorCode::ResponseTooLarge => 10,
             ErrorCode::Corrupt => 11,
             ErrorCode::Storage => 12,
+            ErrorCode::EpochEvicted => 13,
+            ErrorCode::Overloaded => 14,
         }
     }
 }
@@ -307,6 +373,29 @@ impl std::fmt::Display for ServeError {
                 write!(f, "durable state corrupt at {path}: {detail}")
             }
             ServeError::Storage { detail } => write!(f, "durable storage failure: {detail}"),
+            ServeError::EpochEvicted {
+                graph,
+                epoch,
+                oldest,
+                newest,
+            } => {
+                write!(
+                    f,
+                    "epoch {epoch} of graph {graph:?} is not retained \
+                     (history holds {oldest}..={newest})"
+                )
+            }
+            ServeError::Overloaded {
+                graph,
+                pending,
+                max_pending,
+            } => {
+                write!(
+                    f,
+                    "graph {graph:?} is overloaded: {pending} update batch(es) already in \
+                     flight (max {max_pending}); retry later"
+                )
+            }
         }
     }
 }
@@ -320,7 +409,7 @@ mod tests {
     #[test]
     fn error_codes_are_stable() {
         // The wire contract: these numbers must never change.
-        let expected: [(ErrorCode, u16); 12] = [
+        let expected: [(ErrorCode, u16); 14] = [
             (ErrorCode::UnknownGraph, 1),
             (ErrorCode::VertexOutOfRange, 2),
             (ErrorCode::ClassOutOfRange, 3),
@@ -333,6 +422,8 @@ mod tests {
             (ErrorCode::ResponseTooLarge, 10),
             (ErrorCode::Corrupt, 11),
             (ErrorCode::Storage, 12),
+            (ErrorCode::EpochEvicted, 13),
+            (ErrorCode::Overloaded, 14),
         ];
         for (code, n) in expected {
             assert_eq!(code.as_u16(), n, "{code:?}");
@@ -398,6 +489,23 @@ mod tests {
                 ErrorCode::Corrupt,
             ),
             (ServeError::storage("x"), ErrorCode::Storage),
+            (
+                ServeError::EpochEvicted {
+                    graph: "g".into(),
+                    epoch: 1,
+                    oldest: 3,
+                    newest: 7,
+                },
+                ErrorCode::EpochEvicted,
+            ),
+            (
+                ServeError::Overloaded {
+                    graph: "g".into(),
+                    pending: 4,
+                    max_pending: 4,
+                },
+                ErrorCode::Overloaded,
+            ),
         ];
         for (err, code) in cases {
             assert_eq!(err.code(), code, "{err}");

@@ -1,18 +1,41 @@
 //! Multi-graph store: named graphs, their write state, and published
-//! epoch snapshots — optionally durable.
+//! epoch snapshots — copy-on-write, history-bounded, back-pressured,
+//! and optionally durable.
 //!
 //! Each registered graph owns
 //!
 //! * a **writer** — the [`DynamicGee`] accumulator, guarded by a `Mutex` so
 //!   update batches serialize;
-//! * a **published snapshot** — an `Arc<Snapshot>` behind an `RwLock`,
-//!   swapped atomically when a write batch commits (readers that already
-//!   cloned the `Arc` keep their consistent view);
+//! * a **published history** — a ring of `Arc<Snapshot>`s behind an
+//!   `RwLock`, newest last. Publishing pushes the next epoch and evicts
+//!   the oldest beyond [`HistoryPolicy::keep`]; readers that already
+//!   cloned an `Arc` keep their consistent view regardless;
 //! * a [`ShardLayout`] used for shard-parallel materialization and scans.
 //!
-//! GEE's linearity is what makes this cheap: an update batch costs O(1)
-//! per edge op and O(deg) per label move in the writer, and publishing a
-//! new epoch is an O(nK) shard-parallel materialization — never a full
+//! # Copy-on-write publication
+//!
+//! [`Registry::apply_updates`] tracks which shards a batch dirties while
+//! applying it (edge ops dirty their endpoints' shards; a label move
+//! dirties every shard's rows — the class-count rescale touches whole
+//! columns — but only one shard's labels), then publishes a snapshot
+//! that rebuilds **only the dirty blocks** and structurally shares the
+//! rest with the parent epoch. A single-shard edge batch on an S-shard
+//! graph re-materializes 1/S of the embedding; the other `S - 1` blocks
+//! are the parent's blocks, `Arc::ptr_eq`-identical. Blocks rebuilt for
+//! rows alone additionally share the parent's labels slice and train
+//! set, skipping the `group_by_shard` regrouping.
+//!
+//! # Back-pressure
+//!
+//! Update batches for one graph serialize on the writer lock. Under a
+//! bounded [`BackpressurePolicy`], a batch that would exceed
+//! `max_pending_batches` in-flight batches is rejected up front with a
+//! typed [`ServeError::Overloaded`] instead of queueing unboundedly —
+//! the caller retries, sheds load, or batches coarser.
+//!
+//! GEE's linearity is what makes all of this cheap: an update batch
+//! costs O(1) per edge op and O(deg) per label move in the writer, and
+//! publishing an epoch costs O(nK/S) per dirty shard — never a full
 //! O(s) edge pass.
 //!
 //! # Durability
@@ -29,7 +52,12 @@
 //! checkpoint and replaying the WAL tail, arriving at writers and
 //! snapshots **bit-identical** to the pre-crash process (same
 //! floating-point accumulation order, same adjacency order, same
-//! epochs) — `tests/durability.rs` proves it query-by-query.
+//! epochs) — `tests/durability.rs` proves it query-by-query. Replay
+//! runs the same dirty-tracking apply path as live traffic, so the
+//! recovered history ring has the same per-shard sharing structure and
+//! the same retained epochs as the uninterrupted process (given the
+//! same [`HistoryPolicy`]); epochs older than the replayed tail are
+//! gone — history is in-memory, not logged.
 //!
 //! Durable mutations serialize on one log lock (WAL order must equal
 //! apply order); reads never touch it. `queries_served` is a read-side
@@ -40,18 +68,18 @@
 //! removes the graph, so re-registering the same name starts a fresh
 //! epoch-0 lineage either way.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
-use gee_core::{DynamicGee, Embedding, Labels};
+use gee_core::{DynamicGee, Labels};
 use gee_graph::{Edge, EdgeList, VertexId, Weight};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{self, Checkpoint, GraphCheckpoint};
 use crate::shard::ShardLayout;
-use crate::snapshot::Snapshot;
+use crate::snapshot::{ShardBlock, Snapshot};
 use crate::wal::{self, Durability, WalRecord, WalWriter};
 use crate::ServeError;
 
@@ -66,6 +94,90 @@ pub enum Update {
     SetLabel { v: VertexId, label: Option<u32> },
 }
 
+/// How many published epochs a graph retains for time-travel reads.
+///
+/// The newest epoch is always retained; `keep = 1` (the default) is the
+/// classic latest-only behavior. With `keep = N`, reads pinned with
+/// `at_epoch` succeed for the `N` most recent epochs and fail with a
+/// typed [`ServeError::EpochEvicted`] beyond that. Memory cost is
+/// bounded by CoW sharing: consecutive epochs share every block their
+/// batch did not dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryPolicy {
+    /// Number of epochs retained (clamped to at least 1).
+    pub keep: usize,
+}
+
+impl HistoryPolicy {
+    /// Retain the `keep` most recent epochs.
+    pub fn keep(keep: usize) -> Self {
+        HistoryPolicy { keep: keep.max(1) }
+    }
+}
+
+impl Default for HistoryPolicy {
+    fn default() -> Self {
+        HistoryPolicy { keep: 1 }
+    }
+}
+
+/// Bound on update batches in flight per graph (applying + queued on
+/// the writer lock). A batch beyond the bound is rejected with
+/// [`ServeError::Overloaded`] before it takes any lock. The default is
+/// unbounded — today's queue-forever behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackpressurePolicy {
+    /// Maximum batches in flight per graph.
+    pub max_pending_batches: usize,
+}
+
+impl BackpressurePolicy {
+    /// Reject the `(max + 1)`-th concurrent batch per graph.
+    pub fn max_pending(max: usize) -> Self {
+        BackpressurePolicy {
+            max_pending_batches: max.max(1),
+        }
+    }
+
+    /// No bound (the default).
+    pub fn unbounded() -> Self {
+        BackpressurePolicy {
+            max_pending_batches: usize::MAX,
+        }
+    }
+}
+
+impl Default for BackpressurePolicy {
+    fn default() -> Self {
+        BackpressurePolicy::unbounded()
+    }
+}
+
+/// Everything [`Registry::with_config`] needs: sharding, history,
+/// back-pressure, and durability in one place.
+#[derive(Debug, Clone)]
+pub struct RegistryConfig {
+    /// Shards per graph unless overridden at registration.
+    pub default_shards: usize,
+    /// Epoch retention for time-travel reads.
+    pub history: HistoryPolicy,
+    /// Bound on in-flight update batches per graph.
+    pub backpressure: BackpressurePolicy,
+    /// WAL + checkpoint persistence.
+    pub durability: Durability,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        RegistryConfig {
+            default_shards: 4,
+            history: HistoryPolicy::default(),
+            backpressure: BackpressurePolicy::default(),
+            durability: Durability::None,
+        }
+    }
+}
+
 /// Per-graph serving state.
 pub(crate) struct Entry {
     pub(crate) layout: ShardLayout,
@@ -73,7 +185,13 @@ pub(crate) struct Entry {
     /// checkpoints persist the request so restore re-clamps identically).
     requested_shards: u32,
     writer: Mutex<DynamicGee>,
-    snapshot: RwLock<Arc<Snapshot>>,
+    /// Published epochs, oldest first, newest (the published epoch) last.
+    history: RwLock<VecDeque<Arc<Snapshot>>>,
+    keep: usize,
+    /// Update batches currently inside `apply_updates` (the
+    /// back-pressure gauge).
+    pending: AtomicU64,
+    max_pending: u64,
     pub(crate) queries_served: AtomicU64,
     pub(crate) updates_applied: AtomicU64,
 }
@@ -81,10 +199,94 @@ pub(crate) struct Entry {
 impl Entry {
     /// The currently published snapshot (cheap `Arc` clone).
     pub(crate) fn snapshot(&self) -> Arc<Snapshot> {
-        self.snapshot
+        self.history
             .read()
-            .expect("snapshot lock poisoned")
+            .expect("history lock poisoned")
+            .back()
+            .expect("history is never empty")
             .clone()
+    }
+
+    /// The retained epoch range `(oldest, newest)`.
+    pub(crate) fn epoch_range(&self) -> (u64, u64) {
+        let ring = self.history.read().expect("history lock poisoned");
+        (
+            ring.front().expect("history is never empty").epoch,
+            ring.back().expect("history is never empty").epoch,
+        )
+    }
+
+    /// The retained snapshot at `epoch`, or [`ServeError::EpochEvicted`]
+    /// naming the retained range.
+    pub(crate) fn snapshot_at(&self, graph: &str, epoch: u64) -> Result<Arc<Snapshot>, ServeError> {
+        let ring = self.history.read().expect("history lock poisoned");
+        let oldest = ring.front().expect("history is never empty").epoch;
+        // Epochs are consecutive, so the ring is indexable — but bound
+        // the u64 offset before the usize cast, or a wire-supplied epoch
+        // could wrap on 32-bit targets and silently hit the wrong slot.
+        if epoch >= oldest && epoch - oldest < ring.len() as u64 {
+            let snap = &ring[(epoch - oldest) as usize];
+            debug_assert_eq!(snap.epoch, epoch);
+            return Ok(snap.clone());
+        }
+        Err(ServeError::EpochEvicted {
+            graph: graph.to_string(),
+            epoch,
+            oldest,
+            newest: ring.back().expect("history is never empty").epoch,
+        })
+    }
+
+    /// Resolve `at_epoch`: `None` → the published snapshot.
+    pub(crate) fn snapshot_sel(
+        &self,
+        graph: &str,
+        at_epoch: Option<u64>,
+    ) -> Result<Arc<Snapshot>, ServeError> {
+        match at_epoch {
+            None => Ok(self.snapshot()),
+            Some(epoch) => self.snapshot_at(graph, epoch),
+        }
+    }
+
+    /// Push the next epoch and evict beyond the retention bound.
+    fn publish(&self, snapshot: Arc<Snapshot>) {
+        let mut ring = self.history.write().expect("history lock poisoned");
+        debug_assert!(ring.back().is_none_or(|b| b.epoch + 1 == snapshot.epoch));
+        ring.push_back(snapshot);
+        while ring.len() > self.keep {
+            ring.pop_front();
+        }
+    }
+}
+
+/// A held write slot, counting against
+/// [`BackpressurePolicy::max_pending_batches`] until dropped. Returned
+/// by [`Registry::hold_write_slot`]; also used internally by every
+/// `apply_updates`.
+pub struct WriteSlot {
+    entry: Arc<Entry>,
+}
+
+impl WriteSlot {
+    /// Reserve a slot or fail with [`ServeError::Overloaded`].
+    fn acquire(graph: &str, entry: Arc<Entry>) -> Result<WriteSlot, ServeError> {
+        let prev = entry.pending.fetch_add(1, Ordering::AcqRel);
+        if prev >= entry.max_pending {
+            entry.pending.fetch_sub(1, Ordering::AcqRel);
+            return Err(ServeError::Overloaded {
+                graph: graph.to_string(),
+                pending: prev as usize,
+                max_pending: entry.max_pending as usize,
+            });
+        }
+        Ok(WriteSlot { entry })
+    }
+}
+
+impl Drop for WriteSlot {
+    fn drop(&mut self) {
+        self.entry.pending.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -137,6 +339,8 @@ impl DurableLog {
 pub struct Registry {
     entries: RwLock<HashMap<String, Arc<Entry>>>,
     default_shards: usize,
+    history: HistoryPolicy,
+    backpressure: BackpressurePolicy,
     durable: Option<Mutex<DurableLog>>,
 }
 
@@ -145,6 +349,8 @@ impl std::fmt::Debug for Registry {
         f.debug_struct("Registry")
             .field("graphs", &self.graph_names())
             .field("default_shards", &self.default_shards)
+            .field("history", &self.history)
+            .field("backpressure", &self.backpressure)
             .field("durable", &self.durable.is_some())
             .finish()
     }
@@ -152,17 +358,27 @@ impl std::fmt::Debug for Registry {
 
 impl Registry {
     /// An in-memory registry whose graphs default to `default_shards`
-    /// shards (equivalent to [`Registry::open`] with
-    /// [`Durability::None`], which cannot fail).
+    /// shards, with default history (latest epoch only) and no
+    /// back-pressure bound.
     pub fn new(default_shards: usize) -> Self {
-        Registry {
-            entries: RwLock::new(HashMap::new()),
-            default_shards: default_shards.max(1),
-            durable: None,
-        }
+        Self::with_config(RegistryConfig {
+            default_shards,
+            ..RegistryConfig::default()
+        })
+        .expect("an in-memory registry cannot fail to open")
     }
 
-    /// Open a registry under the given durability policy. With
+    /// Open a registry under the given durability policy with default
+    /// history and back-pressure. See [`Registry::with_config`].
+    pub fn open(default_shards: usize, durability: Durability) -> Result<Self, ServeError> {
+        Self::with_config(RegistryConfig {
+            default_shards,
+            durability,
+            ..RegistryConfig::default()
+        })
+    }
+
+    /// Open a registry under a full [`RegistryConfig`]. With
     /// [`Durability::Wal`] this **recovers**: the data directory is
     /// created if missing, the latest valid checkpoint is loaded, the
     /// WAL tail is replayed on top (a torn final record — a crash
@@ -171,14 +387,27 @@ impl Registry {
     /// (checksum mismatches, non-tiling segments, retired history)
     /// surfaces as [`ServeError::Corrupt`]; it never panics and never
     /// silently serves a shortened history.
-    pub fn open(default_shards: usize, durability: Durability) -> Result<Self, ServeError> {
+    pub fn with_config(config: RegistryConfig) -> Result<Self, ServeError> {
+        let RegistryConfig {
+            default_shards,
+            history,
+            backpressure,
+            durability,
+        } = config;
+        let history = HistoryPolicy::keep(history.keep);
         let Durability::Wal {
             dir,
             sync,
             checkpoint_every,
         } = durability
         else {
-            return Ok(Self::new(default_shards));
+            return Ok(Registry {
+                entries: RwLock::new(HashMap::new()),
+                default_shards: default_shards.max(1),
+                history,
+                backpressure,
+                durable: None,
+            });
         };
         std::fs::create_dir_all(&dir)
             .map_err(|e| ServeError::storage(format!("creating {}: {e}", dir.display())))?;
@@ -201,7 +430,14 @@ impl Registry {
                     })?;
                 entries.insert(
                     g.name,
-                    Arc::new(make_entry(writer, g.shards, g.epoch, g.updates_applied)),
+                    Arc::new(make_entry(
+                        writer,
+                        g.shards,
+                        g.epoch,
+                        g.updates_applied,
+                        history,
+                        backpressure,
+                    )),
                 );
             }
         }
@@ -209,15 +445,19 @@ impl Registry {
             if *lsn < min_lsn {
                 continue;
             }
-            replay(&mut entries, record).map_err(|detail| ServeError::Corrupt {
-                path: dir.display().to_string(),
-                detail: format!("replaying lsn {lsn}: {detail}"),
+            replay(&mut entries, record, history, backpressure).map_err(|detail| {
+                ServeError::Corrupt {
+                    path: dir.display().to_string(),
+                    detail: format!("replaying lsn {lsn}: {detail}"),
+                }
             })?;
         }
         let writer = WalWriter::open(&dir, sync, &scan)?;
         Ok(Registry {
             entries: RwLock::new(entries),
             default_shards: default_shards.max(1),
+            history,
+            backpressure,
             durable: Some(Mutex::new(DurableLog {
                 writer,
                 dir,
@@ -238,6 +478,16 @@ impl Registry {
         self.durable
             .as_ref()
             .map(|d| d.lock().expect("log lock poisoned").dir.clone())
+    }
+
+    /// The configured epoch retention.
+    pub fn history_policy(&self) -> HistoryPolicy {
+        self.history
+    }
+
+    /// The configured back-pressure bound.
+    pub fn backpressure_policy(&self) -> BackpressurePolicy {
+        self.backpressure
     }
 
     /// Arm a WAL crash point for the crash-recovery harness: the next
@@ -326,6 +576,8 @@ impl Registry {
             shards.min(u32::MAX as usize) as u32,
             0,
             0,
+            self.history,
+            self.backpressure,
         ));
         let snapshot = entry.snapshot();
         self.entries
@@ -410,15 +662,50 @@ impl Registry {
         Ok(self.entry(name)?.snapshot())
     }
 
+    /// The retained snapshot of `name` at `epoch`
+    /// ([`ServeError::EpochEvicted`] when the history ring has dropped
+    /// it — or not yet published it).
+    pub fn snapshot_at(&self, name: &str, epoch: u64) -> Result<Arc<Snapshot>, ServeError> {
+        self.entry(name)?.snapshot_at(name, epoch)
+    }
+
+    /// The retained epoch range `(oldest, newest)` of `name`.
+    pub fn epoch_range(&self, name: &str) -> Result<(u64, u64), ServeError> {
+        Ok(self.entry(name)?.epoch_range())
+    }
+
+    /// Update batches currently in flight for `name` (the back-pressure
+    /// gauge; includes held [`WriteSlot`]s).
+    pub fn pending_batches(&self, name: &str) -> Result<u64, ServeError> {
+        Ok(self.entry(name)?.pending.load(Ordering::Acquire))
+    }
+
+    /// Reserve one of `name`'s write slots without applying anything —
+    /// a write fence: while held, it counts against
+    /// [`BackpressurePolicy::max_pending_batches`], so with
+    /// `max_pending_batches = 1` all concurrent `apply_updates` calls
+    /// are rejected with [`ServeError::Overloaded`] until the slot
+    /// drops. Useful to quiesce writes around maintenance (and to test
+    /// back-pressure deterministically).
+    pub fn hold_write_slot(&self, name: &str) -> Result<WriteSlot, ServeError> {
+        WriteSlot::acquire(name, self.entry(name)?)
+    }
+
     /// Apply an update batch through the writer and publish the next
-    /// epoch. The whole batch becomes visible atomically: readers see
-    /// either the old epoch or the new one, never a half-applied state.
+    /// epoch copy-on-write. The whole batch becomes visible atomically:
+    /// readers see either the old epoch or the new one, never a
+    /// half-applied state.
     ///
     /// Returns `(applied, snapshot)`; `applied` counts updates that took
     /// effect (`RemoveEdge` of a missing edge is a no-op and doesn't
     /// count). An empty batch is a no-op: it returns the currently
     /// published snapshot without publishing a new epoch (and writes
     /// nothing to the WAL).
+    ///
+    /// Under a bounded [`BackpressurePolicy`], a batch that would exceed
+    /// the in-flight bound fails fast with [`ServeError::Overloaded`]
+    /// — checked before any lock is taken, so an overloaded graph
+    /// rejects instead of queueing.
     ///
     /// On a durable registry the batch is validated, WAL-appended
     /// (fsynced under [`SyncPolicy::Always`](crate::SyncPolicy::Always) — the commit point), then
@@ -432,6 +719,14 @@ impl Registry {
         name: &str,
         updates: &[Update],
     ) -> Result<(usize, Arc<Snapshot>), ServeError> {
+        // Back-pressure gate, before any lock: an overloaded graph
+        // rejects immediately rather than joining the queue on the
+        // writer/log locks.
+        let gate = self.entry(name)?;
+        if updates.is_empty() {
+            return Ok((0, gate.snapshot()));
+        }
+        let mut slot = WriteSlot::acquire(name, gate)?;
         // On a durable registry the entry must be resolved *under* the
         // log lock: resolving first would let a concurrent deregister or
         // re-register commit its record between our lookup and our
@@ -442,9 +737,13 @@ impl Registry {
             .as_ref()
             .map(|d| d.lock().expect("log lock poisoned"));
         let entry = self.entry(name)?;
-        if updates.is_empty() {
-            return Ok((0, entry.snapshot()));
+        // The graph may have been deregistered and re-registered between
+        // the gate and here; re-home the slot so the bound (and the
+        // pending gauge) applies to the entry this batch actually writes.
+        if !Arc::ptr_eq(&slot.entry, &entry) {
+            slot = WriteSlot::acquire(name, entry.clone())?;
         }
+        let _slot = slot;
         let mut writer = entry.writer.lock().expect("writer lock poisoned");
         validate_batch(&writer, updates)?;
         if let Some(mut log) = log {
@@ -479,14 +778,21 @@ fn make_entry(
     requested_shards: u32,
     epoch: u64,
     updates_applied: u64,
+    history: HistoryPolicy,
+    backpressure: BackpressurePolicy,
 ) -> Entry {
     let layout = ShardLayout::new(writer.num_vertices(), requested_shards as usize);
-    let snapshot = Arc::new(publish(&writer, &layout, epoch));
+    let snapshot = Arc::new(publish_full(&writer, &layout, epoch));
+    let mut ring = VecDeque::with_capacity(history.keep.min(64));
+    ring.push_back(snapshot);
     Entry {
         layout,
         requested_shards,
         writer: Mutex::new(writer),
-        snapshot: RwLock::new(snapshot),
+        history: RwLock::new(ring),
+        keep: history.keep.max(1),
+        pending: AtomicU64::new(0),
+        max_pending: backpressure.max_pending_batches.min(u64::MAX as usize) as u64,
         queries_served: AtomicU64::new(0),
         updates_applied: AtomicU64::new(updates_applied),
     }
@@ -540,32 +846,70 @@ fn validate_batch(writer: &DynamicGee, updates: &[Update]) -> Result<(), ServeEr
     Ok(())
 }
 
-/// Apply a validated batch and publish the next epoch. Shared verbatim by
-/// the live path and WAL replay, which is what makes replay bit-exact.
+/// Which per-shard state a batch invalidated, tracked while applying.
+struct Dirty {
+    rows: Vec<bool>,
+    labels: Vec<bool>,
+}
+
+impl Dirty {
+    fn clean(num_shards: usize) -> Dirty {
+        Dirty {
+            rows: vec![false; num_shards],
+            labels: vec![false; num_shards],
+        }
+    }
+}
+
+/// Apply a validated batch and publish the next epoch copy-on-write.
+/// Shared verbatim by the live path and WAL replay, which is what makes
+/// replay bit-exact *and* structure-exact (same blocks rebuilt, same
+/// blocks shared).
 fn apply_batch(
     entry: &Entry,
     writer: &mut DynamicGee,
     updates: &[Update],
 ) -> (usize, Arc<Snapshot>) {
+    let layout = &entry.layout;
+    let mut dirty = Dirty::clean(layout.num_shards());
     let mut applied = 0usize;
     for u in updates {
         match *u {
             Update::InsertEdge { u, v, w } => {
                 writer.insert_edge(u, v, w);
                 applied += 1;
+                dirty.rows[layout.shard_of(u)] = true;
+                dirty.rows[layout.shard_of(v)] = true;
             }
             Update::RemoveEdge { u, v, w } => {
-                applied += usize::from(writer.remove_edge(u, v, w));
+                if writer.remove_edge(u, v, w) {
+                    applied += 1;
+                    dirty.rows[layout.shard_of(u)] = true;
+                    dirty.rows[layout.shard_of(v)] = true;
+                }
             }
             Update::SetLabel { v, label } => {
+                // A real label move changes class counts, which rescale
+                // the old and new class columns of *every* row — all
+                // shards' rows are dirty, but only v's shard's labels.
+                if writer.label(v) != label {
+                    dirty.rows.iter_mut().for_each(|d| *d = true);
+                    dirty.labels[layout.shard_of(v)] = true;
+                }
                 writer.set_label(v, label);
                 applied += 1;
             }
         }
     }
-    let next_epoch = entry.snapshot().epoch + 1;
-    let snapshot = Arc::new(publish(writer, &entry.layout, next_epoch));
-    *entry.snapshot.write().expect("snapshot lock poisoned") = snapshot.clone();
+    let parent = entry.snapshot();
+    let snapshot = Arc::new(publish_cow(
+        writer,
+        layout,
+        parent.epoch + 1,
+        &parent,
+        &dirty,
+    ));
+    entry.publish(snapshot.clone());
     entry
         .updates_applied
         .fetch_add(applied as u64, Ordering::Relaxed);
@@ -575,7 +919,12 @@ fn apply_batch(
 /// Apply one WAL record to the recovering entry map. Errors are strings;
 /// the caller wraps them with the offending LSN into
 /// [`ServeError::Corrupt`].
-fn replay(entries: &mut HashMap<String, Arc<Entry>>, record: &WalRecord) -> Result<(), String> {
+fn replay(
+    entries: &mut HashMap<String, Arc<Entry>>,
+    record: &WalRecord,
+    history: HistoryPolicy,
+    backpressure: BackpressurePolicy,
+) -> Result<(), String> {
     match record {
         WalRecord::Register {
             name,
@@ -607,7 +956,10 @@ fn replay(entries: &mut HashMap<String, Arc<Entry>>, record: &WalRecord) -> Resu
             }
             let el = EdgeList::new_unchecked(n, edge_vec);
             let writer = DynamicGee::new(&el, &Labels::from_options_with_k(&opts, k));
-            entries.insert(name.clone(), Arc::new(make_entry(writer, *shards, 0, 0)));
+            entries.insert(
+                name.clone(),
+                Arc::new(make_entry(writer, *shards, 0, 0, history, backpressure)),
+            );
             Ok(())
         }
         WalRecord::Batch { name, updates } => {
@@ -627,18 +979,65 @@ fn replay(entries: &mut HashMap<String, Arc<Entry>>, record: &WalRecord) -> Resu
     }
 }
 
-/// Materialize a snapshot from the writer state, one shard per thread.
-fn publish(writer: &DynamicGee, layout: &ShardLayout, epoch: u64) -> Snapshot {
-    let n = writer.num_vertices();
+/// Raw labels of `lo..hi` from the writer (`-1` = unknown).
+fn writer_labels(writer: &DynamicGee, lo: u32, hi: u32) -> Vec<i32> {
+    (lo..hi)
+        .map(|v| writer.label(v).map_or(-1, |c| c as i32))
+        .collect()
+}
+
+/// Materialize a full snapshot from the writer state, one shard per
+/// thread (registration and checkpoint restore — no parent to share
+/// with).
+fn publish_full(writer: &DynamicGee, layout: &ShardLayout, epoch: u64) -> Snapshot {
     let k = writer.dim();
-    let shard_rows: Vec<Vec<f64>> =
-        layout.par_map(|_, lo, hi| writer.embedding_rows(lo as usize, hi as usize));
-    let mut data = Vec::with_capacity(n * k);
-    for rows in shard_rows {
-        data.extend_from_slice(&rows);
-    }
-    let embedding = Embedding::from_vec(n, k, data);
-    Snapshot::new(epoch, embedding, writer.labels(), layout)
+    let blocks: Vec<Arc<ShardBlock>> = layout.par_map(|_, lo, hi| {
+        Arc::new(ShardBlock::build(
+            lo,
+            hi,
+            k,
+            writer.embedding_rows(lo as usize, hi as usize),
+            writer_labels(writer, lo, hi),
+        ))
+    });
+    Snapshot::from_blocks(epoch, writer.num_vertices(), k, blocks)
+}
+
+/// Publish the next epoch copy-on-write: rebuild the dirty blocks (rows
+/// always; labels and train set only where labels moved) and share the
+/// rest with the parent epoch. Clean rows are bit-identical to a full
+/// rebuild — edge ops touch only their endpoints' `Ẑ` rows and label
+/// moves mark everything dirty — which `tests/cow_property.rs` verifies
+/// element-wise against a from-scratch rebuild.
+fn publish_cow(
+    writer: &DynamicGee,
+    layout: &ShardLayout,
+    epoch: u64,
+    parent: &Snapshot,
+    dirty: &Dirty,
+) -> Snapshot {
+    let k = writer.dim();
+    let blocks: Vec<Arc<ShardBlock>> = layout.par_map(|i, lo, hi| {
+        let parent_block = &parent.blocks()[i];
+        if !dirty.rows[i] && !dirty.labels[i] {
+            return parent_block.clone();
+        }
+        let rows = writer.embedding_rows(lo as usize, hi as usize);
+        if dirty.labels[i] {
+            Arc::new(ShardBlock::build(
+                lo,
+                hi,
+                k,
+                rows,
+                writer_labels(writer, lo, hi),
+            ))
+        } else {
+            // Labels untouched: share the labels slice and skip the
+            // train-set regrouping.
+            Arc::new(parent_block.with_rows(rows))
+        }
+    });
+    Snapshot::from_blocks(epoch, writer.num_vertices(), k, blocks)
 }
 
 #[cfg(test)]
@@ -668,7 +1067,7 @@ mod tests {
         let snap = reg.register("g", &el, &labels).unwrap();
         assert_eq!(snap.epoch, 0);
         let statik = gee_core::serial_optimized::embed(&el, &labels);
-        statik.assert_close(&snap.embedding, 1e-12);
+        statik.assert_close(&snap.to_embedding(), 1e-12);
     }
 
     #[test]
@@ -699,7 +1098,7 @@ mod tests {
         let mut dg = DynamicGee::new(&el, &labels);
         dg.set_label(3, Some(0));
         let oracle = gee_core::serial_optimized::embed(&dg.edge_list(), &dg.labels());
-        oracle.assert_close(&snap.embedding, 1e-11);
+        oracle.assert_close(&snap.to_embedding(), 1e-11);
     }
 
     #[test]
@@ -723,14 +1122,17 @@ mod tests {
         assert!(matches!(err, ServeError::VertexOutOfRange { .. }));
         let after = reg.snapshot("g").unwrap();
         assert_eq!(after.epoch, before.epoch, "failed batch must not publish");
-        assert_eq!(after.embedding.as_slice(), before.embedding.as_slice());
+        assert_eq!(
+            after.to_embedding().as_slice(),
+            before.to_embedding().as_slice()
+        );
     }
 
     #[test]
     fn old_snapshots_stay_consistent_after_writes() {
         let (reg, el, labels) = setup();
         let old = reg.register("g", &el, &labels).unwrap();
-        let frozen = old.embedding.as_slice().to_vec();
+        let frozen = old.to_embedding().as_slice().to_vec();
         // Insert an edge to a *labeled* vertex so the write provably
         // changes the embedding (an edge between two unlabeled vertices
         // contributes nothing).
@@ -748,12 +1150,12 @@ mod tests {
         )
         .unwrap();
         assert_eq!(
-            old.embedding.as_slice(),
+            old.to_embedding().as_slice(),
             &frozen[..],
             "held snapshot must not move"
         );
         assert_ne!(
-            reg.snapshot("g").unwrap().embedding.as_slice(),
+            reg.snapshot("g").unwrap().to_embedding().as_slice(),
             &frozen[..],
             "published snapshot must reflect the write"
         );
@@ -830,5 +1232,149 @@ mod tests {
         assert_eq!(reg.checkpoint_now().unwrap(), None);
         let reg = Registry::open(4, Durability::None).unwrap();
         assert!(!reg.is_durable());
+    }
+
+    #[test]
+    fn edge_batch_shares_untouched_blocks() {
+        let (reg, el, labels) = setup();
+        let parent = reg.register("g", &el, &labels).unwrap();
+        // Both endpoints inside shard 0 (80 vertices / 4 shards = 20 per
+        // shard): exactly one block republishes.
+        let (_, snap) = reg
+            .apply_updates("g", &[Update::InsertEdge { u: 1, v: 2, w: 3.0 }])
+            .unwrap();
+        let shared: Vec<bool> = snap
+            .blocks()
+            .iter()
+            .zip(parent.blocks())
+            .map(|(a, b)| Arc::ptr_eq(a, b))
+            .collect();
+        assert_eq!(shared, vec![false, true, true, true]);
+        // The rebuilt block still shares its labels slice (no label
+        // moved — no regrouping).
+        assert!(snap.blocks()[0].shares_labels_with(&parent.blocks()[0]));
+    }
+
+    #[test]
+    fn label_move_rebuilds_all_rows_but_one_labels_slice() {
+        let (reg, el, labels) = setup();
+        let parent = reg.register("g", &el, &labels).unwrap();
+        let v = 25u32; // shard 1 of 4 × 20
+        let new_label = match labels.get(v) {
+            Some(0) => Some(1),
+            _ => Some(0),
+        };
+        let (_, snap) = reg
+            .apply_updates(
+                "g",
+                &[Update::SetLabel {
+                    v,
+                    label: new_label,
+                }],
+            )
+            .unwrap();
+        for (i, (a, b)) in snap.blocks().iter().zip(parent.blocks()).enumerate() {
+            assert!(!Arc::ptr_eq(a, b), "shard {i}: rows rescale everywhere");
+            assert_eq!(
+                a.shares_labels_with(b),
+                i != 1,
+                "only shard 1's labels moved"
+            );
+        }
+    }
+
+    #[test]
+    fn history_ring_retains_and_evicts_in_order() {
+        let (_, el, labels) = setup();
+        let reg = Registry::with_config(RegistryConfig {
+            default_shards: 4,
+            history: HistoryPolicy::keep(3),
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        reg.register("g", &el, &labels).unwrap();
+        for i in 0..5u32 {
+            reg.apply_updates(
+                "g",
+                &[Update::InsertEdge {
+                    u: i,
+                    v: i + 1,
+                    w: 1.0,
+                }],
+            )
+            .unwrap();
+        }
+        assert_eq!(reg.epoch_range("g").unwrap(), (3, 5));
+        for epoch in 3..=5 {
+            assert_eq!(reg.snapshot_at("g", epoch).unwrap().epoch, epoch);
+        }
+        for epoch in [0, 1, 2, 6, u64::MAX] {
+            let err = reg.snapshot_at("g", epoch).unwrap_err();
+            assert_eq!(
+                err,
+                ServeError::EpochEvicted {
+                    graph: "g".into(),
+                    epoch,
+                    oldest: 3,
+                    newest: 5,
+                },
+                "epoch {epoch}"
+            );
+        }
+    }
+
+    #[test]
+    fn backpressure_rejects_when_slots_are_held() {
+        let (_, el, labels) = setup();
+        let reg = Registry::with_config(RegistryConfig {
+            default_shards: 2,
+            backpressure: BackpressurePolicy::max_pending(1),
+            ..RegistryConfig::default()
+        })
+        .unwrap();
+        reg.register("g", &el, &labels).unwrap();
+        assert_eq!(reg.pending_batches("g").unwrap(), 0);
+        let slot = reg.hold_write_slot("g").unwrap();
+        assert_eq!(reg.pending_batches("g").unwrap(), 1);
+        let err = reg
+            .apply_updates("g", &[Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Overloaded {
+                graph: "g".into(),
+                pending: 1,
+                max_pending: 1,
+            }
+        );
+        // Reads are never back-pressured.
+        assert!(reg.snapshot("g").is_ok());
+        // Empty batches don't consume a slot.
+        assert!(reg.apply_updates("g", &[]).is_ok());
+        drop(slot);
+        assert_eq!(reg.pending_batches("g").unwrap(), 0);
+        let (applied, snap) = reg
+            .apply_updates("g", &[Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+            .unwrap();
+        assert_eq!((applied, snap.epoch), (1, 1));
+    }
+
+    #[test]
+    fn noop_label_set_keeps_blocks_shared() {
+        let (reg, el, labels) = setup();
+        let parent = reg.register("g", &el, &labels).unwrap();
+        let (v, c) = labels.iter_labeled().next().expect("a labeled vertex");
+        // Re-assert the same label: counted as applied, but no state
+        // changed — every block stays shared.
+        let (applied, snap) = reg
+            .apply_updates("g", &[Update::SetLabel { v, label: Some(c) }])
+            .unwrap();
+        assert_eq!(applied, 1);
+        assert_eq!(snap.epoch, 1);
+        assert!(snap
+            .blocks()
+            .iter()
+            .zip(parent.blocks())
+            .all(|(a, b)| Arc::ptr_eq(a, b)));
     }
 }

@@ -8,6 +8,13 @@
 //! accept loop handing each connection to its own thread (connections are
 //! independent; batches *within* one connection execute in order, which
 //! is what makes client-side pipelining safe).
+//!
+//! Epoch-pinned reads (protocol v2's `at_epoch`) and back-pressure need
+//! no special handling here: pins resolve inside
+//! [`Engine::execute_batch`] against the registry's history ring, and an
+//! overloaded write comes back as a per-request
+//! [`ServeError::Overloaded`](crate::ServeError::Overloaded) result —
+//! the connection itself is never throttled.
 
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -19,7 +26,7 @@ use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, ClientFrame, ServerFrame, MAX_FRAME_LEN};
 use crate::ServeError;
 
-/// Serves an [`Engine`] over wire protocol v1.
+/// Serves an [`Engine`] over the wire protocol (v2 current, v1 spoken).
 #[derive(Clone)]
 pub struct Server {
     engine: Arc<Engine>,

@@ -13,6 +13,9 @@ use rayon::prelude::*;
 #[derive(Debug, Clone)]
 pub struct ShardLayout {
     n: usize,
+    /// Size of the small shards; the first `extra` shards hold one more.
+    base: usize,
+    extra: usize,
     ranges: Vec<(u32, u32)>,
 }
 
@@ -32,7 +35,12 @@ impl ShardLayout {
             lo += len;
         }
         debug_assert_eq!(lo, n);
-        ShardLayout { n, ranges }
+        ShardLayout {
+            n,
+            base,
+            extra,
+            ranges,
+        }
     }
 
     /// Number of vertices covered.
@@ -55,21 +63,25 @@ impl ShardLayout {
         &self.ranges
     }
 
-    /// Which shard owns vertex `v`.
+    /// Which shard owns vertex `v`. O(1): the first `extra` shards have
+    /// `base + 1` vertices and the rest `base`, so ownership is two
+    /// divisions — this sits on the write path (dirty-shard tracking
+    /// classifies every touched vertex of every update batch).
+    #[inline]
     pub fn shard_of(&self, v: u32) -> usize {
         debug_assert!((v as usize) < self.n);
-        match self.ranges.binary_search_by(|&(lo, hi)| {
-            if v < lo {
-                std::cmp::Ordering::Greater
-            } else if v >= hi {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(i) => i,
-            Err(_) => unreachable!("ranges cover 0..n"),
-        }
+        let v = v as usize;
+        let big = self.extra * (self.base + 1);
+        let shard = if v < big {
+            v / (self.base + 1)
+        } else {
+            self.extra + (v - big) / self.base.max(1)
+        };
+        debug_assert!({
+            let (lo, hi) = self.ranges[shard];
+            lo as usize <= v && v < hi as usize
+        });
+        shard
     }
 
     /// Run `f(shard_index, lo, hi)` over every shard in parallel,

@@ -1,4 +1,5 @@
-//! Wire protocol v1: versioned, transport-agnostic frame types.
+//! Wire protocol: versioned, transport-agnostic frame types (v2 current,
+//! v1 still spoken).
 //!
 //! A *frame* is one [`ClientFrame`] or [`ServerFrame`] encoded as compact
 //! JSON via the workspace serde layer (externally-tagged enums, exact
@@ -25,6 +26,19 @@
 //! Per-request failures ride *inside* `ServerFrame::Batch` as
 //! `Err(ServeError)` results; `ServerFrame::Error` is reserved for
 //! connection-fatal conditions (handshake failure, malformed frame).
+//!
+//! # Protocol v2: epoch-pinned reads
+//!
+//! v2 adds an optional `at_epoch` field to the read requests
+//! (`Classify`/`Similar`/`EmbedRow`/`Stats`) and two error codes
+//! ([`crate::ErrorCode::EpochEvicted`] = 13,
+//! [`crate::ErrorCode::Overloaded`] = 14). The extension is **additive**:
+//! an unpinned request encodes byte-identically to its v1 frame (no
+//! `at_epoch` key; `Stats` stays the bare string), and v1 frames decode
+//! with `at_epoch: None` — so this build still speaks v1
+//! ([`MIN_PROTOCOL_VERSION`]). A client that negotiated v1 refuses to
+//! send pins ([`EPOCH_PIN_VERSION`]): a v1 server would silently ignore
+//! the unknown key and answer from the newest epoch.
 
 use serde::{Deserialize, Serialize};
 
@@ -32,10 +46,13 @@ use crate::engine::{Envelope, Response};
 use crate::ServeError;
 
 /// Current (and highest supported) protocol version.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Oldest protocol version this build still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
+
+/// First protocol version carrying `at_epoch` pins on read requests.
+pub const EPOCH_PIN_VERSION: u32 = 2;
 
 /// Upper bound on one frame's encoded size (64 MiB). Both sides reject
 /// larger frames as a protocol violation instead of allocating blindly.
@@ -102,14 +119,16 @@ mod tests {
 
     #[test]
     fn negotiation_picks_highest_common_version() {
-        assert_eq!(negotiate(1, 1), Ok(1));
+        assert_eq!(negotiate(1, 1), Ok(1), "v1-only clients still speak");
+        assert_eq!(negotiate(1, 2), Ok(2));
+        assert_eq!(negotiate(2, 2), Ok(2));
         assert_eq!(
             negotiate(1, 5),
             Ok(PROTOCOL_VERSION),
             "future-proof client downgrades"
         );
         assert!(matches!(
-            negotiate(2, 5),
+            negotiate(3, 5),
             Err(ServeError::VersionUnsupported { .. })
         ));
         assert!(matches!(
@@ -132,14 +151,9 @@ mod tests {
             ClientFrame::Batch {
                 id: u64::MAX,
                 requests: vec![
-                    Envelope::new(
-                        "g",
-                        Request::Classify {
-                            vertices: vec![0, 1],
-                            k: 3,
-                        },
-                    ),
-                    Envelope::new("h", Request::Stats),
+                    Envelope::new("g", Request::classify(vec![0, 1], 3)),
+                    Envelope::new("h", Request::stats()),
+                    Envelope::new("h", Request::stats().pinned(9)),
                 ],
             },
             ClientFrame::Goodbye,

@@ -1,0 +1,27 @@
+//! Helpers shared by the serve integration-test binaries.
+
+use gee_serve::Snapshot;
+
+/// Content fingerprint of one snapshot (FNV-1a over row bit patterns,
+/// raw labels, and train pairs): equal fingerprints ⇔ bit-identical
+/// served state. Used by the concurrency stress suite and the
+/// durability harness so "equal" always means the same thing.
+pub fn snapshot_fingerprint(snap: &Snapshot) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for block in snap.blocks() {
+        for &x in block.rows() {
+            eat(x.to_bits());
+        }
+        for &l in block.labels() {
+            eat(l as u64);
+        }
+        for &(v, c) in block.train() {
+            eat((u64::from(v) << 32) | u64::from(c));
+        }
+    }
+    h
+}

@@ -1,0 +1,440 @@
+//! Concurrency stress harness for copy-on-write publication, the epoch
+//! history ring, and back-pressure.
+//!
+//! N writer threads stream deterministic update batches against one
+//! graph while M reader threads hammer the read path, and every claim
+//! the serving layer makes is checked under contention:
+//!
+//! * **internal consistency** — every snapshot a reader observes is one
+//!   coherent version: rows/labels/train shapes agree, and each block's
+//!   train set is exactly the grouping of its labels slice;
+//! * **monotone epochs** — per reader, observed epochs never go
+//!   backwards;
+//! * **linearizable content** — every published epoch's content equals
+//!   a sequential replay of the committed batches in epoch order
+//!   (fingerprint-compared bit-for-bit, epoch by epoch);
+//! * **frozen pins** — repeated `at_epoch` reads of the same epoch are
+//!   identical while writers race ahead (or fail typed as evicted);
+//! * **back-pressure** — with a bounded policy, overloaded writers get
+//!   typed `Overloaded` rejections, never deadlock, and the final state
+//!   equals a sequential replay of exactly the successful batches.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gee_core::Labels;
+use gee_gen::LabelSpec;
+use gee_serve::{
+    BackpressurePolicy, Engine, HistoryPolicy, Registry, RegistryConfig, ServeError, Snapshot,
+    Update,
+};
+
+mod common;
+use common::snapshot_fingerprint as fingerprint;
+
+const N: usize = 120;
+const K: usize = 4;
+const SHARDS: usize = 8;
+
+fn fixture() -> (gee_graph::EdgeList, Labels) {
+    let el = gee_gen::erdos_renyi_gnm(N, 700, 29);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.4,
+            },
+            11,
+        ),
+        K,
+    );
+    (el, labels)
+}
+
+/// Check one observed snapshot is a single coherent version.
+fn assert_internally_consistent(snap: &Snapshot) {
+    let k = snap.dim();
+    let mut covered = 0u32;
+    let mut labeled = 0usize;
+    for block in snap.blocks() {
+        let (lo, hi) = block.range();
+        assert_eq!(lo, covered, "blocks tile the vertex space");
+        covered = hi;
+        let len = (hi - lo) as usize;
+        assert_eq!(block.rows().len(), len * k, "rows shape");
+        assert_eq!(block.labels().len(), len, "labels shape");
+        // The train set must be exactly the grouping of this block's
+        // labels slice — embedding, labels, and train all from one
+        // version, never mixed across epochs.
+        let derived: Vec<(u32, u32)> = block
+            .labels()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c >= 0)
+            .map(|(i, &c)| (lo + i as u32, c as u32))
+            .collect();
+        assert_eq!(block.train(), &derived[..], "train == group(labels)");
+        labeled += derived.len();
+    }
+    assert_eq!(covered as usize, snap.num_vertices());
+    assert_eq!(snap.num_labeled(), labeled);
+}
+
+/// Deterministic mixed batch, unique per `(writer, i)`.
+fn gen_batch(writer: u64, i: u64) -> Vec<Update> {
+    let mut x = writer
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(i)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9)
+        | 1;
+    let mut next = move || {
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        x
+    };
+    let len = 1 + (next() % 5) as usize;
+    (0..len)
+        .map(|_| {
+            let u = (next() % N as u64) as u32;
+            let v = (next() % N as u64) as u32;
+            match next() % 4 {
+                0 | 1 => Update::InsertEdge {
+                    u,
+                    v,
+                    w: 0.5 + (next() % 8) as f64 * 0.25,
+                },
+                2 => Update::SetLabel {
+                    v: u,
+                    label: if next() % 3 == 0 {
+                        None
+                    } else {
+                        Some((next() % K as u64) as u32)
+                    },
+                },
+                // Mostly-missing removes exercise the no-op path.
+                _ => Update::RemoveEdge { u, v, w: 1.0 },
+            }
+        })
+        .collect()
+}
+
+/// Replay `committed` (epoch → batch) sequentially on a fresh registry
+/// and require every epoch's fingerprint to match what the concurrent
+/// run published at that epoch.
+fn assert_equals_sequential_replay(
+    el: &gee_graph::EdgeList,
+    labels: &Labels,
+    committed: &BTreeMap<u64, (Vec<Update>, u64)>,
+) {
+    let replay = Registry::new(SHARDS);
+    replay.register("g", el, labels).unwrap();
+    let mut expected_epoch = 1u64;
+    for (&epoch, (batch, fp)) in committed {
+        assert_eq!(
+            epoch, expected_epoch,
+            "committed epochs are consecutive with no gaps"
+        );
+        let (_, snap) = replay.apply_updates("g", batch).unwrap();
+        assert_eq!(snap.epoch, epoch);
+        assert_eq!(
+            fingerprint(&snap),
+            *fp,
+            "epoch {epoch}: concurrent publication must equal sequential replay"
+        );
+        expected_epoch += 1;
+    }
+}
+
+/// The harness: `writers` threads × `batches_each`, `readers` threads,
+/// one graph, returning the committed-batch log.
+fn run_stress(
+    backpressure: BackpressurePolicy,
+    writers: usize,
+    batches_each: usize,
+    readers: usize,
+    retry_overloaded: bool,
+) -> (
+    gee_graph::EdgeList,
+    Labels,
+    Arc<Registry>,
+    BTreeMap<u64, (Vec<Update>, u64)>,
+    u64, // overloaded rejections observed
+) {
+    let (el, labels) = fixture();
+    let registry = Arc::new(
+        Registry::with_config(RegistryConfig {
+            default_shards: SHARDS,
+            history: HistoryPolicy::keep(6),
+            backpressure,
+            ..RegistryConfig::default()
+        })
+        .unwrap(),
+    );
+    registry.register("g", &el, &labels).unwrap();
+    let engine = Arc::new(Engine::new(registry.clone()));
+    let committed: Arc<Mutex<BTreeMap<u64, (Vec<Update>, u64)>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let overloaded = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut threads = Vec::new();
+    for w in 0..writers {
+        let registry = registry.clone();
+        let committed = committed.clone();
+        let overloaded = overloaded.clone();
+        threads.push(std::thread::spawn(move || {
+            for i in 0..batches_each {
+                let batch = gen_batch(w as u64, i as u64);
+                loop {
+                    match registry.apply_updates("g", &batch) {
+                        Ok((_, snap)) => {
+                            let prev = committed
+                                .lock()
+                                .unwrap()
+                                .insert(snap.epoch, (batch.clone(), fingerprint(&snap)));
+                            assert!(prev.is_none(), "epoch {} published twice", snap.epoch);
+                            break;
+                        }
+                        Err(ServeError::Overloaded {
+                            pending,
+                            max_pending,
+                            ..
+                        }) => {
+                            overloaded.fetch_add(1, Ordering::Relaxed);
+                            assert!(pending >= max_pending, "rejection names a full queue");
+                            if !retry_overloaded {
+                                break; // shed this batch
+                            }
+                            std::thread::yield_now();
+                        }
+                        Err(other) => panic!("writer {w} batch {i}: {other}"),
+                    }
+                }
+            }
+        }));
+    }
+
+    let mut reader_threads = Vec::new();
+    for r in 0..readers {
+        let registry = registry.clone();
+        let engine = engine.clone();
+        let done = done.clone();
+        reader_threads.push(std::thread::spawn(move || {
+            let mut last_epoch = 0u64;
+            let mut observations: Vec<(u64, u64)> = Vec::new();
+            let mut spins = 0u64;
+            while !done.load(Ordering::Acquire) || spins == 0 {
+                spins += 1;
+                let snap = registry.snapshot("g").unwrap();
+                assert!(
+                    snap.epoch >= last_epoch,
+                    "reader {r}: epoch went backwards ({} < {last_epoch})",
+                    snap.epoch
+                );
+                last_epoch = snap.epoch;
+                assert_internally_consistent(&snap);
+                observations.push((snap.epoch, fingerprint(&snap)));
+                // Pin an epoch through the engine path and read it twice:
+                // both reads frozen-identical, or both typed-evicted.
+                let pin = snap.epoch;
+                let v = (r as u32 * 31 + spins as u32) % N as u32;
+                let first = engine.embed_row_at("g", v, Some(pin));
+                let second = engine.embed_row_at("g", v, Some(pin));
+                match (&first, &second) {
+                    (Ok(a), Ok(b)) => {
+                        let bits = |row: &Vec<f64>| -> Vec<u64> {
+                            row.iter().map(|x| x.to_bits()).collect()
+                        };
+                        assert_eq!(bits(a), bits(b), "reader {r}: pinned read moved");
+                        // The pinned row equals the held snapshot's row.
+                        assert_eq!(bits(a), bits(&snap.row(v).to_vec()));
+                    }
+                    (Err(ServeError::EpochEvicted { .. }), _)
+                    | (_, Err(ServeError::EpochEvicted { .. })) => {}
+                    (a, b) => panic!("reader {r}: unexpected pinned results {a:?} / {b:?}"),
+                }
+            }
+            observations
+        }));
+    }
+
+    for t in threads {
+        t.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let committed_map = {
+        let guard = committed.lock().unwrap();
+        guard.clone()
+    };
+    for t in reader_threads {
+        // Every fingerprint any reader observed matches the one the
+        // committing writer recorded for that epoch.
+        for (epoch, fp) in t.join().unwrap() {
+            if epoch == 0 {
+                continue; // registration epoch, not in the batch log
+            }
+            let (_, want) = committed_map
+                .get(&epoch)
+                .unwrap_or_else(|| panic!("reader observed unrecorded epoch {epoch}"));
+            assert_eq!(fp, *want, "reader-observed epoch {epoch} content");
+        }
+    }
+    let rejections = overloaded.load(Ordering::Relaxed);
+    (el, labels, registry, committed_map, rejections)
+}
+
+#[test]
+fn concurrent_writers_and_readers_equal_sequential_replay() {
+    let (el, labels, registry, committed, rejections) = run_stress(
+        BackpressurePolicy::unbounded(),
+        4,
+        30,
+        3,
+        /* retry_overloaded */ false,
+    );
+    assert_eq!(rejections, 0, "unbounded policy never rejects");
+    assert_eq!(committed.len(), 4 * 30, "every batch committed");
+    assert_equals_sequential_replay(&el, &labels, &committed);
+    // Final published state is the last committed epoch.
+    let final_snap = registry.snapshot("g").unwrap();
+    assert_eq!(final_snap.epoch, 4 * 30);
+    assert_eq!(
+        fingerprint(&final_snap),
+        committed.get(&(4 * 30)).unwrap().1
+    );
+    // The ring retains exactly the newest 6 epochs.
+    assert_eq!(registry.epoch_range("g").unwrap(), (4 * 30 - 5, 4 * 30));
+}
+
+#[test]
+fn backpressure_under_contention_stays_linearizable_with_retries() {
+    // Tight bound + retrying writers: every batch eventually lands, the
+    // queue never deadlocks, and content still equals sequential replay.
+    let (el, labels, registry, committed, _rejections) = run_stress(
+        BackpressurePolicy::max_pending(2),
+        4,
+        15,
+        2,
+        /* retry_overloaded */ true,
+    );
+    assert_eq!(committed.len(), 4 * 15, "retries land every batch");
+    assert_equals_sequential_replay(&el, &labels, &committed);
+    assert_eq!(registry.pending_batches("g").unwrap(), 0, "gauge drains");
+}
+
+#[test]
+fn backpressure_under_contention_sheds_load_consistently() {
+    // Same bound, but rejected batches are shed: whatever subset
+    // committed must still form a gap-free epoch sequence whose content
+    // equals its own sequential replay.
+    let (el, labels, registry, committed, _rejections) = run_stress(
+        BackpressurePolicy::max_pending(1),
+        4,
+        15,
+        2,
+        /* retry_overloaded */ false,
+    );
+    assert!(!committed.is_empty(), "at least one batch lands");
+    assert!(committed.len() <= 4 * 15);
+    assert_equals_sequential_replay(&el, &labels, &committed);
+    assert_eq!(
+        registry.snapshot("g").unwrap().epoch,
+        committed.len() as u64,
+        "epochs are consecutive, so the last equals the commit count"
+    );
+    assert_eq!(registry.pending_batches("g").unwrap(), 0, "gauge drains");
+}
+
+#[test]
+fn overload_rejection_is_deterministic_under_a_held_slot() {
+    // A held write slot saturates max_pending = 1: every concurrent
+    // apply from every thread must observe the typed rejection — the
+    // deterministic core of the back-pressure contract.
+    let (el, labels) = fixture();
+    let registry = Arc::new(
+        Registry::with_config(RegistryConfig {
+            default_shards: SHARDS,
+            backpressure: BackpressurePolicy::max_pending(1),
+            ..RegistryConfig::default()
+        })
+        .unwrap(),
+    );
+    registry.register("g", &el, &labels).unwrap();
+    let slot = registry.hold_write_slot("g").unwrap();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                registry.apply_updates(
+                    "g",
+                    &[Update::InsertEdge {
+                        u: t,
+                        v: t + 1,
+                        w: 1.0,
+                    }],
+                )
+            })
+        })
+        .collect();
+    for t in threads {
+        let err = t.join().unwrap().unwrap_err();
+        assert!(
+            matches!(err, ServeError::Overloaded { max_pending: 1, .. }),
+            "{err}"
+        );
+    }
+    assert_eq!(registry.snapshot("g").unwrap().epoch, 0, "nothing applied");
+    drop(slot);
+    let (_, snap) = registry
+        .apply_updates("g", &[Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+        .unwrap();
+    assert_eq!(snap.epoch, 1, "slot released, writes flow again");
+}
+
+#[test]
+fn held_snapshots_survive_heavy_concurrent_eviction() {
+    // A reader holding a snapshot Arc keeps a fully consistent view even
+    // after the ring evicted its epoch and writers rebuilt every block
+    // many times over.
+    let (el, labels) = fixture();
+    let registry = Arc::new(
+        Registry::with_config(RegistryConfig {
+            default_shards: SHARDS,
+            history: HistoryPolicy::keep(2),
+            ..RegistryConfig::default()
+        })
+        .unwrap(),
+    );
+    registry.register("g", &el, &labels).unwrap();
+    let (_, held) = registry
+        .apply_updates("g", &[Update::InsertEdge { u: 3, v: 4, w: 2.0 }])
+        .unwrap();
+    let held_fp = fingerprint(&held);
+    let held_epoch = held.epoch;
+    let writers: Vec<_> = (0..3)
+        .map(|w| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                for i in 0..40 {
+                    let batch = gen_batch(w + 100, i);
+                    registry.apply_updates("g", &batch).unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in writers {
+        t.join().unwrap();
+    }
+    assert_eq!(fingerprint(&held), held_fp, "held view never moves");
+    assert_internally_consistent(&held);
+    assert!(
+        matches!(
+            registry.snapshot_at("g", held_epoch),
+            Err(ServeError::EpochEvicted { .. })
+        ),
+        "the epoch itself was long evicted from the ring"
+    );
+}

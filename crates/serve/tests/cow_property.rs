@@ -1,0 +1,302 @@
+//! Copy-on-write publication properties (seeded, compat proptest):
+//!
+//! * every CoW-published snapshot is **element-wise identical** (f64 bit
+//!   patterns, labels, train sets) to a from-scratch full rebuild of the
+//!   same writer state;
+//! * blocks of shards a batch did not dirty are **structurally shared**
+//!   with the parent epoch (`Arc::ptr_eq`), and dirty shards are not;
+//! * blocks rebuilt for rows alone share the parent's labels slice (the
+//!   train-set regrouping is skipped);
+//! * the history ring retains exactly the `keep` newest epochs and
+//!   evicts exactly the oldest.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gee_core::{DynamicGee, Labels};
+use gee_gen::LabelSpec;
+use gee_serve::{
+    HistoryPolicy, Registry, RegistryConfig, ServeError, ShardLayout, Snapshot, Update,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const N: usize = 96;
+const K: usize = 4;
+
+fn fixture() -> (gee_graph::EdgeList, Labels) {
+    let el = gee_gen::erdos_renyi_gnm(N, 500, 13);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.4,
+            },
+            3,
+        ),
+        K,
+    );
+    (el, labels)
+}
+
+fn arb_update() -> impl Strategy<Value = Update> {
+    let vertex = 0u32..N as u32;
+    prop_oneof![
+        (vertex.clone(), 0u32..N as u32, 1usize..5).prop_map(|(u, v, w)| Update::InsertEdge {
+            u,
+            v,
+            w: w as f64 * 0.5,
+        }),
+        // Remove either a plausible fixture edge weight or a weight that
+        // almost surely misses — both the hit and the no-op path.
+        (vertex.clone(), 0u32..N as u32, 0usize..2).prop_map(|(u, v, w)| Update::RemoveEdge {
+            u,
+            v,
+            w: if w == 0 { 1.0 } else { 77.77 },
+        }),
+        (
+            vertex,
+            prop_oneof![Just(None), (0u32..K as u32).prop_map(Some)]
+        )
+            .prop_map(|(v, label)| Update::SetLabel { v, label }),
+    ]
+}
+
+/// The dirty set the registry must have computed, derived independently
+/// from an oracle writer mirroring the pre-batch state.
+fn expected_dirty(
+    oracle: &DynamicGee,
+    layout: &ShardLayout,
+    batch: &[Update],
+) -> (Vec<bool>, Vec<bool>) {
+    let s = layout.num_shards();
+    let (mut rows, mut labels) = (vec![false; s], vec![false; s]);
+    let mut probe = oracle.clone();
+    for u in batch {
+        match *u {
+            Update::InsertEdge { u, v, w } => {
+                probe.insert_edge(u, v, w);
+                rows[layout.shard_of(u)] = true;
+                rows[layout.shard_of(v)] = true;
+            }
+            Update::RemoveEdge { u, v, w } => {
+                if probe.remove_edge(u, v, w) {
+                    rows[layout.shard_of(u)] = true;
+                    rows[layout.shard_of(v)] = true;
+                }
+            }
+            Update::SetLabel { v, label } => {
+                if probe.label(v) != label {
+                    rows.iter_mut().for_each(|d| *d = true);
+                    labels[layout.shard_of(v)] = true;
+                }
+                probe.set_label(v, label);
+            }
+        }
+    }
+    (rows, labels)
+}
+
+/// Assert `snap` equals a from-scratch rebuild of `writer`, bit for bit.
+fn assert_matches_full_rebuild(snap: &Snapshot, writer: &DynamicGee, layout: &ShardLayout) {
+    let rebuilt = Snapshot::new(snap.epoch, writer.embedding(), writer.labels(), layout);
+    assert_eq!(snap.num_shards(), rebuilt.num_shards());
+    for (got, want) in snap.blocks().iter().zip(rebuilt.blocks()) {
+        assert_eq!(got.range(), want.range());
+        let got_bits: Vec<u64> = got.rows().iter().map(|x| x.to_bits()).collect();
+        let want_bits: Vec<u64> = want.rows().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "rows of shard {:?}", got.range());
+        assert_eq!(got.labels(), want.labels(), "labels of {:?}", got.range());
+        assert_eq!(got.train(), want.train(), "train of {:?}", got.range());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cow_publication_equals_full_rebuild_and_shares_exactly_the_clean_shards(
+        batches in vec(vec(arb_update(), 1..8), 1..10),
+        shards in 1usize..9,
+    ) {
+        let (el, labels) = fixture();
+        let reg = Registry::with_config(RegistryConfig {
+            default_shards: shards,
+            history: HistoryPolicy::keep(2), // parent + child both held
+            ..RegistryConfig::default()
+        }).unwrap();
+        reg.register("g", &el, &labels).unwrap();
+        let layout = ShardLayout::new(N, shards);
+        let mut oracle = DynamicGee::new(&el, &labels);
+        for batch in &batches {
+            let parent = reg.snapshot("g").unwrap();
+            let (rows_dirty, labels_dirty) = expected_dirty(&oracle, &layout, batch);
+            let (_, snap) = reg.apply_updates("g", batch).unwrap();
+            // Mirror the batch into the oracle writer (identical op
+            // order → identical f64 accumulation).
+            for u in batch {
+                match *u {
+                    Update::InsertEdge { u, v, w } => oracle.insert_edge(u, v, w),
+                    Update::RemoveEdge { u, v, w } => {
+                        oracle.remove_edge(u, v, w);
+                    }
+                    Update::SetLabel { v, label } => oracle.set_label(v, label),
+                }
+            }
+            assert_matches_full_rebuild(&snap, &oracle, &layout);
+            for (i, (child, parent_block)) in
+                snap.blocks().iter().zip(parent.blocks()).enumerate()
+            {
+                let clean = !rows_dirty[i] && !labels_dirty[i];
+                prop_assert_eq!(
+                    Arc::ptr_eq(child, parent_block),
+                    clean,
+                    "shard {} (rows_dirty {}, labels_dirty {})",
+                    i, rows_dirty[i], labels_dirty[i]
+                );
+                prop_assert_eq!(
+                    child.shares_labels_with(parent_block),
+                    !labels_dirty[i],
+                    "labels slice of shard {}", i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn history_ring_retains_exactly_the_newest_keep_epochs(
+        keep in 1usize..6,
+        published in 0usize..12,
+    ) {
+        let (el, labels) = fixture();
+        let reg = Registry::with_config(RegistryConfig {
+            default_shards: 4,
+            history: HistoryPolicy::keep(keep),
+            ..RegistryConfig::default()
+        }).unwrap();
+        reg.register("g", &el, &labels).unwrap();
+        for i in 0..published as u32 {
+            reg.apply_updates("g", &[Update::InsertEdge {
+                u: i % N as u32,
+                v: (i * 7 + 1) % N as u32,
+                w: 1.0,
+            }]).unwrap();
+        }
+        let newest = published as u64;
+        let oldest = newest.saturating_sub(keep as u64 - 1);
+        prop_assert_eq!(reg.epoch_range("g").unwrap(), (oldest, newest));
+        for e in 0..=newest {
+            let got = reg.snapshot_at("g", e);
+            if e >= oldest {
+                prop_assert_eq!(got.unwrap().epoch, e);
+            } else {
+                prop_assert!(matches!(
+                    got,
+                    Err(ServeError::EpochEvicted { oldest: o, newest: n, .. })
+                        if o == oldest && n == newest
+                ));
+            }
+        }
+        prop_assert!(matches!(
+            reg.snapshot_at("g", newest + 1),
+            Err(ServeError::EpochEvicted { .. })
+        ), "future epochs are not retained either");
+    }
+}
+
+#[test]
+fn single_shard_batch_on_16_shards_republishes_exactly_one_block() {
+    // The acceptance criterion, verbatim: a single-shard update batch on
+    // a 16-shard graph republishes exactly 1 ShardBlock; the other 15
+    // are Arc::ptr_eq to the parent epoch's.
+    let el = gee_gen::erdos_renyi_gnm(160, 800, 17);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            160,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.4,
+            },
+            5,
+        ),
+        K,
+    );
+    let reg = Registry::with_config(RegistryConfig {
+        default_shards: 16,
+        history: HistoryPolicy::keep(2),
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    let parent = reg.register_with_shards("g", &el, &labels, 16).unwrap();
+    assert_eq!(parent.num_shards(), 16);
+    // 160 vertices / 16 shards → vertices 0..10 all live in shard 0.
+    let (_, snap) = reg
+        .apply_updates(
+            "g",
+            &[
+                Update::InsertEdge { u: 2, v: 7, w: 1.5 },
+                Update::InsertEdge { u: 0, v: 9, w: 2.5 },
+            ],
+        )
+        .unwrap();
+    let republished: Vec<usize> = snap
+        .blocks()
+        .iter()
+        .zip(parent.blocks())
+        .enumerate()
+        .filter(|(_, (a, b))| !Arc::ptr_eq(a, b))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(republished, vec![0], "exactly one block republished");
+    assert_eq!(
+        snap.blocks()
+            .iter()
+            .zip(parent.blocks())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count(),
+        15
+    );
+    // And the one rebuilt block still shares its labels slice — no
+    // label moved, so no train regrouping happened.
+    assert!(snap.blocks()[0].shares_labels_with(&parent.blocks()[0]));
+}
+
+#[test]
+fn pinned_epochs_stay_frozen_while_history_advances() {
+    let (el, labels) = fixture();
+    let reg = Registry::with_config(RegistryConfig {
+        default_shards: 4,
+        history: HistoryPolicy::keep(4),
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    reg.register("g", &el, &labels).unwrap();
+    let mut frozen: Vec<(u64, Vec<u64>)> = Vec::new(); // (epoch, row-0 bits)
+    for i in 0..3u32 {
+        let (_, snap) = reg
+            .apply_updates(
+                "g",
+                &[Update::InsertEdge {
+                    u: 0,
+                    v: (i * 11 + 1) % N as u32,
+                    w: 3.0,
+                }],
+            )
+            .unwrap();
+        frozen.push((
+            snap.epoch,
+            snap.row(0).iter().map(|x| x.to_bits()).collect(),
+        ));
+    }
+    for (epoch, bits) in &frozen {
+        let snap = reg.snapshot_at("g", *epoch).unwrap();
+        let now: Vec<u64> = snap.row(0).iter().map(|x| x.to_bits()).collect();
+        assert_eq!(&now, bits, "epoch {epoch} must serve its frozen data");
+    }
+    // Distinct epochs of the ring are distinct snapshots.
+    let uniq: HashSet<u64> = (1..=3)
+        .map(|e| reg.snapshot_at("g", e).unwrap().epoch)
+        .collect();
+    assert_eq!(uniq.len(), 3);
+}

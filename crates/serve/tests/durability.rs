@@ -32,6 +32,9 @@ const N: usize = 60;
 const K: usize = 4;
 const SHARDS: usize = 3;
 
+mod common;
+use common::snapshot_fingerprint;
+
 /// One scripted crash-recovery scenario: a data dir, the epoch-0 input,
 /// and a deterministic update-batch schedule.
 struct CrashHarness {
@@ -197,45 +200,17 @@ fn scripted_batch(b: u32) -> Vec<Update> {
 /// the query counter it reports is deterministic.
 fn read_requests() -> Vec<Envelope> {
     let mut reqs = vec![
-        Envelope::new(
-            "g",
-            Request::Classify {
-                vertices: (0..N as u32).collect(),
-                k: 5,
-            },
-        ),
-        Envelope::new(
-            "g",
-            Request::Classify {
-                vertices: vec![3, 1, 4],
-                k: 1,
-            },
-        ),
-        Envelope::new("g", Request::Similar { vertex: 7, top: 9 }),
-        Envelope::new(
-            "g",
-            Request::Similar {
-                vertex: N as u32 - 1,
-                top: 1,
-            },
-        ),
-        Envelope::new("g", Request::EmbedRow { vertex: 0 }),
-        Envelope::new(
-            "g",
-            Request::EmbedRow {
-                vertex: N as u32 / 2,
-            },
-        ),
+        Envelope::new("g", Request::classify((0..N as u32).collect(), 5)),
+        Envelope::new("g", Request::classify(vec![3, 1, 4], 1)),
+        Envelope::new("g", Request::similar(7, 9)),
+        Envelope::new("g", Request::similar(N as u32 - 1, 1)),
+        Envelope::new("g", Request::embed_row(0)),
+        Envelope::new("g", Request::embed_row(N as u32 / 2)),
         // Typed failures must be preserved by recovery too.
-        Envelope::new(
-            "g",
-            Request::EmbedRow {
-                vertex: N as u32 + 9,
-            },
-        ),
-        Envelope::new("missing", Request::Stats),
+        Envelope::new("g", Request::embed_row(N as u32 + 9)),
+        Envelope::new("missing", Request::stats()),
     ];
-    reqs.push(Envelope::new("g", Request::Similar { vertex: 0, top: 0 }));
+    reqs.push(Envelope::new("g", Request::similar(0, 0)));
     reqs
 }
 
@@ -243,14 +218,14 @@ fn read_requests() -> Vec<Envelope> {
 /// "equal" means equal down to every f64 bit.
 fn read_suite_bytes(engine: &Engine) -> Vec<u8> {
     let mut results = engine.execute_batch(read_requests());
-    results.push(engine.execute("g", Request::Stats));
+    results.push(engine.execute("g", Request::stats()));
     wire::encode(&ServerFrame::Batch { id: 0, results })
 }
 
 /// Client-side twin of [`read_suite_bytes`] for over-the-wire runs.
 fn read_suite_bytes_via(client: &mut Client) -> Vec<u8> {
     let mut results = client.execute_batch(read_requests()).unwrap();
-    results.push(client.execute("g", Request::Stats));
+    results.push(client.execute("g", Request::stats()));
     wire::encode(&ServerFrame::Batch { id: 0, results })
 }
 
@@ -617,4 +592,136 @@ fn empty_data_dir_opens_empty_and_serves() {
     reg.register("g", &h.el, &h.labels).unwrap();
     drop(reg);
     h.assert_recovers_to(0);
+}
+
+// ---- CoW history × durability ------------------------------------------
+
+/// Which blocks (and label slices) consecutive retained epochs share —
+/// the CoW structure the replay path must reproduce.
+fn sharing_pattern(reg: &Registry, name: &str) -> Vec<(u64, Vec<bool>, Vec<bool>)> {
+    let (oldest, newest) = reg.epoch_range(name).unwrap();
+    let mut out = Vec::new();
+    for e in oldest..newest {
+        let a = reg.snapshot_at(name, e).unwrap();
+        let b = reg.snapshot_at(name, e + 1).unwrap();
+        let blocks: Vec<bool> = a
+            .blocks()
+            .iter()
+            .zip(b.blocks())
+            .map(|(x, y)| Arc::ptr_eq(x, y))
+            .collect();
+        let labels: Vec<bool> = a
+            .blocks()
+            .iter()
+            .zip(b.blocks())
+            .map(|(x, y)| y.shares_labels_with(x))
+            .collect();
+        out.push((e, blocks, labels));
+    }
+    out
+}
+
+#[test]
+fn cow_history_replay_recovers_retained_epochs_bit_identically() {
+    // Full-WAL replay (no checkpoint compaction) must rebuild not just
+    // the newest epoch but the whole retained history ring — same
+    // epochs, same bits, and the same per-shard sharing structure the
+    // live process published copy-on-write.
+    let h = CrashHarness::new("cow_history", 6, 1_000);
+    let config = || gee_serve::RegistryConfig {
+        default_shards: SHARDS,
+        history: gee_serve::HistoryPolicy::keep(4),
+        backpressure: gee_serve::BackpressurePolicy::default(),
+        durability: h.durability(),
+    };
+    let live = Registry::with_config(config()).unwrap();
+    live.register("g", &h.el, &h.labels).unwrap();
+    // One single-shard edge batch among the scripted mixed batches, so
+    // the sharing pattern provably contains fully-shared blocks.
+    live.apply_updates("g", &[Update::InsertEdge { u: 1, v: 2, w: 0.5 }])
+        .unwrap();
+    for batch in &h.batches {
+        live.apply_updates("g", batch).unwrap();
+    }
+    let live_range = live.epoch_range("g").unwrap();
+    assert_eq!(live_range, (4, 7), "7 epochs published, 4 retained");
+    let live_fps: Vec<u64> = (live_range.0..=live_range.1)
+        .map(|e| snapshot_fingerprint(&live.snapshot_at("g", e).unwrap()))
+        .collect();
+    let live_sharing = sharing_pattern(&live, "g");
+    drop(live); // clean close; the WAL holds the full lineage
+
+    let recovered = Registry::with_config(config()).unwrap();
+    assert_eq!(recovered.epoch_range("g").unwrap(), live_range);
+    let rec_fps: Vec<u64> = (live_range.0..=live_range.1)
+        .map(|e| snapshot_fingerprint(&recovered.snapshot_at("g", e).unwrap()))
+        .collect();
+    assert_eq!(rec_fps, live_fps, "every retained epoch is bit-identical");
+    assert_eq!(
+        sharing_pattern(&recovered, "g"),
+        live_sharing,
+        "replay must reproduce the CoW sharing structure"
+    );
+    // Evicted epochs stay evicted with the same typed error.
+    assert!(matches!(
+        recovered.snapshot_at("g", 0),
+        Err(ServeError::EpochEvicted {
+            oldest: 4,
+            newest: 7,
+            ..
+        })
+    ));
+}
+
+#[test]
+fn pinned_reads_survive_crash_recovery_byte_identically() {
+    // Kill the process (torn tail) and recover: at_epoch reads of every
+    // epoch retained by the recovered ring answer byte-identically to
+    // the uninterrupted oracle pinned at the same epoch.
+    let h = CrashHarness::new("cow_pinned", 5, 1_000);
+    let config = |durability| gee_serve::RegistryConfig {
+        default_shards: SHARDS,
+        history: gee_serve::HistoryPolicy::keep(8),
+        backpressure: gee_serve::BackpressurePolicy::default(),
+        durability,
+    };
+    let live = Registry::with_config(config(h.durability())).unwrap();
+    live.register("g", &h.el, &h.labels).unwrap();
+    for batch in &h.batches[..4] {
+        live.apply_updates("g", batch).unwrap();
+    }
+    // Crash mid-append of batch #5: the torn record must be truncated
+    // away and epochs 0..=4 recovered.
+    live.inject_wal_fault(FaultPoint::TornAppend { keep_bytes: 13 });
+    let err = live.apply_updates("g", &h.batches[4]).unwrap_err();
+    assert!(matches!(err, ServeError::Storage { .. }), "{err}");
+    drop(live);
+
+    let recovered = Engine::new(Arc::new(
+        Registry::with_config(config(h.durability())).unwrap(),
+    ));
+    let oracle = {
+        let reg = Registry::with_config(config(Durability::None)).unwrap();
+        reg.register("g", &h.el, &h.labels).unwrap();
+        for batch in &h.batches[..4] {
+            reg.apply_updates("g", batch).unwrap();
+        }
+        Engine::new(Arc::new(reg))
+    };
+    assert_eq!(recovered.registry().epoch_range("g").unwrap(), (0, 4));
+    for epoch in 0..=4u64 {
+        let pinned: Vec<Envelope> = read_requests()
+            .into_iter()
+            .map(|env| Envelope::new(env.graph, env.request.pinned(epoch)))
+            .collect();
+        let got = wire::encode(&ServerFrame::Batch {
+            id: epoch,
+            results: recovered.execute_batch(pinned.clone()),
+        });
+        let want = wire::encode(&ServerFrame::Batch {
+            id: epoch,
+            results: oracle.execute_batch(pinned),
+        });
+        assert_eq!(got, want, "pinned reads at epoch {epoch}");
+    }
 }

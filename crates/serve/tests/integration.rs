@@ -45,34 +45,19 @@ fn serve_pipeline_end_to_end() {
     let snap0 = registry
         .register_with_shards("sbm", &el, &labels, SHARDS)
         .unwrap();
-    assert!(
-        snap0.train_by_shard.len() >= 2,
-        "acceptance requires >= 2 shards"
-    );
+    assert!(snap0.num_shards() >= 2, "acceptance requires >= 2 shards");
     let g = CsrGraph::from_edge_list(&el);
     let ligra = gee_core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
-    ligra.assert_close(&snap0.embedding, 1e-9);
+    ligra.assert_close(&snap0.to_embedding(), 1e-9);
 
     let engine = Engine::new(registry.clone());
     let queries: Vec<u32> = (0..n as u32).collect();
 
     // -- Batched reads: Classify + Similar in one batch.
     let batch = vec![
-        Envelope::new(
-            "sbm",
-            Request::Classify {
-                vertices: queries.clone(),
-                k: KNN,
-            },
-        ),
-        Envelope::new("sbm", Request::Similar { vertex: 0, top: 10 }),
-        Envelope::new(
-            "sbm",
-            Request::Similar {
-                vertex: (n - 1) as u32,
-                top: 10,
-            },
-        ),
+        Envelope::new("sbm", Request::classify(queries.clone(), KNN)),
+        Envelope::new("sbm", Request::similar(0, 10)),
+        Envelope::new("sbm", Request::similar((n - 1) as u32, 10)),
     ];
     let mut batched: Vec<Response> = engine
         .execute_batch(batch.clone())
@@ -150,19 +135,13 @@ fn serve_pipeline_end_to_end() {
 
     let snap1 = registry.snapshot("sbm").unwrap();
     assert_eq!(snap1.epoch, 1);
-    fresh.assert_close(&snap1.embedding, 1e-11);
+    fresh.assert_close(&snap1.to_embedding(), 1e-11);
 
     // Query-path parity after the update: served Classify equals kNN over
     // the fresh recompute.
     let served = unwrap_classes(
         engine
-            .execute(
-                "sbm",
-                Request::Classify {
-                    vertices: queries.clone(),
-                    k: KNN,
-                },
-            )
+            .execute("sbm", Request::classify(queries.clone(), KNN))
             .unwrap(),
     );
     let train: Vec<(u32, u32)> = oracle_dg.labels().iter_labeled().collect();
@@ -173,10 +152,7 @@ fn serve_pipeline_end_to_end() {
     );
 
     // EmbedRow parity after the update.
-    let row = match engine
-        .execute("sbm", Request::EmbedRow { vertex: 2 })
-        .unwrap()
-    {
+    let row = match engine.execute("sbm", Request::embed_row(2)).unwrap() {
         Response::Row(r) => r,
         other => panic!("expected Row, got {other:?}"),
     };
@@ -186,7 +162,7 @@ fn serve_pipeline_end_to_end() {
     }
 
     // -- Stats reflect the serving history.
-    let report = match engine.execute("sbm", Request::Stats).unwrap() {
+    let report = match engine.execute("sbm", Request::stats()).unwrap() {
         Response::Stats(s) => s,
         other => panic!("expected Stats, got {other:?}"),
     };
@@ -209,7 +185,7 @@ fn query_path_parity_with_ligra_embed_across_shard_counts() {
     for shards in [1usize, 2, 3, 8] {
         let registry = Registry::new(shards);
         let snap = registry.register("g", &el, &labels).unwrap();
-        ligra.assert_close(&snap.embedding, 1e-9);
+        ligra.assert_close(&snap.to_embedding(), 1e-9);
     }
 }
 
@@ -264,5 +240,5 @@ fn update_then_read_equals_static_recompute_randomized() {
     let fresh = gee_core::serial_optimized::embed(&oracle.edge_list(), &oracle.labels());
     let snap = registry.snapshot("g").unwrap();
     assert_eq!(snap.epoch, (updates.len() as u64).div_ceil(7));
-    fresh.assert_close(&snap.embedding, 1e-11);
+    fresh.assert_close(&snap.to_embedding(), 1e-11);
 }

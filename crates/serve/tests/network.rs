@@ -56,21 +56,9 @@ fn duplex_client(server_engine: Arc<Engine>) -> (Client, std::thread::JoinHandle
 fn workload_batch(case: u32) -> Vec<Envelope> {
     let v = |i: u32| (case.wrapping_mul(31).wrapping_add(i * 7)) % N as u32;
     let mut batch = vec![
-        Envelope::new(
-            "g",
-            Request::Classify {
-                vertices: vec![v(0), v(1), v(2)],
-                k: 3,
-            },
-        ),
-        Envelope::new(
-            "g",
-            Request::Similar {
-                vertex: v(3),
-                top: 5,
-            },
-        ),
-        Envelope::new("g", Request::EmbedRow { vertex: v(4) }),
+        Envelope::new("g", Request::classify(vec![v(0), v(1), v(2)], 3)),
+        Envelope::new("g", Request::similar(v(3), 5)),
+        Envelope::new("g", Request::embed_row(v(4))),
         Envelope::new(
             "g",
             Request::ApplyUpdates {
@@ -87,26 +75,14 @@ fn workload_batch(case: u32) -> Vec<Envelope> {
                 ],
             },
         ),
-        Envelope::new(
-            "g",
-            Request::Classify {
-                vertices: vec![v(0), v(1), v(2)],
-                k: 3,
-            },
-        ),
-        Envelope::new("g", Request::Stats),
+        Envelope::new("g", Request::classify(vec![v(0), v(1), v(2)], 3)),
+        Envelope::new("g", Request::stats()),
     ];
     if case % 3 == 0 {
         // Per-request failures must be equivalent too.
-        batch.push(Envelope::new("missing", Request::Stats));
-        batch.push(Envelope::new("g", Request::EmbedRow { vertex: u32::MAX }));
-        batch.push(Envelope::new(
-            "g",
-            Request::Similar {
-                vertex: v(8),
-                top: 0,
-            },
-        ));
+        batch.push(Envelope::new("missing", Request::stats()));
+        batch.push(Envelope::new("g", Request::embed_row(u32::MAX)));
+        batch.push(Envelope::new("g", Request::similar(v(8), 0)));
     }
     batch
 }
@@ -140,14 +116,9 @@ fn duplex_client_equals_engine_on_random_batches() {
             .prop_map(|(kind, vs, top, k)| {
                 let graph = if kind == 4 { "nope" } else { "g" };
                 let request = match kind {
-                    0 => Request::Classify { vertices: vs, k },
-                    1 => Request::Similar {
-                        vertex: vs.first().copied().unwrap_or(0),
-                        top,
-                    },
-                    2 => Request::EmbedRow {
-                        vertex: vs.first().copied().unwrap_or(0),
-                    },
+                    0 => Request::classify(vs, k),
+                    1 => Request::similar(vs.first().copied().unwrap_or(0), top),
+                    2 => Request::embed_row(vs.first().copied().unwrap_or(0)),
                     3 => Request::ApplyUpdates {
                         updates: vs
                             .iter()
@@ -158,7 +129,7 @@ fn duplex_client_equals_engine_on_random_batches() {
                             })
                             .collect(),
                     },
-                    _ => Request::Stats,
+                    _ => Request::stats(),
                 };
                 Envelope::new(graph, request)
             }),
@@ -320,6 +291,198 @@ fn responses_are_equal_when_roundtripped_through_wire_bytes() {
     let decoded: Vec<Result<Response, ServeError>> =
         gee_serve::wire::decode(&wire_bytes_local).unwrap();
     assert_eq!(decoded, in_process);
+    drop(client);
+    server_thread.join().unwrap();
+}
+
+#[test]
+fn time_travel_reads_are_byte_identical_across_engine_duplex_and_tcp() {
+    // Twin engines with a 4-epoch history ring; the same pinned reads
+    // must answer identically in-process, over the in-process duplex,
+    // and over loopback TCP — compared on encoded wire bytes, so every
+    // f64 bit counts.
+    let make = || {
+        let el = gee_gen::erdos_renyi_gnm(N, 900, 21);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(
+                N,
+                gee_gen::LabelSpec {
+                    num_classes: K,
+                    labeled_fraction: 0.3,
+                },
+                3,
+            ),
+            K,
+        );
+        let engine = Engine::with_config(gee_serve::RegistryConfig {
+            default_shards: 4,
+            history: gee_serve::HistoryPolicy::keep(4),
+            ..gee_serve::RegistryConfig::default()
+        })
+        .unwrap();
+        engine.registry().register("g", &el, &labels).unwrap();
+        for i in 0..3u32 {
+            engine
+                .apply_updates(
+                    "g",
+                    vec![
+                        Update::InsertEdge {
+                            u: i % N as u32,
+                            v: (i * 13 + 2) % N as u32,
+                            w: 1.0 + f64::from(i),
+                        },
+                        Update::SetLabel {
+                            v: (i * 7 + 1) % N as u32,
+                            label: Some(i % K as u32),
+                        },
+                    ],
+                )
+                .unwrap();
+        }
+        engine
+    };
+    // One twin engine per path: the read suites below must hit each
+    // engine exactly once per round or the Stats query counters diverge.
+    let local = make();
+    let remote_dup = Arc::new(make());
+    let remote_tcp = Arc::new(make());
+
+    let pinned_suite = |epoch: Option<u64>| -> Vec<Envelope> {
+        let reqs = vec![
+            Request::classify(vec![0, 5, 9], 3),
+            Request::similar(7, 6),
+            Request::embed_row(11),
+            Request::stats(),
+        ];
+        reqs.into_iter()
+            .map(|r| {
+                let r = match epoch {
+                    Some(e) => r.pinned(e),
+                    None => r,
+                };
+                Envelope::new("g", r)
+            })
+            .collect()
+    };
+
+    let handle = Server::listen(remote_tcp, "127.0.0.1:0", None).unwrap();
+    let mut tcp = Client::connect(handle.addr()).unwrap();
+    assert_eq!(tcp.protocol_version(), PROTOCOL_VERSION);
+    let (mut dup, server_thread) = duplex_client(remote_dup);
+
+    // Every retained epoch, plus the unpinned present, plus two evicted
+    // pins (one too old once epochs advance past keep, one future).
+    for epoch in [None, Some(0), Some(1), Some(2), Some(3), Some(9)] {
+        let batch = pinned_suite(epoch);
+        let in_process = local.execute_batch(batch.clone());
+        let over_duplex = dup.execute_batch(batch.clone()).unwrap();
+        let over_tcp = tcp.execute_batch(batch).unwrap();
+        let bytes = |r: &Vec<Result<Response, ServeError>>| gee_serve::wire::encode(r);
+        assert_eq!(
+            bytes(&in_process),
+            bytes(&over_duplex),
+            "duplex, epoch {epoch:?}"
+        );
+        assert_eq!(bytes(&in_process), bytes(&over_tcp), "tcp, epoch {epoch:?}");
+        if epoch == Some(9) {
+            for r in &in_process {
+                assert!(
+                    matches!(r, Err(ServeError::EpochEvicted { newest: 3, .. })),
+                    "{r:?}"
+                );
+            }
+        }
+    }
+
+    // Named *_at methods agree across the three paths too. (These are
+    // asymmetric — they don't hit every engine — so the stats check
+    // below compares snapshot-shaped fields, not query counters.)
+    assert_eq!(
+        local.classify_at("g", vec![0, 1], 3, Some(1)),
+        dup.classify_at("g", vec![0, 1], 3, Some(1))
+    );
+    assert_eq!(
+        local.embed_row_at("g", 4, Some(2)),
+        tcp.embed_row_at("g", 4, Some(2))
+    );
+    assert_eq!(
+        local.similar_at("g", 3, 5, Some(0)),
+        tcp.similar_at("g", 3, 5, Some(0))
+    );
+    let l = local.stats_at("g", Some(3)).unwrap();
+    let d = dup.stats_at("g", Some(3)).unwrap();
+    assert_eq!(
+        (l.epoch, l.oldest_epoch, l.num_labeled, l.num_shards),
+        (d.epoch, d.oldest_epoch, d.num_labeled, d.num_shards)
+    );
+    // Writes keep flowing while pinned readers look at the past: the
+    // new epoch enters the ring, the oldest leaves.
+    local
+        .apply_updates("g", vec![Update::InsertEdge { u: 0, v: 1, w: 9.0 }])
+        .unwrap();
+    tcp.apply_updates("g", vec![Update::InsertEdge { u: 0, v: 1, w: 9.0 }])
+        .unwrap();
+    assert_eq!(
+        local.stats("g").unwrap().oldest_epoch,
+        tcp.stats("g").unwrap().oldest_epoch
+    );
+    assert!(matches!(
+        tcp.embed_row_at("g", 0, Some(0)),
+        Err(ServeError::EpochEvicted { .. })
+    ));
+
+    dup.goodbye().unwrap();
+    server_thread.join().unwrap();
+    tcp.goodbye().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn overloaded_travels_the_wire_as_a_typed_per_request_error() {
+    let el = gee_gen::erdos_renyi_gnm(N, 500, 5);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            gee_gen::LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.3,
+            },
+            3,
+        ),
+        K,
+    );
+    let engine = Arc::new(
+        Engine::with_config(gee_serve::RegistryConfig {
+            default_shards: 2,
+            backpressure: gee_serve::BackpressurePolicy::max_pending(1),
+            ..gee_serve::RegistryConfig::default()
+        })
+        .unwrap(),
+    );
+    engine.registry().register("g", &el, &labels).unwrap();
+    let slot = engine.registry().hold_write_slot("g").unwrap();
+    let (mut client, server_thread) = duplex_client(engine.clone());
+    let err = client
+        .apply_updates("g", vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::Overloaded {
+            graph: "g".into(),
+            pending: 1,
+            max_pending: 1,
+        }
+    );
+    assert_eq!(err.code().as_u16(), 14);
+    // The connection survives the rejection; reads still flow.
+    assert!(client.stats("g").is_ok());
+    drop(slot);
+    assert_eq!(
+        client
+            .apply_updates("g", vec![Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+            .unwrap(),
+        (1, 1)
+    );
     drop(client);
     server_thread.join().unwrap();
 }

@@ -50,21 +50,42 @@ fn arb_update() -> impl Strategy<Value = Update> {
     ]
 }
 
+fn arb_epoch_pin() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![
+        Just(None),
+        any::<u64>().prop_map(Some),
+        Just(Some(0)),
+        Just(Some(u64::MAX)),
+    ]
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (vec(any::<u32>(), 0..8), any::<usize>())
-            .prop_map(|(vertices, k)| Request::Classify { vertices, k }),
-        (any::<u32>(), any::<usize>()).prop_map(|(vertex, top)| Request::Similar { vertex, top }),
-        any::<u32>().prop_map(|vertex| Request::EmbedRow { vertex }),
+        (vec(any::<u32>(), 0..8), any::<usize>(), arb_epoch_pin()).prop_map(
+            |(vertices, k, at_epoch)| Request::Classify {
+                vertices,
+                k,
+                at_epoch
+            }
+        ),
+        (any::<u32>(), any::<usize>(), arb_epoch_pin()).prop_map(|(vertex, top, at_epoch)| {
+            Request::Similar {
+                vertex,
+                top,
+                at_epoch,
+            }
+        }),
+        (any::<u32>(), arb_epoch_pin())
+            .prop_map(|(vertex, at_epoch)| Request::EmbedRow { vertex, at_epoch }),
         vec(arb_update(), 0..6).prop_map(|updates| Request::ApplyUpdates { updates }),
-        Just(Request::Stats),
+        arb_epoch_pin().prop_map(|at_epoch| Request::Stats { at_epoch }),
     ]
 }
 
 fn arb_report() -> impl Strategy<Value = GraphReport> {
     (
         arb_string(),
-        any::<u64>(),
+        (any::<u64>(), any::<u64>()),
         (
             any::<usize>(),
             any::<usize>(),
@@ -74,15 +95,23 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
         (any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |(graph, epoch, (num_vertices, dim, num_shards, num_labeled), (q, u))| GraphReport {
+            |(
                 graph,
-                epoch,
-                num_vertices,
-                dim,
-                num_shards,
-                num_labeled,
-                queries_served: q,
-                updates_applied: u,
+                (epoch, oldest_epoch),
+                (num_vertices, dim, num_shards, num_labeled),
+                (q, u),
+            )| {
+                GraphReport {
+                    graph,
+                    epoch,
+                    oldest_epoch,
+                    num_vertices,
+                    dim,
+                    num_shards,
+                    num_labeled,
+                    queries_served: q,
+                    updates_applied: u,
+                }
             },
         )
 }
@@ -127,6 +156,21 @@ fn arb_error() -> impl Strategy<Value = ServeError> {
         (arb_string(), arb_string())
             .prop_map(|(path, detail)| ServeError::Corrupt { path, detail }),
         arb_string().prop_map(|detail| ServeError::Storage { detail }),
+        (arb_string(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(graph, epoch, oldest, newest)| ServeError::EpochEvicted {
+                graph,
+                epoch,
+                oldest,
+                newest,
+            }
+        ),
+        (arb_string(), any::<usize>(), any::<usize>()).prop_map(|(graph, pending, max_pending)| {
+            ServeError::Overloaded {
+                graph,
+                pending,
+                max_pending,
+            }
+        }),
     ]
 }
 
@@ -211,15 +255,12 @@ proptest! {
 
 #[test]
 fn empty_payloads_round_trip() {
-    assert_round_trip(&Request::Classify {
-        vertices: vec![],
-        k: 0,
-    });
+    assert_round_trip(&Request::classify(vec![], 0));
     assert_round_trip(&Request::ApplyUpdates { updates: vec![] });
     assert_round_trip(&Response::Classes(vec![]));
     assert_round_trip(&Response::Neighbors(vec![]));
     assert_round_trip(&Response::Row(vec![]));
-    assert_round_trip(&Envelope::new("", Request::Stats));
+    assert_round_trip(&Envelope::new("", Request::stats()));
     assert_round_trip(&ClientFrame::Batch {
         id: 0,
         requests: vec![],
@@ -251,10 +292,7 @@ fn maximal_size_payloads_round_trip() {
     // A frame the size of a real bulk answer: 100k-row classify, a 50k-f64
     // embedding row, and a dense neighbor list.
     let vertices: Vec<u32> = (0..100_000u32).collect();
-    assert_round_trip(&Request::Classify {
-        vertices,
-        k: usize::MAX,
-    });
+    assert_round_trip(&Request::classify(vertices, usize::MAX));
     let row: Vec<f64> = (0..50_000).map(|i| (i as f64).sin() * 1e6).collect();
     assert_round_trip(&Response::Row(row));
     let neighbors: Vec<(u32, f64)> = (0..20_000u32).map(|v| (v, f64::from(v) * 0.125)).collect();
@@ -269,5 +307,101 @@ fn maximal_size_payloads_round_trip() {
     assert_round_trip(&ClientFrame::Batch {
         id: 1,
         requests: vec![Envelope::new("bulk", Request::ApplyUpdates { updates })],
+    });
+}
+
+#[test]
+fn unpinned_requests_keep_the_v1_byte_encoding() {
+    // The at_epoch extension is additive: a request without a pin must
+    // encode to exactly the frame a v1 peer produced (no `at_epoch`
+    // key; `Stats` stays a bare string), or pinning would break every
+    // deployed v1 decoder.
+    let cases: [(Request, &str); 4] = [
+        (
+            Request::classify(vec![3, 1], 5),
+            r#"{"Classify":{"vertices":[3,1],"k":5}}"#,
+        ),
+        (
+            Request::similar(7, 10),
+            r#"{"Similar":{"vertex":7,"top":10}}"#,
+        ),
+        (Request::embed_row(9), r#"{"EmbedRow":{"vertex":9}}"#),
+        (Request::stats(), r#""Stats""#),
+    ];
+    for (req, want) in cases {
+        assert_eq!(String::from_utf8(encode(&req)).unwrap(), want, "{req:?}");
+    }
+}
+
+#[test]
+fn pinned_requests_add_only_the_at_epoch_key() {
+    let cases: [(Request, &str); 4] = [
+        (
+            Request::classify(vec![3], 5).pinned(8),
+            r#"{"Classify":{"vertices":[3],"k":5,"at_epoch":8}}"#,
+        ),
+        (
+            Request::similar(7, 10).pinned(0),
+            r#"{"Similar":{"vertex":7,"top":10,"at_epoch":0}}"#,
+        ),
+        (
+            Request::embed_row(9).pinned(u64::MAX),
+            r#"{"EmbedRow":{"vertex":9,"at_epoch":18446744073709551615}}"#,
+        ),
+        (Request::stats().pinned(2), r#"{"Stats":{"at_epoch":2}}"#),
+    ];
+    for (req, want) in cases {
+        assert_eq!(String::from_utf8(encode(&req)).unwrap(), want, "{req:?}");
+        assert_round_trip(&req);
+    }
+}
+
+#[test]
+fn v1_frames_decode_with_no_pin() {
+    // Frames captured from a v1 peer (no at_epoch anywhere) must decode
+    // into the extended types with `at_epoch: None`.
+    let cases: [(&str, Request); 4] = [
+        (
+            r#"{"Classify":{"vertices":[0,2],"k":3}}"#,
+            Request::classify(vec![0, 2], 3),
+        ),
+        (
+            r#"{"Similar":{"vertex":1,"top":4}}"#,
+            Request::similar(1, 4),
+        ),
+        (r#"{"EmbedRow":{"vertex":5}}"#, Request::embed_row(5)),
+        (r#""Stats""#, Request::stats()),
+    ];
+    for (bytes, want) in cases {
+        let got: Request = decode(bytes.as_bytes()).unwrap();
+        assert_eq!(got, want, "{bytes}");
+    }
+    // An explicit null pin (what a naive deriver would emit) also maps
+    // to None.
+    let got: Request = decode(br#"{"Stats":{"at_epoch":null}}"#).unwrap();
+    assert_eq!(got, Request::stats());
+}
+
+#[test]
+fn new_error_frames_round_trip_with_stable_codes() {
+    let evicted = ServeError::EpochEvicted {
+        graph: "g".into(),
+        epoch: 2,
+        oldest: 5,
+        newest: 9,
+    };
+    let overloaded = ServeError::Overloaded {
+        graph: "g".into(),
+        pending: 32,
+        max_pending: 32,
+    };
+    assert_round_trip(&evicted);
+    assert_round_trip(&overloaded);
+    assert_eq!(evicted.code().as_u16(), 13);
+    assert_eq!(overloaded.code().as_u16(), 14);
+    // And inside a server Batch frame, the position a client sees them.
+    assert_round_trip(&ServerFrame::Batch {
+        id: 7,
+        results: vec![Err(evicted), Err(overloaded)],
     });
 }

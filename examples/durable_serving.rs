@@ -56,18 +56,12 @@ fn batch(b: u32, n: u32) -> Vec<Update> {
 /// query counter it reports is deterministic.
 fn answers(engine: &ServeEngine, n: u32) -> Vec<u8> {
     let mut results = engine.execute_batch(vec![
-        Envelope::new(
-            GRAPH,
-            Request::Classify {
-                vertices: (0..n).collect(),
-                k: 5,
-            },
-        ),
-        Envelope::new(GRAPH, Request::Similar { vertex: 7, top: 10 }),
-        Envelope::new(GRAPH, Request::EmbedRow { vertex: n / 2 }),
-        Envelope::new(GRAPH, Request::EmbedRow { vertex: n + 1 }), // typed error
+        Envelope::new(GRAPH, Request::classify((0..n).collect(), 5)),
+        Envelope::new(GRAPH, Request::similar(7, 10)),
+        Envelope::new(GRAPH, Request::embed_row(n / 2)),
+        Envelope::new(GRAPH, Request::embed_row(n + 1)), // typed error
     ]);
-    results.push(engine.execute(GRAPH, Request::Stats));
+    results.push(engine.execute(GRAPH, Request::stats()));
     wire::encode(&ServerFrame::Batch { id: 0, results })
 }
 

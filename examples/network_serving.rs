@@ -1,4 +1,4 @@
-//! Network serving: drive `gee-serve` over wire protocol v1 and prove
+//! Network serving: drive `gee-serve` over the wire protocol and prove
 //! the wire answers equal in-process execution.
 //!
 //! Two engines are built from identical inputs: one behind a TCP server,
@@ -36,21 +36,9 @@ fn workload(n: u32, blocks: usize) -> Vec<Vec<Envelope>> {
         .map(|round| {
             let v = |i: u32| (round * 131 + i * 17) % n;
             vec![
-                Envelope::new(
-                    "social",
-                    Request::Classify {
-                        vertices: (0..20).map(v).collect(),
-                        k: 5,
-                    },
-                ),
-                Envelope::new(
-                    "social",
-                    Request::Similar {
-                        vertex: v(0),
-                        top: 10,
-                    },
-                ),
-                Envelope::new("social", Request::EmbedRow { vertex: v(1) }),
+                Envelope::new("social", Request::classify((0..20).map(v).collect(), 5)),
+                Envelope::new("social", Request::similar(v(0), 10)),
+                Envelope::new("social", Request::embed_row(v(1))),
                 Envelope::new(
                     "social",
                     Request::ApplyUpdates {
@@ -67,23 +55,11 @@ fn workload(n: u32, blocks: usize) -> Vec<Vec<Envelope>> {
                         ],
                     },
                 ),
-                Envelope::new(
-                    "social",
-                    Request::Classify {
-                        vertices: vec![v(2), v(3)],
-                        k: 5,
-                    },
-                ),
-                Envelope::new("social", Request::Stats),
+                Envelope::new("social", Request::classify(vec![v(2), v(3)], 5)),
+                Envelope::new("social", Request::stats()),
                 // Typed failures must cross the wire unchanged too.
-                Envelope::new(
-                    "social",
-                    Request::Similar {
-                        vertex: v(5),
-                        top: 0,
-                    },
-                ),
-                Envelope::new("nowhere", Request::Stats),
+                Envelope::new("social", Request::similar(v(5), 0)),
+                Envelope::new("nowhere", Request::stats()),
             ]
         })
         .collect()

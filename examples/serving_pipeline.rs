@@ -27,9 +27,18 @@ fn main() {
         labels.num_labeled()
     );
 
-    // -- Register: epoch 0 is materialized shard-parallel.
+    // -- Register: epoch 0 is materialized shard-parallel. The registry
+    // retains the 4 newest epochs for time-travel reads; epochs are
+    // published copy-on-write, so retention costs only the dirty blocks.
     let shards = 8;
-    let registry = Arc::new(Registry::new(shards));
+    let registry = Arc::new(
+        Registry::with_config(RegistryConfig {
+            default_shards: shards,
+            history: HistoryPolicy::keep(4),
+            ..RegistryConfig::default()
+        })
+        .unwrap(),
+    );
     let t0 = Instant::now();
     registry.register("social", &sbm.edges, &labels).unwrap();
     println!(
@@ -41,16 +50,10 @@ fn main() {
     // -- A mixed read batch: classification + similarity + raw rows.
     let queries: Vec<u32> = (0..n as u32).step_by(97).collect();
     let batch = vec![
-        Envelope::new(
-            "social",
-            Request::Classify {
-                vertices: queries.clone(),
-                k: 5,
-            },
-        ),
-        Envelope::new("social", Request::Similar { vertex: 0, top: 10 }),
-        Envelope::new("social", Request::EmbedRow { vertex: 123 }),
-        Envelope::new("social", Request::Stats),
+        Envelope::new("social", Request::classify(queries.clone(), 5)),
+        Envelope::new("social", Request::similar(0, 10)),
+        Envelope::new("social", Request::embed_row(123)),
+        Envelope::new("social", Request::stats()),
     ];
     let t1 = Instant::now();
     let answers = engine.execute_batch(batch);
@@ -121,18 +124,62 @@ fn main() {
     }
     let fresh = gee_repro::core::serial_optimized::embed(&oracle.edge_list(), &oracle.labels());
     let snap = registry.snapshot("social").expect("registered");
-    fresh.assert_close(&snap.embedding, 1e-10);
+    fresh.assert_close(&snap.to_embedding(), 1e-10);
     println!(
         "served epoch {} matches a from-scratch recompute ✓ (verified in {:.2?})",
         snap.epoch,
         t3.elapsed()
     );
 
-    let Ok(Response::Stats(report)) = engine.execute("social", Request::Stats) else {
+    let Ok(Response::Stats(report)) = engine.execute("social", Request::stats()) else {
         panic!("stats failed")
     };
     println!(
-        "final stats: epoch {}, {} queries served, {} updates applied",
-        report.epoch, report.queries_served, report.updates_applied
+        "final stats: epoch {} (retained from {}), {} queries served, {} updates applied",
+        report.epoch, report.oldest_epoch, report.queries_served, report.updates_applied
     );
+
+    // -- Copy-on-write publication: a single-shard edge batch republishes
+    // one ShardBlock and structurally shares the other S-1.
+    let parent = registry.snapshot("social").unwrap();
+    engine
+        .execute(
+            "social",
+            Request::ApplyUpdates {
+                updates: vec![Update::InsertEdge { u: 1, v: 2, w: 1.0 }],
+            },
+        )
+        .unwrap();
+    let child = registry.snapshot("social").unwrap();
+    let shared = child
+        .blocks()
+        .iter()
+        .zip(parent.blocks())
+        .filter(|(a, b)| Arc::ptr_eq(a, b))
+        .count();
+    println!(
+        "single-shard update: epoch {} shares {shared}/{shards} blocks with epoch {} ✓",
+        child.epoch, parent.epoch
+    );
+
+    // -- Time travel: pin a read to the parent epoch while the head moves.
+    let then = engine
+        .embed_row_at("social", 123, Some(parent.epoch))
+        .unwrap();
+    let now = engine.embed_row("social", 123).unwrap();
+    println!(
+        "pinned read at epoch {}: row 123 frozen ({} dims); unpinned reads follow epoch {} \
+         (rows {}identical)",
+        parent.epoch,
+        then.len(),
+        child.epoch,
+        if then == now { "" } else { "not " }
+    );
+    // A pin the ring has evicted fails typed, naming the retained range.
+    match engine.embed_row_at("social", 123, Some(0)) {
+        Err(ServeError::EpochEvicted { oldest, newest, .. }) => {
+            println!("epoch 0 is evicted (code 13); retained range is {oldest}..={newest} ✓")
+        }
+        other => panic!("expected EpochEvicted, got {other:?}"),
+    }
 }

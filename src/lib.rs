@@ -36,7 +36,38 @@
 //! `examples/serving_pipeline.rs` for the end-to-end flow and the
 //! `serve-throughput` bench binary for queries/sec vs shard count.
 //!
-//! ### Wire protocol v1
+//! ### Copy-on-write epochs, pinning, and back-pressure
+//!
+//! A [`serve::Snapshot`] is a set of per-shard [`serve::ShardBlock`]s
+//! published **copy-on-write**: an update batch re-materializes only the
+//! shards it dirtied (edge ops → their endpoints' shards; a label move →
+//! every shard's rows but one shard's labels, because class counts
+//! rescale whole columns) and structurally shares the rest with the
+//! parent epoch. Two policies on [`serve::RegistryConfig`] govern the
+//! epoch lifecycle:
+//!
+//! * [`serve::HistoryPolicy`] keeps the `N` newest epochs in a ring, and
+//!   every read request takes an optional `at_epoch` pin (or the `*_at`
+//!   methods on `Engine`/`Client`): a pinned read answers against
+//!   exactly that retained epoch — time-travel, byte-stable for as long
+//!   as the epoch is retained — and a pin outside the ring fails typed
+//!   as [`serve::ServeError::EpochEvicted`] (code 13) naming the
+//!   retained range. CoW sharing makes retention cheap: consecutive
+//!   epochs share every untouched block.
+//! * [`serve::BackpressurePolicy`] bounds update batches in flight per
+//!   graph: writers beyond the bound are rejected before taking any
+//!   lock with [`serve::ServeError::Overloaded`] (code 14) — guaranteed
+//!   unapplied and unlogged, so a retry is always safe. Reads are never
+//!   throttled; `Registry::hold_write_slot` doubles as a write fence.
+//!
+//! The concurrency stress suite (`crates/serve/tests/concurrency.rs`)
+//! proves snapshots stay internally consistent, reader-observed epochs
+//! are monotone, and every published epoch equals a sequential replay;
+//! the CoW property suite (`crates/serve/tests/cow_property.rs`) proves
+//! CoW publication element-wise equal to from-scratch rebuilds with
+//! exactly the untouched blocks shared.
+//!
+//! ### Wire protocol (v2)
 //!
 //! The serve types double as a versioned network contract
 //! ([`serve::wire`]): frames are compact JSON (serde's externally-tagged
@@ -44,7 +75,9 @@
 //! on TCP, and exchanged over any [`serve::Transport`] — loopback-free
 //! in-process [`serve::duplex`] or [`serve::TcpTransport`]. A connection
 //! opens with a `Hello` handshake that negotiates the protocol version
-//! (currently [`serve::PROTOCOL_VERSION`] = 1), then carries pipelined
+//! (currently [`serve::PROTOCOL_VERSION`] = 2; v1 is still spoken — the
+//! `at_epoch` pin is an additive extension whose absence encodes
+//! byte-identically to v1 frames), then carries pipelined
 //! request batches; failures travel as typed [`serve::ServeError`] values
 //! with stable numeric [`serve::ErrorCode`]s. A [`serve::Server`] feeds
 //! decoded batches to `Engine::execute_batch`, and the blocking
@@ -94,8 +127,9 @@ pub mod prelude {
     pub use gee_graph::{CsrGraph, Edge, EdgeList, GraphBuilder};
     pub use gee_ligra::{with_threads, BucketOrder, Buckets, VertexSubset};
     pub use gee_serve::{
-        Client as ServeClient, Durability, Engine as ServeEngine, Envelope, ErrorCode, Registry,
-        Request, Response, ServeError, Server as ServeServer, SyncPolicy, Update,
+        BackpressurePolicy, Client as ServeClient, Durability, Engine as ServeEngine, Envelope,
+        ErrorCode, HistoryPolicy, Registry, RegistryConfig, Request, Response, ServeError,
+        Server as ServeServer, SyncPolicy, Update,
     };
 }
 

@@ -22,19 +22,13 @@ fn serve_query_path_matches_library_paths() {
     // Epoch-0 snapshot equals the paper's parallel embedding.
     let g = CsrGraph::from_edge_list(&el);
     let ligra = gee_repro::core::ligra::embed(&g, &labels, AtomicsMode::Atomic);
-    ligra.assert_close(&snap.embedding, 1e-9);
+    ligra.assert_close(&snap.to_embedding(), 1e-9);
 
     // Served Classify equals gee_eval::knn_classify over that embedding.
     let engine = ServeEngine::new(registry);
     let queries: Vec<u32> = (0..el.num_vertices() as u32).collect();
     let served = match engine
-        .execute(
-            "g",
-            Request::Classify {
-                vertices: queries.clone(),
-                k: 3,
-            },
-        )
+        .execute("g", Request::classify(queries.clone(), 3))
         .unwrap()
     {
         Response::Classes(c) => c,
@@ -66,14 +60,14 @@ fn serve_updates_then_read_equals_recompute() {
         Update::SetLabel { v: 20, label: None },
     ];
     let batch = vec![
-        Envelope::new("g", Request::EmbedRow { vertex: 0 }),
+        Envelope::new("g", Request::embed_row(0)),
         Envelope::new(
             "g",
             Request::ApplyUpdates {
                 updates: updates.clone(),
             },
         ),
-        Envelope::new("g", Request::EmbedRow { vertex: 0 }),
+        Envelope::new("g", Request::embed_row(0)),
     ];
     let batched = engine.execute_batch(batch.clone());
     assert!(batched.iter().all(Result::is_ok));
@@ -96,5 +90,5 @@ fn serve_updates_then_read_equals_recompute() {
     let fresh = gee_repro::core::serial_optimized::embed(&oracle.edge_list(), &oracle.labels());
     let snap = registry.snapshot("g").unwrap();
     assert_eq!(snap.epoch, 1);
-    fresh.assert_close(&snap.embedding, 1e-11);
+    fresh.assert_close(&snap.to_embedding(), 1e-11);
 }
