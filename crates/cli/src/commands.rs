@@ -27,20 +27,28 @@ subcommands:
                                        matching|dominating-set|densest> [--source V=0]
   serve        --graph <file> (--script <file> | --listen ADDR) [--k K=50] [--labeled F=0.1]
                [--shards S=4] [--seed S=42] [--history N=1] [--max-pending N]
+               [--index exact|ivf] [--nprobe N=8] [--refine R=8]
                script lines: classify v1,v2,.. [k] | similar v [top] | row v |
                              insert u v w | remove u v w | label v <class|none> | stats
-               --listen serves wire protocol v2 over TCP (graph name \"g\");
+               --listen serves wire protocol v3 over TCP (graph name \"g\");
                [--max-conns N] stop after N connections, [--port-file F] write bound addr to F
                --history N retains the N newest epochs for --at-epoch reads;
                --max-pending N rejects update batches beyond N in flight (code 14)
+               --index ivf answers Similar/Classify from per-shard IVF indexes
+               (approximate; probe --nprobe lists, pool >= --refine x top);
+               small shards and oversized top/k fall back to the exact scan
                durability: [--data-dir DIR [--sync always|never] [--checkpoint-every N=64]]
                recovers graph \"g\" from DIR if present (then --graph is optional);
                every update batch is WAL-logged and survives restart
   query        --graph <file> (--classify v1,v2,.. | --similar V | --row V | --stats true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
                [--shards S=4] [--seed S=42] [--at-epoch E] [--history N=1]
+               [--index exact|ivf] [--nprobe N=8] [--refine R=8] [--exact true]
                or query a running server: --connect ADDR [--name g] instead of --graph
                --at-epoch E pins the read to retained epoch E (error 13 if evicted)
+               --nprobe/--exact override the server's search policy per request:
+               --nprobe N asks for IVF approximate search, --exact true is the
+               escape hatch forcing the exact scan (works over --connect too)
   recover      --data-dir DIR [--shards S=4] [--checkpoint true]
                recover a durable serving directory (checkpoint + WAL replay), report
                each graph's epoch/size, optionally force a compacting checkpoint
@@ -419,6 +427,27 @@ fn load_labeled_graph(
     Ok((el, labels))
 }
 
+/// Parse `[--nprobe N] [--refine R]` into an IVF
+/// [`gee_serve::SearchPolicy::Ann`] — the single owner of both
+/// defaults, shared by `serve --index ivf` and `query --nprobe`.
+fn ann_from_flags(flags: &Flags) -> crate::Result<gee_serve::SearchPolicy> {
+    let nprobe: usize = flags.get_parsed("nprobe", 8)?;
+    let refine: usize = flags.get_parsed("refine", gee_serve::SearchPolicy::DEFAULT_REFINE)?;
+    Ok(gee_serve::SearchPolicy::Ann { nprobe, refine })
+}
+
+/// Parse `--index exact|ivf [--nprobe N] [--refine R]` into the
+/// registry-wide default [`gee_serve::SearchPolicy`].
+fn search_from_flags(flags: &Flags) -> crate::Result<gee_serve::SearchPolicy> {
+    match flags.get("index").unwrap_or("exact") {
+        "exact" => Ok(gee_serve::SearchPolicy::Exact),
+        "ivf" => ann_from_flags(flags),
+        other => Err(CliError::Usage(format!(
+            "unknown --index {other:?} (exact|ivf)"
+        ))),
+    }
+}
+
 /// Stand up a one-graph serving engine named `"g"`. Without
 /// `--data-dir` the registry is in-memory and `--graph` is required;
 /// with it, the data directory is recovered first and `--graph` is only
@@ -439,23 +468,32 @@ fn build_engine(
         }
         None => gee_serve::BackpressurePolicy::unbounded(),
     };
+    let search = search_from_flags(flags)?;
     let engine = gee_serve::Engine::with_config(gee_serve::RegistryConfig {
         default_shards: shards,
         history: gee_serve::HistoryPolicy::keep(history),
         backpressure,
         durability: durability_from_flags(flags)?.unwrap_or(gee_serve::Durability::None),
+        search,
     })?;
-    if let Ok(snap) = engine.registry().snapshot("g") {
+    let num_vertices = if let Ok(snap) = engine.registry().snapshot("g") {
         eprintln!(
             "recovered \"g\" at epoch {} from {}",
             snap.epoch,
             flags.get("data-dir").unwrap_or("?")
         );
-        return Ok((engine, snap.num_vertices()));
+        snap.num_vertices()
+    } else {
+        let (el, labels) = load_labeled_graph(flags, classes_flag, default_classes)?;
+        engine.registry().register("g", &el, &labels)?;
+        el.num_vertices()
+    };
+    if search.is_ann() {
+        // Pay the k-means cost now so the first query is warm.
+        let indexed = engine.registry().snapshot("g")?.warm_ann_indexes();
+        eprintln!("ivf: {indexed} shard(s) indexed (small shards stay exact)");
     }
-    let (el, labels) = load_labeled_graph(flags, classes_flag, default_classes)?;
-    engine.registry().register("g", &el, &labels)?;
-    Ok((engine, el.num_vertices()))
+    Ok((engine, num_vertices))
 }
 
 /// `recover`: open a durable serving directory (latest checkpoint + WAL
@@ -699,6 +737,17 @@ fn query(flags: &Flags) -> crate::Result<String> {
             .parse()
             .map_err(|_| CliError::Usage(format!("bad --at-epoch {raw:?}")))?;
         request = request.pinned(epoch);
+    }
+    // Per-request search override: `--exact true` is the escape hatch
+    // that forces the exact scan no matter how the server is configured;
+    // `--nprobe`/`--index ivf` asks for IVF approximate search. Both
+    // ride the wire with --connect (protocol v3).
+    if flags.get_parsed("exact", false)? {
+        request = request.with_search(gee_serve::SearchPolicy::Exact);
+    } else if flags.get("index").is_some() {
+        request = request.with_search(search_from_flags(flags)?);
+    } else if flags.get("nprobe").is_some() {
+        request = request.with_search(ann_from_flags(flags)?);
     }
     let mut out = String::new();
     if let Some(addr) = flags.get("connect") {
@@ -1451,5 +1500,145 @@ mod tests {
         let r = run(&sv(&["analyze", "--graph", &graph, "--algo", "frobnicate"]));
         assert!(matches!(r, Err(CliError::Usage(_))));
         std::fs::remove_file(&graph).ok();
+    }
+
+    #[test]
+    fn serve_and_query_with_ivf_index() {
+        // 600 vertices on 2 shards = 300 rows each — above the IVF
+        // row-count threshold, so --index ivf genuinely indexes.
+        let graph = tmp("gee_cli_ivf.txt");
+        let script = tmp("gee_cli_ivf.script");
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "600",
+            "--edges",
+            "3600",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        std::fs::write(&script, "similar 5 10\nclassify 0,1,2 3\nstats\n").unwrap();
+        let out = run(&sv(&[
+            "serve", "--graph", &graph, "--script", &script, "--shards", "2", "--index", "ivf",
+            "--nprobe", "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("neighbors:"), "{out}");
+        assert!(out.contains("classes:"), "{out}");
+        // The per-request exact escape hatch and an ANN override both
+        // answer; with a generous nprobe they agree exactly.
+        let exact = run(&sv(&[
+            "query",
+            "--graph",
+            &graph,
+            "--similar",
+            "5",
+            "--shards",
+            "2",
+            "--exact",
+            "true",
+        ]))
+        .unwrap();
+        let ann_full = run(&sv(&[
+            "query",
+            "--graph",
+            &graph,
+            "--similar",
+            "5",
+            "--shards",
+            "2",
+            "--nprobe",
+            "600",
+        ]))
+        .unwrap();
+        assert!(exact.contains("neighbors:"), "{exact}");
+        assert_eq!(exact, ann_full, "full probe equals the exact scan");
+        // Unknown index kinds are usage errors.
+        let r = run(&sv(&[
+            "serve", "--graph", &graph, "--script", &script, "--index", "hnsw",
+        ]));
+        assert!(matches!(r, Err(CliError::Usage(_))));
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&script).ok();
+    }
+
+    #[test]
+    fn query_search_overrides_travel_the_wire() {
+        let graph = tmp("gee_cli_ivf_net.txt");
+        let port_file = tmp("gee_cli_ivf_net.port");
+        std::fs::remove_file(&port_file).ok();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "600",
+            "--edges",
+            "3000",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let serve_args = sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--index",
+            "ivf",
+            "--nprobe",
+            "4",
+            "--max-conns",
+            "2",
+            "--port-file",
+            &port_file,
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+        // The exact escape hatch and an ANN override both ride protocol
+        // v3 to a --listen server configured with an IVF default.
+        let out = run(&sv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--similar",
+            "7",
+            "--exact",
+            "true",
+        ]))
+        .unwrap();
+        assert!(out.contains("neighbors:"), "{out}");
+        let out = run(&sv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--similar",
+            "7",
+            "--nprobe",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("neighbors:"), "{out}");
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&port_file).ok();
     }
 }

@@ -29,8 +29,13 @@ pub fn knn_classify(
         .par_iter()
         .map(|&q| {
             let qr = row(q);
-            // Partial selection of the k smallest distances.
-            let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+            // Partial selection of the k smallest distances. Cap the
+            // preallocation at the train size: `k` comes from callers
+            // (ultimately the serving wire) and may be huge —
+            // `k = usize::MAX` must degrade to "everything votes", not
+            // overflow `k + 1` or abort on an absurd allocation.
+            let mut best: Vec<(f64, u32)> =
+                Vec::with_capacity(k.saturating_add(1).min(train.len() + 1));
             for &(t, class) in train {
                 let d: f64 = qr.iter().zip(row(t)).map(|(a, b)| (a - b) * (a - b)).sum();
                 let pos = best.partition_point(|&(bd, _)| bd < d);

@@ -13,12 +13,14 @@
 use std::net::ToSocketAddrs;
 
 use crate::engine::{Envelope, GraphReport, Request, Response};
+use crate::index::SearchPolicy;
 use crate::registry::Update;
 use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, ClientFrame, ServerFrame, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::ServeError;
 
-/// A connected, handshaken protocol-v1 client.
+/// A connected, handshaken wire-protocol client (v3 current; pins and
+/// search overrides are refused on downlevel connections).
 pub struct Client {
     transport: Box<dyn Transport>,
     version: u32,
@@ -133,12 +135,26 @@ impl Client {
         k: usize,
         at_epoch: Option<u64>,
     ) -> Result<Vec<u32>, ServeError> {
+        self.classify_with(graph, vertices, k, at_epoch, None)
+    }
+
+    /// Mirrors [`Engine::classify_with`](crate::Engine::classify_with):
+    /// classify with an epoch pin and/or a search-policy override.
+    pub fn classify_with(
+        &mut self,
+        graph: &str,
+        vertices: Vec<u32>,
+        k: usize,
+        at_epoch: Option<u64>,
+        search: Option<SearchPolicy>,
+    ) -> Result<Vec<u32>, ServeError> {
         match self.execute(
             graph,
             Request::Classify {
                 vertices,
                 k,
                 at_epoch,
+                search,
             },
         )? {
             Response::Classes(classes) => Ok(classes),
@@ -164,12 +180,25 @@ impl Client {
         top: usize,
         at_epoch: Option<u64>,
     ) -> Result<Vec<(u32, f64)>, ServeError> {
+        self.similar_with(graph, vertex, top, at_epoch, None)
+    }
+
+    /// Mirrors [`Engine::similar_with`](crate::Engine::similar_with).
+    pub fn similar_with(
+        &mut self,
+        graph: &str,
+        vertex: u32,
+        top: usize,
+        at_epoch: Option<u64>,
+        search: Option<SearchPolicy>,
+    ) -> Result<Vec<(u32, f64)>, ServeError> {
         match self.execute(
             graph,
             Request::Similar {
                 vertex,
                 top,
                 at_epoch,
+                search,
             },
         )? {
             Response::Neighbors(neighbors) => Ok(neighbors),
@@ -241,6 +270,21 @@ impl Client {
                      (negotiated v{})",
                     env.graph,
                     wire::EPOCH_PIN_VERSION,
+                    self.version
+                )));
+            }
+        }
+        // Search overrides are a v3 extension. A downlevel server would
+        // silently ignore the `search` key and answer with its own
+        // default policy — a broken exactness contract, no error — so
+        // refuse to send one.
+        if self.version < wire::SEARCH_POLICY_VERSION {
+            if let Some(env) = requests.iter().find(|e| e.request.search().is_some()) {
+                return Err(ServeError::protocol(format!(
+                    "search-policy override on {:?} requires protocol v{} \
+                     (negotiated v{})",
+                    env.graph,
+                    wire::SEARCH_POLICY_VERSION,
                     self.version
                 )));
             }

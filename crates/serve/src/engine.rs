@@ -23,18 +23,20 @@ use std::sync::Arc;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::index::SearchPolicy;
 use crate::registry::{Registry, Update};
-use crate::snapshot::Snapshot;
+use crate::snapshot::{ShardBlock, Snapshot};
 use crate::ServeError;
 
 /// A query or mutation against one named graph.
 ///
 /// Part of the wire contract: serializes via serde's externally-tagged
-/// enum encoding (see [`crate::wire`]). The `at_epoch` pins are a
-/// protocol-v2 extension encoded **additively**: `at_epoch: None`
-/// serializes byte-identically to the v1 frames (no `at_epoch` key;
-/// `Stats` stays the bare `"Stats"` string), and v1 frames decode with
-/// `at_epoch: None` — see the hand-written serde impls below.
+/// enum encoding (see [`crate::wire`]). The `at_epoch` pins (protocol
+/// v2) and `search` overrides (protocol v3) are encoded **additively**:
+/// `at_epoch: None`/`search: None` serialize byte-identically to the v1
+/// frames (no extra keys; `Stats` stays the bare `"Stats"` string), and
+/// older frames decode with `None` — see the hand-written serde impls
+/// below.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// kNN-classify each vertex from the labeled train set (majority vote
@@ -44,6 +46,9 @@ pub enum Request {
         vertices: Vec<u32>,
         k: usize,
         at_epoch: Option<u64>,
+        /// Per-request override of the registry's [`SearchPolicy`]
+        /// (`None` = use the configured default).
+        search: Option<SearchPolicy>,
     },
     /// The `top` nearest vertices to `vertex` by embedding distance
     /// (Euclidean), excluding the vertex itself. Ties break toward the
@@ -52,6 +57,9 @@ pub enum Request {
         vertex: u32,
         top: usize,
         at_epoch: Option<u64>,
+        /// Per-request override of the registry's [`SearchPolicy`]
+        /// (`None` = use the configured default).
+        search: Option<SearchPolicy>,
     },
     /// The raw embedding row of one vertex.
     EmbedRow { vertex: u32, at_epoch: Option<u64> },
@@ -63,21 +71,23 @@ pub enum Request {
 }
 
 impl Request {
-    /// `Classify` with no epoch pin.
+    /// `Classify` with no epoch pin and the default search policy.
     pub fn classify(vertices: Vec<u32>, k: usize) -> Request {
         Request::Classify {
             vertices,
             k,
             at_epoch: None,
+            search: None,
         }
     }
 
-    /// `Similar` with no epoch pin.
+    /// `Similar` with no epoch pin and the default search policy.
     pub fn similar(vertex: u32, top: usize) -> Request {
         Request::Similar {
             vertex,
             top,
             at_epoch: None,
+            search: None,
         }
     }
 
@@ -117,6 +127,27 @@ impl Request {
         self
     }
 
+    /// The search-policy override this read carries, if any (`None` for
+    /// writes and for reads that use the registry default).
+    pub fn search(&self) -> Option<SearchPolicy> {
+        match self {
+            Request::Classify { search, .. } | Request::Similar { search, .. } => *search,
+            _ => None,
+        }
+    }
+
+    /// This request with a search-policy override (no-op on requests
+    /// that don't search: `EmbedRow`, `Stats`, writes).
+    pub fn with_search(mut self, policy: SearchPolicy) -> Request {
+        match &mut self {
+            Request::Classify { search, .. } | Request::Similar { search, .. } => {
+                *search = Some(policy)
+            }
+            _ => {}
+        }
+        self
+    }
+
     /// Writes break read runs; everything else coalesces.
     fn is_write(&self) -> bool {
         matches!(self, Request::ApplyUpdates { .. })
@@ -124,17 +155,25 @@ impl Request {
 }
 
 // Hand-written wire encoding for `Request` (everything else derives):
-// the derive would always emit an `at_epoch` key and would turn `Stats`
-// into a struct variant, changing every v1 frame. These impls keep the
-// v1 byte encoding for unpinned requests and only add the key when a pin
-// is present, so the extension is additive on the wire
-// (`tests/wire_roundtrip.rs` pins the exact bytes).
+// the derive would always emit `at_epoch`/`search` keys and would turn
+// `Stats` into a struct variant, changing every v1 frame. These impls
+// keep the v1 byte encoding for unpinned/default-search requests and
+// only add the keys when present, so both extensions are additive on
+// the wire (`tests/wire_roundtrip.rs` pins the exact bytes).
 impl Serialize for Request {
     fn to_value(&self) -> serde::Value {
         use serde::Value;
-        fn variant(tag: &str, mut fields: Vec<(String, Value)>, at_epoch: &Option<u64>) -> Value {
+        fn variant(
+            tag: &str,
+            mut fields: Vec<(String, Value)>,
+            at_epoch: &Option<u64>,
+            search: &Option<SearchPolicy>,
+        ) -> Value {
             if let Some(e) = at_epoch {
                 fields.push(("at_epoch".to_string(), Value::from(*e)));
+            }
+            if let Some(s) = search {
+                fields.push(("search".to_string(), s.to_value()));
             }
             Value::Object(vec![(tag.to_string(), Value::Object(fields))])
         }
@@ -143,6 +182,7 @@ impl Serialize for Request {
                 vertices,
                 k,
                 at_epoch,
+                search,
             } => variant(
                 "Classify",
                 vec![
@@ -150,11 +190,13 @@ impl Serialize for Request {
                     ("k".to_string(), k.to_value()),
                 ],
                 at_epoch,
+                search,
             ),
             Request::Similar {
                 vertex,
                 top,
                 at_epoch,
+                search,
             } => variant(
                 "Similar",
                 vec![
@@ -162,18 +204,20 @@ impl Serialize for Request {
                     ("top".to_string(), top.to_value()),
                 ],
                 at_epoch,
+                search,
             ),
             Request::EmbedRow { vertex, at_epoch } => variant(
                 "EmbedRow",
                 vec![("vertex".to_string(), vertex.to_value())],
                 at_epoch,
+                &None,
             ),
             Request::ApplyUpdates { updates } => Value::Object(vec![(
                 "ApplyUpdates".to_string(),
                 Value::Object(vec![("updates".to_string(), updates.to_value())]),
             )]),
             Request::Stats { at_epoch: None } => Value::String("Stats".to_string()),
-            Request::Stats { at_epoch } => variant("Stats", vec![], at_epoch),
+            Request::Stats { at_epoch } => variant("Stats", vec![], at_epoch, &None),
         }
     }
 }
@@ -190,11 +234,13 @@ impl Deserialize for Request {
                         vertices: Deserialize::from_value(de_field(inner, "vertices")?)?,
                         k: Deserialize::from_value(de_field(inner, "k")?)?,
                         at_epoch: Deserialize::from_value(de_field(inner, "at_epoch")?)?,
+                        search: Deserialize::from_value(de_field(inner, "search")?)?,
                     }),
                     "Similar" => Ok(Request::Similar {
                         vertex: Deserialize::from_value(de_field(inner, "vertex")?)?,
                         top: Deserialize::from_value(de_field(inner, "top")?)?,
                         at_epoch: Deserialize::from_value(de_field(inner, "at_epoch")?)?,
+                        search: Deserialize::from_value(de_field(inner, "search")?)?,
                     }),
                     "EmbedRow" => Ok(Request::EmbedRow {
                         vertex: Deserialize::from_value(de_field(inner, "vertex")?)?,
@@ -330,12 +376,26 @@ impl Engine {
         k: usize,
         at_epoch: Option<u64>,
     ) -> Result<Vec<u32>, ServeError> {
+        self.classify_with(graph, vertices, k, at_epoch, None)
+    }
+
+    /// [`Engine::classify`] with an epoch pin and/or a search-policy
+    /// override (`None` = the registry's configured default).
+    pub fn classify_with(
+        &self,
+        graph: &str,
+        vertices: Vec<u32>,
+        k: usize,
+        at_epoch: Option<u64>,
+        search: Option<SearchPolicy>,
+    ) -> Result<Vec<u32>, ServeError> {
         match self.execute(
             graph,
             Request::Classify {
                 vertices,
                 k,
                 at_epoch,
+                search,
             },
         )? {
             Response::Classes(classes) => Ok(classes),
@@ -361,12 +421,26 @@ impl Engine {
         top: usize,
         at_epoch: Option<u64>,
     ) -> Result<Vec<(u32, f64)>, ServeError> {
+        self.similar_with(graph, vertex, top, at_epoch, None)
+    }
+
+    /// [`Engine::similar`] with an epoch pin and/or a search-policy
+    /// override (`None` = the registry's configured default).
+    pub fn similar_with(
+        &self,
+        graph: &str,
+        vertex: u32,
+        top: usize,
+        at_epoch: Option<u64>,
+        search: Option<SearchPolicy>,
+    ) -> Result<Vec<(u32, f64)>, ServeError> {
         match self.execute(
             graph,
             Request::Similar {
                 vertex,
                 top,
                 at_epoch,
+                search,
             },
         )? {
             Response::Neighbors(neighbors) => Ok(neighbors),
@@ -520,7 +594,12 @@ impl Engine {
             }
         };
         match request {
-            Request::Classify { vertices, k, .. } => {
+            Request::Classify {
+                vertices,
+                k,
+                search,
+                ..
+            } => {
                 if *k == 0 {
                     return Err(ServeError::ZeroLimit { param: "k".into() });
                 }
@@ -529,6 +608,7 @@ impl Engine {
                         graph: graph.to_string(),
                     });
                 }
+                let ann = self.resolve_search(*search)?;
                 for &v in vertices {
                     check(v)?;
                 }
@@ -537,23 +617,29 @@ impl Engine {
                 // inside) — same answers, one parallel region instead of
                 // one per query.
                 let classes = if vertices.len() == 1 {
-                    vec![classify_one(snap, vertices[0], *k, true)]
+                    vec![classify_one(snap, vertices[0], *k, true, ann)]
                 } else {
                     vertices
                         .par_iter()
-                        .map(|&q| classify_one(snap, q, *k, false))
+                        .map(|&q| classify_one(snap, q, *k, false, ann))
                         .collect()
                 };
                 Ok(Response::Classes(classes))
             }
-            Request::Similar { vertex, top, .. } => {
+            Request::Similar {
+                vertex,
+                top,
+                search,
+                ..
+            } => {
                 if *top == 0 {
                     return Err(ServeError::ZeroLimit {
                         param: "top".into(),
                     });
                 }
+                let ann = self.resolve_search(*search)?;
                 check(*vertex)?;
-                Ok(Response::Neighbors(similar(snap, *vertex, *top)))
+                Ok(Response::Neighbors(similar(snap, *vertex, *top, ann)))
             }
             Request::EmbedRow { vertex, .. } => {
                 check(*vertex)?;
@@ -576,6 +662,21 @@ impl Engine {
             Request::ApplyUpdates { .. } => unreachable!("writes handled in execute_write"),
         }
     }
+
+    /// Resolve a request's search override against the registry default
+    /// and validate ANN parameters. Returns the `(nprobe, refine)` pair
+    /// for approximate search, `None` for exact.
+    fn resolve_search(
+        &self,
+        search: Option<SearchPolicy>,
+    ) -> Result<Option<(usize, usize)>, ServeError> {
+        let policy = search.unwrap_or_else(|| self.registry.search_policy());
+        policy.validate()?;
+        match policy {
+            SearchPolicy::Exact => Ok(None),
+            SearchPolicy::Ann { nprobe, refine } => Ok(Some((nprobe, refine))),
+        }
+    }
 }
 
 /// kNN-classify one vertex: scan each shard block's train set in
@@ -591,37 +692,52 @@ impl Engine {
 /// by the same key, so the final list — membership and order — is
 /// identical to the unsharded scan.
 ///
+/// With `ann = Some((nprobe, refine))` the k-best comes from a global
+/// IVF probe instead ([`classify_knn_ann`]); the majority vote is shared.
+///
 /// A train vertex's row lives in its own shard's block, so each shard
 /// scan reads one block's rows directly; only the query row needs the
 /// cross-block lookup.
-fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32 {
+fn classify_one(
+    snap: &Snapshot,
+    q: u32,
+    k: usize,
+    parallel_shards: bool,
+    ann: Option<(usize, usize)>,
+) -> u32 {
     let qr = snap.row(q);
-    let scan_block = |block: &Arc<crate::snapshot::ShardBlock>| {
-        let mut best: Vec<(f64, u32, u32)> = Vec::with_capacity(k + 1);
-        for &(t, class) in block.train() {
-            let d: f64 = qr
-                .iter()
-                .zip(block.row(t))
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
-            let pos = best.partition_point(|&(bd, ..)| bd < d);
-            if pos < k {
-                best.insert(pos, (d, t, class));
-                if best.len() > k {
-                    best.pop();
+    let merged: Vec<(f64, u32, u32)> = if let Some((nprobe, refine)) = ann {
+        classify_knn_ann(snap, qr, k, nprobe, refine)
+    } else {
+        let scan_block = |block: &Arc<ShardBlock>| {
+            // Cap the preallocation at the block's train size: `k` is
+            // client-controlled and may be huge (`usize::MAX` kNN must
+            // degrade to "every labeled vertex votes", not abort on an
+            // absurd allocation).
+            let mut best: Vec<(f64, u32, u32)> =
+                Vec::with_capacity(k.saturating_add(1).min(block.train().len() + 1));
+            for &(t, class) in block.train() {
+                let d = crate::index::row_dist2(qr, block.row(t));
+                let pos = best.partition_point(|&(bd, ..)| bd < d);
+                if pos < k {
+                    best.insert(pos, (d, t, class));
+                    if best.len() > k {
+                        best.pop();
+                    }
                 }
             }
-        }
-        best
+            best
+        };
+        let per_shard: Vec<Vec<(f64, u32, u32)>> = if parallel_shards {
+            snap.blocks().par_iter().map(scan_block).collect()
+        } else {
+            snap.blocks().iter().map(scan_block).collect()
+        };
+        let mut merged: Vec<(f64, u32, u32)> = per_shard.into_iter().flatten().collect();
+        merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
+        merged.truncate(k);
+        merged
     };
-    let per_shard: Vec<Vec<(f64, u32, u32)>> = if parallel_shards {
-        snap.blocks().par_iter().map(scan_block).collect()
-    } else {
-        snap.blocks().iter().map(scan_block).collect()
-    };
-    let mut merged: Vec<(f64, u32, u32)> = per_shard.into_iter().flatten().collect();
-    merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)));
-    merged.truncate(k);
     let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
     for &(.., c) in &merged {
         *counts.entry(c).or_default() += 1;
@@ -634,26 +750,141 @@ fn classify_one(snap: &Snapshot, q: u32, k: usize, parallel_shards: bool) -> u32
         .expect("labeled train set is nonempty")
 }
 
+/// One step of an IVF global probe: either a whole block to scan
+/// exactly (no index, or the query limit covers its pool) or one
+/// inverted list of an indexed block.
+enum ProbeScan<'a> {
+    Block(&'a ShardBlock),
+    List(&'a ShardBlock, &'a crate::index::IvfIndex, usize),
+}
+
+/// The shared two-phase IVF probe driver behind [`similar_ann`] and
+/// [`classify_knn_ann`] — the one place that owns the probe contract:
+/// rank every indexed block's centroids in a single global ordering
+/// (ties toward the lower block, then list, id), scan exact-fallback
+/// blocks up front, then visit the globally nearest lists until at
+/// least `nprobe` lists were probed *and* the scanned candidate pool
+/// holds `want_pool` entries — or everything was visited, at which
+/// point the scanned set is the whole pool and the answer equals the
+/// exact scan. `uses_index` decides the per-block fallback; `scan`
+/// feeds candidates into the caller's [`Selection`](crate::index) and
+/// returns how many it scanned.
+fn ivf_probe(
+    snap: &Snapshot,
+    qr: &[f64],
+    nprobe: usize,
+    want_pool: usize,
+    uses_index: impl Fn(&ShardBlock) -> bool,
+    mut scan: impl FnMut(ProbeScan<'_>) -> usize,
+) {
+    let mut seen = 0usize;
+    let mut probe: Vec<(f64, u32, u32)> = Vec::new(); // (dist², block, list)
+    let mut scratch = Vec::new();
+    for (bi, block) in snap.blocks().iter().enumerate() {
+        // Probing everything is the same scan, sans centroid overhead.
+        let index = if uses_index(block) {
+            block.ann_index()
+        } else {
+            None
+        };
+        match index {
+            Some(index) => {
+                index.centroid_dist2(qr, &mut scratch);
+                probe.extend(
+                    scratch
+                        .iter()
+                        .enumerate()
+                        .map(|(li, &d)| (d, bi as u32, li as u32)),
+                );
+            }
+            None => seen += scan(ProbeScan::Block(block)),
+        }
+    }
+    probe.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    for (probed, &(_, bi, li)) in probe.iter().enumerate() {
+        if probed >= nprobe && seen >= want_pool {
+            break;
+        }
+        let block = &snap.blocks()[bi as usize];
+        let index = block.ann_index().expect("probed blocks are indexed");
+        seen += scan(ProbeScan::List(block, index, li as usize));
+    }
+}
+
+/// Global-probe IVF k-best for `Classify`: scan the nearest lists'
+/// *labeled* entries (blocks without an index, and blocks whose whole
+/// train set fits in `k`, scan exactly) and keep the k-best under the
+/// exact merge's total key `(distance asc, vertex desc)`. Unique keys
+/// make the result independent of probe order — probing everything
+/// *equals* the exact scan.
+fn classify_knn_ann(
+    snap: &Snapshot,
+    qr: &[f64],
+    k: usize,
+    nprobe: usize,
+    refine: usize,
+) -> Vec<(f64, u32, u32)> {
+    let lt =
+        |a: &(f64, u32, u32), b: &(f64, u32, u32)| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)).is_lt();
+    let mut best = crate::index::Selection::new(k, snap.num_labeled());
+    let mut feed = |block: &ShardBlock, train_indices: Option<&[u32]>| -> usize {
+        let train = block.train();
+        let entry = |ti: usize| train[ti];
+        let mut fed = 0usize;
+        let mut push_entry = |(t, class): (u32, u32)| {
+            fed += 1;
+            best.push((crate::index::row_dist2(qr, block.row(t)), t, class), lt);
+        };
+        match train_indices {
+            Some(tis) => tis.iter().for_each(|&ti| push_entry(entry(ti as usize))),
+            None => train.iter().copied().for_each(&mut push_entry),
+        }
+        fed
+    };
+    ivf_probe(
+        snap,
+        qr,
+        nprobe,
+        k.saturating_mul(refine).max(k),
+        |block| k < block.train().len(),
+        |step| match step {
+            ProbeScan::Block(block) => feed(block, None),
+            ProbeScan::List(block, index, li) => feed(block, Some(&index.train_lists()[li])),
+        },
+    );
+    best.into_vec()
+}
+
 /// Shard-parallel nearest-neighbor sweep for `Similar`, one block per
-/// task, each scanning its own rows sequentially.
-fn similar(snap: &Snapshot, vertex: u32, top: usize) -> Vec<(u32, f64)> {
+/// task, each scanning its own rows sequentially — or, with
+/// `ann = Some((nprobe, refine))`, a global IVF probe
+/// ([`similar_ann`]).
+fn similar(
+    snap: &Snapshot,
+    vertex: u32,
+    top: usize,
+    ann: Option<(usize, usize)>,
+) -> Vec<(u32, f64)> {
     debug_assert!(top > 0, "top = 0 is rejected before the sweep");
+    if let Some((nprobe, refine)) = ann {
+        return similar_ann(snap, vertex, top, nprobe, refine);
+    }
     let qr = snap.row(vertex);
     let per_shard: Vec<Vec<(f64, u32)>> = snap
         .blocks()
         .par_iter()
         .map(|block| {
             let (lo, hi) = block.range();
-            let mut best: Vec<(f64, u32)> = Vec::with_capacity(top + 1);
+            let len = (hi - lo) as usize;
+            // Cap the preallocation at the block size: `top` is
+            // client-controlled and may be huge (`usize::MAX` must
+            // degrade to a full ranking, not abort on the allocation).
+            let mut best: Vec<(f64, u32)> = Vec::with_capacity(top.saturating_add(1).min(len + 1));
             for v in lo..hi {
                 if v == vertex {
                     continue;
                 }
-                let d: f64 = qr
-                    .iter()
-                    .zip(block.row(v))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum();
+                let d = crate::index::row_dist2(qr, block.row(v));
                 // Tie-break toward smaller id: ids ascend within a shard, so
                 // inserting *after* equal distances keeps the smaller id first
                 // and the boundary drops the larger id, consistent with the
@@ -673,6 +904,62 @@ fn similar(snap: &Snapshot, vertex: u32, top: usize) -> Vec<(u32, f64)> {
     merged.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     merged.truncate(top);
     merged.into_iter().map(|(d, v)| (v, d.sqrt())).collect()
+}
+
+/// Global-probe IVF `Similar`: rank every indexed block's centroids in
+/// one ordering and scan the globally nearest `nprobe` lists (more
+/// until the pool holds `refine × top` candidates or everything was
+/// visited). Blocks without an index — and blocks whose whole range
+/// fits in `top` — are scanned exactly and feed the same selection.
+/// The kept set is ordered by the total key `(distance, id)`, so the
+/// answer is a pure function of the scanned candidate *set*: probing
+/// everything equals the exact sweep, ties included. Runs on the
+/// calling thread — a probe is tiny (one centroid ranking plus a few
+/// lists), so batch-level parallelism across queries is the win, not a
+/// rayon fan-out per probe.
+fn similar_ann(
+    snap: &Snapshot,
+    vertex: u32,
+    top: usize,
+    nprobe: usize,
+    refine: usize,
+) -> Vec<(u32, f64)> {
+    let qr = snap.row(vertex);
+    let lt = |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_lt();
+    let mut best = crate::index::Selection::new(top, snap.num_vertices());
+    let mut feed = |block: &ShardBlock, rows: Option<&[u32]>| -> usize {
+        let (lo, hi) = block.range();
+        let mut fed = 0usize;
+        let mut push_row = |v: u32| {
+            if v != vertex {
+                fed += 1;
+                best.push((crate::index::row_dist2(qr, block.row(v)), v), lt);
+            }
+        };
+        match rows {
+            Some(locals) => locals.iter().for_each(|&r| push_row(lo + r)),
+            None => (lo..hi).for_each(&mut push_row),
+        }
+        fed
+    };
+    ivf_probe(
+        snap,
+        qr,
+        nprobe,
+        top.saturating_mul(refine).max(top),
+        |block| {
+            let (lo, hi) = block.range();
+            top < (hi - lo) as usize
+        },
+        |step| match step {
+            ProbeScan::Block(block) => feed(block, None),
+            ProbeScan::List(block, index, li) => feed(block, Some(&index.lists()[li])),
+        },
+    );
+    best.into_vec()
+        .into_iter()
+        .map(|(d, v)| (v, d.sqrt()))
+        .collect()
 }
 
 #[cfg(test)]

@@ -42,9 +42,9 @@
 //! * **Version negotiation** — a connection starts with
 //!   `ClientFrame::Hello { min_version, max_version }`; the server picks
 //!   the highest mutually supported version (currently
-//!   [`wire::PROTOCOL_VERSION`] = 2; v1 is still spoken, and the v2
-//!   `at_epoch` extension is additive — see [`wire`]'s module docs) and
-//!   answers `ServerFrame::HelloAck`, or a typed
+//!   [`wire::PROTOCOL_VERSION`] = 3; v1 and v2 are still spoken, and the
+//!   v2 `at_epoch` / v3 `search` extensions are additive — see [`wire`]'s
+//!   module docs) and answers `ServerFrame::HelloAck`, or a typed
 //!   [`ServeError::VersionUnsupported`] and closes.
 //! * **Requests** — `ClientFrame::Batch { id, requests }` carries an
 //!   ordered [`Envelope`] batch that the server feeds to
@@ -95,6 +95,35 @@
 //! CoW-published epochs are element-wise identical to from-scratch
 //! rebuilds with exactly the untouched blocks shared.
 //!
+//! # Approximate search (IVF)
+//!
+//! `Similar` and `Classify` are exact shard-parallel scans by default —
+//! O(n) per query, which stops holding up at millions of vertices. A
+//! registry configured with [`SearchPolicy::Ann`] (or a request carrying
+//! a `search` override — protocol v3, additive) answers from per-shard
+//! **IVF indexes** instead ([`index`], [`IvfIndex`]): each
+//! [`ShardBlock`] lazily builds and caches a k-means coarse quantizer
+//! over its own rows, and a query ranks every shard's centroids in one
+//! global ordering and scans only the `nprobe` nearest inverted lists.
+//! The trade-off dial is explicit: more probes → higher recall, more
+//! work; the `refine` factor sets a minimum candidate pool
+//! (`refine × top`); and probing everything *equals* the exact scan,
+//! ties included, because candidates are ranked by the same
+//! `(distance, id)` total order. Guard rails keep approximation honest:
+//! shards under [`ANN_MIN_SHARD_ROWS`] rows and queries whose `top`/`k`
+//! covers the pool **fall back to the exact scan automatically**, and
+//! [`SearchPolicy::Exact`] per request (`gee query --exact`) is the
+//! escape hatch no server configuration can override. Because CoW
+//! publication shares clean blocks between epochs, an update batch
+//! re-indexes only the shards it dirtied — clean shards carry the parent
+//! epoch's cached index (`Arc::ptr_eq`-provable), and a pinned epoch's
+//! ANN answers are frozen for as long as it is retained. The build is
+//! deterministic in block content, so crash recovery reproduces the same
+//! index structure and the same ANN answers. `tests/ann_recall.rs`
+//! measures recall@top against the exact oracle across graphs, shard
+//! counts, and `nprobe` budgets; `serve_throughput` reports exact-vs-ANN
+//! q/s **with** measured recall.
+//!
 //! # Durability
 //!
 //! A registry opened with [`Durability::Wal`] survives process death.
@@ -144,6 +173,7 @@ use serde::{Deserialize, Serialize};
 pub mod checkpoint;
 pub mod client;
 pub mod engine;
+pub mod index;
 pub mod registry;
 pub mod server;
 pub mod shard;
@@ -154,6 +184,7 @@ pub mod wire;
 
 pub use client::Client;
 pub use engine::{Engine, Envelope, GraphReport, Request, Response};
+pub use index::{IvfIndex, SearchPolicy, ANN_MIN_SHARD_ROWS};
 pub use registry::{
     BackpressurePolicy, HistoryPolicy, Registry, RegistryConfig, Update, WriteSlot,
 };

@@ -78,6 +78,7 @@ use gee_graph::{Edge, EdgeList, VertexId, Weight};
 use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{self, Checkpoint, GraphCheckpoint};
+use crate::index::SearchPolicy;
 use crate::shard::ShardLayout;
 use crate::snapshot::{ShardBlock, Snapshot};
 use crate::wal::{self, Durability, WalRecord, WalWriter};
@@ -165,6 +166,10 @@ pub struct RegistryConfig {
     pub backpressure: BackpressurePolicy,
     /// WAL + checkpoint persistence.
     pub durability: Durability,
+    /// Default search policy for `Similar`/`Classify` reads. Individual
+    /// requests may override it; [`SearchPolicy::Exact`] (the default)
+    /// keeps pre-index behavior bit-identical.
+    pub search: SearchPolicy,
 }
 
 impl Default for RegistryConfig {
@@ -174,6 +179,7 @@ impl Default for RegistryConfig {
             history: HistoryPolicy::default(),
             backpressure: BackpressurePolicy::default(),
             durability: Durability::None,
+            search: SearchPolicy::Exact,
         }
     }
 }
@@ -341,6 +347,7 @@ pub struct Registry {
     default_shards: usize,
     history: HistoryPolicy,
     backpressure: BackpressurePolicy,
+    search: SearchPolicy,
     durable: Option<Mutex<DurableLog>>,
 }
 
@@ -351,6 +358,7 @@ impl std::fmt::Debug for Registry {
             .field("default_shards", &self.default_shards)
             .field("history", &self.history)
             .field("backpressure", &self.backpressure)
+            .field("search", &self.search)
             .field("durable", &self.durable.is_some())
             .finish()
     }
@@ -393,7 +401,13 @@ impl Registry {
             history,
             backpressure,
             durability,
+            search,
         } = config;
+        // Reject a nonsensical default search policy now, not on the
+        // first read: a server that starts cleanly and then fails every
+        // Classify/Similar with ZeroLimit — naming a parameter the
+        // client never sent — is a misconfiguration, not a query error.
+        search.validate()?;
         let history = HistoryPolicy::keep(history.keep);
         let Durability::Wal {
             dir,
@@ -406,6 +420,7 @@ impl Registry {
                 default_shards: default_shards.max(1),
                 history,
                 backpressure,
+                search,
                 durable: None,
             });
         };
@@ -458,6 +473,7 @@ impl Registry {
             default_shards: default_shards.max(1),
             history,
             backpressure,
+            search,
             durable: Some(Mutex::new(DurableLog {
                 writer,
                 dir,
@@ -488,6 +504,12 @@ impl Registry {
     /// The configured back-pressure bound.
     pub fn backpressure_policy(&self) -> BackpressurePolicy {
         self.backpressure
+    }
+
+    /// The default search policy for `Similar`/`Classify` reads
+    /// (requests may override it per query).
+    pub fn search_policy(&self) -> SearchPolicy {
+        self.search
     }
 
     /// Arm a WAL crash point for the crash-recovery harness: the next

@@ -25,10 +25,11 @@
 //! inside a block: a block rebuilt for rows alone shares its parent's
 //! labels slice and skips regrouping the train set.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use gee_core::{Embedding, Labels};
 
+use crate::index::IvfIndex;
 use crate::shard::ShardLayout;
 
 /// One shard's slice of an epoch: embedding rows, raw labels, and the
@@ -46,6 +47,12 @@ pub struct ShardBlock {
     /// Labeled `(vertex, class)` pairs of this shard, vertex ascending.
     /// Shared whenever `labels` is shared (regrouping skipped).
     train: Arc<Vec<(u32, u32)>>,
+    /// Lazily built IVF index over this block's rows (`None` cached for
+    /// blocks below [`crate::index::ANN_MIN_SHARD_ROWS`]). Lives inside
+    /// the block so CoW publication re-indexes only dirty shards: a
+    /// clean shard is the parent's block `Arc`, cache included, while a
+    /// rebuilt block starts empty and re-indexes on first ANN use.
+    ann: OnceLock<Option<Arc<IvfIndex>>>,
 }
 
 impl ShardBlock {
@@ -66,6 +73,7 @@ impl ShardBlock {
             rows,
             labels: Arc::new(labels),
             train: Arc::new(train),
+            ann: OnceLock::new(),
         }
     }
 
@@ -81,6 +89,9 @@ impl ShardBlock {
             rows,
             labels: self.labels.clone(),
             train: self.train.clone(),
+            // Fresh rows invalidate any index; the rebuilt block
+            // re-indexes lazily on its first ANN query.
+            ann: OnceLock::new(),
         }
     }
 
@@ -116,6 +127,28 @@ impl ShardBlock {
     /// `other`'s (and therefore its train set too).
     pub fn shares_labels_with(&self, other: &ShardBlock) -> bool {
         Arc::ptr_eq(&self.labels, &other.labels)
+    }
+
+    /// Embedding dimension `K` of this block's rows.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The block's IVF index, building and caching it on first use.
+    /// `None` for blocks below [`crate::index::ANN_MIN_SHARD_ROWS`]
+    /// (the exact sweep is used there). Deterministic in the block's
+    /// content, so recovered blocks re-index identically.
+    pub fn ann_index(&self) -> Option<&Arc<IvfIndex>> {
+        self.ann
+            .get_or_init(|| IvfIndex::build(self).map(Arc::new))
+            .as_ref()
+    }
+
+    /// The cached IVF index without building one: `None` when no ANN
+    /// query (or [`Snapshot::warm_ann_indexes`]) has touched this block
+    /// yet. Lets tests prove which epochs share an index by pointer.
+    pub fn ann_index_cached(&self) -> Option<Arc<IvfIndex>> {
+        self.ann.get().and_then(Clone::clone)
     }
 }
 
@@ -224,6 +257,18 @@ impl Snapshot {
     /// Total labeled vertices across shards.
     pub fn num_labeled(&self) -> usize {
         self.blocks.iter().map(|b| b.train.len()).sum()
+    }
+
+    /// Build (and cache) every block's IVF index now, shard-parallel,
+    /// instead of lazily on first ANN query — for serving start-up and
+    /// benches that want the first query warm. Returns how many blocks
+    /// carry an index (small blocks stay exact).
+    pub fn warm_ann_indexes(&self) -> usize {
+        use rayon::prelude::*;
+        self.blocks
+            .par_iter()
+            .map(|b| usize::from(b.ann_index().is_some()))
+            .sum()
     }
 
     /// Materialize the full `n × K` embedding (concatenating block rows).

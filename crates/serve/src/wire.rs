@@ -1,5 +1,5 @@
-//! Wire protocol: versioned, transport-agnostic frame types (v2 current,
-//! v1 still spoken).
+//! Wire protocol: versioned, transport-agnostic frame types (v3 current,
+//! v1 and v2 still spoken).
 //!
 //! A *frame* is one [`ClientFrame`] or [`ServerFrame`] encoded as compact
 //! JSON via the workspace serde layer (externally-tagged enums, exact
@@ -39,6 +39,19 @@
 //! ([`MIN_PROTOCOL_VERSION`]). A client that negotiated v1 refuses to
 //! send pins ([`EPOCH_PIN_VERSION`]): a v1 server would silently ignore
 //! the unknown key and answer from the newest epoch.
+//!
+//! # Protocol v3: search-policy overrides (approximate search)
+//!
+//! v3 adds an optional `search` field to `Classify` and `Similar` — a
+//! per-request [`SearchPolicy`](crate::SearchPolicy) override choosing
+//! between the exact scan and IVF approximate search (see
+//! [`crate::index`]). Like v2, the extension is **additive**: a request
+//! without an override encodes byte-identically to its v2 (and, if
+//! unpinned, v1) frame, and older frames decode with `search: None`. A
+//! client that negotiated below [`SEARCH_POLICY_VERSION`] refuses to
+//! send overrides: a downlevel server would silently ignore the key and
+//! answer with its configured default — plausible data, wrong
+//! exactness contract.
 
 use serde::{Deserialize, Serialize};
 
@@ -46,13 +59,17 @@ use crate::engine::{Envelope, Response};
 use crate::ServeError;
 
 /// Current (and highest supported) protocol version.
-pub const PROTOCOL_VERSION: u32 = 2;
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Oldest protocol version this build still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// First protocol version carrying `at_epoch` pins on read requests.
 pub const EPOCH_PIN_VERSION: u32 = 2;
+
+/// First protocol version carrying per-request `search` policy
+/// overrides on `Classify`/`Similar`.
+pub const SEARCH_POLICY_VERSION: u32 = 3;
 
 /// Upper bound on one frame's encoded size (64 MiB). Both sides reject
 /// larger frames as a protocol violation instead of allocating blindly.
@@ -120,15 +137,17 @@ mod tests {
     #[test]
     fn negotiation_picks_highest_common_version() {
         assert_eq!(negotiate(1, 1), Ok(1), "v1-only clients still speak");
-        assert_eq!(negotiate(1, 2), Ok(2));
+        assert_eq!(negotiate(1, 2), Ok(2), "v2-only clients still speak");
         assert_eq!(negotiate(2, 2), Ok(2));
+        assert_eq!(negotiate(1, 3), Ok(3));
+        assert_eq!(negotiate(3, 3), Ok(3));
         assert_eq!(
-            negotiate(1, 5),
+            negotiate(1, 7),
             Ok(PROTOCOL_VERSION),
             "future-proof client downgrades"
         );
         assert!(matches!(
-            negotiate(3, 5),
+            negotiate(4, 7),
             Err(ServeError::VersionUnsupported { .. })
         ));
         assert!(matches!(

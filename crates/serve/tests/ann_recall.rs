@@ -1,0 +1,446 @@
+//! Recall and property harness for per-shard IVF approximate search.
+//!
+//! Approximate answers are only trustworthy if continuously measured, so
+//! this suite pins ANN `Similar`/`Classify` against the **exact scan as
+//! an oracle**:
+//!
+//! * measured recall@top meets a configured floor across random graphs
+//!   (ER and SBM), shard counts, and `nprobe` settings;
+//! * probing every list (or exhausting the refine pool) makes ANN
+//!   **equal** the exact scan bit-for-bit, ties included;
+//! * exact mode stays bit-identical to pre-index behavior, no matter
+//!   how the registry's default policy is configured;
+//! * the documented fallbacks (small shards, `top`/`k` covering the
+//!   candidate pool) really do produce exact answers;
+//! * degenerate inputs surfaced by the oracle harness — `top`/`k` near
+//!   `usize::MAX`, all-equal-distance ties on a zero embedding — return
+//!   deterministic, shard-count-invariant orderings instead of panicking
+//!   or allocating absurdly (regression tests for the capacity clamp).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use gee_core::Labels;
+use gee_gen::LabelSpec;
+use gee_graph::EdgeList;
+use gee_serve::{Engine, Registry, RegistryConfig, SearchPolicy, ServeError, ANN_MIN_SHARD_ROWS};
+
+/// Configured recall floors: each `nprobe` budget must clear its floor
+/// against the exact oracle (averaged over the query set), for every
+/// graph kind and shard count. More probes ⇒ a higher bar.
+const RECALL_FLOORS: [(usize, f64); 3] = [(8, 0.80), (16, 0.93), (32, 0.97)];
+
+/// Classify-agreement floor (fraction of vertices whose ANN-predicted
+/// class equals the exact prediction).
+const AGREEMENT_FLOOR: f64 = 0.95;
+
+const TOP: usize = 10;
+
+fn er_fixture(n: usize, seed: u64) -> (EdgeList, Labels) {
+    let el = gee_gen::erdos_renyi_gnm(n, n * 6, seed);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            n,
+            LabelSpec {
+                num_classes: 5,
+                labeled_fraction: 0.4,
+            },
+            seed ^ 0xA5,
+        ),
+        5,
+    );
+    (el, labels)
+}
+
+fn sbm_fixture(n: usize, seed: u64) -> (EdgeList, Labels) {
+    let blocks = 6usize;
+    let sbm = gee_gen::sbm(
+        &gee_gen::SbmParams::balanced(blocks, n / blocks, 0.05, 0.002),
+        seed,
+    );
+    let labels = Labels::from_options_with_k(
+        &gee_gen::subsample_labels(&sbm.truth, 0.5, seed ^ 0x5A),
+        blocks,
+    );
+    (sbm.edges, labels)
+}
+
+fn engine_with(el: &EdgeList, labels: &Labels, shards: usize, search: SearchPolicy) -> Engine {
+    let reg = Registry::with_config(RegistryConfig {
+        default_shards: shards,
+        search,
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    reg.register("g", el, labels).unwrap();
+    Engine::new(Arc::new(reg))
+}
+
+/// Deterministic spread of query vertices.
+fn queries(n: usize, count: usize) -> Vec<u32> {
+    (0..count as u32)
+        .map(|i| (i * 97 + 13) % n as u32)
+        .collect()
+}
+
+fn recall(ann: &[(u32, f64)], exact: &[(u32, f64)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let want: HashSet<u32> = exact.iter().map(|&(v, _)| v).collect();
+    ann.iter().filter(|(v, _)| want.contains(v)).count() as f64 / want.len() as f64
+}
+
+/// Bit-exact comparison of neighbor lists (ids and distance bits).
+fn bits(neighbors: &[(u32, f64)]) -> Vec<(u32, u64)> {
+    neighbors.iter().map(|&(v, d)| (v, d.to_bits())).collect()
+}
+
+/// Independent brute-force oracle replicating the pre-index `Similar`
+/// contract: full scan, `(distance, id)` ascending, self excluded.
+fn brute_similar(engine: &Engine, vertex: u32, top: usize) -> Vec<(u32, f64)> {
+    let snap = engine.registry().snapshot("g").unwrap();
+    let z = snap.to_embedding();
+    let qr = z.row(vertex).to_vec();
+    let mut all: Vec<(f64, u32)> = (0..z.num_vertices() as u32)
+        .filter(|&v| v != vertex)
+        .map(|v| {
+            let d: f64 = qr
+                .iter()
+                .zip(z.row(v))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            (d, v)
+        })
+        .collect();
+    all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    all.truncate(top);
+    all.into_iter().map(|(d, v)| (v, d.sqrt())).collect()
+}
+
+#[test]
+fn exact_mode_is_bit_identical_to_the_brute_force_oracle() {
+    // The acceptance contract: SearchPolicy::Exact answers must equal
+    // pre-PR behavior bit-for-bit — regardless of whether exact is the
+    // configured default or a per-request escape hatch over an ANN
+    // default.
+    let (el, labels) = er_fixture(900, 3);
+    for shards in [1usize, 3, 8] {
+        let exact_default = engine_with(&el, &labels, shards, SearchPolicy::Exact);
+        let ann_default = engine_with(&el, &labels, shards, SearchPolicy::ann(4));
+        for &q in &queries(900, 12) {
+            let oracle = brute_similar(&exact_default, q, TOP);
+            let via_default = exact_default.similar("g", q, TOP).unwrap();
+            let via_escape_hatch = ann_default
+                .similar_with("g", q, TOP, None, Some(SearchPolicy::Exact))
+                .unwrap();
+            assert_eq!(bits(&via_default), bits(&oracle), "shards {shards} q {q}");
+            assert_eq!(
+                bits(&via_escape_hatch),
+                bits(&oracle),
+                "escape hatch must ignore the ANN default (shards {shards} q {q})"
+            );
+        }
+        // Classify: exact over an ANN-default registry == exact default.
+        let qs = queries(900, 40);
+        assert_eq!(
+            ann_default
+                .classify_with("g", qs.clone(), 5, None, Some(SearchPolicy::Exact))
+                .unwrap(),
+            exact_default.classify("g", qs, 5).unwrap(),
+            "shards {shards}"
+        );
+    }
+}
+
+#[test]
+fn ann_similar_recall_meets_the_floor_across_graphs_shards_and_nprobe() {
+    let fixtures: [(&str, EdgeList, Labels); 2] = {
+        let (er_el, er_labels) = er_fixture(1800, 7);
+        let (sbm_el, sbm_labels) = sbm_fixture(1800, 9);
+        [("er", er_el, er_labels), ("sbm", sbm_el, sbm_labels)]
+    };
+    for (kind, el, labels) in &fixtures {
+        let n = el.num_vertices();
+        for shards in [1usize, 2, 4, 8] {
+            let mut last_avg = 0.0;
+            for (nprobe, floor) in RECALL_FLOORS {
+                let engine = engine_with(el, labels, shards, SearchPolicy::ann(nprobe));
+                let exact = engine_with(el, labels, shards, SearchPolicy::Exact);
+                let mut total = 0.0;
+                let qs = queries(n, 32);
+                for &q in &qs {
+                    let approx = engine.similar("g", q, TOP).unwrap();
+                    let oracle = exact.similar("g", q, TOP).unwrap();
+                    assert_eq!(approx.len(), oracle.len());
+                    assert!(
+                        approx.windows(2).all(|w| w[0].1 <= w[1].1),
+                        "ANN results stay distance-sorted"
+                    );
+                    total += recall(&approx, &oracle);
+                }
+                let avg = total / qs.len() as f64;
+                assert!(
+                    avg >= floor,
+                    "{kind}: recall@{TOP} = {avg:.3} < {floor} \
+                     (shards {shards}, nprobe {nprobe})"
+                );
+                // A bigger probe budget never hurts measured recall on
+                // these fixtures (same index, strictly larger pools).
+                assert!(
+                    avg + 1e-9 >= last_avg,
+                    "{kind}: recall fell from {last_avg:.3} to {avg:.3} \
+                     as nprobe grew to {nprobe} (shards {shards})"
+                );
+                last_avg = avg;
+            }
+        }
+    }
+}
+
+#[test]
+fn ann_classify_agrees_with_the_exact_oracle() {
+    let (el, labels) = sbm_fixture(1800, 21);
+    let n = el.num_vertices();
+    for shards in [1usize, 4, 8] {
+        let engine = engine_with(&el, &labels, shards, SearchPolicy::ann(8));
+        let exact = engine_with(&el, &labels, shards, SearchPolicy::Exact);
+        for k in [1usize, 5] {
+            let qs = queries(n, 200);
+            let approx = engine.classify("g", qs.clone(), k).unwrap();
+            let oracle = exact.classify("g", qs, k).unwrap();
+            let agree = approx.iter().zip(&oracle).filter(|(a, b)| a == b).count() as f64
+                / approx.len() as f64;
+            assert!(
+                agree >= AGREEMENT_FLOOR,
+                "classify agreement {agree:.3} < {AGREEMENT_FLOOR} (shards {shards}, k {k})"
+            );
+        }
+    }
+}
+
+#[test]
+fn probing_every_list_equals_exact_bit_for_bit() {
+    // nprobe >= nlist (nlist <= sqrt(rows) <= n) means the candidate
+    // pool is the whole shard — and because ANN ranks candidates by the
+    // same (distance, id) total order the exact merge uses, the answers
+    // must be *equal*, ties included, not merely high-recall.
+    let (el, labels) = er_fixture(1500, 31);
+    let n = el.num_vertices();
+    for shards in [1usize, 4] {
+        let full_probe = SearchPolicy::Ann {
+            nprobe: n, // >= nlist of every block
+            refine: 1,
+        };
+        let engine = engine_with(&el, &labels, shards, full_probe);
+        let exact = engine_with(&el, &labels, shards, SearchPolicy::Exact);
+        for &q in &queries(n, 16) {
+            assert_eq!(
+                bits(&engine.similar("g", q, TOP).unwrap()),
+                bits(&exact.similar("g", q, TOP).unwrap()),
+                "shards {shards} q {q}"
+            );
+        }
+        let qs = queries(n, 120);
+        assert_eq!(
+            engine.classify("g", qs.clone(), 5).unwrap(),
+            exact.classify("g", qs, 5).unwrap(),
+            "shards {shards}"
+        );
+    }
+}
+
+#[test]
+fn refine_floor_forces_exactness_when_the_pool_is_everything() {
+    // refine so large that the pool floor (refine × top) exceeds every
+    // shard's row count: probing exhausts all lists → exact answers.
+    let (el, labels) = er_fixture(1200, 17);
+    let engine = engine_with(
+        &el,
+        &labels,
+        4,
+        SearchPolicy::Ann {
+            nprobe: 1,
+            refine: usize::MAX,
+        },
+    );
+    let exact = engine_with(&el, &labels, 4, SearchPolicy::Exact);
+    for &q in &queries(1200, 10) {
+        assert_eq!(
+            bits(&engine.similar("g", q, TOP).unwrap()),
+            bits(&exact.similar("g", q, TOP).unwrap()),
+            "q {q}"
+        );
+    }
+}
+
+#[test]
+fn small_shards_never_index_and_answer_exactly() {
+    // Every shard below ANN_MIN_SHARD_ROWS: the ANN policy must be a
+    // silent no-op (no index built, bit-identical exact answers).
+    let n = ANN_MIN_SHARD_ROWS * 2; // 4 shards → n/4 rows each, all small
+    let (el, labels) = er_fixture(n, 41);
+    let engine = engine_with(&el, &labels, 4, SearchPolicy::ann(2));
+    let exact = engine_with(&el, &labels, 4, SearchPolicy::Exact);
+    for &q in &queries(n, 10) {
+        assert_eq!(
+            bits(&engine.similar("g", q, 7).unwrap()),
+            bits(&exact.similar("g", q, 7).unwrap()),
+            "q {q}"
+        );
+    }
+    let snap = engine.registry().snapshot("g").unwrap();
+    assert_eq!(snap.warm_ann_indexes(), 0, "no block is big enough");
+    for block in snap.blocks() {
+        assert!(block.ann_index().is_none());
+        assert!(block.ann_index_cached().is_none());
+    }
+}
+
+#[test]
+fn oversized_top_and_k_fall_back_to_exact_without_panicking() {
+    let n = 700usize;
+    let (el, labels) = er_fixture(n, 51);
+    let engine = engine_with(&el, &labels, 3, SearchPolicy::ann(2));
+    let exact = engine_with(&el, &labels, 3, SearchPolicy::Exact);
+    // top == n exceeds every live row (self excluded): full ranking.
+    let all_ann = engine.similar("g", 5, n).unwrap();
+    let all_exact = exact.similar("g", 5, n).unwrap();
+    assert_eq!(all_ann.len(), n - 1);
+    assert_eq!(bits(&all_ann), bits(&all_exact));
+    // Regression (capacity clamp): top = usize::MAX used to feed
+    // Vec::with_capacity(top + 1) — overflow in debug, absurd
+    // allocation in release. It must simply return the full ranking.
+    let huge = engine.similar("g", 5, usize::MAX).unwrap();
+    assert_eq!(bits(&huge), bits(&all_exact));
+    let huge = exact.similar("g", 5, usize::MAX).unwrap();
+    assert_eq!(bits(&huge), bits(&all_exact));
+    // Same clamp on Classify's k: every labeled vertex votes.
+    let c_ann = engine.classify("g", vec![0, 1, 2], usize::MAX).unwrap();
+    let c_exact = exact.classify("g", vec![0, 1, 2], usize::MAX).unwrap();
+    assert_eq!(c_ann, c_exact);
+    // And on the facade-level kNN used as the oracle's reference.
+    let snap = exact.registry().snapshot("g").unwrap();
+    let z = snap.to_embedding();
+    let train: Vec<(u32, u32)> = snap.iter_labeled().collect();
+    let pred = gee_eval::knn_classify(z.as_slice(), z.dim(), &train, &[0, 1, 2], usize::MAX);
+    assert_eq!(pred, c_exact);
+}
+
+#[test]
+fn all_equal_distance_ties_are_deterministic_and_shard_invariant() {
+    // An edgeless graph embeds every vertex at the origin: every
+    // distance ties at 0. The contract — ties break toward smaller ids
+    // via a total order, never index/probe order — means every shard
+    // count and both policies must return exactly [1, 2, .., top] for
+    // vertex 0.
+    let n = 600usize;
+    let el = EdgeList::new_unchecked(n, Vec::new());
+    let labels = Labels::from_options_with_k(
+        &(0..n)
+            .map(|v| (v % 3 == 0).then_some((v % 4) as u32))
+            .collect::<Vec<_>>(),
+        4,
+    );
+    let mut all_results = Vec::new();
+    for shards in [1usize, 2, 5, 8] {
+        for policy in [SearchPolicy::Exact, SearchPolicy::ann(2)] {
+            let engine = engine_with(&el, &labels, shards, policy);
+            let got = engine.similar("g", 0, 5).unwrap();
+            assert_eq!(
+                got.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                vec![1, 2, 3, 4, 5],
+                "shards {shards}, {policy:?}"
+            );
+            assert!(got.iter().all(|&(_, d)| d == 0.0));
+            all_results.push(engine.classify("g", queries(n, 20), 3).unwrap());
+        }
+    }
+    for w in all_results.windows(2) {
+        assert_eq!(w[0], w[1], "tie-broken classify is shard/policy invariant");
+    }
+}
+
+#[test]
+fn zero_ann_config_is_rejected_at_open_not_per_read() {
+    // A registry-wide Ann default with nprobe/refine 0 would start
+    // cleanly and then fail every read with an error naming a parameter
+    // the client never sent — reject it when the registry opens.
+    for (search, param) in [
+        (
+            SearchPolicy::Ann {
+                nprobe: 0,
+                refine: 1,
+            },
+            "nprobe",
+        ),
+        (
+            SearchPolicy::Ann {
+                nprobe: 1,
+                refine: 0,
+            },
+            "refine",
+        ),
+    ] {
+        let err = Registry::with_config(RegistryConfig {
+            search,
+            ..RegistryConfig::default()
+        })
+        .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ZeroLimit {
+                param: param.into()
+            }
+        );
+    }
+}
+
+#[test]
+fn ann_zero_parameters_are_typed_errors() {
+    let (el, labels) = er_fixture(400, 61);
+    let engine = engine_with(&el, &labels, 2, SearchPolicy::Exact);
+    let zero_probe = Some(SearchPolicy::Ann {
+        nprobe: 0,
+        refine: 1,
+    });
+    assert_eq!(
+        engine.similar_with("g", 0, 5, None, zero_probe),
+        Err(ServeError::ZeroLimit {
+            param: "nprobe".into()
+        })
+    );
+    let zero_refine = Some(SearchPolicy::Ann {
+        nprobe: 1,
+        refine: 0,
+    });
+    assert_eq!(
+        engine.classify_with("g", vec![0], 3, None, zero_refine),
+        Err(ServeError::ZeroLimit {
+            param: "refine".into()
+        })
+    );
+}
+
+#[test]
+fn recall_is_perfect_when_probing_everything_and_reported_monotone_settings_hold() {
+    // Sanity on the measurement itself: recall of exact-vs-exact is 1,
+    // and the full-probe configuration measures recall exactly 1.0.
+    let (el, labels) = sbm_fixture(1200, 71);
+    let n = el.num_vertices();
+    let exact = engine_with(&el, &labels, 4, SearchPolicy::Exact);
+    let full = engine_with(
+        &el,
+        &labels,
+        4,
+        SearchPolicy::Ann {
+            nprobe: n,
+            refine: 1,
+        },
+    );
+    for &q in &queries(n, 10) {
+        let oracle = exact.similar("g", q, TOP).unwrap();
+        assert_eq!(recall(&oracle, &oracle), 1.0);
+        assert_eq!(recall(&full.similar("g", q, TOP).unwrap(), &oracle), 1.0);
+    }
+}

@@ -26,8 +26,8 @@ use std::sync::{Arc, Mutex};
 use gee_core::Labels;
 use gee_gen::LabelSpec;
 use gee_serve::{
-    BackpressurePolicy, Engine, HistoryPolicy, Registry, RegistryConfig, ServeError, Snapshot,
-    Update,
+    BackpressurePolicy, Engine, HistoryPolicy, Registry, RegistryConfig, SearchPolicy, ServeError,
+    Snapshot, Update,
 };
 
 mod common;
@@ -392,6 +392,180 @@ fn overload_rejection_is_deterministic_under_a_held_slot() {
         .apply_updates("g", &[Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
         .unwrap();
     assert_eq!(snap.epoch, 1, "slot released, writes flow again");
+}
+
+/// A fixture big enough that every shard builds a real IVF index
+/// (`ANN_MIN_SHARD_ROWS` per shard with room to spare).
+fn ann_fixture(n: usize) -> (gee_graph::EdgeList, Labels) {
+    let el = gee_gen::erdos_renyi_gnm(n, n * 5, 37);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            n,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.4,
+            },
+            13,
+        ),
+        K,
+    );
+    (el, labels)
+}
+
+#[test]
+fn ann_pinned_reads_are_frozen_under_writer_churn() {
+    // Index immutability per epoch: an ANN read pinned to an epoch must
+    // return the same answer while writers race ahead — and the same
+    // answer again long after the writers finished, because the pinned
+    // block (and the index cached inside it) never changes.
+    const AN: usize = 1600;
+    let (el, labels) = ann_fixture(AN);
+    let registry = Arc::new(
+        Registry::with_config(RegistryConfig {
+            default_shards: 4,
+            history: HistoryPolicy::keep(64), // retain every epoch below
+            search: SearchPolicy::ann(4),
+            ..RegistryConfig::default()
+        })
+        .unwrap(),
+    );
+    registry.register("g", &el, &labels).unwrap();
+    let engine = Arc::new(Engine::new(registry.clone()));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let registry = registry.clone();
+            std::thread::spawn(move || {
+                for i in 0..20 {
+                    // gen_batch targets vertices < N; scale into AN by a
+                    // deterministic offset so edits spread across shards.
+                    let batch: Vec<Update> = gen_batch(w as u64, i as u64)
+                        .into_iter()
+                        .map(|u| match u {
+                            Update::InsertEdge { u, v, w } => Update::InsertEdge {
+                                u: (u as usize * 13 % AN) as u32,
+                                v: (v as usize * 7 % AN) as u32,
+                                w,
+                            },
+                            Update::RemoveEdge { u, v, w } => Update::RemoveEdge {
+                                u: (u as usize * 13 % AN) as u32,
+                                v: (v as usize * 7 % AN) as u32,
+                                w,
+                            },
+                            Update::SetLabel { v, label } => Update::SetLabel {
+                                v: (v as usize * 11 % AN) as u32,
+                                label,
+                            },
+                        })
+                        .collect();
+                    registry.apply_updates("g", &batch).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Readers: pin whatever epoch is published, ANN-query it twice
+    // immediately, and remember (epoch, query, answer) for the
+    // post-churn re-check.
+    let mut recorded: Vec<(u64, u32, Vec<(u32, f64)>)> = Vec::new();
+    let reader = {
+        let engine = engine.clone();
+        let registry = registry.clone();
+        let done = done.clone();
+        std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let mut spins = 0u32;
+            while !done.load(Ordering::Acquire) || spins == 0 {
+                spins += 1;
+                let epoch = registry.snapshot("g").unwrap().epoch;
+                let q = (spins * 131) % AN as u32;
+                let first = engine.similar_with("g", q, 10, Some(epoch), None);
+                let second = engine.similar_with("g", q, 10, Some(epoch), None);
+                match (first, second) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "pinned ANN read moved under churn");
+                        out.push((epoch, q, a));
+                    }
+                    (Err(ServeError::EpochEvicted { .. }), _)
+                    | (_, Err(ServeError::EpochEvicted { .. })) => {}
+                    (a, b) => panic!("unexpected pinned ANN results {a:?} / {b:?}"),
+                }
+            }
+            out
+        })
+    };
+    for t in writers {
+        t.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    recorded.extend(reader.join().unwrap());
+    assert!(!recorded.is_empty());
+    // Re-query every recorded pin now that the dust settled: identical
+    // answers, bit for bit (the 64-deep ring retained all 40 epochs).
+    for (epoch, q, want) in &recorded {
+        let again = engine
+            .similar_with("g", *q, 10, Some(*epoch), None)
+            .unwrap();
+        let bits = |r: &Vec<(u32, f64)>| -> Vec<(u32, u64)> {
+            r.iter().map(|&(v, d)| (v, d.to_bits())).collect()
+        };
+        assert_eq!(
+            bits(&again),
+            bits(want),
+            "epoch {epoch} q {q}: pinned ANN answer changed after churn"
+        );
+    }
+}
+
+#[test]
+fn dirty_shard_reindex_shares_clean_shard_indexes() {
+    // The CoW contract extended to indexes: a single-shard edge batch
+    // republishes one block, so the new epoch re-indexes exactly that
+    // shard and *shares* every other shard's cached index by pointer.
+    const AN: usize = 1600;
+    let (el, labels) = ann_fixture(AN);
+    let registry = Registry::with_config(RegistryConfig {
+        default_shards: 4,
+        search: SearchPolicy::ann(4),
+        ..RegistryConfig::default()
+    })
+    .unwrap();
+    let parent = registry.register("g", &el, &labels).unwrap();
+    assert_eq!(parent.warm_ann_indexes(), 4, "every shard indexes");
+    // Both endpoints inside shard 0 (1600 / 4 = 400 per shard).
+    let (_, child) = registry
+        .apply_updates("g", &[Update::InsertEdge { u: 1, v: 2, w: 3.0 }])
+        .unwrap();
+    // Clean blocks share the cached index without rebuilding anything.
+    for i in 1..4 {
+        let a = child.blocks()[i].ann_index_cached().expect("index cached");
+        let b = parent.blocks()[i].ann_index_cached().expect("index cached");
+        assert!(Arc::ptr_eq(&a, &b), "shard {i}: clean index must be shared");
+    }
+    // The dirty block was rebuilt: its cache starts empty and re-indexes
+    // on demand into a distinct index.
+    assert!(
+        child.blocks()[0].ann_index_cached().is_none(),
+        "dirty shard starts unindexed"
+    );
+    child.warm_ann_indexes();
+    let rebuilt = child.blocks()[0].ann_index_cached().unwrap();
+    let old = parent.blocks()[0].ann_index_cached().unwrap();
+    assert!(
+        !Arc::ptr_eq(&rebuilt, &old),
+        "dirty shard re-indexes (fresh rows, fresh index)"
+    );
+    // A label no-op batch shares every block, indexes included.
+    let (v, c) = labels.iter_labeled().next().unwrap();
+    let (_, noop) = registry
+        .apply_updates("g", &[Update::SetLabel { v, label: Some(c) }])
+        .unwrap();
+    for i in 0..4 {
+        let a = noop.blocks()[i].ann_index_cached().expect("shared cache");
+        let b = child.blocks()[i].ann_index_cached().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "shard {i}: no-op shares the index");
+    }
 }
 
 #[test]

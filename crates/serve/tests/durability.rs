@@ -633,6 +633,7 @@ fn cow_history_replay_recovers_retained_epochs_bit_identically() {
         history: gee_serve::HistoryPolicy::keep(4),
         backpressure: gee_serve::BackpressurePolicy::default(),
         durability: h.durability(),
+        search: gee_serve::SearchPolicy::Exact,
     };
     let live = Registry::with_config(config()).unwrap();
     live.register("g", &h.el, &h.labels).unwrap();
@@ -684,6 +685,7 @@ fn pinned_reads_survive_crash_recovery_byte_identically() {
         history: gee_serve::HistoryPolicy::keep(8),
         backpressure: gee_serve::BackpressurePolicy::default(),
         durability,
+        search: gee_serve::SearchPolicy::Exact,
     };
     let live = Registry::with_config(config(h.durability())).unwrap();
     live.register("g", &h.el, &h.labels).unwrap();
@@ -724,4 +726,145 @@ fn pinned_reads_survive_crash_recovery_byte_identically() {
         });
         assert_eq!(got, want, "pinned reads at epoch {epoch}");
     }
+}
+
+#[test]
+fn ann_recovery_reproduces_index_structure_and_answers() {
+    // Crash recovery with ANN enabled: the recovered process must
+    // rebuild per-shard IVF indexes with the *same structure* (same
+    // centroids bit-for-bit, same inverted lists — proved by digest)
+    // and answer ANN queries byte-identically to the uninterrupted
+    // process. The fixture is larger than the harness default so every
+    // shard clears ANN_MIN_SHARD_ROWS and really indexes.
+    const AN: usize = 900; // 3 shards × 300 rows, all indexed
+    let dir = std::env::temp_dir().join(format!(
+        "gee_durability_ann_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let el = gee_gen::erdos_renyi_gnm(AN, AN * 5, 19);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            AN,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.4,
+            },
+            23,
+        ),
+        K,
+    );
+    let batch = |b: u32| -> Vec<Update> {
+        let v = |i: u32| (b * 131 + i * 17) % AN as u32;
+        vec![
+            Update::InsertEdge {
+                u: v(0),
+                v: v(1),
+                w: 1.0 + f64::from(b % 3) * 0.5,
+            },
+            Update::SetLabel {
+                v: v(2),
+                label: Some(b % K as u32),
+            },
+        ]
+    };
+    let config = |durability| gee_serve::RegistryConfig {
+        default_shards: SHARDS,
+        backpressure: gee_serve::BackpressurePolicy::default(),
+        history: gee_serve::HistoryPolicy::default(),
+        durability,
+        search: gee_serve::SearchPolicy::ann(3),
+    };
+    let wal = || Durability::Wal {
+        dir: dir.clone(),
+        sync: SyncPolicy::Always,
+        checkpoint_every: 2, // mix checkpoint restore and tail replay
+    };
+
+    let live = Registry::with_config(config(wal())).unwrap();
+    live.register("g", &el, &labels).unwrap();
+    for b in 0..5u32 {
+        live.apply_updates("g", &batch(b)).unwrap();
+    }
+    // Crash mid-append of the 6th batch: it must not survive.
+    live.inject_wal_fault(FaultPoint::TornAppend { keep_bytes: 9 });
+    assert!(live.apply_updates("g", &batch(5)).is_err());
+    drop(live);
+
+    let oracle = {
+        let reg = Registry::with_config(config(Durability::None)).unwrap();
+        reg.register("g", &el, &labels).unwrap();
+        for b in 0..5u32 {
+            reg.apply_updates("g", &batch(b)).unwrap();
+        }
+        Engine::new(Arc::new(reg))
+    };
+    let recovered = Engine::new(Arc::new(Registry::with_config(config(wal())).unwrap()));
+    assert_eq!(recovered.registry().snapshot("g").unwrap().epoch, 5);
+
+    // Same index structure, shard by shard.
+    let snap_r = recovered.registry().snapshot("g").unwrap();
+    let snap_o = oracle.registry().snapshot("g").unwrap();
+    assert_eq!(snap_r.warm_ann_indexes(), SHARDS);
+    assert_eq!(snap_o.warm_ann_indexes(), SHARDS);
+    for (i, (a, b)) in snap_r.blocks().iter().zip(snap_o.blocks()).enumerate() {
+        let (a, b) = (
+            a.ann_index_cached().expect("indexed"),
+            b.ann_index_cached().expect("indexed"),
+        );
+        assert_eq!(a.nlist(), b.nlist(), "shard {i}");
+        assert_eq!(a.centroids(), b.centroids(), "shard {i} centroids");
+        assert_eq!(a.lists(), b.lists(), "shard {i} lists");
+        assert_eq!(a.train_lists(), b.train_lists(), "shard {i} train lists");
+        assert_eq!(
+            a.structure_digest(),
+            b.structure_digest(),
+            "shard {i} digest"
+        );
+    }
+
+    // Same ANN answers, byte for byte, through the default (ANN) policy
+    // and the exact escape hatch alike.
+    let reads: Vec<Envelope> = (0..24u32)
+        .map(|i| Envelope::new("g", Request::similar((i * 113) % AN as u32, 10)))
+        .chain([
+            Envelope::new("g", Request::classify((0..AN as u32 / 4).collect(), 5)),
+            Envelope::new(
+                "g",
+                Request::similar(7, 10).with_search(gee_serve::SearchPolicy::Exact),
+            ),
+            Envelope::new(
+                "g",
+                Request::classify(vec![0, 5, 9], 3).with_search(gee_serve::SearchPolicy::ann(1)),
+            ),
+        ])
+        .collect();
+    let got = wire::encode(&ServerFrame::Batch {
+        id: 0,
+        results: recovered.execute_batch(reads.clone()),
+    });
+    let want = wire::encode(&ServerFrame::Batch {
+        id: 0,
+        results: oracle.execute_batch(reads),
+    });
+    assert_eq!(got, want, "recovered ANN answers differ from oracle");
+
+    // Recovery is idempotent for the index structure too.
+    drop(recovered);
+    let again = Registry::with_config(config(wal())).unwrap();
+    let snap_a = again.snapshot("g").unwrap();
+    snap_a.warm_ann_indexes();
+    for (i, (a, b)) in snap_a.blocks().iter().zip(snap_r.blocks()).enumerate() {
+        assert_eq!(
+            a.ann_index_cached().unwrap().structure_digest(),
+            b.ann_index_cached().unwrap().structure_digest(),
+            "shard {i}: re-recovery re-indexes identically"
+        );
+    }
+    drop(again);
+    std::fs::remove_dir_all(&dir).ok();
 }

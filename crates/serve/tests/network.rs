@@ -486,3 +486,94 @@ fn overloaded_travels_the_wire_as_a_typed_per_request_error() {
     drop(client);
     server_thread.join().unwrap();
 }
+
+#[test]
+fn ann_search_is_byte_identical_across_engine_duplex_and_tcp() {
+    // Approximate search is still a deterministic function of the
+    // snapshot (the index is built deterministically from block
+    // content), so twin engines must answer ANN requests identically
+    // in-process, over duplex, and over TCP — compared on encoded wire
+    // bytes. The graph is large enough that every shard really indexes.
+    use gee_serve::SearchPolicy;
+    const AN: usize = 1600;
+    let make = || {
+        let el = gee_gen::erdos_renyi_gnm(AN, AN * 5, 43);
+        let labels = Labels::from_options_with_k(
+            &gee_gen::random_labels(
+                AN,
+                gee_gen::LabelSpec {
+                    num_classes: K,
+                    labeled_fraction: 0.3,
+                },
+                3,
+            ),
+            K,
+        );
+        let engine = Engine::with_config(gee_serve::RegistryConfig {
+            default_shards: 4,
+            search: SearchPolicy::ann(4),
+            ..gee_serve::RegistryConfig::default()
+        })
+        .unwrap();
+        engine.registry().register("g", &el, &labels).unwrap();
+        engine
+    };
+    let local = make();
+    let remote_dup = Arc::new(make());
+    let remote_tcp = Arc::new(make());
+    let handle = Server::listen(remote_tcp, "127.0.0.1:0", None).unwrap();
+    let mut tcp = Client::connect(handle.addr()).unwrap();
+    assert_eq!(tcp.protocol_version(), PROTOCOL_VERSION);
+    let (mut dup, server_thread) = duplex_client(remote_dup);
+
+    // Default (ANN) policy, per-request ANN overrides, the exact escape
+    // hatch, and an invalid nprobe that must fail typed on every path.
+    let suite: Vec<Envelope> = vec![
+        Envelope::new("g", Request::similar(7, 10)),
+        Envelope::new("g", Request::classify(vec![0, 5, 9, 1000], 5)),
+        Envelope::new(
+            "g",
+            Request::similar(9, 10).with_search(SearchPolicy::ann(2)),
+        ),
+        Envelope::new(
+            "g",
+            Request::similar(9, 10).with_search(SearchPolicy::Exact),
+        ),
+        Envelope::new(
+            "g",
+            Request::classify(vec![3, 4], 3).with_search(SearchPolicy::Ann {
+                nprobe: 1,
+                refine: 64,
+            }),
+        ),
+        Envelope::new(
+            "g",
+            Request::similar(2, 4).with_search(SearchPolicy::Ann {
+                nprobe: 0,
+                refine: 1,
+            }),
+        ),
+    ];
+    let in_process = local.execute_batch(suite.clone());
+    let over_duplex = dup.execute_batch(suite.clone()).unwrap();
+    let over_tcp = tcp.execute_batch(suite).unwrap();
+    let bytes = |r: &Vec<Result<Response, ServeError>>| gee_serve::wire::encode(r);
+    assert_eq!(bytes(&in_process), bytes(&over_duplex), "duplex");
+    assert_eq!(bytes(&in_process), bytes(&over_tcp), "tcp");
+    assert!(matches!(in_process[5], Err(ServeError::ZeroLimit { .. })));
+
+    // The named *_with mirrors agree across paths too.
+    assert_eq!(
+        local.similar_with("g", 11, 8, None, Some(SearchPolicy::ann(3))),
+        dup.similar_with("g", 11, 8, None, Some(SearchPolicy::ann(3))),
+    );
+    assert_eq!(
+        local.classify_with("g", vec![1, 2], 3, None, Some(SearchPolicy::Exact)),
+        tcp.classify_with("g", vec![1, 2], 3, None, Some(SearchPolicy::Exact)),
+    );
+
+    dup.goodbye().unwrap();
+    server_thread.join().unwrap();
+    tcp.goodbye().unwrap();
+    handle.shutdown();
+}

@@ -4,7 +4,9 @@
 //! generators would rarely hit.
 
 use gee_serve::wire::{decode, encode, ClientFrame, ServerFrame};
-use gee_serve::{Envelope, ErrorCode, GraphReport, Request, Response, ServeError, Update};
+use gee_serve::{
+    Envelope, ErrorCode, GraphReport, Request, Response, SearchPolicy, ServeError, Update,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -59,22 +61,43 @@ fn arb_epoch_pin() -> impl Strategy<Value = Option<u64>> {
     ]
 }
 
+fn arb_search() -> impl Strategy<Value = Option<SearchPolicy>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(SearchPolicy::Exact)),
+        (any::<usize>(), any::<usize>())
+            .prop_map(|(nprobe, refine)| Some(SearchPolicy::Ann { nprobe, refine })),
+        Just(Some(SearchPolicy::Ann {
+            nprobe: 0,
+            refine: usize::MAX,
+        })),
+    ]
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
     prop_oneof![
-        (vec(any::<u32>(), 0..8), any::<usize>(), arb_epoch_pin()).prop_map(
-            |(vertices, k, at_epoch)| Request::Classify {
+        (
+            vec(any::<u32>(), 0..8),
+            any::<usize>(),
+            arb_epoch_pin(),
+            arb_search()
+        )
+            .prop_map(|(vertices, k, at_epoch, search)| Request::Classify {
                 vertices,
                 k,
-                at_epoch
+                at_epoch,
+                search,
+            }),
+        (any::<u32>(), any::<usize>(), arb_epoch_pin(), arb_search()).prop_map(
+            |(vertex, top, at_epoch, search)| {
+                Request::Similar {
+                    vertex,
+                    top,
+                    at_epoch,
+                    search,
+                }
             }
         ),
-        (any::<u32>(), any::<usize>(), arb_epoch_pin()).prop_map(|(vertex, top, at_epoch)| {
-            Request::Similar {
-                vertex,
-                top,
-                at_epoch,
-            }
-        }),
         (any::<u32>(), arb_epoch_pin())
             .prop_map(|(vertex, at_epoch)| Request::EmbedRow { vertex, at_epoch }),
         vec(arb_update(), 0..6).prop_map(|updates| Request::ApplyUpdates { updates }),
@@ -353,6 +376,84 @@ fn pinned_requests_add_only_the_at_epoch_key() {
     for (req, want) in cases {
         assert_eq!(String::from_utf8(encode(&req)).unwrap(), want, "{req:?}");
         assert_round_trip(&req);
+    }
+}
+
+#[test]
+fn search_overrides_add_only_the_search_key() {
+    // The v3 extension: a `search` override appends one key after any
+    // `at_epoch` pin; everything before it is the v2 (or v1) byte
+    // encoding unchanged.
+    let cases: [(Request, &str); 5] = [
+        (
+            Request::similar(7, 10).with_search(SearchPolicy::Exact),
+            r#"{"Similar":{"vertex":7,"top":10,"search":"Exact"}}"#,
+        ),
+        (
+            Request::similar(7, 10).with_search(SearchPolicy::Ann {
+                nprobe: 4,
+                refine: 2,
+            }),
+            r#"{"Similar":{"vertex":7,"top":10,"search":{"Ann":{"nprobe":4,"refine":2}}}}"#,
+        ),
+        (
+            Request::classify(vec![3], 5).with_search(SearchPolicy::ann(8)),
+            r#"{"Classify":{"vertices":[3],"k":5,"search":{"Ann":{"nprobe":8,"refine":8}}}}"#,
+        ),
+        (
+            Request::classify(vec![3], 5)
+                .pinned(9)
+                .with_search(SearchPolicy::Exact),
+            r#"{"Classify":{"vertices":[3],"k":5,"at_epoch":9,"search":"Exact"}}"#,
+        ),
+        (
+            Request::similar(1, 2)
+                .pinned(u64::MAX)
+                .with_search(SearchPolicy::Ann {
+                    nprobe: usize::MAX,
+                    refine: 1,
+                }),
+            r#"{"Similar":{"vertex":1,"top":2,"at_epoch":18446744073709551615,"search":{"Ann":{"nprobe":18446744073709551615,"refine":1}}}}"#,
+        ),
+    ];
+    for (req, want) in cases {
+        assert_eq!(String::from_utf8(encode(&req)).unwrap(), want, "{req:?}");
+        assert_round_trip(&req);
+    }
+    // `with_search` is a no-op on requests that don't search, keeping
+    // their frames untouched.
+    assert_eq!(
+        encode(&Request::embed_row(9).with_search(SearchPolicy::ann(2))),
+        encode(&Request::embed_row(9)),
+    );
+    assert_eq!(
+        encode(&Request::stats().with_search(SearchPolicy::Exact)),
+        encode(&Request::stats()),
+    );
+}
+
+#[test]
+fn v2_frames_decode_with_no_search_override() {
+    // Frames captured from a v2 peer (pins, no `search` key) must decode
+    // with `search: None` — and an explicit null maps to None too.
+    let cases: [(&str, Request); 3] = [
+        (
+            r#"{"Classify":{"vertices":[0,2],"k":3,"at_epoch":4}}"#,
+            Request::classify(vec![0, 2], 3).pinned(4),
+        ),
+        (
+            r#"{"Similar":{"vertex":1,"top":4}}"#,
+            Request::similar(1, 4),
+        ),
+        (
+            r#"{"Similar":{"vertex":1,"top":4,"search":null}}"#,
+            Request::similar(1, 4),
+        ),
+    ];
+    for (bytes, want) in cases {
+        let got: Request = decode(bytes.as_bytes()).unwrap();
+        assert_eq!(got, want, "{bytes}");
+        assert!(got.search().is_none());
     }
 }
 
