@@ -21,6 +21,9 @@ pub struct Args {
     pub seed: u64,
     /// Emit machine-readable JSON after the table.
     pub json: bool,
+    /// Also write the results as a `gee-bench-v1` report file
+    /// (`--json PATH`), the same schema `gee bench` emits.
+    pub json_path: Option<String>,
 }
 
 impl Default for Args {
@@ -34,6 +37,7 @@ impl Default for Args {
             threads: 0,
             seed: 20240206, // arXiv date of the paper
             json: true,
+            json_path: None,
         }
     }
 }
@@ -76,10 +80,12 @@ impl Args {
                 }
                 "--seed" => out.seed = next("--seed").parse().expect("--seed takes an integer"),
                 "--no-json" => out.json = false,
+                "--json" => out.json_path = Some(next("--json")),
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale <div=64> --runs <r=3> --k <K=50> --labeled <f=0.1> \
-                         --max-log2 <b=23> --threads <t=all> --seed <s> --no-json"
+                         --max-log2 <b=23> --threads <t=all> --seed <s> --no-json \
+                         --json <report-path>"
                     );
                     std::process::exit(0);
                 }

@@ -382,6 +382,28 @@ fn main() {
         gee_serve::ANN_MIN_SHARD_ROWS
     );
 
+    if let Some(path) = &args.json_path {
+        let meta = serde_json::json!({
+            "scale": args.scale,
+            "runs": args.runs,
+            "seed": args.seed,
+            "threads": args.threads,
+        });
+        let mut report = gee_loadgen::bench_envelope("serve_throughput", meta);
+        gee_loadgen::report::push_field(
+            &mut report,
+            "rows",
+            serde_json::Value::Array(json.clone()),
+        );
+        gee_loadgen::report::push_field(
+            &mut report,
+            "ann_vs_exact",
+            serde_json::Value::Array(ann_json.clone()),
+        );
+        gee_loadgen::write_json(path, &report).expect("write --json report");
+        eprintln!("wrote {path}");
+    }
+
     if args.json {
         println!(
             "{}",

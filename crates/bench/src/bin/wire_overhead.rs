@@ -136,6 +136,35 @@ fn main() {
               claws back per-batch round trips."
     );
 
+    if let Some(path) = &args.json_path {
+        let meta = serde_json::json!({
+            "scale": args.scale,
+            "runs": args.runs,
+            "seed": args.seed,
+            "queries_per_run": total,
+        });
+        let mut report = gee_loadgen::bench_envelope("wire_overhead", meta);
+        let rows: Vec<serde_json::Value> = [
+            ("in_process", inproc_secs),
+            ("duplex", duplex_secs),
+            ("tcp", tcp_secs),
+            ("tcp_pipelined", tcp_pipe_secs),
+        ]
+        .into_iter()
+        .map(|(transport, secs)| {
+            serde_json::json!({
+                "transport": transport,
+                "seconds": secs,
+                "qps": total / secs,
+                "vs_in_process": secs / inproc_secs,
+            })
+        })
+        .collect();
+        gee_loadgen::report::push_field(&mut report, "rows", serde_json::Value::Array(rows));
+        gee_loadgen::write_json(path, &report).expect("write --json report");
+        eprintln!("wrote {path}");
+    }
+
     if args.json {
         println!(
             "{}",

@@ -30,7 +30,7 @@ subcommands:
                [--index exact|ivf] [--nprobe N=8] [--refine R=8]
                script lines: classify v1,v2,.. [k] | similar v [top] | row v |
                              insert u v w | remove u v w | label v <class|none> | stats
-               --listen serves wire protocol v3 over TCP (graph name \"g\");
+               --listen serves wire protocol v4 over TCP (graph name \"g\");
                [--max-conns N] stop after N connections, [--port-file F] write bound addr to F
                --history N retains the N newest epochs for --at-epoch reads;
                --max-pending N rejects update batches beyond N in flight (code 14)
@@ -40,7 +40,8 @@ subcommands:
                durability: [--data-dir DIR [--sync always|never] [--checkpoint-every N=64]]
                recovers graph \"g\" from DIR if present (then --graph is optional);
                every update batch is WAL-logged and survives restart
-  query        --graph <file> (--classify v1,v2,.. | --similar V | --row V | --stats true)
+  query        --graph <file> (--classify v1,v2,.. | --similar V | --row V |
+                               --stats true | --metrics true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
                [--shards S=4] [--seed S=42] [--at-epoch E] [--history N=1]
                [--index exact|ivf] [--nprobe N=8] [--refine R=8] [--exact true]
@@ -49,6 +50,22 @@ subcommands:
                --nprobe/--exact override the server's search policy per request:
                --nprobe N asks for IVF approximate search, --exact true is the
                escape hatch forcing the exact scan (works over --connect too)
+               --timing true prints the client-measured round-trip in µs on
+               stderr (with --connect)
+  bench        --connect ADDR [--name g] [--mix read=90,write=5,timetravel=3,ann=2]
+               [--clients N=2] [--duration S=5] [--requests N] [--qps Q] [--seed S=42]
+               [--poll-metrics MS=500] [--csv FILE] [--json FILE]
+               multi-client load generator over the wire protocol: draws request
+               types from the weighted --mix with a seeded RNG, one CSV row per
+               request; --requests N issues exactly N per client (deterministic);
+               --qps Q paces an open loop at Q req/s total instead of closed loop;
+               --poll-metrics MS samples the server's protocol-v4 Metrics endpoint
+               every MS ms (0 disables), interleaving `server` rows into the CSV;
+               --csv writes the per-request rows, --json a BENCH_*.json report
+               (servers should run with --history deep enough for timetravel pins)
+  bench-report [--in FILE] [--bench NAME=serve_loadgen] [--json FILE]
+               streaming CSV→JSON analytics filter: read bench CSV rows from
+               stdin (or --in), emit the BENCH report on stdout (or --json)
   recover      --data-dir DIR [--shards S=4] [--checkpoint true]
                recover a durable serving directory (checkpoint + WAL replay), report
                each graph's epoch/size, optionally force a compacting checkpoint
@@ -71,6 +88,8 @@ pub fn run(args: &[String]) -> crate::Result<String> {
         "analyze" => analyze(&flags),
         "serve" => serve(&flags),
         "query" => query(&flags),
+        "bench" => bench(&flags),
+        "bench-report" => bench_report(&flags),
         "recover" => recover(&flags),
         "convert" => convert(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
@@ -640,6 +659,24 @@ fn render_response(out: &mut String, r: &gee_serve::Response) {
             s.graph, s.epoch, s.oldest_epoch, s.num_vertices, s.dim, s.num_shards, s.num_labeled, s.queries_served, s.updates_applied
         )
         .unwrap(),
+        Response::Metrics(m) => writeln!(
+            out,
+            "metrics: graph {:?} epoch {} (retained from {}, depth {}) | {} queries served, {} updates applied | classify p50 ≤{} µs | coalesce mean {:.1} | {} overloaded, {} wal fsyncs, ivf {}/{} built/hit, {} ann shards",
+            m.graph,
+            m.epoch,
+            m.oldest_epoch,
+            m.history_depth,
+            m.queries_served,
+            m.updates_applied,
+            m.classify_us.quantile_upper_bound(0.5).unwrap_or(0),
+            m.coalesce.mean().unwrap_or(0.0),
+            m.overloaded,
+            m.wal_fsyncs,
+            m.ivf_builds,
+            m.ivf_hits,
+            m.ann_indexed_shards
+        )
+        .unwrap(),
     }
 }
 
@@ -727,9 +764,12 @@ fn query(flags: &Flags) -> crate::Result<String> {
         Request::embed_row(vertex)
     } else if flags.get("stats").is_some() {
         Request::stats()
+    } else if flags.get_parsed("metrics", false)? {
+        // Protocol-v4 observability probe (never pinnable).
+        Request::Metrics
     } else {
         return Err(CliError::Usage(
-            "query: need one of --classify, --similar, --row, --stats true".into(),
+            "query: need one of --classify, --similar, --row, --stats true, --metrics true".into(),
         ));
     };
     if let Some(raw) = flags.get("at-epoch") {
@@ -752,8 +792,16 @@ fn query(flags: &Flags) -> crate::Result<String> {
     let mut out = String::new();
     if let Some(addr) = flags.get("connect") {
         let graph = flags.get("name").unwrap_or("g");
+        let timing: bool = flags.get_parsed("timing", false)?;
         let mut client = gee_serve::Client::connect(addr)?;
+        let started = std::time::Instant::now();
         let response = client.execute(graph, request)?;
+        if timing {
+            // Client-measured round-trip on stderr, so timing never
+            // perturbs the parseable stdout payload. Same clock the
+            // load generator records with.
+            eprintln!("round-trip: {} µs", gee_loadgen::elapsed_micros(started));
+        }
         render_response(&mut out, &response);
         client.goodbye()?;
         return Ok(out);
@@ -764,6 +812,176 @@ fn query(flags: &Flags) -> crate::Result<String> {
         Err(e) => return Err(CliError::Usage(format!("query failed: {e}"))),
     }
     Ok(out)
+}
+
+/// `bench`: multi-client load generation against a running server, with
+/// per-request CSV rows and a BENCH_*.json report.
+fn bench(flags: &Flags) -> crate::Result<String> {
+    use gee_loadgen::{run_bench, Analysis, BenchConfig, Mix};
+    let addr = flags.require("connect")?.to_string();
+    let graph = flags.get("name").unwrap_or("g").to_string();
+    let mix_str = flags
+        .get("mix")
+        .unwrap_or("read=90,write=5,timetravel=3,ann=2");
+    let mix = Mix::parse(mix_str).map_err(CliError::Usage)?;
+    let clients: usize = flags.get_parsed("clients", 2)?;
+    if clients == 0 {
+        return Err(CliError::Usage(
+            "bench: --clients must be at least 1".into(),
+        ));
+    }
+    let seed: u64 = flags.get_parsed("seed", 42)?;
+    let requests_per_client: Option<u64> = flags
+        .get("requests")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| CliError::Usage(format!("flag --requests: cannot parse {raw:?}")))
+        })
+        .transpose()?;
+    // Duration bounds the run unless a fixed request count was asked
+    // for *instead* — then the count alone decides (deterministic mode).
+    let duration = match (flags.get("duration"), requests_per_client) {
+        (None, Some(_)) => None,
+        _ => {
+            let secs: f64 = flags.get_parsed("duration", 5.0)?;
+            if secs <= 0.0 {
+                return Err(CliError::Usage("bench: --duration must be positive".into()));
+            }
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    let target_qps: Option<f64> = flags
+        .get("qps")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .ok()
+                .filter(|q| *q > 0.0)
+                .ok_or_else(|| CliError::Usage(format!("flag --qps: cannot parse {raw:?}")))
+        })
+        .transpose()?;
+    let poll_ms: u64 = flags.get_parsed("poll-metrics", 500u64)?;
+    let config = BenchConfig {
+        graph,
+        mix,
+        clients,
+        seed,
+        duration,
+        requests_per_client,
+        target_qps,
+        poll_metrics: (poll_ms > 0).then(|| std::time::Duration::from_millis(poll_ms)),
+    };
+    let t0 = std::time::Instant::now();
+    let records = run_bench(&config, || gee_serve::Client::connect(&addr))?;
+    let elapsed = t0.elapsed();
+
+    if let Some(path) = flags.get("csv") {
+        let mut csv = String::with_capacity(records.len() * 48);
+        csv.push_str(gee_loadgen::CSV_HEADER);
+        csv.push('\n');
+        for r in &records {
+            csv.push_str(&r.to_csv_row());
+            csv.push('\n');
+        }
+        std::fs::write(path, csv)?;
+    }
+
+    let mut analysis = Analysis::new();
+    for r in &records {
+        analysis.ingest(r);
+    }
+    if let Some(path) = flags.get("json") {
+        let meta = serde_json::json!({
+            "connect": addr,
+            "graph": config.graph,
+            "mix": config.mix.to_string(),
+            "clients": clients,
+            "seed": seed,
+            "mode": if target_qps.is_some() { "open" } else { "closed" },
+            "poll_metrics_ms": poll_ms,
+            "records": analysis.records(),
+            "span_secs": analysis.span_secs(),
+            "max_epoch": analysis.max_epoch(),
+            "max_epoch_lag": analysis.max_epoch_lag(),
+        });
+        gee_loadgen::write_json(
+            path,
+            &gee_loadgen::report::analysis_report("serve_loadgen", meta, &analysis),
+        )?;
+    }
+    let mut out = render_analysis(&analysis);
+    writeln!(
+        out,
+        "{} request(s) from {clients} client(s) in {elapsed:.2?} (mix {mix_str}, seed {seed})",
+        analysis.records()
+    )
+    .unwrap();
+    Ok(out)
+}
+
+/// `bench-report`: the stdin→stdout analytics filter over bench CSV.
+fn bench_report(flags: &Flags) -> crate::Result<String> {
+    use gee_loadgen::Analysis;
+    use std::io::BufRead;
+    let mut analysis = Analysis::new();
+    let ingest = |analysis: &mut Analysis, reader: &mut dyn BufRead| -> crate::Result<()> {
+        for line in reader.lines() {
+            analysis.ingest_csv_line(&line?).map_err(CliError::Usage)?;
+        }
+        Ok(())
+    };
+    match flags.get("in") {
+        Some(path) => {
+            let file = std::fs::File::open(path)?;
+            ingest(&mut analysis, &mut std::io::BufReader::new(file))?;
+        }
+        None => ingest(&mut analysis, &mut std::io::stdin().lock())?,
+    }
+    let meta = serde_json::json!({
+        "records": analysis.records(),
+        "span_secs": analysis.span_secs(),
+        "max_epoch": analysis.max_epoch(),
+        "max_epoch_lag": analysis.max_epoch_lag(),
+    });
+    let report = gee_loadgen::report::analysis_report(
+        flags.get("bench").unwrap_or("serve_loadgen"),
+        meta,
+        &analysis,
+    );
+    if let Some(path) = flags.get("json") {
+        gee_loadgen::write_json(path, &report)?;
+        return Ok(render_analysis(&analysis));
+    }
+    let mut text = serde_json::to_string_pretty(&report).expect("reports always serialize");
+    text.push('\n');
+    Ok(text)
+}
+
+/// Human-readable per-type summary of a bench analysis.
+fn render_analysis(analysis: &gee_loadgen::Analysis) -> String {
+    let mut out = String::new();
+    let q = |est: Option<f64>| est.map_or(0u64, |v| v.round() as u64);
+    for (kind, summary) in analysis.types() {
+        writeln!(
+            out,
+            "{kind:>10}: {:>7} requests, {:>9.1} q/s, p50 {} µs, p99 {} µs, p999 {} µs, {} error(s)",
+            summary.latency_us.count,
+            analysis.qps(summary),
+            q(summary.p50.estimate()),
+            q(summary.p99.estimate()),
+            q(summary.p999.estimate()),
+            summary.errors,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "span {:.2}s | max epoch {} | max epoch lag {}",
+        analysis.span_secs(),
+        analysis.max_epoch(),
+        analysis.max_epoch_lag()
+    )
+    .unwrap();
+    out
 }
 
 fn convert(flags: &Flags) -> crate::Result<String> {
@@ -1345,6 +1563,236 @@ mod tests {
             }
             other => panic!("expected typed serve error, got {other:?}"),
         }
+        server.join().unwrap().unwrap();
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&port_file).ok();
+    }
+
+    #[test]
+    fn bench_against_live_server_emits_csv_and_json() {
+        let graph = tmp("gee_cli_bench.txt");
+        let port_file = tmp("gee_cli_bench.port");
+        let csv_path = tmp("gee_cli_bench.csv");
+        let json_path = tmp("gee_cli_bench.json");
+        std::fs::remove_file(&port_file).ok();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "150",
+            "--p-in",
+            "0.3",
+            "--p-out",
+            "0.02",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        // 2 bench clients + 1 metrics poller + 1 final --metrics query.
+        let serve_args = sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--history",
+            "256",
+            "--k",
+            "3",
+            "--labeled",
+            "0.5",
+            "--max-conns",
+            "4",
+            "--port-file",
+            &port_file,
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+        let out = run(&sv(&[
+            "bench",
+            "--connect",
+            &addr,
+            "--clients",
+            "2",
+            "--requests",
+            "60",
+            "--seed",
+            "7",
+            "--poll-metrics",
+            "50",
+            "--csv",
+            &csv_path,
+            "--json",
+            &json_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("read:"), "{out}");
+        // 120 client requests plus a timing-dependent number of poller
+        // samples.
+        assert!(out.contains("request(s) from 2 client(s)"), "{out}");
+        // CSV: header + 120 client rows + at least one server row.
+        let csv = std::fs::read_to_string(&csv_path).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(gee_loadgen::CSV_HEADER));
+        assert!(csv.lines().count() > 120, "server rows interleaved: {csv}");
+        assert!(csv.contains(",server,"), "{csv}");
+        // JSON: the BENCH envelope with per-type stats, zero errors.
+        let json = std::fs::read_to_string(&json_path).unwrap();
+        let report: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(report["schema"].as_str(), Some(gee_loadgen::BENCH_SCHEMA));
+        assert_eq!(report["bench"].as_str(), Some("serve_loadgen"));
+        assert_eq!(report["meta"]["clients"].as_u64(), Some(2));
+        for kind in ["read", "write", "timetravel", "ann", "server"] {
+            let t = &report["per_type"][kind];
+            assert!(t.get("count").is_some(), "missing per_type {kind}: {json}");
+            assert_eq!(t["error_rate"].as_f64(), Some(0.0), "{kind} errors");
+            assert!(t["p50_us"].as_f64().is_some(), "{kind} p50");
+        }
+        // The server's own v4 metrics agree the traffic happened.
+        let out = run(&sv(&["query", "--connect", &addr, "--metrics", "true"])).unwrap();
+        assert!(out.contains("metrics: graph \"g\""), "{out}");
+        server.join().unwrap().unwrap();
+        // bench-report over the CSV reproduces the same per-type counts.
+        let reread = run(&sv(&["bench-report", "--in", &csv_path])).unwrap();
+        let reread: serde_json::Value = serde_json::from_str(&reread).unwrap();
+        assert_eq!(
+            reread["per_type"]["read"]["count"],
+            report["per_type"]["read"]["count"]
+        );
+        assert_eq!(
+            reread["per_type"]["read"]["p50_us"],
+            report["per_type"]["read"]["p50_us"]
+        );
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&port_file).ok();
+        std::fs::remove_file(&csv_path).ok();
+        std::fs::remove_file(&json_path).ok();
+    }
+
+    #[test]
+    fn bench_rejects_bad_flags() {
+        for args in [
+            vec!["bench"],
+            vec!["bench", "--connect", "127.0.0.1:1", "--mix", "red=9"],
+            vec!["bench", "--connect", "127.0.0.1:1", "--clients", "0"],
+            vec!["bench", "--connect", "127.0.0.1:1", "--duration", "0"],
+            vec!["bench", "--connect", "127.0.0.1:1", "--qps", "-3"],
+        ] {
+            assert!(
+                matches!(run(&sv(&args)), Err(CliError::Usage(_))),
+                "{args:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_report_filters_csv_to_bench_json() {
+        let csv_path = tmp("gee_cli_bench_report.csv");
+        std::fs::write(
+            &csv_path,
+            format!(
+                "{}\n0,0,read,100,ok,1,\n50,1,read,200,ok,1,\n120,0,write,900,error,1,boom\n",
+                gee_loadgen::CSV_HEADER
+            ),
+        )
+        .unwrap();
+        let out = run(&sv(&[
+            "bench-report",
+            "--in",
+            &csv_path,
+            "--bench",
+            "smoke",
+        ]))
+        .unwrap();
+        let report: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(report["bench"].as_str(), Some("smoke"));
+        assert_eq!(report["schema"].as_str(), Some("gee-bench-v1"));
+        assert_eq!(report["meta"]["records"].as_u64(), Some(3));
+        assert_eq!(report["per_type"]["read"]["count"].as_u64(), Some(2));
+        assert_eq!(
+            report["per_type"]["write"]["error_rate"].as_f64(),
+            Some(1.0)
+        );
+        // Malformed rows are usage errors, not panics.
+        std::fs::write(&csv_path, "not,a,valid,row\n").unwrap();
+        assert!(matches!(
+            run(&sv(&["bench-report", "--in", &csv_path])),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_file(&csv_path).ok();
+    }
+
+    #[test]
+    fn query_timing_flag_is_accepted_over_the_wire() {
+        let graph = tmp("gee_cli_timing.txt");
+        let port_file = tmp("gee_cli_timing.port");
+        std::fs::remove_file(&port_file).ok();
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "60",
+            "--edges",
+            "240",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let serve_args = sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "1",
+            "--port-file",
+            &port_file,
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(&port_file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "server never wrote its port file");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+        // --timing writes to stderr only: stdout stays byte-identical
+        // to the untimed render for the same deterministic stats view.
+        let out = run(&sv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--stats",
+            "true",
+            "--timing",
+            "true",
+        ]))
+        .unwrap();
+        assert!(out.contains("60 vertices"), "{out}");
+        assert!(!out.contains("round-trip"), "timing must not hit stdout");
         server.join().unwrap().unwrap();
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&port_file).ok();

@@ -1,0 +1,27 @@
+//! The one latency clock: monotonic `Instant` deltas in microseconds.
+//!
+//! Every latency number this crate records — and the CLI's
+//! `query --timing` — goes through [`elapsed_micros`], so client-side
+//! measurements are comparable across tools by construction.
+
+use std::time::Instant;
+
+/// Microseconds elapsed since `start`, saturating at `u64::MAX`
+/// (~585 millennia — a stuck clock, not a real latency).
+pub fn elapsed_micros(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let start = Instant::now();
+        let a = elapsed_micros(start);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let b = elapsed_micros(start);
+        assert!(b >= a + 1_000, "2ms sleep must advance the clock: {a} {b}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Weighted request mixes: parse `read=90,write=5,timetravel=3,ann=2`,
+//! sample deterministically.
+//!
+//! [`Mix::draw`] is public so a test can replay the exact request-type
+//! sequence a runner client produced: the sequence is a pure function of
+//! the seeded RNG, independent of request parameters and timing.
+
+use rand::{rngs::StdRng, Rng};
+
+/// One request category the load generator can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// Unpinned read against the newest epoch (rotating
+    /// classify/similar/embed-row/stats).
+    Read,
+    /// An `ApplyUpdates` batch (edge inserts, occasional relabels).
+    Write,
+    /// A read pinned (`at_epoch`) at the client's last-observed epoch.
+    TimeTravel,
+    /// A `Similar` query forced onto the IVF approximate path.
+    Ann,
+}
+
+impl Kind {
+    /// All kinds, in mix-string order.
+    pub const ALL: [Kind; 4] = [Kind::Read, Kind::Write, Kind::TimeTravel, Kind::Ann];
+
+    /// The mix-string / CSV name of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::Read => "read",
+            Kind::Write => "write",
+            Kind::TimeTravel => "timetravel",
+            Kind::Ann => "ann",
+        }
+    }
+}
+
+/// A weighted request mix. Weights are relative (they need not sum to
+/// 100); a kind absent from the mix string has weight 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mix {
+    weights: [u32; 4],
+    total: u32,
+}
+
+impl Mix {
+    /// Parse `"read=90,write=5,timetravel=3,ann=2"`. Order is free,
+    /// kinds may be omitted, but at least one weight must be positive
+    /// and no kind may repeat.
+    pub fn parse(s: &str) -> Result<Mix, String> {
+        let mut weights = [0u32; 4];
+        let mut seen = [false; 4];
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("mix term {part:?} is not name=weight"))?;
+            let idx = Kind::ALL
+                .iter()
+                .position(|k| k.name() == name.trim())
+                .ok_or_else(|| {
+                    format!(
+                        "unknown mix kind {:?} (want read|write|timetravel|ann)",
+                        name.trim()
+                    )
+                })?;
+            if seen[idx] {
+                return Err(format!("mix kind {:?} given twice", name.trim()));
+            }
+            seen[idx] = true;
+            weights[idx] = value
+                .trim()
+                .parse::<u32>()
+                .map_err(|e| format!("mix weight {:?}: {e}", value.trim()))?;
+        }
+        Mix::from_weights(weights)
+    }
+
+    /// Build from `[read, write, timetravel, ann]` weights.
+    pub fn from_weights(weights: [u32; 4]) -> Result<Mix, String> {
+        let total: u32 = weights
+            .iter()
+            .try_fold(0u32, |acc, &w| acc.checked_add(w))
+            .ok_or_else(|| "mix weights overflow".to_string())?;
+        if total == 0 {
+            return Err("mix has no positive weight".to_string());
+        }
+        Ok(Mix { weights, total })
+    }
+
+    /// The weight of one kind.
+    pub fn weight(&self, kind: Kind) -> u32 {
+        let idx = Kind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("kind in ALL");
+        self.weights[idx]
+    }
+
+    /// Draw one kind, consuming exactly one `gen_range` step of `rng` —
+    /// the determinism contract tests rely on to replay a client's
+    /// sequence.
+    pub fn draw(&self, rng: &mut StdRng) -> Kind {
+        let mut ticket = rng.gen_range(0..self.total);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if ticket < w {
+                return Kind::ALL[i];
+            }
+            ticket -= w;
+        }
+        unreachable!("ticket < total = sum of weights")
+    }
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (i, &w) in self.weights.iter().enumerate() {
+            if w == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            write!(f, "{}={}", Kind::ALL[i].name(), w)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parses_and_round_trips() {
+        let mix = Mix::parse("read=90,write=5,timetravel=3,ann=2").unwrap();
+        assert_eq!(mix.weight(Kind::Read), 90);
+        assert_eq!(mix.weight(Kind::Ann), 2);
+        assert_eq!(mix.to_string(), "read=90,write=5,timetravel=3,ann=2");
+        // Omitted kinds get weight 0; order is free.
+        let mix = Mix::parse("ann=1, read=3").unwrap();
+        assert_eq!(mix.weight(Kind::Write), 0);
+        assert_eq!(mix.to_string(), "read=3,ann=1");
+    }
+
+    #[test]
+    fn rejects_malformed_mixes() {
+        assert!(Mix::parse("").is_err(), "no positive weight");
+        assert!(Mix::parse("read=0,write=0").is_err(), "all zero");
+        assert!(Mix::parse("red=9").is_err(), "unknown kind");
+        assert!(Mix::parse("read=1,read=2").is_err(), "duplicate kind");
+        assert!(Mix::parse("read").is_err(), "missing weight");
+        assert!(Mix::parse("read=lots").is_err(), "non-numeric weight");
+    }
+
+    #[test]
+    fn draw_is_deterministic_and_respects_weights() {
+        let mix = Mix::parse("read=90,write=5,timetravel=3,ann=2").unwrap();
+        let seq = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..2000).map(|_| mix.draw(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same sequence");
+        assert_ne!(seq(7), seq(8), "different seed, different sequence");
+        let counts = seq(7).iter().fold([0usize; 4], |mut acc, k| {
+            acc[Kind::ALL.iter().position(|x| x == k).unwrap()] += 1;
+            acc
+        });
+        assert!(counts[0] > 1600, "reads dominate a 90% mix: {counts:?}");
+        assert!(
+            counts[1] > 0 && counts[2] > 0 && counts[3] > 0,
+            "{counts:?}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_kind_is_never_drawn() {
+        let mix = Mix::parse("read=1").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!((0..500).all(|_| mix.draw(&mut rng) == Kind::Read));
+    }
+}

@@ -1,0 +1,131 @@
+//! The shared `BENCH_*.json` envelope.
+//!
+//! Every benchmark emitter in the workspace — `gee bench`,
+//! `gee bench-report`, and the bench bins' `--json` flag — writes the
+//! same outer shape, so trajectory points across PRs stay comparable:
+//!
+//! ```json
+//! {
+//!   "bench": "serve_loadgen",
+//!   "schema": "gee-bench-v1",
+//!   "meta": { ... run parameters ... },
+//!   "per_type": { "read": { "count": ..., "qps": ..., "p50_us": ...,
+//!                           "p99_us": ..., "p999_us": ...,
+//!                           "error_rate": ... }, ... }
+//! }
+//! ```
+//!
+//! Load-generation reports carry `per_type`; micro-benchmark emitters
+//! (`serve_throughput --json`, `wire_overhead --json`) put their
+//! measurements under `rows` instead, inside the same envelope.
+
+use std::io::Write;
+use std::path::Path;
+
+use serde_json::Value;
+
+use crate::stats::Analysis;
+
+/// Schema tag every BENCH report carries.
+pub const BENCH_SCHEMA: &str = "gee-bench-v1";
+
+/// The common outer envelope: `bench` name, schema tag, run metadata.
+/// Append payload fields (`per_type`, `rows`) with [`push_field`].
+pub fn bench_envelope(bench: &str, meta: Value) -> Value {
+    Value::Object(vec![
+        ("bench".to_string(), Value::String(bench.to_string())),
+        (
+            "schema".to_string(),
+            Value::String(BENCH_SCHEMA.to_string()),
+        ),
+        ("meta".to_string(), meta),
+    ])
+}
+
+/// Append a field to a JSON object (panics on non-objects — envelope
+/// misuse is a bug, not data).
+pub fn push_field(report: &mut Value, key: &str, field: Value) {
+    match report {
+        Value::Object(pairs) => pairs.push((key.to_string(), field)),
+        other => panic!("cannot push field {key:?} onto non-object {other:?}"),
+    }
+}
+
+/// Render an [`Analysis`] as a full BENCH report with a `per_type`
+/// payload (the `gee bench` / `gee bench-report` output shape).
+pub fn analysis_report(bench: &str, meta: Value, analysis: &Analysis) -> Value {
+    let mut per_type = Vec::new();
+    for (kind, summary) in analysis.types() {
+        let quantile = |q: &crate::stats::P2Quantile| Value::from(q.estimate().unwrap_or(0.0));
+        per_type.push((
+            kind.to_string(),
+            Value::Object(vec![
+                ("count".to_string(), Value::from(summary.latency_us.count)),
+                ("qps".to_string(), Value::from(analysis.qps(summary))),
+                ("p50_us".to_string(), quantile(&summary.p50)),
+                ("p99_us".to_string(), quantile(&summary.p99)),
+                ("p999_us".to_string(), quantile(&summary.p999)),
+                ("error_rate".to_string(), Value::from(summary.error_rate())),
+            ]),
+        ));
+    }
+    let mut report = bench_envelope(bench, meta);
+    push_field(&mut report, "per_type", Value::Object(per_type));
+    report
+}
+
+/// Write a report pretty-printed (greppable by CI) with a trailing
+/// newline.
+pub fn write_json(path: impl AsRef<Path>, report: &Value) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    let text = serde_json::to_string_pretty(report).expect("reports always serialize");
+    file.write_all(text.as_bytes())?;
+    file.write_all(b"\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{BenchOutcome, Record};
+    use serde_json::json;
+
+    #[test]
+    fn envelope_has_the_pinned_shape() {
+        let mut report = bench_envelope("wire_overhead", json!({"seed": 7}));
+        push_field(&mut report, "rows", json!([{"batch": 1, "us": 12.5}]));
+        assert_eq!(report["bench"].as_str(), Some("wire_overhead"));
+        assert_eq!(report["schema"].as_str(), Some(BENCH_SCHEMA));
+        assert_eq!(report["meta"]["seed"].as_u64(), Some(7));
+        assert_eq!(report["rows"][0]["us"].as_f64(), Some(12.5));
+    }
+
+    #[test]
+    fn analysis_report_carries_per_type_stats() {
+        let mut analysis = Analysis::new();
+        for i in 0..100u64 {
+            analysis.ingest(&Record {
+                start_us: i * 10,
+                client: 0,
+                kind: "read".to_string(),
+                latency_us: 100 + i,
+                outcome: if i == 99 {
+                    BenchOutcome::Error
+                } else {
+                    BenchOutcome::Ok
+                },
+                epoch: 1,
+                detail: String::new(),
+            });
+        }
+        let report = analysis_report("serve_loadgen", json!({"clients": 2}), &analysis);
+        let read = &report["per_type"]["read"];
+        assert_eq!(read["count"].as_u64(), Some(100));
+        assert_eq!(read["error_rate"].as_f64(), Some(0.01));
+        let p50 = read["p50_us"].as_f64().unwrap();
+        assert!((140.0..=160.0).contains(&p50), "median of 100..200: {p50}");
+        assert!(read["qps"].as_f64().unwrap() > 0.0);
+        // The report must survive an encode round trip.
+        let bytes = serde_json::to_vec(&report).unwrap();
+        assert_eq!(serde_json::from_slice::<Value>(&bytes).unwrap(), report);
+    }
+}

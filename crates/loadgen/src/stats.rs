@@ -1,0 +1,433 @@
+//! Single-pass latency analytics: streaming summaries and
+//! reservoir-free quantiles.
+//!
+//! Everything here ingests records one at a time in bounded memory, so
+//! the same code analyzes a live run and an arbitrarily large CSV piped
+//! through `gee bench-report`. Quantiles use the P² algorithm (Jain &
+//! Chlamtac 1985): five markers tracked with parabolic interpolation,
+//! giving p50/p99/p999 estimates without storing samples. Below five
+//! samples the estimator is exact (it still holds every sample).
+
+use std::collections::HashMap;
+
+use crate::run::{BenchOutcome, Record};
+
+/// Streaming five-number scaffolding: count, min, max, sum (mean).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingSummary {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub sum: u64,
+}
+
+impl StreamingSummary {
+    pub fn new() -> StreamingSummary {
+        StreamingSummary {
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Mean observed value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+impl Default for StreamingSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// P² streaming estimator for one quantile `q`, O(1) memory.
+///
+/// The five markers track the minimum, the `q/2`, `q`, and `(1+q)/2`
+/// quantiles, and the maximum; marker heights move by piecewise
+/// parabolic (fallback linear) interpolation as observations arrive.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights; until five samples arrive this is the exact
+    /// sample set instead.
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    rates: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Estimator for quantile `q` in `(0, 1)`.
+    pub fn new(q: f64) -> P2Quantile {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            rates: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Ingest one observation.
+    pub fn observe(&mut self, value: f64) {
+        if self.count < 5 {
+            self.heights[self.count as usize] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(f64::total_cmp);
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k with heights[k] <= value < heights[k+1],
+        // stretching the extreme markers to cover outliers.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            (0..4)
+                .rfind(|&i| self.heights[i] <= value)
+                .expect("value >= heights[0]")
+        };
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.rates[i];
+        }
+
+        // Nudge the three interior markers toward their desired
+        // positions, adjusting heights by the P² parabolic formula
+        // (linear when the parabola would cross a neighbor).
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let ahead = self.positions[i + 1] - self.positions[i];
+            let behind = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && ahead > 1.0) || (d <= -1.0 && behind < -1.0) {
+                let d = d.signum();
+                let parabolic = self.heights[i]
+                    + d / (self.positions[i + 1] - self.positions[i - 1])
+                        * ((self.positions[i] - self.positions[i - 1] + d)
+                            * (self.heights[i + 1] - self.heights[i])
+                            / ahead
+                            + (self.positions[i + 1] - self.positions[i] - d)
+                                * (self.heights[i] - self.heights[i - 1])
+                                / -behind);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        // Linear fallback toward the neighbor in `d`'s
+                        // direction.
+                        let j = (i as f64 + d) as usize;
+                        self.heights[i]
+                            + d * (self.heights[j] - self.heights[i])
+                                / (self.positions[j] - self.positions[i])
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Current estimate, `None` when empty. Exact (nearest-rank) below
+    /// five samples, P² marker height after.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n @ 1..=4 => {
+                let mut sorted = self.heights[..n as usize].to_vec();
+                sorted.sort_by(f64::total_cmp);
+                let rank = (self.q * n as f64).ceil().max(1.0) as usize;
+                Some(sorted[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+
+    /// Observations ingested so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Per-request-type aggregation: summary, errors, and the three
+/// quantiles the BENCH schema reports.
+#[derive(Debug, Clone)]
+pub struct TypeSummary {
+    pub latency_us: StreamingSummary,
+    pub errors: u64,
+    pub p50: P2Quantile,
+    pub p99: P2Quantile,
+    pub p999: P2Quantile,
+}
+
+impl TypeSummary {
+    pub fn new() -> TypeSummary {
+        TypeSummary {
+            latency_us: StreamingSummary::new(),
+            errors: 0,
+            p50: P2Quantile::new(0.5),
+            p99: P2Quantile::new(0.99),
+            p999: P2Quantile::new(0.999),
+        }
+    }
+
+    fn observe(&mut self, latency_us: u64, outcome: BenchOutcome) {
+        self.latency_us.observe(latency_us);
+        if outcome == BenchOutcome::Error {
+            self.errors += 1;
+        }
+        let v = latency_us as f64;
+        self.p50.observe(v);
+        self.p99.observe(v);
+        self.p999.observe(v);
+    }
+
+    /// Fraction of requests that failed.
+    pub fn error_rate(&self) -> f64 {
+        if self.latency_us.count == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.latency_us.count as f64
+        }
+    }
+}
+
+impl Default for TypeSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Single-pass analysis of a record stream: per-type summaries,
+/// wall-clock span, and epoch-lag tracking.
+///
+/// Epoch lag measures staleness of the data plane as clients see it:
+/// for each record, the gap between the newest epoch *any* record has
+/// reported so far and this record's observed epoch. A lag of zero
+/// means every client (and the server's own metrics endpoint) kept up
+/// with the write frontier.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    per_type: HashMap<String, TypeSummary>,
+    records: u64,
+    first_start_us: u64,
+    last_end_us: u64,
+    max_epoch: u64,
+    max_epoch_lag: u64,
+}
+
+impl Analysis {
+    pub fn new() -> Analysis {
+        Analysis {
+            first_start_us: u64::MAX,
+            ..Analysis::default()
+        }
+    }
+
+    /// Ingest one record.
+    pub fn ingest(&mut self, record: &Record) {
+        self.records += 1;
+        self.first_start_us = self.first_start_us.min(record.start_us);
+        self.last_end_us = self
+            .last_end_us
+            .max(record.start_us.saturating_add(record.latency_us));
+        if record.outcome == BenchOutcome::Ok {
+            self.max_epoch_lag = self
+                .max_epoch_lag
+                .max(self.max_epoch.saturating_sub(record.epoch));
+            self.max_epoch = self.max_epoch.max(record.epoch);
+        }
+        self.per_type
+            .entry(record.kind.clone())
+            .or_default()
+            .observe(record.latency_us, record.outcome);
+    }
+
+    /// Ingest one CSV line, skipping the header row.
+    pub fn ingest_csv_line(&mut self, line: &str) -> Result<(), String> {
+        let line = line.trim_end_matches(['\n', '\r']);
+        if line.is_empty() || line == crate::run::CSV_HEADER {
+            return Ok(());
+        }
+        self.ingest(&Record::from_csv_row(line)?);
+        Ok(())
+    }
+
+    /// Records ingested.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Wall-clock span covered by the records, in seconds (first
+    /// request start to last reply).
+    pub fn span_secs(&self) -> f64 {
+        if self.records == 0 {
+            return 0.0;
+        }
+        (self.last_end_us.saturating_sub(self.first_start_us)) as f64 / 1e6
+    }
+
+    /// Newest epoch observed across all records.
+    pub fn max_epoch(&self) -> u64 {
+        self.max_epoch
+    }
+
+    /// Worst staleness observed (see type docs).
+    pub fn max_epoch_lag(&self) -> u64 {
+        self.max_epoch_lag
+    }
+
+    /// The per-type summaries, sorted by type name.
+    pub fn types(&self) -> Vec<(&str, &TypeSummary)> {
+        let mut types: Vec<_> = self.per_type.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        types.sort_by_key(|(k, _)| *k);
+        types
+    }
+
+    /// Throughput of one type over the whole-run span, requests/sec.
+    pub fn qps(&self, summary: &TypeSummary) -> f64 {
+        let span = self.span_secs();
+        if span <= 0.0 {
+            0.0
+        } else {
+            summary.latency_us.count as f64 / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: &str, start_us: u64, latency_us: u64, outcome: BenchOutcome) -> Record {
+        Record {
+            start_us,
+            client: 0,
+            kind: kind.to_string(),
+            latency_us,
+            outcome,
+            epoch: 0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let mut s = StreamingSummary::new();
+        assert_eq!(s.mean(), None);
+        for v in [10, 30, 20] {
+            s.observe(v);
+        }
+        assert_eq!((s.count, s.min, s.max, s.sum), (3, 10, 30, 60));
+        assert_eq!(s.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut q = P2Quantile::new(0.5);
+        assert_eq!(q.estimate(), None);
+        q.observe(9.0);
+        assert_eq!(q.estimate(), Some(9.0));
+        q.observe(1.0);
+        q.observe(5.0);
+        assert_eq!(q.estimate(), Some(5.0), "median of {{1,5,9}}");
+    }
+
+    #[test]
+    fn p2_median_converges_on_uniform_stream() {
+        let mut q = P2Quantile::new(0.5);
+        // A deterministic low-discrepancy sweep of [0, 1000).
+        for i in 0..10_000u64 {
+            q.observe((i * 613) as f64 % 1000.0);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 500.0).abs() < 25.0, "median estimate {est} off");
+    }
+
+    #[test]
+    fn p2_tail_quantile_converges() {
+        let mut q = P2Quantile::new(0.99);
+        for i in 0..10_000u64 {
+            q.observe((i * 613) as f64 % 1000.0);
+        }
+        let est = q.estimate().unwrap();
+        assert!((est - 990.0).abs() < 20.0, "p99 estimate {est} off");
+        assert_eq!(q.count(), 10_000);
+    }
+
+    #[test]
+    fn p2_handles_constant_stream() {
+        let mut q = P2Quantile::new(0.999);
+        for _ in 0..1000 {
+            q.observe(42.0);
+        }
+        assert_eq!(q.estimate(), Some(42.0));
+    }
+
+    #[test]
+    fn analysis_aggregates_per_type() {
+        let mut a = Analysis::new();
+        a.ingest(&record("read", 0, 100, BenchOutcome::Ok));
+        a.ingest(&record("read", 50, 300, BenchOutcome::Ok));
+        a.ingest(&record("write", 100, 900, BenchOutcome::Error));
+        assert_eq!(a.records(), 3);
+        assert_eq!(a.span_secs(), 0.001, "0 .. 100+900 µs");
+        let types = a.types();
+        assert_eq!(
+            types.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            ["read", "write"]
+        );
+        let read = &types[0].1;
+        assert_eq!(read.latency_us.count, 2);
+        assert_eq!(read.errors, 0);
+        assert_eq!(read.error_rate(), 0.0);
+        let write = &types[1].1;
+        assert_eq!(write.error_rate(), 1.0);
+        assert_eq!(a.qps(read), 2000.0, "2 requests in 1ms span");
+    }
+
+    #[test]
+    fn analysis_tracks_epoch_lag() {
+        let mut a = Analysis::new();
+        let with_epoch = |epoch| Record {
+            epoch,
+            ..record("read", 0, 1, BenchOutcome::Ok)
+        };
+        a.ingest(&with_epoch(5));
+        a.ingest(&with_epoch(9));
+        a.ingest(&with_epoch(7));
+        assert_eq!(a.max_epoch(), 9);
+        assert_eq!(a.max_epoch_lag(), 2, "7 observed after 9 was seen");
+    }
+
+    #[test]
+    fn analysis_ingests_csv_with_header() {
+        let mut a = Analysis::new();
+        a.ingest_csv_line(crate::run::CSV_HEADER).unwrap();
+        a.ingest_csv_line("0,0,read,120,ok,3,\n").unwrap();
+        a.ingest_csv_line("").unwrap();
+        assert!(a.ingest_csv_line("garbage").is_err());
+        assert_eq!(a.records(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Determinism contract of the load generator: a seeded run over the
+//! in-process duplex transport is exactly replayable.
+//!
+//! Two clients execute a fixed per-client request count against a real
+//! `Server` (full wire protocol, real `Engine`); the test replays each
+//! client's kind RNG to predict the per-type counts *exactly*, and pins
+//! that the run sees monotone epochs and zero errors.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gee_core::Labels;
+use gee_loadgen::run::{kind_rng, run_bench};
+use gee_loadgen::{Analysis, BenchConfig, BenchOutcome, Mix};
+use gee_serve::{duplex, Client, Engine, HistoryPolicy, Registry, RegistryConfig, Server};
+
+const N: usize = 150;
+const K: usize = 5;
+const SEED: u64 = 20240607;
+const CLIENTS: usize = 2;
+const REQUESTS_PER_CLIENT: u64 = 200;
+
+/// An engine with deep enough epoch history that pins at any observed
+/// epoch stay resolvable for the whole run.
+fn bench_engine() -> Arc<Engine> {
+    let el = gee_gen::erdos_renyi_gnm(N, 1200, 77);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            gee_gen::LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.3,
+            },
+            5,
+        ),
+        K,
+    );
+    let reg = Registry::with_config(RegistryConfig {
+        default_shards: 4,
+        history: HistoryPolicy::keep(1024),
+        ..RegistryConfig::default()
+    })
+    .expect("in-memory registry opens");
+    reg.register("g", &el, &labels).unwrap();
+    Arc::new(Engine::new(Arc::new(reg)))
+}
+
+fn config() -> BenchConfig {
+    let mix = Mix::parse("read=80,write=10,timetravel=6,ann=4").unwrap();
+    BenchConfig {
+        requests_per_client: Some(REQUESTS_PER_CLIENT),
+        ..BenchConfig::new("g", mix, CLIENTS, SEED)
+    }
+}
+
+/// Run the bench over duplex transports against `engine`.
+fn run(engine: &Arc<Engine>) -> Vec<gee_loadgen::Record> {
+    run_bench(&config(), || {
+        let (server_end, client_end) = duplex();
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            let mut transport = server_end;
+            let _ = Server::new(engine).serve_connection(&mut transport);
+        });
+        Client::over(client_end)
+    })
+    .expect("bench run completes")
+}
+
+#[test]
+fn seeded_run_matches_replayed_kind_sequence_exactly() {
+    let records = run(&bench_engine());
+    assert_eq!(
+        records.len(),
+        CLIENTS * REQUESTS_PER_CLIENT as usize,
+        "every request produces exactly one record"
+    );
+
+    // Replay each client's kind RNG: the per-client, per-type counts
+    // must match the run exactly.
+    let mix = config().mix;
+    for client in 0..CLIENTS {
+        let mut expected: HashMap<&str, u64> = HashMap::new();
+        let mut rng = kind_rng(SEED, client);
+        for _ in 0..REQUESTS_PER_CLIENT {
+            *expected.entry(mix.draw(&mut rng).name()).or_default() += 1;
+        }
+        let mut observed: HashMap<&str, u64> = HashMap::new();
+        for r in records.iter().filter(|r| r.client == client as u32) {
+            *observed
+                .entry(match r.kind.as_str() {
+                    "read" => "read",
+                    "write" => "write",
+                    "timetravel" => "timetravel",
+                    "ann" => "ann",
+                    other => panic!("unexpected kind {other:?}"),
+                })
+                .or_default() += 1;
+        }
+        assert_eq!(observed, expected, "client {client} type counts");
+        assert!(
+            expected.len() == 4,
+            "a 200-request draw must exercise all four kinds: {expected:?}"
+        );
+    }
+
+    // Zero errors: every request kind is satisfiable (history is deep,
+    // vertices are in range, the mix never pins an evicted epoch).
+    let errors: Vec<_> = records
+        .iter()
+        .filter(|r| r.outcome == BenchOutcome::Error)
+        .collect();
+    assert!(errors.is_empty(), "unexpected errors: {errors:?}");
+
+    // Monotone epochs per client: `last_epoch` never moves backwards.
+    for client in 0..CLIENTS as u32 {
+        let epochs: Vec<u64> = records
+            .iter()
+            .filter(|r| r.client == client)
+            .map(|r| r.epoch)
+            .collect();
+        assert!(
+            epochs.windows(2).all(|w| w[0] <= w[1]),
+            "client {client} observed a non-monotone epoch sequence"
+        );
+    }
+    // Writes actually advanced the graph.
+    assert!(
+        records.iter().map(|r| r.epoch).max().unwrap() > 0,
+        "the write mix must advance the epoch"
+    );
+}
+
+#[test]
+fn analysis_of_a_clean_run_reports_zero_error_rate() {
+    let records = run(&bench_engine());
+    let mut analysis = Analysis::new();
+    // Round-trip through CSV: the analysis path `gee bench-report`
+    // uses must see exactly what the runner wrote.
+    for r in &records {
+        analysis.ingest_csv_line(&r.to_csv_row()).unwrap();
+    }
+    assert_eq!(analysis.records(), records.len() as u64);
+    let types = analysis.types();
+    assert_eq!(
+        types.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        ["ann", "read", "timetravel", "write"]
+    );
+    for (kind, summary) in types {
+        assert_eq!(summary.error_rate(), 0.0, "{kind} must be error-free");
+        assert!(summary.p50.estimate().is_some(), "{kind} has latencies");
+        assert!(analysis.qps(summary) > 0.0, "{kind} has throughput");
+    }
+    assert!(analysis.span_secs() > 0.0);
+}

@@ -14,13 +14,15 @@ use std::net::ToSocketAddrs;
 
 use crate::engine::{Envelope, GraphReport, Request, Response};
 use crate::index::SearchPolicy;
+use crate::metrics::MetricsReport;
 use crate::registry::Update;
 use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, ClientFrame, ServerFrame, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::ServeError;
 
-/// A connected, handshaken wire-protocol client (v3 current; pins and
-/// search overrides are refused on downlevel connections).
+/// A connected, handshaken wire-protocol client (v4 current; pins,
+/// search overrides, and metrics probes are refused on downlevel
+/// connections).
 pub struct Client {
     transport: Box<dyn Transport>,
     version: u32,
@@ -254,6 +256,15 @@ impl Client {
         }
     }
 
+    /// Mirrors [`Engine::metrics`](crate::Engine::metrics): the server's
+    /// observability counters (protocol v4).
+    pub fn metrics(&mut self, graph: &str) -> Result<MetricsReport, ServeError> {
+        match self.execute(graph, Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Err(unexpected("Metrics", &other)),
+        }
+    }
+
     /// Tell the server this connection is done (politer than dropping).
     pub fn goodbye(mut self) -> Result<(), ServeError> {
         self.transport.send(wire::encode(&ClientFrame::Goodbye))
@@ -285,6 +296,24 @@ impl Client {
                      (negotiated v{})",
                     env.graph,
                     wire::SEARCH_POLICY_VERSION,
+                    self.version
+                )));
+            }
+        }
+        // Metrics is a v4 request — a brand-new enum variant, not an
+        // extra key. A downlevel server would reject it as a malformed
+        // frame and *close the connection*, killing every pipelined
+        // batch with it — so refuse to send one.
+        if self.version < wire::METRICS_VERSION {
+            if let Some(env) = requests
+                .iter()
+                .find(|e| matches!(e.request, Request::Metrics))
+            {
+                return Err(ServeError::protocol(format!(
+                    "Metrics request on {:?} requires protocol v{} \
+                     (negotiated v{})",
+                    env.graph,
+                    wire::METRICS_VERSION,
                     self.version
                 )));
             }

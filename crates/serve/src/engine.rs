@@ -24,6 +24,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::index::SearchPolicy;
+use crate::metrics::{elapsed_us, MetricsReport, ServeMetrics};
 use crate::registry::{Registry, Update};
 use crate::snapshot::{ShardBlock, Snapshot};
 use crate::ServeError;
@@ -68,6 +69,11 @@ pub enum Request {
     /// Serving statistics for the graph (optionally describing a pinned
     /// retained epoch).
     Stats { at_epoch: Option<u64> },
+    /// Server observability counters (protocol v4): per-request-type
+    /// latency histograms, coalesce sizes, back-pressure rejections,
+    /// WAL fsyncs, IVF build/hit counters, plus the addressed graph's
+    /// epoch state. Never pinnable — counters describe the present.
+    Metrics,
 }
 
 impl Request {
@@ -104,25 +110,27 @@ impl Request {
         Request::Stats { at_epoch: None }
     }
 
-    /// The epoch this read pins, if any (`None` for writes).
+    /// The epoch this read pins, if any (`None` for writes and for
+    /// `Metrics`, which always describes the present).
     pub fn at_epoch(&self) -> Option<u64> {
         match self {
             Request::Classify { at_epoch, .. }
             | Request::Similar { at_epoch, .. }
             | Request::EmbedRow { at_epoch, .. }
             | Request::Stats { at_epoch } => *at_epoch,
-            Request::ApplyUpdates { .. } => None,
+            Request::ApplyUpdates { .. } | Request::Metrics => None,
         }
     }
 
-    /// This request with its epoch pin set (no-op on writes).
+    /// This request with its epoch pin set (no-op on writes and
+    /// `Metrics`).
     pub fn pinned(mut self, epoch: u64) -> Request {
         match &mut self {
             Request::Classify { at_epoch, .. }
             | Request::Similar { at_epoch, .. }
             | Request::EmbedRow { at_epoch, .. }
             | Request::Stats { at_epoch } => *at_epoch = Some(epoch),
-            Request::ApplyUpdates { .. } => {}
+            Request::ApplyUpdates { .. } | Request::Metrics => {}
         }
         self
     }
@@ -218,6 +226,7 @@ impl Serialize for Request {
             )]),
             Request::Stats { at_epoch: None } => Value::String("Stats".to_string()),
             Request::Stats { at_epoch } => variant("Stats", vec![], at_epoch, &None),
+            Request::Metrics => Value::String("Metrics".to_string()),
         }
     }
 }
@@ -227,6 +236,7 @@ impl Deserialize for Request {
         use serde::{de_field, DeError, Value};
         match v {
             Value::String(s) if s == "Stats" => Ok(Request::Stats { at_epoch: None }),
+            Value::String(s) if s == "Metrics" => Ok(Request::Metrics),
             Value::Object(pairs) if pairs.len() == 1 => {
                 let (tag, inner) = &pairs[0];
                 match tag.as_str() {
@@ -278,6 +288,8 @@ pub enum Response {
     Applied { applied: usize, epoch: u64 },
     /// Serving statistics.
     Stats(GraphReport),
+    /// Server observability counters (protocol v4).
+    Metrics(MetricsReport),
 }
 
 /// Snapshot-plus-counters description of a served graph. Part of the
@@ -295,6 +307,10 @@ pub struct GraphReport {
     pub dim: usize,
     pub num_shards: usize,
     pub num_labeled: usize,
+    /// Shard blocks of the described snapshot with a built-and-cached
+    /// IVF index (counting never forces a build; the same value the
+    /// protocol-v4 `Metrics` endpoint reports for the published epoch).
+    pub ann_indexed_shards: usize,
     pub queries_served: u64,
     pub updates_applied: u64,
 }
@@ -491,6 +507,16 @@ impl Engine {
         }
     }
 
+    /// Server observability counters (protocol v4), addressed to one
+    /// graph for its epoch state; the histograms and counters describe
+    /// the whole registry.
+    pub fn metrics(&self, graph: &str) -> Result<MetricsReport, ServeError> {
+        match self.execute(graph, Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => unreachable!("Metrics answered with {other:?}"),
+        }
+    }
+
     /// Execute one request.
     pub fn execute(&self, graph: &str, request: Request) -> Result<Response, ServeError> {
         self.execute_batch(vec![Envelope::new(graph, request)])
@@ -504,10 +530,13 @@ impl Engine {
     pub fn execute_batch(&self, batch: Vec<Envelope>) -> Vec<Result<Response, ServeError>> {
         let mut out: Vec<Option<Result<Response, ServeError>>> =
             (0..batch.len()).map(|_| None).collect();
+        let metrics = self.registry.serve_metrics();
         let mut i = 0usize;
         while i < batch.len() {
             if batch[i].request.is_write() {
+                let started = std::time::Instant::now();
                 out[i] = Some(self.execute_write(&batch[i]));
+                metrics.apply_updates.record(elapsed_us(started));
                 i += 1;
             } else {
                 // Coalesce the maximal run of reads starting here.
@@ -536,20 +565,26 @@ impl Engine {
                         snaps.push(((env.graph.clone(), pin), resolved));
                     }
                 }
+                metrics.coalesce.record(run.len() as u64);
                 let answers: Vec<Result<Response, ServeError>> = run
                     .par_iter()
                     .map(|env| {
+                        let started = std::time::Instant::now();
                         let pin = env.request.at_epoch();
                         let (_, resolved) = snaps
                             .iter()
                             .find(|(k, _)| k.0 == env.graph && k.1 == pin)
                             .expect("snapshot prefetched for every (graph, epoch) in run");
-                        match resolved {
+                        let answer = match resolved {
                             Err(e) => Err(e.clone()),
                             Ok((entry, snap)) => {
                                 self.execute_read(&env.graph, &env.request, entry, snap)
                             }
-                        }
+                        };
+                        metrics
+                            .request_histogram(&env.request)
+                            .record(elapsed_us(started));
+                        answer
                     })
                     .collect();
                 for (slot, ans) in out[i..j].iter_mut().zip(answers) {
@@ -616,12 +651,13 @@ impl Engine {
                 // queries: parallelize across queries (serial shard walk
                 // inside) — same answers, one parallel region instead of
                 // one per query.
+                let metrics = self.registry.serve_metrics();
                 let classes = if vertices.len() == 1 {
-                    vec![classify_one(snap, vertices[0], *k, true, ann)]
+                    vec![classify_one(snap, vertices[0], *k, true, ann, metrics)]
                 } else {
                     vertices
                         .par_iter()
-                        .map(|&q| classify_one(snap, q, *k, false, ann))
+                        .map(|&q| classify_one(snap, q, *k, false, ann, metrics))
                         .collect()
                 };
                 Ok(Response::Classes(classes))
@@ -639,7 +675,13 @@ impl Engine {
                 }
                 let ann = self.resolve_search(*search)?;
                 check(*vertex)?;
-                Ok(Response::Neighbors(similar(snap, *vertex, *top, ann)))
+                Ok(Response::Neighbors(similar(
+                    snap,
+                    *vertex,
+                    *top,
+                    ann,
+                    self.registry.serve_metrics(),
+                )))
             }
             Request::EmbedRow { vertex, .. } => {
                 check(*vertex)?;
@@ -655,8 +697,33 @@ impl Engine {
                     dim: snap.dim(),
                     num_shards: snap.num_shards(),
                     num_labeled: snap.num_labeled(),
+                    ann_indexed_shards: ann_indexed_shards(snap),
                     queries_served: entry.queries_served.load(Ordering::Relaxed),
                     updates_applied: entry.updates_applied.load(Ordering::Relaxed),
+                }))
+            }
+            Request::Metrics => {
+                let m = self.registry.serve_metrics();
+                let (oldest_epoch, _) = entry.epoch_range();
+                Ok(Response::Metrics(MetricsReport {
+                    graph: graph.to_string(),
+                    epoch: snap.epoch,
+                    oldest_epoch,
+                    history_depth: entry.history_depth(),
+                    ann_indexed_shards: ann_indexed_shards(snap),
+                    queries_served: entry.queries_served.load(Ordering::Relaxed),
+                    updates_applied: entry.updates_applied.load(Ordering::Relaxed),
+                    classify_us: m.classify.report(),
+                    similar_us: m.similar.report(),
+                    embed_row_us: m.embed_row.report(),
+                    stats_us: m.stats.report(),
+                    metrics_us: m.metrics.report(),
+                    apply_updates_us: m.apply_updates.report(),
+                    coalesce: m.coalesce.report(),
+                    overloaded: m.overloaded.load(Ordering::Relaxed),
+                    wal_fsyncs: self.registry.wal_fsyncs(),
+                    ivf_builds: m.ivf_builds.load(Ordering::Relaxed),
+                    ivf_hits: m.ivf_hits.load(Ordering::Relaxed),
                 }))
             }
             Request::ApplyUpdates { .. } => unreachable!("writes handled in execute_write"),
@@ -677,6 +744,16 @@ impl Engine {
             SearchPolicy::Ann { nprobe, refine } => Ok(Some((nprobe, refine))),
         }
     }
+}
+
+/// Shard blocks of `snap` with a built-and-cached IVF index. Counting
+/// peeks the cache ([`ShardBlock::ann_index_cached`]) and never forces
+/// a build, so `Stats`/`Metrics` stay read-only probes.
+fn ann_indexed_shards(snap: &Snapshot) -> usize {
+    snap.blocks()
+        .iter()
+        .filter(|b| b.ann_index_cached().is_some())
+        .count()
 }
 
 /// kNN-classify one vertex: scan each shard block's train set in
@@ -704,10 +781,11 @@ fn classify_one(
     k: usize,
     parallel_shards: bool,
     ann: Option<(usize, usize)>,
+    metrics: &ServeMetrics,
 ) -> u32 {
     let qr = snap.row(q);
     let merged: Vec<(f64, u32, u32)> = if let Some((nprobe, refine)) = ann {
-        classify_knn_ann(snap, qr, k, nprobe, refine)
+        classify_knn_ann(snap, qr, k, nprobe, refine, metrics)
     } else {
         let scan_block = |block: &Arc<ShardBlock>| {
             // Cap the preallocation at the block's train size: `k` is
@@ -774,6 +852,7 @@ fn ivf_probe(
     qr: &[f64],
     nprobe: usize,
     want_pool: usize,
+    metrics: &ServeMetrics,
     uses_index: impl Fn(&ShardBlock) -> bool,
     mut scan: impl FnMut(ProbeScan<'_>) -> usize,
 ) {
@@ -783,7 +862,22 @@ fn ivf_probe(
     for (bi, block) in snap.blocks().iter().enumerate() {
         // Probing everything is the same scan, sans centroid overhead.
         let index = if uses_index(block) {
-            block.ann_index()
+            // Build/hit accounting, per block touched: a probe that
+            // finds the index cached is a hit, one that forces the
+            // lazy build counts the build. Racing first-touch probes
+            // may each count a build (only one wins the `OnceLock`) —
+            // the counters are gauges, not a ledger.
+            let was_cached = block.ann_initialized();
+            let index = block.ann_index();
+            if index.is_some() {
+                let counter = if was_cached {
+                    &metrics.ivf_hits
+                } else {
+                    &metrics.ivf_builds
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            index
         } else {
             None
         };
@@ -823,6 +917,7 @@ fn classify_knn_ann(
     k: usize,
     nprobe: usize,
     refine: usize,
+    metrics: &ServeMetrics,
 ) -> Vec<(f64, u32, u32)> {
     let lt =
         |a: &(f64, u32, u32), b: &(f64, u32, u32)| a.0.total_cmp(&b.0).then(b.1.cmp(&a.1)).is_lt();
@@ -846,6 +941,7 @@ fn classify_knn_ann(
         qr,
         nprobe,
         k.saturating_mul(refine).max(k),
+        metrics,
         |block| k < block.train().len(),
         |step| match step {
             ProbeScan::Block(block) => feed(block, None),
@@ -864,10 +960,11 @@ fn similar(
     vertex: u32,
     top: usize,
     ann: Option<(usize, usize)>,
+    metrics: &ServeMetrics,
 ) -> Vec<(u32, f64)> {
     debug_assert!(top > 0, "top = 0 is rejected before the sweep");
     if let Some((nprobe, refine)) = ann {
-        return similar_ann(snap, vertex, top, nprobe, refine);
+        return similar_ann(snap, vertex, top, nprobe, refine, metrics);
     }
     let qr = snap.row(vertex);
     let per_shard: Vec<Vec<(f64, u32)>> = snap
@@ -923,6 +1020,7 @@ fn similar_ann(
     top: usize,
     nprobe: usize,
     refine: usize,
+    metrics: &ServeMetrics,
 ) -> Vec<(u32, f64)> {
     let qr = snap.row(vertex);
     let lt = |a: &(f64, u32), b: &(f64, u32)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).is_lt();
@@ -947,6 +1045,7 @@ fn similar_ann(
         qr,
         nprobe,
         top.saturating_mul(refine).max(top),
+        metrics,
         |block| {
             let (lo, hi) = block.range();
             top < (hi - lo) as usize

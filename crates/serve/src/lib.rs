@@ -42,10 +42,10 @@
 //! * **Version negotiation** — a connection starts with
 //!   `ClientFrame::Hello { min_version, max_version }`; the server picks
 //!   the highest mutually supported version (currently
-//!   [`wire::PROTOCOL_VERSION`] = 3; v1 and v2 are still spoken, and the
-//!   v2 `at_epoch` / v3 `search` extensions are additive — see [`wire`]'s
-//!   module docs) and answers `ServerFrame::HelloAck`, or a typed
-//!   [`ServeError::VersionUnsupported`] and closes.
+//!   [`wire::PROTOCOL_VERSION`] = 4; v1–v3 are still spoken, and the
+//!   v2 `at_epoch` / v3 `search` / v4 `Metrics` extensions are additive
+//!   — see [`wire`]'s module docs) and answers `ServerFrame::HelloAck`,
+//!   or a typed [`ServeError::VersionUnsupported`] and closes.
 //! * **Requests** — `ClientFrame::Batch { id, requests }` carries an
 //!   ordered [`Envelope`] batch that the server feeds to
 //!   [`Engine::execute_batch`]; the response echoes the `id`, which lets
@@ -57,8 +57,12 @@
 //!
 //! [`Server`] accepts connections (any [`Transport`]) and [`Client`]
 //! mirrors [`Engine`]'s methods one-for-one (`classify`, `similar`,
-//! `embed_row`, `apply_updates`, `stats`, `execute_batch`), which makes
-//! Engine-vs-Client equivalence property-testable. See
+//! `embed_row`, `apply_updates`, `stats`, `metrics`, `execute_batch`),
+//! which makes Engine-vs-Client equivalence property-testable. The
+//! serving stack also keeps registry-wide observability counters
+//! ([`metrics`]) snapshotted by the protocol-v4 [`Request::Metrics`]
+//! probe as a [`MetricsReport`] — the data source for `gee bench`'s
+//! server-side samples. See
 //! `examples/network_serving.rs` for the end-to-end proof and the
 //! `wire_overhead` bench binary for in-process vs duplex vs loopback-TCP
 //! throughput.
@@ -174,6 +178,7 @@ pub mod checkpoint;
 pub mod client;
 pub mod engine;
 pub mod index;
+pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod shard;
@@ -185,6 +190,7 @@ pub mod wire;
 pub use client::Client;
 pub use engine::{Engine, Envelope, GraphReport, Request, Response};
 pub use index::{IvfIndex, SearchPolicy, ANN_MIN_SHARD_ROWS};
+pub use metrics::{HistogramReport, MetricsReport};
 pub use registry::{
     BackpressurePolicy, HistoryPolicy, Registry, RegistryConfig, Update, WriteSlot,
 };

@@ -1,0 +1,261 @@
+//! Server-side observability counters and the protocol-v4 wire report.
+//!
+//! The serving stack maintains a set of lock-free counters
+//! ([`ServeMetrics`], one per [`Registry`](crate::Registry)): a
+//! log2-bucketed latency [`Histogram`] per request type, a histogram of
+//! batch coalesce sizes (how many reads each
+//! [`Engine::execute_batch`](crate::Engine::execute_batch) run answered
+//! against one snapshot), back-pressure rejections, and IVF index
+//! build/hit counters. The WAL fsync count lives with the
+//! [`WalWriter`](crate::wal::WalWriter) itself (it is already serialized
+//! behind the log lock). A protocol-v4
+//! [`Request::Metrics`](crate::Request::Metrics) snapshots everything
+//! into a [`MetricsReport`] — the machine-readable side of `gee bench`'s
+//! server polling.
+//!
+//! Counters are updated with relaxed atomics on the hot path; a report
+//! is a point-in-time read, not a seqcst snapshot, so a histogram's
+//! `count` can momentarily disagree with the sum of its `buckets` while
+//! writers race. Consumers must treat reports as monotone gauges, not
+//! exact ledgers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Request;
+
+/// Bucket count for [`Histogram`]: bucket `0` holds zeros and bucket
+/// `i` holds values in `[2^(i-1), 2^i)`, so 40 buckets cover a span of
+/// microsecond latencies past six days.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free log2-bucketed histogram of `u64` samples (latencies in
+/// µs, coalesce sizes in requests).
+pub(crate) struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one sample.
+    pub(crate) fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Point-in-time wire snapshot (trailing empty buckets trimmed).
+    pub(crate) fn report(&self) -> HistogramReport {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramReport {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Wire snapshot of one [`Histogram`]. Part of the protocol-v4
+/// contract: `buckets[0]` counts zero samples, `buckets[i]` counts
+/// samples in `[2^(i-1), 2^i)`, trailing empty buckets are trimmed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramReport {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistogramReport {
+    /// An empty histogram (what a fresh server reports).
+    pub fn empty() -> HistogramReport {
+        HistogramReport {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Mean sample value, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`0.0 ≤ q ≤ 1.0`), `None` when empty. Bucketing bounds the
+    /// error to 2x — good enough for a dashboard, not for the loadgen's
+    /// exact client-side quantiles.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank.max(1) {
+                return Some(if i == 0 { 0 } else { (1u64 << i) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// The registry-wide counter set. One per [`Registry`](crate::Registry)
+/// (never process-global, so concurrently running registries — e.g.
+/// parallel tests — observe only their own traffic).
+pub(crate) struct ServeMetrics {
+    pub(crate) classify: Histogram,
+    pub(crate) similar: Histogram,
+    pub(crate) embed_row: Histogram,
+    pub(crate) stats: Histogram,
+    pub(crate) metrics: Histogram,
+    pub(crate) apply_updates: Histogram,
+    /// Sizes of coalesced read runs (per `execute_batch` run, in
+    /// requests answered against one snapshot resolution).
+    pub(crate) coalesce: Histogram,
+    /// Write batches rejected by back-pressure
+    /// ([`ServeError::Overloaded`](crate::ServeError::Overloaded)).
+    pub(crate) overloaded: AtomicU64,
+    /// IVF shard indexes built lazily by a query probe (builds via
+    /// [`Snapshot::warm_ann_indexes`](crate::Snapshot::warm_ann_indexes)
+    /// are deliberate pre-warming and are not counted).
+    pub(crate) ivf_builds: AtomicU64,
+    /// IVF probes that found a shard's index already cached (counted
+    /// per shard block touched, not per request).
+    pub(crate) ivf_hits: AtomicU64,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new() -> ServeMetrics {
+        ServeMetrics {
+            classify: Histogram::new(),
+            similar: Histogram::new(),
+            embed_row: Histogram::new(),
+            stats: Histogram::new(),
+            metrics: Histogram::new(),
+            apply_updates: Histogram::new(),
+            coalesce: Histogram::new(),
+            overloaded: AtomicU64::new(0),
+            ivf_builds: AtomicU64::new(0),
+            ivf_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The latency histogram a request's execution is recorded into.
+    pub(crate) fn request_histogram(&self, request: &Request) -> &Histogram {
+        match request {
+            Request::Classify { .. } => &self.classify,
+            Request::Similar { .. } => &self.similar,
+            Request::EmbedRow { .. } => &self.embed_row,
+            Request::Stats { .. } => &self.stats,
+            Request::Metrics => &self.metrics,
+            Request::ApplyUpdates { .. } => &self.apply_updates,
+        }
+    }
+}
+
+/// Microseconds elapsed since `start`, saturating.
+pub(crate) fn elapsed_us(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Answer to [`Request::Metrics`](crate::Request::Metrics) (protocol
+/// v4). The per-graph fields (`epoch` … `updates_applied`) describe the
+/// addressed graph exactly as [`GraphReport`](crate::GraphReport) does
+/// — the two endpoints never disagree — while the histograms and
+/// counters describe the whole registry (every graph's traffic).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    pub graph: String,
+    /// Published epoch of the addressed graph.
+    pub epoch: u64,
+    /// Oldest epoch still retained for `at_epoch` reads (same value
+    /// `Stats` reports).
+    pub oldest_epoch: u64,
+    /// Retained epochs in the history ring right now
+    /// (`epoch - oldest_epoch + 1`).
+    pub history_depth: usize,
+    /// Shard blocks of the published snapshot with a built-and-cached
+    /// IVF index (same value `Stats` reports; counting never forces a
+    /// build).
+    pub ann_indexed_shards: usize,
+    pub queries_served: u64,
+    pub updates_applied: u64,
+    /// Per-request-type latency histograms, in microseconds.
+    pub classify_us: HistogramReport,
+    pub similar_us: HistogramReport,
+    pub embed_row_us: HistogramReport,
+    pub stats_us: HistogramReport,
+    pub metrics_us: HistogramReport,
+    pub apply_updates_us: HistogramReport,
+    /// Coalesced read-run sizes (requests per run).
+    pub coalesce: HistogramReport,
+    /// Write batches rejected with `Overloaded` by back-pressure.
+    pub overloaded: u64,
+    /// WAL data fsyncs performed by appends (0 on an in-memory
+    /// registry).
+    pub wal_fsyncs: u64,
+    /// IVF shard indexes built lazily by query probes.
+    pub ivf_builds: u64,
+    /// IVF probes answered from an already-cached shard index.
+    pub ivf_hits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1023, 1024] {
+            h.record(v);
+        }
+        let r = h.report();
+        assert_eq!(r.count, 9);
+        assert_eq!(r.sum, 0 + 1 + 2 + 3 + 4 + 7 + 8 + 1023 + 1024);
+        assert_eq!(r.buckets[0], 1, "zero lands in bucket 0");
+        assert_eq!(r.buckets[1], 1, "1 in [1,2)");
+        assert_eq!(r.buckets[2], 2, "2,3 in [2,4)");
+        assert_eq!(r.buckets[3], 2, "4 and 7 in [4,8)");
+        assert_eq!(r.buckets[4], 1, "8 in [8,16)");
+        assert_eq!(r.buckets[10], 1, "1023 in [512,1024)");
+        assert_eq!(r.buckets[11], 1, "1024 in [1024,2048)");
+        assert_eq!(r.buckets.len(), 12, "trailing zeros trimmed");
+    }
+
+    #[test]
+    fn histogram_report_summaries() {
+        let h = Histogram::new();
+        assert_eq!(h.report(), HistogramReport::empty());
+        assert_eq!(HistogramReport::empty().mean(), None);
+        assert_eq!(HistogramReport::empty().quantile_upper_bound(0.5), None);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let r = h.report();
+        assert_eq!(r.mean(), Some(49.5));
+        // The median of 0..100 is ~50; its bucket [32, 64) upper bound.
+        assert_eq!(r.quantile_upper_bound(0.5), Some(63));
+        assert_eq!(r.quantile_upper_bound(0.0), Some(0));
+        assert_eq!(r.quantile_upper_bound(1.0), Some(127));
+    }
+}

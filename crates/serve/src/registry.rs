@@ -79,6 +79,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{self, Checkpoint, GraphCheckpoint};
 use crate::index::SearchPolicy;
+use crate::metrics::ServeMetrics;
 use crate::shard::ShardLayout;
 use crate::snapshot::{ShardBlock, Snapshot};
 use crate::wal::{self, Durability, WalRecord, WalWriter};
@@ -211,6 +212,12 @@ impl Entry {
             .back()
             .expect("history is never empty")
             .clone()
+    }
+
+    /// Retained epochs in the history ring right now (the protocol-v4
+    /// `history_depth` metric; at most [`HistoryPolicy::keep`]).
+    pub(crate) fn history_depth(&self) -> usize {
+        self.history.read().expect("history lock poisoned").len()
     }
 
     /// The retained epoch range `(oldest, newest)`.
@@ -349,6 +356,8 @@ pub struct Registry {
     backpressure: BackpressurePolicy,
     search: SearchPolicy,
     durable: Option<Mutex<DurableLog>>,
+    /// Registry-wide observability counters (see [`crate::metrics`]).
+    metrics: ServeMetrics,
 }
 
 impl std::fmt::Debug for Registry {
@@ -422,6 +431,7 @@ impl Registry {
                 backpressure,
                 search,
                 durable: None,
+                metrics: ServeMetrics::new(),
             });
         };
         std::fs::create_dir_all(&dir)
@@ -481,7 +491,24 @@ impl Registry {
                 records_since_checkpoint: 0,
                 _lock: lock,
             })),
+            metrics: ServeMetrics::new(),
         })
+    }
+
+    /// The registry-wide observability counters (shared with the
+    /// engine's request timing; snapshotted by `Request::Metrics`).
+    pub(crate) fn serve_metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Data fsyncs the WAL writer has issued for appends since open —
+    /// the protocol-v4 `wal_fsyncs` metric. `0` on an in-memory
+    /// registry (and under [`SyncPolicy::Never`](crate::SyncPolicy),
+    /// which never syncs on the append path).
+    pub fn wal_fsyncs(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.lock().expect("log lock poisoned").writer.fsyncs())
     }
 
     /// Whether this registry persists its state.
@@ -710,7 +737,19 @@ impl Registry {
     /// drops. Useful to quiesce writes around maintenance (and to test
     /// back-pressure deterministically).
     pub fn hold_write_slot(&self, name: &str) -> Result<WriteSlot, ServeError> {
-        WriteSlot::acquire(name, self.entry(name)?)
+        let entry = self.entry(name)?;
+        self.acquire_write_slot(name, entry)
+    }
+
+    /// [`WriteSlot::acquire`] with the rejection counted toward the
+    /// `overloaded` metric (every acquisition path goes through here so
+    /// the counter misses nothing).
+    fn acquire_write_slot(&self, graph: &str, entry: Arc<Entry>) -> Result<WriteSlot, ServeError> {
+        let slot = WriteSlot::acquire(graph, entry);
+        if slot.is_err() {
+            self.metrics.overloaded.fetch_add(1, Ordering::Relaxed);
+        }
+        slot
     }
 
     /// Apply an update batch through the writer and publish the next
@@ -748,7 +787,7 @@ impl Registry {
         if updates.is_empty() {
             return Ok((0, gate.snapshot()));
         }
-        let mut slot = WriteSlot::acquire(name, gate)?;
+        let mut slot = self.acquire_write_slot(name, gate)?;
         // On a durable registry the entry must be resolved *under* the
         // log lock: resolving first would let a concurrent deregister or
         // re-register commit its record between our lookup and our
@@ -763,7 +802,7 @@ impl Registry {
         // the gate and here; re-home the slot so the bound (and the
         // pending gauge) applies to the entry this batch actually writes.
         if !Arc::ptr_eq(&slot.entry, &entry) {
-            slot = WriteSlot::acquire(name, entry.clone())?;
+            slot = self.acquire_write_slot(name, entry.clone())?;
         }
         let _slot = slot;
         let mut writer = entry.writer.lock().expect("writer lock poisoned");

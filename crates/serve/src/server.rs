@@ -26,7 +26,7 @@ use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, ClientFrame, ServerFrame, MAX_FRAME_LEN};
 use crate::ServeError;
 
-/// Serves an [`Engine`] over the wire protocol (v3 current, v1/v2 spoken).
+/// Serves an [`Engine`] over the wire protocol (v4 current, v1–v3 spoken).
 #[derive(Clone)]
 pub struct Server {
     engine: Arc<Engine>,

@@ -150,6 +150,14 @@ impl ShardBlock {
     pub fn ann_index_cached(&self) -> Option<Arc<IvfIndex>> {
         self.ann.get().and_then(Clone::clone)
     }
+
+    /// Whether an index build was already attempted for this block —
+    /// distinguishes "never touched" from a cached built-as-`None`
+    /// (too-small block), which [`ShardBlock::ann_index_cached`] cannot.
+    /// Drives the registry's IVF build/hit metrics.
+    pub(crate) fn ann_initialized(&self) -> bool {
+        self.ann.get().is_some()
+    }
 }
 
 /// One immutable epoch of a served graph: an `Arc`'d set of per-shard

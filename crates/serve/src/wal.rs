@@ -689,6 +689,9 @@ pub struct WalWriter {
     sync: SyncPolicy,
     fault: Option<FaultPoint>,
     poisoned: bool,
+    /// Data fsyncs issued by appends over this writer's lifetime
+    /// (rotation keeps the count; see [`WalWriter::fsyncs`]).
+    fsyncs: u64,
 }
 
 impl WalWriter {
@@ -710,6 +713,7 @@ impl WalWriter {
                     sync,
                     fault: None,
                     poisoned: false,
+                    fsyncs: 0,
                 })
             }
             None => Self::create_segment(dir, sync, scan.next_lsn),
@@ -740,6 +744,7 @@ impl WalWriter {
             sync,
             fault: None,
             poisoned: false,
+            fsyncs: 0,
         })
     }
 
@@ -751,6 +756,13 @@ impl WalWriter {
     /// Start LSN of the segment currently being appended to.
     pub fn segment_start(&self) -> u64 {
         self.segment_start
+    }
+
+    /// Data fsyncs issued by appends since this writer opened (the
+    /// protocol-v4 `wal_fsyncs` metric). Resets with the process, like
+    /// every serving counter; segment rotation does not reset it.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
     }
 
     /// Arm a crash point for the crash-recovery harness; the next append
@@ -794,6 +806,7 @@ impl WalWriter {
                 .write_all(&bytes[..keep])
                 .and_then(|()| self.file.sync_data())
                 .map_err(|e| ServeError::storage(format!("torn append: {e}")))?;
+            self.fsyncs += 1;
             return Err(ServeError::storage(format!(
                 "injected crash: append stopped after {keep} of {} bytes",
                 bytes.len()
@@ -806,6 +819,7 @@ impl WalWriter {
             self.file
                 .sync_data()
                 .map_err(|e| ServeError::storage(format!("syncing WAL: {e}")))?;
+            self.fsyncs += 1;
         }
         let lsn = self.next_lsn;
         self.next_lsn += 1;

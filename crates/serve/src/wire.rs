@@ -1,5 +1,5 @@
-//! Wire protocol: versioned, transport-agnostic frame types (v3 current,
-//! v1 and v2 still spoken).
+//! Wire protocol: versioned, transport-agnostic frame types (v4 current,
+//! v1–v3 still spoken).
 //!
 //! A *frame* is one [`ClientFrame`] or [`ServerFrame`] encoded as compact
 //! JSON via the workspace serde layer (externally-tagged enums, exact
@@ -52,6 +52,23 @@
 //! send overrides: a downlevel server would silently ignore the key and
 //! answer with its configured default — plausible data, wrong
 //! exactness contract.
+//!
+//! # Protocol v4: server metrics
+//!
+//! v4 adds the [`Request::Metrics`](crate::Request::Metrics) /
+//! [`Response::Metrics`](crate::Response::Metrics) pair: a read-only
+//! observability probe returning the server's atomically-maintained
+//! counters ([`MetricsReport`](crate::metrics::MetricsReport)) —
+//! per-request-type counts with log2-bucketed latency histograms, batch
+//! coalesce sizes, back-pressure (`Overloaded`) rejections, epoch
+//! history depth, WAL fsync count, and IVF index build/hit counters.
+//! Like v2 and v3, the extension is **additive**: every v1–v3 request
+//! still encodes byte-identically (`Metrics` is a brand-new variant, a
+//! bare `"Metrics"` string in the externally-tagged encoding), and
+//! older frames decode unchanged. A client that negotiated below
+//! [`METRICS_VERSION`] refuses to send `Metrics`: a downlevel server
+//! would reject the unknown variant as a malformed frame and close the
+//! connection, taking the client's pipelined batches with it.
 
 use serde::{Deserialize, Serialize};
 
@@ -59,7 +76,7 @@ use crate::engine::{Envelope, Response};
 use crate::ServeError;
 
 /// Current (and highest supported) protocol version.
-pub const PROTOCOL_VERSION: u32 = 3;
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Oldest protocol version this build still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -70,6 +87,9 @@ pub const EPOCH_PIN_VERSION: u32 = 2;
 /// First protocol version carrying per-request `search` policy
 /// overrides on `Classify`/`Similar`.
 pub const SEARCH_POLICY_VERSION: u32 = 3;
+
+/// First protocol version carrying the `Metrics` observability request.
+pub const METRICS_VERSION: u32 = 4;
 
 /// Upper bound on one frame's encoded size (64 MiB). Both sides reject
 /// larger frames as a protocol violation instead of allocating blindly.
@@ -139,15 +159,18 @@ mod tests {
         assert_eq!(negotiate(1, 1), Ok(1), "v1-only clients still speak");
         assert_eq!(negotiate(1, 2), Ok(2), "v2-only clients still speak");
         assert_eq!(negotiate(2, 2), Ok(2));
-        assert_eq!(negotiate(1, 3), Ok(3));
+        assert_eq!(negotiate(1, 3), Ok(3), "v3-only clients still speak");
         assert_eq!(negotiate(3, 3), Ok(3));
+        assert_eq!(negotiate(1, 4), Ok(4));
+        assert_eq!(negotiate(4, 4), Ok(4));
         assert_eq!(
             negotiate(1, 7),
             Ok(PROTOCOL_VERSION),
             "future-proof client downgrades"
         );
+        assert_eq!(negotiate(4, 7), Ok(4), "min within range downgrades too");
         assert!(matches!(
-            negotiate(4, 7),
+            negotiate(5, 7),
             Err(ServeError::VersionUnsupported { .. })
         ));
         assert!(matches!(

@@ -1,0 +1,156 @@
+//! Regression: `Stats` and `Metrics` must never disagree.
+//!
+//! Both endpoints describe the same published snapshot and the same
+//! counters; PR 6 added `ann_indexed_shards` and `oldest_epoch` to
+//! `GraphReport` precisely so a dashboard polling `Metrics` and a
+//! client calling `Stats` can be reconciled. This suite pins the
+//! agreement exactly at quiescence and as monotone bounds under
+//! concurrent writer churn.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use gee_core::Labels;
+use gee_serve::{Engine, HistoryPolicy, Registry, RegistryConfig, SearchPolicy, Update};
+
+const N: usize = 600;
+const K: usize = 5;
+
+/// Two big shards (300 rows each, above `ANN_MIN_SHARD_ROWS`) so ANN
+/// queries actually build per-shard indexes, and history deep enough
+/// that churn never evicts an epoch mid-assertion.
+fn engine() -> Arc<Engine> {
+    let el = gee_gen::erdos_renyi_gnm(N, 4_000, 11);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            gee_gen::LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.3,
+            },
+            5,
+        ),
+        K,
+    );
+    let reg = Registry::with_config(RegistryConfig {
+        default_shards: 2,
+        history: HistoryPolicy::keep(4096),
+        ..RegistryConfig::default()
+    })
+    .expect("in-memory registry opens");
+    reg.register("g", &el, &labels).unwrap();
+    Arc::new(Engine::new(Arc::new(reg)))
+}
+
+/// Exact agreement with no concurrent writers: every field the two
+/// reports share must match, modulo the one deterministic offset — the
+/// `Stats` read itself is a served query, so the `Metrics` taken right
+/// after it sees exactly one more.
+fn assert_quiescent_agreement(engine: &Engine) {
+    let stats = engine.stats("g").unwrap();
+    let metrics = engine.metrics("g").unwrap();
+    assert_eq!(metrics.graph, stats.graph);
+    assert_eq!(metrics.epoch, stats.epoch, "published epoch");
+    assert_eq!(metrics.oldest_epoch, stats.oldest_epoch, "retention floor");
+    assert_eq!(
+        metrics.ann_indexed_shards, stats.ann_indexed_shards,
+        "cached IVF index count"
+    );
+    assert_eq!(metrics.updates_applied, stats.updates_applied);
+    assert_eq!(
+        metrics.queries_served,
+        stats.queries_served + 1,
+        "the Stats read is itself one served query"
+    );
+    assert!(metrics.history_depth >= 1);
+    assert!(metrics.oldest_epoch <= metrics.epoch);
+}
+
+#[test]
+fn stats_and_metrics_agree_under_writer_churn() {
+    let engine = engine();
+    assert_quiescent_agreement(&engine);
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        // Two writers publishing single-edge batches as fast as they can.
+        for w in 0..2u32 {
+            let engine = &engine;
+            let stop = &stop;
+            s.spawn(move || {
+                let mut turn = 0u32;
+                while !stop.load(Ordering::Relaxed) {
+                    let u = (w * 7 + turn * 13) % N as u32;
+                    let v = (u + 1 + turn % 5) % N as u32;
+                    engine
+                        .apply_updates("g", vec![Update::InsertEdge { u, v, w: 1.0 }])
+                        .unwrap();
+                    turn = turn.wrapping_add(1);
+                }
+            });
+        }
+
+        // Reader: under churn the two reports cannot be byte-equal (a
+        // publish may land between the calls), but Stats-then-Metrics
+        // must stay ordered — nothing an observer derives from the pair
+        // may move backwards.
+        for _ in 0..300 {
+            let stats = engine.stats("g").unwrap();
+            let metrics = engine.metrics("g").unwrap();
+            assert_eq!(metrics.graph, stats.graph);
+            assert!(
+                metrics.epoch >= stats.epoch,
+                "published epoch is monotone: {} then {}",
+                stats.epoch,
+                metrics.epoch
+            );
+            assert!(
+                metrics.oldest_epoch >= stats.oldest_epoch,
+                "retention floor is monotone"
+            );
+            assert!(
+                metrics.updates_applied >= stats.updates_applied,
+                "update counter is monotone"
+            );
+            assert!(
+                metrics.queries_served > stats.queries_served,
+                "query counter strictly advances past the Stats read"
+            );
+            assert!(stats.oldest_epoch <= stats.epoch);
+            assert!(metrics.oldest_epoch <= metrics.epoch);
+            assert!(stats.ann_indexed_shards <= stats.num_shards);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Quiescent again: churn must not have introduced any drift.
+    assert_quiescent_agreement(&engine);
+}
+
+#[test]
+fn ann_index_counts_agree_after_index_builds() {
+    let engine = engine();
+    let before = engine.stats("g").unwrap();
+    assert_eq!(before.ann_indexed_shards, 0, "no index before any ANN read");
+
+    // An ANN query forces both shard indexes to build and cache.
+    engine
+        .similar_with("g", 0, 5, None, Some(SearchPolicy::ann(4)))
+        .unwrap();
+    assert_quiescent_agreement(&engine);
+    let stats = engine.stats("g").unwrap();
+    assert_eq!(
+        stats.ann_indexed_shards, stats.num_shards,
+        "both shards are big enough to index"
+    );
+    let metrics = engine.metrics("g").unwrap();
+    assert!(metrics.ivf_builds >= stats.num_shards as u64);
+
+    // A write publishes a new snapshot; blocks rewritten by it lose
+    // their cached index while untouched blocks keep theirs — whatever
+    // the count is now, the two endpoints must agree on it.
+    engine
+        .apply_updates("g", vec![Update::InsertEdge { u: 0, v: 9, w: 1.0 }])
+        .unwrap();
+    assert_quiescent_agreement(&engine);
+}

@@ -5,7 +5,8 @@
 
 use gee_serve::wire::{decode, encode, ClientFrame, ServerFrame};
 use gee_serve::{
-    Envelope, ErrorCode, GraphReport, Request, Response, SearchPolicy, ServeError, Update,
+    Envelope, ErrorCode, GraphReport, HistogramReport, MetricsReport, Request, Response,
+    SearchPolicy, ServeError, Update,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -102,6 +103,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
             .prop_map(|(vertex, at_epoch)| Request::EmbedRow { vertex, at_epoch }),
         vec(arb_update(), 0..6).prop_map(|updates| Request::ApplyUpdates { updates }),
         arb_epoch_pin().prop_map(|at_epoch| Request::Stats { at_epoch }),
+        Just(Request::Metrics),
     ]
 }
 
@@ -114,6 +116,7 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
             any::<usize>(),
             any::<usize>(),
             any::<usize>(),
+            any::<usize>(),
         ),
         (any::<u64>(), any::<u64>()),
     )
@@ -121,7 +124,7 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
             |(
                 graph,
                 (epoch, oldest_epoch),
-                (num_vertices, dim, num_shards, num_labeled),
+                (num_vertices, dim, num_shards, num_labeled, ann_indexed_shards),
                 (q, u),
             )| {
                 GraphReport {
@@ -132,8 +135,60 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
                     dim,
                     num_shards,
                     num_labeled,
+                    ann_indexed_shards,
                     queries_served: q,
                     updates_applied: u,
+                }
+            },
+        )
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramReport> {
+    prop_oneof![
+        Just(HistogramReport::empty()),
+        (vec(any::<u64>(), 0..8), any::<u64>(), any::<u64>()).prop_map(|(buckets, count, sum)| {
+            HistogramReport {
+                buckets,
+                count,
+                sum,
+            }
+        }),
+    ]
+}
+
+fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
+    (
+        (arb_string(), any::<u64>(), any::<u64>(), any::<usize>()),
+        (any::<usize>(), any::<u64>(), any::<u64>()),
+        vec(arb_histogram(), 7..8),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (graph, epoch, oldest_epoch, history_depth),
+                (ann_indexed_shards, queries_served, updates_applied),
+                mut hists,
+                (overloaded, wal_fsyncs, ivf_builds, ivf_hits),
+            )| {
+                MetricsReport {
+                    graph,
+                    epoch,
+                    oldest_epoch,
+                    history_depth,
+                    ann_indexed_shards,
+                    queries_served,
+                    updates_applied,
+                    classify_us: hists.pop().unwrap(),
+                    similar_us: hists.pop().unwrap(),
+                    embed_row_us: hists.pop().unwrap(),
+                    stats_us: hists.pop().unwrap(),
+                    metrics_us: hists.pop().unwrap(),
+                    apply_updates_us: hists.pop().unwrap(),
+                    coalesce: hists.pop().unwrap(),
+                    overloaded,
+                    wal_fsyncs,
+                    ivf_builds,
+                    ivf_hits,
                 }
             },
         )
@@ -147,6 +202,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (any::<usize>(), any::<u64>())
             .prop_map(|(applied, epoch)| Response::Applied { applied, epoch }),
         arb_report().prop_map(Response::Stats),
+        arb_metrics_report().prop_map(Response::Metrics),
     ]
 }
 
@@ -481,6 +537,105 @@ fn v1_frames_decode_with_no_pin() {
     // to None.
     let got: Request = decode(br#"{"Stats":{"at_epoch":null}}"#).unwrap();
     assert_eq!(got, Request::stats());
+}
+
+#[test]
+fn v4_metrics_request_pins_its_byte_encoding() {
+    // The v4 extension is a brand-new request variant: it encodes as the
+    // bare string `"Metrics"` (the same unit-variant shape `Stats` uses),
+    // and every pre-v4 request frame stays byte-identical — a v3 client
+    // and a v4 client produce the same bytes for the same v3 request.
+    assert_eq!(
+        String::from_utf8(encode(&Request::Metrics)).unwrap(),
+        r#""Metrics""#
+    );
+    let got: Request = decode(br#""Metrics""#).unwrap();
+    assert_eq!(got, Request::Metrics);
+    assert_round_trip(&Request::Metrics);
+
+    // Metrics never pins or searches: the builders are no-ops, so no
+    // optional key can ever leak into the frame.
+    assert_eq!(
+        encode(&Request::Metrics.pinned(7).with_search(SearchPolicy::ann(2))),
+        encode(&Request::Metrics),
+    );
+
+    // Inside a batch envelope, the position a server sees it.
+    assert_eq!(
+        String::from_utf8(encode(&ClientFrame::Batch {
+            id: 3,
+            requests: vec![Envelope::new("g", Request::Metrics)],
+        }))
+        .unwrap(),
+        r#"{"Batch":{"id":3,"requests":[{"graph":"g","request":"Metrics"}]}}"#,
+    );
+}
+
+#[test]
+fn v3_request_frames_are_byte_identical_under_v4() {
+    // Captured v1/v2/v3 frames (one per protocol extension) must encode
+    // and decode unchanged now that the codec also knows `Metrics`.
+    let cases: [(Request, &str); 3] = [
+        (Request::stats(), r#""Stats""#),
+        (
+            Request::embed_row(9).pinned(4),
+            r#"{"EmbedRow":{"vertex":9,"at_epoch":4}}"#,
+        ),
+        (
+            Request::similar(7, 10).with_search(SearchPolicy::Exact),
+            r#"{"Similar":{"vertex":7,"top":10,"search":"Exact"}}"#,
+        ),
+    ];
+    for (req, want) in cases {
+        assert_eq!(String::from_utf8(encode(&req)).unwrap(), want, "{req:?}");
+        let got: Request = decode(want.as_bytes()).unwrap();
+        assert_eq!(got, req);
+    }
+}
+
+#[test]
+fn v4_metrics_response_round_trips_fully_populated() {
+    let report = MetricsReport {
+        graph: "g".into(),
+        epoch: 12,
+        oldest_epoch: 3,
+        history_depth: 10,
+        ann_indexed_shards: 4,
+        queries_served: 1_000_000,
+        updates_applied: 5_000,
+        classify_us: HistogramReport {
+            buckets: vec![0, 2, 5, 1],
+            count: 8,
+            sum: 431,
+        },
+        similar_us: HistogramReport::empty(),
+        embed_row_us: HistogramReport {
+            buckets: vec![1],
+            count: 1,
+            sum: 0,
+        },
+        stats_us: HistogramReport::empty(),
+        metrics_us: HistogramReport::empty(),
+        apply_updates_us: HistogramReport {
+            buckets: vec![0, 0, 0, 0, 7],
+            count: 7,
+            sum: 77,
+        },
+        coalesce: HistogramReport {
+            buckets: vec![0, 3, 4],
+            count: 7,
+            sum: 19,
+        },
+        overloaded: 2,
+        wal_fsyncs: 40,
+        ivf_builds: 4,
+        ivf_hits: 31,
+    };
+    assert_round_trip(&Response::Metrics(report.clone()));
+    assert_round_trip(&ServerFrame::Batch {
+        id: 9,
+        results: vec![Ok(Response::Metrics(report))],
+    });
 }
 
 #[test]

@@ -89,7 +89,7 @@
 //! `gee serve --index ivf --nprobe N` and `gee query --nprobe N |
 //! --exact true`.
 //!
-//! ### Wire protocol (v3)
+//! ### Wire protocol (v4)
 //!
 //! The serve types double as a versioned network contract
 //! ([`serve::wire`]): frames are compact JSON (serde's externally-tagged
@@ -97,10 +97,10 @@
 //! on TCP, and exchanged over any [`serve::Transport`] — loopback-free
 //! in-process [`serve::duplex`] or [`serve::TcpTransport`]. A connection
 //! opens with a `Hello` handshake that negotiates the protocol version
-//! (currently [`serve::PROTOCOL_VERSION`] = 3; v1 and v2 are still
-//! spoken — the v2 `at_epoch` pin and v3 `search` override are additive
-//! extensions whose absence encodes byte-identically to older frames),
-//! then carries pipelined
+//! (currently [`serve::PROTOCOL_VERSION`] = 4; v1–v3 are still
+//! spoken — the v2 `at_epoch` pin, v3 `search` override, and v4
+//! `Metrics` request are additive extensions whose absence encodes
+//! byte-identically to older frames), then carries pipelined
 //! request batches; failures travel as typed [`serve::ServeError`] values
 //! with stable numeric [`serve::ErrorCode`]s. A [`serve::Server`] feeds
 //! decoded batches to `Engine::execute_batch`, and the blocking
@@ -127,6 +127,36 @@
 //! command line: `gee serve --data-dir DIR ...` and `gee recover
 //! --data-dir DIR`.
 //!
+//! ### Benchmarking & observability
+//!
+//! Two halves close the loop between "the server runs" and "the server
+//! is fast, and we can prove it":
+//!
+//! * **Server metrics** — the protocol-v4 `Metrics` request
+//!   ([`serve::MetricsReport`], `Engine::metrics` / `Client::metrics`,
+//!   `gee query --metrics true`) returns the counters every serving
+//!   registry maintains atomically on the hot path: per-request-type
+//!   counts and log2-bucketed latency histograms
+//!   ([`serve::HistogramReport`]), batch-coalesce sizes, `Overloaded`
+//!   rejections, epoch-history depth, WAL fsyncs, and IVF build/hit
+//!   counters. `Metrics` and `Stats` describe the same snapshot and the
+//!   same counters — `crates/serve/tests/metrics_consistency.rs` pins
+//!   that they never disagree, even under writer churn.
+//! * **Workload simulation** — the `gee-loadgen` crate ([`loadgen`])
+//!   drives a live server over the ordinary wire protocol: `gee bench
+//!   --connect ADDR --mix read=90,write=5,timetravel=3,ann=2 --clients N`
+//!   runs N closed-loop (or `--qps`-paced open-loop) client threads with
+//!   a deterministic seeded request mix, interleaves server-side metrics
+//!   samples into the per-request CSV, and streams the result through
+//!   single-pass analytics ([`loadgen::Analysis`], P² quantile
+//!   estimation — no reservoir) into a `BENCH_*.json` report
+//!   (`gee bench-report` re-runs the same analytics over a saved CSV).
+//!   The bench binaries (`serve_throughput`, `wire_overhead`) emit
+//!   through the same `gee-bench-v1` schema via `--json PATH`, so every
+//!   number lands in one comparable trajectory format. Determinism is
+//!   pinned by `crates/loadgen/tests/deterministic.rs`: a seeded run's
+//!   request-type sequence is exactly replayable.
+//!
 //! See `examples/` for end-to-end scenarios and `crates/bench` for the
 //! binaries that regenerate each table and figure of the paper.
 
@@ -138,6 +168,7 @@ pub use gee_gen as gen;
 pub use gee_graph as graph;
 pub use gee_interp as interp;
 pub use gee_ligra as ligra;
+pub use gee_loadgen as loadgen;
 pub use gee_serve as serve;
 
 /// Most-used items in one import.
@@ -149,10 +180,11 @@ pub mod prelude {
     pub use gee_gen::{self, LabelSpec, RmatParams, SbmParams, WsParams};
     pub use gee_graph::{CsrGraph, Edge, EdgeList, GraphBuilder};
     pub use gee_ligra::{with_threads, BucketOrder, Buckets, VertexSubset};
+    pub use gee_loadgen::{Analysis as BenchAnalysis, BenchConfig, Mix as BenchMix};
     pub use gee_serve::{
         BackpressurePolicy, Client as ServeClient, Durability, Engine as ServeEngine, Envelope,
-        ErrorCode, HistoryPolicy, Registry, RegistryConfig, Request, Response, SearchPolicy,
-        ServeError, Server as ServeServer, SyncPolicy, Update,
+        ErrorCode, HistoryPolicy, MetricsReport, Registry, RegistryConfig, Request, Response,
+        SearchPolicy, ServeError, Server as ServeServer, SyncPolicy, Update,
     };
 }
 
