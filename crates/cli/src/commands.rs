@@ -40,6 +40,11 @@ subcommands:
                durability: [--data-dir DIR [--sync always|never] [--checkpoint-every N=64]]
                recovers graph \"g\" from DIR if present (then --graph is optional);
                every update batch is WAL-logged and survives restart
+               replication: --replicate ADDR ships the WAL to followers
+               ([--replicate-port-file F] writes the bound address; needs --data-dir);
+               --follow LEADER --data-dir DIR --listen ADDR trails a leader as a
+               read-only replica: reads (incl. --at-epoch pins) serve locally,
+               writes fail with code 15 ReadOnlyReplica, lag shows in stats/metrics
   query        --graph <file> (--classify v1,v2,.. | --similar V | --row V |
                                --stats true | --metrics true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
@@ -68,7 +73,8 @@ subcommands:
                stdin (or --in), emit the BENCH report on stdout (or --json)
   recover      --data-dir DIR [--shards S=4] [--checkpoint true]
                recover a durable serving directory (checkpoint + WAL replay), report
-               each graph's epoch/size, optionally force a compacting checkpoint
+               each graph's epoch/size plus the WAL high-water LSN and latest
+               checkpoint LSN, optionally force a compacting checkpoint
   convert      <in-file> <out-file>
 
 formats by extension: .txt/.el/.edgelist (text), .snap, .mtx, .csr (binary), .edges (stream)
@@ -538,6 +544,14 @@ fn recover(flags: &Flags) -> crate::Result<String> {
         )
         .unwrap();
     }
+    // The replication coordinates: where the durable log ends and where
+    // the newest checkpoint sits (what a follower would bootstrap from).
+    let high = registry.wal_high_water().expect("registry opened durable");
+    writeln!(out, "wal high-water lsn {high}").unwrap();
+    match registry.latest_checkpoint_lsn()? {
+        Some(lsn) => writeln!(out, "latest checkpoint at lsn {lsn}").unwrap(),
+        None => writeln!(out, "no checkpoint on disk").unwrap(),
+    }
     if flags.get_parsed("checkpoint", false)? {
         let lsn = registry.checkpoint_now()?.expect("registry opened durable");
         writeln!(out, "checkpoint written at lsn {lsn}; WAL compacted").unwrap();
@@ -642,8 +656,7 @@ fn render_response(out: &mut String, r: &gee_serve::Response) {
     match r {
         Response::Classes(c) => writeln!(out, "classes: {c:?}").unwrap(),
         Response::Neighbors(n) => {
-            let shown: Vec<String> =
-                n.iter().map(|(v, d)| format!("{v} (d={d:.4})")).collect();
+            let shown: Vec<String> = n.iter().map(|(v, d)| format!("{v} (d={d:.4})")).collect();
             writeln!(out, "neighbors: [{}]", shown.join(", ")).unwrap();
         }
         Response::Row(row) => {
@@ -653,42 +666,103 @@ fn render_response(out: &mut String, r: &gee_serve::Response) {
         Response::Applied { applied, epoch } => {
             writeln!(out, "applied {applied} update(s); now at epoch {epoch}").unwrap();
         }
-        Response::Stats(s) => writeln!(
-            out,
-            "stats: graph {:?} epoch {} (retained from {}) | {} vertices × {} dims, {} shards, {} labeled | {} queries served, {} updates applied",
-            s.graph, s.epoch, s.oldest_epoch, s.num_vertices, s.dim, s.num_shards, s.num_labeled, s.queries_served, s.updates_applied
-        )
-        .unwrap(),
-        Response::Metrics(m) => writeln!(
-            out,
-            "metrics: graph {:?} epoch {} (retained from {}, depth {}) | {} queries served, {} updates applied | classify p50 ≤{} µs | coalesce mean {:.1} | {} overloaded, {} wal fsyncs, ivf {}/{} built/hit, {} ann shards",
-            m.graph,
-            m.epoch,
-            m.oldest_epoch,
-            m.history_depth,
-            m.queries_served,
-            m.updates_applied,
-            m.classify_us.quantile_upper_bound(0.5).unwrap_or(0),
-            m.coalesce.mean().unwrap_or(0.0),
-            m.overloaded,
-            m.wal_fsyncs,
-            m.ivf_builds,
-            m.ivf_hits,
-            m.ann_indexed_shards
-        )
-        .unwrap(),
+        Response::Stats(s) => {
+            write!(
+                out,
+                "stats: graph {:?} epoch {} (retained from {}) | {} vertices × {} dims, {} shards, {} labeled | {} queries served, {} updates applied",
+                s.graph, s.epoch, s.oldest_epoch, s.num_vertices, s.dim, s.num_shards, s.num_labeled, s.queries_served, s.updates_applied
+            )
+            .unwrap();
+            if let Some(r) = &s.replication {
+                write!(out, " | {}", render_replication(r)).unwrap();
+            }
+            writeln!(out).unwrap();
+        }
+        Response::Metrics(m) => {
+            write!(
+                out,
+                "metrics: graph {:?} epoch {} (retained from {}, depth {}) | {} queries served, {} updates applied | classify p50 ≤{} µs | coalesce mean {:.1} | {} overloaded, {} wal fsyncs, ivf {}/{} built/hit, {} ann shards",
+                m.graph,
+                m.epoch,
+                m.oldest_epoch,
+                m.history_depth,
+                m.queries_served,
+                m.updates_applied,
+                m.classify_us.quantile_upper_bound(0.5).unwrap_or(0),
+                m.coalesce.mean().unwrap_or(0.0),
+                m.overloaded,
+                m.wal_fsyncs,
+                m.ivf_builds,
+                m.ivf_hits,
+                m.ann_indexed_shards
+            )
+            .unwrap();
+            if let Some(r) = &m.replication {
+                write!(out, " | {}", render_replication(r)).unwrap();
+            }
+            writeln!(out).unwrap();
+        }
     }
 }
 
-/// `serve --listen`: stand up the engine and serve the wire protocol over
-/// TCP until `--max-conns` connections finish (or forever without it).
-fn serve_listen(flags: &Flags, addr: &str) -> crate::Result<String> {
-    let (engine, n) = build_engine(flags, "k", 50)?;
-    let max_conns = flags
+/// One-line v5 replication summary shared by the Stats and Metrics
+/// renders (both endpoints carry the identical block).
+fn render_replication(r: &gee_serve::ReplicationReport) -> String {
+    match r.role {
+        gee_serve::ReplicationRole::Leader => format!(
+            "replication: leader ({} follower(s){}), {} records / {} bytes shipped",
+            r.follower_conns,
+            if r.connected { "" } else { ", idle" },
+            r.shipped_records,
+            r.shipped_bytes,
+        ),
+        gee_serve::ReplicationRole::Follower => format!(
+            "replication: follower ({}) lag {} epoch(s) / {} lsn(s), durable to lsn {}",
+            if r.connected {
+                "connected"
+            } else {
+                "disconnected"
+            },
+            r.lag_epochs,
+            r.lag_lsns,
+            r.last_durable_lsn,
+        ),
+    }
+}
+
+fn max_conns_from_flags(flags: &Flags) -> crate::Result<Option<usize>> {
+    flags
         .get("max-conns")
         .map(|raw| {
             raw.parse::<usize>()
                 .map_err(|_| CliError::Usage(format!("flag --max-conns: cannot parse {raw:?}")))
+        })
+        .transpose()
+}
+
+/// `serve --listen`: stand up the engine and serve the wire protocol over
+/// TCP until `--max-conns` connections finish (or forever without it).
+/// With `--replicate ADDR` the process also leads a replica set: a
+/// second listener streams the WAL to followers.
+fn serve_listen(flags: &Flags, addr: &str) -> crate::Result<String> {
+    let (engine, n) = build_engine(flags, "k", 50)?;
+    let max_conns = max_conns_from_flags(flags)?;
+    let replication = flags
+        .get("replicate")
+        .map(|repl_addr| -> crate::Result<_> {
+            if flags.get("data-dir").is_none() {
+                return Err(CliError::Usage(
+                    "serve: --replicate requires --data-dir (the WAL is the replication stream)"
+                        .into(),
+                ));
+            }
+            let listener =
+                gee_serve::ReplicationListener::listen(engine.registry_handle(), repl_addr)?;
+            eprintln!("replication: shipping WAL on {}", listener.addr());
+            if let Some(file) = flags.get("replicate-port-file") {
+                std::fs::write(file, listener.addr().to_string())?;
+            }
+            Ok(listener)
         })
         .transpose()?;
     let handle = gee_serve::Server::listen(std::sync::Arc::new(engine), addr, max_conns)?;
@@ -700,21 +774,76 @@ fn serve_listen(flags: &Flags, addr: &str) -> crate::Result<String> {
     if let Some(port_file) = flags.get("port-file") {
         std::fs::write(port_file, bound.to_string())?;
     }
-    match max_conns {
+    let summary = match max_conns {
         Some(m) => {
             handle.wait();
-            Ok(format!("served {m} connection(s) on {bound}; exiting\n"))
+            format!("served {m} connection(s) on {bound}; exiting\n")
         }
         None => {
             handle.wait(); // unbounded: runs until the process is killed
-            Ok(String::new())
+            String::new()
         }
+    };
+    if let Some(listener) = replication {
+        listener.shutdown();
     }
+    Ok(summary)
+}
+
+/// `serve --follow`: run a read-only replica. The follower pulls the
+/// leader's WAL stream into its own `--data-dir`, serves reads (with
+/// epoch pins and ANN policies) on `--listen`, and rejects writes with
+/// error code 15 (`ReadOnlyReplica`).
+fn serve_follow(flags: &Flags, leader: &str) -> crate::Result<String> {
+    let Some(durability) = durability_from_flags(flags)? else {
+        return Err(CliError::Usage(
+            "serve: --follow requires --data-dir (the replica's own durable log)".into(),
+        ));
+    };
+    let listen = flags.get("listen").ok_or_else(|| {
+        CliError::Usage("serve: --follow serves reads; pass --listen ADDR".into())
+    })?;
+    let shards: usize = flags.get_parsed("shards", 4)?;
+    let history: usize = flags.get_parsed("history", 1)?;
+    let config = gee_serve::RegistryConfig {
+        default_shards: shards,
+        history: gee_serve::HistoryPolicy::keep(history),
+        backpressure: gee_serve::BackpressurePolicy::unbounded(),
+        durability,
+        search: search_from_flags(flags)?,
+    };
+    let follower = gee_serve::Follower::start(config, leader)?;
+    eprintln!("following leader at {leader}");
+    let engine = gee_serve::Engine::new(follower.registry().clone());
+    let handle = gee_serve::Server::listen(
+        std::sync::Arc::new(engine),
+        listen,
+        max_conns_from_flags(flags)?,
+    )?;
+    let bound = handle.addr();
+    eprintln!(
+        "replica serving reads on {bound} (wire protocol v{})",
+        gee_serve::PROTOCOL_VERSION
+    );
+    if let Some(port_file) = flags.get("port-file") {
+        std::fs::write(port_file, bound.to_string())?;
+    }
+    handle.wait();
+    let lsn = follower
+        .registry()
+        .wal_high_water()
+        .expect("followers are durable");
+    follower.shutdown();
+    Ok(format!("replica exiting at lsn {lsn}\n"))
 }
 
 /// `serve`: stand up the engine and run a query script against it as one
-/// coalesced batch (or serve TCP with `--listen`).
+/// coalesced batch (or serve TCP with `--listen`, or trail a leader as a
+/// read-only replica with `--follow`).
 fn serve(flags: &Flags) -> crate::Result<String> {
+    if let Some(leader) = flags.get("follow") {
+        return serve_follow(flags, &leader.to_string());
+    }
     if let Some(addr) = flags.get("listen") {
         return serve_listen(flags, &addr.to_string());
     }
@@ -1854,6 +1983,10 @@ mod tests {
         let out = run(&sv(&["recover", "--data-dir", &data_dir])).unwrap();
         assert!(out.contains("recovered 1 graph(s)"), "{out}");
         assert!(out.contains("\"g\": epoch 3 | 90 vertices"), "{out}");
+        // Replication coordinates: register + 3 update batches = 4
+        // records, and nothing has checkpointed yet.
+        assert!(out.contains("wal high-water lsn 4"), "{out}");
+        assert!(out.contains("no checkpoint on disk"), "{out}");
         // --checkpoint false must NOT compact.
         let out = run(&sv(&[
             "recover",
@@ -1893,6 +2026,218 @@ mod tests {
         std::fs::remove_file(&graph).ok();
         std::fs::remove_file(&script).ok();
         std::fs::remove_dir_all(&data_dir).ok();
+    }
+
+    #[test]
+    fn serve_follow_replicates_and_serves_identical_reads() {
+        let graph = tmp("gee_cli_repl.txt");
+        let script = tmp("gee_cli_repl.script");
+        let leader_dir = tmp("gee_cli_repl_leader");
+        let follower_dir = tmp("gee_cli_repl_follower");
+        let leader_port = tmp("gee_cli_repl_leader.port");
+        let repl_port = tmp("gee_cli_repl_repl.port");
+        let follower_port = tmp("gee_cli_repl_follower.port");
+        for f in [&leader_port, &repl_port, &follower_port] {
+            std::fs::remove_file(f).ok();
+        }
+        for d in [&leader_dir, &follower_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "sbm",
+            "--blocks",
+            "3",
+            "--vertices",
+            "90",
+            "--p-in",
+            "0.4",
+            "--p-out",
+            "0.01",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        // Two committed write batches before any server comes up.
+        std::fs::write(&script, "insert 0 1 2.5\nlabel 3 1\n").unwrap();
+        run(&sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--script",
+            &script,
+            "--k",
+            "3",
+            "--labeled",
+            "0.5",
+            "--data-dir",
+            &leader_dir,
+        ]))
+        .unwrap();
+
+        let wait_port = |file: &str| {
+            let mut tries = 0;
+            loop {
+                if let Ok(addr) = std::fs::read_to_string(file) {
+                    if !addr.is_empty() {
+                        break addr;
+                    }
+                }
+                tries += 1;
+                assert!(tries < 200, "no port file at {file}");
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        };
+
+        // Leader: one client connection's worth of serving, plus the
+        // replication listener.
+        let leader_args = sv(&[
+            "serve",
+            "--data-dir",
+            &leader_dir,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "1",
+            "--port-file",
+            &leader_port,
+            "--replicate",
+            "127.0.0.1:0",
+            "--replicate-port-file",
+            &repl_port,
+        ]);
+        let leader = std::thread::spawn(move || run(&leader_args));
+        let repl_addr = wait_port(&repl_port);
+
+        // Follower: bootstraps from the leader's stream into its own
+        // data dir and serves reads on its own port.
+        const FOLLOWER_CONNS: usize = 120;
+        let follower_args = sv(&[
+            "serve",
+            "--follow",
+            &repl_addr,
+            "--data-dir",
+            &follower_dir,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            &FOLLOWER_CONNS.to_string(),
+            "--port-file",
+            &follower_port,
+        ]);
+        let follower = std::thread::spawn(move || run(&follower_args));
+        let follower_addr = wait_port(&follower_port);
+
+        // Poll replica stats until it has converged (epoch 2, zero lag).
+        let mut polls = 0;
+        loop {
+            let out = run(&sv(&[
+                "query",
+                "--connect",
+                &follower_addr,
+                "--stats",
+                "true",
+            ]))
+            .unwrap();
+            polls += 1;
+            if out.contains("epoch 2") && out.contains("lag 0 epoch(s) / 0 lsn(s)") {
+                assert!(out.contains("replication: follower (connected)"), "{out}");
+                break;
+            }
+            assert!(polls < FOLLOWER_CONNS - 2, "replica never converged: {out}");
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+
+        // The same pinned read answers identically on both sides.
+        let ask = |addr: &str| {
+            run(&sv(&[
+                "query",
+                "--connect",
+                addr,
+                "--classify",
+                "0,1,2,3",
+                "--k",
+                "3",
+                "--at-epoch",
+                "2",
+            ]))
+            .unwrap()
+        };
+        let leader_addr = wait_port(&leader_port);
+        let from_leader = ask(&leader_addr);
+        let from_follower = ask(&follower_addr);
+        polls += 1;
+        assert_eq!(from_leader, from_follower, "replica reads diverged");
+        assert!(from_leader.starts_with("classes:"), "{from_leader}");
+
+        // Drain the follower's remaining connection budget so its
+        // accept loop exits and the thread joins.
+        for _ in polls..FOLLOWER_CONNS {
+            let _ = std::net::TcpStream::connect(&follower_addr);
+        }
+        let out = follower.join().unwrap().unwrap();
+        assert!(out.contains("replica exiting at lsn 3"), "{out}");
+        leader.join().unwrap().unwrap();
+
+        // The replica's own recover report shows the replicated log.
+        let out = run(&sv(&["recover", "--data-dir", &follower_dir])).unwrap();
+        assert!(out.contains("\"g\": epoch 2 | 90 vertices"), "{out}");
+        assert!(out.contains("wal high-water lsn 3"), "{out}");
+
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_file(&script).ok();
+        for f in [&leader_port, &repl_port, &follower_port] {
+            std::fs::remove_file(f).ok();
+        }
+        for d in [&leader_dir, &follower_dir] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+
+    #[test]
+    fn serve_follow_requires_data_dir_and_listen() {
+        assert!(matches!(
+            run(&sv(&["serve", "--follow", "127.0.0.1:1"])),
+            Err(CliError::Usage(m)) if m.contains("--data-dir")
+        ));
+        let dir = tmp("gee_cli_follow_nodir");
+        let r = run(&sv(&[
+            "serve",
+            "--follow",
+            "127.0.0.1:1",
+            "--data-dir",
+            &dir,
+        ]));
+        assert!(matches!(r, Err(CliError::Usage(m)) if m.contains("--listen")));
+        // --replicate without --data-dir is refused before binding anything.
+        let graph = tmp("gee_cli_follow_nodir.txt");
+        run(&sv(&[
+            "generate",
+            "--kind",
+            "er",
+            "--vertices",
+            "30",
+            "--edges",
+            "60",
+            "--out",
+            &graph,
+        ]))
+        .unwrap();
+        let r = run(&sv(&[
+            "serve",
+            "--graph",
+            &graph,
+            "--listen",
+            "127.0.0.1:0",
+            "--max-conns",
+            "0",
+            "--replicate",
+            "127.0.0.1:0",
+        ]));
+        assert!(matches!(r, Err(CliError::Usage(m)) if m.contains("--data-dir")));
+        std::fs::remove_file(&graph).ok();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,7 +24,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::index::SearchPolicy;
-use crate::metrics::{elapsed_us, MetricsReport, ServeMetrics};
+use crate::metrics::{elapsed_us, MetricsReport, ReplicationReport, ServeMetrics};
 use crate::registry::{Registry, Update};
 use crate::snapshot::{ShardBlock, Snapshot};
 use crate::ServeError;
@@ -296,7 +296,7 @@ pub enum Response {
 /// wire contract. With `Stats { at_epoch: Some(e) }` the
 /// per-snapshot fields (`epoch`, `num_labeled`) describe the pinned
 /// epoch; `oldest_epoch` and the counters always describe the present.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GraphReport {
     pub graph: String,
     pub epoch: u64,
@@ -313,6 +313,62 @@ pub struct GraphReport {
     pub ann_indexed_shards: usize,
     pub queries_served: u64,
     pub updates_applied: u64,
+    /// Replication role and lag gauges (protocol v5). `None` — the key
+    /// omitted on the wire — unless this server is a replication leader
+    /// or follower, so pre-v5 reports stay byte-identical.
+    pub replication: Option<ReplicationReport>,
+}
+
+// Hand-written wire encoding for `GraphReport`, for the same reason as
+// `MetricsReport`'s (see `crate::metrics`): the `replication` key is
+// emitted only when the block is present, keeping pre-v5 `Stats`
+// responses byte-identical; pre-v5 frames decode with
+// `replication: None`.
+impl Serialize for GraphReport {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut fields = vec![
+            ("graph".to_string(), self.graph.to_value()),
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("oldest_epoch".to_string(), self.oldest_epoch.to_value()),
+            ("num_vertices".to_string(), self.num_vertices.to_value()),
+            ("dim".to_string(), self.dim.to_value()),
+            ("num_shards".to_string(), self.num_shards.to_value()),
+            ("num_labeled".to_string(), self.num_labeled.to_value()),
+            (
+                "ann_indexed_shards".to_string(),
+                self.ann_indexed_shards.to_value(),
+            ),
+            ("queries_served".to_string(), self.queries_served.to_value()),
+            (
+                "updates_applied".to_string(),
+                self.updates_applied.to_value(),
+            ),
+        ];
+        if let Some(r) = &self.replication {
+            fields.push(("replication".to_string(), r.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for GraphReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::de_field;
+        Ok(GraphReport {
+            graph: Deserialize::from_value(de_field(v, "graph")?)?,
+            epoch: Deserialize::from_value(de_field(v, "epoch")?)?,
+            oldest_epoch: Deserialize::from_value(de_field(v, "oldest_epoch")?)?,
+            num_vertices: Deserialize::from_value(de_field(v, "num_vertices")?)?,
+            dim: Deserialize::from_value(de_field(v, "dim")?)?,
+            num_shards: Deserialize::from_value(de_field(v, "num_shards")?)?,
+            num_labeled: Deserialize::from_value(de_field(v, "num_labeled")?)?,
+            ann_indexed_shards: Deserialize::from_value(de_field(v, "ann_indexed_shards")?)?,
+            queries_served: Deserialize::from_value(de_field(v, "queries_served")?)?,
+            updates_applied: Deserialize::from_value(de_field(v, "updates_applied")?)?,
+            replication: Deserialize::from_value(de_field(v, "replication")?)?,
+        })
+    }
 }
 
 /// A request addressed to a named graph, for batch submission. Part of
@@ -367,6 +423,12 @@ impl Engine {
     /// The underlying registry (for registration and admin).
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// An owning handle to the registry — what a
+    /// [`ReplicationListener`](crate::ReplicationListener) attaches to.
+    pub fn registry_handle(&self) -> Arc<Registry> {
+        self.registry.clone()
     }
 
     // The named methods below mirror [`Client`](crate::Client) exactly
@@ -700,6 +762,7 @@ impl Engine {
                     ann_indexed_shards: ann_indexed_shards(snap),
                     queries_served: entry.queries_served.load(Ordering::Relaxed),
                     updates_applied: entry.updates_applied.load(Ordering::Relaxed),
+                    replication: self.registry.replication_report(),
                 }))
             }
             Request::Metrics => {
@@ -724,6 +787,7 @@ impl Engine {
                     wal_fsyncs: self.registry.wal_fsyncs(),
                     ivf_builds: m.ivf_builds.load(Ordering::Relaxed),
                     ivf_hits: m.ivf_hits.load(Ordering::Relaxed),
+                    replication: self.registry.replication_report(),
                 }))
             }
             Request::ApplyUpdates { .. } => unreachable!("writes handled in execute_write"),

@@ -42,10 +42,11 @@
 //! * **Version negotiation** — a connection starts with
 //!   `ClientFrame::Hello { min_version, max_version }`; the server picks
 //!   the highest mutually supported version (currently
-//!   [`wire::PROTOCOL_VERSION`] = 4; v1–v3 are still spoken, and the
-//!   v2 `at_epoch` / v3 `search` / v4 `Metrics` extensions are additive
-//!   — see [`wire`]'s module docs) and answers `ServerFrame::HelloAck`,
-//!   or a typed [`ServeError::VersionUnsupported`] and closes.
+//!   [`wire::PROTOCOL_VERSION`] = 5; v1–v4 are still spoken, and the
+//!   v2 `at_epoch` / v3 `search` / v4 `Metrics` / v5 replication
+//!   extensions are additive — see [`wire`]'s module docs) and answers
+//!   `ServerFrame::HelloAck`, or a typed
+//!   [`ServeError::VersionUnsupported`] and closes.
 //! * **Requests** — `ClientFrame::Batch { id, requests }` carries an
 //!   ordered [`Envelope`] batch that the server feeds to
 //!   [`Engine::execute_batch`]; the response echoes the `id`, which lets
@@ -149,6 +150,30 @@
 //! binary, and `gee serve --data-dir` / `gee recover` on the command
 //! line.
 //!
+//! # Replication
+//!
+//! The WAL doubles as a replication stream ([`replicate`]): a durable
+//! **leader** exposes a [`ReplicationListener`] that ships committed WAL
+//! records — CRC-framed, LSN-addressed — to any number of
+//! **followers**, each a [`Follower`] opened with its own
+//! [`Durability::Wal`] directory (`gee serve --follow <addr>` on the
+//! command line). A follower persists every shipped record through its
+//! own WAL before replaying it through the same dirty-tracking apply
+//! path the leader ran, so every published epoch on the follower is
+//! **fingerprint-identical** to the leader's — epoch-pinned reads answer
+//! byte-for-byte the same on either node. A follower that requests
+//! history behind the leader's compaction horizon is bootstrapped from
+//! the leader's latest checkpoint first. Followers serve all reads
+//! (pins, ANN policies, `Stats`/`Metrics`) while trailing, reject writes
+//! with the typed [`ServeError::ReadOnlyReplica`]
+//! ([`ErrorCode::ReadOnlyReplica`] = 15), reconnect with backoff, and
+//! resume from their durable high-water LSN after a crash. Replication
+//! lag (epochs and LSNs) and shipped-record counters surface through the
+//! additive `replication` block of [`GraphReport`]/[`MetricsReport`]
+//! (protocol v5). `tests/replication.rs` proves convergence under
+//! concurrent writer churn; `tests/replication_frames.rs` fuzzes the
+//! stream framing and injects torn/bit-flipped streams.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use gee_core::Labels;
@@ -180,6 +205,7 @@ pub mod engine;
 pub mod index;
 pub mod metrics;
 pub mod registry;
+pub mod replicate;
 pub mod server;
 pub mod shard;
 pub mod snapshot;
@@ -190,10 +216,11 @@ pub mod wire;
 pub use client::Client;
 pub use engine::{Engine, Envelope, GraphReport, Request, Response};
 pub use index::{IvfIndex, SearchPolicy, ANN_MIN_SHARD_ROWS};
-pub use metrics::{HistogramReport, MetricsReport};
+pub use metrics::{HistogramReport, MetricsReport, ReplicationReport, ReplicationRole};
 pub use registry::{
     BackpressurePolicy, HistoryPolicy, Registry, RegistryConfig, Update, WriteSlot,
 };
+pub use replicate::{Follower, ReplicationListener};
 pub use server::{Server, ServerHandle};
 pub use shard::ShardLayout;
 pub use snapshot::{ShardBlock, Snapshot};
@@ -270,6 +297,11 @@ pub enum ServeError {
         pending: usize,
         max_pending: usize,
     },
+    /// A write (`ApplyUpdates`, `register`, `deregister`) was sent to a
+    /// read-only replica. Replicas apply mutations only through the
+    /// replication stream from their leader ([`replicate`]); direct
+    /// writes must go to the leader named here.
+    ReadOnlyReplica { graph: String, leader: String },
 }
 
 impl ServeError {
@@ -308,6 +340,7 @@ impl ServeError {
             ServeError::Storage { .. } => ErrorCode::Storage,
             ServeError::EpochEvicted { .. } => ErrorCode::EpochEvicted,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::ReadOnlyReplica { .. } => ErrorCode::ReadOnlyReplica,
         }
     }
 }
@@ -331,6 +364,7 @@ pub enum ErrorCode {
     Storage,
     EpochEvicted,
     Overloaded,
+    ReadOnlyReplica,
 }
 
 impl ErrorCode {
@@ -351,6 +385,7 @@ impl ErrorCode {
             ErrorCode::Storage => 12,
             ErrorCode::EpochEvicted => 13,
             ErrorCode::Overloaded => 14,
+            ErrorCode::ReadOnlyReplica => 15,
         }
     }
 }
@@ -433,6 +468,13 @@ impl std::fmt::Display for ServeError {
                      flight (max {max_pending}); retry later"
                 )
             }
+            ServeError::ReadOnlyReplica { graph, leader } => {
+                write!(
+                    f,
+                    "graph {graph:?} is served by a read-only replica; \
+                     send writes to the leader at {leader}"
+                )
+            }
         }
     }
 }
@@ -446,7 +488,7 @@ mod tests {
     #[test]
     fn error_codes_are_stable() {
         // The wire contract: these numbers must never change.
-        let expected: [(ErrorCode, u16); 14] = [
+        let expected: [(ErrorCode, u16); 15] = [
             (ErrorCode::UnknownGraph, 1),
             (ErrorCode::VertexOutOfRange, 2),
             (ErrorCode::ClassOutOfRange, 3),
@@ -461,6 +503,7 @@ mod tests {
             (ErrorCode::Storage, 12),
             (ErrorCode::EpochEvicted, 13),
             (ErrorCode::Overloaded, 14),
+            (ErrorCode::ReadOnlyReplica, 15),
         ];
         for (code, n) in expected {
             assert_eq!(code.as_u16(), n, "{code:?}");
@@ -542,6 +585,13 @@ mod tests {
                     max_pending: 4,
                 },
                 ErrorCode::Overloaded,
+            ),
+            (
+                ServeError::ReadOnlyReplica {
+                    graph: "g".into(),
+                    leader: "10.0.0.1:7070".into(),
+                },
+                ErrorCode::ReadOnlyReplica,
             ),
         ];
         for (err, code) in cases {

@@ -19,7 +19,7 @@
 //! writers race. Consumers must treat reports as monotone gauges, not
 //! exact ledgers.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +141,17 @@ pub(crate) struct ServeMetrics {
     /// IVF probes that found a shard's index already cached (counted
     /// per shard block touched, not per request).
     pub(crate) ivf_hits: AtomicU64,
+    /// WAL records shipped to followers by the replication listener.
+    pub(crate) shipped_records: AtomicU64,
+    /// Encoded record bytes shipped to followers (frame payloads, not
+    /// TCP bytes).
+    pub(crate) shipped_bytes: AtomicU64,
+    /// Follower connections currently attached to the replication
+    /// listener.
+    pub(crate) follower_conns: AtomicU64,
+    /// Set once a replication listener is attached to this registry; a
+    /// leader's reports carry a `replication` block only from then on.
+    pub(crate) replicating: AtomicBool,
 }
 
 impl ServeMetrics {
@@ -156,6 +167,10 @@ impl ServeMetrics {
             overloaded: AtomicU64::new(0),
             ivf_builds: AtomicU64::new(0),
             ivf_hits: AtomicU64::new(0),
+            shipped_records: AtomicU64::new(0),
+            shipped_bytes: AtomicU64::new(0),
+            follower_conns: AtomicU64::new(0),
+            replicating: AtomicBool::new(false),
         }
     }
 
@@ -182,7 +197,7 @@ pub(crate) fn elapsed_us(start: std::time::Instant) -> u64 {
 /// addressed graph exactly as [`GraphReport`](crate::GraphReport) does
 /// — the two endpoints never disagree — while the histograms and
 /// counters describe the whole registry (every graph's traffic).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricsReport {
     pub graph: String,
     /// Published epoch of the addressed graph.
@@ -217,6 +232,121 @@ pub struct MetricsReport {
     pub ivf_builds: u64,
     /// IVF probes answered from an already-cached shard index.
     pub ivf_hits: u64,
+    /// Replication role and lag gauges (protocol v5). `None` — the key
+    /// omitted on the wire — unless this registry is a replication
+    /// leader or follower, so pre-v5 reports stay byte-identical.
+    pub replication: Option<ReplicationReport>,
+}
+
+// Hand-written wire encoding for `MetricsReport`: the derive would
+// always emit a `replication` key, changing every v4 frame. Emitting
+// the key only when the block is present keeps pre-v5 reports
+// byte-identical (`tests/wire_roundtrip.rs` pins the exact bytes), and
+// v4 frames decode with `replication: None`.
+impl Serialize for MetricsReport {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        let mut fields = vec![
+            ("graph".to_string(), self.graph.to_value()),
+            ("epoch".to_string(), self.epoch.to_value()),
+            ("oldest_epoch".to_string(), self.oldest_epoch.to_value()),
+            ("history_depth".to_string(), self.history_depth.to_value()),
+            (
+                "ann_indexed_shards".to_string(),
+                self.ann_indexed_shards.to_value(),
+            ),
+            ("queries_served".to_string(), self.queries_served.to_value()),
+            (
+                "updates_applied".to_string(),
+                self.updates_applied.to_value(),
+            ),
+            ("classify_us".to_string(), self.classify_us.to_value()),
+            ("similar_us".to_string(), self.similar_us.to_value()),
+            ("embed_row_us".to_string(), self.embed_row_us.to_value()),
+            ("stats_us".to_string(), self.stats_us.to_value()),
+            ("metrics_us".to_string(), self.metrics_us.to_value()),
+            (
+                "apply_updates_us".to_string(),
+                self.apply_updates_us.to_value(),
+            ),
+            ("coalesce".to_string(), self.coalesce.to_value()),
+            ("overloaded".to_string(), self.overloaded.to_value()),
+            ("wal_fsyncs".to_string(), self.wal_fsyncs.to_value()),
+            ("ivf_builds".to_string(), self.ivf_builds.to_value()),
+            ("ivf_hits".to_string(), self.ivf_hits.to_value()),
+        ];
+        if let Some(r) = &self.replication {
+            fields.push(("replication".to_string(), r.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for MetricsReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        use serde::de_field;
+        Ok(MetricsReport {
+            graph: Deserialize::from_value(de_field(v, "graph")?)?,
+            epoch: Deserialize::from_value(de_field(v, "epoch")?)?,
+            oldest_epoch: Deserialize::from_value(de_field(v, "oldest_epoch")?)?,
+            history_depth: Deserialize::from_value(de_field(v, "history_depth")?)?,
+            ann_indexed_shards: Deserialize::from_value(de_field(v, "ann_indexed_shards")?)?,
+            queries_served: Deserialize::from_value(de_field(v, "queries_served")?)?,
+            updates_applied: Deserialize::from_value(de_field(v, "updates_applied")?)?,
+            classify_us: Deserialize::from_value(de_field(v, "classify_us")?)?,
+            similar_us: Deserialize::from_value(de_field(v, "similar_us")?)?,
+            embed_row_us: Deserialize::from_value(de_field(v, "embed_row_us")?)?,
+            stats_us: Deserialize::from_value(de_field(v, "stats_us")?)?,
+            metrics_us: Deserialize::from_value(de_field(v, "metrics_us")?)?,
+            apply_updates_us: Deserialize::from_value(de_field(v, "apply_updates_us")?)?,
+            coalesce: Deserialize::from_value(de_field(v, "coalesce")?)?,
+            overloaded: Deserialize::from_value(de_field(v, "overloaded")?)?,
+            wal_fsyncs: Deserialize::from_value(de_field(v, "wal_fsyncs")?)?,
+            ivf_builds: Deserialize::from_value(de_field(v, "ivf_builds")?)?,
+            ivf_hits: Deserialize::from_value(de_field(v, "ivf_hits")?)?,
+            replication: Deserialize::from_value(de_field(v, "replication")?)?,
+        })
+    }
+}
+
+/// Which side of the replication stream a server is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationRole {
+    Leader,
+    Follower,
+}
+
+/// The additive protocol-v5 `replication` block carried by both
+/// [`GraphReport`](crate::GraphReport) (`Stats`) and [`MetricsReport`]
+/// (`Metrics`). Both endpoints compute it from the same registry-wide
+/// state — they never disagree at quiescence — so lag gauges are
+/// registry-wide (worst graph), not per addressed graph.
+///
+/// A leader fills the `shipped_*` counters and `follower_conns`; a
+/// follower fills the lag gauges from its pull loop's last heartbeat.
+/// Fields that belong to the other role read zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationReport {
+    pub role: ReplicationRole,
+    /// Follower: the pull loop currently holds a live leader
+    /// connection. Leader: at least one follower is attached.
+    pub connected: bool,
+    /// Leader: WAL records shipped to followers (all connections,
+    /// lifetime).
+    pub shipped_records: u64,
+    /// Leader: encoded record bytes shipped to followers.
+    pub shipped_bytes: u64,
+    /// Leader: follower connections attached right now.
+    pub follower_conns: u64,
+    /// Follower: published-epoch lag behind the leader, worst graph
+    /// (from the last heartbeat; 0 while caught up or not yet told).
+    pub lag_epochs: u64,
+    /// Follower: LSN delta between the leader's append head and the
+    /// local durable high water (from the last heartbeat).
+    pub lag_lsns: u64,
+    /// The local WAL high-water LSN (next LSN to be assigned): the
+    /// resume point a restart would request. Both roles report it.
+    pub last_durable_lsn: u64,
 }
 
 #[cfg(test)]

@@ -79,7 +79,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::checkpoint::{self, Checkpoint, GraphCheckpoint};
 use crate::index::SearchPolicy;
-use crate::metrics::ServeMetrics;
+use crate::metrics::{ReplicationReport, ReplicationRole, ServeMetrics};
+use crate::replicate::ReplicationStatus;
 use crate::shard::ShardLayout;
 use crate::snapshot::{ShardBlock, Snapshot};
 use crate::wal::{self, Durability, WalRecord, WalWriter};
@@ -356,6 +357,11 @@ pub struct Registry {
     backpressure: BackpressurePolicy,
     search: SearchPolicy,
     durable: Option<Mutex<DurableLog>>,
+    /// `Some` on a read-only replica: the public write entry points are
+    /// rejected with [`ServeError::ReadOnlyReplica`] and only the
+    /// replication pull loop mutates (via [`Registry::apply_replicated`]
+    /// / [`Registry::install_bootstrap`]). See [`crate::replicate`].
+    replica: Option<Arc<ReplicationStatus>>,
     /// Registry-wide observability counters (see [`crate::metrics`]).
     metrics: ServeMetrics,
 }
@@ -369,6 +375,7 @@ impl std::fmt::Debug for Registry {
             .field("backpressure", &self.backpressure)
             .field("search", &self.search)
             .field("durable", &self.durable.is_some())
+            .field("replica", &self.replica.is_some())
             .finish()
     }
 }
@@ -405,6 +412,26 @@ impl Registry {
     /// surfaces as [`ServeError::Corrupt`]; it never panics and never
     /// silently serves a shortened history.
     pub fn with_config(config: RegistryConfig) -> Result<Self, ServeError> {
+        Self::open_inner(config, None)
+    }
+
+    /// Open a **read-only replica** registry: same recovery as
+    /// [`Registry::with_config`] (the config must be durable — a replica
+    /// without its own WAL could not resume after a crash), plus two
+    /// bootstrap crash-window repairs, with all public write entry
+    /// points rejected as [`ServeError::ReadOnlyReplica`]. Used by
+    /// [`crate::replicate::Follower`].
+    pub(crate) fn open_replica(
+        config: RegistryConfig,
+        status: Arc<ReplicationStatus>,
+    ) -> Result<Self, ServeError> {
+        Self::open_inner(config, Some(status))
+    }
+
+    fn open_inner(
+        config: RegistryConfig,
+        replica: Option<Arc<ReplicationStatus>>,
+    ) -> Result<Self, ServeError> {
         let RegistryConfig {
             default_shards,
             history,
@@ -424,6 +451,10 @@ impl Registry {
             checkpoint_every,
         } = durability
         else {
+            assert!(
+                replica.is_none(),
+                "a replica registry must be durable (its WAL is the resume point)"
+            );
             return Ok(Registry {
                 entries: RwLock::new(HashMap::new()),
                 default_shards: default_shards.max(1),
@@ -431,6 +462,7 @@ impl Registry {
                 backpressure,
                 search,
                 durable: None,
+                replica: None,
                 metrics: ServeMetrics::new(),
             });
         };
@@ -444,7 +476,23 @@ impl Registry {
         checkpoint::sweep_orphaned_temps(&dir)?;
         let loaded = checkpoint::load_latest(&dir)?;
         let min_lsn = loaded.as_ref().map_or(0, |(c, _)| c.lsn);
-        let scan = wal::scan(&dir, min_lsn)?;
+        // Replica bootstrap crash window #1: a follower installing a
+        // shipped checkpoint wipes its superseded log *before* creating
+        // the fresh segment ([`WalWriter::reset_to`]); a crash in
+        // between leaves a durable checkpoint and no segments at all.
+        // The checkpoint is self-contained, so restart the log there.
+        // Leaders keep the strict behavior — for them a segment-less
+        // non-empty dir means someone deleted log history.
+        let scan = if replica.is_some() && min_lsn > 0 && wal::segment_paths(&dir)?.is_empty() {
+            wal::LogScan {
+                records: Vec::new(),
+                next_lsn: min_lsn,
+                last_segment_start: None,
+                truncated_bytes: 0,
+            }
+        } else {
+            wal::scan(&dir, min_lsn)?
+        };
         let mut entries: HashMap<String, Arc<Entry>> = HashMap::new();
         if let Some((ckpt, path)) = loaded {
             for g in ckpt.graphs {
@@ -477,7 +525,17 @@ impl Registry {
                 }
             })?;
         }
-        let writer = WalWriter::open(&dir, sync, &scan)?;
+        let mut writer = WalWriter::open(&dir, sync, &scan)?;
+        // Replica bootstrap crash window #2: the shipped checkpoint hit
+        // disk but the log reset did not finish — the surviving log is
+        // the follower's superseded pre-bootstrap history, ending before
+        // the checkpoint's LSN. Finish the reset now (every record the
+        // old log held is covered by the checkpoint). On a leader this
+        // state is unreachable: its checkpoints are always taken at the
+        // log head.
+        if replica.is_some() && writer.next_lsn() < min_lsn {
+            writer.reset_to(min_lsn)?;
+        }
         Ok(Registry {
             entries: RwLock::new(entries),
             default_shards: default_shards.max(1),
@@ -491,6 +549,7 @@ impl Registry {
                 records_since_checkpoint: 0,
                 _lock: lock,
             })),
+            replica,
             metrics: ServeMetrics::new(),
         })
     }
@@ -586,6 +645,7 @@ impl Registry {
         labels: &Labels,
         shards: usize,
     ) -> Result<Arc<Snapshot>, ServeError> {
+        self.check_writable(name)?;
         assert_eq!(
             el.num_vertices(),
             labels.len(),
@@ -643,6 +703,7 @@ impl Registry {
     /// Re-registering the same name afterwards starts a fresh epoch-0
     /// lineage.
     pub fn deregister(&self, name: &str) -> Result<bool, ServeError> {
+        self.check_writable(name)?;
         // The log lock must be held across the in-memory removal (as
         // register/apply_updates hold it across their mutations):
         // releasing it in between would let a concurrent durable write
@@ -780,6 +841,7 @@ impl Registry {
         name: &str,
         updates: &[Update],
     ) -> Result<(usize, Arc<Snapshot>), ServeError> {
+        self.check_writable(name)?;
         // Back-pressure gate, before any lock: an overloaded graph
         // rejects immediately rather than joining the queue on the
         // writer/log locks.
@@ -830,6 +892,172 @@ impl Registry {
             log.take_checkpoint(&entries)?;
         }
         Ok(())
+    }
+
+    /// Reject the public durable write entry points on a read-only
+    /// replica: only the replication pull loop may mutate, or WAL order
+    /// would diverge from the leader's.
+    fn check_writable(&self, graph: &str) -> Result<(), ServeError> {
+        match &self.replica {
+            Some(status) => Err(ServeError::ReadOnlyReplica {
+                graph: graph.to_string(),
+                leader: status.leader().to_string(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Apply one record shipped by the leader: durably append it at
+    /// exactly the expected LSN, then run it through the same `replay`
+    /// path recovery uses — which publishes through the live entries
+    /// map, so followers re-materialize the leader's epochs with
+    /// identical dirty-tracking structure (fingerprint-identical
+    /// snapshots). The follower takes its own checkpoints on its own
+    /// cadence, exactly like a leader applying live traffic.
+    pub(crate) fn apply_replicated(&self, lsn: u64, record: &WalRecord) -> Result<(), ServeError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .expect("replica registries are always durable");
+        let mut log = durable.lock().expect("log lock poisoned");
+        let next = log.writer.next_lsn();
+        if lsn != next {
+            return Err(ServeError::Corrupt {
+                path: log.dir.display().to_string(),
+                detail: format!("replication stream sent lsn {lsn}, local log expects {next}"),
+            });
+        }
+        log.writer.append(record)?;
+        {
+            let mut entries = self.entries.write().expect("registry lock poisoned");
+            replay(&mut entries, record, self.history, self.backpressure).map_err(|detail| {
+                ServeError::Corrupt {
+                    path: log.dir.display().to_string(),
+                    detail: format!("applying replicated lsn {lsn}: {detail}"),
+                }
+            })?;
+        }
+        self.bump_and_maybe_checkpoint(&mut log)
+    }
+
+    /// Install a leader-shipped bootstrap checkpoint, replacing all
+    /// local state: the follower's log is behind the leader's compaction
+    /// horizon, so its own history is unreachable from the stream.
+    /// Durable-first ordering — the checkpoint hits disk before the
+    /// local log is reset to its LSN — so every crash window recovers to
+    /// the checkpoint (see the replica repairs in `open_inner`).
+    pub(crate) fn install_bootstrap(&self, ckpt: Checkpoint) -> Result<(), ServeError> {
+        let durable = self
+            .durable
+            .as_ref()
+            .expect("replica registries are always durable");
+        let mut log = durable.lock().expect("log lock poisoned");
+        let lsn = ckpt.lsn;
+        checkpoint::save(&log.dir, &ckpt)?;
+        let mut entries: HashMap<String, Arc<Entry>> = HashMap::new();
+        for g in ckpt.graphs {
+            let writer = DynamicGee::from_state(g.state).map_err(|detail| ServeError::Corrupt {
+                path: format!("bootstrap checkpoint at lsn {lsn}"),
+                detail: format!("graph {:?}: {detail}", g.name),
+            })?;
+            entries.insert(
+                g.name,
+                Arc::new(make_entry(
+                    writer,
+                    g.shards,
+                    g.epoch,
+                    g.updates_applied,
+                    self.history,
+                    self.backpressure,
+                )),
+            );
+        }
+        log.writer.reset_to(lsn)?;
+        checkpoint::retire_older_than(&log.dir, lsn)?;
+        log.records_since_checkpoint = 0;
+        *self.entries.write().expect("registry lock poisoned") = entries;
+        Ok(())
+    }
+
+    /// The WAL high-water mark — the LSN the next durable record will
+    /// be assigned (also a follower's resume point). `None` on an
+    /// in-memory registry.
+    pub fn wal_high_water(&self) -> Option<u64> {
+        self.durable
+            .as_ref()
+            .map(|d| d.lock().expect("log lock poisoned").writer.next_lsn())
+    }
+
+    /// The LSN covered by the latest on-disk checkpoint — the stream
+    /// floor a leader can serve without a bootstrap. `None` on an
+    /// in-memory registry or before the first checkpoint.
+    pub fn latest_checkpoint_lsn(&self) -> Result<Option<u64>, ServeError> {
+        let Some(dir) = self.data_dir() else {
+            return Ok(None);
+        };
+        Ok(checkpoint::checkpoint_paths(&dir)?
+            .pop()
+            .map(|(lsn, _)| lsn))
+    }
+
+    /// Published epoch of every graph, sorted by name (the leader's
+    /// heartbeat payload; what follower lag is measured against).
+    pub fn published_epochs(&self) -> Vec<(String, u64)> {
+        let entries = self.entries.read().expect("registry lock poisoned");
+        let mut epochs: Vec<(String, u64)> = entries
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.snapshot().epoch))
+            .collect();
+        drop(entries);
+        epochs.sort();
+        epochs
+    }
+
+    /// Whether this registry is a read-only replica.
+    pub fn is_replica(&self) -> bool {
+        self.replica.is_some()
+    }
+
+    /// The protocol-v5 `replication` block carried by `Stats` and
+    /// `Metrics`, or `None` when this registry neither leads nor
+    /// follows. Both endpoints call this, so they never disagree at
+    /// quiescence.
+    pub fn replication_report(&self) -> Option<ReplicationReport> {
+        if let Some(status) = &self.replica {
+            let last_durable_lsn = self.wal_high_water().unwrap_or(0);
+            let leader_next = status.leader_next_lsn();
+            let leader_epochs = status.leader_epochs();
+            let entries = self.entries.read().expect("registry lock poisoned");
+            let mut lag_epochs = 0u64;
+            for (name, leader_epoch) in &leader_epochs {
+                let local = entries.get(name).map_or(0, |e| e.snapshot().epoch);
+                lag_epochs = lag_epochs.max(leader_epoch.saturating_sub(local));
+            }
+            Some(ReplicationReport {
+                role: ReplicationRole::Follower,
+                connected: status.is_connected(),
+                shipped_records: 0,
+                shipped_bytes: 0,
+                follower_conns: 0,
+                lag_epochs,
+                lag_lsns: leader_next.saturating_sub(last_durable_lsn),
+                last_durable_lsn,
+            })
+        } else if self.metrics.replicating.load(Ordering::Acquire) {
+            let follower_conns = self.metrics.follower_conns.load(Ordering::Acquire);
+            Some(ReplicationReport {
+                role: ReplicationRole::Leader,
+                connected: follower_conns > 0,
+                shipped_records: self.metrics.shipped_records.load(Ordering::Relaxed),
+                shipped_bytes: self.metrics.shipped_bytes.load(Ordering::Relaxed),
+                follower_conns,
+                lag_epochs: 0,
+                lag_lsns: 0,
+                last_durable_lsn: self.wal_high_water().unwrap_or(0),
+            })
+        } else {
+            None
+        }
     }
 }
 

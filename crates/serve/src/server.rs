@@ -26,7 +26,7 @@ use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, ClientFrame, ServerFrame, MAX_FRAME_LEN};
 use crate::ServeError;
 
-/// Serves an [`Engine`] over the wire protocol (v4 current, v1–v3 spoken).
+/// Serves an [`Engine`] over the wire protocol (v5 current, v1–v4 spoken).
 #[derive(Clone)]
 pub struct Server {
     engine: Arc<Engine>,
@@ -166,44 +166,12 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = stop.clone();
         let server = Server::new(engine);
-        let accept_thread = std::thread::spawn(move || {
-            let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
-            let mut accepted = 0usize;
-            while max_conns.is_none_or(|m| accepted < m) {
-                let stream = match listener.accept() {
-                    Ok((stream, _)) => stream,
-                    Err(_) => {
-                        // Persistent accept failures (EMFILE under fd
-                        // pressure, EINTR storms) must not busy-spin the
-                        // core; back off briefly and retry.
-                        if accept_stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                if accept_stop.load(Ordering::SeqCst) {
-                    break; // the shutdown self-connection
-                }
-                accepted += 1;
-                // Reap handles of finished connections so a long-lived
-                // server doesn't accumulate one JoinHandle per
-                // connection ever accepted.
-                conn_threads.retain(|t| !t.is_finished());
-                let server = server.clone();
-                conn_threads.push(std::thread::spawn(move || {
-                    if let Ok(mut transport) = TcpTransport::from_stream(stream) {
-                        // Peer-caused failures are the peer's problem;
-                        // this thread just ends.
-                        let _ = server.serve_connection(&mut transport);
-                    }
-                }));
-            }
-            for t in conn_threads {
-                let _ = t.join();
+        let accept_thread = spawn_accept_loop(listener, stop.clone(), max_conns, move |stream| {
+            if let Ok(mut transport) = TcpTransport::from_stream(stream) {
+                // Peer-caused failures are the peer's problem; this
+                // thread just ends.
+                let _ = server.serve_connection(&mut transport);
             }
         });
         Ok(ServerHandle {
@@ -214,6 +182,54 @@ impl Server {
     }
 }
 
+/// TCP accept-loop scaffolding shared by [`Server::listen`] and the
+/// replication listener
+/// ([`ReplicationListener`](crate::replicate::ReplicationListener)):
+/// accept until `stop` is raised (or `max_conns` connections have been
+/// accepted), back off on accept errors, and hand each stream to
+/// `handle` on its own thread, reaping finished threads as it goes.
+/// Raising `stop` takes effect at the next accept; the owner unblocks
+/// the loop with a self-connection (see [`ServerHandle`]).
+pub(crate) fn spawn_accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    max_conns: Option<usize>,
+    handle: impl Fn(TcpStream) + Clone + Send + 'static,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+        let mut accepted = 0usize;
+        while max_conns.is_none_or(|m| accepted < m) {
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(_) => {
+                    // Persistent accept failures (EMFILE under fd
+                    // pressure, EINTR storms) must not busy-spin the
+                    // core; back off briefly and retry.
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    continue;
+                }
+            };
+            if stop.load(Ordering::SeqCst) {
+                break; // the shutdown self-connection
+            }
+            accepted += 1;
+            // Reap handles of finished connections so a long-lived
+            // server doesn't accumulate one JoinHandle per connection
+            // ever accepted.
+            conn_threads.retain(|t| !t.is_finished());
+            let handle = handle.clone();
+            conn_threads.push(std::thread::spawn(move || handle(stream)));
+        }
+        for t in conn_threads {
+            let _ = t.join();
+        }
+    })
+}
+
 /// Owner of a listening server; dropping it shuts the server down.
 pub struct ServerHandle {
     local_addr: std::net::SocketAddr,
@@ -222,6 +238,20 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
+    /// Assemble a handle around an accept loop spawned with
+    /// [`spawn_accept_loop`] (shared with the replication listener).
+    pub(crate) fn from_parts(
+        local_addr: std::net::SocketAddr,
+        stop: Arc<AtomicBool>,
+        accept_thread: JoinHandle<()>,
+    ) -> ServerHandle {
+        ServerHandle {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        }
+    }
+
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> std::net::SocketAddr {
         self.local_addr

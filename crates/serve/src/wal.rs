@@ -826,6 +826,33 @@ impl WalWriter {
         Ok(lsn)
     }
 
+    /// Discard the entire log and restart it at `start_lsn`, as if the
+    /// directory had been cleanly rotated there. Used by a replica
+    /// installing a checkpoint bootstrap from its leader: the shipped
+    /// checkpoint covers all history before `start_lsn`, superseding
+    /// whatever (older) log the replica had.
+    ///
+    /// Crash ordering: old segments are removed newest-first *before*
+    /// the fresh segment is created, so an interruption leaves either a
+    /// front-tiling prefix of the old log (recovery repairs it by
+    /// resetting again — the covering checkpoint is already durable) or
+    /// no segments at all (recovery synthesizes an empty log at the
+    /// checkpoint's LSN). See `Registry`'s replica recovery path.
+    pub fn reset_to(&mut self, start_lsn: u64) -> Result<(), ServeError> {
+        let mut segments = segment_paths(&self.dir)?;
+        segments.sort_by_key(|&(lsn, _)| std::cmp::Reverse(lsn));
+        for (_, path) in segments {
+            std::fs::remove_file(&path)
+                .map_err(|e| ServeError::storage(format!("removing {}: {e}", path.display())))?;
+        }
+        sync_dir(&self.dir)?;
+        let fresh = Self::create_segment(&self.dir, self.sync, start_lsn)?;
+        let fsyncs = self.fsyncs;
+        *self = fresh;
+        self.fsyncs = fsyncs;
+        Ok(())
+    }
+
     /// Roll to a fresh segment starting at the current `next_lsn` (called
     /// right after a checkpoint covering everything before it) and retire
     /// the fully-covered older segments.

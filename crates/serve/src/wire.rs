@@ -1,5 +1,5 @@
-//! Wire protocol: versioned, transport-agnostic frame types (v4 current,
-//! v1–v3 still spoken).
+//! Wire protocol: versioned, transport-agnostic frame types (v5 current,
+//! v1–v4 still spoken).
 //!
 //! A *frame* is one [`ClientFrame`] or [`ServerFrame`] encoded as compact
 //! JSON via the workspace serde layer (externally-tagged enums, exact
@@ -69,6 +69,29 @@
 //! [`METRICS_VERSION`] refuses to send `Metrics`: a downlevel server
 //! would reject the unknown variant as a malformed frame and close the
 //! connection, taking the client's pipelined batches with it.
+//!
+//! # Protocol v5: replication
+//!
+//! v5 is the read-replica release ([`crate::replicate`]). On the
+//! client-facing wire it adds:
+//!
+//! * the [`crate::ErrorCode::ReadOnlyReplica`] = 15 error code — a
+//!   write (`ApplyUpdates`) sent to a follower is rejected with it,
+//!   naming the leader to retry against;
+//! * an optional `replication` block on
+//!   [`GraphReport`](crate::GraphReport) and
+//!   [`MetricsReport`](crate::metrics::MetricsReport)
+//!   ([`ReplicationReport`](crate::metrics::ReplicationReport)): role,
+//!   shipped-record/byte counters on a leader, lag in epochs and LSNs
+//!   plus the durable high-water LSN on a follower.
+//!
+//! Like every extension before it, v5 is **additive**: a report from a
+//! non-replicating server omits the `replication` key entirely, so
+//! v1–v4 frames stay byte-identical (pinned by
+//! `tests/wire_roundtrip.rs`), and pre-v5 frames decode with
+//! `replication: None`. The leader→follower stream itself does *not*
+//! ride this protocol — it is a separate binary CRC-framed stream
+//! documented in [`crate::replicate`].
 
 use serde::{Deserialize, Serialize};
 
@@ -76,7 +99,7 @@ use crate::engine::{Envelope, Response};
 use crate::ServeError;
 
 /// Current (and highest supported) protocol version.
-pub const PROTOCOL_VERSION: u32 = 4;
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Oldest protocol version this build still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -90,6 +113,10 @@ pub const SEARCH_POLICY_VERSION: u32 = 3;
 
 /// First protocol version carrying the `Metrics` observability request.
 pub const METRICS_VERSION: u32 = 4;
+
+/// First protocol version carrying the `ReadOnlyReplica` error code and
+/// the additive `replication` block on `Stats`/`Metrics` reports.
+pub const REPLICA_VERSION: u32 = 5;
 
 /// Upper bound on one frame's encoded size (64 MiB). Both sides reject
 /// larger frames as a protocol violation instead of allocating blindly.
@@ -163,14 +190,16 @@ mod tests {
         assert_eq!(negotiate(3, 3), Ok(3));
         assert_eq!(negotiate(1, 4), Ok(4));
         assert_eq!(negotiate(4, 4), Ok(4));
+        assert_eq!(negotiate(1, 5), Ok(5), "v5-only clients still speak");
+        assert_eq!(negotiate(5, 5), Ok(5));
         assert_eq!(
             negotiate(1, 7),
             Ok(PROTOCOL_VERSION),
             "future-proof client downgrades"
         );
-        assert_eq!(negotiate(4, 7), Ok(4), "min within range downgrades too");
+        assert_eq!(negotiate(5, 7), Ok(5), "min within range downgrades too");
         assert!(matches!(
-            negotiate(5, 7),
+            negotiate(6, 7),
             Err(ServeError::VersionUnsupported { .. })
         ));
         assert!(matches!(

@@ -11,7 +11,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use gee_core::Labels;
-use gee_serve::{Engine, HistoryPolicy, Registry, RegistryConfig, SearchPolicy, Update};
+use gee_serve::{
+    Durability, Engine, HistoryPolicy, Registry, RegistryConfig, ReplicationListener,
+    ReplicationRole, SearchPolicy, SyncPolicy, Update,
+};
 
 const N: usize = 600;
 const K: usize = 5;
@@ -64,6 +67,13 @@ fn assert_quiescent_agreement(engine: &Engine) {
     );
     assert!(metrics.history_depth >= 1);
     assert!(metrics.oldest_epoch <= metrics.epoch);
+    // v5 replication block: both endpoints call the same
+    // `Registry::replication_report`, so at quiescence the whole block
+    // agrees (or is absent on both).
+    assert_eq!(
+        metrics.replication, stats.replication,
+        "Stats and Metrics replication blocks diverged"
+    );
 }
 
 #[test]
@@ -153,4 +163,68 @@ fn ann_index_counts_agree_after_index_builds() {
         .apply_updates("g", vec![Update::InsertEdge { u: 0, v: 9, w: 1.0 }])
         .unwrap();
     assert_quiescent_agreement(&engine);
+}
+
+/// The v5 gauges obey the same law: once a replication listener is
+/// attached, both endpoints must report the identical Leader block
+/// (`None` before, `Some` after — never one of each).
+#[test]
+fn replication_gauges_agree_between_endpoints() {
+    let dir = std::env::temp_dir().join(format!(
+        "gee_metrics_repl_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let el = gee_gen::erdos_renyi_gnm(80, 300, 3);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            80,
+            gee_gen::LabelSpec {
+                num_classes: 3,
+                labeled_fraction: 0.5,
+            },
+            2,
+        ),
+        3,
+    );
+    let reg = Arc::new(
+        Registry::with_config(RegistryConfig {
+            default_shards: 2,
+            durability: Durability::Wal {
+                dir,
+                sync: SyncPolicy::Always,
+                checkpoint_every: 10_000,
+            },
+            ..RegistryConfig::default()
+        })
+        .unwrap(),
+    );
+    reg.register("g", &el, &labels).unwrap();
+    let engine = Engine::new(reg.clone());
+
+    // Durable but not replicating: the block is absent from both.
+    let stats = engine.stats("g").unwrap();
+    let metrics = engine.metrics("g").unwrap();
+    assert_eq!(stats.replication, None);
+    assert_eq!(metrics.replication, None);
+
+    let listener = ReplicationListener::listen(reg, "127.0.0.1:0").unwrap();
+    let stats = engine
+        .stats("g")
+        .unwrap()
+        .replication
+        .expect("leader block");
+    let metrics = engine
+        .metrics("g")
+        .unwrap()
+        .replication
+        .expect("leader block");
+    assert_eq!(stats, metrics, "idle leader gauges must be identical");
+    assert_eq!(stats.role, ReplicationRole::Leader);
+    assert!(!stats.connected, "no follower attached");
+    listener.shutdown();
 }

@@ -5,8 +5,8 @@
 
 use gee_serve::wire::{decode, encode, ClientFrame, ServerFrame};
 use gee_serve::{
-    Envelope, ErrorCode, GraphReport, HistogramReport, MetricsReport, Request, Response,
-    SearchPolicy, ServeError, Update,
+    Envelope, ErrorCode, GraphReport, HistogramReport, MetricsReport, ReplicationReport,
+    ReplicationRole, Request, Response, SearchPolicy, ServeError, Update,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -107,6 +107,36 @@ fn arb_request() -> impl Strategy<Value = Request> {
     ]
 }
 
+fn arb_replication() -> impl Strategy<Value = Option<ReplicationReport>> {
+    prop_oneof![
+        Just(None),
+        (
+            any::<bool>(),
+            any::<bool>(),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<u64>(), any::<u64>()),
+        )
+            .prop_map(
+                |(leader, connected, (shipped_records, shipped_bytes, follower_conns), lags)| {
+                    Some(ReplicationReport {
+                        role: if leader {
+                            ReplicationRole::Leader
+                        } else {
+                            ReplicationRole::Follower
+                        },
+                        connected,
+                        shipped_records,
+                        shipped_bytes,
+                        follower_conns,
+                        lag_epochs: lags.0,
+                        lag_lsns: lags.1,
+                        last_durable_lsn: lags.2,
+                    })
+                }
+            ),
+    ]
+}
+
 fn arb_report() -> impl Strategy<Value = GraphReport> {
     (
         arb_string(),
@@ -119,6 +149,7 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
             any::<usize>(),
         ),
         (any::<u64>(), any::<u64>()),
+        arb_replication(),
     )
         .prop_map(
             |(
@@ -126,6 +157,7 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
                 (epoch, oldest_epoch),
                 (num_vertices, dim, num_shards, num_labeled, ann_indexed_shards),
                 (q, u),
+                replication,
             )| {
                 GraphReport {
                     graph,
@@ -138,6 +170,7 @@ fn arb_report() -> impl Strategy<Value = GraphReport> {
                     ann_indexed_shards,
                     queries_served: q,
                     updates_applied: u,
+                    replication,
                 }
             },
         )
@@ -162,6 +195,7 @@ fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
         (any::<usize>(), any::<u64>(), any::<u64>()),
         vec(arb_histogram(), 7..8),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        arb_replication(),
     )
         .prop_map(
             |(
@@ -169,6 +203,7 @@ fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
                 (ann_indexed_shards, queries_served, updates_applied),
                 mut hists,
                 (overloaded, wal_fsyncs, ivf_builds, ivf_hits),
+                replication,
             )| {
                 MetricsReport {
                     graph,
@@ -189,6 +224,7 @@ fn arb_metrics_report() -> impl Strategy<Value = MetricsReport> {
                     wal_fsyncs,
                     ivf_builds,
                     ivf_hits,
+                    replication,
                 }
             },
         )
@@ -250,6 +286,8 @@ fn arb_error() -> impl Strategy<Value = ServeError> {
                 max_pending,
             }
         }),
+        (arb_string(), arb_string())
+            .prop_map(|(graph, leader)| ServeError::ReadOnlyReplica { graph, leader }),
     ]
 }
 
@@ -630,6 +668,7 @@ fn v4_metrics_response_round_trips_fully_populated() {
         wal_fsyncs: 40,
         ivf_builds: 4,
         ivf_hits: 31,
+        replication: None,
     };
     assert_round_trip(&Response::Metrics(report.clone()));
     assert_round_trip(&ServerFrame::Batch {
@@ -659,5 +698,111 @@ fn new_error_frames_round_trip_with_stable_codes() {
     assert_round_trip(&ServerFrame::Batch {
         id: 7,
         results: vec![Err(evicted), Err(overloaded)],
+    });
+}
+
+/// The pre-v5 stats frame, byte for byte: what a v4 server sent (and a
+/// v4 client expects) for a standalone (non-replicated) registry.
+const V4_STATS_FRAME: &str = concat!(
+    r#"{"Stats":{"graph":"g","epoch":7,"oldest_epoch":2,"num_vertices":100,"dim":16,"#,
+    r#""num_shards":4,"num_labeled":10,"ann_indexed_shards":4,"queries_served":55,"#,
+    r#""updates_applied":9}}"#
+);
+
+fn v4_stats_report() -> GraphReport {
+    GraphReport {
+        graph: "g".into(),
+        epoch: 7,
+        oldest_epoch: 2,
+        num_vertices: 100,
+        dim: 16,
+        num_shards: 4,
+        num_labeled: 10,
+        ann_indexed_shards: 4,
+        queries_served: 55,
+        updates_applied: 9,
+        replication: None,
+    }
+}
+
+#[test]
+fn v5_replication_block_is_additive_on_stats() {
+    // Without replication, the v5 encoder must reproduce the v4 frame
+    // byte for byte — and the v5 decoder must accept a captured v4
+    // frame, mapping the absent key to None.
+    let report = v4_stats_report();
+    assert_eq!(
+        String::from_utf8(encode(&Response::Stats(report.clone()))).unwrap(),
+        V4_STATS_FRAME,
+    );
+    let got: Response = decode(V4_STATS_FRAME.as_bytes()).unwrap();
+    assert_eq!(got, Response::Stats(report.clone()));
+
+    // With replication, exactly one key is appended at the end.
+    let replicated = GraphReport {
+        replication: Some(ReplicationReport {
+            role: ReplicationRole::Follower,
+            connected: true,
+            shipped_records: 0,
+            shipped_bytes: 0,
+            follower_conns: 0,
+            lag_epochs: 1,
+            lag_lsns: 3,
+            last_durable_lsn: 42,
+        }),
+        ..report
+    };
+    let want = format!(
+        "{}{}{}",
+        &V4_STATS_FRAME[..V4_STATS_FRAME.len() - 2],
+        concat!(
+            r#","replication":{"role":"Follower","connected":true,"shipped_records":0,"#,
+            r#""shipped_bytes":0,"follower_conns":0,"lag_epochs":1,"lag_lsns":3,"#,
+            r#""last_durable_lsn":42}"#
+        ),
+        "}}",
+    );
+    assert_eq!(
+        String::from_utf8(encode(&Response::Stats(replicated.clone()))).unwrap(),
+        want,
+    );
+    assert_round_trip(&Response::Stats(replicated));
+}
+
+#[test]
+fn v5_replication_block_round_trips_on_metrics() {
+    let leader = ReplicationReport {
+        role: ReplicationRole::Leader,
+        connected: true,
+        shipped_records: 1_000,
+        shipped_bytes: 65_536,
+        follower_conns: 2,
+        lag_epochs: 0,
+        lag_lsns: 0,
+        last_durable_lsn: 0,
+    };
+    assert_round_trip(&leader);
+    assert_round_trip(&Some(leader.clone()));
+    // A v4 metrics frame (no replication key) decodes with None; see
+    // `v4_metrics_response_round_trips_fully_populated` for the
+    // fully-populated literal this extends.
+    let v4 = r#"{"graph":"g","epoch":1,"oldest_epoch":1,"history_depth":1,"ann_indexed_shards":0,"queries_served":0,"updates_applied":0,"classify_us":{"buckets":[],"count":0,"sum":0},"similar_us":{"buckets":[],"count":0,"sum":0},"embed_row_us":{"buckets":[],"count":0,"sum":0},"stats_us":{"buckets":[],"count":0,"sum":0},"metrics_us":{"buckets":[],"count":0,"sum":0},"apply_updates_us":{"buckets":[],"count":0,"sum":0},"coalesce":{"buckets":[],"count":0,"sum":0},"overloaded":0,"wal_fsyncs":0,"ivf_builds":0,"ivf_hits":0}"#;
+    let got: MetricsReport = decode(v4.as_bytes()).unwrap();
+    assert_eq!(got.replication, None);
+    // And a None block re-encodes to the identical v4 bytes.
+    assert_eq!(String::from_utf8(encode(&got)).unwrap(), v4);
+}
+
+#[test]
+fn read_only_replica_error_has_code_15() {
+    let err = ServeError::ReadOnlyReplica {
+        graph: "g".into(),
+        leader: "10.0.0.1:7777".into(),
+    };
+    assert_eq!(err.code().as_u16(), 15);
+    assert_round_trip(&err);
+    assert_round_trip(&ServerFrame::Batch {
+        id: 11,
+        results: vec![Err(err)],
     });
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Bench trajectory regression gate.
+
+Compares two `gee-bench-v1` reports (old, new) and fails — exit 1 —
+when any request type's p99 latency regressed by more than the allowed
+ratio (default 1.25, i.e. >25% slower). The BENCH_*.json files checked
+into the repo root form a trajectory, one per PR; CI runs this gate on
+the two newest so a PR that lands a tail-latency regression fails
+loudly instead of silently bending the curve.
+
+Usage:
+    bench_gate.py OLD.json NEW.json [--max-ratio 1.25] [--min-count 50]
+    bench_gate.py --dir REPO_ROOT   [--max-ratio 1.25] [--min-count 50]
+
+With --dir the two highest-numbered BENCH_<N>.json files are compared
+(N-1 as old, N as new); fewer than two trajectory points is a pass,
+not an error, so the gate can be wired in before the history exists.
+
+Types with fewer than --min-count samples on either side are skipped:
+a p99 estimated from a handful of requests (e.g. the 0.5 Hz `server`
+metrics-poll samples) is noise, and gating on noise trains people to
+ignore the gate.
+"""
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    schema = report.get("schema")
+    if schema != "gee-bench-v1":
+        sys.exit(f"bench_gate: {path}: unsupported schema {schema!r}")
+    return report
+
+
+def trajectory_pair(root):
+    """The two highest-N BENCH_<N>.json files under root, oldest first."""
+    points = []
+    for p in Path(root).glob("BENCH_*.json"):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", p.name)
+        if m:
+            points.append((int(m.group(1)), p))
+    points.sort()
+    return [p for _, p in points[-2:]]
+
+
+def gate(old_path, new_path, max_ratio, min_count):
+    old, new = load(old_path), load(new_path)
+    old_types, new_types = old["per_type"], new["per_type"]
+    failures, compared = [], 0
+    for kind in sorted(set(old_types) & set(new_types)):
+        o, n = old_types[kind], new_types[kind]
+        if min(o["count"], n["count"]) < min_count:
+            print(
+                f"  {kind:<12} skipped (counts {o['count']}/{n['count']}"
+                f" below --min-count {min_count})"
+            )
+            continue
+        compared += 1
+        ratio = n["p99_us"] / o["p99_us"] if o["p99_us"] > 0 else float("inf")
+        verdict = "FAIL" if ratio > max_ratio else "ok"
+        print(
+            f"  {kind:<12} p99 {o['p99_us']:>10.1f}us -> {n['p99_us']:>10.1f}us"
+            f"  ({ratio:.2f}x)  {verdict}"
+        )
+        if ratio > max_ratio:
+            failures.append((kind, ratio))
+    if compared == 0:
+        sys.exit("bench_gate: no request type had enough samples to compare")
+    if failures:
+        worst = ", ".join(f"{k} {r:.2f}x" for k, r in failures)
+        sys.exit(
+            f"bench_gate: p99 regression above {max_ratio:.2f}x in"
+            f" {old_path} -> {new_path}: {worst}"
+        )
+    print(f"bench_gate: ok ({compared} type(s) within {max_ratio:.2f}x)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("reports", nargs="*", help="OLD.json NEW.json")
+    ap.add_argument("--dir", help="compare the two newest BENCH_<N>.json here")
+    ap.add_argument("--max-ratio", type=float, default=1.25)
+    ap.add_argument("--min-count", type=int, default=50)
+    args = ap.parse_args()
+
+    if args.dir:
+        if args.reports:
+            ap.error("--dir and explicit report paths are mutually exclusive")
+        pair = trajectory_pair(args.dir)
+        if len(pair) < 2:
+            print(f"bench_gate: <2 trajectory points in {args.dir}; nothing to gate")
+            return
+        old_path, new_path = pair
+    elif len(args.reports) == 2:
+        old_path, new_path = args.reports
+    else:
+        ap.error("pass OLD.json NEW.json, or --dir REPO_ROOT")
+
+    print(f"bench_gate: {old_path} -> {new_path}")
+    gate(old_path, new_path, args.max_ratio, args.min_count)
+
+
+if __name__ == "__main__":
+    main()

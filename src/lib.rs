@@ -89,7 +89,7 @@
 //! `gee serve --index ivf --nprobe N` and `gee query --nprobe N |
 //! --exact true`.
 //!
-//! ### Wire protocol (v4)
+//! ### Wire protocol (v5)
 //!
 //! The serve types double as a versioned network contract
 //! ([`serve::wire`]): frames are compact JSON (serde's externally-tagged
@@ -97,10 +97,10 @@
 //! on TCP, and exchanged over any [`serve::Transport`] — loopback-free
 //! in-process [`serve::duplex`] or [`serve::TcpTransport`]. A connection
 //! opens with a `Hello` handshake that negotiates the protocol version
-//! (currently [`serve::PROTOCOL_VERSION`] = 4; v1–v3 are still
-//! spoken — the v2 `at_epoch` pin, v3 `search` override, and v4
-//! `Metrics` request are additive extensions whose absence encodes
-//! byte-identically to older frames), then carries pipelined
+//! (currently [`serve::PROTOCOL_VERSION`] = 5; v1–v4 are still
+//! spoken — the v2 `at_epoch` pin, v3 `search` override, v4 `Metrics`
+//! request, and v5 `replication` report block are additive extensions
+//! whose absence encodes byte-identically to older frames), then carries pipelined
 //! request batches; failures travel as typed [`serve::ServeError`] values
 //! with stable numeric [`serve::ErrorCode`]s. A [`serve::Server`] feeds
 //! decoded batches to `Engine::execute_batch`, and the blocking
@@ -126,6 +126,34 @@
 //! the fsync cost and the recovery speedup a checkpoint buys. On the
 //! command line: `gee serve --data-dir DIR ...` and `gee recover
 //! --data-dir DIR`.
+//!
+//! ### Replication
+//!
+//! The WAL doubles as a replication stream: a leader attaches a
+//! [`serve::ReplicationListener`] that ships committed log records —
+//! raw, CRC-framed, in commit order — to any number of followers, and
+//! a [`serve::Follower`] pulls that stream into its **own** durable
+//! log and replays it through the same dirty-tracking apply path
+//! recovery uses, so every epoch a follower publishes is
+//! **fingerprint-identical** to the leader's. A follower that starts
+//! empty (or falls behind the leader's compaction horizon) bootstraps
+//! from a checkpoint mid-stream; one that crashes resumes from its own
+//! durable high-water LSN. While trailing, a follower serves the full
+//! read surface — `Classify`/`Similar`/`EmbedRow`/`Stats`/`Metrics`,
+//! `at_epoch` pins, ANN policies — and rejects writes with
+//! [`serve::ServeError::ReadOnlyReplica`] (code 15) naming the leader.
+//! Lag (epochs and LSNs) and ship counters surface through the v5
+//! `replication` block on `Stats`/`Metrics`
+//! ([`serve::ReplicationReport`]). Corruption on the stream — torn
+//! frames, bit flips, LSN discontinuities — surfaces typed as
+//! `Corrupt` and is never applied
+//! (`crates/serve/tests/replication_frames.rs`); convergence under
+//! writer churn, crash-resume, and leader restart are pinned by
+//! `crates/serve/tests/replication.rs`. On the command line:
+//! `gee serve --data-dir DIR --replicate ADDR` on the leader and
+//! `gee serve --follow ADDR --data-dir DIR2 --listen ADDR2` on the
+//! replica; `gee recover` prints the WAL high-water and latest
+//! checkpoint LSNs of any durable directory.
 //!
 //! ### Benchmarking & observability
 //!
@@ -183,8 +211,9 @@ pub mod prelude {
     pub use gee_loadgen::{Analysis as BenchAnalysis, BenchConfig, Mix as BenchMix};
     pub use gee_serve::{
         BackpressurePolicy, Client as ServeClient, Durability, Engine as ServeEngine, Envelope,
-        ErrorCode, HistoryPolicy, MetricsReport, Registry, RegistryConfig, Request, Response,
-        SearchPolicy, ServeError, Server as ServeServer, SyncPolicy, Update,
+        ErrorCode, Follower, HistoryPolicy, MetricsReport, Registry, RegistryConfig,
+        ReplicationListener, ReplicationReport, Request, Response, SearchPolicy, ServeError,
+        Server as ServeServer, SyncPolicy, Update,
     };
 }
 
