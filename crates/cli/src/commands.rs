@@ -37,7 +37,8 @@ subcommands:
                --index ivf answers Similar/Classify from per-shard IVF indexes
                (approximate; probe --nprobe lists, pool >= --refine x top);
                small shards and oversized top/k fall back to the exact scan
-               durability: [--data-dir DIR [--sync always|never] [--checkpoint-every N=64]]
+               durability: [--data-dir DIR [--sync always|never|group] [--checkpoint-every N=64]]
+               --workers N sizes the connection worker pool (default: CPU count)
                recovers graph \"g\" from DIR if present (then --graph is optional);
                every update batch is WAL-logged and survives restart
                replication: --replicate ADDR ships the WAL to followers
@@ -413,9 +414,12 @@ fn durability_from_flags(flags: &Flags) -> crate::Result<Option<gee_serve::Durab
     let sync = match flags.get("sync").unwrap_or("always") {
         "always" => gee_serve::SyncPolicy::Always,
         "never" => gee_serve::SyncPolicy::Never,
+        // Group commit: concurrent writers share one fsync per commit
+        // window — the Always guarantee at a fraction of the syncs.
+        "group" => gee_serve::SyncPolicy::group(),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown --sync {other:?} (always|never)"
+                "unknown --sync {other:?} (always|never|group)"
             )))
         }
     };
@@ -740,6 +744,16 @@ fn max_conns_from_flags(flags: &Flags) -> crate::Result<Option<usize>> {
         .transpose()
 }
 
+/// `--workers N`: size of the connection worker pool (defaults to the
+/// CPU count).
+fn workers_from_flags(flags: &Flags) -> crate::Result<usize> {
+    let workers: usize = flags.get_parsed("workers", gee_serve::server::default_workers())?;
+    if workers == 0 {
+        return Err(CliError::Usage("--workers must be at least 1".into()));
+    }
+    Ok(workers)
+}
+
 /// `serve --listen`: stand up the engine and serve the wire protocol over
 /// TCP until `--max-conns` connections finish (or forever without it).
 /// With `--replicate ADDR` the process also leads a replica set: a
@@ -765,10 +779,12 @@ fn serve_listen(flags: &Flags, addr: &str) -> crate::Result<String> {
             Ok(listener)
         })
         .transpose()?;
-    let handle = gee_serve::Server::listen(std::sync::Arc::new(engine), addr, max_conns)?;
+    let workers = workers_from_flags(flags)?;
+    let handle =
+        gee_serve::Server::listen_with(std::sync::Arc::new(engine), addr, max_conns, workers)?;
     let bound = handle.addr();
     eprintln!(
-        "serving \"g\" ({n} vertices) on {bound} (wire protocol v{})",
+        "serving \"g\" ({n} vertices) on {bound} (wire protocol v{}, {workers} workers)",
         gee_serve::PROTOCOL_VERSION
     );
     if let Some(port_file) = flags.get("port-file") {
@@ -815,10 +831,11 @@ fn serve_follow(flags: &Flags, leader: &str) -> crate::Result<String> {
     let follower = gee_serve::Follower::start(config, leader)?;
     eprintln!("following leader at {leader}");
     let engine = gee_serve::Engine::new(follower.registry().clone());
-    let handle = gee_serve::Server::listen(
+    let handle = gee_serve::Server::listen_with(
         std::sync::Arc::new(engine),
         listen,
         max_conns_from_flags(flags)?,
+        workers_from_flags(flags)?,
     )?;
     let bound = handle.addr();
     eprintln!(

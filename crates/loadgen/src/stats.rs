@@ -71,9 +71,15 @@ pub struct P2Quantile {
 }
 
 impl P2Quantile {
-    /// Estimator for quantile `q` in `(0, 1)`.
+    /// Estimator for quantile `q` in `[0, 1]`. The endpoints are exact:
+    /// `q = 0.0` reports the minimum and `q = 1.0` the maximum (the
+    /// extreme markers track them precisely), interior quantiles are P²
+    /// estimates.
     pub fn new(q: f64) -> P2Quantile {
-        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
         P2Quantile {
             q,
             heights: [0.0; 5],
@@ -150,16 +156,23 @@ impl P2Quantile {
     }
 
     /// Current estimate, `None` when empty. Exact (nearest-rank) below
-    /// five samples, P² marker height after.
+    /// five samples, P² marker height after (exact again at the `q = 0`
+    /// and `q = 1` endpoints, which the extreme markers track).
     pub fn estimate(&self) -> Option<f64> {
         match self.count {
             0 => None,
             n @ 1..=4 => {
-                let mut sorted = self.heights[..n as usize].to_vec();
+                let n = n as usize;
+                let mut sorted = self.heights[..n].to_vec();
                 sorted.sort_by(f64::total_cmp);
-                let rank = (self.q * n as f64).ceil().max(1.0) as usize;
+                // `ceil(q * n)` is 0 at q = 0.0 (the `rank - 1` index
+                // would underflow) and f64 rounding could push it past
+                // n; clamp to the valid rank range [1, n].
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
                 Some(sorted[rank - 1])
             }
+            _ if self.q == 0.0 => Some(self.heights[0]),
+            _ if self.q == 1.0 => Some(self.heights[4]),
             _ => Some(self.heights[2]),
         }
     }
@@ -374,6 +387,31 @@ mod tests {
         let est = q.estimate().unwrap();
         assert!((est - 990.0).abs() < 20.0, "p99 estimate {est} off");
         assert_eq!(q.count(), 10_000);
+    }
+
+    #[test]
+    fn p2_endpoint_quantiles_are_exact() {
+        // q = 0.0 and q = 1.0 must not underflow the small-sample rank
+        // and must stay exact (min/max) past the five-sample cutover.
+        for (q, expect) in [(0.0, 0.0), (1.0, 999.0)] {
+            let mut est = P2Quantile::new(q);
+            assert_eq!(est.estimate(), None, "count 0 has no estimate");
+            est.observe(7.0);
+            assert_eq!(est.estimate(), Some(7.0), "count 1 is the sample");
+            for i in 0..1000u64 {
+                est.observe((i * 613) as f64 % 1000.0);
+            }
+            assert_eq!(est.estimate(), Some(expect), "q={q} is exact");
+        }
+    }
+
+    #[test]
+    fn p2_single_sample_serves_every_quantile() {
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            let mut est = P2Quantile::new(q);
+            est.observe(42.0);
+            assert_eq!(est.estimate(), Some(42.0), "q={q}");
+        }
     }
 
     #[test]

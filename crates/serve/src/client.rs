@@ -12,6 +12,7 @@
 
 use std::net::ToSocketAddrs;
 
+use crate::codec::FrameCodec;
 use crate::engine::{Envelope, GraphReport, Request, Response};
 use crate::index::SearchPolicy;
 use crate::metrics::MetricsReport;
@@ -20,12 +21,14 @@ use crate::transport::{TcpTransport, Transport};
 use crate::wire::{self, ClientFrame, ServerFrame, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION};
 use crate::ServeError;
 
-/// A connected, handshaken wire-protocol client (v4 current; pins,
+/// A connected, handshaken wire-protocol client (v6 current; pins,
 /// search overrides, and metrics probes are refused on downlevel
-/// connections).
+/// connections; post-handshake frames ride the codec the negotiated
+/// version implies — binary from v6, JSON below).
 pub struct Client {
     transport: Box<dyn Transport>,
     version: u32,
+    codec: FrameCodec,
     next_id: u64,
 }
 
@@ -38,10 +41,26 @@ impl Client {
     /// Handshake over an already-established transport (e.g. one end of
     /// [`duplex`](crate::transport::duplex)).
     pub fn over(transport: impl Transport + 'static) -> Result<Client, ServeError> {
+        Self::over_versions(transport, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION)
+    }
+
+    /// Handshake advertising an explicit version range instead of this
+    /// build's full `[MIN_PROTOCOL_VERSION, PROTOCOL_VERSION]`. Capping
+    /// `max_version` below [`wire::BINARY_FRAME_VERSION`] forces a JSON
+    /// connection against a v6 server — useful for codec comparisons
+    /// and downlevel-compatibility tests.
+    pub fn over_versions(
+        transport: impl Transport + 'static,
+        min_version: u32,
+        max_version: u32,
+    ) -> Result<Client, ServeError> {
         let mut transport: Box<dyn Transport> = Box::new(transport);
+        // The handshake is always JSON, regardless of what gets
+        // negotiated: the codec for the rest of the connection is an
+        // outcome of this exchange, never an input to it.
         transport.send(wire::encode(&ClientFrame::Hello {
-            min_version: MIN_PROTOCOL_VERSION,
-            max_version: PROTOCOL_VERSION,
+            min_version,
+            max_version,
         }))?;
         let reply = transport
             .recv()?
@@ -50,6 +69,7 @@ impl Client {
             ServerFrame::HelloAck { version } => Ok(Client {
                 transport,
                 version,
+                codec: FrameCodec::for_version(version),
                 next_id: 0,
             }),
             ServerFrame::Error { error } => Err(error),
@@ -267,7 +287,8 @@ impl Client {
 
     /// Tell the server this connection is done (politer than dropping).
     pub fn goodbye(mut self) -> Result<(), ServeError> {
-        self.transport.send(wire::encode(&ClientFrame::Goodbye))
+        let bytes = self.codec.encode_client(&ClientFrame::Goodbye);
+        self.transport.send(bytes)
     }
 
     fn send_batch(&mut self, requests: Vec<Envelope>) -> Result<u64, ServeError> {
@@ -320,8 +341,10 @@ impl Client {
         }
         let id = self.next_id;
         self.next_id += 1;
-        self.transport
-            .send(wire::encode(&ClientFrame::Batch { id, requests }))?;
+        let bytes = self
+            .codec
+            .encode_client(&ClientFrame::Batch { id, requests });
+        self.transport.send(bytes)?;
         Ok(id)
     }
 
@@ -334,7 +357,7 @@ impl Client {
             .transport
             .recv()?
             .ok_or_else(|| ServeError::protocol("server closed with a batch in flight"))?;
-        match wire::decode::<ServerFrame>(&reply)? {
+        match self.codec.decode_server(&reply)? {
             ServerFrame::Batch { id: got, results } if got == id => {
                 if results.len() != expected {
                     return Err(ServeError::protocol(format!(

@@ -34,19 +34,23 @@
 //! equal to in-process execution:
 //!
 //! * **Frame layout** — a frame is one [`wire::ClientFrame`] or
-//!   [`wire::ServerFrame`] serialized as compact JSON (serde's
-//!   externally-tagged enum encoding). On stream transports (TCP) each
-//!   frame is length-prefixed with a big-endian `u32` byte count, capped
-//!   at [`wire::MAX_FRAME_LEN`]; the in-process [`transport::duplex`]
-//!   moves the encoded frames through a channel without copying.
+//!   [`wire::ServerFrame`], serialized by the negotiated
+//!   [`FrameCodec`]: compact JSON (serde's externally-tagged enum
+//!   encoding) below protocol v6, a CRC-guarded binary encoding
+//!   ([`codec`]) from v6 up. The handshake frames themselves are always
+//!   JSON, so negotiation never depends on its own outcome. On stream
+//!   transports (TCP) each frame is length-prefixed with a big-endian
+//!   `u32` byte count, capped at [`wire::MAX_FRAME_LEN`]; the
+//!   in-process [`transport::duplex`] moves the encoded frames through
+//!   a channel without copying.
 //! * **Version negotiation** — a connection starts with
 //!   `ClientFrame::Hello { min_version, max_version }`; the server picks
 //!   the highest mutually supported version (currently
-//!   [`wire::PROTOCOL_VERSION`] = 5; v1–v4 are still spoken, and the
-//!   v2 `at_epoch` / v3 `search` / v4 `Metrics` / v5 replication
-//!   extensions are additive — see [`wire`]'s module docs) and answers
-//!   `ServerFrame::HelloAck`, or a typed
-//!   [`ServeError::VersionUnsupported`] and closes.
+//!   [`wire::PROTOCOL_VERSION`] = 6; v1–v5 are still spoken, and the
+//!   v2 `at_epoch` / v3 `search` / v4 `Metrics` / v5 replication / v6
+//!   binary-frame extensions are additive — see [`wire`]'s module docs
+//!   for the per-version table) and answers `ServerFrame::HelloAck`, or
+//!   a typed [`ServeError::VersionUnsupported`] and closes.
 //! * **Requests** — `ClientFrame::Batch { id, requests }` carries an
 //!   ordered [`Envelope`] batch that the server feeds to
 //!   [`Engine::execute_batch`]; the response echoes the `id`, which lets
@@ -56,8 +60,10 @@
 //!   numeric [`ErrorCode`]s (see [`ErrorCode::as_u16`]), never as bare
 //!   strings, so clients can branch without parsing messages.
 //!
-//! [`Server`] accepts connections (any [`Transport`]) and [`Client`]
-//! mirrors [`Engine`]'s methods one-for-one (`classify`, `similar`,
+//! [`Server`] accepts connections (any [`Transport`]) — the TCP listener
+//! multiplexes them over a fixed worker pool of nonblocking readiness
+//! loops ([`Server::listen_with`], `gee serve --workers N`) — and
+//! [`Client`] mirrors [`Engine`]'s methods one-for-one (`classify`, `similar`,
 //! `embed_row`, `apply_updates`, `stats`, `metrics`, `execute_batch`),
 //! which makes Engine-vs-Client equivalence property-testable. The
 //! serving stack also keeps registry-wide observability counters
@@ -150,6 +156,26 @@
 //! binary, and `gee serve --data-dir` / `gee recover` on the command
 //! line.
 //!
+//! ## Group commit
+//!
+//! [`SyncPolicy`] picks the commit point on the WAL:
+//! [`SyncPolicy::Always`] fsyncs inside every append — each batch pays
+//! the full disk round trip — while [`SyncPolicy::Never`] leaves
+//! flushing to the OS. [`SyncPolicy::Group`] (`gee serve --sync group`)
+//! is the middle ground for concurrent writers: a committing batch
+//! appends under the log lock, releases it, and then waits for a
+//! **shared fsync**. The first waiter with no sync in flight becomes
+//! the leader — it sleeps out the configured window collecting
+//! arrivals, samples the log's high water, and issues one fsync *with
+//! the log lock released*, so other writers keep appending (and queue
+//! for the next sync) while the disk works. Every waiter below the
+//! sampled high water is acknowledged by that single fsync; the
+//! durability guarantee is unchanged (no batch is acknowledged before
+//! an fsync covers it — only the fsync is shared). The coalescing is
+//! observable as the protocol-v4 `wal_fsyncs` metric staying far below
+//! the committed batch count, and the `durability_overhead` bench's
+//! group-commit phase measures the throughput win at 8 writers.
+//!
 //! # Replication
 //!
 //! The WAL doubles as a replication stream ([`replicate`]): a durable
@@ -201,9 +227,11 @@ use serde::{Deserialize, Serialize};
 
 pub mod checkpoint;
 pub mod client;
+pub mod codec;
 pub mod engine;
 pub mod index;
 pub mod metrics;
+pub(crate) mod poller;
 pub mod registry;
 pub mod replicate;
 pub mod server;
@@ -214,6 +242,7 @@ pub mod wal;
 pub mod wire;
 
 pub use client::Client;
+pub use codec::FrameCodec;
 pub use engine::{Engine, Envelope, GraphReport, Request, Response};
 pub use index::{IvfIndex, SearchPolicy, ANN_MIN_SHARD_ROWS};
 pub use metrics::{HistogramReport, MetricsReport, ReplicationReport, ReplicationRole};

@@ -106,11 +106,16 @@ impl HistogramReport {
         if self.count == 0 {
             return None;
         }
-        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        // Nearest-rank with both ends pinned: `ceil(q * count)` is 0 at
+        // q = 0.0 (which would make `seen >= rank` fire before any
+        // sample is seen — an empty leading bucket would satisfy it)
+        // and can exceed `count` when `q * count` rounds up past it, so
+        // clamp into the valid rank range [1, count].
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
-            if seen >= rank.max(1) {
+            if seen >= rank {
                 return Some(if i == 0 { 0 } else { (1u64 << i) - 1 });
             }
         }
@@ -387,5 +392,31 @@ mod tests {
         assert_eq!(r.quantile_upper_bound(0.5), Some(63));
         assert_eq!(r.quantile_upper_bound(0.0), Some(0));
         assert_eq!(r.quantile_upper_bound(1.0), Some(127));
+    }
+
+    #[test]
+    fn quantile_edge_cases_do_not_underflow() {
+        // count == 0: every quantile is None.
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(HistogramReport::empty().quantile_upper_bound(q), None);
+        }
+        // count == 1: every quantile names the single sample's bucket,
+        // including q = 0.0 (rank 0 must clamp up to 1, not fire on an
+        // empty leading bucket) and q = 1.0.
+        let h = Histogram::new();
+        h.record(100); // bucket [64, 128)
+        let r = h.report();
+        assert_eq!(r.count, 1);
+        for q in [0.0, 0.001, 0.5, 1.0] {
+            assert_eq!(r.quantile_upper_bound(q), Some(127), "q={q}");
+        }
+        // A q = 0.0 rank of 0 would incorrectly match bucket 0 here,
+        // because the first bucket is empty (`seen >= 0` holds at i=0).
+        let h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.report().quantile_upper_bound(0.0), Some(1023));
+        // Out-of-range q clamps instead of panicking or overflowing.
+        assert_eq!(h.report().quantile_upper_bound(-3.0), Some(1023));
+        assert_eq!(h.report().quantile_upper_bound(7.0), Some(1023));
     }
 }

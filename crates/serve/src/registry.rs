@@ -71,7 +71,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
 
 use gee_core::{DynamicGee, Labels};
 use gee_graph::{Edge, EdgeList, VertexId, Weight};
@@ -83,7 +84,7 @@ use crate::metrics::{ReplicationReport, ReplicationRole, ServeMetrics};
 use crate::replicate::ReplicationStatus;
 use crate::shard::ShardLayout;
 use crate::snapshot::{ShardBlock, Snapshot};
-use crate::wal::{self, Durability, WalRecord, WalWriter};
+use crate::wal::{self, Durability, SyncPolicy, WalRecord, WalWriter};
 use crate::ServeError;
 
 /// One streaming graph/label mutation. Part of the wire contract.
@@ -349,6 +350,41 @@ impl DurableLog {
     }
 }
 
+/// Group-commit coordination for [`SyncPolicy::Group`]: writers whose
+/// record is appended (and applied) but not yet fsynced wait here. One
+/// waiter at a time elects itself **leader**: it collects arrivals for
+/// the window, takes the log lock, issues a single
+/// [`WalWriter::sync`](crate::wal::WalWriter::sync) covering every LSN
+/// assigned so far, and wakes everyone whose LSN the sync covered.
+/// Writers arriving while a sync is in flight queue for the next round,
+/// so even a zero-length window coalesces under concurrency.
+struct GroupCommit {
+    window: Duration,
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+struct GroupState {
+    /// Every record with `lsn < durable_lsn` is known fsynced (or
+    /// covered by a durable checkpoint taken at segment rotation).
+    durable_lsn: u64,
+    /// A leader is currently collecting arrivals or syncing.
+    sync_running: bool,
+}
+
+impl GroupCommit {
+    fn new(window: Duration) -> GroupCommit {
+        GroupCommit {
+            window,
+            state: Mutex::new(GroupState {
+                durable_lsn: 0,
+                sync_running: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
 /// Owner of all served graphs.
 pub struct Registry {
     entries: RwLock<HashMap<String, Arc<Entry>>>,
@@ -357,6 +393,10 @@ pub struct Registry {
     backpressure: BackpressurePolicy,
     search: SearchPolicy,
     durable: Option<Mutex<DurableLog>>,
+    /// `Some` when the WAL runs under [`SyncPolicy::Group`]: the shared
+    /// fsync coordination durable writers wait on after releasing the
+    /// log lock.
+    group: Option<GroupCommit>,
     /// `Some` on a read-only replica: the public write entry points are
     /// rejected with [`ServeError::ReadOnlyReplica`] and only the
     /// replication pull loop mutates (via [`Registry::apply_replicated`]
@@ -462,6 +502,7 @@ impl Registry {
                 backpressure,
                 search,
                 durable: None,
+                group: None,
                 replica: None,
                 metrics: ServeMetrics::new(),
             });
@@ -536,6 +577,10 @@ impl Registry {
         if replica.is_some() && writer.next_lsn() < min_lsn {
             writer.reset_to(min_lsn)?;
         }
+        let group = match sync {
+            SyncPolicy::Group { window } => Some(GroupCommit::new(window)),
+            SyncPolicy::Always | SyncPolicy::Never => None,
+        };
         Ok(Registry {
             entries: RwLock::new(entries),
             default_shards: default_shards.max(1),
@@ -549,6 +594,7 @@ impl Registry {
                 records_since_checkpoint: 0,
                 _lock: lock,
             })),
+            group,
             replica,
             metrics: ServeMetrics::new(),
         })
@@ -656,7 +702,7 @@ impl Registry {
             .as_ref()
             .map(|d| d.lock().expect("log lock poisoned"));
         if let Some(mut log) = log {
-            log.writer.append(&WalRecord::Register {
+            let lsn = log.writer.append(&WalRecord::Register {
                 name: name.to_string(),
                 shards: shards.min(u32::MAX as usize) as u32,
                 num_vertices: el.num_vertices() as u64,
@@ -666,6 +712,8 @@ impl Registry {
             })?;
             let snapshot = self.register_in_memory(name, el, labels, shards);
             self.bump_and_maybe_checkpoint(&mut log)?;
+            drop(log);
+            self.group_commit_wait(lsn)?;
             Ok(snapshot)
         } else {
             Ok(self.register_in_memory(name, el, labels, shards))
@@ -722,7 +770,7 @@ impl Registry {
             if !present {
                 return Ok(false);
             }
-            log.writer.append(&WalRecord::Deregister {
+            let lsn = log.writer.append(&WalRecord::Deregister {
                 name: name.to_string(),
             })?;
             let removed = self
@@ -732,6 +780,8 @@ impl Registry {
                 .remove(name)
                 .is_some();
             self.bump_and_maybe_checkpoint(&mut log)?;
+            drop(log);
+            self.group_commit_wait(lsn)?;
             Ok(removed)
         } else {
             Ok(self
@@ -870,16 +920,77 @@ impl Registry {
         let mut writer = entry.writer.lock().expect("writer lock poisoned");
         validate_batch(&writer, updates)?;
         if let Some(mut log) = log {
-            log.writer.append(&WalRecord::Batch {
+            let lsn = log.writer.append(&WalRecord::Batch {
                 name: name.to_string(),
                 updates: updates.to_vec(),
             })?;
             let result = apply_batch(&entry, &mut writer, updates);
             drop(writer);
             self.bump_and_maybe_checkpoint(&mut log)?;
+            // Group commit waits with every lock released, so other
+            // writers append (and share the next fsync) meanwhile.
+            drop(log);
+            self.group_commit_wait(lsn)?;
             Ok(result)
         } else {
             Ok(apply_batch(&entry, &mut writer, updates))
+        }
+    }
+
+    /// Block until an fsync covers `lsn` (no-op unless the WAL runs
+    /// under [`SyncPolicy::Group`]). Called *after* the log lock is
+    /// released: the appended record is already applied and visible, and
+    /// the caller is only waiting for durability. The first waiter to
+    /// find no sync in flight becomes leader — it sleeps out the window
+    /// (collecting concurrent arrivals), samples the tail under the log
+    /// lock, fsyncs it once with the lock *released* (appends overlap
+    /// the disk wait and join the next sync), and wakes everyone. LSNs
+    /// below the sampled
+    /// high water that live in retired segments were covered by the
+    /// durable checkpoint taken at rotation, so `durable_lsn = high` is
+    /// sound across compaction.
+    fn group_commit_wait(&self, lsn: u64) -> Result<(), ServeError> {
+        let (Some(group), Some(durable)) = (&self.group, &self.durable) else {
+            return Ok(());
+        };
+        let mut state = group.state.lock().expect("group-commit lock poisoned");
+        loop {
+            if state.durable_lsn > lsn {
+                return Ok(());
+            }
+            if state.sync_running {
+                state = group.cv.wait(state).expect("group-commit lock poisoned");
+                continue;
+            }
+            state.sync_running = true;
+            drop(state);
+            if !group.window.is_zero() {
+                std::thread::sleep(group.window);
+            }
+            // Sample the high water and dup the tail handle under the
+            // log lock, but run the fsync with the lock released:
+            // writers append (and join the next window) while the disk
+            // works, which is where group commit's scaling comes from.
+            let synced = {
+                let mut log = durable.lock().expect("log lock poisoned");
+                log.writer.begin_group_sync()
+            }
+            .and_then(|(high, file)| {
+                file.sync_data()
+                    .map(|()| high)
+                    .map_err(|e| ServeError::storage(format!("syncing WAL: {e}")))
+            });
+            state = group.state.lock().expect("group-commit lock poisoned");
+            state.sync_running = false;
+            group.cv.notify_all();
+            match synced {
+                // `high > lsn` always holds — our own append preceded
+                // the sample — so the next loop turn returns Ok.
+                Ok(high) => state.durable_lsn = state.durable_lsn.max(high),
+                // The leader surfaces its own error; woken waiters
+                // re-elect and surface theirs.
+                Err(e) => return Err(e),
+            }
         }
     }
 
@@ -937,7 +1048,12 @@ impl Registry {
                 }
             })?;
         }
-        self.bump_and_maybe_checkpoint(&mut log)
+        self.bump_and_maybe_checkpoint(&mut log)?;
+        // A follower configured with `SyncPolicy::Group` coalesces its
+        // fsyncs too; its pull loop is sequential, so this just bounds
+        // durability lag to the window.
+        drop(log);
+        self.group_commit_wait(lsn)
     }
 
     /// Install a leader-shipped bootstrap checkpoint, replacing all

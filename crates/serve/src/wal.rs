@@ -38,8 +38,10 @@
 //! A record is **committed** once its bytes are on disk
 //! ([`SyncPolicy::Always`] fsyncs every append before the in-memory state
 //! mutates; [`SyncPolicy::Never`] leaves flushing to the OS and trades
-//! the tail of the log for throughput). On open, the log is scanned
-//! front to back:
+//! the tail of the log for throughput; [`SyncPolicy::Group`] batches
+//! concurrent writers behind one shared fsync per commit window — the
+//! same power-loss guarantee as `Always` at a fraction of the syncs).
+//! On open, the log is scanned front to back:
 //!
 //! * a record that ends *exactly* at end-of-file closes a valid log;
 //! * a final record cut short by a crash (header or payload incomplete —
@@ -92,6 +94,36 @@ pub enum SyncPolicy {
     /// Let the OS flush when it pleases — committed batches survive a
     /// process crash but the log tail may be lost on power failure.
     Never,
+    /// Group commit: appends are acknowledged only after an fsync covers
+    /// them, but concurrent writers share fsyncs — one leader waits up
+    /// to `window`, collecting arrivals, then issues a single
+    /// `sync_data` covering every record appended so far and wakes all
+    /// waiters. Same power-loss guarantee as [`SyncPolicy::Always`]
+    /// (`Ok` still means durable); the difference is that readers may
+    /// observe a batch's effects during the window before its fsync
+    /// lands (visibility before durability), and durable throughput
+    /// scales with writer count instead of disk sync latency. The
+    /// waiting machinery lives in the registry
+    /// ([`Registry`](crate::Registry) owns the leader election); the
+    /// [`WalWriter`] itself treats `Group` like [`SyncPolicy::Never`]
+    /// on append and exposes [`WalWriter::sync`] for the leader.
+    Group {
+        /// How long a leader collects arrivals before syncing. `0` still
+        /// coalesces: writers arriving while an fsync is in flight share
+        /// the next one.
+        window: std::time::Duration,
+    },
+}
+
+impl SyncPolicy {
+    /// Group commit with the default 1 ms window — long enough to
+    /// coalesce a burst of concurrent writers, short enough to be
+    /// invisible next to a disk sync.
+    pub fn group() -> SyncPolicy {
+        SyncPolicy::Group {
+            window: std::time::Duration::from_millis(1),
+        }
+    }
 }
 
 /// Whether (and how) a [`Registry`](crate::Registry) persists its state.
@@ -212,7 +244,10 @@ pub fn encode_record(record: &WalRecord) -> Vec<u8> {
     buf
 }
 
-fn encode_update(buf: &mut Vec<u8>, update: &Update) {
+/// Encode one [`Update`] in the tagged binary layout. Shared with the
+/// protocol-v6 binary wire codec so an update has exactly one binary
+/// encoding in the system.
+pub(crate) fn encode_update(buf: &mut Vec<u8>, update: &Update) {
     match *update {
         Update::InsertEdge { u, v, w } => {
             frame::put_u8(buf, UPDATE_INSERT);
@@ -295,7 +330,8 @@ pub fn decode_record(payload: &[u8]) -> Result<WalRecord, FrameError> {
     Ok(record)
 }
 
-fn decode_update(c: &mut Cursor<'_>) -> Result<Update, FrameError> {
+/// Decode one [`Update`] (the inverse of [`encode_update`]).
+pub(crate) fn decode_update(c: &mut Cursor<'_>) -> Result<Update, FrameError> {
     Ok(match c.take_u8("update tag")? {
         UPDATE_INSERT => Update::InsertEdge {
             u: c.take_u32("u")?,
@@ -815,6 +851,9 @@ impl WalWriter {
         self.file
             .write_all(&bytes)
             .map_err(|e| ServeError::storage(format!("appending to WAL: {e}")))?;
+        // `Group` appends are OS-buffered here like `Never`; the group
+        // leader (in the registry) calls [`WalWriter::sync`] once per
+        // window before any writer in the window is acknowledged.
         if self.sync == SyncPolicy::Always {
             self.file
                 .sync_data()
@@ -824,6 +863,41 @@ impl WalWriter {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         Ok(lsn)
+    }
+
+    /// fsync the tail segment, covering every record appended so far.
+    /// The group-commit leader calls this once per window; records in
+    /// retired segments were already covered by the durable checkpoint
+    /// taken at rotation, so after this returns every assigned LSN is
+    /// durable.
+    pub fn sync(&mut self) -> Result<(), ServeError> {
+        self.file
+            .sync_data()
+            .map_err(|e| ServeError::storage(format!("syncing WAL: {e}")))?;
+        self.fsyncs += 1;
+        Ok(())
+    }
+
+    /// Start a group-commit sync: returns the current high water and a
+    /// duplicated tail-segment handle so the leader can run the fsync
+    /// itself *after releasing the log lock* — concurrent writers keep
+    /// appending (and queueing for the next sync) while the disk works.
+    ///
+    /// The returned high water is sampled before the handle escapes, so
+    /// a successful `sync_data` on it covers every assigned LSN below
+    /// it: later appends land after the sample and are not claimed, and
+    /// if a rotation retires the segment mid-sync the retired records
+    /// were already made durable by the rotation checkpoint (fsyncing
+    /// the stale handle is then a harmless no-op). The fsync is counted
+    /// here, at issue time, so the [`WalWriter::fsyncs`] gauge does not
+    /// need the lock when the sync completes.
+    pub fn begin_group_sync(&mut self) -> Result<(u64, File), ServeError> {
+        let file = self
+            .file
+            .try_clone()
+            .map_err(|e| ServeError::storage(format!("duping WAL tail for sync: {e}")))?;
+        self.fsyncs += 1;
+        Ok((self.next_lsn, file))
     }
 
     /// Discard the entire log and restart it at `start_lsn`, as if the

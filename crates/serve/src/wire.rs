@@ -1,12 +1,33 @@
-//! Wire protocol: versioned, transport-agnostic frame types (v5 current,
-//! v1–v4 still spoken).
+//! Wire protocol: versioned, transport-agnostic frame types (v6 current,
+//! v1–v5 still spoken).
 //!
 //! A *frame* is one [`ClientFrame`] or [`ServerFrame`] encoded as compact
 //! JSON via the workspace serde layer (externally-tagged enums, exact
-//! 64-bit integers). Framing — how frame boundaries are found in a byte
-//! stream — belongs to the [`Transport`](crate::transport::Transport):
-//! TCP length-prefixes each frame with a big-endian `u32`, the in-process
-//! duplex moves the encoded `Vec<u8>` through a channel untouched.
+//! 64-bit integers) on protocol v1–v5, or as a CRC-checked tagged binary
+//! body on v6+ ([`crate::codec`]). Framing — how frame boundaries are
+//! found in a byte stream — belongs to the
+//! [`Transport`](crate::transport::Transport): TCP length-prefixes each
+//! frame with a big-endian `u32`, the in-process duplex moves the
+//! encoded `Vec<u8>` through a channel untouched.
+//!
+//! # Protocol versions at a glance
+//!
+//! | Version | Added | Negotiation / byte-stability guarantee |
+//! |---------|-------|----------------------------------------|
+//! | v1 | handshake, pipelined `Batch`, per-slot errors | baseline; still spoken ([`MIN_PROTOCOL_VERSION`]) |
+//! | v2 | `at_epoch` pins on reads; `EpochEvicted`/`Overloaded` codes | unpinned requests byte-identical to v1 |
+//! | v3 | per-request `search` policy overrides | requests without overrides byte-identical to v2 |
+//! | v4 | `Metrics` request/response pair | every v1–v3 frame byte-identical |
+//! | v5 | replication: `ReadOnlyReplica` code, `replication` report block | non-replicating reports byte-identical to v4 |
+//! | v6 | binary frame codec ([`BINARY_FRAME_VERSION`], [`crate::codec`]) | handshake stays JSON; v1–v5 JSON frames untouched |
+//!
+//! [`negotiate`] always picks the highest version both sides speak —
+//! `min(client_max, PROTOCOL_VERSION)` — and fails with a typed
+//! [`ServeError::VersionUnsupported`] naming both ranges when the
+//! ranges are disjoint. Every bump is additive: a frame that does not
+//! use a newer feature encodes byte-identically to its oldest form
+//! (pinned by `tests/wire_roundtrip.rs`), so old clients and servers
+//! interoperate without flags.
 //!
 //! Connection lifecycle:
 //!
@@ -92,6 +113,19 @@
 //! `replication: None`. The leader→follower stream itself does *not*
 //! ride this protocol — it is a separate binary CRC-framed stream
 //! documented in [`crate::replicate`].
+//!
+//! # Protocol v6: binary frames
+//!
+//! v6 changes the frame *encoding*, not the frame *vocabulary*: the
+//! same `ClientFrame`/`ServerFrame` values ride a compact tagged binary
+//! layout with a CRC-32 body checksum ([`crate::codec`]) instead of
+//! JSON. The handshake (`Hello`, `HelloAck`, and any pre-negotiation
+//! `Error`) is **always JSON** in both directions, so negotiation
+//! itself never depends on the version being negotiated; every frame
+//! after a `HelloAck { version: 6+ }` is binary. A v6 client meeting a
+//! v5 server negotiates 5 and speaks JSON automatically — no refusal
+//! gate is needed because the feature set is unchanged. v1–v5 JSON
+//! bytes stay pinned by `tests/wire_roundtrip.rs`.
 
 use serde::{Deserialize, Serialize};
 
@@ -99,7 +133,7 @@ use crate::engine::{Envelope, Response};
 use crate::ServeError;
 
 /// Current (and highest supported) protocol version.
-pub const PROTOCOL_VERSION: u32 = 5;
+pub const PROTOCOL_VERSION: u32 = 6;
 
 /// Oldest protocol version this build still speaks.
 pub const MIN_PROTOCOL_VERSION: u32 = 1;
@@ -117,6 +151,11 @@ pub const METRICS_VERSION: u32 = 4;
 /// First protocol version carrying the `ReadOnlyReplica` error code and
 /// the additive `replication` block on `Stats`/`Metrics` reports.
 pub const REPLICA_VERSION: u32 = 5;
+
+/// First protocol version whose post-handshake frames ride the binary
+/// codec ([`crate::codec`]) instead of JSON. The handshake itself is
+/// always JSON.
+pub const BINARY_FRAME_VERSION: u32 = 6;
 
 /// Upper bound on one frame's encoded size (64 MiB). Both sides reject
 /// larger frames as a protocol violation instead of allocating blindly.
@@ -190,16 +229,18 @@ mod tests {
         assert_eq!(negotiate(3, 3), Ok(3));
         assert_eq!(negotiate(1, 4), Ok(4));
         assert_eq!(negotiate(4, 4), Ok(4));
-        assert_eq!(negotiate(1, 5), Ok(5), "v5-only clients still speak");
+        assert_eq!(negotiate(1, 5), Ok(5), "v5-capped clients still speak");
         assert_eq!(negotiate(5, 5), Ok(5));
+        assert_eq!(negotiate(1, 6), Ok(6), "v6 clients get binary frames");
+        assert_eq!(negotiate(6, 6), Ok(6));
         assert_eq!(
-            negotiate(1, 7),
+            negotiate(1, 8),
             Ok(PROTOCOL_VERSION),
             "future-proof client downgrades"
         );
-        assert_eq!(negotiate(5, 7), Ok(5), "min within range downgrades too");
+        assert_eq!(negotiate(6, 8), Ok(6), "min within range downgrades too");
         assert!(matches!(
-            negotiate(6, 7),
+            negotiate(7, 8),
             Err(ServeError::VersionUnsupported { .. })
         ));
         assert!(matches!(

@@ -577,3 +577,149 @@ fn ann_search_is_byte_identical_across_engine_duplex_and_tcp() {
     tcp.goodbye().unwrap();
     handle.shutdown();
 }
+
+#[test]
+fn v5_capped_client_speaks_json_against_a_v6_server() {
+    // A client whose advertised range stops below the binary-frame
+    // version negotiates down and the connection stays JSON end to end;
+    // answers are identical to a full-version (binary) client's.
+    let (remote, local) = twin_engines(3);
+    let handle = Server::listen(remote, "127.0.0.1:0", None).unwrap();
+    let mut v6 = Client::connect(handle.addr()).unwrap();
+    assert_eq!(v6.protocol_version(), PROTOCOL_VERSION);
+    let mut v5 = Client::over_versions(
+        TcpTransport::connect(handle.addr()).unwrap(),
+        gee_serve::wire::MIN_PROTOCOL_VERSION,
+        gee_serve::wire::BINARY_FRAME_VERSION - 1,
+    )
+    .unwrap();
+    assert_eq!(v5.protocol_version(), 5, "capped range negotiates down");
+    // Read-only suites (writes would advance the shared engine's epoch
+    // between the two executions): both codecs must carry bit-identical
+    // answers, and both must match the in-process oracle.
+    for case in 0..6u32 {
+        let v = |i: u32| (case.wrapping_mul(17).wrapping_add(i * 5)) % N as u32;
+        let batch = vec![
+            Envelope::new("g", Request::classify(vec![v(0), v(1), v(2)], 3)),
+            Envelope::new("g", Request::similar(v(3), 6)),
+            Envelope::new("g", Request::embed_row(v(4))),
+            Envelope::new("missing", Request::embed_row(0)),
+            Envelope::new("g", Request::similar(v(5), 0)),
+        ];
+        let over_v5 = v5.execute_batch(batch.clone()).unwrap();
+        let over_v6 = v6.execute_batch(batch.clone()).unwrap();
+        let in_process = local.execute_batch(batch);
+        assert_eq!(over_v5, over_v6, "case {case}: codecs agree");
+        assert_eq!(over_v5, in_process, "case {case}: wire equals engine");
+    }
+    v5.goodbye().unwrap();
+    v6.goodbye().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_unblocks_when_bound_to_an_unspecified_address() {
+    // `0.0.0.0:0` binds every interface; the shutdown self-connection
+    // must target the loopback (connecting to 0.0.0.0 fails on some
+    // platforms), or this test hangs forever.
+    let (remote, _) = twin_engines(2);
+    let handle = Server::listen(remote, "0.0.0.0:0", None).unwrap();
+    assert!(handle.addr().ip().is_unspecified());
+    let port = handle.addr().port();
+    let mut client = Client::connect(("127.0.0.1", port)).unwrap();
+    assert!(client.stats("g").is_ok());
+    client.goodbye().unwrap();
+    handle.shutdown(); // must return, not hang
+}
+
+#[test]
+fn connection_burst_returns_to_pool_at_rest() {
+    // Regression for the unbounded-JoinHandle accept loop: after a
+    // burst of connections closes, the server holds no per-connection
+    // state — the live gauge returns to zero and the thread pool stays
+    // at its fixed size.
+    let (remote, _) = twin_engines(2);
+    let handle = Server::listen_with(remote, "127.0.0.1:0", None, 2).unwrap();
+    assert_eq!(handle.workers(), 2);
+
+    for _round in 0..3 {
+        let mut clients: Vec<Client> = (0..12)
+            .map(|_| Client::connect(handle.addr()).unwrap())
+            .collect();
+        for c in &mut clients {
+            assert!(c.stats("g").is_ok());
+        }
+        assert!(handle.live_connections() >= 1, "burst is visible");
+        for c in clients {
+            c.goodbye().unwrap();
+        }
+        // The workers observe the goodbyes/EOFs asynchronously.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while handle.live_connections() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "stuck at {} live connections",
+                handle.live_connections()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+    }
+    assert_eq!(handle.workers(), 2, "pool size is burst-invariant");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelining_survives_response_too_large_substitution() {
+    // A batch whose encoded reply overflows MAX_FRAME_LEN gets a typed
+    // ResponseTooLarge error in *every* slot (count preserved), and the
+    // connection keeps working: a pipelined follow-up batch and further
+    // sequential batches still succeed.
+    const BIG_K: usize = 256; // dim == num_classes, so rows are 256 f64s
+    const VERTICES: usize = 64;
+    let el = gee_gen::erdos_renyi_gnm(VERTICES, 300, 11);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            VERTICES,
+            gee_gen::LabelSpec {
+                num_classes: BIG_K,
+                labeled_fraction: 0.5,
+            },
+            3,
+        ),
+        BIG_K,
+    );
+    let reg = Registry::new(2);
+    reg.register("g", &el, &labels).unwrap();
+    let engine = Arc::new(Engine::new(Arc::new(reg)));
+    let handle = Server::listen(engine, "127.0.0.1:0", None).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    // ~34k rows x ~2KB each overflows the 64 MiB reply frame.
+    let huge: Vec<Envelope> = (0..34_000u32)
+        .map(|i| Envelope::new("g", Request::embed_row(i % VERTICES as u32)))
+        .collect();
+    let huge_len = huge.len();
+    let small = workload_batch(1);
+    let small_len = small.len();
+
+    let mut replies = client.pipeline(vec![huge, small]).unwrap();
+    assert_eq!(replies.len(), 2);
+    let small_reply = replies.pop().unwrap();
+    let huge_reply = replies.pop().unwrap();
+
+    assert_eq!(huge_reply.len(), huge_len, "slot count preserved");
+    for slot in &huge_reply {
+        assert!(
+            matches!(slot, Err(ServeError::ResponseTooLarge { max_bytes, .. })
+                if *max_bytes == gee_serve::wire::MAX_FRAME_LEN),
+            "{slot:?}"
+        );
+    }
+    assert_eq!(small_reply.len(), small_len);
+    assert!(small_reply[0].is_ok(), "pipelined follow-up still answered");
+
+    // And the connection remains usable afterwards.
+    assert!(client.stats("g").is_ok());
+    client.goodbye().unwrap();
+    handle.shutdown();
+}

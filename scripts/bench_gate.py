@@ -3,10 +3,13 @@
 
 Compares two `gee-bench-v1` reports (old, new) and fails — exit 1 —
 when any request type's p99 latency regressed by more than the allowed
-ratio (default 1.25, i.e. >25% slower). The BENCH_*.json files checked
-into the repo root form a trajectory, one per PR; CI runs this gate on
-the two newest so a PR that lands a tail-latency regression fails
-loudly instead of silently bending the curve.
+ratio (default 1.25, i.e. >25% slower), or when a gated type reports a
+nonzero `error_rate` in the NEW run (latency percentiles over errored
+requests are meaningless, and a server that starts refusing work looks
+*faster*). The BENCH_*.json files checked into the repo root form a
+trajectory, one per PR; CI runs this gate on the two newest so a PR
+that lands a tail-latency regression fails loudly instead of silently
+bending the curve.
 
 Usage:
     bench_gate.py OLD.json NEW.json [--max-ratio 1.25] [--min-count 50]
@@ -62,6 +65,16 @@ def gate(old_path, new_path, max_ratio, min_count):
             )
             continue
         compared += 1
+        # A type that errors in the new run fails outright: its latency
+        # numbers only describe the requests that still succeeded.
+        error_rate = n.get("error_rate", 0.0)
+        if error_rate > 0:
+            print(
+                f"  {kind:<12} error_rate {error_rate:.4f}"
+                f" ({n['count']} samples)  FAIL"
+            )
+            failures.append((kind, f"error_rate {error_rate:.4f}"))
+            continue
         ratio = n["p99_us"] / o["p99_us"] if o["p99_us"] > 0 else float("inf")
         verdict = "FAIL" if ratio > max_ratio else "ok"
         print(
@@ -69,14 +82,14 @@ def gate(old_path, new_path, max_ratio, min_count):
             f"  ({ratio:.2f}x)  {verdict}"
         )
         if ratio > max_ratio:
-            failures.append((kind, ratio))
+            failures.append((kind, f"p99 {ratio:.2f}x"))
     if compared == 0:
         sys.exit("bench_gate: no request type had enough samples to compare")
     if failures:
-        worst = ", ".join(f"{k} {r:.2f}x" for k, r in failures)
+        worst = ", ".join(f"{k} {why}" for k, why in failures)
         sys.exit(
-            f"bench_gate: p99 regression above {max_ratio:.2f}x in"
-            f" {old_path} -> {new_path}: {worst}"
+            f"bench_gate: regression in {old_path} -> {new_path}"
+            f" (p99 limit {max_ratio:.2f}x, error_rate limit 0): {worst}"
         )
     print(f"bench_gate: ok ({compared} type(s) within {max_ratio:.2f}x)")
 
