@@ -45,7 +45,15 @@ subcommands:
                ([--replicate-port-file F] writes the bound address; needs --data-dir);
                --follow LEADER --data-dir DIR --listen ADDR trails a leader as a
                read-only replica: reads (incl. --at-epoch pins) serve locally,
-               writes fail with code 15 ReadOnlyReplica, lag shows in stats/metrics
+               writes fail with code 15 ReadOnlyReplica, lag shows in stats/metrics;
+               --promote-file PATH arms in-process failover: when PATH appears
+               the replica promotes itself to leader (new fenced epoch, writes
+               start passing; with --replicate ADDR it also ships its WAL)
+  promote      --data-dir DIR [--shards S=4] [--replicate ADDR [--replicate-port-file F]]
+               promote a stopped follower's data dir to leader: durably bump the
+               leader epoch (fencing token — the deposed leader gets code 16
+               StaleLeader everywhere), report the new epoch; with --replicate
+               keep running and ship the WAL so surviving followers re-point
   query        --graph <file> (--classify v1,v2,.. | --similar V | --row V |
                                --stats true | --metrics true)
                [--k K=5] [--top T=10] [--classes K=50] [--labeled F=0.1]
@@ -74,8 +82,9 @@ subcommands:
                stdin (or --in), emit the BENCH report on stdout (or --json)
   recover      --data-dir DIR [--shards S=4] [--checkpoint true]
                recover a durable serving directory (checkpoint + WAL replay), report
-               each graph's epoch/size plus the WAL high-water LSN and latest
-               checkpoint LSN, optionally force a compacting checkpoint
+               each graph's epoch/size plus the WAL high-water LSN, latest
+               checkpoint LSN and stored leader epoch, optionally force a
+               compacting checkpoint
   convert      <in-file> <out-file>
 
 formats by extension: .txt/.el/.edgelist (text), .snap, .mtx, .csr (binary), .edges (stream)
@@ -98,6 +107,7 @@ pub fn run(args: &[String]) -> crate::Result<String> {
         "bench" => bench(&flags),
         "bench-report" => bench_report(&flags),
         "recover" => recover(&flags),
+        "promote" => promote(&flags),
         "convert" => convert(&flags),
         "help" | "--help" | "-h" => Ok(USAGE.into()),
         other => Err(CliError::Usage(format!(
@@ -556,9 +566,44 @@ fn recover(flags: &Flags) -> crate::Result<String> {
         Some(lsn) => writeln!(out, "latest checkpoint at lsn {lsn}").unwrap(),
         None => writeln!(out, "no checkpoint on disk").unwrap(),
     }
+    writeln!(out, "leader epoch {}", registry.leader_epoch()).unwrap();
     if flags.get_parsed("checkpoint", false)? {
         let lsn = registry.checkpoint_now()?.expect("registry opened durable");
         writeln!(out, "checkpoint written at lsn {lsn}; WAL compacted").unwrap();
+    }
+    Ok(out)
+}
+
+/// `promote`: turn a stopped follower's data dir into the new leader.
+/// Recovers the directory, durably bumps the leader epoch (the fencing
+/// token the cluster holds the deposed leader to), and — with
+/// `--replicate ADDR` — stays up shipping the WAL so surviving
+/// followers can re-point and resume from their own LSNs.
+fn promote(flags: &Flags) -> crate::Result<String> {
+    let dir = flags.require("data-dir")?.to_string();
+    let shards: usize = flags.get_parsed("shards", 4)?;
+    let durability = durability_from_flags(flags)?.expect("--data-dir was required");
+    let registry = std::sync::Arc::new(gee_serve::Registry::open(shards, durability)?);
+    let epoch = registry.promote_to_leader()?;
+    let high = registry.wal_high_water().expect("registry opened durable");
+    let mut out = String::new();
+    writeln!(
+        out,
+        "promoted {dir} to leader epoch {epoch} (wal high-water lsn {high})"
+    )
+    .unwrap();
+    if let Some(addr) = flags.get("replicate") {
+        let listener = gee_serve::ReplicationListener::listen(registry.clone(), addr)?;
+        // Print now: with --replicate this command never returns.
+        print!("{out}");
+        println!("replication: shipping WAL on {}", listener.addr());
+        if let Some(file) = flags.get("replicate-port-file") {
+            std::fs::write(file, listener.addr().to_string())?;
+        }
+        loop {
+            // Lead until killed (like `serve --listen` without a conn cap).
+            std::thread::park();
+        }
     }
     Ok(out)
 }
@@ -714,14 +759,16 @@ fn render_response(out: &mut String, r: &gee_serve::Response) {
 fn render_replication(r: &gee_serve::ReplicationReport) -> String {
     match r.role {
         gee_serve::ReplicationRole::Leader => format!(
-            "replication: leader ({} follower(s){}), {} records / {} bytes shipped",
+            "replication: leader ({} follower(s){}), {} records / {} bytes shipped, leader epoch {}{}",
             r.follower_conns,
             if r.connected { "" } else { ", idle" },
             r.shipped_records,
             r.shipped_bytes,
+            r.leader_epoch,
+            if r.fenced { " [FENCED]" } else { "" },
         ),
         gee_serve::ReplicationRole::Follower => format!(
-            "replication: follower ({}) lag {} epoch(s) / {} lsn(s), durable to lsn {}",
+            "replication: follower ({}) lag {} epoch(s) / {} lsn(s), durable to lsn {}, leader epoch {}",
             if r.connected {
                 "connected"
             } else {
@@ -730,6 +777,7 @@ fn render_replication(r: &gee_serve::ReplicationReport) -> String {
             r.lag_epochs,
             r.lag_lsns,
             r.last_durable_lsn,
+            r.leader_epoch,
         ),
     }
 }
@@ -830,7 +878,8 @@ fn serve_follow(flags: &Flags, leader: &str) -> crate::Result<String> {
     };
     let follower = gee_serve::Follower::start(config, leader)?;
     eprintln!("following leader at {leader}");
-    let engine = gee_serve::Engine::new(follower.registry().clone());
+    let registry = follower.registry().clone();
+    let engine = gee_serve::Engine::new(registry.clone());
     let handle = gee_serve::Server::listen_with(
         std::sync::Arc::new(engine),
         listen,
@@ -845,13 +894,57 @@ fn serve_follow(flags: &Flags, leader: &str) -> crate::Result<String> {
     if let Some(port_file) = flags.get("port-file") {
         std::fs::write(port_file, bound.to_string())?;
     }
+    // `--promote-file PATH` arms in-process failover: a watcher thread
+    // promotes the replica to leader the moment PATH appears (an
+    // operator `touch`, a supervisor, the failover-smoke CI job). The
+    // read server keeps serving throughout; after promotion its
+    // registry accepts writes under the new, durably-fenced epoch.
+    let follower_slot = std::sync::Arc::new(std::sync::Mutex::new(Some(follower)));
+    if let Some(promote_path) = flags.get("promote-file") {
+        let promote_path = std::path::PathBuf::from(promote_path);
+        let replicate = flags.get("replicate").map(str::to_string);
+        let replicate_port_file = flags.get("replicate-port-file").map(str::to_string);
+        let slot = follower_slot.clone();
+        std::thread::spawn(move || loop {
+            if promote_path.exists() {
+                let Some(follower) = slot.lock().expect("follower slot poisoned").take() else {
+                    return;
+                };
+                match follower.promote(replicate.as_deref()) {
+                    Ok(promotion) => {
+                        eprintln!("promoted to leader epoch {}", promotion.epoch);
+                        if let Some(listener) = promotion.listener {
+                            eprintln!("replication: shipping WAL on {}", listener.addr());
+                            if let Some(file) = &replicate_port_file {
+                                let _ = std::fs::write(file, listener.addr().to_string());
+                            }
+                            // Leak the handle: the listener must outlive
+                            // this watcher thread and keep shipping until
+                            // the process exits.
+                            std::mem::forget(listener);
+                        }
+                    }
+                    Err(e) => eprintln!("promotion failed: {e}"),
+                }
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        });
+    }
     handle.wait();
-    let lsn = follower
-        .registry()
-        .wal_high_water()
-        .expect("followers are durable");
-    follower.shutdown();
-    Ok(format!("replica exiting at lsn {lsn}\n"))
+    let lsn = registry.wal_high_water().expect("followers are durable");
+    let still_following = follower_slot.lock().expect("follower slot poisoned").take();
+    let summary = match still_following {
+        Some(follower) => {
+            follower.shutdown();
+            format!("replica exiting at lsn {lsn}\n")
+        }
+        None => format!(
+            "promoted leader (epoch {}) exiting at lsn {lsn}\n",
+            registry.leader_epoch()
+        ),
+    };
+    Ok(summary)
 }
 
 /// `serve`: stand up the engine and run a query script against it as one

@@ -17,9 +17,9 @@
 //!
 //! ```text
 //! magic    (8 bytes, b"GEECKPT1")
-//! version  (u32 LE, = 1)
+//! version  (u32 LE, = 2)
 //! frame    [len u32 LE][crc32 u32 LE][payload]   (io::frame layout)
-//! payload  = lsn u64, graph count u32, then per graph:
+//! payload  = lsn u64, leader_epoch u64, graph count u32, then per graph:
 //!   name (u32 len + UTF-8), shards u32, epoch u64, updates_applied u64,
 //!   n u64, K u32, n×K × f64-bits (Ẑ), n × i32 (labels), K × u64 (counts),
 //!   per vertex: degree u32, degree × (vertex u32, w f64-bits)
@@ -45,8 +45,11 @@ use crate::ServeError;
 /// Checkpoint-file magic.
 pub const MAGIC: &[u8; 8] = b"GEECKPT1";
 
-/// Checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Checkpoint format version. v2 added `leader_epoch` to the payload
+/// (the replication fencing token; see [`crate::replicate`]) — v1 files
+/// written by pre-fencing builds are refused as unsupported rather than
+/// misread.
+pub const VERSION: u32 = 2;
 
 /// Upper bound on a checkpoint payload: the u32 frame-length limit
 /// (~4 GiB, enough for ~40M-row states) — it guards the allocation a
@@ -76,6 +79,11 @@ pub struct GraphCheckpoint {
 pub struct Checkpoint {
     /// WAL records with LSN < `lsn` are covered; replay starts here.
     pub lsn: u64,
+    /// The leader epoch (replication fencing token) the registry held
+    /// when the checkpoint was taken; recovery takes the max of this
+    /// and the `leader-epoch` file, so the token survives the loss of
+    /// either. `0` on a node that never led or followed.
+    pub leader_epoch: u64,
     /// Every registered graph, in registry iteration order.
     pub graphs: Vec<GraphCheckpoint>,
 }
@@ -111,6 +119,7 @@ pub fn checkpoint_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>, ServeError> {
 pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
     let mut buf = Vec::new();
     frame::put_u64(&mut buf, ckpt.lsn);
+    frame::put_u64(&mut buf, ckpt.leader_epoch);
     frame::put_u32(&mut buf, ckpt.graphs.len() as u32);
     for g in &ckpt.graphs {
         frame::put_str(&mut buf, &g.name);
@@ -144,6 +153,7 @@ pub fn encode(ckpt: &Checkpoint) -> Vec<u8> {
 pub fn decode(payload: &[u8]) -> Result<Checkpoint, FrameError> {
     let mut c = Cursor::new(payload);
     let lsn = c.take_u64("checkpoint lsn")?;
+    let leader_epoch = c.take_u64("leader epoch")?;
     let graph_count = c.take_count(1, "graph count")?;
     let mut graphs = Vec::with_capacity(graph_count);
     for _ in 0..graph_count {
@@ -208,7 +218,11 @@ pub fn decode(payload: &[u8]) -> Result<Checkpoint, FrameError> {
         });
     }
     c.finish("checkpoint")?;
-    Ok(Checkpoint { lsn, graphs })
+    Ok(Checkpoint {
+        lsn,
+        leader_epoch,
+        graphs,
+    })
 }
 
 /// Write a checkpoint durably: temp file → fsync → atomic rename → fsync
@@ -355,6 +369,7 @@ mod tests {
         dg.set_label(2, Some(1));
         Checkpoint {
             lsn: 17,
+            leader_epoch: 3,
             graphs: vec![
                 GraphCheckpoint {
                     name: "main".into(),
@@ -415,6 +430,7 @@ mod tests {
         for (n, k) in [(u64::MAX, 0u32), (0, u32::MAX), (u64::MAX / 8, 1)] {
             let mut payload = Vec::new();
             frame::put_u64(&mut payload, 1); // lsn
+            frame::put_u64(&mut payload, 0); // leader epoch
             frame::put_u32(&mut payload, 1); // one graph
             frame::put_str(&mut payload, "g");
             frame::put_u32(&mut payload, 4); // shards

@@ -561,6 +561,8 @@ fn encode_opt_replication(p: &mut Vec<u8>, replication: &Option<ReplicationRepor
             frame::put_u64(p, r.lag_epochs);
             frame::put_u64(p, r.lag_lsns);
             frame::put_u64(p, r.last_durable_lsn);
+            frame::put_u64(p, r.leader_epoch);
+            frame::put_u8(p, u8::from(r.fenced));
         }
     }
 }
@@ -594,6 +596,14 @@ fn decode_opt_replication(c: &mut Cursor<'_>) -> Result<Option<ReplicationReport
                 lag_epochs: c.take_u64("lag_epochs")?,
                 lag_lsns: c.take_u64("lag_lsns")?,
                 last_durable_lsn: c.take_u64("last_durable_lsn")?,
+                leader_epoch: c.take_u64("leader_epoch")?,
+                fenced: match c.take_u8("fenced")? {
+                    0 => false,
+                    1 => true,
+                    other => {
+                        return Err(FrameError::malformed(format!("fenced byte {other}")));
+                    }
+                },
             }))
         }
         other => Err(FrameError::malformed(format!(
@@ -767,6 +777,13 @@ fn encode_error(p: &mut Vec<u8>, error: &ServeError) {
             frame::put_str(p, graph);
             frame::put_str(p, leader);
         }
+        ServeError::StaleLeader {
+            leader_epoch,
+            seen_epoch,
+        } => {
+            frame::put_u64(p, *leader_epoch);
+            frame::put_u64(p, *seen_epoch);
+        }
     }
 }
 
@@ -834,6 +851,10 @@ fn decode_error(c: &mut Cursor<'_>) -> Result<ServeError, FrameError> {
         15 => ServeError::ReadOnlyReplica {
             graph: c.take_str(MAX_NAME_LEN, "graph name")?,
             leader: c.take_str(MAX_DETAIL_LEN, "leader")?,
+        },
+        16 => ServeError::StaleLeader {
+            leader_epoch: c.take_u64("leader_epoch")?,
+            seen_epoch: c.take_u64("seen_epoch")?,
         },
         other => {
             return Err(FrameError::malformed(format!("unknown error code {other}")));
@@ -995,6 +1016,8 @@ mod tests {
                 lag_epochs: 1,
                 lag_lsns: 2,
                 last_durable_lsn: 77,
+                leader_epoch: 3,
+                fenced: false,
             }),
         };
         let metrics = MetricsReport {

@@ -200,6 +200,27 @@
 //! concurrent writer churn; `tests/replication_frames.rs` fuzzes the
 //! stream framing and injects torn/bit-flipped streams.
 //!
+//! ## Promotion & fencing
+//!
+//! When a leader dies, any follower can take over:
+//! [`Follower::promote`] stops the pull loop at the durable high water,
+//! durably bumps the **leader epoch** — a monotonically increasing
+//! fencing token persisted in the data dir and carried in every
+//! replication handshake and heartbeat (stream v2) — and flips the
+//! registry writable, optionally warming a fresh [`ReplicationListener`]
+//! so the surviving followers re-point and resume from their own LSNs
+//! (`gee promote` on the command line). The epoch makes split brain
+//! impossible: a follower rejects any leader advertising an epoch below
+//! the highest it has durably seen, and a deposed leader greeted by a
+//! follower that names a newer epoch **self-fences** — it stops shipping,
+//! refuses writes, and both sides surface the typed
+//! [`ServeError::StaleLeader`] ([`ErrorCode::StaleLeader`] = 16, with
+//! `fenced: true` in the leader's `replication` report). What fencing
+//! does *not* change: replication stays asynchronous, so writes the old
+//! leader acknowledged but never shipped are lost on failover (the
+//! quorum-ack follow-on in ROADMAP.md addresses that); promotion is
+//! manual/operator-driven — there is no failure detector or election.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use gee_core::Labels;
@@ -249,7 +270,7 @@ pub use metrics::{HistogramReport, MetricsReport, ReplicationReport, Replication
 pub use registry::{
     BackpressurePolicy, HistoryPolicy, Registry, RegistryConfig, Update, WriteSlot,
 };
-pub use replicate::{Follower, ReplicationListener};
+pub use replicate::{Follower, Promotion, ReplicationListener};
 pub use server::{Server, ServerHandle};
 pub use shard::ShardLayout;
 pub use snapshot::{ShardBlock, Snapshot};
@@ -331,6 +352,12 @@ pub enum ServeError {
     /// replication stream from their leader ([`replicate`]); direct
     /// writes must go to the leader named here.
     ReadOnlyReplica { graph: String, leader: String },
+    /// The leader epoch (replication fencing token) `leader_epoch` is
+    /// stale: a peer proved epoch `seen_epoch` (higher) exists. A
+    /// deposed leader returns this for writes after it is fenced; a
+    /// follower returns it to a deposed leader's replication stream
+    /// before applying anything. See [`replicate`] on promotion.
+    StaleLeader { leader_epoch: u64, seen_epoch: u64 },
 }
 
 impl ServeError {
@@ -370,6 +397,7 @@ impl ServeError {
             ServeError::EpochEvicted { .. } => ErrorCode::EpochEvicted,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
             ServeError::ReadOnlyReplica { .. } => ErrorCode::ReadOnlyReplica,
+            ServeError::StaleLeader { .. } => ErrorCode::StaleLeader,
         }
     }
 }
@@ -394,6 +422,7 @@ pub enum ErrorCode {
     EpochEvicted,
     Overloaded,
     ReadOnlyReplica,
+    StaleLeader,
 }
 
 impl ErrorCode {
@@ -415,6 +444,7 @@ impl ErrorCode {
             ErrorCode::EpochEvicted => 13,
             ErrorCode::Overloaded => 14,
             ErrorCode::ReadOnlyReplica => 15,
+            ErrorCode::StaleLeader => 16,
         }
     }
 }
@@ -504,6 +534,16 @@ impl std::fmt::Display for ServeError {
                      send writes to the leader at {leader}"
                 )
             }
+            ServeError::StaleLeader {
+                leader_epoch,
+                seen_epoch,
+            } => {
+                write!(
+                    f,
+                    "leader epoch {leader_epoch} is stale: a newer leader at \
+                     epoch {seen_epoch} exists (this node is fenced)"
+                )
+            }
         }
     }
 }
@@ -517,7 +557,7 @@ mod tests {
     #[test]
     fn error_codes_are_stable() {
         // The wire contract: these numbers must never change.
-        let expected: [(ErrorCode, u16); 15] = [
+        let expected: [(ErrorCode, u16); 16] = [
             (ErrorCode::UnknownGraph, 1),
             (ErrorCode::VertexOutOfRange, 2),
             (ErrorCode::ClassOutOfRange, 3),
@@ -533,6 +573,7 @@ mod tests {
             (ErrorCode::EpochEvicted, 13),
             (ErrorCode::Overloaded, 14),
             (ErrorCode::ReadOnlyReplica, 15),
+            (ErrorCode::StaleLeader, 16),
         ];
         for (code, n) in expected {
             assert_eq!(code.as_u16(), n, "{code:?}");
@@ -621,6 +662,13 @@ mod tests {
                     leader: "10.0.0.1:7070".into(),
                 },
                 ErrorCode::ReadOnlyReplica,
+            ),
+            (
+                ServeError::StaleLeader {
+                    leader_epoch: 1,
+                    seen_epoch: 2,
+                },
+                ErrorCode::StaleLeader,
             ),
         ];
         for (err, code) in cases {

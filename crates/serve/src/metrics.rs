@@ -352,6 +352,14 @@ pub struct ReplicationReport {
     /// The local WAL high-water LSN (next LSN to be assigned): the
     /// resume point a restart would request. Both roles report it.
     pub last_durable_lsn: u64,
+    /// The leader epoch (replication fencing token) this node serves or
+    /// replicates under — 0 until the data dir has ever seen a promoted
+    /// leader. Both roles report it.
+    pub leader_epoch: u64,
+    /// Leader: a peer proved a newer leader epoch exists, so this
+    /// deposed leader refuses writes ([`ErrorCode::StaleLeader`](crate::ErrorCode::StaleLeader))
+    /// and ships nothing. Always `false` on a follower.
+    pub fenced: bool,
 }
 
 #[cfg(test)]

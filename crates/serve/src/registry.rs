@@ -326,6 +326,7 @@ impl DurableLog {
     fn take_checkpoint(
         &mut self,
         entries: &HashMap<String, Arc<Entry>>,
+        leader_epoch: u64,
     ) -> Result<u64, ServeError> {
         let lsn = self.writer.next_lsn();
         let mut graphs: Vec<GraphCheckpoint> = entries
@@ -342,7 +343,14 @@ impl DurableLog {
             })
             .collect();
         graphs.sort_by(|a, b| a.name.cmp(&b.name));
-        checkpoint::save(&self.dir, &Checkpoint { lsn, graphs })?;
+        checkpoint::save(
+            &self.dir,
+            &Checkpoint {
+                lsn,
+                leader_epoch,
+                graphs,
+            },
+        )?;
         self.writer.rotate()?;
         checkpoint::retire_older_than(&self.dir, lsn)?;
         self.records_since_checkpoint = 0;
@@ -401,7 +409,18 @@ pub struct Registry {
     /// rejected with [`ServeError::ReadOnlyReplica`] and only the
     /// replication pull loop mutates (via [`Registry::apply_replicated`]
     /// / [`Registry::install_bootstrap`]). See [`crate::replicate`].
-    replica: Option<Arc<ReplicationStatus>>,
+    /// Behind a lock so [`Follower::promote`](crate::Follower::promote)
+    /// can atomically flip the registry out of replica mode.
+    replica: RwLock<Option<Arc<ReplicationStatus>>>,
+    /// The leader epoch (replication fencing token) this node serves or
+    /// replicates under — the highest value it has durably recorded.
+    /// Recovered from the `leader-epoch` file / checkpoint on open;
+    /// `0` on an in-memory registry or a node that never led/followed.
+    leader_epoch: AtomicU64,
+    /// Non-zero once a replication peer proved a newer leader epoch
+    /// exists: this deposed leader refuses writes with
+    /// [`ServeError::StaleLeader`] and ends follower connections.
+    fenced_by: AtomicU64,
     /// Registry-wide observability counters (see [`crate::metrics`]).
     metrics: ServeMetrics,
 }
@@ -415,7 +434,8 @@ impl std::fmt::Debug for Registry {
             .field("backpressure", &self.backpressure)
             .field("search", &self.search)
             .field("durable", &self.durable.is_some())
-            .field("replica", &self.replica.is_some())
+            .field("replica", &self.is_replica())
+            .field("leader_epoch", &self.leader_epoch.load(Ordering::Acquire))
             .finish()
     }
 }
@@ -503,7 +523,9 @@ impl Registry {
                 search,
                 durable: None,
                 group: None,
-                replica: None,
+                replica: RwLock::new(None),
+                leader_epoch: AtomicU64::new(0),
+                fenced_by: AtomicU64::new(0),
                 metrics: ServeMetrics::new(),
             });
         };
@@ -517,6 +539,13 @@ impl Registry {
         checkpoint::sweep_orphaned_temps(&dir)?;
         let loaded = checkpoint::load_latest(&dir)?;
         let min_lsn = loaded.as_ref().map_or(0, |(c, _)| c.lsn);
+        // The leader epoch (fencing token) is persisted in two places —
+        // a dedicated `leader-epoch` file and the checkpoint payload.
+        // Either may lag the other across a crash (the file is written
+        // first on promotion; the checkpoint stamps it lazily), so
+        // recovery takes the max.
+        let leader_epoch =
+            wal::load_leader_epoch(&dir)?.max(loaded.as_ref().map_or(0, |(c, _)| c.leader_epoch));
         // Replica bootstrap crash window #1: a follower installing a
         // shipped checkpoint wipes its superseded log *before* creating
         // the fresh segment ([`WalWriter::reset_to`]); a crash in
@@ -595,7 +624,9 @@ impl Registry {
                 _lock: lock,
             })),
             group,
-            replica,
+            replica: RwLock::new(replica),
+            leader_epoch: AtomicU64::new(leader_epoch),
+            fenced_by: AtomicU64::new(0),
             metrics: ServeMetrics::new(),
         })
     }
@@ -666,7 +697,8 @@ impl Registry {
         };
         let mut log = durable.lock().expect("log lock poisoned");
         let entries = self.entries.read().expect("registry lock poisoned").clone();
-        log.take_checkpoint(&entries).map(Some)
+        log.take_checkpoint(&entries, self.leader_epoch.load(Ordering::Acquire))
+            .map(Some)
     }
 
     /// Register `name`, computing the epoch-0 embedding from the edge
@@ -1000,22 +1032,30 @@ impl Registry {
         log.records_since_checkpoint += 1;
         if log.checkpoint_every > 0 && log.records_since_checkpoint >= log.checkpoint_every {
             let entries = self.entries.read().expect("registry lock poisoned").clone();
-            log.take_checkpoint(&entries)?;
+            log.take_checkpoint(&entries, self.leader_epoch.load(Ordering::Acquire))?;
         }
         Ok(())
     }
 
     /// Reject the public durable write entry points on a read-only
-    /// replica: only the replication pull loop may mutate, or WAL order
-    /// would diverge from the leader's.
+    /// replica (only the replication pull loop may mutate, or WAL order
+    /// would diverge from the leader's) and on a fenced deposed leader
+    /// (a newer leader epoch exists; accepting the write would fork
+    /// history — the split brain fencing exists to prevent).
     fn check_writable(&self, graph: &str) -> Result<(), ServeError> {
-        match &self.replica {
-            Some(status) => Err(ServeError::ReadOnlyReplica {
+        if let Some(status) = &*self.replica.read().expect("replica lock poisoned") {
+            return Err(ServeError::ReadOnlyReplica {
                 graph: graph.to_string(),
                 leader: status.leader().to_string(),
-            }),
-            None => Ok(()),
+            });
         }
+        if let Some(seen) = self.fenced_by() {
+            return Err(ServeError::StaleLeader {
+                leader_epoch: self.leader_epoch.load(Ordering::Acquire),
+                seen_epoch: seen,
+            });
+        }
+        Ok(())
     }
 
     /// Apply one record shipped by the leader: durably append it at
@@ -1062,13 +1102,18 @@ impl Registry {
     /// Durable-first ordering — the checkpoint hits disk before the
     /// local log is reset to its LSN — so every crash window recovers to
     /// the checkpoint (see the replica repairs in `open_inner`).
-    pub(crate) fn install_bootstrap(&self, ckpt: Checkpoint) -> Result<(), ServeError> {
+    pub(crate) fn install_bootstrap(&self, mut ckpt: Checkpoint) -> Result<(), ServeError> {
         let durable = self
             .durable
             .as_ref()
             .expect("replica registries are always durable");
         let mut log = durable.lock().expect("log lock poisoned");
         let lsn = ckpt.lsn;
+        // Never let a shipped checkpoint roll the locally-seen leader
+        // epoch backward: the fencing token is monotone per data dir.
+        ckpt.leader_epoch = ckpt
+            .leader_epoch
+            .max(self.leader_epoch.load(Ordering::Acquire));
         checkpoint::save(&log.dir, &ckpt)?;
         let mut entries: HashMap<String, Arc<Entry>> = HashMap::new();
         for g in ckpt.graphs {
@@ -1131,7 +1176,78 @@ impl Registry {
 
     /// Whether this registry is a read-only replica.
     pub fn is_replica(&self) -> bool {
-        self.replica.is_some()
+        self.replica
+            .read()
+            .expect("replica lock poisoned")
+            .is_some()
+    }
+
+    /// The leader epoch (replication fencing token) this registry has
+    /// durably recorded: the epoch it serves writes under (leader) or
+    /// replicates under (follower). `0` until the data dir has ever led
+    /// or followed a promoted leader.
+    pub fn leader_epoch(&self) -> u64 {
+        self.leader_epoch.load(Ordering::Acquire)
+    }
+
+    /// `Some(epoch)` once a replication peer proved a leader epoch newer
+    /// than [`Registry::leader_epoch`] exists — this deposed leader is
+    /// **fenced**: writes fail with [`ServeError::StaleLeader`] and its
+    /// follower connections are ended.
+    pub fn fenced_by(&self) -> Option<u64> {
+        match self.fenced_by.load(Ordering::Acquire) {
+            0 => None,
+            epoch => Some(epoch),
+        }
+    }
+
+    /// Fence this registry: a peer proved `epoch` (newer than ours) is
+    /// live. Monotone — a later, even newer epoch wins; an older or
+    /// equal call is a no-op.
+    pub(crate) fn fence(&self, epoch: u64) {
+        self.fenced_by.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Durably record a leader epoch observed on the replication stream
+    /// (no-op unless it is newer than the highest seen). Persists the
+    /// `leader-epoch` file before publishing, so a crash cannot forget
+    /// an epoch this follower already accepted records under.
+    pub(crate) fn note_leader_epoch(&self, epoch: u64) -> Result<(), ServeError> {
+        if epoch <= self.leader_epoch.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let durable = self
+            .durable
+            .as_ref()
+            .expect("replicating registries are always durable");
+        let log = durable.lock().expect("log lock poisoned");
+        wal::save_leader_epoch(&log.dir, epoch)?;
+        self.leader_epoch.fetch_max(epoch, Ordering::AcqRel);
+        Ok(())
+    }
+
+    /// Promote this registry to leader of a new epoch: durably bump the
+    /// fencing token past every epoch this node has seen, then flip out
+    /// of replica mode so writes start passing. Returns the new epoch.
+    /// Usually reached via [`Follower::promote`](crate::Follower::promote)
+    /// (which stops the pull loop first); also valid on a registry
+    /// re-opened from a stopped follower's data dir (`gee promote`).
+    /// Requires a durable registry.
+    pub fn promote_to_leader(&self) -> Result<u64, ServeError> {
+        let durable = self.durable.as_ref().ok_or_else(|| {
+            ServeError::storage("promotion requires a durable registry (Durability::Wal)")
+        })?;
+        let log = durable.lock().expect("log lock poisoned");
+        let epoch = self.leader_epoch.load(Ordering::Acquire) + 1;
+        wal::save_leader_epoch(&log.dir, epoch)?;
+        self.leader_epoch.store(epoch, Ordering::Release);
+        drop(log);
+        *self.replica.write().expect("replica lock poisoned") = None;
+        // A fence by an older epoch is superseded by our own promotion.
+        if self.fenced_by.load(Ordering::Acquire) < epoch {
+            self.fenced_by.store(0, Ordering::Release);
+        }
+        Ok(epoch)
     }
 
     /// The protocol-v5 `replication` block carried by `Stats` and
@@ -1139,7 +1255,8 @@ impl Registry {
     /// follows. Both endpoints call this, so they never disagree at
     /// quiescence.
     pub fn replication_report(&self) -> Option<ReplicationReport> {
-        if let Some(status) = &self.replica {
+        let leader_epoch = self.leader_epoch.load(Ordering::Acquire);
+        if let Some(status) = &*self.replica.read().expect("replica lock poisoned") {
             let last_durable_lsn = self.wal_high_water().unwrap_or(0);
             let leader_next = status.leader_next_lsn();
             let leader_epochs = status.leader_epochs();
@@ -1158,6 +1275,8 @@ impl Registry {
                 lag_epochs,
                 lag_lsns: leader_next.saturating_sub(last_durable_lsn),
                 last_durable_lsn,
+                leader_epoch,
+                fenced: false,
             })
         } else if self.metrics.replicating.load(Ordering::Acquire) {
             let follower_conns = self.metrics.follower_conns.load(Ordering::Acquire);
@@ -1170,6 +1289,8 @@ impl Registry {
                 lag_epochs: 0,
                 lag_lsns: 0,
                 last_durable_lsn: self.wal_high_water().unwrap_or(0),
+                leader_epoch,
+                fenced: self.fenced_by().is_some(),
             })
         } else {
             None

@@ -42,6 +42,34 @@
 //! water. `tests/replication_frames.rs` injects torn streams and bit
 //! flips to pin this down.
 //!
+//! # Promotion & fencing
+//!
+//! Stream version 2 adds a **leader epoch**: a monotonically increasing
+//! fencing token, durably persisted in each node's data dir (a
+//! `leader-epoch` file plus every checkpoint — see
+//! [`crate::wal::save_leader_epoch`]) and recovered on open. The
+//! follower's [`ReplFrame::Hello`] carries the highest epoch it has
+//! ever replicated under; the leader advertises its own epoch on
+//! [`ReplFrame::Bootstrap`], [`ReplFrame::Stream`], and every
+//! [`ReplFrame::Heartbeat`]. Both sides enforce the same rule —
+//! **never follow, and never serve past, a lower epoch**:
+//!
+//! - a follower that sees a leader advertise an epoch *below* its own
+//!   record rejects the session with the typed
+//!   [`ServeError::StaleLeader`] before applying anything;
+//! - a leader greeted by a follower claiming a *higher* epoch has been
+//!   deposed: it self-fences ([`crate::Registry::fenced_by`]) — writes
+//!   are refused with [`ServeError::StaleLeader`], every follower
+//!   connection is ended, and the fenced state is surfaced through
+//!   `replication_report()` in the Stats/Metrics `replication` block.
+//!
+//! [`Follower::promote`] turns a follower into the new leader: it stops
+//! the pull loop at the durable high water, bumps and persists the
+//! epoch, flips the registry writable, and (optionally) warms a
+//! [`ReplicationListener`] so surviving followers re-point and resume
+//! from their own LSNs. A v1 peer (no epoch in its frames) is still
+//! served for compatibility, without fencing protection.
+//!
 //! # Consistency
 //!
 //! The leader ships records only up to its durable high-water LSN
@@ -64,7 +92,7 @@ use crate::wal;
 pub mod follower;
 pub mod leader;
 
-pub use follower::Follower;
+pub use follower::{Follower, Promotion};
 pub use leader::ReplicationListener;
 
 /// Identifies a replication Hello; a peer that speaks anything else
@@ -74,7 +102,14 @@ pub const REPL_MAGIC: &[u8; 8] = b"GEEREPL1";
 
 /// Version of the replication stream protocol itself (independent of
 /// the client wire protocol's [`crate::wire::PROTOCOL_VERSION`]).
-pub const REPL_STREAM_VERSION: u32 = 1;
+/// v2 added the leader epoch (fencing token) to `Hello`, `Bootstrap`,
+/// `Stream`, and `Heartbeat`.
+pub const REPL_STREAM_VERSION: u32 = 2;
+
+/// Oldest stream version a leader still serves. A v1 follower gets
+/// epoch-free frames (no fencing protection) but an otherwise identical
+/// stream.
+pub const MIN_REPL_STREAM_VERSION: u32 = 1;
 
 /// Cap on one replication frame: a WAL record plus framing slack.
 /// (The bootstrap checkpoint frame is read under
@@ -95,22 +130,36 @@ const MAX_DETAIL_LEN: usize = 1 << 16;
 /// exchange order.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplFrame {
-    /// Follower → leader: magic + stream version + resume LSN.
-    Hello { version: u32, start_lsn: u64 },
+    /// Follower → leader: magic + stream version + resume LSN, plus (v2)
+    /// the highest leader epoch the follower has durably replicated
+    /// under. Encoded only when `version >= 2`; a v1 Hello decodes with
+    /// `max_epoch_seen = 0`.
+    Hello {
+        version: u32,
+        start_lsn: u64,
+        max_epoch_seen: u64,
+    },
     /// Leader → follower: a checkpoint at `lsn` follows as one raw
     /// frame; install it, then expect `Stream { from_lsn: lsn }`.
-    Bootstrap { lsn: u64 },
+    /// `leader_epoch` is `None` on a v1 session.
+    Bootstrap { lsn: u64, leader_epoch: Option<u64> },
     /// Leader → follower: records ship from `from_lsn` (must equal the
     /// follower's high water once any bootstrap is installed).
-    Stream { from_lsn: u64 },
+    /// `leader_epoch` is `None` on a v1 session.
+    Stream {
+        from_lsn: u64,
+        leader_epoch: Option<u64>,
+    },
     /// One WAL record: `record` is the exact
     /// [`wal::encode_record`] payload the leader's log holds at `lsn`.
     Record { lsn: u64, record: Vec<u8> },
     /// Leader liveness + lag oracle: the leader's append head and its
-    /// published epoch per graph (sorted by name).
+    /// published epoch per graph (sorted by name), plus (v2) the leader
+    /// epoch so a mid-stream deposition is caught at the next beat.
     Heartbeat {
         next_lsn: u64,
         epochs: Vec<(String, u64)>,
+        leader_epoch: Option<u64>,
     },
     /// The leader is done with this connection (shutdown, or it cannot
     /// serve the requested range); the follower reconnects with
@@ -125,31 +174,56 @@ impl ReplFrame {
         use gee_graph::io::frame::{put_str, put_u32, put_u64, put_u8};
         let mut buf = Vec::new();
         match self {
-            ReplFrame::Hello { version, start_lsn } => {
+            ReplFrame::Hello {
+                version,
+                start_lsn,
+                max_epoch_seen,
+            } => {
                 put_u8(&mut buf, TAG_HELLO);
                 buf.extend_from_slice(REPL_MAGIC);
                 put_u32(&mut buf, *version);
                 put_u64(&mut buf, *start_lsn);
+                // A v1-shaped Hello must stay byte-identical, so the
+                // epoch rides only on v2+ frames.
+                if *version >= 2 {
+                    put_u64(&mut buf, *max_epoch_seen);
+                }
             }
-            ReplFrame::Bootstrap { lsn } => {
+            ReplFrame::Bootstrap { lsn, leader_epoch } => {
                 put_u8(&mut buf, TAG_BOOTSTRAP);
                 put_u64(&mut buf, *lsn);
+                if let Some(epoch) = leader_epoch {
+                    put_u64(&mut buf, *epoch);
+                }
             }
-            ReplFrame::Stream { from_lsn } => {
+            ReplFrame::Stream {
+                from_lsn,
+                leader_epoch,
+            } => {
                 put_u8(&mut buf, TAG_STREAM);
                 put_u64(&mut buf, *from_lsn);
+                if let Some(epoch) = leader_epoch {
+                    put_u64(&mut buf, *epoch);
+                }
             }
             ReplFrame::Record { lsn, record } => {
                 put_u8(&mut buf, TAG_RECORD);
                 put_u64(&mut buf, *lsn);
                 buf.extend_from_slice(record);
             }
-            ReplFrame::Heartbeat { next_lsn, epochs } => {
+            ReplFrame::Heartbeat {
+                next_lsn,
+                epochs,
+                leader_epoch,
+            } => {
                 put_u8(&mut buf, TAG_HEARTBEAT);
                 put_u64(&mut buf, *next_lsn);
                 put_u32(&mut buf, epochs.len() as u32);
                 for (name, epoch) in epochs {
                     put_str(&mut buf, name);
+                    put_u64(&mut buf, *epoch);
+                }
+                if let Some(epoch) = leader_epoch {
                     put_u64(&mut buf, *epoch);
                 }
             }
@@ -178,18 +252,32 @@ impl ReplFrame {
                 }
                 let version = c.take_u32("stream version")?;
                 let start_lsn = c.take_u64("start lsn")?;
+                let max_epoch_seen = if version >= 2 {
+                    c.take_u64("max epoch seen")?
+                } else {
+                    0
+                };
                 c.finish("Hello frame")?;
-                Ok(ReplFrame::Hello { version, start_lsn })
+                Ok(ReplFrame::Hello {
+                    version,
+                    start_lsn,
+                    max_epoch_seen,
+                })
             }
             TAG_BOOTSTRAP => {
                 let lsn = c.take_u64("bootstrap lsn")?;
+                let leader_epoch = take_opt_epoch(&mut c, "bootstrap leader epoch")?;
                 c.finish("Bootstrap frame")?;
-                Ok(ReplFrame::Bootstrap { lsn })
+                Ok(ReplFrame::Bootstrap { lsn, leader_epoch })
             }
             TAG_STREAM => {
                 let from_lsn = c.take_u64("stream start lsn")?;
+                let leader_epoch = take_opt_epoch(&mut c, "stream leader epoch")?;
                 c.finish("Stream frame")?;
-                Ok(ReplFrame::Stream { from_lsn })
+                Ok(ReplFrame::Stream {
+                    from_lsn,
+                    leader_epoch,
+                })
             }
             TAG_RECORD => {
                 let lsn = c.take_u64("record lsn")?;
@@ -209,8 +297,13 @@ impl ReplFrame {
                     let epoch = c.take_u64("graph epoch")?;
                     epochs.push((name, epoch));
                 }
+                let leader_epoch = take_opt_epoch(&mut c, "heartbeat leader epoch")?;
                 c.finish("Heartbeat frame")?;
-                Ok(ReplFrame::Heartbeat { next_lsn, epochs })
+                Ok(ReplFrame::Heartbeat {
+                    next_lsn,
+                    epochs,
+                    leader_epoch,
+                })
             }
             TAG_END => {
                 let detail = c.take_str(MAX_DETAIL_LEN, "end detail")?;
@@ -224,6 +317,18 @@ impl ReplFrame {
     }
 }
 
+/// Decode the optional trailing leader-epoch a v2 session appends to
+/// `Bootstrap`/`Stream`/`Heartbeat`: exactly 8 remaining bytes is the
+/// epoch, 0 is a v1 frame, and anything else falls through to the
+/// caller's `finish` as malformed.
+fn take_opt_epoch(c: &mut Cursor<'_>, what: &'static str) -> Result<Option<u64>, FrameError> {
+    if c.remaining() == 8 {
+        Ok(Some(c.take_u64(what)?))
+    } else {
+        Ok(None)
+    }
+}
+
 /// Shared live view of a follower's pull loop: the registry reads it to
 /// build the protocol-v5 `replication` report
 /// ([`crate::Registry`]`::replication_report`), tests and operators
@@ -234,6 +339,8 @@ pub struct ReplicationStatus {
     leader_next_lsn: AtomicU64,
     leader_epochs: RwLock<Vec<(String, u64)>>,
     last_error: Mutex<Option<String>>,
+    last_end: Mutex<Option<String>>,
+    backoff_ms: AtomicU64,
 }
 
 impl ReplicationStatus {
@@ -244,6 +351,8 @@ impl ReplicationStatus {
             leader_next_lsn: AtomicU64::new(0),
             leader_epochs: RwLock::new(Vec::new()),
             last_error: Mutex::new(None),
+            last_end: Mutex::new(None),
+            backoff_ms: AtomicU64::new(0),
         }
     }
 
@@ -260,10 +369,21 @@ impl ReplicationStatus {
 
     pub(crate) fn set_connected(&self, connected: bool) {
         self.connected.store(connected, Ordering::Release);
+        // On disconnect the last heartbeat's head/epochs describe a
+        // leader that may no longer exist; clear them so
+        // `replication_report()` never presents a dead leader's state
+        // as live lag.
+        if !connected {
+            self.leader_next_lsn.store(0, Ordering::Release);
+            self.leader_epochs
+                .write()
+                .expect("status lock poisoned")
+                .clear();
+        }
     }
 
     /// The leader's append head from the last heartbeat (0 before the
-    /// first one).
+    /// first one, and reset to 0 whenever the connection drops).
     pub fn leader_next_lsn(&self) -> u64 {
         self.leader_next_lsn.load(Ordering::Acquire)
     }
@@ -283,7 +403,9 @@ impl ReplicationStatus {
     }
 
     /// The most recent pull-loop failure (the loop keeps reconnecting
-    /// regardless; this is for diagnostics).
+    /// regardless; this is for diagnostics). An orderly stream end —
+    /// the leader shutting down, a clean failover — is **not** an
+    /// error; see [`ReplicationStatus::last_graceful_end`].
     pub fn last_error(&self) -> Option<String> {
         self.last_error
             .lock()
@@ -293,6 +415,31 @@ impl ReplicationStatus {
 
     pub(crate) fn record_error(&self, error: String) {
         *self.last_error.lock().expect("status lock poisoned") = Some(error);
+    }
+
+    /// Detail of the most recent orderly [`ReplFrame::End`] from the
+    /// leader (e.g. "leader shutting down"). Tracked separately from
+    /// [`ReplicationStatus::last_error`] so operators can tell a clean
+    /// failover from a fault.
+    pub fn last_graceful_end(&self) -> Option<String> {
+        self.last_end.lock().expect("status lock poisoned").clone()
+    }
+
+    pub(crate) fn record_end(&self, detail: String) {
+        *self.last_end.lock().expect("status lock poisoned") = Some(detail);
+    }
+
+    /// The reconnect backoff the pull loop last slept (zero before the
+    /// first session ends). A healthy follower of an idle leader stays
+    /// at the 100 ms minimum — any successful `Stream` handshake earns
+    /// a fresh backoff, whether or not records were shipped.
+    pub fn reconnect_backoff(&self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.backoff_ms.load(Ordering::Acquire))
+    }
+
+    pub(crate) fn set_backoff(&self, backoff: std::time::Duration) {
+        self.backoff_ms
+            .store(backoff.as_millis() as u64, Ordering::Release);
     }
 }
 
@@ -310,9 +457,30 @@ mod tests {
         roundtrip(ReplFrame::Hello {
             version: REPL_STREAM_VERSION,
             start_lsn: u64::MAX,
+            max_epoch_seen: 17,
         });
-        roundtrip(ReplFrame::Bootstrap { lsn: 0 });
-        roundtrip(ReplFrame::Stream { from_lsn: 42 });
+        // A v1 Hello has no epoch field (canonically zero).
+        roundtrip(ReplFrame::Hello {
+            version: 1,
+            start_lsn: 3,
+            max_epoch_seen: 0,
+        });
+        roundtrip(ReplFrame::Bootstrap {
+            lsn: 0,
+            leader_epoch: None,
+        });
+        roundtrip(ReplFrame::Bootstrap {
+            lsn: 12,
+            leader_epoch: Some(4),
+        });
+        roundtrip(ReplFrame::Stream {
+            from_lsn: 42,
+            leader_epoch: None,
+        });
+        roundtrip(ReplFrame::Stream {
+            from_lsn: 42,
+            leader_epoch: Some(u64::MAX),
+        });
         roundtrip(ReplFrame::Record {
             lsn: 7,
             record: vec![1, 2, 3, 255, 0],
@@ -324,10 +492,12 @@ mod tests {
         roundtrip(ReplFrame::Heartbeat {
             next_lsn: 99,
             epochs: vec![("a".into(), 3), ("graph-ü".into(), u64::MAX)],
+            leader_epoch: Some(2),
         });
         roundtrip(ReplFrame::Heartbeat {
             next_lsn: 0,
             epochs: Vec::new(),
+            leader_epoch: None,
         });
         roundtrip(ReplFrame::End {
             detail: "leader shutting down".into(),
@@ -335,10 +505,44 @@ mod tests {
     }
 
     #[test]
+    fn v1_hello_bytes_decode_without_epoch() {
+        // The v1 wire shape — tag + magic + version + start_lsn, 21
+        // bytes — must keep decoding (version negotiation).
+        let v1 = ReplFrame::Hello {
+            version: 1,
+            start_lsn: 9,
+            max_epoch_seen: 0,
+        }
+        .encode();
+        assert_eq!(v1.len(), 21);
+        let v2 = ReplFrame::Hello {
+            version: 2,
+            start_lsn: 9,
+            max_epoch_seen: 6,
+        }
+        .encode();
+        assert_eq!(v2.len(), 29);
+        assert_eq!(
+            ReplFrame::decode(&v1).unwrap(),
+            ReplFrame::Hello {
+                version: 1,
+                start_lsn: 9,
+                max_epoch_seen: 0,
+            }
+        );
+        // A v2 Hello without its epoch field is malformed, not a guess.
+        assert!(matches!(
+            ReplFrame::decode(&v2[..21]),
+            Err(FrameError::Malformed { .. })
+        ));
+    }
+
+    #[test]
     fn bad_magic_and_unknown_tags_are_malformed() {
         let mut hello = ReplFrame::Hello {
             version: 1,
             start_lsn: 5,
+            max_epoch_seen: 0,
         }
         .encode();
         hello[3] ^= 0xff; // inside the magic
@@ -355,7 +559,11 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_malformed() {
-        let mut stream = ReplFrame::Stream { from_lsn: 1 }.encode();
+        let mut stream = ReplFrame::Stream {
+            from_lsn: 1,
+            leader_epoch: None,
+        }
+        .encode();
         stream.push(0);
         assert!(matches!(
             ReplFrame::decode(&stream),

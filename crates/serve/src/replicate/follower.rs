@@ -12,11 +12,19 @@
 //! twice or skipped.
 //!
 //! The loop reconnects with exponential backoff (100 ms doubling to
-//! 2 s) on any failure: connection refused, stream `End`, or a corrupt
-//! frame. Corruption (CRC mismatch, torn frame, undecodable record,
-//! LSN discontinuity) is **never applied** — the connection is dropped,
-//! the error lands in [`ReplicationStatus::last_error`], and the next
-//! attempt resumes from the durable high water.
+//! 2 s) on any failure: connection refused, a dead socket, or a corrupt
+//! frame. A successful `Stream` handshake resets the backoff — an
+//! idle-but-healthy leader is not a fault. Corruption (CRC mismatch, torn
+//! frame, undecodable record, LSN discontinuity) is **never applied** —
+//! the connection is dropped, the error lands in
+//! [`ReplicationStatus::last_error`], and the next attempt resumes from
+//! the durable high water. A graceful leader `End` (e.g. orderly
+//! shutdown before failover) is tracked separately in
+//! [`ReplicationStatus::last_graceful_end`], never as an error.
+//!
+//! When the leader is gone for good, [`Follower::promote`] turns this
+//! replica into the new leader of a bumped, durably-persisted leader
+//! epoch (see the crate docs on fencing).
 
 use std::io::Read;
 use std::net::TcpStream;
@@ -31,7 +39,9 @@ use crate::registry::{Registry, RegistryConfig};
 use crate::wal::{self, Durability};
 use crate::{checkpoint, ServeError};
 
-use super::{ReplFrame, ReplicationStatus, MAX_REPL_FRAME_LEN, REPL_STREAM_VERSION};
+use super::{
+    ReplFrame, ReplicationListener, ReplicationStatus, MAX_REPL_FRAME_LEN, REPL_STREAM_VERSION,
+};
 
 const MIN_BACKOFF: Duration = Duration::from_millis(100);
 const MAX_BACKOFF: Duration = Duration::from_secs(2);
@@ -105,12 +115,51 @@ impl Follower {
         self.shutdown_in_place();
     }
 
+    /// Promote this follower to leader: stop the pull loop at the
+    /// durable high water, durably bump the leader epoch (the fencing
+    /// token every surviving follower will hold the old leader to), and
+    /// flip the registry writable. With `replicate: Some(addr)` a fresh
+    /// [`ReplicationListener`] is warmed on `addr` so the surviving
+    /// followers re-point and resume from their own LSNs.
+    ///
+    /// Writes the old leader acknowledged but never shipped are **not**
+    /// recovered — replication is asynchronous; promotion continues
+    /// from this follower's durable history.
+    pub fn promote(mut self, replicate: Option<&str>) -> Result<Promotion, ServeError> {
+        self.shutdown_in_place();
+        let registry = self.registry.clone();
+        let epoch = registry.promote_to_leader()?;
+        let listener = match replicate {
+            Some(addr) => Some(ReplicationListener::listen(registry.clone(), addr)?),
+            None => None,
+        };
+        Ok(Promotion {
+            registry,
+            epoch,
+            listener,
+        })
+    }
+
     fn shutdown_in_place(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         if let Some(t) = self.pull_thread.take() {
             let _ = t.join();
         }
     }
+}
+
+/// The result of [`Follower::promote`]: the same registry, now leading
+/// under `epoch` (writes pass; [`Registry::leader_epoch`] reports it),
+/// plus the replication listener when one was requested.
+pub struct Promotion {
+    /// The promoted registry — writable, durable, same data dir.
+    pub registry: Arc<Registry>,
+    /// The new leader epoch (old epoch + 1, durably persisted before
+    /// the first write is accepted).
+    pub epoch: u64,
+    /// Warm listener for surviving followers to re-point at, when
+    /// [`Follower::promote`] was given an address.
+    pub listener: Option<ReplicationListener>,
 }
 
 impl Drop for Follower {
@@ -129,12 +178,16 @@ fn pull_loop(
     let mut backoff = MIN_BACKOFF;
     while !stop.load(Ordering::SeqCst) {
         match pull_once(registry, status, stop, leader) {
-            // A session that made progress earns a fresh backoff.
-            Ok(applied) if applied > 0 => backoff = MIN_BACKOFF,
-            Ok(_) => {}
+            // A session that completed the Stream handshake earns a
+            // fresh backoff: the leader was healthy, even if idle — a
+            // quiescent leader must not push clean reconnects toward
+            // the max backoff.
+            Ok(true) => backoff = MIN_BACKOFF,
+            Ok(false) => {}
             Err(e) => status.record_error(e.to_string()),
         }
         status.set_connected(false);
+        status.set_backoff(backoff);
         // Interruptible backoff sleep.
         let deadline = Instant::now() + backoff;
         while Instant::now() < deadline {
@@ -149,13 +202,14 @@ fn pull_loop(
 
 /// One connection's worth of replication: handshake, then apply frames
 /// until the stream ends, something corrupts, or the follower stops.
-/// Returns the number of records durably applied this session.
+/// Returns whether the `Stream` handshake completed — the healthy-leader
+/// signal the reconnect backoff resets on.
 fn pull_once(
     registry: &Arc<Registry>,
     status: &Arc<ReplicationStatus>,
     stop: &AtomicBool,
     leader: &str,
-) -> Result<u64, ServeError> {
+) -> Result<bool, ServeError> {
     let mut stream = TcpStream::connect(leader)
         .map_err(|e| ServeError::storage(format!("connecting to leader {leader}: {e}")))?;
     let _ = stream.set_nodelay(true);
@@ -168,18 +222,22 @@ fn pull_once(
         &ReplFrame::Hello {
             version: REPL_STREAM_VERSION,
             start_lsn,
+            // The fencing half of the handshake: a leader below this
+            // epoch self-fences instead of serving us.
+            max_epoch_seen: registry.leader_epoch(),
         }
         .encode(),
     )
     .map_err(|e| ServeError::storage(format!("replication hello: {e}")))?;
-    let mut applied = 0u64;
+    let mut streamed = false;
     loop {
         let payload = match read_stream_frame(&mut stream, MAX_REPL_FRAME_LEN, stop, leader)? {
             NetRead::Frame(payload) => payload,
-            NetRead::Eof | NetRead::Stopped => return Ok(applied),
+            NetRead::Eof | NetRead::Stopped => return Ok(streamed),
         };
         match ReplFrame::decode(&payload).map_err(|e| corrupt(leader, format!("{e}")))? {
-            ReplFrame::Bootstrap { lsn } => {
+            ReplFrame::Bootstrap { lsn, leader_epoch } => {
+                accept_leader_epoch(registry, leader_epoch)?;
                 // The checkpoint rides as one raw frame right behind.
                 let ckpt_bytes = match read_stream_frame(
                     &mut stream,
@@ -188,7 +246,7 @@ fn pull_once(
                     leader,
                 )? {
                     NetRead::Frame(p) => p,
-                    NetRead::Stopped => return Ok(applied),
+                    NetRead::Stopped => return Ok(streamed),
                     NetRead::Eof => {
                         return Err(corrupt(leader, "stream ended inside bootstrap".into()))
                     }
@@ -206,7 +264,11 @@ fn pull_once(
                 }
                 registry.install_bootstrap(ckpt)?;
             }
-            ReplFrame::Stream { from_lsn } => {
+            ReplFrame::Stream {
+                from_lsn,
+                leader_epoch,
+            } => {
+                accept_leader_epoch(registry, leader_epoch)?;
                 let local = registry
                     .wal_high_water()
                     .expect("followers are always durable");
@@ -216,26 +278,62 @@ fn pull_once(
                         format!("leader streams from lsn {from_lsn}, local log expects {local}"),
                     ));
                 }
+                streamed = true;
                 status.set_connected(true);
             }
             ReplFrame::Record { lsn, record } => {
+                // Records are only valid inside a fenced-checked
+                // session: a stale leader must not sneak one in before
+                // its Stream frame is vetted.
+                if !streamed {
+                    return Err(corrupt(leader, "record before Stream handshake".into()));
+                }
                 let record = wal::decode_record(&record)
                     .map_err(|e| corrupt(leader, format!("record at lsn {lsn}: {e}")))?;
                 registry.apply_replicated(lsn, &record)?;
-                applied += 1;
             }
-            ReplFrame::Heartbeat { next_lsn, epochs } => {
+            ReplFrame::Heartbeat {
+                next_lsn,
+                epochs,
+                leader_epoch,
+            } => {
+                accept_leader_epoch(registry, leader_epoch)?;
                 status.update_leader(next_lsn, epochs);
             }
             ReplFrame::End { detail } => {
-                status.record_error(format!("leader ended stream: {detail}"));
-                return Ok(applied);
+                // An orderly goodbye, not a fault: keep it out of
+                // `last_error` so operators can tell a clean failover
+                // from a broken stream.
+                status.record_end(format!("leader ended stream: {detail}"));
+                return Ok(streamed);
             }
             ReplFrame::Hello { .. } => {
                 return Err(corrupt(leader, "unexpected Hello from leader".into()));
             }
         }
     }
+}
+
+/// Vet the leader epoch advertised on a handshake/heartbeat frame:
+/// `None` (a v1 leader) passes epoch-free; a stale epoch is the typed
+/// split-brain rejection (nothing from this session is applied after
+/// it); a newer epoch is durably noted so this follower holds every
+/// future leader to it.
+fn accept_leader_epoch(
+    registry: &Arc<Registry>,
+    leader_epoch: Option<u64>,
+) -> Result<(), ServeError> {
+    let Some(epoch) = leader_epoch else {
+        return Ok(());
+    };
+    let seen = registry.leader_epoch();
+    if epoch < seen {
+        return Err(ServeError::StaleLeader {
+            leader_epoch: epoch,
+            seen_epoch: seen,
+        });
+    }
+    registry.note_leader_epoch(epoch)
 }
 
 fn corrupt(leader: &str, detail: String) -> ServeError {

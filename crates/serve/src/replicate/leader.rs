@@ -26,7 +26,7 @@ use crate::registry::Registry;
 use crate::server::{spawn_accept_loop, ServerHandle};
 use crate::{checkpoint, wal, ServeError};
 
-use super::{ReplFrame, MAX_REPL_FRAME_LEN, REPL_STREAM_VERSION};
+use super::{ReplFrame, MAX_REPL_FRAME_LEN, MIN_REPL_STREAM_VERSION, REPL_STREAM_VERSION};
 
 /// How often an idle leader proves liveness (and refreshes the
 /// follower's lag oracle).
@@ -142,15 +142,44 @@ fn serve_follower(
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let hello = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN)
         .map_err(|e| ServeError::protocol(format!("replication handshake: {e}")))?;
-    let mut next = match ReplFrame::decode(&hello) {
-        Ok(ReplFrame::Hello { version, start_lsn }) if version == REPL_STREAM_VERSION => start_lsn,
+    let (mut next, epochs_on) = match ReplFrame::decode(&hello) {
+        Ok(ReplFrame::Hello {
+            version,
+            start_lsn,
+            max_epoch_seen,
+        }) if (MIN_REPL_STREAM_VERSION..=REPL_STREAM_VERSION).contains(&version) => {
+            // The deposed-leader self-fence: a follower that has
+            // durably seen a newer leader epoch proves we were
+            // superseded while partitioned. Fence before shipping a
+            // single record — a stale leader's log may already have
+            // forked from the new epoch's history.
+            if max_epoch_seen > registry.leader_epoch() {
+                registry.fence(max_epoch_seen);
+                end(
+                    &mut stream,
+                    &format!(
+                        "leader fenced: follower has seen epoch {max_epoch_seen}, \
+                         this leader is at epoch {}",
+                        registry.leader_epoch()
+                    ),
+                );
+                return Err(ServeError::StaleLeader {
+                    leader_epoch: registry.leader_epoch(),
+                    seen_epoch: max_epoch_seen,
+                });
+            }
+            // v1 followers predate epochs: serve them records, but
+            // leave the fencing fields off their frames.
+            (start_lsn, version >= 2)
+        }
         Ok(ReplFrame::Hello { version, .. }) => {
             end(
                 &mut stream,
                 &format!("unsupported stream version {version}"),
             );
             return Err(ServeError::protocol(format!(
-                "replication stream version {version} (this build speaks {REPL_STREAM_VERSION})"
+                "replication stream version {version} (this build speaks \
+                 {MIN_REPL_STREAM_VERSION}..={REPL_STREAM_VERSION})"
             )));
         }
         Ok(_) | Err(_) => {
@@ -160,6 +189,19 @@ fn serve_follower(
             ));
         }
     };
+    // A leader fenced by an earlier connection must not serve late
+    // followers either: they would replicate a superseded history.
+    if let Some(seen) = registry.fenced_by() {
+        end(
+            &mut stream,
+            &format!("leader fenced by epoch {seen}; re-point at the new leader"),
+        );
+        return Err(ServeError::StaleLeader {
+            leader_epoch: registry.leader_epoch(),
+            seen_epoch: seen,
+        });
+    }
+    let my_epoch = registry.leader_epoch();
     let dir = registry.data_dir().expect("listener requires durability");
     let high = registry
         .wal_high_water()
@@ -182,18 +224,42 @@ fn serve_follower(
                 "compacted WAL without a checkpoint: cannot serve replication bootstrap",
             ));
         };
-        send(&mut stream, &ReplFrame::Bootstrap { lsn: ckpt.lsn })?;
+        send(
+            &mut stream,
+            &ReplFrame::Bootstrap {
+                lsn: ckpt.lsn,
+                leader_epoch: epochs_on.then_some(my_epoch),
+            },
+        )?;
         frame::write_frame(&mut stream, &checkpoint::encode(&ckpt))
             .map_err(|e| ServeError::storage(format!("shipping bootstrap checkpoint: {e}")))?;
         next = ckpt.lsn;
     }
-    send(&mut stream, &ReplFrame::Stream { from_lsn: next })?;
+    send(
+        &mut stream,
+        &ReplFrame::Stream {
+            from_lsn: next,
+            leader_epoch: epochs_on.then_some(my_epoch),
+        },
+    )?;
     let metrics = registry.serve_metrics();
     let mut last_beat = None::<Instant>;
     loop {
         if stop.load(Ordering::SeqCst) {
             end(&mut stream, "leader shutting down");
             return Ok(());
+        }
+        // Another connection may have fenced us mid-stream; stop
+        // shipping a superseded history immediately.
+        if let Some(seen) = registry.fenced_by() {
+            end(
+                &mut stream,
+                &format!("leader fenced by epoch {seen}; re-point at the new leader"),
+            );
+            return Err(ServeError::StaleLeader {
+                leader_epoch: registry.leader_epoch(),
+                seen_epoch: seen,
+            });
         }
         let high = registry
             .wal_high_water()
@@ -216,6 +282,7 @@ fn serve_follower(
                 &ReplFrame::Heartbeat {
                     next_lsn: high,
                     epochs: registry.published_epochs(),
+                    leader_epoch: epochs_on.then_some(my_epoch),
                 },
             )?;
             last_beat = Some(Instant::now());

@@ -394,6 +394,81 @@ pub fn segment_paths(dir: &Path) -> Result<Vec<(u64, PathBuf)>, ServeError> {
     Ok(out)
 }
 
+/// Name of the leader-epoch file inside a data directory: 8 bytes of
+/// magic plus the epoch as a u64 LE. The epoch is the replication
+/// fencing token (see [`crate::replicate`]): a follower durably records
+/// the highest epoch it has replicated under before applying anything
+/// from that leader, and promotion bumps it, so a deposed leader can
+/// never be mistaken for a live one after a restart. The same value
+/// also rides in every checkpoint (format v2), so either survives the
+/// loss of the other.
+pub const LEADER_EPOCH_FILE: &str = "leader-epoch";
+
+/// Leader-epoch file magic.
+pub const LEADER_EPOCH_MAGIC: &[u8; 8] = b"GEELEPO1";
+
+/// Durably persist the leader epoch: temp file → fsync → atomic rename
+/// → directory fsync, the same discipline checkpoints use.
+pub fn save_leader_epoch(dir: &Path, epoch: u64) -> Result<(), ServeError> {
+    let final_path = dir.join(LEADER_EPOCH_FILE);
+    let tmp_path = dir.join(format!("{LEADER_EPOCH_FILE}.tmp"));
+    let io_err =
+        |e: std::io::Error| ServeError::storage(format!("writing {}: {e}", tmp_path.display()));
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)
+        .map_err(io_err)?;
+    file.write_all(LEADER_EPOCH_MAGIC).map_err(io_err)?;
+    file.write_all(&epoch.to_le_bytes()).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| {
+        ServeError::storage(format!(
+            "renaming {} → {}: {e}",
+            tmp_path.display(),
+            final_path.display()
+        ))
+    })?;
+    sync_dir(dir)
+}
+
+/// Read the stored leader epoch; `0` when the file does not exist (a
+/// data dir that predates fencing, or was never promoted/replicated). A
+/// file that exists but fails magic or length checks is damage and
+/// surfaces as [`ServeError::Corrupt`] — never silently epoch 0, which
+/// would let a deposed leader back in.
+pub fn load_leader_epoch(dir: &Path) -> Result<u64, ServeError> {
+    let path = dir.join(LEADER_EPOCH_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => {
+            return Err(ServeError::storage(format!(
+                "reading {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    let corrupt = |detail: String| ServeError::Corrupt {
+        path: path.display().to_string(),
+        detail,
+    };
+    if bytes.len() != 16 {
+        return Err(corrupt(format!(
+            "leader-epoch file is {} bytes, expected 16",
+            bytes.len()
+        )));
+    }
+    if &bytes[..8] != LEADER_EPOCH_MAGIC {
+        return Err(corrupt("bad magic; not a GEELEPO1 file".into()));
+    }
+    Ok(u64::from_le_bytes(
+        bytes[8..16].try_into().expect("8 bytes"),
+    ))
+}
+
 /// Everything recovery learned from scanning the log directory.
 #[derive(Debug)]
 pub struct LogScan {
@@ -992,6 +1067,28 @@ mod tests {
             },
             WalRecord::Deregister { name: "g".into() },
         ]
+    }
+
+    #[test]
+    fn leader_epoch_round_trips_and_rejects_damage() {
+        let dir = tmp_dir("epoch");
+        assert_eq!(load_leader_epoch(&dir).unwrap(), 0);
+        save_leader_epoch(&dir, 7).unwrap();
+        assert_eq!(load_leader_epoch(&dir).unwrap(), 7);
+        save_leader_epoch(&dir, 8).unwrap();
+        assert_eq!(load_leader_epoch(&dir).unwrap(), 8);
+        let path = dir.join(LEADER_EPOCH_FILE);
+        std::fs::write(&path, b"GEELEPO1\x01").unwrap(); // truncated
+        assert!(matches!(
+            load_leader_epoch(&dir),
+            Err(ServeError::Corrupt { .. })
+        ));
+        std::fs::write(&path, b"NOTMAGIC\x01\0\0\0\0\0\0\0").unwrap();
+        assert!(matches!(
+            load_leader_epoch(&dir),
+            Err(ServeError::Corrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

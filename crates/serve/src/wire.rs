@@ -126,6 +126,26 @@
 //! v5 server negotiates 5 and speaks JSON automatically — no refusal
 //! gate is needed because the feature set is unchanged. v1–v5 JSON
 //! bytes stay pinned by `tests/wire_roundtrip.rs`.
+//!
+//! # Within-v6 additive extensions: promotion & fencing
+//!
+//! Follower promotion added two things to the vocabulary without a
+//! version bump, both additive in the same sense as v2–v5:
+//!
+//! * the [`crate::ErrorCode::StaleLeader`] = 16 error code — a write
+//!   sent to a *deposed* leader (one that has learned, via a follower
+//!   handshake, that a newer leader epoch exists) is rejected with it,
+//!   carrying both the deposed epoch and the newer epoch seen. Error
+//!   codes are an append-only registry, so downlevel clients surface
+//!   the code number and message verbatim;
+//! * `leader_epoch` and `fenced` fields at the tail of
+//!   [`ReplicationReport`](crate::metrics::ReplicationReport) — JSON
+//!   appends keys, the binary codec appends fields, and the pinned v5
+//!   stats bytes in `tests/wire_roundtrip.rs` were re-pinned with them.
+//!
+//! The epoch handshake itself (leader-epoch fencing tokens, stream
+//! version 2) rides the replication stream, not this protocol — see
+//! [`crate::replicate`] for the v1↔v2 negotiation rules there.
 
 use serde::{Deserialize, Serialize};
 

@@ -106,6 +106,7 @@ fn arb_state() -> impl Strategy<Value = DynamicGeeState> {
 fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
     (
         any::<u64>(),
+        any::<u64>(),
         vec(
             (
                 arb_name(),
@@ -117,8 +118,9 @@ fn arb_checkpoint() -> impl Strategy<Value = Checkpoint> {
             0..4,
         ),
     )
-        .prop_map(|(lsn, graphs)| Checkpoint {
+        .prop_map(|(lsn, leader_epoch, graphs)| Checkpoint {
             lsn,
+            leader_epoch,
             graphs: graphs
                 .into_iter()
                 .map(
@@ -217,6 +219,7 @@ fn empty_and_edgeless_payloads_round_trip() {
     }
     let empty = Checkpoint {
         lsn: 0,
+        leader_epoch: 0,
         graphs: vec![],
     };
     assert_eq!(
@@ -238,6 +241,7 @@ fn hundred_thousand_row_state_round_trips() {
     let dg = DynamicGee::new(&el, &Labels::from_options_with_k(&opts, k));
     let ckpt = Checkpoint {
         lsn: u64::MAX,
+        leader_epoch: u64::MAX,
         graphs: vec![GraphCheckpoint {
             name: "big".into(),
             shards: 16,

@@ -7,12 +7,17 @@
 //! agreement exactly at quiescence and as monotone bounds under
 //! concurrent writer churn.
 
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use gee_core::Labels;
+use gee_graph::io::frame;
+use gee_serve::replicate::{ReplFrame, MAX_REPL_FRAME_LEN};
+use gee_serve::wal::{encode_record, WalRecord};
 use gee_serve::{
-    Durability, Engine, HistoryPolicy, Registry, RegistryConfig, ReplicationListener,
+    Durability, Engine, Follower, HistoryPolicy, Registry, RegistryConfig, ReplicationListener,
     ReplicationRole, SearchPolicy, SyncPolicy, Update,
 };
 
@@ -227,4 +232,116 @@ fn replication_gauges_agree_between_endpoints() {
     assert_eq!(stats.role, ReplicationRole::Leader);
     assert!(!stats.connected, "no follower attached");
     listener.shutdown();
+}
+
+/// Regression (stale lag): a follower that lost its leader used to keep
+/// the dead leader's last heartbeat in its gauges, reporting a frozen
+/// `lag_lsns`/`lag_epochs` forever. Disconnecting must clear the
+/// leader-side claims — a follower with no leader has no measurable lag
+/// — and `Stats`/`Metrics` must agree on the cleared block.
+#[test]
+fn disconnect_clears_stale_lag_gauges() {
+    let dir = std::env::temp_dir().join(format!(
+        "gee_metrics_stale_lag_{}_{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let wait_until = |what: &str, mut f: Box<dyn FnMut() -> bool + '_>| {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !f() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    };
+
+    // A fake leader: one session that registers a small graph, then
+    // heartbeats a far-ahead high water (lsn 42, epoch 7) and dies.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let _hello = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN).unwrap();
+        let register = encode_record(&WalRecord::Register {
+            name: "g".into(),
+            shards: 2,
+            num_vertices: 10,
+            num_classes: 2,
+            labels: (0..10).map(|v| (v % 3) - 1).collect(),
+            edges: vec![(0, 1, 1.0), (1, 2, 0.5), (2, 3, 1.5)],
+        });
+        for payload in [
+            ReplFrame::Stream {
+                from_lsn: 0,
+                leader_epoch: None,
+            }
+            .encode(),
+            ReplFrame::Record {
+                lsn: 0,
+                record: register,
+            }
+            .encode(),
+            ReplFrame::Heartbeat {
+                next_lsn: 42,
+                epochs: vec![("g".into(), 7)],
+                leader_epoch: None,
+            }
+            .encode(),
+        ] {
+            frame::write_frame(&mut stream, &payload).unwrap();
+        }
+        // Give the follower time to ingest, then drop the socket: the
+        // leader is dead, its heartbeat claims now unverifiable.
+        std::thread::sleep(Duration::from_millis(200));
+    });
+
+    let follower = Follower::start(
+        RegistryConfig {
+            default_shards: 2,
+            durability: Durability::Wal {
+                dir,
+                sync: SyncPolicy::Always,
+                checkpoint_every: 10_000,
+            },
+            ..RegistryConfig::default()
+        },
+        addr,
+    )
+    .unwrap();
+    wait_until(
+        "the far-ahead heartbeat to land",
+        Box::new(|| follower.status().leader_next_lsn() == 42),
+    );
+    let report = follower.registry().replication_report().unwrap();
+    assert!(report.lag_lsns > 0, "live heartbeat claims are real lag");
+    fake.join().unwrap();
+    wait_until(
+        "the follower to notice the dead leader",
+        Box::new(|| !follower.status().is_connected()),
+    );
+
+    let report = follower.registry().replication_report().unwrap();
+    assert!(!report.connected);
+    assert_eq!(report.lag_lsns, 0, "dead leader's claims must not linger");
+    assert_eq!(report.lag_epochs, 0, "dead leader's claims must not linger");
+
+    let engine = Engine::new(follower.registry().clone());
+    let stats = engine
+        .stats("g")
+        .unwrap()
+        .replication
+        .expect("follower block");
+    let metrics = engine
+        .metrics("g")
+        .unwrap()
+        .replication
+        .expect("follower block");
+    assert_eq!(stats, metrics, "both endpoints see the cleared gauges");
+    assert_eq!(stats.role, ReplicationRole::Follower);
+    assert_eq!(stats.lag_lsns, 0);
+    assert_eq!(stats.lag_epochs, 0);
+    follower.shutdown();
 }

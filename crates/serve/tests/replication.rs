@@ -9,7 +9,9 @@
 //! own durable log, a follower behind the compaction horizon that must
 //! take the checkpoint bootstrap, write rejection (in-process and over
 //! the wire), epoch-pinned replica reads compared frame-byte-for-byte
-//! against the leader, and the lag gauges in `Stats`/`Metrics`.
+//! against the leader, the lag gauges in `Stats`/`Metrics`, and a full
+//! failover: follower promotion to a new leader epoch with the deposed
+//! leader fenced on its first post-comeback handshake.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -445,12 +447,115 @@ fn replication_lag_is_reported_through_stats_and_metrics() {
     assert_eq!(stats.lag_lsns, metrics.lag_lsns);
 
     // A dead leader flips `connected` off after the next failed pull.
+    // The shutdown itself is a graceful End (not an error); the *error*
+    // arrives on the follower's next refused reconnect attempt.
     listener.shutdown();
     wait_until("follower to notice the dead leader", 10, || {
         !follower.status().is_connected()
     });
     let fr = follower.registry().replication_report().unwrap();
     assert!(!fr.connected);
-    assert!(follower.status().last_error().is_some());
+    assert_eq!(fr.lag_lsns, 0, "no phantom lag against a dead leader");
+    assert_eq!(fr.lag_epochs, 0, "no phantom lag against a dead leader");
+    wait_until("a reconnect attempt to be refused", 10, || {
+        follower.status().last_error().is_some()
+    });
     follower.shutdown();
+}
+
+/// The full failover story, end to end: a leader with two converged
+/// followers dies mid-flight (with one unshipped batch — the classic
+/// split-brain seed), one follower is promoted to epoch 1 and takes
+/// writes, the survivor re-points and converges fingerprint-identically
+/// against the new history, and when the deposed epoch-0 leader comes
+/// back it is fenced on its first handshake with an epoch-1 follower:
+/// its writes fail with the typed StaleLeader error and nothing it
+/// holds ever reaches a follower. Split-brain is impossible by
+/// construction.
+#[test]
+fn promotion_fences_deposed_leader_and_repoints_followers() {
+    let leader_dir = tmp("failover_leader");
+    let f1_dir = tmp("failover_f1");
+    let f2_dir = tmp("failover_f2");
+
+    // Epoch 0: a leader with two live followers, all converged.
+    let leader = Arc::new(Registry::with_config(config(&leader_dir, 10_000, 4)).unwrap());
+    let (el, labels) = seed_graph();
+    leader.register("g", &el, &labels).unwrap();
+    let listener = ReplicationListener::listen(leader.clone(), "127.0.0.1:0").unwrap();
+    let addr = listener.addr().to_string();
+    let f1 = Follower::start(config(&f1_dir, 10_000, 4), addr.clone()).unwrap();
+    let f2 = Follower::start(config(&f2_dir, 10_000, 4), addr).unwrap();
+    for b in 0..6u32 {
+        leader.apply_updates("g", &scripted_batch(b)).unwrap();
+    }
+    wait_converged(&leader, &f1, 10);
+    wait_converged(&leader, &f2, 10);
+
+    // The leader "dies": shipping stops, but it sneaks in one last
+    // batch that never replicates.
+    listener.shutdown();
+    leader.apply_updates("g", &scripted_batch(98)).unwrap();
+    let deposed_high = leader.wal_high_water().unwrap();
+    drop(leader); // release the dir lock; the deposed WAL stays on disk
+
+    // f2 re-points later; stop it cleanly at the converged LSN.
+    f2.shutdown();
+
+    // Promote f1: epoch 0 → 1, replica mode off, a fresh listener up.
+    let promo = f1.promote(Some("127.0.0.1:0")).unwrap();
+    assert_eq!(promo.epoch, 1, "first promotion mints epoch 1");
+    let new_leader = promo.registry;
+    assert_eq!(new_leader.leader_epoch(), 1);
+    let new_listener = promo
+        .listener
+        .expect("promote with an address warms a listener");
+    // Writes flow on the promoted node immediately...
+    for b in 20..24u32 {
+        new_leader.apply_updates("g", &scripted_batch(b)).unwrap();
+    }
+    let report = new_leader.replication_report().unwrap();
+    assert_eq!(report.role, ReplicationRole::Leader);
+    assert_eq!(report.leader_epoch, 1);
+    assert!(!report.fenced);
+
+    // ...and the surviving follower re-points and converges against the
+    // epoch-1 history, fingerprint-identical, noting the epoch durably.
+    let f2 = Follower::start(config(&f2_dir, 10_000, 4), new_listener.addr().to_string()).unwrap();
+    wait_converged(&new_leader, &f2, 10);
+    assert_epochs_match(&new_leader, f2.registry(), "g");
+    assert_eq!(f2.registry().leader_epoch(), 1);
+    f2.shutdown();
+
+    // The deposed leader comes back at epoch 0 and tries to serve. The
+    // first handshake from a follower that has seen epoch 1 fences it.
+    let deposed = Arc::new(Registry::with_config(config(&leader_dir, 10_000, 4)).unwrap());
+    assert_eq!(
+        deposed.leader_epoch(),
+        0,
+        "the old leader never saw epoch 1"
+    );
+    assert_eq!(deposed.wal_high_water().unwrap(), deposed_high);
+    let deposed_listener = ReplicationListener::listen(deposed.clone(), "127.0.0.1:0").unwrap();
+    let f2 = Follower::start(
+        config(&f2_dir, 10_000, 4),
+        deposed_listener.addr().to_string(),
+    )
+    .unwrap();
+    let f2_high = f2.registry().wal_high_water().unwrap();
+    wait_until("the deposed leader to self-fence", 10, || {
+        deposed.fenced_by() == Some(1)
+    });
+    let err = deposed.apply_updates("g", &scripted_batch(99)).unwrap_err();
+    assert_eq!(err.code().as_u16(), 16, "fenced writes are StaleLeader");
+    assert!(err.to_string().contains("stale"), "{err}");
+    let report = deposed.replication_report().unwrap();
+    assert!(report.fenced, "the fence is visible in the report");
+    assert_eq!(report.leader_epoch, 0);
+    // The epoch-1 follower applied nothing from the epoch-0 has-been.
+    assert_eq!(f2.registry().wal_high_water().unwrap(), f2_high);
+    assert_eq!(f2.registry().leader_epoch(), 1);
+    f2.shutdown();
+    deposed_listener.shutdown();
+    new_listener.shutdown();
 }

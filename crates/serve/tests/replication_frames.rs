@@ -37,20 +37,51 @@ fn arb_name() -> impl Strategy<Value = String> {
     })
 }
 
+/// The `leader_epoch` a v2 handshake frame may carry; `None` models a
+/// v1 peer's frame (the field is absent on the wire entirely).
+fn arb_leader_epoch() -> impl Strategy<Value = Option<u64>> {
+    prop_oneof![Just(None), any::<u64>().prop_map(Some)]
+}
+
 fn arb_frame() -> impl Strategy<Value = ReplFrame> {
     prop_oneof![
-        any::<u64>().prop_map(|start_lsn| ReplFrame::Hello {
+        (any::<u64>(), any::<u64>()).prop_map(|(start_lsn, max_epoch_seen)| ReplFrame::Hello {
             version: REPL_STREAM_VERSION,
-            start_lsn
+            start_lsn,
+            max_epoch_seen,
         }),
-        (any::<u32>(), any::<u64>())
-            .prop_map(|(version, start_lsn)| ReplFrame::Hello { version, start_lsn }),
-        any::<u64>().prop_map(|lsn| ReplFrame::Bootstrap { lsn }),
-        any::<u64>().prop_map(|from_lsn| ReplFrame::Stream { from_lsn }),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(version, start_lsn, epoch)| {
+            ReplFrame::Hello {
+                version,
+                start_lsn,
+                // A pre-epoch (v1) Hello has no epoch bytes on the wire,
+                // so 0 is the canonical decode — required for the
+                // round-trip to be bijective.
+                max_epoch_seen: if version >= 2 { epoch } else { 0 },
+            }
+        }),
+        (any::<u64>(), arb_leader_epoch())
+            .prop_map(|(lsn, leader_epoch)| ReplFrame::Bootstrap { lsn, leader_epoch }),
+        (any::<u64>(), arb_leader_epoch()).prop_map(|(from_lsn, leader_epoch)| {
+            ReplFrame::Stream {
+                from_lsn,
+                leader_epoch,
+            }
+        }),
         (any::<u64>(), vec(any::<u8>(), 0..64))
             .prop_map(|(lsn, record)| ReplFrame::Record { lsn, record }),
-        (any::<u64>(), vec((arb_name(), any::<u64>()), 0..5))
-            .prop_map(|(next_lsn, epochs)| ReplFrame::Heartbeat { next_lsn, epochs }),
+        (
+            any::<u64>(),
+            vec((arb_name(), any::<u64>()), 0..5),
+            arb_leader_epoch()
+        )
+            .prop_map(|(next_lsn, epochs, leader_epoch)| {
+                ReplFrame::Heartbeat {
+                    next_lsn,
+                    epochs,
+                    leader_epoch,
+                }
+            }),
         arb_name().prop_map(|detail| ReplFrame::End { detail }),
     ]
 }
@@ -143,13 +174,26 @@ fn fake_leader_session(listener: &TcpListener, sabotage: impl FnOnce(&mut TcpStr
     let (mut stream, _) = listener.accept().unwrap();
     let hello = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN).unwrap();
     match ReplFrame::decode(&hello).unwrap() {
-        ReplFrame::Hello { version, start_lsn } => {
+        ReplFrame::Hello {
+            version,
+            start_lsn,
+            max_epoch_seen,
+        } => {
             assert_eq!(version, REPL_STREAM_VERSION);
             assert_eq!(start_lsn, 0, "fresh follower starts at lsn 0");
+            assert_eq!(max_epoch_seen, 0, "fresh follower has seen no epoch");
         }
         other => panic!("expected Hello, got {other:?}"),
     }
-    frame::write_frame(&mut stream, &ReplFrame::Stream { from_lsn: 0 }.encode()).unwrap();
+    frame::write_frame(
+        &mut stream,
+        &ReplFrame::Stream {
+            from_lsn: 0,
+            leader_epoch: None,
+        }
+        .encode(),
+    )
+    .unwrap();
     sabotage(&mut stream);
 }
 
@@ -251,6 +295,256 @@ fn lsn_discontinuity_surfaces_corrupt() {
         let _ = stream.flush();
         std::thread::sleep(Duration::from_millis(300));
     });
+}
+
+/// A fake leader that keeps accepting sessions forever: each one gets a
+/// clean `Stream` handshake and an immediate graceful `End`. Models an
+/// idle-but-healthy leader that rotates connections. The thread leaks
+/// (blocked in accept) when the test ends; the port frees at process
+/// exit.
+fn spawn_idle_leader() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        let Ok(hello) = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN) else {
+            continue;
+        };
+        let Ok(ReplFrame::Hello { start_lsn, .. }) = ReplFrame::decode(&hello) else {
+            continue;
+        };
+        let _ = frame::write_frame(
+            &mut stream,
+            &ReplFrame::Stream {
+                from_lsn: start_lsn,
+                leader_epoch: Some(0),
+            }
+            .encode(),
+        );
+        let _ = frame::write_frame(
+            &mut stream,
+            &ReplFrame::End {
+                detail: "leader rotating connections".into(),
+            }
+            .encode(),
+        );
+    });
+    addr
+}
+
+/// Regression (reconnect backoff): a follower of an idle leader used to
+/// reset its backoff only when records were applied, so clean handshake
+/// after clean handshake still climbed to the 2 s max. A successful
+/// `Stream` handshake must reset it.
+#[test]
+fn idle_sessions_reset_reconnect_backoff() {
+    let addr = spawn_idle_leader();
+    let follower = Follower::start(config(&tmp("idle_backoff")), addr).unwrap();
+    wait_until("the first graceful session", 10, || {
+        follower.status().last_graceful_end().is_some()
+    });
+    // Let several more idle sessions churn. Pre-fix, ~1 s of clean
+    // 100 ms-spaced sessions doubles the gauge to >= 400 ms; post-fix
+    // every completed handshake snaps it back to the 100 ms floor.
+    std::thread::sleep(Duration::from_secs(1));
+    assert_eq!(
+        follower.status().reconnect_backoff(),
+        Duration::from_millis(100),
+        "a healthy-but-idle leader must not inflate the reconnect backoff"
+    );
+    follower.shutdown();
+}
+
+/// Regression (graceful End): an orderly leader goodbye used to land in
+/// `last_error`, indistinguishable from a fault. It must be tracked
+/// separately, leaving `last_error` clean.
+#[test]
+fn graceful_end_is_not_an_error() {
+    let addr = spawn_idle_leader();
+    let follower = Follower::start(config(&tmp("graceful_end")), addr).unwrap();
+    wait_until("a graceful end to be recorded", 10, || {
+        follower.status().last_graceful_end().is_some()
+    });
+    let end = follower.status().last_graceful_end().unwrap();
+    assert!(
+        end.contains("leader rotating connections"),
+        "graceful end should carry the leader's detail: {end:?}"
+    );
+    assert_eq!(
+        follower.status().last_error(),
+        None,
+        "an orderly End is not a fault"
+    );
+    follower.shutdown();
+}
+
+/// Fencing, follower side: a leader advertising an epoch *below* the
+/// highest this follower has durably seen is deposed — the session is
+/// rejected with the typed StaleLeader error and nothing is applied.
+#[test]
+fn follower_rejects_stale_leader() {
+    let dir = tmp("stale_leader");
+    // Durably raise the dir's seen-epoch to 2 (two offline promotions).
+    {
+        let registry = Registry::with_config(config(&dir)).unwrap();
+        assert_eq!(registry.promote_to_leader().unwrap(), 1);
+        assert_eq!(registry.promote_to_leader().unwrap(), 2);
+    }
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN).unwrap();
+        match ReplFrame::decode(&hello).unwrap() {
+            ReplFrame::Hello { max_epoch_seen, .. } => {
+                assert_eq!(max_epoch_seen, 2, "recovered epoch rides in the Hello")
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        // Claim a superseded epoch: the follower must refuse.
+        frame::write_frame(
+            &mut stream,
+            &ReplFrame::Stream {
+                from_lsn: 0,
+                leader_epoch: Some(1),
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Hold the socket open so the rejection comes from the epoch
+        // check, not a dropped connection.
+        std::thread::sleep(Duration::from_millis(500));
+    });
+    let follower = Follower::start(config(&dir), addr).unwrap();
+    wait_until("the stale-leader rejection", 10, || {
+        follower
+            .status()
+            .last_error()
+            .is_some_and(|e| e.contains("stale"))
+    });
+    assert_eq!(
+        follower.registry().wal_high_water(),
+        Some(0),
+        "nothing from a stale leader may be applied"
+    );
+    assert_eq!(follower.registry().leader_epoch(), 2);
+    fake.join().unwrap();
+    follower.shutdown();
+}
+
+/// Version negotiation against a real listener: a v1 peer (no epoch in
+/// its Hello) is still served, with every handshake/heartbeat frame
+/// epoch-free; a v2 peer gets the leader epoch on the same frames.
+#[test]
+fn leader_serves_v1_and_v2_peers() {
+    let dir = tmp("v1v2_leader");
+    let leader = Arc::new(Registry::with_config(config(&dir)).unwrap());
+    let el = gee_gen::erdos_renyi_gnm(N, 120, 9);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.5,
+            },
+            4,
+        ),
+        K,
+    );
+    leader.register("g", &el, &labels).unwrap();
+    let listener = ReplicationListener::listen(leader.clone(), "127.0.0.1:0").unwrap();
+
+    for version in [1u32, 2] {
+        let mut stream = TcpStream::connect(listener.addr()).unwrap();
+        frame::write_frame(
+            &mut stream,
+            &ReplFrame::Hello {
+                version,
+                start_lsn: 0,
+                max_epoch_seen: 0,
+            }
+            .encode(),
+        )
+        .unwrap();
+        // Expect Stream, one Record (the Register), then a Heartbeat —
+        // epoch present exactly when the peer speaks v2.
+        let want_epoch = (version >= 2).then_some(leader.leader_epoch());
+        let mut saw_heartbeat = false;
+        while !saw_heartbeat {
+            let payload = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN).unwrap();
+            match ReplFrame::decode(&payload).unwrap() {
+                ReplFrame::Stream { leader_epoch, .. } => {
+                    assert_eq!(leader_epoch, want_epoch, "Stream epoch for v{version} peer")
+                }
+                ReplFrame::Heartbeat { leader_epoch, .. } => {
+                    assert_eq!(
+                        leader_epoch, want_epoch,
+                        "Heartbeat epoch for v{version} peer"
+                    );
+                    saw_heartbeat = true;
+                }
+                ReplFrame::Record { .. } => {}
+                other => panic!("unexpected frame for v{version} peer: {other:?}"),
+            }
+        }
+    }
+    listener.shutdown();
+}
+
+/// Fencing, leader side: a Hello claiming a newer epoch than the leader
+/// holds deposes it on the spot — the connection is ended, the registry
+/// self-fences, writes start failing with the typed StaleLeader error,
+/// and the replication report says so.
+#[test]
+fn leader_self_fences_on_newer_epoch_claim() {
+    let dir = tmp("self_fence");
+    let leader = Arc::new(Registry::with_config(config(&dir)).unwrap());
+    let el = gee_gen::erdos_renyi_gnm(N, 120, 11);
+    let labels = Labels::from_options_with_k(
+        &gee_gen::random_labels(
+            N,
+            LabelSpec {
+                num_classes: K,
+                labeled_fraction: 0.5,
+            },
+            5,
+        ),
+        K,
+    );
+    leader.register("g", &el, &labels).unwrap();
+    let listener = ReplicationListener::listen(leader.clone(), "127.0.0.1:0").unwrap();
+    assert!(!leader.replication_report().unwrap().fenced);
+
+    let mut stream = TcpStream::connect(listener.addr()).unwrap();
+    frame::write_frame(
+        &mut stream,
+        &ReplFrame::Hello {
+            version: REPL_STREAM_VERSION,
+            start_lsn: 0,
+            max_epoch_seen: 5,
+        }
+        .encode(),
+    )
+    .unwrap();
+    let payload = frame::read_frame(&mut stream, MAX_REPL_FRAME_LEN).unwrap();
+    match ReplFrame::decode(&payload).unwrap() {
+        ReplFrame::End { detail } => {
+            assert!(detail.contains("fenced"), "End should say why: {detail:?}")
+        }
+        other => panic!("expected End, got {other:?}"),
+    }
+
+    wait_until("the registry to fence", 5, || leader.fenced_by() == Some(5));
+    let err = leader
+        .apply_updates("g", &[Update::InsertEdge { u: 0, v: 1, w: 1.0 }])
+        .unwrap_err();
+    assert_eq!(err.code().as_u16(), 16, "fenced writes are StaleLeader");
+    assert!(err.to_string().contains("stale"), "{err}");
+    let report = leader.replication_report().unwrap();
+    assert!(report.fenced, "the v5 report surfaces the fence");
+    listener.shutdown();
 }
 
 /// Leader churn: the follower rides out a leader restart (new listener,

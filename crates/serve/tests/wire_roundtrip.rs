@@ -115,9 +115,16 @@ fn arb_replication() -> impl Strategy<Value = Option<ReplicationReport>> {
             any::<bool>(),
             (any::<u64>(), any::<u64>(), any::<u64>()),
             (any::<u64>(), any::<u64>(), any::<u64>()),
+            (any::<u64>(), any::<bool>()),
         )
             .prop_map(
-                |(leader, connected, (shipped_records, shipped_bytes, follower_conns), lags)| {
+                |(
+                    leader,
+                    connected,
+                    (shipped_records, shipped_bytes, follower_conns),
+                    lags,
+                    (leader_epoch, fenced),
+                )| {
                     Some(ReplicationReport {
                         role: if leader {
                             ReplicationRole::Leader
@@ -131,6 +138,8 @@ fn arb_replication() -> impl Strategy<Value = Option<ReplicationReport>> {
                         lag_epochs: lags.0,
                         lag_lsns: lags.1,
                         last_durable_lsn: lags.2,
+                        leader_epoch,
+                        fenced,
                     })
                 }
             ),
@@ -749,6 +758,8 @@ fn v5_replication_block_is_additive_on_stats() {
             lag_epochs: 1,
             lag_lsns: 3,
             last_durable_lsn: 42,
+            leader_epoch: 2,
+            fenced: false,
         }),
         ..report
     };
@@ -758,7 +769,7 @@ fn v5_replication_block_is_additive_on_stats() {
         concat!(
             r#","replication":{"role":"Follower","connected":true,"shipped_records":0,"#,
             r#""shipped_bytes":0,"follower_conns":0,"lag_epochs":1,"lag_lsns":3,"#,
-            r#""last_durable_lsn":42}"#
+            r#""last_durable_lsn":42,"leader_epoch":2,"fenced":false}"#
         ),
         "}}",
     );
@@ -780,6 +791,8 @@ fn v5_replication_block_round_trips_on_metrics() {
         lag_epochs: 0,
         lag_lsns: 0,
         last_durable_lsn: 0,
+        leader_epoch: 3,
+        fenced: true,
     };
     assert_round_trip(&leader);
     assert_round_trip(&Some(leader.clone()));
@@ -803,6 +816,21 @@ fn read_only_replica_error_has_code_15() {
     assert_round_trip(&err);
     assert_round_trip(&ServerFrame::Batch {
         id: 11,
+        results: vec![Err(err)],
+    });
+}
+
+#[test]
+fn stale_leader_error_has_code_16() {
+    let err = ServeError::StaleLeader {
+        leader_epoch: 1,
+        seen_epoch: 4,
+    };
+    assert_eq!(err.code().as_u16(), 16);
+    assert!(err.to_string().contains("stale"), "{err}");
+    assert_round_trip(&err);
+    assert_round_trip(&ServerFrame::Batch {
+        id: 12,
         results: vec![Err(err)],
     });
 }

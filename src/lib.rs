@@ -153,7 +153,29 @@
 //! `gee serve --data-dir DIR --replicate ADDR` on the leader and
 //! `gee serve --follow ADDR --data-dir DIR2 --listen ADDR2` on the
 //! replica; `gee recover` prints the WAL high-water and latest
-//! checkpoint LSNs of any durable directory.
+//! checkpoint LSNs (and stored leader epoch) of any durable directory.
+//!
+//! ### Promotion & fencing
+//!
+//! When a leader dies, any caught-up follower can take over:
+//! [`serve::Follower::promote`] stops the pull loop at the durable
+//! high-water LSN, mints the next **leader epoch** — a monotonically
+//! increasing fencing token, durably persisted (checkpoint header plus
+//! a dedicated `leader-epoch` file) and recovered on open — flips the
+//! registry out of read-only replica mode, and optionally warms a
+//! fresh [`serve::ReplicationListener`] so surviving followers can
+//! re-point. The epoch rides the v2 replication-stream handshake in
+//! both directions: a follower refuses to apply anything from a leader
+//! older than the highest epoch it has durably seen, and a leader
+//! greeted by a follower that has seen a *newer* epoch fences itself —
+//! writes fail typed with [`serve::ServeError::StaleLeader`] (code 16)
+//! and the `fenced` flag surfaces in [`serve::ReplicationReport`].
+//! Split-brain is thereby impossible: at most one epoch's leader can
+//! ever take writes that followers accept, pinned end to end by
+//! `crates/serve/tests/replication.rs`. On the command line: `gee
+//! promote --data-dir DIR [--replicate ADDR]` promotes an offline
+//! directory, and `gee serve --follow ADDR --promote-file PATH`
+//! promotes a live replica in place when `PATH` appears.
 //!
 //! ### Benchmarking & observability
 //!
@@ -211,7 +233,7 @@ pub mod prelude {
     pub use gee_loadgen::{Analysis as BenchAnalysis, BenchConfig, Mix as BenchMix};
     pub use gee_serve::{
         BackpressurePolicy, Client as ServeClient, Durability, Engine as ServeEngine, Envelope,
-        ErrorCode, Follower, HistoryPolicy, MetricsReport, Registry, RegistryConfig,
+        ErrorCode, Follower, HistoryPolicy, MetricsReport, Promotion, Registry, RegistryConfig,
         ReplicationListener, ReplicationReport, Request, Response, SearchPolicy, ServeError,
         Server as ServeServer, SyncPolicy, Update,
     };
